@@ -1,0 +1,252 @@
+//! MOEA/D (Zhang & Li, 2007): the decomposition-based evolutionary
+//! baseline the paper compares against.
+//!
+//! The implementation follows the original algorithm: `N` sub-problems
+//! defined by uniformly spread weight vectors, Tchebycheff scalarization
+//! against a running reference point, mating restricted to weight-space
+//! neighborhoods with probability `δ`, and bounded replacement (`n_r`).
+//! MOELA's EA step is intentionally the same machinery — the paper's
+//! contribution is what it *adds* (the ML-guided local search), so sharing
+//! the update semantics makes the comparison fair.
+
+use std::time::{Duration, Instant};
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore};
+
+use moela_moo::normalize::Normalizer;
+use moela_moo::run::{RunResult, TraceRecorder};
+use moela_moo::scalarize::{ReferencePoint, Scalarizer};
+use moela_moo::weights::{neighborhoods, uniform_weights};
+use moela_moo::Problem;
+
+/// MOEA/D parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MoeadConfig {
+    /// Population size `N` (= number of weight vectors).
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Neighborhood size `T`.
+    pub neighborhood: usize,
+    /// Probability of mating within the neighborhood.
+    pub delta: f64,
+    /// Maximum replacements per offspring (`n_r`).
+    pub max_replacements: usize,
+    /// Pre-fitted objective normalizer for the PHV trace; `None` fits one
+    /// online (see [`moela_moo::run::TraceRecorder`]).
+    pub trace_normalizer: Option<moela_moo::normalize::Normalizer>,
+    /// Optional cap on objective evaluations.
+    pub max_evaluations: Option<u64>,
+    /// Optional wall-clock budget.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for MoeadConfig {
+    fn default() -> Self {
+        Self {
+            population: 50,
+            generations: 100,
+            neighborhood: 10,
+            delta: 0.9,
+            max_replacements: 2,
+            trace_normalizer: None,
+            max_evaluations: None,
+            time_budget: None,
+        }
+    }
+}
+
+/// The MOEA/D optimizer bound to one problem.
+///
+/// # Example
+///
+/// ```
+/// use moela_baselines::{Moead, MoeadConfig};
+/// use moela_moo::problems::Zdt;
+/// use rand::SeedableRng;
+///
+/// let problem = Zdt::zdt1(10);
+/// let config = MoeadConfig { population: 12, generations: 5, ..Default::default() };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let out = Moead::new(config, &problem).run(&mut rng);
+/// assert_eq!(out.population.len(), 12);
+/// ```
+#[derive(Debug)]
+pub struct Moead<'p, P> {
+    config: MoeadConfig,
+    problem: &'p P,
+}
+
+impl<'p, P: Problem> Moead<'p, P> {
+    /// Binds a configuration to a problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population < 2` or `neighborhood` is out of range.
+    pub fn new(config: MoeadConfig, problem: &'p P) -> Self {
+        assert!(config.population >= 2, "population must be at least 2");
+        assert!(
+            (2..=config.population).contains(&config.neighborhood),
+            "neighborhood must lie in 2..=population"
+        );
+        assert!((0.0..=1.0).contains(&config.delta), "delta must lie in [0, 1]");
+        Self { config, problem }
+    }
+
+    /// Runs MOEA/D and returns the final population with its trace.
+    pub fn run(&self, rng: &mut impl RngCore) -> RunResult<P::Solution> {
+        let rng: &mut dyn RngCore = rng;
+        let cfg = &self.config;
+        let m = self.problem.objective_count();
+        let start_time = Instant::now();
+        let mut evaluations = 0u64;
+        let mut recorder = match &cfg.trace_normalizer {
+            Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
+            None => TraceRecorder::new(m),
+        };
+
+        let weights = uniform_weights(cfg.population, m);
+        let nbhd = neighborhoods(&weights, cfg.neighborhood);
+        let mut solutions: Vec<P::Solution> = Vec::with_capacity(cfg.population);
+        let mut objectives: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
+        let mut z = ReferencePoint::new(m);
+        let mut normalizer = Normalizer::new(m);
+        for _ in 0..cfg.population {
+            let s = self.problem.random_solution(rng);
+            let o = self.problem.evaluate(&s);
+            evaluations += 1;
+            z.update(&o);
+            normalizer.observe(&o);
+            recorder.observe(&o);
+            solutions.push(s);
+            objectives.push(o);
+        }
+        recorder.record(0, evaluations, start_time.elapsed(), &objectives);
+
+        let budget_left = |evaluations: u64| {
+            cfg.max_evaluations.map_or(true, |cap| evaluations < cap)
+                && cfg.time_budget.map_or(true, |cap| start_time.elapsed() < cap)
+        };
+
+        'outer: for generation in 0..cfg.generations {
+            let mut order: Vec<usize> = (0..cfg.population).collect();
+            order.shuffle(rng);
+            for i in order {
+                if !budget_left(evaluations) {
+                    break 'outer;
+                }
+                let whole: Vec<usize>;
+                let pool: &[usize] = if rng.gen_bool(cfg.delta) {
+                    &nbhd[i]
+                } else {
+                    whole = (0..cfg.population).collect();
+                    &whole
+                };
+                let pa = pool[rng.gen_range(0..pool.len())];
+                let mut pb = pool[rng.gen_range(0..pool.len())];
+                if pb == pa {
+                    pb = pool[(pool.iter().position(|&x| x == pa).expect("pa in pool") + 1)
+                        % pool.len()];
+                }
+                let child = self.problem.crossover(&solutions[pa], &solutions[pb], rng);
+                let child_objs = self.problem.evaluate(&child);
+                evaluations += 1;
+                z.update(&child_objs);
+                normalizer.observe(&child_objs);
+                recorder.observe(&child_objs);
+
+                let g = |objs: &[f64], w: &[f64]| {
+                    Scalarizer::Tchebycheff.value(
+                        &normalizer.normalize(objs),
+                        w,
+                        &normalizer.normalize(z.values()),
+                    )
+                };
+                let mut replaced = 0;
+                for &j in pool {
+                    if replaced >= cfg.max_replacements {
+                        break;
+                    }
+                    if g(&child_objs, &weights[j]) < g(&objectives[j], &weights[j]) {
+                        solutions[j] = child.clone();
+                        objectives[j] = child_objs.clone();
+                        replaced += 1;
+                    }
+                }
+            }
+            recorder.record(generation + 1, evaluations, start_time.elapsed(), &objectives);
+        }
+
+        RunResult {
+            population: solutions.into_iter().zip(objectives).collect(),
+            trace: recorder.into_points(),
+            evaluations,
+            elapsed: start_time.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moela_moo::metrics::igd;
+    use moela_moo::problems::Zdt;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn converges_toward_the_zdt1_front() {
+        let problem = Zdt::zdt1(8);
+        let config = MoeadConfig { population: 20, generations: 60, ..Default::default() };
+        let out = Moead::new(config, &problem).run(&mut rng(1));
+        let d = igd(&out.front_objectives(), &problem.true_front(100));
+        assert!(d < 0.3, "IGD {d}");
+    }
+
+    #[test]
+    fn trace_improves_over_generations() {
+        let problem = Zdt::zdt2(8);
+        let config = MoeadConfig { population: 16, generations: 30, ..Default::default() };
+        let out = Moead::new(config, &problem).run(&mut rng(2));
+        assert!(out.trace.last().expect("non-empty").phv > out.trace[0].phv);
+    }
+
+    #[test]
+    fn respects_the_evaluation_cap() {
+        let problem = Zdt::zdt1(8);
+        let config = MoeadConfig {
+            population: 10,
+            generations: 10_000,
+            max_evaluations: Some(300),
+            ..Default::default()
+        };
+        let out = Moead::new(config, &problem).run(&mut rng(3));
+        assert!(out.evaluations <= 301);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let problem = Zdt::zdt3(8);
+        let config = MoeadConfig { population: 10, generations: 10, ..Default::default() };
+        let a = Moead::new(config.clone(), &problem).run(&mut rng(4));
+        let b = Moead::new(config, &problem).run(&mut rng(4));
+        let objs = |r: &RunResult<Vec<f64>>| -> Vec<Vec<f64>> {
+            r.population.iter().map(|(_, o)| o.clone()).collect()
+        };
+        assert_eq!(objs(&a), objs(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "neighborhood")]
+    fn oversized_neighborhood_is_rejected() {
+        let problem = Zdt::zdt1(4);
+        Moead::new(
+            MoeadConfig { population: 5, neighborhood: 6, ..Default::default() },
+            &problem,
+        );
+    }
+}

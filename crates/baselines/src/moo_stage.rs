@@ -1,0 +1,294 @@
+//! MOO-STAGE (Joardar et al., IEEE TC 2019): STAGE-style learning of an
+//! evaluation function that predicts *how good an outcome a local search
+//! reaches from a given start*, used to pick restart points.
+//!
+//! Reimplemented from the published description (and Boyan & Moore's
+//! original STAGE):
+//!
+//! * the **base search** is a PHV-greedy local search: a neighbor is
+//!   accepted when inserting it into the Pareto archive would raise the
+//!   archive's hypervolume (this per-candidate PHV computation is the
+//!   overhead MOELA's §IV.A calls out);
+//! * every base-search trajectory is labeled with the final archive PHV
+//!   and appended to the training set of a random-forest `Eval`;
+//! * the **meta search** hill-climbs on `Eval`'s *predictions* (no real
+//!   evaluations) from the end of the last trajectory to propose the next
+//!   start; when the meta search stalls, the next start is random.
+
+use std::time::{Duration, Instant};
+
+use rand::RngCore;
+
+use moela_ml::{Dataset, ForestConfig, RandomForest};
+use moela_moo::archive::ParetoArchive;
+use moela_moo::normalize::Normalizer;
+use moela_moo::run::{RunResult, TraceRecorder};
+use moela_moo::Problem;
+
+use crate::common::normalized_phv;
+
+/// MOO-STAGE parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MooStageConfig {
+    /// Number of base-search episodes.
+    pub episodes: usize,
+    /// Archive capacity.
+    pub archive_cap: usize,
+    /// Base-search step limit per episode.
+    pub ls_max_steps: usize,
+    /// Neighbors sampled per base-search step.
+    pub ls_neighbors_per_step: usize,
+    /// Meta-search (predicted-Eval hill-climb) step limit.
+    pub meta_steps: usize,
+    /// Random-forest hyper-parameters of `Eval`.
+    pub forest: ForestConfig,
+    /// Pre-fitted objective normalizer for the PHV trace; `None` fits one
+    /// online (see [`moela_moo::run::TraceRecorder`]).
+    pub trace_normalizer: Option<moela_moo::normalize::Normalizer>,
+    /// Optional cap on objective evaluations.
+    pub max_evaluations: Option<u64>,
+    /// Optional wall-clock budget.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for MooStageConfig {
+    fn default() -> Self {
+        Self {
+            episodes: 40,
+            archive_cap: 40,
+            ls_max_steps: 25,
+            ls_neighbors_per_step: 4,
+            meta_steps: 10,
+            forest: ForestConfig { trees: 25, bootstrap_size: Some(512), ..Default::default() },
+            trace_normalizer: None,
+            max_evaluations: None,
+            time_budget: None,
+        }
+    }
+}
+
+/// The MOO-STAGE optimizer bound to one problem.
+///
+/// # Example
+///
+/// ```
+/// use moela_baselines::{MooStage, MooStageConfig};
+/// use moela_moo::problems::Zdt;
+/// use rand::SeedableRng;
+///
+/// let problem = Zdt::zdt1(10);
+/// let config = MooStageConfig { episodes: 4, ..Default::default() };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let out = MooStage::new(config, &problem).run(&mut rng);
+/// assert!(!out.population.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct MooStage<'p, P> {
+    config: MooStageConfig,
+    problem: &'p P,
+}
+
+impl<'p, P: Problem> MooStage<'p, P> {
+    /// Binds a configuration to a problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any episode/step budget is zero.
+    pub fn new(config: MooStageConfig, problem: &'p P) -> Self {
+        assert!(config.episodes > 0, "episodes must be positive");
+        assert!(config.archive_cap > 0, "archive capacity must be positive");
+        assert!(
+            config.ls_max_steps > 0 && config.ls_neighbors_per_step > 0,
+            "base-search budgets must be positive"
+        );
+        Self { config, problem }
+    }
+
+    /// Runs MOO-STAGE and returns the archive (as the population) with its
+    /// trace.
+    pub fn run(&self, rng: &mut impl RngCore) -> RunResult<P::Solution> {
+        let mut rng: &mut dyn RngCore = rng;
+        let cfg = &self.config;
+        let m = self.problem.objective_count();
+        let start_time = Instant::now();
+        let mut evaluations = 0u64;
+        let mut recorder = match &cfg.trace_normalizer {
+            Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
+            None => TraceRecorder::new(m),
+        };
+
+        let mut archive: ParetoArchive<P::Solution> = ParetoArchive::bounded(cfg.archive_cap);
+        let mut normalizer = Normalizer::new(m);
+        let mut train = Dataset::with_capacity(10_000);
+        let mut eval_fn: Option<RandomForest> = None;
+
+        // Initial random start.
+        let mut start = self.problem.random_solution(rng);
+        let start_objs = self.problem.evaluate(&start);
+        evaluations += 1;
+        normalizer.observe(&start_objs);
+        recorder.observe(&start_objs);
+        archive.insert(start.clone(), start_objs);
+        recorder.record(0, evaluations, start_time.elapsed(), &archive.objectives());
+
+        let budget_left = |evaluations: u64| {
+            cfg.max_evaluations.map_or(true, |cap| evaluations < cap)
+                && cfg.time_budget.map_or(true, |cap| start_time.elapsed() < cap)
+        };
+
+        for episode in 0..cfg.episodes {
+            if !budget_left(evaluations) {
+                break;
+            }
+            // --- Base search: PHV-greedy hill climb ---------------------
+            const PATIENCE: usize = 3;
+            let mut current = start.clone();
+            let mut current_phv = normalized_phv(&archive.objectives(), &normalizer);
+            let mut trajectory: Vec<Vec<f64>> = vec![self.problem.features(&current)];
+            let mut stalls = 0usize;
+            for _ in 0..cfg.ls_max_steps {
+                let mut best: Option<(P::Solution, Vec<f64>, f64)> = None;
+                for _ in 0..cfg.ls_neighbors_per_step {
+                    let cand = self.problem.neighbor(&current, rng);
+                    let objs = self.problem.evaluate(&cand);
+                    evaluations += 1;
+                    normalizer.observe(&objs);
+                    recorder.observe(&objs);
+                    // PHV potential: archive HV if this design joined.
+                    let mut with = archive.objectives();
+                    with.push(objs.clone());
+                    let potential = normalized_phv(&with, &normalizer);
+                    if best.as_ref().map_or(true, |(_, _, bp)| potential > *bp) {
+                        best = Some((cand, objs, potential));
+                    }
+                }
+                match best {
+                    Some((cand, objs, potential)) if potential > current_phv + 1e-12 => {
+                        archive.insert(cand.clone(), objs);
+                        current = cand;
+                        current_phv = potential;
+                        trajectory.push(self.problem.features(&current));
+                        stalls = 0;
+                    }
+                    _ => {
+                        stalls += 1;
+                        if stalls >= PATIENCE {
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // --- Label the trajectory and retrain Eval ------------------
+            let final_phv = normalized_phv(&archive.objectives(), &normalizer);
+            for features in trajectory {
+                // STAGE regresses the *outcome* onto every visited state;
+                // negate so lower predictions mean better starts, matching
+                // the random-forest consumers elsewhere in the workspace.
+                train.push(features, -final_phv);
+            }
+            if train.len() >= 8 {
+                eval_fn = Some(RandomForest::fit(&train, &cfg.forest, &mut rng));
+            }
+
+            // --- Meta search on predicted Eval --------------------------
+            start = match &eval_fn {
+                Some(model) => {
+                    let mut meta = current.clone();
+                    let mut meta_score = model.predict(&self.problem.features(&meta));
+                    let mut moved = false;
+                    for _ in 0..cfg.meta_steps {
+                        let cand = self.problem.neighbor(&meta, rng);
+                        let score = model.predict(&self.problem.features(&cand));
+                        if score < meta_score {
+                            meta = cand;
+                            meta_score = score;
+                            moved = true;
+                        }
+                    }
+                    if moved {
+                        meta
+                    } else {
+                        // STAGE restarts randomly when the meta search
+                        // cannot escape the current basin.
+                        self.problem.random_solution(rng)
+                    }
+                }
+                None => self.problem.random_solution(rng),
+            };
+
+            recorder.record(
+                episode + 1,
+                evaluations,
+                start_time.elapsed(),
+                &archive.objectives(),
+            );
+        }
+
+        RunResult {
+            population: archive.into_entries(),
+            trace: recorder.into_points(),
+            evaluations,
+            elapsed: start_time.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moela_moo::metrics::igd;
+    use moela_moo::problems::Zdt;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn archive_is_nondominated_and_bounded() {
+        let problem = Zdt::zdt1(8);
+        let config = MooStageConfig { episodes: 8, archive_cap: 10, ..Default::default() };
+        let out = MooStage::new(config, &problem).run(&mut rng(1));
+        assert!(out.population.len() <= 10);
+        let objs: Vec<Vec<f64>> = out.population.iter().map(|(_, o)| o.clone()).collect();
+        assert_eq!(moela_moo::pareto::non_dominated_indices(&objs).len(), objs.len());
+    }
+
+    #[test]
+    fn phv_trace_improves() {
+        let problem = Zdt::zdt1(8);
+        let normalizer = moela_moo::normalize::Normalizer::from_bounds(
+            vec![0.0, 0.0],
+            vec![1.0, 10.0],
+        );
+        let config = MooStageConfig {
+            episodes: 15,
+            trace_normalizer: Some(normalizer),
+            ..Default::default()
+        };
+        let out = MooStage::new(config, &problem).run(&mut rng(2));
+        assert!(out.trace.last().expect("non-empty").phv > out.trace[0].phv);
+    }
+
+    #[test]
+    fn makes_progress_toward_the_front() {
+        let problem = Zdt::zdt1(8);
+        let config = MooStageConfig { episodes: 30, ls_max_steps: 40, ..Default::default() };
+        let out = MooStage::new(config, &problem).run(&mut rng(3));
+        let d = igd(&out.front_objectives(), &problem.true_front(100));
+        assert!(d < 1.5, "IGD {d}");
+    }
+
+    #[test]
+    fn respects_the_evaluation_cap() {
+        let problem = Zdt::zdt1(8);
+        let config = MooStageConfig {
+            episodes: 10_000,
+            max_evaluations: Some(300),
+            ..Default::default()
+        };
+        let out = MooStage::new(config, &problem).run(&mut rng(4));
+        assert!(out.evaluations <= 300 + 110, "evaluations {}", out.evaluations);
+    }
+}

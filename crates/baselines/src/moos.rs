@@ -1,0 +1,330 @@
+//! MOOS (Deshwal et al., ACM TECS 2019): an ML-guided multi-objective
+//! local-search framework that *learns which search direction to follow
+//! next* — the paper's strongest prior-art baseline.
+//!
+//! Reimplemented from the published description:
+//!
+//! * a Pareto **archive** holds every non-dominated design found;
+//! * the search proceeds in **episodes**: each episode picks a
+//!   (start, direction) pair — the start from the archive, the direction
+//!   from a fixed fan of scalarization weights — and runs a greedy
+//!   weighted-sum descent, inserting accepted designs into the archive;
+//! * a random forest learns `(start features ⧺ direction) → PHV gain`, and
+//!   after a warm-up the next episode picks the candidate pair with the
+//!   highest *predicted* gain (ε-greedy to keep exploring).
+//!
+//! The PHV-gain labels are exactly the "costly PHV calculations" MOELA's
+//! §IV.A criticizes — they are recomputed after every episode here, which
+//! is faithful to MOOS and is what the speed comparison measures.
+
+use std::time::{Duration, Instant};
+
+use rand::{Rng, RngCore};
+
+use moela_ml::{Dataset, ForestConfig, RandomForest};
+use moela_moo::archive::ParetoArchive;
+use moela_moo::normalize::Normalizer;
+use moela_moo::run::{RunResult, TraceRecorder};
+use moela_moo::scalarize::ReferencePoint;
+use moela_moo::weights::uniform_weights;
+use moela_moo::Problem;
+
+use crate::common::{normalized_phv, weighted_descent};
+
+/// MOOS parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MoosConfig {
+    /// Number of search episodes.
+    pub episodes: usize,
+    /// Archive capacity (crowding-pruned beyond this).
+    pub archive_cap: usize,
+    /// Number of scalarization directions in the fan.
+    pub directions: usize,
+    /// Episodes with random (unguided) direction selection.
+    pub warmup: usize,
+    /// ε of the ε-greedy direction policy after warm-up.
+    pub epsilon: f64,
+    /// Greedy-descent step limit per episode.
+    pub ls_max_steps: usize,
+    /// Neighbors sampled per descent step.
+    pub ls_neighbors_per_step: usize,
+    /// Random-forest hyper-parameters of the gain model.
+    pub forest: ForestConfig,
+    /// Pre-fitted objective normalizer for the PHV trace; `None` fits one
+    /// online (see [`moela_moo::run::TraceRecorder`]).
+    pub trace_normalizer: Option<moela_moo::normalize::Normalizer>,
+    /// Optional cap on objective evaluations.
+    pub max_evaluations: Option<u64>,
+    /// Optional wall-clock budget.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for MoosConfig {
+    fn default() -> Self {
+        Self {
+            episodes: 60,
+            archive_cap: 40,
+            directions: 12,
+            warmup: 8,
+            epsilon: 0.3,
+            ls_max_steps: 25,
+            ls_neighbors_per_step: 4,
+            forest: ForestConfig { trees: 25, bootstrap_size: Some(512), ..Default::default() },
+            trace_normalizer: None,
+            max_evaluations: None,
+            time_budget: None,
+        }
+    }
+}
+
+/// The MOOS optimizer bound to one problem.
+///
+/// # Example
+///
+/// ```
+/// use moela_baselines::{Moos, MoosConfig};
+/// use moela_moo::problems::Zdt;
+/// use rand::SeedableRng;
+///
+/// let problem = Zdt::zdt1(10);
+/// let config = MoosConfig { episodes: 5, ..Default::default() };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let out = Moos::new(config, &problem).run(&mut rng);
+/// assert!(!out.population.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Moos<'p, P> {
+    config: MoosConfig,
+    problem: &'p P,
+}
+
+impl<'p, P: Problem> Moos<'p, P> {
+    /// Binds a configuration to a problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `episodes`, `archive_cap`, or `directions` is zero, or if
+    /// `epsilon` leaves `[0, 1]`.
+    pub fn new(config: MoosConfig, problem: &'p P) -> Self {
+        assert!(config.episodes > 0, "episodes must be positive");
+        assert!(config.archive_cap > 0, "archive capacity must be positive");
+        assert!(config.directions > 0, "need at least one direction");
+        assert!((0.0..=1.0).contains(&config.epsilon), "epsilon must lie in [0, 1]");
+        Self { config, problem }
+    }
+
+    /// Runs MOOS and returns the archive (as the population) with its
+    /// trace.
+    pub fn run(&self, rng: &mut impl RngCore) -> RunResult<P::Solution> {
+        let mut rng: &mut dyn RngCore = rng;
+        let cfg = &self.config;
+        let m = self.problem.objective_count();
+        let start_time = Instant::now();
+        let mut evaluations = 0u64;
+        let mut recorder = match &cfg.trace_normalizer {
+            Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
+            None => TraceRecorder::new(m),
+        };
+
+        let directions = uniform_weights(cfg.directions, m);
+        let mut archive: ParetoArchive<P::Solution> = ParetoArchive::bounded(cfg.archive_cap);
+        let mut z = ReferencePoint::new(m);
+        let mut normalizer = Normalizer::new(m);
+
+        // Seed the archive with a handful of random designs.
+        for _ in 0..4 {
+            let s = self.problem.random_solution(rng);
+            let o = self.problem.evaluate(&s);
+            evaluations += 1;
+            z.update(&o);
+            normalizer.observe(&o);
+            recorder.observe(&o);
+            archive.insert(s, o);
+        }
+        recorder.record(0, evaluations, start_time.elapsed(), &archive.objectives());
+
+        let mut train = Dataset::with_capacity(10_000);
+        let mut gain_model: Option<RandomForest> = None;
+
+        let budget_left = |evaluations: u64| {
+            cfg.max_evaluations.map_or(true, |cap| evaluations < cap)
+                && cfg.time_budget.map_or(true, |cap| start_time.elapsed() < cap)
+        };
+
+        for episode in 0..cfg.episodes {
+            if !budget_left(evaluations) {
+                break;
+            }
+            // --- Pick (start, direction) --------------------------------
+            let entries = archive.into_entries_view();
+            let (start, start_objs, weight) = if episode < cfg.warmup
+                || gain_model.is_none()
+                || rng.gen_bool(cfg.epsilon)
+            {
+                // Exploration: half the time restart from a fresh random
+                // design (archive members are locally exhausted), half the
+                // time re-descend an archive member in a random direction.
+                let w = directions[rng.gen_range(0..directions.len())].clone();
+                if rng.gen_bool(0.5) {
+                    let s = self.problem.random_solution(rng);
+                    let o = self.problem.evaluate(&s);
+                    evaluations += 1;
+                    z.update(&o);
+                    normalizer.observe(&o);
+                    recorder.observe(&o);
+                    archive.insert(s.clone(), o.clone());
+                    (s, o, w)
+                } else {
+                    let (s, o) = &entries[rng.gen_range(0..entries.len())];
+                    (s.clone(), o.clone(), w)
+                }
+            } else {
+                let model = gain_model.as_ref().expect("checked above");
+                let mut best: Option<(usize, usize, f64)> = None;
+                for (si, (s, _)) in entries.iter().enumerate() {
+                    let f_base = self.problem.features(s);
+                    for (di, d) in directions.iter().enumerate() {
+                        let mut f = f_base.clone();
+                        f.extend_from_slice(d);
+                        let pred = model.predict(&f);
+                        if best.map_or(true, |(_, _, bp)| pred > bp) {
+                            best = Some((si, di, pred));
+                        }
+                    }
+                }
+                let (si, di, _) = best.expect("archive is non-empty");
+                let (s, o) = &entries[si];
+                (s.clone(), o.clone(), directions[di].clone())
+            };
+
+            // --- Episode: descend and archive ---------------------------
+            let phv_before = normalized_phv(&archive.objectives(), &normalizer);
+            let (accepted, spent) = weighted_descent(
+                self.problem,
+                &start,
+                &start_objs,
+                &weight,
+                z.values(),
+                &normalizer,
+                cfg.ls_max_steps,
+                cfg.ls_neighbors_per_step,
+                rng,
+            );
+            evaluations += spent;
+            for (s, o) in accepted {
+                z.update(&o);
+                normalizer.observe(&o);
+                recorder.observe(&o);
+                archive.insert(s, o);
+            }
+            let phv_after = normalized_phv(&archive.objectives(), &normalizer);
+
+            // --- Learn the gain ----------------------------------------
+            let mut features = self.problem.features(&start);
+            features.extend_from_slice(&weight);
+            train.push(features, phv_after - phv_before);
+            if episode + 1 >= cfg.warmup && train.len() >= 8 {
+                gain_model = Some(RandomForest::fit(&train, &cfg.forest, &mut rng));
+            }
+
+            recorder.record(
+                episode + 1,
+                evaluations,
+                start_time.elapsed(),
+                &archive.objectives(),
+            );
+        }
+
+        RunResult {
+            population: archive.into_entries(),
+            trace: recorder.into_points(),
+            evaluations,
+            elapsed: start_time.elapsed(),
+        }
+    }
+}
+
+/// A cheap borrowed view of archive entries (the archive does not expose
+/// its internals mutably during an episode).
+trait ArchiveView<S> {
+    fn into_entries_view(&self) -> Vec<(S, Vec<f64>)>;
+}
+
+impl<S: Clone> ArchiveView<S> for ParetoArchive<S> {
+    fn into_entries_view(&self) -> Vec<(S, Vec<f64>)> {
+        self.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moela_moo::metrics::igd;
+    use moela_moo::problems::Zdt;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn archive_holds_only_nondominated_designs() {
+        let problem = Zdt::zdt1(8);
+        let config = MoosConfig { episodes: 10, ..Default::default() };
+        let out = Moos::new(config, &problem).run(&mut rng(1));
+        let objs: Vec<Vec<f64>> = out.population.iter().map(|(_, o)| o.clone()).collect();
+        let idx = moela_moo::pareto::non_dominated_indices(&objs);
+        assert_eq!(idx.len(), objs.len());
+    }
+
+    #[test]
+    fn converges_toward_the_zdt1_front() {
+        let problem = Zdt::zdt1(8);
+        let config = MoosConfig { episodes: 60, ls_max_steps: 40, ..Default::default() };
+        let out = Moos::new(config, &problem).run(&mut rng(2));
+        let d = igd(&out.front_objectives(), &problem.true_front(100));
+        assert!(d < 1.0, "IGD {d}");
+    }
+
+    #[test]
+    fn phv_trace_improves() {
+        let problem = Zdt::zdt1(8);
+        let normalizer = moela_moo::normalize::Normalizer::from_bounds(
+            vec![0.0, 0.0],
+            vec![1.0, 10.0],
+        );
+        let config = MoosConfig {
+            episodes: 25,
+            trace_normalizer: Some(normalizer),
+            ..Default::default()
+        };
+        let out = Moos::new(config, &problem).run(&mut rng(3));
+        assert!(out.trace.last().expect("non-empty").phv > out.trace[0].phv);
+    }
+
+    #[test]
+    fn respects_the_evaluation_cap() {
+        let problem = Zdt::zdt1(8);
+        let config = MoosConfig {
+            episodes: 10_000,
+            max_evaluations: Some(400),
+            ..Default::default()
+        };
+        let out = Moos::new(config, &problem).run(&mut rng(4));
+        // One in-flight episode may overshoot by its own budget.
+        assert!(out.evaluations <= 400 + 110, "evaluations {}", out.evaluations);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let problem = Zdt::zdt3(8);
+        let config = MoosConfig { episodes: 12, ..Default::default() };
+        let a = Moos::new(config.clone(), &problem).run(&mut rng(5));
+        let b = Moos::new(config, &problem).run(&mut rng(5));
+        assert_eq!(a.evaluations, b.evaluations);
+        let objs = |r: &RunResult<Vec<f64>>| -> Vec<Vec<f64>> {
+            r.population.iter().map(|(_, o)| o.clone()).collect()
+        };
+        assert_eq!(objs(&a), objs(&b));
+    }
+}

@@ -1,0 +1,249 @@
+//! NSGA-II (Deb et al., 2002): the classic Pareto-ranking evolutionary
+//! baseline (the paper's reference \[4\]).
+
+use std::time::{Duration, Instant};
+
+use rand::{Rng, RngCore};
+
+use moela_moo::pareto::{crowding_distance, non_dominated_sort};
+use moela_moo::run::{RunResult, TraceRecorder};
+use moela_moo::Problem;
+
+/// NSGA-II parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Nsga2Config {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Pre-fitted objective normalizer for the PHV trace; `None` fits one
+    /// online (see [`moela_moo::run::TraceRecorder`]).
+    pub trace_normalizer: Option<moela_moo::normalize::Normalizer>,
+    /// Optional cap on objective evaluations.
+    pub max_evaluations: Option<u64>,
+    /// Optional wall-clock budget.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for Nsga2Config {
+    fn default() -> Self {
+        Self { population: 50, generations: 100, trace_normalizer: None, max_evaluations: None, time_budget: None }
+    }
+}
+
+/// The NSGA-II optimizer bound to one problem.
+///
+/// # Example
+///
+/// ```
+/// use moela_baselines::{Nsga2, Nsga2Config};
+/// use moela_moo::problems::Zdt;
+/// use rand::SeedableRng;
+///
+/// let problem = Zdt::zdt1(10);
+/// let config = Nsga2Config { population: 12, generations: 5, ..Default::default() };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let out = Nsga2::new(config, &problem).run(&mut rng);
+/// assert_eq!(out.population.len(), 12);
+/// ```
+#[derive(Debug)]
+pub struct Nsga2<'p, P> {
+    config: Nsga2Config,
+    problem: &'p P,
+}
+
+impl<'p, P: Problem> Nsga2<'p, P> {
+    /// Binds a configuration to a problem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population < 2`.
+    pub fn new(config: Nsga2Config, problem: &'p P) -> Self {
+        assert!(config.population >= 2, "population must be at least 2");
+        Self { config, problem }
+    }
+
+    /// Runs NSGA-II and returns the final population with its trace.
+    pub fn run(&self, rng: &mut impl RngCore) -> RunResult<P::Solution> {
+        let rng: &mut dyn RngCore = rng;
+        let cfg = &self.config;
+        let m = self.problem.objective_count();
+        let start_time = Instant::now();
+        let mut evaluations = 0u64;
+        let mut recorder = match &cfg.trace_normalizer {
+            Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
+            None => TraceRecorder::new(m),
+        };
+
+        let mut pop: Vec<(P::Solution, Vec<f64>)> = (0..cfg.population)
+            .map(|_| {
+                let s = self.problem.random_solution(rng);
+                let o = self.problem.evaluate(&s);
+                evaluations += 1;
+                recorder.observe(&o);
+                (s, o)
+            })
+            .collect();
+        let record = |recorder: &mut TraceRecorder,
+                      generation: usize,
+                      evaluations: u64,
+                      pop: &[(P::Solution, Vec<f64>)]| {
+            let objs: Vec<Vec<f64>> = pop.iter().map(|(_, o)| o.clone()).collect();
+            recorder.record(generation, evaluations, start_time.elapsed(), &objs);
+        };
+        record(&mut recorder, 0, evaluations, &pop);
+
+        let budget_left = |evaluations: u64| {
+            cfg.max_evaluations.map_or(true, |cap| evaluations < cap)
+                && cfg.time_budget.map_or(true, |cap| start_time.elapsed() < cap)
+        };
+
+        'outer: for generation in 0..cfg.generations {
+            // Rank the current population for tournament selection.
+            let objs: Vec<Vec<f64>> = pop.iter().map(|(_, o)| o.clone()).collect();
+            let fronts = non_dominated_sort(&objs);
+            let mut rank = vec![0usize; pop.len()];
+            let mut crowd = vec![0.0f64; pop.len()];
+            for (r, front) in fronts.iter().enumerate() {
+                let front_objs: Vec<Vec<f64>> = front.iter().map(|&i| objs[i].clone()).collect();
+                let d = crowding_distance(&front_objs);
+                for (&i, &di) in front.iter().zip(&d) {
+                    rank[i] = r;
+                    crowd[i] = di;
+                }
+            }
+            let tournament = |rng: &mut dyn RngCore| -> usize {
+                let a = rng.gen_range(0..pop.len());
+                let b = rng.gen_range(0..pop.len());
+                if rank[a] < rank[b] || (rank[a] == rank[b] && crowd[a] > crowd[b]) {
+                    a
+                } else {
+                    b
+                }
+            };
+
+            // Offspring generation.
+            let mut offspring: Vec<(P::Solution, Vec<f64>)> = Vec::with_capacity(cfg.population);
+            for _ in 0..cfg.population {
+                if !budget_left(evaluations) {
+                    break 'outer;
+                }
+                let pa = tournament(rng);
+                let pb = tournament(rng);
+                let child = self.problem.crossover(&pop[pa].0, &pop[pb].0, rng);
+                let o = self.problem.evaluate(&child);
+                evaluations += 1;
+                recorder.observe(&o);
+                offspring.push((child, o));
+            }
+
+            // Environmental selection over parents ∪ offspring.
+            pop.extend(offspring);
+            pop = environmental_selection(pop, cfg.population);
+            record(&mut recorder, generation + 1, evaluations, &pop);
+        }
+
+        RunResult {
+            population: pop,
+            trace: recorder.into_points(),
+            evaluations,
+            elapsed: start_time.elapsed(),
+        }
+    }
+}
+
+/// NSGA-II's survival step: fill by fronts, break the last front by
+/// crowding distance.
+fn environmental_selection<S: Clone>(
+    combined: Vec<(S, Vec<f64>)>,
+    keep: usize,
+) -> Vec<(S, Vec<f64>)> {
+    let objs: Vec<Vec<f64>> = combined.iter().map(|(_, o)| o.clone()).collect();
+    let fronts = non_dominated_sort(&objs);
+    let mut selected: Vec<usize> = Vec::with_capacity(keep);
+    for front in fronts {
+        if selected.len() + front.len() <= keep {
+            selected.extend(front);
+        } else {
+            let front_objs: Vec<Vec<f64>> = front.iter().map(|&i| objs[i].clone()).collect();
+            let d = crowding_distance(&front_objs);
+            let mut order: Vec<usize> = (0..front.len()).collect();
+            order.sort_by(|&a, &b| d[b].total_cmp(&d[a]));
+            for &local in order.iter().take(keep - selected.len()) {
+                selected.push(front[local]);
+            }
+            break;
+        }
+    }
+    selected.into_iter().map(|i| combined[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moela_moo::metrics::igd;
+    use moela_moo::problems::Zdt;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn converges_toward_the_zdt1_front() {
+        let problem = Zdt::zdt1(8);
+        let config = Nsga2Config { population: 24, generations: 60, ..Default::default() };
+        let out = Nsga2::new(config, &problem).run(&mut rng(1));
+        let d = igd(&out.front_objectives(), &problem.true_front(100));
+        assert!(d < 0.3, "IGD {d}");
+    }
+
+    #[test]
+    fn environmental_selection_prefers_lower_fronts() {
+        let combined = vec![
+            ("good1", vec![0.0, 1.0]),
+            ("good2", vec![1.0, 0.0]),
+            ("bad1", vec![2.0, 2.0]),
+            ("bad2", vec![3.0, 3.0]),
+        ];
+        let kept = environmental_selection(combined, 2);
+        let names: Vec<&str> = kept.iter().map(|(s, _)| *s).collect();
+        assert!(names.contains(&"good1") && names.contains(&"good2"));
+    }
+
+    #[test]
+    fn environmental_selection_breaks_ties_by_crowding() {
+        // One front of 4; keep 3: the most crowded interior point drops.
+        let combined = vec![
+            ("left", vec![0.0, 10.0]),
+            ("mid1", vec![4.9, 5.1]),
+            ("mid2", vec![5.0, 5.0]),
+            ("right", vec![10.0, 0.0]),
+        ];
+        let kept = environmental_selection(combined, 3);
+        let names: Vec<&str> = kept.iter().map(|(s, _)| *s).collect();
+        assert!(names.contains(&"left") && names.contains(&"right"));
+        assert_eq!(names.len(), 3);
+    }
+
+    #[test]
+    fn population_size_is_stable() {
+        let problem = Zdt::zdt6(6);
+        let config = Nsga2Config { population: 14, generations: 8, ..Default::default() };
+        let out = Nsga2::new(config, &problem).run(&mut rng(2));
+        assert_eq!(out.population.len(), 14);
+    }
+
+    #[test]
+    fn respects_the_evaluation_cap() {
+        let problem = Zdt::zdt1(8);
+        let config = Nsga2Config {
+            population: 10,
+            generations: 10_000,
+            max_evaluations: Some(200),
+            ..Default::default()
+        };
+        let out = Nsga2::new(config, &problem).run(&mut rng(3));
+        assert!(out.evaluations <= 201);
+    }
+}

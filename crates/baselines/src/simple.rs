@@ -1,0 +1,267 @@
+//! Naive baselines: uniform random search and multi-start weighted-sum
+//! local search (no learning). These bracket the sophisticated algorithms
+//! from below in the benchmark harness and sanity-check the test suite.
+
+use std::time::{Duration, Instant};
+
+use rand::{Rng, RngCore};
+
+use moela_moo::archive::ParetoArchive;
+use moela_moo::normalize::Normalizer;
+use moela_moo::run::{RunResult, TraceRecorder};
+use moela_moo::scalarize::ReferencePoint;
+use moela_moo::weights::uniform_weights;
+use moela_moo::Problem;
+
+use crate::common::weighted_descent;
+
+/// Uniform random search: draw designs, keep the Pareto archive.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RandomSearchConfig {
+    /// Number of random designs to draw.
+    pub samples: u64,
+    /// Archive capacity.
+    pub archive_cap: usize,
+    /// Trace granularity: record a point every `trace_every` samples.
+    pub trace_every: u64,
+    /// Pre-fitted objective normalizer for the PHV trace; `None` fits one
+    /// online.
+    pub trace_normalizer: Option<Normalizer>,
+    /// Optional wall-clock budget.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for RandomSearchConfig {
+    fn default() -> Self {
+        Self { samples: 1000, archive_cap: 50, trace_every: 100, trace_normalizer: None, time_budget: None }
+    }
+}
+
+/// Runs random search.
+///
+/// # Example
+///
+/// ```
+/// use moela_baselines::{random_search, RandomSearchConfig};
+/// use moela_moo::problems::Zdt;
+/// use rand::SeedableRng;
+///
+/// let problem = Zdt::zdt1(10);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let cfg = RandomSearchConfig { samples: 50, ..Default::default() };
+/// let out = random_search(&cfg, &problem, &mut rng);
+/// assert_eq!(out.evaluations, 50);
+/// ```
+pub fn random_search<P: Problem>(
+    config: &RandomSearchConfig,
+    problem: &P,
+    rng: &mut impl RngCore,
+) -> RunResult<P::Solution> {
+    let rng: &mut dyn RngCore = rng;
+    let m = problem.objective_count();
+    let start_time = Instant::now();
+    let mut recorder = match &config.trace_normalizer {
+        Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
+        None => TraceRecorder::new(m),
+    };
+    let mut archive: ParetoArchive<P::Solution> = ParetoArchive::bounded(config.archive_cap);
+    let mut evaluations = 0u64;
+    for i in 0..config.samples {
+        if config.time_budget.map_or(false, |cap| start_time.elapsed() >= cap) {
+            break;
+        }
+        let s = problem.random_solution(rng);
+        let o = problem.evaluate(&s);
+        evaluations += 1;
+        recorder.observe(&o);
+        archive.insert(s, o);
+        if config.trace_every > 0 && (i + 1) % config.trace_every == 0 {
+            recorder.record(
+                (i / config.trace_every.max(1)) as usize,
+                evaluations,
+                start_time.elapsed(),
+                &archive.objectives(),
+            );
+        }
+    }
+    recorder.record(
+        usize::MAX.min(config.samples as usize),
+        evaluations,
+        start_time.elapsed(),
+        &archive.objectives(),
+    );
+    RunResult {
+        population: archive.into_entries(),
+        trace: recorder.into_points(),
+        evaluations,
+        elapsed: start_time.elapsed(),
+    }
+}
+
+/// Multi-start local search: repeatedly descend a weighted sum from a
+/// random design, cycling through a fan of directions (MOO-LS — the
+/// pre-learning baseline the MOO-STAGE paper improved on).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiStartConfig {
+    /// Number of restarts.
+    pub restarts: usize,
+    /// Number of scalarization directions in the fan.
+    pub directions: usize,
+    /// Descent step limit per restart.
+    pub ls_max_steps: usize,
+    /// Neighbors sampled per descent step.
+    pub ls_neighbors_per_step: usize,
+    /// Archive capacity.
+    pub archive_cap: usize,
+    /// Pre-fitted objective normalizer for the PHV trace; `None` fits one
+    /// online.
+    pub trace_normalizer: Option<Normalizer>,
+    /// Optional cap on objective evaluations.
+    pub max_evaluations: Option<u64>,
+    /// Optional wall-clock budget.
+    pub time_budget: Option<Duration>,
+}
+
+impl Default for MultiStartConfig {
+    fn default() -> Self {
+        Self {
+            restarts: 40,
+            directions: 10,
+            ls_max_steps: 25,
+            ls_neighbors_per_step: 4,
+            archive_cap: 50,
+            trace_normalizer: None,
+            max_evaluations: None,
+            time_budget: None,
+        }
+    }
+}
+
+/// Runs multi-start weighted-sum local search.
+pub fn multi_start_local_search<P: Problem>(
+    config: &MultiStartConfig,
+    problem: &P,
+    rng: &mut impl RngCore,
+) -> RunResult<P::Solution> {
+    let rng: &mut dyn RngCore = rng;
+    let m = problem.objective_count();
+    let start_time = Instant::now();
+    let mut recorder = match &config.trace_normalizer {
+        Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
+        None => TraceRecorder::new(m),
+    };
+    let mut archive: ParetoArchive<P::Solution> = ParetoArchive::bounded(config.archive_cap);
+    let mut z = ReferencePoint::new(m);
+    let mut normalizer = Normalizer::new(m);
+    let directions = uniform_weights(config.directions.max(1), m);
+    let mut evaluations = 0u64;
+
+    for restart in 0..config.restarts {
+        if config.max_evaluations.map_or(false, |cap| evaluations >= cap)
+            || config.time_budget.map_or(false, |cap| start_time.elapsed() >= cap)
+        {
+            break;
+        }
+        let start = problem.random_solution(rng);
+        let start_objs = problem.evaluate(&start);
+        evaluations += 1;
+        z.update(&start_objs);
+        normalizer.observe(&start_objs);
+        recorder.observe(&start_objs);
+        archive.insert(start.clone(), start_objs.clone());
+
+        let weight = &directions[restart % directions.len()];
+        let (accepted, spent) = weighted_descent(
+            problem,
+            &start,
+            &start_objs,
+            weight,
+            z.values(),
+            &normalizer,
+            config.ls_max_steps,
+            config.ls_neighbors_per_step,
+            rng,
+        );
+        evaluations += spent;
+        for (s, o) in accepted {
+            z.update(&o);
+            normalizer.observe(&o);
+            recorder.observe(&o);
+            archive.insert(s, o);
+        }
+        recorder.record(restart + 1, evaluations, start_time.elapsed(), &archive.objectives());
+    }
+
+    RunResult {
+        population: archive.into_entries(),
+        trace: recorder.into_points(),
+        evaluations,
+        elapsed: start_time.elapsed(),
+    }
+}
+
+/// Draws `k` distinct indices in `0..n` (used by tests and the harness).
+pub fn sample_indices(n: usize, k: usize, rng: &mut impl Rng) -> Vec<usize> {
+    use rand::seq::SliceRandom;
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    idx.truncate(k.min(n));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moela_moo::problems::Zdt;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn random_search_counts_exactly() {
+        let problem = Zdt::zdt1(6);
+        let cfg = RandomSearchConfig { samples: 123, ..Default::default() };
+        let out = random_search(&cfg, &problem, &mut rng(1));
+        assert_eq!(out.evaluations, 123);
+        assert!(!out.population.is_empty());
+    }
+
+    #[test]
+    fn local_search_beats_random_search_at_equal_budget() {
+        let problem = Zdt::zdt1(8);
+        let ls_cfg = MultiStartConfig { restarts: 25, ls_max_steps: 60, ..Default::default() };
+        let ls = multi_start_local_search(&ls_cfg, &problem, &mut rng(2));
+        let rs_cfg = RandomSearchConfig { samples: ls.evaluations, ..Default::default() };
+        let rs = random_search(&rs_cfg, &problem, &mut rng(3));
+        let reference = problem.true_front(100);
+        let igd_ls = moela_moo::metrics::igd(&ls.front_objectives(), &reference);
+        let igd_rs = moela_moo::metrics::igd(&rs.front_objectives(), &reference);
+        assert!(igd_ls < igd_rs, "LS {igd_ls} vs RS {igd_rs}");
+    }
+
+    #[test]
+    fn multi_start_respects_evaluation_cap() {
+        let problem = Zdt::zdt1(6);
+        let cfg = MultiStartConfig {
+            restarts: 10_000,
+            max_evaluations: Some(250),
+            ..Default::default()
+        };
+        let out = multi_start_local_search(&cfg, &problem, &mut rng(4));
+        assert!(out.evaluations <= 250 + 110);
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_bounded() {
+        let idx = sample_indices(10, 4, &mut rng(5));
+        assert_eq!(idx.len(), 4);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+        assert!(idx.iter().all(|&i| i < 10));
+        assert_eq!(sample_indices(3, 9, &mut rng(6)).len(), 3);
+    }
+}

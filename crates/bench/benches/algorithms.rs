@@ -1,0 +1,82 @@
+//! Criterion benchmarks of whole optimizer iterations on the paper
+//! platform: cost per fixed evaluation budget for MOELA and each baseline.
+//! These quantify the *framework overhead* on top of objective
+//! evaluations — the paper's argument for avoiding per-candidate PHV
+//! computation (MOOS/MOO-STAGE) shows up directly here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+use moela_baselines::{Moead, MoeadConfig, MooStage, MooStageConfig, Moos, MoosConfig};
+use moela_core::{Moela, MoelaConfig};
+use moela_manycore::{ManycoreProblem, ObjectiveSet, PlatformConfig};
+use moela_traffic::{Benchmark, Workload};
+
+const BUDGET: u64 = 600;
+
+fn problem() -> ManycoreProblem {
+    let platform = PlatformConfig::paper();
+    let workload = Workload::synthesize(Benchmark::Bp, platform.pe_mix(), 3);
+    ManycoreProblem::new(platform, workload, ObjectiveSet::Five).expect("paper platform")
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let problem = problem();
+    let mut group = c.benchmark_group("algorithms_600_evals_5obj");
+    group.sample_size(10);
+
+    group.bench_function("moela", |b| {
+        let config = MoelaConfig::builder()
+            .population(16)
+            .generations(usize::MAX / 2)
+            .max_evaluations(BUDGET)
+            .build()
+            .expect("valid");
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            Moela::new(config.clone(), &problem).run(&mut rng)
+        })
+    });
+
+    group.bench_function("moead", |b| {
+        let config = MoeadConfig {
+            population: 16,
+            generations: usize::MAX / 2,
+            max_evaluations: Some(BUDGET),
+            ..Default::default()
+        };
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            Moead::new(config.clone(), &problem).run(&mut rng)
+        })
+    });
+
+    group.bench_function("moos", |b| {
+        let config = MoosConfig {
+            episodes: usize::MAX / 2,
+            max_evaluations: Some(BUDGET),
+            ..Default::default()
+        };
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            Moos::new(config.clone(), &problem).run(&mut rng)
+        })
+    });
+
+    group.bench_function("moo_stage", |b| {
+        let config = MooStageConfig {
+            episodes: usize::MAX / 2,
+            max_evaluations: Some(BUDGET),
+            ..Default::default()
+        };
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            MooStage::new(config.clone(), &problem).run(&mut rng)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(algorithms, bench_algorithms);
+criterion_main!(algorithms);

@@ -1,0 +1,70 @@
+//! Ablation study of MOELA's design choices (§IV.A of the paper plus the
+//! knobs DESIGN.md calls out):
+//!
+//! * **ordering** — local-search-first (the paper's choice) vs EA-first;
+//! * **ML guidance** — learned start selection vs always-random starts
+//!   (`iter_early = ∞`);
+//! * **`n_local`** — how many local searches run per iteration;
+//! * **training-set cap** — the paper's 10 K cap vs a tiny 200-sample cap.
+//!
+//! Each variant runs on the same cell (app, 5 objectives, shared
+//! normalizer and budget); the score is the final PHV.
+//!
+//! Run with:
+//! `cargo run -p moela-bench --release --bin ablations [-- --budget N --seeds a,b]`
+
+use moela_bench::{build_cell, mean, HarnessConfig};
+use moela_core::{Moela, MoelaConfig, MoelaConfigBuilder};
+use moela_manycore::ObjectiveSet;
+use moela_traffic::Benchmark;
+use rand::SeedableRng;
+
+fn main() {
+    let mut cfg = HarnessConfig::from_args();
+    if cfg.apps.len() > 2 {
+        // Ablations don't need the full app matrix by default.
+        cfg.apps = vec![Benchmark::Bfs, Benchmark::Hot];
+    }
+    println!(
+        "MOELA ablations — final PHV on 5 objectives (budget {} evals, seeds {:?})\n",
+        cfg.budget, cfg.seeds
+    );
+
+    let variants: Vec<(&str, Box<dyn Fn(MoelaConfigBuilder) -> MoelaConfigBuilder>)> = vec![
+        ("baseline (LS-first, ML on)", Box::new(|b| b)),
+        ("EA-first ordering", Box::new(|b| b.ea_first(true))),
+        ("no ML guidance", Box::new(|b| b.iter_early(usize::MAX / 2))),
+        ("n_local = 1", Box::new(|b| b.n_local(1))),
+        ("n_local = 8", Box::new(|b| b.n_local(8))),
+        ("train cap = 200", Box::new(|b| b.train_cap(200))),
+    ];
+
+    let header: Vec<String> = std::iter::once("variant".to_owned())
+        .chain(cfg.apps.iter().map(|a| a.name().to_owned()))
+        .collect();
+    let widths: Vec<usize> = header.iter().map(|h| h.len().max(28)).collect();
+    println!("{}", moela_bench::format_row(&header, &widths));
+
+    for (name, tweak) in &variants {
+        let mut row = vec![(*name).to_owned()];
+        for &app in &cfg.apps {
+            let mut phvs = Vec::new();
+            for &seed in &cfg.seeds {
+                let cell = build_cell(app, ObjectiveSet::Five, 200, seed);
+                let builder = MoelaConfig::builder()
+                    .population(cfg.population)
+                    .generations(usize::MAX / 2)
+                    .trace_normalizer(cell.normalizer.clone())
+                    .max_evaluations(cfg.budget)
+                    .time_budget(cfg.time_guard);
+                let config = tweak(builder).build().expect("ablation config is valid");
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let out = Moela::new(config, &cell.problem).run(&mut rng);
+                phvs.push(out.phv(&cell.normalizer));
+            }
+            row.push(format!("{:.4}", mean(&phvs)));
+        }
+        println!("{}", moela_bench::format_row(&row, &widths));
+    }
+    println!("\npaper's claim (§IV.A): LS-before-EA ordering gives the best results");
+}

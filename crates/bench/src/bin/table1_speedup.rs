@@ -1,0 +1,68 @@
+//! Regenerates **Table I**: the speed-up of MOELA relative to MOEA/D and
+//! MOOS, per application and per objective count.
+//!
+//! For each baseline we detect its convergence point (PHV improvement
+//! below 0.5 % over 5 trace points, the paper's criterion), then measure
+//! how many evaluations MOELA needs to reach the same PHV. Speed-up is
+//! the ratio of the two evaluation counts. Cells print `<1` when MOELA
+//! never reached the baseline's converged quality within the budget.
+//!
+//! Run with:
+//! `cargo run -p moela-bench --release --bin table1_speedup [-- --budget N --seeds a,b]`
+
+use moela_bench::{build_cell, geometric_mean, run_algo, speedup, Algo, HarnessConfig};
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    println!(
+        "Table I reproduction — speed-up of MOELA (budget {} evals, population {}, seeds {:?})",
+        cfg.budget, cfg.population, cfg.seeds
+    );
+    println!("clock = objective evaluations; see DESIGN.md §3 for the substitution rationale\n");
+
+    let mut header = vec!["App".to_owned()];
+    for baseline in [Algo::Moead, Algo::Moos] {
+        for set in &cfg.sets {
+            header.push(format!("{} {}", baseline.name(), set));
+        }
+    }
+    let widths: Vec<usize> = header.iter().map(|h| h.len().max(10)).collect();
+    println!("{}", moela_bench::format_row(&header, &widths));
+
+    let rows = moela_bench::parallel_map(cfg.apps.clone(), |app| {
+        let mut values = Vec::new();
+        for baseline in [Algo::Moead, Algo::Moos] {
+            for &set in &cfg.sets {
+                let mut ratios = Vec::new();
+                for &seed in &cfg.seeds {
+                    let cell = build_cell(app, set, 200, seed);
+                    let moela = run_algo(&cell, Algo::Moela, &cfg, seed);
+                    let other = run_algo(&cell, baseline, &cfg, seed);
+                    match speedup(&moela, &other) {
+                        Some((_, _, s)) => ratios.push(s),
+                        None => ratios.push(0.5), // never caught up: count as <1×
+                    }
+                }
+                values.push(geometric_mean(&ratios));
+            }
+        }
+        (app, values)
+    });
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); cfg.sets.len() * 2];
+    for (app, values) in rows {
+        let mut row = vec![app.name().to_owned()];
+        for (col, &s) in values.iter().enumerate() {
+            columns[col].push(s);
+            row.push(if s < 1.0 { "<1".to_owned() } else { format!("{s:.2}") });
+        }
+        println!("{}", moela_bench::format_row(&row, &widths));
+    }
+
+    let mut avg_row = vec!["Average".to_owned()];
+    for col in &columns {
+        let s = geometric_mean(col);
+        avg_row.push(if s < 1.0 { "<1".to_owned() } else { format!("{s:.2}") });
+    }
+    println!("{}", moela_bench::format_row(&avg_row, &widths));
+    println!("\npaper's shape: MOELA ≥ 1× everywhere, averages 8.9–121× (Table I)");
+}

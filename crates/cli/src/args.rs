@@ -1,0 +1,333 @@
+//! Argument parsing for `moela-dse` (plain `std::env`, no dependencies).
+
+use std::time::Duration;
+
+use moela_manycore::ObjectiveSet;
+use moela_traffic::Benchmark;
+
+/// Which optimizer to run.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum Algorithm {
+    /// The hybrid evolutionary/learning optimizer (the paper's MOELA).
+    Moela,
+    /// MOEA/D.
+    Moead,
+    /// MOOS.
+    Moos,
+    /// MOO-STAGE.
+    MooStage,
+    /// NSGA-II.
+    Nsga2,
+    /// Uniform random search.
+    Random,
+}
+
+impl Algorithm {
+    /// All selectable algorithms with their CLI names.
+    pub const ALL: [(Algorithm, &'static str); 6] = [
+        (Algorithm::Moela, "moela"),
+        (Algorithm::Moead, "moead"),
+        (Algorithm::Moos, "moos"),
+        (Algorithm::MooStage, "moo-stage"),
+        (Algorithm::Nsga2, "nsga2"),
+        (Algorithm::Random, "random"),
+    ];
+
+    /// Parses a CLI name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        Self::ALL
+            .iter()
+            .find(|(_, n)| name.eq_ignore_ascii_case(n))
+            .map(|(a, _)| *a)
+            .ok_or_else(|| format!("unknown algorithm '{name}' (try: moela, moead, moos, moo-stage, nsga2, random)"))
+    }
+
+    /// The display name.
+    pub fn name(&self) -> &'static str {
+        Self::ALL
+            .iter()
+            .find(|(a, _)| a == self)
+            .map(|(_, n)| *n)
+            .expect("every variant is listed")
+    }
+}
+
+/// Options shared by the run-like subcommands.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunOptions {
+    /// Application workload.
+    pub app: Benchmark,
+    /// Objective stack.
+    pub set: ObjectiveSet,
+    /// Optimizer selection (`run` uses one; `compare` ignores it).
+    pub algorithm: Algorithm,
+    /// Objective-evaluation budget.
+    pub budget: u64,
+    /// Population size for population-based algorithms.
+    pub population: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Wall-clock guard.
+    pub time_guard: Duration,
+    /// Optional path to write the PHV trace CSV to.
+    pub trace_csv: Option<String>,
+    /// Optional path to write the final front CSV to.
+    pub front_csv: Option<String>,
+    /// Optional path to write the best design's Graphviz DOT rendering to.
+    pub dot: Option<String>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            app: Benchmark::Bfs,
+            set: ObjectiveSet::Three,
+            algorithm: Algorithm::Moela,
+            budget: 4_000,
+            population: 24,
+            seed: 11,
+            time_guard: Duration::from_secs(600),
+            trace_csv: None,
+            front_csv: None,
+            dot: None,
+        }
+    }
+}
+
+/// The parsed command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Run one optimizer and report its front.
+    Run(RunOptions),
+    /// Run every optimizer at the same budget and compare PHV.
+    Compare(RunOptions),
+    /// Describe an application's synthesized workload.
+    Info {
+        /// Application to describe.
+        app: Benchmark,
+        /// Synthesis seed.
+        seed: u64,
+    },
+    /// Simulate a random design at a given load factor.
+    Simulate {
+        /// Run options (app/seed reused).
+        options: RunOptions,
+        /// Injection-rate multiplier.
+        load_factor: f64,
+        /// Measured cycles.
+        cycles: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the offending flag or value.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "run" => Ok(Command::Run(parse_run_options(rest)?)),
+        "compare" => Ok(Command::Compare(parse_run_options(rest)?)),
+        "info" => {
+            let opts = parse_run_options(rest)?;
+            Ok(Command::Info { app: opts.app, seed: opts.seed })
+        }
+        "simulate" => {
+            let mut load_factor = 1.0;
+            let mut cycles = 50_000;
+            let mut filtered = Vec::new();
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--load" => {
+                        load_factor = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--load needs a number")?;
+                    }
+                    "--cycles" => {
+                        cycles = it
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or("--cycles needs an integer")?;
+                    }
+                    other => {
+                        filtered.push(other.to_owned());
+                        if let Some(v) = it.next() {
+                            filtered.push(v.clone());
+                        }
+                    }
+                }
+            }
+            Ok(Command::Simulate {
+                options: parse_run_options(&filtered)?,
+                load_factor,
+                cycles,
+            })
+        }
+        other => Err(format!("unknown subcommand '{other}' (try: run, compare, info, simulate, help)")),
+    }
+}
+
+fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
+    let mut opts = RunOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--app" => {
+                let name = value()?;
+                opts.app = Benchmark::ALL
+                    .into_iter()
+                    .find(|b| b.name().eq_ignore_ascii_case(&name))
+                    .ok_or_else(|| format!("unknown app '{name}'"))?;
+            }
+            "--objectives" => {
+                opts.set = match value()?.as_str() {
+                    "3" => ObjectiveSet::Three,
+                    "4" => ObjectiveSet::Four,
+                    "5" => ObjectiveSet::Five,
+                    other => return Err(format!("--objectives must be 3, 4, or 5 (got {other})")),
+                };
+            }
+            "--algorithm" => opts.algorithm = Algorithm::parse(&value()?)?,
+            "--budget" => {
+                opts.budget = value()?.parse().map_err(|_| "--budget needs an integer")?;
+            }
+            "--population" => {
+                opts.population =
+                    value()?.parse().map_err(|_| "--population needs an integer")?;
+            }
+            "--seed" => opts.seed = value()?.parse().map_err(|_| "--seed needs an integer")?,
+            "--time-guard-secs" => {
+                opts.time_guard = Duration::from_secs(
+                    value()?.parse().map_err(|_| "--time-guard-secs needs an integer")?,
+                );
+            }
+            "--trace-csv" => opts.trace_csv = Some(value()?),
+            "--front-csv" => opts.front_csv = Some(value()?),
+            "--dot" => opts.dot = Some(value()?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if opts.population < 2 {
+        return Err("--population must be at least 2".to_owned());
+    }
+    if opts.budget == 0 {
+        return Err("--budget must be positive".to_owned());
+    }
+    Ok(opts)
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+moela-dse — multi-objective DSE for 3D heterogeneous manycore platforms
+
+USAGE:
+    moela-dse <SUBCOMMAND> [FLAGS]
+
+SUBCOMMANDS:
+    run        run one optimizer and print its Pareto front
+    compare    run every optimizer at the same budget and compare PHV
+    info       describe an application's synthesized workload
+    simulate   run the flit-level NoC simulator on a random design
+    help       print this text
+
+COMMON FLAGS:
+    --app <BFS|BP|GAU|HOT|PF|SC|SRAD>   workload          [BFS]
+    --objectives <3|4|5>                objective stack   [3]
+    --algorithm <moela|moead|moos|moo-stage|nsga2|random> [moela]
+    --budget <N>                        evaluation budget [4000]
+    --population <N>                    population size   [24]
+    --seed <N>                          RNG seed          [11]
+    --trace-csv <PATH>                  write PHV trace CSV
+    --front-csv <PATH>                  write final front CSV
+    --dot <PATH>                        write best design as Graphviz DOT
+
+SIMULATE FLAGS:
+    --load <F>                          injection multiplier [1.0]
+    --cycles <N>                        measured cycles      [50000]
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn empty_args_show_help() {
+        assert_eq!(parse(&[]).expect("ok"), Command::Help);
+        assert_eq!(parse(&argv("help")).expect("ok"), Command::Help);
+    }
+
+    #[test]
+    fn run_parses_all_flags() {
+        let cmd = parse(&argv(
+            "run --app HOT --objectives 5 --algorithm moead --budget 999 \
+             --population 10 --seed 3 --trace-csv t.csv --front-csv f.csv",
+        ))
+        .expect("ok");
+        let Command::Run(o) = cmd else { panic!("expected Run") };
+        assert_eq!(o.app, Benchmark::Hot);
+        assert_eq!(o.set, ObjectiveSet::Five);
+        assert_eq!(o.algorithm, Algorithm::Moead);
+        assert_eq!(o.budget, 999);
+        assert_eq!(o.population, 10);
+        assert_eq!(o.seed, 3);
+        assert_eq!(o.trace_csv.as_deref(), Some("t.csv"));
+        assert_eq!(o.front_csv.as_deref(), Some("f.csv"));
+        assert_eq!(o.dot, None);
+    }
+
+    #[test]
+    fn unknown_values_are_reported_with_context() {
+        let err = parse(&argv("run --app NOPE")).expect_err("bad app");
+        assert!(err.contains("NOPE"));
+        let err = parse(&argv("run --objectives 7")).expect_err("bad set");
+        assert!(err.contains("7"));
+        let err = parse(&argv("frobnicate")).expect_err("bad subcommand");
+        assert!(err.contains("frobnicate"));
+        let err = parse(&argv("run --algorithm simulated-annealing")).expect_err("bad algo");
+        assert!(err.contains("simulated-annealing"));
+    }
+
+    #[test]
+    fn simulate_extracts_its_own_flags() {
+        let cmd = parse(&argv("simulate --app GAU --load 2.5 --cycles 123 --seed 9"))
+            .expect("ok");
+        let Command::Simulate { options, load_factor, cycles } = cmd else {
+            panic!("expected Simulate")
+        };
+        assert_eq!(options.app, Benchmark::Gau);
+        assert_eq!(options.seed, 9);
+        assert!((load_factor - 2.5).abs() < 1e-12);
+        assert_eq!(cycles, 123);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_budgets() {
+        assert!(parse(&argv("run --population 1")).is_err());
+        assert!(parse(&argv("run --budget 0")).is_err());
+    }
+
+    #[test]
+    fn every_algorithm_name_round_trips() {
+        for (algo, name) in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(name).expect("ok"), algo);
+            assert_eq!(algo.name(), name);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! `moela-dse`: command-line design-space exploration with the MOELA
+//! framework. See `moela-dse help` for usage.
+
+mod args;
+
+use std::process::ExitCode;
+
+use rand::SeedableRng;
+
+use moela_baselines::{
+    random_search, Moead, MoeadConfig, MooStage, MooStageConfig, Moos, MoosConfig, Nsga2,
+    Nsga2Config, RandomSearchConfig,
+};
+use moela_core::{Moela, MoelaConfig};
+use moela_manycore::{viz, Design, ManycoreProblem, PlatformConfig};
+use moela_moo::normalize::Normalizer;
+use moela_moo::run::RunResult;
+use moela_moo::Problem;
+use moela_nocsim::{SimConfig, Simulator};
+use moela_traffic::{Benchmark, PeKind, Workload};
+
+use args::{Algorithm, Command, RunOptions};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args::parse(&argv) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", args::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match command {
+        Command::Help => {
+            println!("{}", args::USAGE);
+            ExitCode::SUCCESS
+        }
+        Command::Run(opts) => run(&opts),
+        Command::Compare(opts) => compare(&opts),
+        Command::Info { app, seed } => info(app, seed),
+        Command::Simulate { options, load_factor, cycles } => {
+            simulate(&options, load_factor, cycles)
+        }
+    }
+}
+
+fn build_problem(opts: &RunOptions) -> ManycoreProblem {
+    let platform = PlatformConfig::paper();
+    let workload = Workload::synthesize(opts.app, platform.pe_mix(), opts.seed);
+    ManycoreProblem::new(platform, workload, opts.set).expect("paper platform is consistent")
+}
+
+fn corpus_normalizer(problem: &ManycoreProblem, seed: u64) -> Normalizer {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let objs: Vec<Vec<f64>> = (0..200)
+        .map(|_| problem.evaluate(&problem.random_solution(&mut rng)))
+        .collect();
+    Normalizer::fit(&objs)
+}
+
+fn run_algorithm(
+    algorithm: Algorithm,
+    problem: &ManycoreProblem,
+    normalizer: &Normalizer,
+    opts: &RunOptions,
+) -> RunResult<Design> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+    match algorithm {
+        Algorithm::Moela => {
+            let config = MoelaConfig::builder()
+                .population(opts.population)
+                .generations(usize::MAX / 2)
+                .trace_normalizer(normalizer.clone())
+                .max_evaluations(opts.budget)
+                .time_budget(opts.time_guard)
+                .build()
+                .expect("validated options");
+            Moela::new(config, problem).run(&mut rng)
+        }
+        Algorithm::Moead => {
+            let config = MoeadConfig {
+                population: opts.population,
+                neighborhood: (opts.population / 5).max(2).min(opts.population),
+                generations: usize::MAX / 2,
+                trace_normalizer: Some(normalizer.clone()),
+                max_evaluations: Some(opts.budget),
+                time_budget: Some(opts.time_guard),
+                ..Default::default()
+            };
+            Moead::new(config, problem).run(&mut rng)
+        }
+        Algorithm::Moos => {
+            let config = MoosConfig {
+                episodes: usize::MAX / 2,
+                trace_normalizer: Some(normalizer.clone()),
+                max_evaluations: Some(opts.budget),
+                time_budget: Some(opts.time_guard),
+                ..Default::default()
+            };
+            Moos::new(config, problem).run(&mut rng)
+        }
+        Algorithm::MooStage => {
+            let config = MooStageConfig {
+                episodes: usize::MAX / 2,
+                trace_normalizer: Some(normalizer.clone()),
+                max_evaluations: Some(opts.budget),
+                time_budget: Some(opts.time_guard),
+                ..Default::default()
+            };
+            MooStage::new(config, problem).run(&mut rng)
+        }
+        Algorithm::Nsga2 => {
+            let config = Nsga2Config {
+                population: opts.population,
+                generations: usize::MAX / 2,
+                trace_normalizer: Some(normalizer.clone()),
+                max_evaluations: Some(opts.budget),
+                time_budget: Some(opts.time_guard),
+            };
+            Nsga2::new(config, problem).run(&mut rng)
+        }
+        Algorithm::Random => {
+            let config = RandomSearchConfig {
+                samples: opts.budget,
+                trace_normalizer: Some(normalizer.clone()),
+                ..Default::default()
+            };
+            random_search(&config, problem, &mut rng)
+        }
+    }
+}
+
+fn write_outputs(
+    opts: &RunOptions,
+    problem: &ManycoreProblem,
+    result: &RunResult<Design>,
+) -> std::io::Result<()> {
+    if let Some(path) = &opts.trace_csv {
+        std::fs::write(path, result.trace_csv())?;
+        println!("trace written to {path}");
+    }
+    if let Some(path) = &opts.front_csv {
+        std::fs::write(path, result.front_csv())?;
+        println!("front written to {path}");
+    }
+    if let Some(path) = &opts.dot {
+        // "Best" = lowest first objective on the front.
+        if let Some((design, _)) = result
+            .front()
+            .into_iter()
+            .min_by(|a, b| a.1[0].total_cmp(&b.1[0]))
+        {
+            let dot = viz::to_dot(problem.config().dims(), problem.config().pe_mix(), &design);
+            std::fs::write(path, dot)?;
+            println!("best design written to {path} (render with `neato -Tpng`)");
+        }
+    }
+    Ok(())
+}
+
+fn run(opts: &RunOptions) -> ExitCode {
+    let problem = build_problem(opts);
+    let normalizer = corpus_normalizer(&problem, opts.seed);
+    println!(
+        "{} on {} ({}), budget {} evaluations, seed {}",
+        opts.algorithm.name(),
+        opts.app,
+        opts.set,
+        opts.budget,
+        opts.seed
+    );
+    let result = run_algorithm(opts.algorithm, &problem, &normalizer, opts);
+    println!(
+        "finished: {} evaluations in {:.2?}; PHV {:.4}; front {} designs",
+        result.evaluations,
+        result.elapsed,
+        result.phv(&normalizer),
+        result.front().len()
+    );
+    let mut front = result.front_objectives();
+    front.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    for (i, objs) in front.iter().take(15).enumerate() {
+        let cells: Vec<String> = objs.iter().map(|v| format!("{v:>12.3}")).collect();
+        println!("  #{:<3} {}", i, cells.join(" "));
+    }
+    if front.len() > 15 {
+        println!("  … {} more", front.len() - 15);
+    }
+    if let Err(e) = write_outputs(opts, &problem, &result) {
+        eprintln!("error writing outputs: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn compare(opts: &RunOptions) -> ExitCode {
+    let problem = build_problem(opts);
+    let normalizer = corpus_normalizer(&problem, opts.seed);
+    println!(
+        "comparing all algorithms on {} ({}), budget {} evaluations\n",
+        opts.app, opts.set, opts.budget
+    );
+    println!("{:<12} {:>10} {:>10} {:>10} {:>7}", "algorithm", "evals", "time", "PHV", "front");
+    for (algorithm, name) in Algorithm::ALL {
+        let result = run_algorithm(algorithm, &problem, &normalizer, opts);
+        println!(
+            "{:<12} {:>10} {:>10.2?} {:>10.4} {:>7}",
+            name,
+            result.evaluations,
+            result.elapsed,
+            result.phv(&normalizer),
+            result.front().len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn info(app: Benchmark, seed: u64) -> ExitCode {
+    let platform = PlatformConfig::paper();
+    let mix = platform.pe_mix();
+    let w = Workload::synthesize(app, mix, seed);
+    println!("{app} on the paper platform (seed {seed})");
+    println!("  PEs: {} CPUs, {} GPUs, {} LLCs", mix.cpus(), mix.gpus(), mix.llcs());
+    println!("  total traffic: {:.1} flits/kilo-cycle over {} flows", w.total_traffic(), w.flows().len());
+    let class_total = |a: PeKind, b: PeKind| -> f64 {
+        let total: f64 = mix
+            .ids_of(a)
+            .flat_map(|i| mix.ids_of(b).map(move |j| (i, j)))
+            .map(|(i, j)| w.traffic(i, j) + w.traffic(j, i))
+            .sum();
+        // Same-kind classes enumerate every unordered pair twice.
+        if a == b {
+            total / 2.0
+        } else {
+            total
+        }
+    };
+    let pairs = [
+        ("CPU<->LLC", class_total(PeKind::Cpu, PeKind::Llc)),
+        ("GPU<->LLC", class_total(PeKind::Gpu, PeKind::Llc)),
+        ("GPU<->GPU", class_total(PeKind::Gpu, PeKind::Gpu)),
+        ("CPU<->CPU", class_total(PeKind::Cpu, PeKind::Cpu)),
+    ];
+    for (name, v) in pairs {
+        println!("  {name:<10} {:>6.1}%", v / w.total_traffic() * 100.0);
+    }
+    let total_power: f64 = w.pe_powers().iter().sum();
+    println!("  total PE power: {total_power:.1} W");
+    ExitCode::SUCCESS
+}
+
+fn simulate(opts: &RunOptions, load_factor: f64, cycles: u64) -> ExitCode {
+    let problem = build_problem(opts);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+    let design = problem.random_solution(&mut rng);
+    println!(
+        "simulating a random design: {} workload, load x{load_factor}, {cycles} cycles",
+        opts.app
+    );
+    let sim = Simulator::new(&problem, &design, SimConfig { load_factor, warmup_cycles: 2_000 });
+    let stats = sim.run(cycles);
+    println!("  delivered flits:    {}", stats.delivered);
+    println!("  delivery ratio:     {:.3}", stats.delivery_ratio());
+    println!("  avg flit latency:   {:.1} cycles", stats.avg_latency);
+    println!("  mean link util:     {:.4} flits/cycle", stats.mean_utilization());
+    println!("  max link util:      {:.4} flits/cycle", stats.max_link_utilization);
+    let analytic = problem.evaluate_full(&design);
+    println!(
+        "  analytic reference: latency {:.1} cycles, mean util {:.4} flits/cycle",
+        analytic.network.avg_packet_latency,
+        analytic.mean_traffic / 1000.0
+    );
+    ExitCode::SUCCESS
+}

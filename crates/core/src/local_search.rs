@@ -1,0 +1,223 @@
+//! MOELA's decomposition-directed greedy local search (Algorithm 1,
+//! line 5; eq. (8)).
+//!
+//! From a starting design, repeatedly sample a handful of neighbors and
+//! move to the best one as long as it improves the weighted-sum distance to
+//! the reference point, `g(Obj | w, z) = Σᵢ wᵢ·|Objᵢ − zᵢ|`. The search
+//! returns both the best design found and the *trajectory* — every accepted
+//! state's feature vector — which, labeled with the final `g` value, is
+//! exactly the training data STAGE-style guidance needs: "how good an
+//! outcome does a local search from here reach?".
+
+use rand::RngCore;
+
+use moela_moo::normalize::Normalizer;
+use moela_moo::scalarize::Scalarizer;
+use moela_moo::Problem;
+
+/// Budget knobs of one greedy descent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocalSearchBudget {
+    /// Maximum accepted moves.
+    pub max_steps: usize,
+    /// Neighbors sampled (and evaluated) per step; `1` gives classic
+    /// first-improvement descent.
+    pub neighbors_per_step: usize,
+    /// Consecutive non-improving *evaluations* tolerated before the
+    /// search declares a local optimum.
+    pub stall_evaluations: usize,
+}
+
+/// The result of one local search.
+#[derive(Clone, Debug)]
+pub struct LocalSearchOutcome<S> {
+    /// The best design reached.
+    pub best: S,
+    /// Its raw objective vector.
+    pub best_objectives: Vec<f64>,
+    /// The final value of eq. (8) at termination (normalized objectives).
+    pub final_value: f64,
+    /// Feature vectors of every accepted state (start included), in visit
+    /// order — the `S_traj` of Algorithm 1.
+    pub trajectory_features: Vec<Vec<f64>>,
+    /// Every accepted intermediate state with its objectives (start
+    /// excluded, best included). These are already-paid-for evaluations;
+    /// MOELA offers them all to the population.
+    pub accepted: Vec<(S, Vec<f64>)>,
+    /// Objective evaluations consumed.
+    pub evaluations: u64,
+}
+
+/// Runs a greedy descent of eq. (8) from `start`.
+///
+/// `normalizer`/`z` define the normalized objective space the weighted sum
+/// is computed in (see [`crate::population::Population`]); features are
+/// the problem's design descriptor with the weight vector appended, so the
+/// learned `Eval` can condition on the search direction.
+#[allow(clippy::too_many_arguments)]
+pub fn greedy_descent<P: Problem>(
+    problem: &P,
+    start: &P::Solution,
+    start_objectives: &[f64],
+    weight: &[f64],
+    z_raw: &[f64],
+    normalizer: &Normalizer,
+    budget: LocalSearchBudget,
+    rng: &mut dyn RngCore,
+) -> LocalSearchOutcome<P::Solution> {
+    let g = |objectives: &[f64]| -> f64 {
+        Scalarizer::WeightedSum.value(
+            &normalizer.normalize(objectives),
+            weight,
+            &normalizer.normalize(z_raw),
+        )
+    };
+    let features = |s: &P::Solution| -> Vec<f64> {
+        let mut f = problem.features(s);
+        f.extend_from_slice(weight);
+        f
+    };
+
+    let mut current = start.clone();
+    let mut current_objs = start_objectives.to_vec();
+    let mut current_g = g(&current_objs);
+    let mut trajectory = vec![features(&current)];
+    let mut accepted: Vec<(P::Solution, Vec<f64>)> = Vec::new();
+    let mut evaluations = 0u64;
+    let mut stalls = 0usize;
+
+    for _ in 0..budget.max_steps {
+        let mut best_neighbor: Option<(P::Solution, Vec<f64>, f64)> = None;
+        for _ in 0..budget.neighbors_per_step {
+            let candidate = problem.neighbor(&current, rng);
+            let objs = problem.evaluate(&candidate);
+            evaluations += 1;
+            let value = g(&objs);
+            if best_neighbor.as_ref().map_or(true, |(_, _, bg)| value < *bg) {
+                best_neighbor = Some((candidate, objs, value));
+            }
+        }
+        match best_neighbor {
+            Some((candidate, objs, value)) if value < current_g => {
+                current = candidate;
+                current_objs = objs;
+                current_g = value;
+                trajectory.push(features(&current));
+                accepted.push((current.clone(), current_objs.clone()));
+                stalls = 0;
+            }
+            _ => {
+                stalls += budget.neighbors_per_step;
+                if stalls >= budget.stall_evaluations {
+                    break; // local optimum under this sampling budget
+                }
+            }
+        }
+    }
+
+    LocalSearchOutcome {
+        best: current,
+        best_objectives: current_objs,
+        final_value: current_g,
+        trajectory_features: trajectory,
+        accepted,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moela_moo::problems::Zdt;
+    use rand::SeedableRng;
+
+    fn setup() -> (Zdt, Vec<f64>, Normalizer, rand::rngs::StdRng) {
+        let p = Zdt::zdt1(8);
+        let z = vec![0.0, 0.0];
+        let n = Normalizer::from_bounds(vec![0.0, 0.0], vec![1.0, 10.0]);
+        (p, z, n, rand::rngs::StdRng::seed_from_u64(3))
+    }
+
+    #[test]
+    fn descent_never_worsens_the_scalarized_value() {
+        let (p, z, n, mut rng) = setup();
+        let start = p.random_solution(&mut rng);
+        let objs = p.evaluate(&start);
+        let budget = LocalSearchBudget { max_steps: 20, neighbors_per_step: 4, stall_evaluations: 12 };
+        let out = greedy_descent(&p, &start, &objs, &[0.5, 0.5], &z, &n, budget, &mut rng);
+        let g0 = Scalarizer::WeightedSum.value(
+            &n.normalize(&objs),
+            &[0.5, 0.5],
+            &n.normalize(&z),
+        );
+        assert!(out.final_value <= g0);
+    }
+
+    #[test]
+    fn descent_substantially_improves_random_starts() {
+        let (p, z, n, mut rng) = setup();
+        let mut improved = 0;
+        for _ in 0..10 {
+            let start = p.random_solution(&mut rng);
+            let objs = p.evaluate(&start);
+            let budget = LocalSearchBudget { max_steps: 40, neighbors_per_step: 6, stall_evaluations: 18 };
+            let out =
+                greedy_descent(&p, &start, &objs, &[0.5, 0.5], &z, &n, budget, &mut rng);
+            let g0 = Scalarizer::WeightedSum.value(
+                &n.normalize(&objs),
+                &[0.5, 0.5],
+                &n.normalize(&z),
+            );
+            if out.final_value < g0 * 0.95 {
+                improved += 1;
+            }
+        }
+        assert!(improved >= 8, "greedy descent stalled on {}/10 starts", 10 - improved);
+    }
+
+    #[test]
+    fn trajectory_starts_at_the_start_and_counts_accepted_moves() {
+        let (p, z, n, mut rng) = setup();
+        let start = p.random_solution(&mut rng);
+        let objs = p.evaluate(&start);
+        let budget = LocalSearchBudget { max_steps: 15, neighbors_per_step: 4, stall_evaluations: 12 };
+        let out = greedy_descent(&p, &start, &objs, &[1.0, 0.0], &z, &n, budget, &mut rng);
+        assert!(!out.trajectory_features.is_empty());
+        assert!(out.trajectory_features.len() <= budget.max_steps + 1);
+        // Features = problem features + weight.
+        assert_eq!(out.trajectory_features[0].len(), p.feature_len() + 2);
+        let mut start_features = p.features(&start);
+        start_features.extend_from_slice(&[1.0, 0.0]);
+        assert_eq!(out.trajectory_features[0], start_features);
+    }
+
+    #[test]
+    fn evaluation_count_matches_sampled_neighbors() {
+        let (p, z, n, mut rng) = setup();
+        let start = p.random_solution(&mut rng);
+        let objs = p.evaluate(&start);
+        let budget = LocalSearchBudget { max_steps: 10, neighbors_per_step: 3, stall_evaluations: 9 };
+        let out = greedy_descent(&p, &start, &objs, &[0.5, 0.5], &z, &n, budget, &mut rng);
+        assert_eq!(out.evaluations % 3, 0, "whole steps only");
+        assert!(out.evaluations <= 30);
+        assert!(out.evaluations >= 3, "at least one step is attempted");
+    }
+
+    #[test]
+    fn weights_steer_the_search_direction() {
+        let (p, z, n, mut rng) = setup();
+        // Strong weight on f1 should drive f1 down harder than a strong
+        // weight on f2 does, starting from the same point.
+        let start = vec![0.9; 8];
+        let objs = p.evaluate(&start);
+        let budget = LocalSearchBudget { max_steps: 60, neighbors_per_step: 6, stall_evaluations: 18 };
+        let to_f1 = greedy_descent(&p, &start, &objs, &[0.95, 0.05], &z, &n, budget, &mut rng);
+        let to_f2 = greedy_descent(&p, &start, &objs, &[0.05, 0.95], &z, &n, budget, &mut rng);
+        assert!(
+            to_f1.best_objectives[0] < to_f2.best_objectives[0],
+            "f1-weighted search must reach lower f1 ({} vs {})",
+            to_f1.best_objectives[0],
+            to_f2.best_objectives[0]
+        );
+    }
+}

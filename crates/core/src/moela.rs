@@ -1,0 +1,410 @@
+//! The MOELA optimizer: Algorithm 1 of the paper.
+//!
+//! Each iteration interleaves
+//!
+//! 1. **ML-guided local search** (lines 3–9): pick `n_local` starting
+//!    designs — randomly during the first `iter_early` iterations, by the
+//!    learned `Eval`'s lowest predictions afterwards (Algorithm 2) — run a
+//!    greedy descent of eq. (8) from each, record the trajectories into
+//!    `S_train`, and offer the results to the population (eq. (10));
+//! 2. **`Eval` training** (line 11): fit a random forest mapping
+//!    `(design features, weight)` to the scalarized value the search
+//!    reached;
+//! 3. **decomposition EA** (line 12): MOEA/D-style mating within
+//!    Tchebycheff neighborhoods with probability `δ`.
+
+use std::time::Instant;
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore};
+
+use moela_ml::{Dataset, RandomForest};
+use moela_moo::run::{RunResult, TraceRecorder};
+use moela_moo::scalarize::Scalarizer;
+use moela_moo::Problem;
+
+use crate::config::MoelaConfig;
+use crate::local_search::{greedy_descent, LocalSearchBudget};
+use crate::population::{Individual, Population};
+
+/// The outcome of a MOELA run: the final population, the anytime-PHV
+/// trace, and budget accounting. See [`RunResult`].
+pub type MoelaOutcome<S> = RunResult<S>;
+
+/// The MOELA optimizer bound to one problem instance.
+///
+/// # Example
+///
+/// ```
+/// use moela_core::{Moela, MoelaConfig};
+/// use moela_moo::problems::Zdt;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let problem = Zdt::zdt1(10);
+/// let config = MoelaConfig::builder().population(12).generations(8).build()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let outcome = Moela::new(config, &problem).run(&mut rng);
+/// assert_eq!(outcome.population.len(), 12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Moela<'p, P> {
+    config: MoelaConfig,
+    problem: &'p P,
+}
+
+impl<'p, P: Problem> Moela<'p, P> {
+    /// Binds a configuration to a problem.
+    pub fn new(config: MoelaConfig, problem: &'p P) -> Self {
+        Self { config, problem }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MoelaConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 1 to completion (generations, evaluation cap, or
+    /// time budget — whichever ends first) and returns the final
+    /// population with its trace.
+    pub fn run(&self, rng: &mut impl RngCore) -> MoelaOutcome<P::Solution> {
+        let mut rng: &mut dyn RngCore = rng;
+        let cfg = &self.config;
+        let m = self.problem.objective_count();
+        let start_time = Instant::now();
+        let mut evaluations = 0u64;
+        let mut recorder = match &cfg.trace_normalizer {
+            Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
+            None => TraceRecorder::new(m),
+        };
+
+        // Initialization: N random designs, one per weight vector.
+        let individuals: Vec<Individual<P::Solution>> = (0..cfg.population)
+            .map(|_| {
+                let solution = self.problem.random_solution(rng);
+                let objectives = self.problem.evaluate(&solution);
+                evaluations += 1;
+                recorder.observe(&objectives);
+                Individual { solution, objectives }
+            })
+            .collect();
+        let mut population = Population::new(individuals, m, cfg.neighborhood);
+        let mut train = Dataset::with_capacity(cfg.train_cap);
+        let mut eval_fn: Option<RandomForest> = None;
+        // Starts used in the previous iteration; MLguide skips them so the
+        // guided phase does not re-descend a freshly exhausted design.
+        let mut recent_starts: Vec<usize> = Vec::new();
+        recorder.record(0, evaluations, start_time.elapsed(), &population.objective_vectors());
+
+        let budget_left = |evaluations: u64, start: Instant| {
+            cfg.max_evaluations.map_or(true, |cap| evaluations < cap)
+                && cfg.time_budget.map_or(true, |cap| start.elapsed() < cap)
+        };
+
+        'outer: for generation in 0..cfg.generations {
+            // --- (Ablation) EA-first ordering ---------------------------
+            if cfg.ea_first
+                && !self.ea_step(&mut population, &mut evaluations, &mut recorder, rng, start_time)
+            {
+                break 'outer;
+            }
+
+            // --- Local-search phase -------------------------------------
+            let starts = if generation < cfg.iter_early || eval_fn.is_none() {
+                let mut all: Vec<usize> = (0..cfg.population).collect();
+                all.shuffle(&mut rng);
+                all.truncate(cfg.n_local);
+                all
+            } else {
+                self.ml_guide(eval_fn.as_ref().expect("checked above"), &population, &recent_starts)
+            };
+            recent_starts = starts.clone();
+            for idx in starts {
+                if !budget_left(evaluations, start_time) {
+                    break 'outer;
+                }
+                let individual = population.individual(idx).clone();
+                let weight = population.weight(idx).to_vec();
+                let z_raw = population.reference().values().to_vec();
+                let normalizer = population.normalizer().clone();
+                let start_g = Scalarizer::WeightedSum.value(
+                    &normalizer.normalize(&individual.objectives),
+                    &weight,
+                    &normalizer.normalize(&z_raw),
+                );
+                let outcome = greedy_descent(
+                    self.problem,
+                    &individual.solution,
+                    &individual.objectives,
+                    &weight,
+                    &z_raw,
+                    &normalizer,
+                    LocalSearchBudget {
+                        max_steps: cfg.ls_max_steps,
+                        neighbors_per_step: cfg.ls_neighbors_per_step,
+                        stall_evaluations: cfg.ls_stall_evaluations,
+                    },
+                    rng,
+                );
+                evaluations += outcome.evaluations;
+                recorder.observe(&outcome.best_objectives);
+                // The paper's Eval "predict[s] how much a design can
+                // improve towards the reference point": the regression
+                // target is the (negative) improvement, so Algorithm 2's
+                // lowest-e_i selection picks the starts with the largest
+                // predicted improvement.
+                let improvement_target = outcome.final_value - start_g;
+                for features in outcome.trajectory_features {
+                    train.push(features, improvement_target);
+                }
+                // Offer every accepted state to every sub-problem — these
+                // evaluations are already paid for, and the search may
+                // have drifted through several weights' regions.
+                let scope: Vec<usize> = (0..population.len()).collect();
+                for (state, objectives) in &outcome.accepted {
+                    recorder.observe(objectives);
+                    population.update(
+                        Scalarizer::Tchebycheff,
+                        state,
+                        objectives,
+                        &scope,
+                        cfg.max_replacements,
+                    );
+                }
+            }
+
+            // --- Train Eval ----------------------------------------------
+            if generation + 1 >= cfg.iter_early && train.len() >= 8 {
+                eval_fn = Some(RandomForest::fit(&train, &cfg.forest, &mut rng));
+            }
+
+            // --- Decomposition EA step -----------------------------------
+            if !cfg.ea_first
+                && !self.ea_step(&mut population, &mut evaluations, &mut recorder, rng, start_time)
+            {
+                break 'outer;
+            }
+
+            recorder.record(
+                generation + 1,
+                evaluations,
+                start_time.elapsed(),
+                &population.objective_vectors(),
+            );
+        }
+
+        RunResult {
+            population: population
+                .individuals()
+                .iter()
+                .map(|i| (i.solution.clone(), i.objectives.clone()))
+                .collect(),
+            trace: recorder.into_points(),
+            evaluations,
+            elapsed: start_time.elapsed(),
+        }
+    }
+
+    /// One decomposition-EA pass over all sub-problems (Algorithm 1,
+    /// line 12). Returns `false` when the budget ran out mid-pass.
+    fn ea_step(
+        &self,
+        population: &mut Population<P::Solution>,
+        evaluations: &mut u64,
+        recorder: &mut TraceRecorder,
+        rng: &mut dyn RngCore,
+        start_time: Instant,
+    ) -> bool {
+        let cfg = &self.config;
+        for i in 0..cfg.population {
+            let within_budget = cfg.max_evaluations.map_or(true, |cap| *evaluations < cap)
+                && cfg.time_budget.map_or(true, |cap| start_time.elapsed() < cap);
+            if !within_budget {
+                return false;
+            }
+            let whole: Vec<usize>;
+            let pool: &[usize] = if rng.gen_bool(cfg.delta) {
+                population.neighborhood(i)
+            } else {
+                whole = (0..cfg.population).collect();
+                &whole
+            };
+            let pa = pool[rng.gen_range(0..pool.len())];
+            let mut pb = pool[rng.gen_range(0..pool.len())];
+            if pb == pa {
+                pb = pool
+                    [(pool.iter().position(|&x| x == pa).expect("pa in pool") + 1) % pool.len()];
+            }
+            let child = self.problem.crossover(
+                &population.individual(pa).solution,
+                &population.individual(pb).solution,
+                rng,
+            );
+            let objectives = self.problem.evaluate(&child);
+            *evaluations += 1;
+            recorder.observe(&objectives);
+            let scope = pool.to_vec();
+            population.update(
+                Scalarizer::Tchebycheff,
+                &child,
+                &objectives,
+                &scope,
+                cfg.max_replacements,
+            );
+        }
+        true
+    }
+
+    /// Algorithm 2: score every design with the learned `Eval` and return
+    /// the `n_local` most promising (lowest predicted outcome, i.e.
+    /// largest predicted improvement) indices, skipping designs searched
+    /// in the previous iteration.
+    fn ml_guide(
+        &self,
+        eval_fn: &RandomForest,
+        population: &Population<P::Solution>,
+        recent_starts: &[usize],
+    ) -> Vec<usize> {
+        let mut scored: Vec<(usize, f64)> = (0..population.len())
+            .filter(|i| !recent_starts.contains(i))
+            .map(|i| {
+                let mut features = self.problem.features(&population.individual(i).solution);
+                features.extend_from_slice(population.weight(i));
+                (i, eval_fn.predict(&features))
+            })
+            .collect();
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+        scored.truncate(self.config.n_local);
+        scored.into_iter().map(|(i, _)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moela_moo::metrics::igd;
+    use moela_moo::problems::{Dtlz, Zdt};
+    use moela_moo::{Counted, EvalCounter};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn run_produces_a_full_population_and_trace() {
+        let problem = Zdt::zdt1(10);
+        let config = MoelaConfig::builder().population(10).generations(5).build().expect("valid");
+        let out = Moela::new(config, &problem).run(&mut rng(1));
+        assert_eq!(out.population.len(), 10);
+        assert_eq!(out.trace.len(), 6, "initial point plus one per generation");
+        assert!(out.evaluations > 0);
+    }
+
+    #[test]
+    fn phv_trace_is_monotonically_nondecreasing_enough() {
+        // The trace normalizer widens over time, so tiny dips are possible;
+        // the final PHV must still beat the initial one clearly.
+        let problem = Zdt::zdt1(10);
+        let config =
+            MoelaConfig::builder().population(16).generations(15).build().expect("valid");
+        let out = Moela::new(config, &problem).run(&mut rng(2));
+        let first = out.trace.first().expect("non-empty").phv;
+        let last = out.trace.last().expect("non-empty").phv;
+        assert!(last > first, "PHV must improve ({first} → {last})");
+    }
+
+    #[test]
+    fn moela_converges_toward_the_zdt1_front() {
+        let problem = Zdt::zdt1(8);
+        let config =
+            MoelaConfig::builder().population(20).generations(30).build().expect("valid");
+        let out = Moela::new(config, &problem).run(&mut rng(3));
+        let front = out.front_objectives();
+        let reference = problem.true_front(100);
+        let d = igd(&front, &reference);
+        assert!(d < 0.25, "IGD to the true front is {d}");
+    }
+
+    #[test]
+    fn works_on_many_objective_problems() {
+        let problem = Dtlz::dtlz2(5, 6);
+        let config =
+            MoelaConfig::builder().population(20).generations(8).build().expect("valid");
+        let out = Moela::new(config, &problem).run(&mut rng(4));
+        assert!(out.population.iter().all(|(_, o)| o.len() == 5));
+    }
+
+    #[test]
+    fn evaluation_cap_is_respected() {
+        let counter = EvalCounter::new();
+        let problem = Counted::new(Zdt::zdt1(10), counter.clone());
+        let config = MoelaConfig::builder()
+            .population(10)
+            .generations(1000)
+            .max_evaluations(500)
+            .build()
+            .expect("valid");
+        let out = Moela::new(config, &problem).run(&mut rng(5));
+        // The cap is checked between phases; one local search (≤ 25 steps ×
+        // 4 neighbors) may overshoot it.
+        assert!(out.evaluations <= 500 + 100, "evaluations {}", out.evaluations);
+        assert_eq!(out.evaluations, counter.count());
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let problem = Zdt::zdt2(8);
+        let config = MoelaConfig::builder().population(8).generations(6).build().expect("valid");
+        let a = Moela::new(config.clone(), &problem).run(&mut rng(7));
+        let b = Moela::new(config, &problem).run(&mut rng(7));
+        let objs = |r: &MoelaOutcome<Vec<f64>>| -> Vec<Vec<f64>> {
+            r.population.iter().map(|(_, o)| o.clone()).collect()
+        };
+        assert_eq!(objs(&a), objs(&b));
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn ml_guidance_kicks_in_after_iter_early() {
+        // Smoke-test the guided path: with iter_early = 1 the second
+        // generation must already use the forest (this would panic or
+        // mis-size features if the plumbing were wrong).
+        let problem = Zdt::zdt1(6);
+        let config = MoelaConfig::builder()
+            .population(8)
+            .generations(4)
+            .iter_early(1)
+            .build()
+            .expect("valid");
+        let out = Moela::new(config, &problem).run(&mut rng(8));
+        assert_eq!(out.trace.len(), 5);
+    }
+
+    #[test]
+    fn beats_pure_random_sampling_at_equal_evaluations() {
+        let problem = Zdt::zdt1(10);
+        let config =
+            MoelaConfig::builder().population(16).generations(20).build().expect("valid");
+        let out = Moela::new(config, &problem).run(&mut rng(9));
+        // Random baseline with the same evaluation budget.
+        let mut r = rng(10);
+        let mut random_objs = Vec::new();
+        for _ in 0..out.evaluations {
+            let s = problem.random_solution(&mut r);
+            random_objs.push(problem.evaluate(&s));
+        }
+        let reference = problem.true_front(100);
+        let igd_moela = igd(&out.front_objectives(), &reference);
+        let keep = moela_moo::pareto::non_dominated_indices(&random_objs);
+        let random_front: Vec<Vec<f64>> =
+            keep.into_iter().map(|i| random_objs[i].clone()).collect();
+        let igd_random = igd(&random_front, &reference);
+        assert!(
+            igd_moela < igd_random,
+            "MOELA ({igd_moela}) must beat random search ({igd_random})"
+        );
+    }
+}

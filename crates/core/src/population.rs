@@ -1,0 +1,221 @@
+//! The decomposition population: individuals bound to weight vectors, with
+//! the Tchebycheff update rule of eq. (10).
+
+use moela_moo::normalize::Normalizer;
+use moela_moo::scalarize::{ReferencePoint, Scalarizer};
+use moela_moo::weights::{neighborhoods, uniform_weights};
+
+/// One population slot: a solution, its raw objective vector, and (via its
+/// index) an assigned weight vector.
+#[derive(Clone, Debug)]
+pub struct Individual<S> {
+    /// The candidate solution.
+    pub solution: S,
+    /// Raw (un-normalized) objective values.
+    pub objectives: Vec<f64>,
+}
+
+/// A decomposition population of `N` individuals, one per weight vector,
+/// with the shared reference point `z` and an online objective normalizer.
+///
+/// Scalarization happens on *normalized* objectives so that weights remain
+/// meaningful when objectives differ by orders of magnitude (the manycore
+/// problem's energies vs. utilizations); `z` is tracked in raw space and
+/// normalized on use.
+#[derive(Clone, Debug)]
+pub struct Population<S> {
+    individuals: Vec<Individual<S>>,
+    weights: Vec<Vec<f64>>,
+    neighborhoods: Vec<Vec<usize>>,
+    z: ReferencePoint,
+    normalizer: Normalizer,
+}
+
+impl<S: Clone> Population<S> {
+    /// Builds the population from already-evaluated individuals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `individuals` is empty, objective lengths are
+    /// inconsistent, or `t` is out of `1..=N`.
+    pub fn new(individuals: Vec<Individual<S>>, m: usize, t: usize) -> Self {
+        assert!(!individuals.is_empty(), "population must be non-empty");
+        assert!(
+            individuals.iter().all(|i| i.objectives.len() == m),
+            "objective dimensionality mismatch"
+        );
+        let n = individuals.len();
+        let weights = uniform_weights(n, m);
+        let nbhd = neighborhoods(&weights, t.clamp(1, n));
+        let mut z = ReferencePoint::new(m);
+        let mut normalizer = Normalizer::new(m);
+        for ind in &individuals {
+            z.update(&ind.objectives);
+            normalizer.observe(&ind.objectives);
+        }
+        Self { individuals, weights, neighborhoods: nbhd, z, normalizer }
+    }
+
+    /// Number of individuals (= sub-problems).
+    pub fn len(&self) -> usize {
+        self.individuals.len()
+    }
+
+    /// `true` if the population is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.individuals.is_empty()
+    }
+
+    /// The individual at slot `i`.
+    pub fn individual(&self, i: usize) -> &Individual<S> {
+        &self.individuals[i]
+    }
+
+    /// All individuals.
+    pub fn individuals(&self) -> &[Individual<S>] {
+        &self.individuals
+    }
+
+    /// The weight vector of slot `i`.
+    pub fn weight(&self, i: usize) -> &[f64] {
+        &self.weights[i]
+    }
+
+    /// The neighborhood (indices of the `T` closest sub-problems) of `i`.
+    pub fn neighborhood(&self, i: usize) -> &[usize] {
+        &self.neighborhoods[i]
+    }
+
+    /// The raw reference point `z`.
+    pub fn reference(&self) -> &ReferencePoint {
+        &self.z
+    }
+
+    /// The online normalizer.
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    /// Registers a newly evaluated objective vector: lowers `z` and widens
+    /// the normalizer.
+    pub fn observe(&mut self, objectives: &[f64]) {
+        self.z.update(objectives);
+        self.normalizer.observe(objectives);
+    }
+
+    /// The scalarized value `g(objectives | w_i, z)` on normalized
+    /// objectives.
+    pub fn scalarized(&self, scalarizer: Scalarizer, objectives: &[f64], i: usize) -> f64 {
+        let obj_n = self.normalizer.normalize(objectives);
+        let z_n = self.normalizer.normalize(self.z.values());
+        scalarizer.value(&obj_n, &self.weights[i], &z_n)
+    }
+
+    /// Eq. (10): offers `candidate` to the sub-problems in `scope`,
+    /// replacing any whose current member scalarizes worse — up to
+    /// `max_replacements` slots (the MOEA/D `n_r` guard). Returns how many
+    /// slots were replaced.
+    pub fn update(
+        &mut self,
+        scalarizer: Scalarizer,
+        candidate: &S,
+        objectives: &[f64],
+        scope: &[usize],
+        max_replacements: usize,
+    ) -> usize {
+        self.observe(objectives);
+        let mut replaced = 0;
+        for &j in scope {
+            if replaced >= max_replacements {
+                break;
+            }
+            let current = self.scalarized(scalarizer, &self.individuals[j].objectives, j);
+            let incoming = self.scalarized(scalarizer, objectives, j);
+            if incoming < current {
+                self.individuals[j] =
+                    Individual { solution: candidate.clone(), objectives: objectives.to_vec() };
+                replaced += 1;
+            }
+        }
+        replaced
+    }
+
+    /// All raw objective vectors, slot-ordered.
+    pub fn objective_vectors(&self) -> Vec<Vec<f64>> {
+        self.individuals.iter().map(|i| i.objectives.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population() -> Population<&'static str> {
+        Population::new(
+            vec![
+                Individual { solution: "a", objectives: vec![0.0, 10.0] },
+                Individual { solution: "b", objectives: vec![5.0, 5.0] },
+                Individual { solution: "c", objectives: vec![10.0, 0.0] },
+            ],
+            2,
+            2,
+        )
+    }
+
+    #[test]
+    fn reference_point_is_componentwise_minimum() {
+        let p = population();
+        assert_eq!(p.reference().values(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn neighborhoods_have_the_requested_size() {
+        let p = population();
+        for i in 0..p.len() {
+            assert_eq!(p.neighborhood(i).len(), 2);
+            assert_eq!(p.neighborhood(i)[0], i);
+        }
+    }
+
+    #[test]
+    fn update_replaces_dominated_slots() {
+        let mut p = population();
+        // A solution strictly better than slot 1's member for its weight.
+        let replaced = p.update(Scalarizer::Tchebycheff, &"z", &[1.0, 1.0], &[0, 1, 2], 10);
+        assert!(replaced >= 1, "an excellent point must replace something");
+        assert!(p.individuals().iter().any(|i| i.solution == "z"));
+    }
+
+    #[test]
+    fn update_respects_the_replacement_cap() {
+        let mut p = population();
+        let replaced = p.update(Scalarizer::Tchebycheff, &"z", &[0.0, 0.0], &[0, 1, 2], 1);
+        assert_eq!(replaced, 1);
+        let survivors = p.individuals().iter().filter(|i| i.solution != "z").count();
+        assert_eq!(survivors, 2);
+    }
+
+    #[test]
+    fn worse_candidates_replace_nothing() {
+        let mut p = population();
+        let replaced = p.update(Scalarizer::Tchebycheff, &"bad", &[20.0, 20.0], &[0, 1, 2], 10);
+        assert_eq!(replaced, 0);
+        assert!(p.individuals().iter().all(|i| i.solution != "bad"));
+    }
+
+    #[test]
+    fn observe_extends_z_and_the_normalizer() {
+        let mut p = population();
+        p.observe(&[-1.0, 50.0]);
+        assert_eq!(p.reference().values(), &[-1.0, 0.0]);
+        let n = p.normalizer().normalize(&[-1.0, 50.0]);
+        assert_eq!(n, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn scalarized_is_zero_at_the_reference_point() {
+        let p = population();
+        let g = p.scalarized(Scalarizer::Tchebycheff, &[0.0, 0.0], 1);
+        assert_eq!(g, 0.0);
+    }
+}

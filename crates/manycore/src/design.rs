@@ -1,0 +1,274 @@
+//! The design encoding: PE placement + link topology.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use moela_traffic::{PeKind, PeMix};
+
+use crate::geometry::{GridDims, TileId};
+use crate::topology::Topology;
+
+/// A bijective assignment of logical PEs to physical tiles.
+///
+/// Invariant: LLC PEs sit on edge tiles (§III constraint 5), enforced by
+/// every constructor and by the mutation operators in [`crate::moves`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    /// `pe_of[tile] = logical PE id`.
+    pe_of: Vec<usize>,
+    /// `tile_of[pe] = tile id` (inverse map).
+    tile_of: Vec<usize>,
+}
+
+impl Placement {
+    /// Builds a placement from a tile→PE map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe_of` is not a permutation of `0..mix.total()`, its
+    /// length differs from `dims.tiles()`, or an LLC lands off-edge.
+    pub fn from_pe_of(dims: &GridDims, mix: PeMix, pe_of: Vec<usize>) -> Self {
+        assert_eq!(pe_of.len(), dims.tiles(), "placement length must equal tile count");
+        assert_eq!(mix.total(), dims.tiles(), "PE population must fill the grid");
+        let mut tile_of = vec![usize::MAX; pe_of.len()];
+        for (tile, &pe) in pe_of.iter().enumerate() {
+            assert!(pe < pe_of.len(), "PE id {pe} out of range");
+            assert_eq!(tile_of[pe], usize::MAX, "PE {pe} placed twice");
+            tile_of[pe] = tile;
+            if mix.kind(pe) == PeKind::Llc {
+                assert!(
+                    dims.is_edge(TileId(tile)),
+                    "LLC PE {pe} placed on interior tile {tile}"
+                );
+            }
+        }
+        Self { pe_of, tile_of }
+    }
+
+    /// Draws a random feasible placement: LLCs uniformly over edge tiles,
+    /// all other PEs uniformly over the remaining tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has fewer edge tiles than LLCs.
+    pub fn random(dims: &GridDims, mix: PeMix, rng: &mut impl Rng) -> Self {
+        assert!(
+            dims.edge_tiles() >= mix.llcs(),
+            "grid has {} edge tiles but the mix needs {} LLC slots",
+            dims.edge_tiles(),
+            mix.llcs()
+        );
+        let mut edge: Vec<usize> = (0..dims.tiles()).filter(|&t| dims.is_edge(TileId(t))).collect();
+        edge.shuffle(rng);
+        let mut pe_of = vec![usize::MAX; dims.tiles()];
+        // LLCs first, onto edge tiles.
+        let llc_ids: Vec<usize> = mix.ids_of(PeKind::Llc).collect();
+        for (&tile, &pe) in edge.iter().zip(&llc_ids) {
+            pe_of[tile] = pe;
+        }
+        // Everyone else onto the leftover tiles.
+        let mut rest_tiles: Vec<usize> =
+            (0..dims.tiles()).filter(|&t| pe_of[t] == usize::MAX).collect();
+        rest_tiles.shuffle(rng);
+        let rest_pes: Vec<usize> =
+            mix.ids_of(PeKind::Cpu).chain(mix.ids_of(PeKind::Gpu)).collect();
+        for (&tile, &pe) in rest_tiles.iter().zip(&rest_pes) {
+            pe_of[tile] = pe;
+        }
+        Self::from_pe_of(dims, mix, pe_of)
+    }
+
+    /// The logical PE on `tile`.
+    pub fn pe_at(&self, tile: TileId) -> usize {
+        self.pe_of[tile.0]
+    }
+
+    /// The tile carrying logical PE `pe`.
+    pub fn tile_of(&self, pe: usize) -> TileId {
+        TileId(self.tile_of[pe])
+    }
+
+    /// The raw tile→PE map.
+    pub fn pe_of(&self) -> &[usize] {
+        &self.pe_of
+    }
+
+    /// Swaps the PEs of two tiles. The caller must re-check the LLC-edge
+    /// constraint ([`Placement::swap_is_feasible`] does so).
+    pub fn swap(&mut self, a: TileId, b: TileId) {
+        let pa = self.pe_of[a.0];
+        let pb = self.pe_of[b.0];
+        self.pe_of.swap(a.0, b.0);
+        self.tile_of[pa] = b.0;
+        self.tile_of[pb] = a.0;
+    }
+
+    /// Whether swapping the PEs at `a` and `b` keeps LLCs on the edge.
+    pub fn swap_is_feasible(&self, dims: &GridDims, mix: PeMix, a: TileId, b: TileId) -> bool {
+        let pa = self.pe_of[a.0];
+        let pb = self.pe_of[b.0];
+        (mix.kind(pa) != PeKind::Llc || dims.is_edge(b))
+            && (mix.kind(pb) != PeKind::Llc || dims.is_edge(a))
+    }
+}
+
+/// A complete candidate design: where every PE sits and where every link
+/// runs. This is the `Solution` type of the manycore design problem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Design {
+    /// The PE placement.
+    pub placement: Placement,
+    /// The link topology.
+    pub topology: Topology,
+}
+
+impl Design {
+    /// Bundles a placement and topology into a design.
+    pub fn new(placement: Placement, topology: Topology) -> Self {
+        Self { placement, topology }
+    }
+
+    /// Validates every §III constraint, returning the first violation as a
+    /// message (used by tests and debug assertions; the operators keep
+    /// designs feasible by construction).
+    pub fn validate(
+        &self,
+        dims: &GridDims,
+        mix: PeMix,
+        planar_budget: usize,
+        vertical_budget: usize,
+        max_planar_length: usize,
+        max_degree: usize,
+    ) -> Result<(), String> {
+        use crate::link::LinkKind;
+        if !self.topology.is_connected() {
+            return Err("topology is disconnected".to_owned());
+        }
+        let planar = self.topology.count_kind(dims, LinkKind::Planar);
+        let vertical = self.topology.count_kind(dims, LinkKind::Vertical);
+        if planar != planar_budget {
+            return Err(format!("planar link count {planar} != budget {planar_budget}"));
+        }
+        if vertical != vertical_budget {
+            return Err(format!("TSV count {vertical} != budget {vertical_budget}"));
+        }
+        if self.topology.max_degree() > max_degree {
+            return Err(format!(
+                "router degree {} exceeds bound {max_degree}",
+                self.topology.max_degree()
+            ));
+        }
+        for l in self.topology.links() {
+            if !l.is_feasible(dims, max_planar_length) {
+                return Err(format!("infeasible link {l:?}"));
+            }
+        }
+        for pe in mix.ids_of(PeKind::Llc) {
+            if !dims.is_edge(self.placement.tile_of(pe)) {
+                return Err(format!("LLC PE {pe} off the die edge"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(8)
+    }
+
+    fn paper() -> (GridDims, PeMix) {
+        (GridDims::paper(), PeMix::paper())
+    }
+
+    #[test]
+    fn random_placement_is_a_feasible_permutation() {
+        let (dims, mix) = paper();
+        let mut r = rng();
+        for _ in 0..20 {
+            let p = Placement::random(&dims, mix, &mut r);
+            let mut sorted = p.pe_of().to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+            for pe in mix.ids_of(PeKind::Llc) {
+                assert!(dims.is_edge(p.tile_of(pe)));
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_maps_agree() {
+        let (dims, mix) = paper();
+        let p = Placement::random(&dims, mix, &mut rng());
+        for t in dims.tile_ids() {
+            assert_eq!(p.tile_of(p.pe_at(t)), t);
+        }
+    }
+
+    #[test]
+    fn swap_updates_both_maps() {
+        let (dims, mix) = paper();
+        let mut p = Placement::random(&dims, mix, &mut rng());
+        let a = TileId(3);
+        let b = TileId(40);
+        let pa = p.pe_at(a);
+        let pb = p.pe_at(b);
+        p.swap(a, b);
+        assert_eq!(p.pe_at(a), pb);
+        assert_eq!(p.pe_at(b), pa);
+        assert_eq!(p.tile_of(pa), b);
+        assert_eq!(p.tile_of(pb), a);
+    }
+
+    #[test]
+    fn swap_feasibility_guards_llc_edges() {
+        let (dims, mix) = paper();
+        let p = Placement::random(&dims, mix, &mut rng());
+        // Find an LLC tile and an interior tile.
+        let llc_pe = mix.ids_of(PeKind::Llc).next().expect("has LLCs");
+        let llc_tile = p.tile_of(llc_pe);
+        let interior = dims
+            .tile_ids()
+            .find(|&t| !dims.is_edge(t))
+            .expect("4x4 grids have interior tiles");
+        assert!(!p.swap_is_feasible(&dims, mix, llc_tile, interior));
+        // Swapping two edge tiles is always fine.
+        let other_edge = dims
+            .tile_ids()
+            .find(|&t| dims.is_edge(t) && t != llc_tile)
+            .expect("many edges");
+        assert!(p.swap_is_feasible(&dims, mix, llc_tile, other_edge));
+    }
+
+    #[test]
+    fn validate_accepts_constructed_designs() {
+        let (dims, mix) = paper();
+        let mut r = rng();
+        let builder = TopologyBuilder::new(dims, 96, 48, 5, 7);
+        for _ in 0..5 {
+            let d = Design::new(
+                Placement::random(&dims, mix, &mut r),
+                builder.random(&mut r).expect("builds"),
+            );
+            d.validate(&dims, mix, 96, 48, 5, 7).expect("feasible by construction");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interior tile")]
+    fn llc_on_interior_tile_panics() {
+        let dims = GridDims::paper();
+        let mix = PeMix::paper();
+        // Identity-ish placement putting LLC PE 48 on interior tile 21
+        // (x=1,y=1,z=1).
+        let mut pe_of: Vec<usize> = (0..64).collect();
+        pe_of.swap(21, 48);
+        // pe_of[21] = 48 is an LLC on an interior tile.
+        Placement::from_pe_of(&dims, mix, pe_of);
+    }
+}

@@ -1,0 +1,200 @@
+//! 3D tile-grid geometry: dimensions, coordinates, distances, edges.
+
+/// Dimensions of the tile grid: `nx × ny` tiles per layer, `layers` layers.
+///
+/// Tiles are identified by a dense [`TileId`] in layer-major, row-major
+/// order: `id = z·(nx·ny) + y·nx + x`.
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash)]
+pub struct GridDims {
+    nx: usize,
+    ny: usize,
+    layers: usize,
+}
+
+/// A dense tile index into a [`GridDims`] grid.
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash, PartialOrd, Ord)]
+pub struct TileId(pub usize);
+
+/// Integer 3-D coordinates of a tile: `z` is the layer (0 = closest to the
+/// heat sink), `x`/`y` are the position within the layer.
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash)]
+pub struct TileCoord {
+    /// Column within the layer.
+    pub x: usize,
+    /// Row within the layer.
+    pub y: usize,
+    /// Layer, 0-based from the heat sink.
+    pub z: usize,
+}
+
+impl GridDims {
+    /// Creates grid dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(nx: usize, ny: usize, layers: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && layers > 0, "grid dimensions must be positive");
+        Self { nx, ny, layers }
+    }
+
+    /// The paper's 4×4×4 platform.
+    pub fn paper() -> Self {
+        Self::new(4, 4, 4)
+    }
+
+    /// Tiles per layer in x.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Tiles per layer in y.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Number of stacked layers.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Total number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.nx * self.ny * self.layers
+    }
+
+    /// Tiles in one layer.
+    pub fn tiles_per_layer(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// The coordinates of `tile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    pub fn coord(&self, tile: TileId) -> TileCoord {
+        assert!(tile.0 < self.tiles(), "tile {tile:?} out of range");
+        let per_layer = self.tiles_per_layer();
+        let z = tile.0 / per_layer;
+        let rem = tile.0 % per_layer;
+        TileCoord { x: rem % self.nx, y: rem / self.nx, z }
+    }
+
+    /// The tile at `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` lies outside the grid.
+    pub fn tile(&self, coord: TileCoord) -> TileId {
+        assert!(
+            coord.x < self.nx && coord.y < self.ny && coord.z < self.layers,
+            "coordinate {coord:?} outside the grid"
+        );
+        TileId(coord.z * self.tiles_per_layer() + coord.y * self.nx + coord.x)
+    }
+
+    /// Manhattan distance within a layer in tile units; `None` when the
+    /// tiles are on different layers.
+    pub fn planar_distance(&self, a: TileId, b: TileId) -> Option<usize> {
+        let ca = self.coord(a);
+        let cb = self.coord(b);
+        (ca.z == cb.z).then(|| ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y))
+    }
+
+    /// `true` if `tile` is on the edge of its die — where tiles carrying
+    /// LLC/memory-controller PEs must sit (§III constraint 5).
+    pub fn is_edge(&self, tile: TileId) -> bool {
+        let c = self.coord(tile);
+        c.x == 0 || c.x == self.nx - 1 || c.y == 0 || c.y == self.ny - 1
+    }
+
+    /// Number of edge tiles across all layers.
+    pub fn edge_tiles(&self) -> usize {
+        (0..self.tiles()).filter(|&t| self.is_edge(TileId(t))).count()
+    }
+
+    /// `true` if `a` and `b` are vertically adjacent (same `x`/`y`,
+    /// neighboring layers) — the only positions a TSV may connect.
+    pub fn vertically_adjacent(&self, a: TileId, b: TileId) -> bool {
+        let ca = self.coord(a);
+        let cb = self.coord(b);
+        ca.x == cb.x && ca.y == cb.y && ca.z.abs_diff(cb.z) == 1
+    }
+
+    /// Iterator over all tile ids.
+    pub fn tile_ids(&self) -> impl Iterator<Item = TileId> {
+        (0..self.tiles()).map(TileId)
+    }
+}
+
+impl std::fmt::Display for TileId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coord_round_trips() {
+        let g = GridDims::new(4, 3, 2);
+        for t in g.tile_ids() {
+            assert_eq!(g.tile(g.coord(t)), t);
+        }
+    }
+
+    #[test]
+    fn paper_grid_has_64_tiles() {
+        let g = GridDims::paper();
+        assert_eq!(g.tiles(), 64);
+        assert_eq!(g.tiles_per_layer(), 16);
+    }
+
+    #[test]
+    fn planar_distance_is_manhattan_within_a_layer() {
+        let g = GridDims::new(4, 4, 2);
+        let a = g.tile(TileCoord { x: 0, y: 0, z: 0 });
+        let b = g.tile(TileCoord { x: 3, y: 2, z: 0 });
+        assert_eq!(g.planar_distance(a, b), Some(5));
+        let c = g.tile(TileCoord { x: 0, y: 0, z: 1 });
+        assert_eq!(g.planar_distance(a, c), None);
+    }
+
+    #[test]
+    fn edge_detection_matches_4x4_layout() {
+        let g = GridDims::paper();
+        // In a 4×4 layer only the middle 2×2 is interior.
+        let interior: Vec<(usize, usize)> = vec![(1, 1), (2, 1), (1, 2), (2, 2)];
+        for z in 0..4 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    let t = g.tile(TileCoord { x, y, z });
+                    assert_eq!(g.is_edge(t), !interior.contains(&(x, y)), "{x},{y},{z}");
+                }
+            }
+        }
+        assert_eq!(g.edge_tiles(), 48);
+    }
+
+    #[test]
+    fn vertical_adjacency_requires_same_xy_neighbor_layers() {
+        let g = GridDims::paper();
+        let a = g.tile(TileCoord { x: 1, y: 2, z: 0 });
+        let b = g.tile(TileCoord { x: 1, y: 2, z: 1 });
+        let c = g.tile(TileCoord { x: 1, y: 2, z: 2 });
+        let d = g.tile(TileCoord { x: 2, y: 2, z: 1 });
+        assert!(g.vertically_adjacent(a, b));
+        assert!(g.vertically_adjacent(b, a));
+        assert!(!g.vertically_adjacent(a, c), "two layers apart");
+        assert!(!g.vertically_adjacent(a, d), "different column");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_tile_panics() {
+        GridDims::new(2, 2, 2).coord(TileId(8));
+    }
+}

@@ -1,0 +1,197 @@
+//! Communication links: planar (intra-layer) and TSV (inter-layer).
+
+use crate::geometry::{GridDims, TileId};
+
+/// The class of a link.
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash)]
+pub enum LinkKind {
+    /// An intra-layer wire between two routers on the same die.
+    Planar,
+    /// A through-silicon via between vertically adjacent tiles.
+    Vertical,
+}
+
+/// An undirected link between two tiles, stored with `a < b` so that a link
+/// set has a canonical representation.
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash, PartialOrd, Ord)]
+pub struct Link {
+    a: TileId,
+    b: TileId,
+}
+
+impl Link {
+    /// Creates a link between two distinct tiles (order-insensitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn new(a: TileId, b: TileId) -> Self {
+        assert_ne!(a, b, "a link must connect two distinct tiles");
+        if a < b {
+            Self { a, b }
+        } else {
+            Self { a: b, b: a }
+        }
+    }
+
+    /// The lower-id endpoint.
+    pub fn a(&self) -> TileId {
+        self.a
+    }
+
+    /// The higher-id endpoint.
+    pub fn b(&self) -> TileId {
+        self.b
+    }
+
+    /// The endpoint that is not `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not an endpoint.
+    pub fn other(&self, t: TileId) -> TileId {
+        if t == self.a {
+            self.b
+        } else if t == self.b {
+            self.a
+        } else {
+            panic!("{t} is not an endpoint of {self:?}")
+        }
+    }
+
+    /// The link's class on grid `dims`: planar if both endpoints share a
+    /// layer, vertical if they are vertically adjacent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints are neither co-planar nor vertically
+    /// adjacent (such a link cannot exist physically).
+    pub fn kind(&self, dims: &GridDims) -> LinkKind {
+        if dims.planar_distance(self.a, self.b).is_some() {
+            LinkKind::Planar
+        } else if dims.vertically_adjacent(self.a, self.b) {
+            LinkKind::Vertical
+        } else {
+            panic!("link {self:?} is neither planar nor a valid TSV")
+        }
+    }
+
+    /// Physical length `d_k` in tile units: the Manhattan distance for
+    /// planar links, 1 for TSVs (a die-thickness crossing).
+    pub fn length(&self, dims: &GridDims) -> f64 {
+        match dims.planar_distance(self.a, self.b) {
+            Some(d) => d as f64,
+            None => 1.0,
+        }
+    }
+
+    /// Whether this link may exist under the §III constraints (planar
+    /// length bound; vertical adjacency).
+    pub fn is_feasible(&self, dims: &GridDims, max_planar_length: usize) -> bool {
+        match dims.planar_distance(self.a, self.b) {
+            Some(d) => d >= 1 && d <= max_planar_length,
+            None => dims.vertically_adjacent(self.a, self.b),
+        }
+    }
+}
+
+/// Enumerates every feasible planar link of the grid.
+pub fn planar_candidates(dims: &GridDims, max_planar_length: usize) -> Vec<Link> {
+    let mut out = Vec::new();
+    let n = dims.tiles();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let link = Link::new(TileId(i), TileId(j));
+            if dims.planar_distance(TileId(i), TileId(j)).is_some()
+                && link.is_feasible(dims, max_planar_length)
+            {
+                out.push(link);
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates every feasible TSV position of the grid (one candidate per
+/// vertically adjacent tile pair, realizing the ≤ 1 TSV per pair bound).
+pub fn vertical_candidates(dims: &GridDims) -> Vec<Link> {
+    let mut out = Vec::new();
+    for t in dims.tile_ids() {
+        let c = dims.coord(t);
+        if c.z + 1 < dims.layers() {
+            let above = dims.tile(crate::geometry::TileCoord { z: c.z + 1, ..c });
+            out.push(Link::new(t, above));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::TileCoord;
+
+    #[test]
+    fn links_are_canonical() {
+        let l1 = Link::new(TileId(5), TileId(2));
+        let l2 = Link::new(TileId(2), TileId(5));
+        assert_eq!(l1, l2);
+        assert_eq!(l1.a(), TileId(2));
+        assert_eq!(l1.other(TileId(2)), TileId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct tiles")]
+    fn self_link_panics() {
+        Link::new(TileId(1), TileId(1));
+    }
+
+    #[test]
+    fn kind_and_length_follow_geometry() {
+        let g = GridDims::paper();
+        let a = g.tile(TileCoord { x: 0, y: 0, z: 0 });
+        let b = g.tile(TileCoord { x: 3, y: 1, z: 0 });
+        let planar = Link::new(a, b);
+        assert_eq!(planar.kind(&g), LinkKind::Planar);
+        assert_eq!(planar.length(&g), 4.0);
+        let up = g.tile(TileCoord { x: 0, y: 0, z: 1 });
+        let tsv = Link::new(a, up);
+        assert_eq!(tsv.kind(&g), LinkKind::Vertical);
+        assert_eq!(tsv.length(&g), 1.0);
+    }
+
+    #[test]
+    fn feasibility_enforces_length_bound() {
+        let g = GridDims::new(8, 8, 2);
+        let a = g.tile(TileCoord { x: 0, y: 0, z: 0 });
+        let near = g.tile(TileCoord { x: 5, y: 0, z: 0 });
+        let far = g.tile(TileCoord { x: 6, y: 0, z: 0 });
+        assert!(Link::new(a, near).is_feasible(&g, 5));
+        assert!(!Link::new(a, far).is_feasible(&g, 5));
+        // Diagonal inter-layer "links" are infeasible entirely.
+        let diag = g.tile(TileCoord { x: 1, y: 0, z: 1 });
+        assert!(!Link::new(a, diag).is_feasible(&g, 5));
+    }
+
+    #[test]
+    fn paper_grid_candidate_counts() {
+        let g = GridDims::paper();
+        let tsvs = vertical_candidates(&g);
+        // 16 positions × 3 layer gaps.
+        assert_eq!(tsvs.len(), 48);
+        let planars = planar_candidates(&g, 5);
+        // Every same-layer pair of a 4×4 grid is within Manhattan 6; bound 5
+        // excludes only the 2 opposite-corner pairs per layer.
+        assert_eq!(planars.len(), 4 * (16 * 15 / 2 - 2));
+        assert!(planars.iter().all(|l| l.is_feasible(&g, 5)));
+    }
+
+    #[test]
+    fn mesh_edges_are_candidates() {
+        let g = GridDims::paper();
+        let planars = planar_candidates(&g, 5);
+        let a = g.tile(TileCoord { x: 1, y: 1, z: 2 });
+        let b = g.tile(TileCoord { x: 2, y: 1, z: 2 });
+        assert!(planars.contains(&Link::new(a, b)));
+    }
+}

@@ -1,0 +1,98 @@
+//! Physical and architectural parameters of the NoC and the constraint
+//! bounds of §III.
+
+/// NoC parameters: router pipeline depth, link delay/energy coefficients,
+/// and the structural constraint bounds of §III.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NocParams {
+    /// Router pipeline stages `r` (cycles added per hop), eq. (3).
+    pub router_stages: f64,
+    /// Link traversal delay per unit length, cycles.
+    pub link_delay_per_unit: f64,
+    /// Energy per flit per unit of link length, `E_link` in eq. (4).
+    pub link_energy_per_unit: f64,
+    /// Router logic energy per port per flit, `E_r` in eq. (4).
+    pub router_energy_per_port: f64,
+    /// Maximum planar link length in tile units (§III: 5).
+    pub max_planar_length: usize,
+    /// Maximum links per router (§III: 7).
+    pub max_degree: usize,
+    /// Link capacity in flits per kilo-cycle — normalizes utilization for
+    /// the congestion term of the EDP model.
+    pub link_capacity: f64,
+}
+
+impl NocParams {
+    /// The paper's constraint bounds with energy/delay coefficients in the
+    /// range of published 32 nm NoC figures (router ≈ 3–4 pipeline stages,
+    /// link ≈ 1 cycle/mm).
+    pub fn paper() -> Self {
+        Self {
+            router_stages: 3.0,
+            link_delay_per_unit: 1.0,
+            link_energy_per_unit: 1.0,
+            router_energy_per_port: 0.8,
+            max_planar_length: 5,
+            max_degree: 7,
+            link_capacity: 120.0,
+        }
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field when a coefficient is
+    /// non-positive or a bound is zero.
+    pub fn validate(&self) -> Result<(), String> {
+        let positive = [
+            (self.router_stages, "router_stages"),
+            (self.link_delay_per_unit, "link_delay_per_unit"),
+            (self.link_energy_per_unit, "link_energy_per_unit"),
+            (self.router_energy_per_port, "router_energy_per_port"),
+            (self.link_capacity, "link_capacity"),
+        ];
+        for (v, name) in positive {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(format!("{name} must be positive and finite"));
+            }
+        }
+        if self.max_planar_length == 0 {
+            return Err("max_planar_length must be at least 1".to_owned());
+        }
+        if self.max_degree < 2 {
+            return Err("max_degree below 2 cannot form a connected network".to_owned());
+        }
+        Ok(())
+    }
+}
+
+impl Default for NocParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_params_match_section_iii_bounds() {
+        let p = NocParams::paper();
+        assert_eq!(p.max_planar_length, 5);
+        assert_eq!(p.max_degree, 7);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_names_the_bad_field() {
+        let mut p = NocParams::paper();
+        p.link_capacity = 0.0;
+        let err = p.validate().expect_err("must fail");
+        assert!(err.contains("link_capacity"));
+        let mut q = NocParams::paper();
+        q.max_degree = 1;
+        assert!(q.validate().is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Hand-computed verification of the paper's equations (1)–(7) on a tiny
+//! platform where every quantity can be derived on paper.
+//!
+//! Platform: a 3×1×1 row of tiles `t0 — t1 — t2` connected by two
+//! unit-length planar links `L0 = (t0,t1)`, `L1 = (t1,t2)`. PEs: one CPU
+//! (id 0), one GPU (id 1), one LLC (id 2), placed identically
+//! (`tile k ← PE k`; every tile of a 3×1 grid is an edge tile, so the LLC
+//! constraint is satisfied anywhere).
+//!
+//! NoC parameters (the paper defaults): `r = 3` router stages,
+//! 1 cycle/unit link delay, `E_link = 1` per flit·unit,
+//! `E_r = 0.8` per flit·port. Thermal: single layer, `R_1 = 1.0`,
+//! `R_b = 0.5`.
+
+use moela_manycore::objectives::{Evaluator, ObjectiveSet};
+use moela_manycore::design::{Design, Placement};
+use moela_manycore::{GridDims, NocParams, Topology};
+use moela_thermal::{FastThermalModel, ThermalParams};
+use moela_traffic::{Benchmark, PeMix, Workload};
+
+/// f(0→2) = 10 flits/kilo-cycle; all other pairs silent.
+/// PE powers: CPU 4 W, GPU 2 W, LLC 1 W.
+fn tiny() -> (Evaluator, Design) {
+    let dims = GridDims::new(3, 1, 1);
+    let mix = PeMix::new(1, 1, 1);
+    let mut traffic = vec![0.0; 9];
+    traffic[2] = 10.0; // f(0, 2)
+    let power = vec![4.0, 2.0, 1.0];
+    let workload =
+        Workload::from_parts(Benchmark::Bp, mix, traffic, power).expect("valid workload");
+    let thermal = FastThermalModel::new(ThermalParams::uniform(1, 1.0, 0.5));
+    let evaluator = Evaluator::new(dims, NocParams::paper(), workload, thermal);
+    let placement = Placement::from_pe_of(&dims, mix, vec![0, 1, 2]);
+    let topology = Topology::mesh(&dims); // exactly L0, L1
+    (evaluator, Design::new(placement, topology))
+}
+
+#[test]
+fn equation_1_mean_link_utilization() {
+    let (ev, d) = tiny();
+    // The single flow crosses both links: u = [10, 10], Mean = 10.
+    let e = ev.evaluate(&d);
+    assert!((e.mean_traffic - 10.0).abs() < 1e-12, "mean {}", e.mean_traffic);
+}
+
+#[test]
+fn equation_2_variance_of_utilization() {
+    let (ev, d) = tiny();
+    // Both links carry the same load ⇒ variance 0.
+    let e = ev.evaluate(&d);
+    assert!(e.traffic_variance.abs() < 1e-12, "variance {}", e.traffic_variance);
+}
+
+#[test]
+fn equation_3_cpu_llc_latency() {
+    let (ev, d) = tiny();
+    // One CPU, one LLC: Latency = (r·h + d) · f / (C·M)
+    //   = (3·2 + 2) · 10 / 1 = 80.
+    let e = ev.evaluate(&d);
+    assert!((e.cpu_latency - 80.0).abs() < 1e-12, "latency {}", e.cpu_latency);
+}
+
+#[test]
+fn equation_4_noc_energy() {
+    let (ev, d) = tiny();
+    // Links: both length 1, E_link = 1 ⇒ 2 per flit.
+    // Routers on the path: t0 (degree 1), t1 (degree 2), t2 (degree 1),
+    // E_r = 0.8 ⇒ 0.8·(1+2+1) = 3.2 per flit.
+    // Energy = 10 · (2 + 3.2) = 52.
+    let e = ev.evaluate(&d);
+    assert!((e.energy - 52.0).abs() < 1e-9, "energy {}", e.energy);
+}
+
+#[test]
+fn equations_5_to_7_thermal_product() {
+    let (ev, d) = tiny();
+    // Single layer: T_n = P_n · (R_1 + R_b) = 1.5·P_n ⇒ T = [6, 3, 1.5].
+    // Peak = 6; ΔT(layer 1) = 6 − 1.5 = 4.5; objective = 6 · 4.5 = 27.
+    let e = ev.evaluate(&d);
+    assert!((e.peak_temperature - 6.0).abs() < 1e-12, "peak {}", e.peak_temperature);
+    assert!((e.thermal - 27.0).abs() < 1e-12, "thermal {}", e.thermal);
+}
+
+#[test]
+fn objective_vector_assembles_the_equations_in_order() {
+    let (ev, d) = tiny();
+    let objs = ev.evaluate(&d).objectives(ObjectiveSet::Five);
+    let want = [10.0, 0.0, 80.0, 52.0, 27.0];
+    for (k, (&got, &expect)) in objs.iter().zip(&want).enumerate() {
+        assert!((got - expect).abs() < 1e-9, "objective {k}: {got} vs {expect}");
+    }
+}
+
+#[test]
+fn swapping_gpu_and_llc_changes_latency_as_predicted() {
+    // Move the LLC next to the CPU: placement [0, 2, 1].
+    let dims = GridDims::new(3, 1, 1);
+    let mix = PeMix::new(1, 1, 1);
+    let mut traffic = vec![0.0; 9];
+    traffic[2] = 10.0;
+    let workload = Workload::from_parts(Benchmark::Bp, mix, traffic, vec![4.0, 2.0, 1.0])
+        .expect("valid");
+    let thermal = FastThermalModel::new(ThermalParams::uniform(1, 1.0, 0.5));
+    let ev = Evaluator::new(dims, NocParams::paper(), workload, thermal);
+    let placement = Placement::from_pe_of(&dims, mix, vec![0, 2, 1]);
+    let d = Design::new(placement, Topology::mesh(&dims));
+    let e = ev.evaluate(&d);
+    // Now h = 1, d = 1: Latency = (3 + 1)·10 = 40; Mean = 10/2 = 5 (only
+    // L0 is used); Variance = ((5−5)² + … ) over [10, 0] → mean 5,
+    // variance ((10−5)² + (0−5)²)/2 = 25.
+    assert!((e.cpu_latency - 40.0).abs() < 1e-12);
+    assert!((e.mean_traffic - 5.0).abs() < 1e-12);
+    assert!((e.traffic_variance - 25.0).abs() < 1e-12);
+    // Energy: 1 link (1.0) + routers t0 (deg 1) and t1 (deg 2) = 0.8·3 =
+    // 2.4 ⇒ 10 · 3.4 = 34.
+    assert!((e.energy - 34.0).abs() < 1e-9);
+}

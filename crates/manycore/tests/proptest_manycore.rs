@@ -1,0 +1,111 @@
+//! Property-based tests of the platform model: constraint preservation
+//! across randomized grids, budgets, and operator sequences.
+
+use moela_manycore::routing::RoutingTable;
+use moela_manycore::topology::TopologyBuilder;
+use moela_manycore::{GridDims, LinkKind, NocParams, TileId, Topology};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random topologies satisfy every structural constraint for any
+    /// feasible grid/budget combination.
+    #[test]
+    fn random_topologies_respect_all_constraints(
+        nx in 2usize..5,
+        ny in 2usize..5,
+        layers in 1usize..4,
+        extra_planar in 0usize..20,
+        seed in 0u64..500,
+    ) {
+        let dims = GridDims::new(nx, ny, layers);
+        let mesh_planar = layers * (nx * (ny - 1) + ny * (nx - 1));
+        let tsvs = nx * ny * (layers - 1);
+        let planar = mesh_planar + extra_planar;
+        // Skip infeasible combinations (too few links to span).
+        prop_assume!(planar + tsvs >= dims.tiles() - 1);
+        let builder = TopologyBuilder::new(dims, planar, tsvs, 5, 7);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        match builder.random(&mut rng) {
+            Ok(t) => {
+                prop_assert!(t.is_connected());
+                prop_assert_eq!(t.count_kind(&dims, LinkKind::Planar), planar);
+                prop_assert_eq!(t.count_kind(&dims, LinkKind::Vertical), tsvs);
+                prop_assert!(t.max_degree() <= 7);
+                for l in t.links() {
+                    prop_assert!(l.is_feasible(&dims, 5));
+                }
+            }
+            Err(_) => {
+                // Construction may legitimately fail when the planar pool
+                // cannot host the requested budget under the degree cap;
+                // verify the budget actually exceeds the pool-capacity
+                // bound before accepting the failure.
+                let pool = builder.planar_pool().len();
+                prop_assert!(
+                    planar > pool || planar + tsvs > dims.tiles() * 7 / 2,
+                    "construction failed although budget {planar}+{tsvs} looks feasible \
+                     (pool {pool})"
+                );
+            }
+        }
+    }
+
+    /// Shortest-path routing satisfies the triangle inequality and
+    /// symmetry of the underlying undirected network.
+    #[test]
+    fn routing_is_symmetric_and_triangular(seed in 0u64..200) {
+        let dims = GridDims::new(3, 3, 2);
+        let builder = TopologyBuilder::new(dims, 24, 6, 5, 7);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let topo = builder.random(&mut rng).expect("feasible budgets");
+        let table = RoutingTable::build(&dims, &topo, &NocParams::paper());
+        let n = dims.tiles();
+        for a in 0..n {
+            for b in 0..n {
+                let lab = table.latency(TileId(a), TileId(b));
+                let lba = table.latency(TileId(b), TileId(a));
+                prop_assert!((lab - lba).abs() < 1e-9, "asymmetric {a}->{b}");
+                for c in 0..n {
+                    let lac = table.latency(TileId(a), TileId(c));
+                    let lcb = table.latency(TileId(c), TileId(b));
+                    prop_assert!(lab <= lac + lcb + 1e-9, "triangle violated");
+                }
+            }
+        }
+    }
+
+    /// The mesh is always within every §III constraint, for any grid.
+    #[test]
+    fn mesh_is_always_feasible(nx in 2usize..6, ny in 2usize..6, layers in 1usize..5) {
+        let dims = GridDims::new(nx, ny, layers);
+        let mesh = Topology::mesh(&dims);
+        prop_assert!(mesh.is_connected());
+        prop_assert!(mesh.max_degree() <= 6, "mesh degree is at most 6 in 3D");
+        for l in mesh.links() {
+            prop_assert!(l.is_feasible(&dims, 5));
+        }
+    }
+
+    /// `is_bridge` is consistent with actual removal: removing a non-bridge
+    /// keeps the network connected.
+    #[test]
+    fn bridge_detection_matches_removal(seed in 0u64..100, victim in 0usize..30) {
+        let dims = GridDims::new(3, 3, 2);
+        let builder = TopologyBuilder::new(dims, 24, 6, 5, 7);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let topo = builder.random(&mut rng).expect("feasible");
+        let idx = victim % topo.link_count();
+        let without: Vec<_> = topo
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != idx)
+            .map(|(_, l)| *l)
+            .collect();
+        let removed = Topology::from_links(&dims, without);
+        prop_assert_eq!(topo.is_bridge(idx), !removed.is_connected());
+    }
+}

@@ -1,0 +1,155 @@
+//! A bounded training buffer of `(features, target)` samples.
+//!
+//! The paper caps the training set at the most recent 10 000 samples
+//! (`|S_train| ≤ 10K`); [`Dataset::with_capacity`] implements exactly that
+//! sliding-window behavior.
+
+/// A FIFO-bounded regression training set.
+///
+/// # Example
+///
+/// ```
+/// use moela_ml::Dataset;
+///
+/// let mut d = Dataset::with_capacity(2);
+/// d.push(vec![0.0], 1.0);
+/// d.push(vec![1.0], 2.0);
+/// d.push(vec![2.0], 3.0); // evicts the oldest sample
+/// assert_eq!(d.len(), 2);
+/// let mut kept: Vec<f64> = (0..d.len()).map(|i| d.target(i)).collect();
+/// kept.sort_by(f64::total_cmp);
+/// assert_eq!(kept, vec![2.0, 3.0]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+    capacity: Option<usize>,
+    /// Index of the logically-oldest sample (ring start) when bounded.
+    start: usize,
+}
+
+impl Dataset {
+    /// An unbounded dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A dataset keeping only the most recent `capacity` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "dataset capacity must be positive");
+        Self { capacity: Some(capacity), ..Self::default() }
+    }
+
+    /// Appends a sample, evicting the oldest if at capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has a different length from earlier samples or
+    /// `target` is not finite.
+    pub fn push(&mut self, features: Vec<f64>, target: f64) {
+        assert!(target.is_finite(), "regression target must be finite");
+        if let Some(first) = self.features.first() {
+            assert_eq!(
+                features.len(),
+                first.len(),
+                "inconsistent feature dimensionality"
+            );
+        }
+        match self.capacity {
+            Some(cap) if self.features.len() == cap => {
+                self.features[self.start] = features;
+                self.targets[self.start] = target;
+                self.start = (self.start + 1) % cap;
+            }
+            _ => {
+                self.features.push(features);
+                self.targets.push(target);
+            }
+        }
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `true` if no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimensionality, or 0 when empty.
+    pub fn feature_len(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Features of sample `i` (storage order; when the buffer has wrapped,
+    /// storage order is not insertion order — regression does not care).
+    pub fn features(&self, i: usize) -> &[f64] {
+        &self.features[i]
+    }
+
+    /// Target of sample `i`.
+    pub fn target(&self, i: usize) -> f64 {
+        self.targets[i]
+    }
+
+    /// All targets in storage order.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_keeps_everything() {
+        let mut d = Dataset::new();
+        for i in 0..100 {
+            d.push(vec![i as f64], i as f64);
+        }
+        assert_eq!(d.len(), 100);
+    }
+
+    #[test]
+    fn bounded_buffer_holds_only_most_recent() {
+        let mut d = Dataset::with_capacity(3);
+        for i in 0..10 {
+            d.push(vec![i as f64], i as f64);
+        }
+        assert_eq!(d.len(), 3);
+        let mut targets: Vec<f64> = (0..3).map(|i| d.target(i)).collect();
+        targets.sort_by(f64::total_cmp);
+        assert_eq!(targets, vec![7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent feature dimensionality")]
+    fn mismatched_features_panic() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0, 2.0], 0.0);
+        d.push(vec![1.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn nan_target_panics() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0], f64::NAN);
+    }
+
+    #[test]
+    fn feature_len_tracks_first_sample() {
+        let mut d = Dataset::new();
+        assert_eq!(d.feature_len(), 0);
+        d.push(vec![1.0, 2.0, 3.0], 0.5);
+        assert_eq!(d.feature_len(), 3);
+    }
+}

@@ -1,0 +1,307 @@
+//! CART regression trees (variance-reduction splitting).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// Hyper-parameters of a single regression tree.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root at depth 0).
+    pub max_depth: usize,
+    /// Minimum samples a leaf may hold.
+    pub min_samples_leaf: usize,
+    /// Number of candidate features examined per split; `None` = all
+    /// (set by the forest to `√d` for decorrelated trees).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 12, min_samples_leaf: 2, max_features: None }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted CART regression tree.
+///
+/// # Example
+///
+/// ```
+/// use moela_ml::{Dataset, RegressionTree, TreeConfig};
+/// use rand::SeedableRng;
+///
+/// let mut d = Dataset::new();
+/// for i in 0..50 {
+///     let x = i as f64 / 50.0;
+///     d.push(vec![x], if x < 0.5 { 0.0 } else { 1.0 });
+/// }
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let tree = RegressionTree::fit(&d, &TreeConfig::default(), &mut rng);
+/// assert!(tree.predict(&[0.1]) < 0.5);
+/// assert!(tree.predict(&[0.9]) > 0.5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RegressionTree {
+    root: Node,
+    feature_len: usize,
+}
+
+impl RegressionTree {
+    /// Fits a tree on all samples of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(data: &Dataset, config: &TreeConfig, rng: &mut impl Rng) -> Self {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        Self::fit_on(data, &indices, config, rng)
+    }
+
+    /// Fits a tree on the samples selected by `indices` (the forest's
+    /// bootstrap hook). Indices may repeat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty.
+    pub fn fit_on(
+        data: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(!indices.is_empty(), "cannot fit a tree on zero samples");
+        let root = build(data, indices.to_vec(), config, 0, rng);
+        Self { root, feature_len: data.feature_len() }
+    }
+
+    /// Predicts the target for a feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has the wrong length.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.feature_len, "feature length mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Depth of the fitted tree (a leaf-only tree has depth 0).
+    pub fn depth(&self) -> usize {
+        fn walk(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(left).max(walk(right)),
+            }
+        }
+        walk(&self.root)
+    }
+}
+
+fn mean(data: &Dataset, indices: &[usize]) -> f64 {
+    indices.iter().map(|&i| data.target(i)).sum::<f64>() / indices.len() as f64
+}
+
+fn build(
+    data: &Dataset,
+    indices: Vec<usize>,
+    config: &TreeConfig,
+    depth: usize,
+    rng: &mut impl Rng,
+) -> Node {
+    let leaf_value = mean(data, &indices);
+    if depth >= config.max_depth || indices.len() < 2 * config.min_samples_leaf {
+        return Node::Leaf { value: leaf_value };
+    }
+    // Homogeneous targets: nothing to gain.
+    let first = data.target(indices[0]);
+    if indices.iter().all(|&i| (data.target(i) - first).abs() < 1e-15) {
+        return Node::Leaf { value: leaf_value };
+    }
+
+    let d = data.feature_len();
+    let mut candidates: Vec<usize> = (0..d).collect();
+    if let Some(k) = config.max_features {
+        candidates.shuffle(rng);
+        candidates.truncate(k.clamp(1, d));
+    }
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    let mut order = indices.clone();
+    for &feat in &candidates {
+        order.sort_by(|&a, &b| data.features(a)[feat].total_cmp(&data.features(b)[feat]));
+        // Prefix sums over sorted targets let every threshold be scored in
+        // O(1): SSE_total = Σy² − (Σy)²/n on each side.
+        let n = order.len();
+        let mut prefix_sum = 0.0;
+        let mut prefix_sq = 0.0;
+        let total_sum: f64 = order.iter().map(|&i| data.target(i)).sum();
+        let total_sq: f64 = order.iter().map(|&i| data.target(i).powi(2)).sum();
+        for split_at in 1..n {
+            let prev = order[split_at - 1];
+            prefix_sum += data.target(prev);
+            prefix_sq += data.target(prev).powi(2);
+            let xa = data.features(prev)[feat];
+            let xb = data.features(order[split_at])[feat];
+            if xb - xa < 1e-15 {
+                continue; // cannot separate equal feature values
+            }
+            if split_at < config.min_samples_leaf || n - split_at < config.min_samples_leaf {
+                continue;
+            }
+            let left_n = split_at as f64;
+            let right_n = (n - split_at) as f64;
+            let left_sse = prefix_sq - prefix_sum * prefix_sum / left_n;
+            let right_sum = total_sum - prefix_sum;
+            let right_sse = (total_sq - prefix_sq) - right_sum * right_sum / right_n;
+            let sse = left_sse + right_sse;
+            if best.map_or(true, |(_, _, b)| sse < b) {
+                best = Some((feat, (xa + xb) / 2.0, sse));
+            }
+        }
+    }
+
+    match best {
+        None => Node::Leaf { value: leaf_value },
+        Some((feature, threshold, _)) => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                .into_iter()
+                .partition(|&i| data.features(i)[feature] <= threshold);
+            if left_idx.is_empty() || right_idx.is_empty() {
+                return Node::Leaf { value: leaf_value };
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(build(data, left_idx, config, depth + 1, rng)),
+                right: Box::new(build(data, right_idx, config, depth + 1, rng)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn constant_targets_yield_a_single_leaf() {
+        let mut d = Dataset::new();
+        for i in 0..20 {
+            d.push(vec![i as f64], 3.5);
+        }
+        let t = RegressionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.predict(&[100.0]), 3.5);
+    }
+
+    #[test]
+    fn step_function_is_learned_exactly() {
+        let mut d = Dataset::new();
+        for i in 0..100 {
+            let x = i as f64 / 100.0;
+            d.push(vec![x], if x < 0.37 { -1.0 } else { 1.0 });
+        }
+        let t = RegressionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        assert_eq!(t.predict(&[0.1]), -1.0);
+        assert_eq!(t.predict(&[0.99]), 1.0);
+    }
+
+    #[test]
+    fn splits_pick_the_informative_feature() {
+        // Feature 1 is pure noise; feature 0 determines the target.
+        let mut d = Dataset::new();
+        let mut r = rng();
+        for i in 0..200 {
+            let x0 = i as f64 / 200.0;
+            let noise: f64 = r.gen_range(0.0..1.0);
+            d.push(vec![x0, noise], x0 * 10.0);
+        }
+        let t = RegressionTree::fit(&d, &TreeConfig::default(), &mut r);
+        // Prediction must track feature 0 and ignore feature 1.
+        let lo = t.predict(&[0.1, 0.9]);
+        let hi = t.predict(&[0.9, 0.1]);
+        assert!(hi - lo > 5.0, "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn max_depth_limits_the_tree() {
+        let mut d = Dataset::new();
+        let mut r = rng();
+        for _ in 0..500 {
+            let x: f64 = r.gen_range(0.0..1.0);
+            d.push(vec![x], (x * 20.0).sin());
+        }
+        let cfg = TreeConfig { max_depth: 3, ..TreeConfig::default() };
+        let t = RegressionTree::fit(&d, &cfg, &mut r);
+        assert!(t.depth() <= 3);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected_via_smoothing() {
+        let mut d = Dataset::new();
+        // One outlier among identical points.
+        for i in 0..20 {
+            d.push(vec![i as f64], 0.0);
+        }
+        d.push(vec![20.0], 100.0);
+        let cfg = TreeConfig { min_samples_leaf: 5, ..TreeConfig::default() };
+        let t = RegressionTree::fit(&d, &cfg, &mut rng());
+        // The outlier cannot sit in its own leaf, so its prediction is
+        // blended with neighbors.
+        assert!(t.predict(&[20.0]) < 100.0);
+    }
+
+    #[test]
+    fn fit_on_bootstrap_indices_works_with_repeats() {
+        let mut d = Dataset::new();
+        for i in 0..10 {
+            d.push(vec![i as f64], i as f64);
+        }
+        let idx = vec![0, 0, 0, 9, 9, 9];
+        let t = RegressionTree::fit_on(&d, &idx, &TreeConfig::default(), &mut rng());
+        assert!(t.predict(&[0.0]) < t.predict(&[9.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero samples")]
+    fn empty_fit_panics() {
+        let d = Dataset::new();
+        RegressionTree::fit(&d, &TreeConfig::default(), &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature length mismatch")]
+    fn wrong_feature_length_panics() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0, 2.0], 0.0);
+        d.push(vec![2.0, 1.0], 1.0);
+        let t = RegressionTree::fit(&d, &TreeConfig::default(), &mut rng());
+        t.predict(&[1.0]);
+    }
+}

@@ -1,0 +1,193 @@
+//! A bounded archive of non-dominated solutions.
+//!
+//! MOOS and MOO-STAGE maintain an external archive of all non-dominated
+//! designs seen during search; [`ParetoArchive`] provides that with an
+//! optional capacity bound (pruned by crowding distance, so boundary
+//! solutions are never evicted before interior ones).
+
+use crate::pareto::{crowding_distance, dominates, weakly_dominates};
+
+/// A set of mutually non-dominated `(solution, objectives)` pairs.
+///
+/// # Example
+///
+/// ```
+/// use moela_moo::archive::ParetoArchive;
+///
+/// let mut archive: ParetoArchive<&str> = ParetoArchive::unbounded();
+/// archive.insert("a", vec![1.0, 4.0]);
+/// archive.insert("b", vec![4.0, 1.0]);
+/// archive.insert("c", vec![5.0, 5.0]); // dominated, rejected
+/// assert_eq!(archive.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ParetoArchive<S> {
+    entries: Vec<(S, Vec<f64>)>,
+    capacity: Option<usize>,
+}
+
+impl<S: Clone> ParetoArchive<S> {
+    /// An archive with no size limit.
+    pub fn unbounded() -> Self {
+        Self { entries: Vec::new(), capacity: None }
+    }
+
+    /// An archive holding at most `capacity` entries; when full, the most
+    /// crowded entry is evicted first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "archive capacity must be positive");
+        Self { entries: Vec::new(), capacity: Some(capacity) }
+    }
+
+    /// Attempts to insert a solution. Returns `true` if it was added (i.e.
+    /// it is not weakly dominated by an existing entry). Entries dominated
+    /// by the newcomer are removed.
+    pub fn insert(&mut self, solution: S, objectives: Vec<f64>) -> bool {
+        if self
+            .entries
+            .iter()
+            .any(|(_, o)| weakly_dominates(o, &objectives))
+        {
+            return false;
+        }
+        self.entries.retain(|(_, o)| !dominates(&objectives, o));
+        self.entries.push((solution, objectives));
+        if let Some(cap) = self.capacity {
+            while self.entries.len() > cap {
+                self.evict_most_crowded();
+            }
+        }
+        true
+    }
+
+    fn evict_most_crowded(&mut self) {
+        let objs: Vec<Vec<f64>> = self.entries.iter().map(|(_, o)| o.clone()).collect();
+        let dist = crowding_distance(&objs);
+        let victim = dist
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("crowding distance NaN"))
+            .map(|(i, _)| i)
+            .expect("archive is non-empty when evicting");
+        self.entries.swap_remove(victim);
+    }
+
+    /// Number of archived solutions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is archived.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(solution, objectives)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(S, Vec<f64>)> {
+        self.entries.iter()
+    }
+
+    /// The objective vectors of all archived solutions.
+    pub fn objectives(&self) -> Vec<Vec<f64>> {
+        self.entries.iter().map(|(_, o)| o.clone()).collect()
+    }
+
+    /// The archived solutions.
+    pub fn solutions(&self) -> Vec<S> {
+        self.entries.iter().map(|(s, _)| s.clone()).collect()
+    }
+
+    /// Consumes the archive, yielding its entries.
+    pub fn into_entries(self) -> Vec<(S, Vec<f64>)> {
+        self.entries
+    }
+}
+
+impl<S: Clone> Default for ParetoArchive<S> {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl<S: Clone> Extend<(S, Vec<f64>)> for ParetoArchive<S> {
+    fn extend<T: IntoIterator<Item = (S, Vec<f64>)>>(&mut self, iter: T) {
+        for (s, o) in iter {
+            self.insert(s, o);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_dominated_and_duplicate_entries() {
+        let mut a = ParetoArchive::unbounded();
+        assert!(a.insert(1, vec![1.0, 1.0]));
+        assert!(!a.insert(2, vec![2.0, 2.0]));
+        assert!(!a.insert(3, vec![1.0, 1.0])); // weakly dominated duplicate
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn newcomer_sweeps_out_entries_it_dominates() {
+        let mut a = ParetoArchive::unbounded();
+        a.insert(1, vec![2.0, 2.0]);
+        a.insert(2, vec![3.0, 1.0]);
+        assert!(a.insert(3, vec![1.0, 1.0]));
+        // (2,2) dominated by (1,1); (3,1) also dominated.
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.solutions(), vec![3]);
+    }
+
+    #[test]
+    fn archive_entries_stay_mutually_nondominated() {
+        let mut a = ParetoArchive::unbounded();
+        for i in 0..50 {
+            let x = (i as f64 * 0.613).sin().abs() * 10.0;
+            let y = (i as f64 * 0.247).cos().abs() * 10.0;
+            a.insert(i, vec![x, y]);
+        }
+        let objs = a.objectives();
+        for i in 0..objs.len() {
+            for j in 0..objs.len() {
+                if i != j {
+                    assert!(!dominates(&objs[i], &objs[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_archive_evicts_crowded_interior_points() {
+        let mut a = ParetoArchive::bounded(3);
+        a.insert("left", vec![0.0, 10.0]);
+        a.insert("right", vec![10.0, 0.0]);
+        a.insert("mid", vec![5.0, 5.0]);
+        // Two nearly identical interior points: one must be evicted, and the
+        // boundary points must survive.
+        a.insert("mid2", vec![5.1, 4.9]);
+        assert_eq!(a.len(), 3);
+        let sols = a.solutions();
+        assert!(sols.contains(&"left"));
+        assert!(sols.contains(&"right"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ParetoArchive::<u32>::bounded(0);
+    }
+
+    #[test]
+    fn extend_inserts_in_order() {
+        let mut a = ParetoArchive::unbounded();
+        a.extend(vec![(1, vec![1.0, 3.0]), (2, vec![3.0, 1.0]), (3, vec![2.0, 2.0])]);
+        assert_eq!(a.len(), 3);
+    }
+}

@@ -1,0 +1,311 @@
+//! Pareto hypervolume (PHV) computation.
+//!
+//! The hypervolume of a point set `S` with respect to a reference point `r`
+//! is the Lebesgue measure of the region dominated by `S` and bounded by
+//! `r`. It is the solution-quality metric used throughout the MOELA paper
+//! (Tables I and II both report PHV-derived quantities).
+//!
+//! Two implementations are provided:
+//!
+//! * [`hypervolume`] — exact. Dimension-specialized: a sweep for `M = 2`,
+//!   and the WFG recursive exclusive-hypervolume algorithm (While et al.,
+//!   2012) for `M ≥ 3`. Exact HV is exponential in `M` in the worst case;
+//!   for the fronts this workspace produces (`M ≤ 5`, a few hundred points)
+//!   it is comfortably fast.
+//! * [`monte_carlo_hypervolume`] — an unbiased sampling estimator used by
+//!   the test-suite to cross-validate the exact code and usable for large
+//!   `M`.
+//!
+//! Points that do not dominate the reference point contribute only the part
+//! of their box that lies inside the reference box; points entirely outside
+//! contribute nothing.
+
+use rand::Rng;
+
+use crate::pareto::{dominates, weakly_dominates};
+
+/// Exact hypervolume of `points` with respect to `reference`
+/// (minimization: a point contributes iff it is ≤ `reference` in every
+/// coordinate after clamping).
+///
+/// # Panics
+///
+/// Panics if any point's length differs from `reference.len()`, or if
+/// `reference` is empty.
+///
+/// # Example
+///
+/// ```
+/// use moela_moo::hypervolume::hypervolume;
+///
+/// // A single point at the origin dominates the whole unit box.
+/// assert_eq!(hypervolume(&[vec![0.0, 0.0]], &[1.0, 1.0]), 1.0);
+/// // Two staircase points.
+/// let hv = hypervolume(&[vec![0.25, 0.75], vec![0.75, 0.25]], &[1.0, 1.0]);
+/// assert!((hv - 0.3125).abs() < 1e-12);
+/// ```
+pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    assert!(!reference.is_empty(), "reference point must be non-empty");
+    for p in points {
+        assert_eq!(
+            p.len(),
+            reference.len(),
+            "point dimensionality must match the reference point"
+        );
+    }
+    // Keep only points strictly inside the reference box in at least every
+    // dimension (clamp is not needed for minimization: a coordinate above
+    // the reference yields an empty box, so we drop those points).
+    let mut inside: Vec<Vec<f64>> = points
+        .iter()
+        .filter(|p| p.iter().zip(reference).all(|(&x, &r)| x < r))
+        .cloned()
+        .collect();
+    if inside.is_empty() {
+        return 0.0;
+    }
+    filter_non_dominated(&mut inside);
+    match reference.len() {
+        1 => {
+            let best = inside.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
+            reference[0] - best
+        }
+        2 => hv2d(&mut inside, reference),
+        _ => wfg(&inside, reference),
+    }
+}
+
+/// Removes dominated and duplicate points in place.
+fn filter_non_dominated(points: &mut Vec<Vec<f64>>) {
+    let mut keep: Vec<Vec<f64>> = Vec::with_capacity(points.len());
+    'outer: for p in points.drain(..) {
+        let mut i = 0;
+        while i < keep.len() {
+            if weakly_dominates(&keep[i], &p) {
+                continue 'outer;
+            }
+            if dominates(&p, &keep[i]) {
+                keep.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        keep.push(p);
+    }
+    *points = keep;
+}
+
+/// 2-D hypervolume by sweeping points sorted on the first objective.
+fn hv2d(points: &mut [Vec<f64>], reference: &[f64]) -> f64 {
+    points.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("NaN objective"));
+    let mut hv = 0.0;
+    let mut prev_y = reference[1];
+    for p in points.iter() {
+        // points are mutually non-dominated, so y strictly decreases.
+        hv += (reference[0] - p[0]) * (prev_y - p[1]);
+        prev_y = p[1];
+    }
+    hv
+}
+
+/// WFG exclusive-hypervolume recursion.
+///
+/// `hv(S) = Σ_i exclhv(p_i, {p_{i+1}, …})` where
+/// `exclhv(p, S) = inclhv(p) − hv(limitset(p, S))`.
+fn wfg(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    // Sorting by the last objective descending improves limit-set pruning.
+    let mut pts: Vec<Vec<f64>> = points.to_vec();
+    let last = reference.len() - 1;
+    pts.sort_by(|a, b| b[last].partial_cmp(&a[last]).expect("NaN objective"));
+    wfg_rec(&pts, reference)
+}
+
+fn wfg_rec(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    match points.len() {
+        0 => 0.0,
+        1 => inclhv(&points[0], reference),
+        _ => {
+            let mut total = 0.0;
+            for (i, p) in points.iter().enumerate() {
+                total += exclhv(p, &points[i + 1..], reference);
+            }
+            total
+        }
+    }
+}
+
+fn inclhv(p: &[f64], reference: &[f64]) -> f64 {
+    p.iter().zip(reference).map(|(&x, &r)| r - x).product()
+}
+
+fn exclhv(p: &[f64], rest: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut limited: Vec<Vec<f64>> = rest
+        .iter()
+        .map(|q| q.iter().zip(p).map(|(&qi, &pi)| qi.max(pi)).collect())
+        .collect();
+    filter_non_dominated(&mut limited);
+    inclhv(p, reference) - wfg_rec(&limited, reference)
+}
+
+/// Unbiased Monte-Carlo estimate of the hypervolume using `samples` uniform
+/// draws inside the box `[ideal, reference]`.
+///
+/// `ideal` must weakly dominate every point for the estimate to converge to
+/// the exact hypervolume; pass the component-wise minimum of the front (or
+/// anything below it).
+///
+/// # Example
+///
+/// ```
+/// use moela_moo::hypervolume::monte_carlo_hypervolume;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let est = monte_carlo_hypervolume(
+///     &[vec![0.0, 0.0]],
+///     &[1.0, 1.0],
+///     &[0.0, 0.0],
+///     20_000,
+///     &mut rng,
+/// );
+/// assert!((est - 1.0).abs() < 0.02);
+/// ```
+pub fn monte_carlo_hypervolume(
+    points: &[Vec<f64>],
+    reference: &[f64],
+    ideal: &[f64],
+    samples: u32,
+    rng: &mut impl Rng,
+) -> f64 {
+    assert_eq!(reference.len(), ideal.len());
+    let box_volume: f64 = reference
+        .iter()
+        .zip(ideal)
+        .map(|(&r, &i)| (r - i).max(0.0))
+        .product();
+    if box_volume == 0.0 || points.is_empty() || samples == 0 {
+        return 0.0;
+    }
+    let m = reference.len();
+    let mut hits = 0u32;
+    let mut sample = vec![0.0f64; m];
+    for _ in 0..samples {
+        for k in 0..m {
+            sample[k] = rng.gen_range(ideal[k]..reference[k]);
+        }
+        if points.iter().any(|p| p.iter().zip(&sample).all(|(&pi, &si)| pi <= si)) {
+            hits += 1;
+        }
+    }
+    box_volume * f64::from(hits) / f64::from(samples)
+}
+
+/// Relative hypervolume improvement of `ours` over `theirs`, expressed the
+/// way Table II of the paper reports it: `(hv_ours − hv_theirs) / hv_theirs`.
+///
+/// Returns `f64::INFINITY` when `theirs` is zero but `ours` is positive, and
+/// `0.0` when both are zero.
+pub fn hv_gain(ours: f64, theirs: f64) -> f64 {
+    if theirs == 0.0 {
+        if ours > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    } else {
+        (ours - theirs) / theirs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_and_outside_points_have_zero_volume() {
+        assert_eq!(hypervolume(&[], &[1.0, 1.0]), 0.0);
+        assert_eq!(hypervolume(&[vec![2.0, 2.0]], &[1.0, 1.0]), 0.0);
+        assert_eq!(hypervolume(&[vec![0.5, 1.5]], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn one_dimensional_volume_is_a_length() {
+        let hv = hypervolume(&[vec![0.25], vec![0.5]], &[1.0]);
+        assert!((hv - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_dimensional_staircase_matches_hand_computation() {
+        let pts = vec![vec![0.1, 0.9], vec![0.5, 0.5], vec![0.9, 0.1]];
+        // Sweep: (1-0.1)(1-0.9) + (1-0.5)(0.9-0.5) + (1-0.9)(0.5-0.1)
+        let expected = 0.9 * 0.1 + 0.5 * 0.4 + 0.1 * 0.4;
+        assert!((hypervolume(&pts, &[1.0, 1.0]) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_points_do_not_change_the_volume() {
+        let front = vec![vec![0.2, 0.8], vec![0.8, 0.2]];
+        let with_dominated = vec![vec![0.2, 0.8], vec![0.8, 0.2], vec![0.9, 0.9]];
+        assert_eq!(
+            hypervolume(&front, &[1.0, 1.0]),
+            hypervolume(&with_dominated, &[1.0, 1.0])
+        );
+    }
+
+    #[test]
+    fn duplicate_points_do_not_double_count() {
+        let once = vec![vec![0.3, 0.3]];
+        let twice = vec![vec![0.3, 0.3], vec![0.3, 0.3]];
+        assert_eq!(hypervolume(&once, &[1.0, 1.0]), hypervolume(&twice, &[1.0, 1.0]));
+    }
+
+    #[test]
+    fn three_dimensional_boxes_union_exactly() {
+        // Two boxes anchored at (0,0,0.5) and (0.5,0.5,0): the union volume
+        // is 0.5 + 0.5 - overlap, overlap box = [0.5,1]x[0.5,1]x[0.5,1].
+        let pts = vec![vec![0.0, 0.0, 0.5], vec![0.5, 0.5, 0.0]];
+        let expected = 0.5 + 0.25 - 0.125;
+        assert!((hypervolume(&pts, &[1.0, 1.0, 1.0]) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_dimensional_single_point() {
+        let p = vec![vec![0.5; 5]];
+        let hv = hypervolume(&p, &[1.0; 5]);
+        assert!((hv - 0.5f64.powi(5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_matches_monte_carlo_in_4d() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let pts: Vec<Vec<f64>> = (0..12)
+            .map(|_| (0..4).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let exact = hypervolume(&pts, &[1.0; 4]);
+        let est = monte_carlo_hypervolume(&pts, &[1.0; 4], &[0.0; 4], 200_000, &mut rng);
+        assert!(
+            (exact - est).abs() < 0.02,
+            "exact {exact} vs monte-carlo {est}"
+        );
+    }
+
+    #[test]
+    fn adding_a_nondominated_point_never_decreases_hv() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut pts: Vec<Vec<f64>> = (0..8)
+            .map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let before = hypervolume(&pts, &[1.0; 3]);
+        pts.push(vec![0.01, 0.01, 0.01]);
+        let after = hypervolume(&pts, &[1.0; 3]);
+        assert!(after >= before);
+    }
+
+    #[test]
+    fn gain_formula_matches_paper_convention() {
+        assert!((hv_gain(1.2, 1.0) - 0.2).abs() < 1e-12);
+        assert_eq!(hv_gain(0.0, 0.0), 0.0);
+        assert_eq!(hv_gain(1.0, 0.0), f64::INFINITY);
+    }
+}

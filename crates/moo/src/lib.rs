@@ -1,0 +1,49 @@
+//! Multi-objective optimization (MOO) toolkit underpinning the MOELA
+//! reproduction.
+//!
+//! This crate provides the domain-independent machinery that every optimizer
+//! in the workspace builds on:
+//!
+//! * the [`Problem`] trait — the contract between optimizers and design
+//!   spaces (all objectives are **minimized**);
+//! * Pareto analysis: [`pareto::dominates`], fast non-dominated sorting
+//!   ([`pareto::non_dominated_sort`]), crowding distance;
+//! * solution-quality metrics: exact [`hypervolume::hypervolume`] (WFG
+//!   algorithm), a Monte-Carlo estimator, IGD/IGD+, spread and coverage in
+//!   [`metrics`];
+//! * decomposition support: Das–Dennis [`weights::uniform_weights`],
+//!   [`scalarize::Scalarizer`] (weighted sum and Tchebycheff),
+//!   [`scalarize::ReferencePoint`] tracking;
+//! * objective normalization ([`normalize::Normalizer`]) and a bounded
+//!   [`archive::ParetoArchive`];
+//! * synthetic benchmark problems with known Pareto fronts in [`problems`]
+//!   (ZDT, DTLZ, and a combinatorial multi-objective knapsack), used to
+//!   validate every optimizer in the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use moela_moo::{hypervolume::hypervolume, pareto::non_dominated_sort};
+//!
+//! let objs = vec![vec![1.0, 4.0], vec![2.0, 2.0], vec![4.0, 1.0], vec![3.0, 3.0]];
+//! let fronts = non_dominated_sort(&objs);
+//! assert_eq!(fronts[0], vec![0, 1, 2]); // the last point is dominated
+//!
+//! let hv = hypervolume(&objs, &[5.0, 5.0]);
+//! assert!(hv > 0.0);
+//! ```
+
+pub mod archive;
+pub mod counter;
+pub mod hypervolume;
+pub mod metrics;
+pub mod normalize;
+pub mod pareto;
+pub mod problem;
+pub mod problems;
+pub mod run;
+pub mod scalarize;
+pub mod weights;
+
+pub use counter::{Counted, EvalCounter};
+pub use problem::Problem;

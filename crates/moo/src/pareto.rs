@@ -1,0 +1,249 @@
+//! Pareto dominance, fast non-dominated sorting, and crowding distance.
+//!
+//! All functions assume **minimization** of every objective, matching the
+//! [`crate::Problem`] contract.
+
+/// Returns `true` if `a` Pareto-dominates `b`: `a` is no worse in every
+/// objective and strictly better in at least one.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use moela_moo::pareto::dominates;
+///
+/// assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+/// assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0])); // incomparable
+/// assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0])); // equal
+/// ```
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must have equal length");
+    let mut strictly_better = false;
+    for (&x, &y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Returns `true` if `a` weakly dominates `b` (no worse in every objective).
+pub fn weakly_dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective vectors must have equal length");
+    a.iter().zip(b).all(|(&x, &y)| x <= y)
+}
+
+/// Indices of the non-dominated members of `objs` (the first Pareto front),
+/// in their original order.
+///
+/// Duplicated objective vectors are all retained: a point never dominates an
+/// exact copy of itself.
+pub fn non_dominated_indices(objs: &[Vec<f64>]) -> Vec<usize> {
+    (0..objs.len())
+        .filter(|&i| !objs.iter().enumerate().any(|(j, o)| j != i && dominates(o, &objs[i])))
+        .collect()
+}
+
+/// Fast non-dominated sorting (Deb et al., NSGA-II).
+///
+/// Partitions `objs` into fronts: `fronts[0]` holds indices of the Pareto
+/// front, `fronts[1]` the points dominated only by front 0, and so on. Every
+/// index appears in exactly one front.
+///
+/// Runs in `O(M·n²)` — the standard NSGA-II book-keeping with per-point
+/// domination counts.
+pub fn non_dominated_sort(objs: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = objs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // dominated_by[i] = points that i dominates; counts[i] = how many
+    // points dominate i.
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut counts = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(&objs[i], &objs[j]) {
+                dominated_by[i].push(j);
+                counts[j] += 1;
+            } else if dominates(&objs[j], &objs[i]) {
+                dominated_by[j].push(i);
+                counts[i] += 1;
+            }
+        }
+    }
+    let mut fronts = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| counts[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                counts[j] -= 1;
+                if counts[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        next.sort_unstable();
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+}
+
+/// NSGA-II crowding distance of every member of a single front.
+///
+/// Boundary points of each objective get `f64::INFINITY`; interior points get
+/// the sum of normalized neighbor gaps. Fronts of size ≤ 2 are all-infinite.
+///
+/// # Panics
+///
+/// Panics if the vectors in `front` have inconsistent lengths.
+pub fn crowding_distance(front: &[Vec<f64>]) -> Vec<f64> {
+    let n = front.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = front[0].len();
+    let mut dist = vec![0.0f64; n];
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    for k in 0..m {
+        order.sort_by(|&a, &b| {
+            front[a][k]
+                .partial_cmp(&front[b][k])
+                .expect("objective values must not be NaN")
+        });
+        let lo = front[order[0]][k];
+        let hi = front[order[n - 1]][k];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[n - 1]] = f64::INFINITY;
+        let range = hi - lo;
+        if range <= f64::EPSILON {
+            continue;
+        }
+        for w in 1..n - 1 {
+            let prev = front[order[w - 1]][k];
+            let next = front[order[w + 1]][k];
+            dist[order[w]] += (next - prev) / range;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basic_cases() {
+        assert!(dominates(&[0.0, 0.0], &[1.0, 1.0]));
+        assert!(dominates(&[0.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(!dominates(&[0.0, 2.0], &[1.0, 1.0]));
+        assert!(weakly_dominates(&[1.0, 1.0], &[1.0, 1.0]));
+        assert!(!weakly_dominates(&[1.0, 2.0], &[1.0, 1.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn dominance_rejects_mismatched_lengths() {
+        dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn first_front_of_a_staircase_is_everything() {
+        let objs = vec![vec![0.0, 3.0], vec![1.0, 2.0], vec![2.0, 1.0], vec![3.0, 0.0]];
+        assert_eq!(non_dominated_indices(&objs), vec![0, 1, 2, 3]);
+        let fronts = non_dominated_sort(&objs);
+        assert_eq!(fronts.len(), 1);
+    }
+
+    #[test]
+    fn sorting_layers_nested_staircases() {
+        // Two shifted staircases: the +2 copies form the second front.
+        let mut objs = Vec::new();
+        for i in 0..4 {
+            objs.push(vec![i as f64, (3 - i) as f64]);
+        }
+        for i in 0..4 {
+            objs.push(vec![i as f64 + 2.0, (3 - i) as f64 + 2.0]);
+        }
+        let fronts = non_dominated_sort(&objs);
+        assert_eq!(fronts.len(), 2);
+        assert_eq!(fronts[0], vec![0, 1, 2, 3]);
+        assert_eq!(fronts[1], vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn every_index_appears_exactly_once() {
+        let objs: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let x = (i as f64 * 0.37).sin().abs();
+                let y = (i as f64 * 0.71).cos().abs();
+                vec![x, y, x * y]
+            })
+            .collect();
+        let fronts = non_dominated_sort(&objs);
+        let mut seen: Vec<usize> = fronts.concat();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicates_stay_in_the_same_front() {
+        let objs = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![2.0, 2.0]];
+        let fronts = non_dominated_sort(&objs);
+        assert_eq!(fronts[0], vec![0, 1]);
+        assert_eq!(fronts[1], vec![2]);
+    }
+
+    #[test]
+    fn crowding_boundary_points_are_infinite() {
+        let front = vec![vec![0.0, 4.0], vec![1.0, 2.0], vec![2.0, 1.0], vec![4.0, 0.0]];
+        let d = crowding_distance(&front);
+        assert!(d[0].is_infinite());
+        assert!(d[3].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        assert!(d[2].is_finite() && d[2] > 0.0);
+    }
+
+    #[test]
+    fn crowding_of_tiny_fronts_is_infinite() {
+        assert!(crowding_distance(&[vec![1.0, 2.0]]).iter().all(|d| d.is_infinite()));
+        assert!(crowding_distance(&[vec![1.0, 2.0], vec![2.0, 1.0]])
+            .iter()
+            .all(|d| d.is_infinite()));
+        assert!(crowding_distance(&[]).is_empty());
+    }
+
+    #[test]
+    fn crowding_prefers_isolated_points() {
+        // Middle point 1 sits in a sparse region; point 2 is crowded
+        // between 1 and 3.
+        let front = vec![
+            vec![0.0, 10.0],
+            vec![5.0, 5.0],
+            vec![8.8, 1.2],
+            vec![9.0, 1.0],
+            vec![10.0, 0.0],
+        ];
+        let d = crowding_distance(&front);
+        assert!(d[1] > d[2]);
+        assert!(d[1] > d[3]);
+    }
+
+    #[test]
+    fn degenerate_equal_objective_range_does_not_nan() {
+        let front = vec![vec![1.0, 0.0], vec![1.0, 0.5], vec![1.0, 1.0]];
+        let d = crowding_distance(&front);
+        assert!(d.iter().all(|x| !x.is_nan()));
+    }
+}

@@ -1,0 +1,318 @@
+//! The DTLZ scalable-objective test family (Deb, Thiele, Laumanns, Zitzler).
+//!
+//! DTLZ problems scale to any number of objectives `M`, which makes them the
+//! synthetic stand-in for the paper's 3-, 4-, and 5-objective regimes.
+
+use rand::{Rng, RngCore};
+
+use crate::problem::Problem;
+
+/// Which DTLZ function a [`Dtlz`] instance computes.
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash)]
+pub enum DtlzVariant {
+    /// Linear Pareto front `Σ f_i = 0.5`, highly multi-modal `g`.
+    Dtlz1,
+    /// Spherical front `Σ f_i² = 1`, unimodal.
+    Dtlz2,
+    /// Spherical front with DTLZ1's multi-modal distance function.
+    Dtlz3,
+    /// Spherical front with a biased (`x^100`) position mapping that
+    /// crowds solutions near the axes.
+    Dtlz4,
+    /// Mixed: a disconnected set of 2^{M−1} regions.
+    Dtlz7,
+}
+
+/// A DTLZ instance with `m` objectives and `k` distance variables
+/// (total decision variables `n = m − 1 + k`). Solutions live in `[0,1]ⁿ`.
+///
+/// # Example
+///
+/// ```
+/// use moela_moo::{problems::Dtlz, Problem};
+///
+/// let p = Dtlz::dtlz2(3, 10);
+/// assert_eq!(p.objective_count(), 3);
+/// // An optimal point: position variables free, distance variables at 0.5.
+/// let mut x = vec![0.5; p.dimensions()];
+/// let f = p.evaluate(&x);
+/// let norm: f64 = f.iter().map(|v| v * v).sum();
+/// assert!((norm - 1.0).abs() < 1e-9);
+/// # let _ = x.pop();
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dtlz {
+    variant: DtlzVariant,
+    m: usize,
+    k: usize,
+}
+
+impl Dtlz {
+    /// Creates a DTLZ instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m < 2` or `k == 0`.
+    pub fn new(variant: DtlzVariant, m: usize, k: usize) -> Self {
+        assert!(m >= 2, "DTLZ needs at least two objectives");
+        assert!(k >= 1, "DTLZ needs at least one distance variable");
+        Self { variant, m, k }
+    }
+
+    /// DTLZ1 with `m` objectives and `k` distance variables.
+    pub fn dtlz1(m: usize, k: usize) -> Self {
+        Self::new(DtlzVariant::Dtlz1, m, k)
+    }
+
+    /// DTLZ2 with `m` objectives and `k` distance variables.
+    pub fn dtlz2(m: usize, k: usize) -> Self {
+        Self::new(DtlzVariant::Dtlz2, m, k)
+    }
+
+    /// DTLZ3 with `m` objectives and `k` distance variables.
+    pub fn dtlz3(m: usize, k: usize) -> Self {
+        Self::new(DtlzVariant::Dtlz3, m, k)
+    }
+
+    /// DTLZ4 with `m` objectives and `k` distance variables.
+    pub fn dtlz4(m: usize, k: usize) -> Self {
+        Self::new(DtlzVariant::Dtlz4, m, k)
+    }
+
+    /// DTLZ7 with `m` objectives and `k` distance variables.
+    pub fn dtlz7(m: usize, k: usize) -> Self {
+        Self::new(DtlzVariant::Dtlz7, m, k)
+    }
+
+    /// Total number of decision variables.
+    pub fn dimensions(&self) -> usize {
+        self.m - 1 + self.k
+    }
+
+    /// The variant this instance computes.
+    pub fn variant(&self) -> DtlzVariant {
+        self.variant
+    }
+
+    fn g(&self, tail: &[f64]) -> f64 {
+        match self.variant {
+            DtlzVariant::Dtlz1 | DtlzVariant::Dtlz3 => {
+                100.0
+                    * (self.k as f64
+                        + tail
+                            .iter()
+                            .map(|&xi| {
+                                (xi - 0.5).powi(2)
+                                    - (20.0 * std::f64::consts::PI * (xi - 0.5)).cos()
+                            })
+                            .sum::<f64>())
+            }
+            DtlzVariant::Dtlz2 | DtlzVariant::Dtlz4 => {
+                tail.iter().map(|&xi| (xi - 0.5).powi(2)).sum()
+            }
+            DtlzVariant::Dtlz7 => {
+                1.0 + 9.0 * tail.iter().sum::<f64>() / self.k as f64
+            }
+        }
+    }
+}
+
+impl Problem for Dtlz {
+    type Solution = Vec<f64>;
+
+    fn objective_count(&self) -> usize {
+        self.m
+    }
+
+    fn random_solution(&self, rng: &mut dyn RngCore) -> Vec<f64> {
+        (0..self.dimensions()).map(|_| rng.gen_range(0.0..=1.0)).collect()
+    }
+
+    fn neighbor(&self, s: &Vec<f64>, rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut out = s.clone();
+        let i = rng.gen_range(0..out.len());
+        if rng.gen_bool(0.2) {
+            // Occasional macro-move (see the ZDT neighbor): lets local
+            // searches cross DTLZ1's valley structure.
+            out[i] = rng.gen_range(0.0..=1.0);
+        } else {
+            let step: f64 = (0..6).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>() * 0.1;
+            out[i] = (out[i] + step).clamp(0.0, 1.0);
+        }
+        out
+    }
+
+    fn crossover(&self, a: &Vec<f64>, b: &Vec<f64>, rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut child: Vec<f64> = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| {
+                let t: f64 = rng.gen_range(-0.25..1.25);
+                (x + t * (y - x)).clamp(0.0, 1.0)
+            })
+            .collect();
+        if rng.gen_bool(0.3) {
+            let i = rng.gen_range(0..child.len());
+            child[i] = rng.gen_range(0.0..=1.0);
+        }
+        child
+    }
+
+    fn evaluate(&self, x: &Vec<f64>) -> Vec<f64> {
+        assert_eq!(x.len(), self.dimensions(), "solution has wrong dimensionality");
+        let (pos, tail) = x.split_at(self.m - 1);
+        let g = self.g(tail);
+        match self.variant {
+            DtlzVariant::Dtlz1 => {
+                let mut f = Vec::with_capacity(self.m);
+                for i in 0..self.m {
+                    let mut v = 0.5 * (1.0 + g);
+                    for &p in pos.iter().take(self.m - 1 - i) {
+                        v *= p;
+                    }
+                    if i > 0 {
+                        v *= 1.0 - pos[self.m - 1 - i];
+                    }
+                    f.push(v);
+                }
+                f
+            }
+            DtlzVariant::Dtlz2 | DtlzVariant::Dtlz3 | DtlzVariant::Dtlz4 => {
+                let half_pi = std::f64::consts::FRAC_PI_2;
+                // DTLZ4 biases the position variables toward the axes.
+                let alpha = if self.variant == DtlzVariant::Dtlz4 { 100.0 } else { 1.0 };
+                let mut f = Vec::with_capacity(self.m);
+                for i in 0..self.m {
+                    let mut v = 1.0 + g;
+                    for &p in pos.iter().take(self.m - 1 - i) {
+                        v *= (p.powf(alpha) * half_pi).cos();
+                    }
+                    if i > 0 {
+                        v *= (pos[self.m - 1 - i].powf(alpha) * half_pi).sin();
+                    }
+                    f.push(v);
+                }
+                f
+            }
+            DtlzVariant::Dtlz7 => {
+                let mut f: Vec<f64> = pos.to_vec();
+                let h = self.m as f64
+                    - f.iter()
+                        .map(|&fi| {
+                            fi / (1.0 + g)
+                                * (1.0 + (3.0 * std::f64::consts::PI * fi).sin())
+                        })
+                        .sum::<f64>();
+                f.push((1.0 + g) * h);
+                f
+            }
+        }
+    }
+
+    fn features(&self, s: &Vec<f64>) -> Vec<f64> {
+        s.clone()
+    }
+
+    fn feature_len(&self) -> usize {
+        self.dimensions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dtlz1_optimal_points_sum_to_half() {
+        let p = Dtlz::dtlz1(3, 5);
+        // distance variables at 0.5 make g = 0.
+        let mut x = vec![0.3, 0.7];
+        x.extend(vec![0.5; 5]);
+        let f = p.evaluate(&x);
+        let s: f64 = f.iter().sum();
+        assert!((s - 0.5).abs() < 1e-9, "sum {s}");
+    }
+
+    #[test]
+    fn dtlz2_optimal_points_lie_on_the_unit_sphere() {
+        for m in [3, 4, 5] {
+            let p = Dtlz::dtlz2(m, 8);
+            let mut x = vec![0.2; m - 1];
+            x.extend(vec![0.5; 8]);
+            let f = p.evaluate(&x);
+            assert_eq!(f.len(), m);
+            let norm: f64 = f.iter().map(|v| v * v).sum();
+            assert!((norm - 1.0).abs() < 1e-9, "m={m} norm={norm}");
+        }
+    }
+
+    #[test]
+    fn dtlz2_objectives_are_nonnegative() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let p = Dtlz::dtlz2(5, 10);
+        for _ in 0..200 {
+            let x = p.random_solution(&mut rng);
+            assert!(p.evaluate(&x).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn dtlz3_optimal_points_lie_on_the_unit_sphere() {
+        let p = Dtlz::dtlz3(3, 4);
+        // g vanishes with all distance variables at 0.5.
+        let mut x = vec![0.3, 0.6];
+        x.extend(vec![0.5; 4]);
+        let f = p.evaluate(&x);
+        let norm: f64 = f.iter().map(|v| v * v).sum();
+        assert!((norm - 1.0).abs() < 1e-9, "norm {norm}");
+        // Away from the optimum, DTLZ3's g explodes like DTLZ1's.
+        let mut far = vec![0.3, 0.6];
+        far.extend(vec![0.0; 4]);
+        let g_far: f64 = p.evaluate(&far).iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(g_far > 10.0, "multi-modal g must be large away from 0.5");
+    }
+
+    #[test]
+    fn dtlz4_bias_crowds_the_axes() {
+        let p = Dtlz::dtlz4(3, 4);
+        let mut x = vec![0.5, 0.5]; // 0.5^100 ≈ 0 ⇒ cos(0)=1 everywhere
+        x.extend(vec![0.5; 4]);
+        let f = p.evaluate(&x);
+        // The biased mapping (0.5^100 ≈ 0) collapses interior positions
+        // onto the f1 axis: cos(0) = 1 for every factor, sin(0) = 0.
+        assert!(f[0] > 0.99, "f = {f:?}");
+        assert!(f[1] < 1e-9 && f[2] < 1e-9, "f = {f:?}");
+    }
+
+    #[test]
+    fn dtlz7_last_objective_reflects_distance_function() {
+        let p = Dtlz::dtlz7(3, 4);
+        let optimal = {
+            let mut x = vec![0.2, 0.4];
+            x.extend(vec![0.0; 4]); // g minimal at tail = 0
+            p.evaluate(&x)
+        };
+        let worse = {
+            let mut x = vec![0.2, 0.4];
+            x.extend(vec![1.0; 4]);
+            p.evaluate(&x)
+        };
+        assert!(worse[2] > optimal[2]);
+        assert_eq!(worse[0], optimal[0]);
+    }
+
+    #[test]
+    fn operators_respect_unit_box() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let p = Dtlz::dtlz2(4, 6);
+        let a = p.random_solution(&mut rng);
+        let b = p.random_solution(&mut rng);
+        for _ in 0..50 {
+            for v in [p.neighbor(&a, &mut rng), p.crossover(&a, &b, &mut rng)] {
+                assert_eq!(v.len(), p.dimensions());
+                assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! A combinatorial multi-objective 0/1 knapsack problem.
+//!
+//! This is the discrete analogue the decomposition literature (the paper's
+//! reference [18]) uses, and the closest synthetic stand-in for the manycore
+//! design space: binary decisions, a feasibility constraint handled by
+//! repair, and conflicting objectives.
+//!
+//! `m` knapsacks share the same item set; item `i` has weight `w_i` and a
+//! per-knapsack profit `p_{k,i}`. We minimize the per-knapsack *profit gap*
+//! `(max_profit_k − profit_k)` subject to a single capacity constraint, so
+//! all objectives are minimization as the [`Problem`] contract requires.
+
+use rand::{Rng, RngCore};
+
+use crate::problem::Problem;
+
+/// A randomly generated multi-objective knapsack instance.
+///
+/// # Example
+///
+/// ```
+/// use moela_moo::{problems::Knapsack, Problem};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let p = Knapsack::random(30, 3, &mut rng);
+/// let x = p.random_solution(&mut rng);
+/// assert!(p.weight(&x) <= p.capacity());
+/// assert_eq!(p.evaluate(&x).len(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Knapsack {
+    weights: Vec<f64>,
+    /// `profits[k][i]` = profit of item `i` in objective `k`.
+    profits: Vec<Vec<f64>>,
+    capacity: f64,
+    max_profit: Vec<f64>,
+}
+
+impl Knapsack {
+    /// Generates an instance with `items` items and `m` objectives; weights
+    /// and profits are uniform in `[1, 10]`, capacity is half the total
+    /// weight (the standard Zitzler–Thiele setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0` or `m == 0`.
+    pub fn random(items: usize, m: usize, rng: &mut impl Rng) -> Self {
+        assert!(items > 0, "need at least one item");
+        assert!(m > 0, "need at least one objective");
+        let weights: Vec<f64> = (0..items).map(|_| rng.gen_range(1.0..=10.0)).collect();
+        let profits: Vec<Vec<f64>> = (0..m)
+            .map(|_| (0..items).map(|_| rng.gen_range(1.0..=10.0)).collect())
+            .collect();
+        let capacity = weights.iter().sum::<f64>() / 2.0;
+        let max_profit = profits.iter().map(|p| p.iter().sum()).collect();
+        Self { weights, profits, capacity, max_profit }
+    }
+
+    /// Number of items.
+    pub fn items(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The shared capacity constraint.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Total selected weight of `x`.
+    pub fn weight(&self, x: &[bool]) -> f64 {
+        x.iter()
+            .zip(&self.weights)
+            .filter(|(&sel, _)| sel)
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    /// Greedy repair: while over capacity, drop the selected item with the
+    /// worst profit-per-weight ratio (summed over objectives).
+    fn repair(&self, x: &mut [bool]) {
+        while self.weight(x) > self.capacity {
+            let victim = x
+                .iter()
+                .enumerate()
+                .filter(|(_, &sel)| sel)
+                .min_by(|(i, _), (j, _)| {
+                    let ri = self.ratio(*i);
+                    let rj = self.ratio(*j);
+                    ri.partial_cmp(&rj).expect("ratios are finite")
+                })
+                .map(|(i, _)| i)
+                .expect("over capacity implies something is selected");
+            x[victim] = false;
+        }
+    }
+
+    fn ratio(&self, i: usize) -> f64 {
+        let total: f64 = self.profits.iter().map(|p| p[i]).sum();
+        total / self.weights[i]
+    }
+}
+
+impl Problem for Knapsack {
+    type Solution = Vec<bool>;
+
+    fn objective_count(&self) -> usize {
+        self.profits.len()
+    }
+
+    fn random_solution(&self, rng: &mut dyn RngCore) -> Vec<bool> {
+        let mut x: Vec<bool> = (0..self.items()).map(|_| rng.gen_bool(0.5)).collect();
+        self.repair(&mut x);
+        x
+    }
+
+    fn neighbor(&self, s: &Vec<bool>, rng: &mut dyn RngCore) -> Vec<bool> {
+        let mut out = s.clone();
+        let i = rng.gen_range(0..out.len());
+        out[i] = !out[i];
+        self.repair(&mut out);
+        out
+    }
+
+    fn crossover(&self, a: &Vec<bool>, b: &Vec<bool>, rng: &mut dyn RngCore) -> Vec<bool> {
+        let mut child: Vec<bool> = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
+            .collect();
+        // Bit-flip mutation at rate 1/n.
+        for bit in child.iter_mut() {
+            if rng.gen_bool(1.0 / self.items() as f64) {
+                *bit = !*bit;
+            }
+        }
+        self.repair(&mut child);
+        child
+    }
+
+    fn evaluate(&self, x: &Vec<bool>) -> Vec<f64> {
+        assert_eq!(x.len(), self.items(), "solution has wrong length");
+        self.profits
+            .iter()
+            .zip(&self.max_profit)
+            .map(|(p, &maxp)| {
+                let profit: f64 = x
+                    .iter()
+                    .zip(p)
+                    .filter(|(&sel, _)| sel)
+                    .map(|(_, &v)| v)
+                    .sum();
+                maxp - profit
+            })
+            .collect()
+    }
+
+    fn features(&self, s: &Vec<bool>) -> Vec<f64> {
+        s.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
+    }
+
+    fn feature_len(&self) -> usize {
+        self.items()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn instance(seed: u64) -> (Knapsack, rand::rngs::StdRng) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p = Knapsack::random(40, 3, &mut rng);
+        (p, rng)
+    }
+
+    #[test]
+    fn all_generated_solutions_are_feasible() {
+        let (p, mut rng) = instance(2);
+        let a = p.random_solution(&mut rng);
+        let b = p.random_solution(&mut rng);
+        assert!(p.weight(&a) <= p.capacity());
+        for _ in 0..100 {
+            let n = p.neighbor(&a, &mut rng);
+            let c = p.crossover(&a, &b, &mut rng);
+            assert!(p.weight(&n) <= p.capacity());
+            assert!(p.weight(&c) <= p.capacity());
+        }
+    }
+
+    #[test]
+    fn objectives_are_nonnegative_gaps() {
+        let (p, mut rng) = instance(3);
+        for _ in 0..50 {
+            let x = p.random_solution(&mut rng);
+            assert!(p.evaluate(&x).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn empty_selection_has_maximal_gap() {
+        let (p, _) = instance(4);
+        let empty = vec![false; p.items()];
+        let gaps = p.evaluate(&empty);
+        for (k, &g) in gaps.iter().enumerate() {
+            let maxp: f64 = p.profits[k].iter().sum();
+            assert!((g - maxp).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn selecting_more_items_never_increases_any_gap() {
+        let (p, _) = instance(5);
+        let mut a = vec![false; p.items()];
+        a[0] = true;
+        let mut b = a.clone();
+        b[1] = true;
+        // b ⊇ a and both feasible (tiny selections): gap can only shrink.
+        let ga = p.evaluate(&a);
+        let gb = p.evaluate(&b);
+        assert!(gb.iter().zip(&ga).all(|(&x, &y)| x <= y));
+    }
+
+    #[test]
+    fn repair_reaches_feasibility_from_full_selection() {
+        let (p, _) = instance(6);
+        let mut x = vec![true; p.items()];
+        p.repair(&mut x);
+        assert!(p.weight(&x) <= p.capacity());
+        assert!(x.iter().any(|&b| b), "repair should not empty the bag");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(9);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(9);
+        let p1 = Knapsack::random(20, 2, &mut r1);
+        let p2 = Knapsack::random(20, 2, &mut r2);
+        assert_eq!(p1.weights, p2.weights);
+        assert_eq!(p1.profits, p2.profits);
+    }
+}

@@ -1,0 +1,19 @@
+//! Synthetic multi-objective benchmark problems with known Pareto fronts.
+//!
+//! These validate every optimizer in the workspace against ground truth:
+//!
+//! * [`Zdt`] — the ZDT bi-objective family (continuous);
+//! * [`Dtlz`] — the DTLZ scalable-objective family (continuous, used for
+//!   the 3/4/5-objective regimes the paper evaluates);
+//! * [`Knapsack`] — a combinatorial multi-objective 0/1 knapsack, the
+//!   closest synthetic analogue of the discrete manycore design space and
+//!   the problem family used by the Tchebycheff-decomposition reference
+//!   \[18\] of the paper.
+
+mod dtlz;
+mod knapsack;
+mod zdt;
+
+pub use dtlz::Dtlz;
+pub use knapsack::Knapsack;
+pub use zdt::Zdt;

@@ -1,0 +1,329 @@
+//! The ZDT bi-objective test family (Zitzler, Deb, Thiele 2000).
+
+use rand::{Rng, RngCore};
+
+use crate::problem::Problem;
+
+/// Which ZDT function a [`Zdt`] instance computes.
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash)]
+pub enum ZdtVariant {
+    /// Convex front `f2 = 1 − √f1`.
+    Zdt1,
+    /// Concave front `f2 = 1 − f1²`.
+    Zdt2,
+    /// Disconnected front.
+    Zdt3,
+    /// Multi-modal (21⁹ local fronts).
+    Zdt4,
+    /// Non-uniformly spaced convex front.
+    Zdt6,
+}
+
+/// A ZDT problem instance over `n` decision variables.
+///
+/// Solutions are vectors in `[0,1]ⁿ` (ZDT4's tail variables live in
+/// `[−5, 5]`). Both objectives are minimized; the true Pareto front is
+/// attained at `g(x) = 1` (tail variables at their optimum).
+///
+/// # Example
+///
+/// ```
+/// use moela_moo::{problems::Zdt, Problem};
+///
+/// let p = Zdt::zdt1(30);
+/// // A Pareto-optimal point: x1 free, all other variables 0.
+/// let mut x = vec![0.0; 30];
+/// x[0] = 0.25;
+/// let f = p.evaluate(&x);
+/// assert!((f[1] - (1.0 - 0.25f64.sqrt())).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zdt {
+    variant: ZdtVariant,
+    n: usize,
+}
+
+impl Zdt {
+    /// Creates an instance of `variant` with `n ≥ 2` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(variant: ZdtVariant, n: usize) -> Self {
+        assert!(n >= 2, "ZDT needs at least two decision variables");
+        Self { variant, n }
+    }
+
+    /// ZDT1 with `n` variables.
+    pub fn zdt1(n: usize) -> Self {
+        Self::new(ZdtVariant::Zdt1, n)
+    }
+
+    /// ZDT2 with `n` variables.
+    pub fn zdt2(n: usize) -> Self {
+        Self::new(ZdtVariant::Zdt2, n)
+    }
+
+    /// ZDT3 with `n` variables.
+    pub fn zdt3(n: usize) -> Self {
+        Self::new(ZdtVariant::Zdt3, n)
+    }
+
+    /// ZDT4 with `n` variables.
+    pub fn zdt4(n: usize) -> Self {
+        Self::new(ZdtVariant::Zdt4, n)
+    }
+
+    /// ZDT6 with `n` variables.
+    pub fn zdt6(n: usize) -> Self {
+        Self::new(ZdtVariant::Zdt6, n)
+    }
+
+    /// The variant this instance computes.
+    pub fn variant(&self) -> ZdtVariant {
+        self.variant
+    }
+
+    /// Number of decision variables.
+    pub fn dimensions(&self) -> usize {
+        self.n
+    }
+
+    fn bounds(&self, i: usize) -> (f64, f64) {
+        match self.variant {
+            ZdtVariant::Zdt4 if i > 0 => (-5.0, 5.0),
+            _ => (0.0, 1.0),
+        }
+    }
+
+    /// Samples `count` points of the true Pareto front (uniform in `f1`),
+    /// for IGD computations.
+    pub fn true_front(&self, count: usize) -> Vec<Vec<f64>> {
+        assert!(count >= 2);
+        let mut pts = Vec::with_capacity(count);
+        for i in 0..count {
+            let f1 = match self.variant {
+                // ZDT6's f1 only reaches down to ~0.2807 (at x1 = 1).
+                ZdtVariant::Zdt6 => {
+                    let x1 = i as f64 / (count - 1) as f64;
+                    zdt6_f1(x1)
+                }
+                _ => i as f64 / (count - 1) as f64,
+            };
+            let f2 = match self.variant {
+                ZdtVariant::Zdt1 | ZdtVariant::Zdt4 => 1.0 - f1.sqrt(),
+                ZdtVariant::Zdt2 | ZdtVariant::Zdt6 => 1.0 - f1 * f1,
+                ZdtVariant::Zdt3 => {
+                    1.0 - f1.sqrt() - f1 * (10.0 * std::f64::consts::PI * f1).sin()
+                }
+            };
+            pts.push(vec![f1, f2]);
+        }
+        if self.variant == ZdtVariant::Zdt3 {
+            // ZDT3's analytic curve is only partially Pareto-optimal; keep
+            // the non-dominated subset.
+            let keep = crate::pareto::non_dominated_indices(&pts);
+            pts = keep.into_iter().map(|i| pts[i].clone()).collect();
+        }
+        pts
+    }
+}
+
+fn zdt6_f1(x1: f64) -> f64 {
+    1.0 - (-4.0 * x1).exp() * (6.0 * std::f64::consts::PI * x1).sin().powi(6)
+}
+
+impl Problem for Zdt {
+    type Solution = Vec<f64>;
+
+    fn objective_count(&self) -> usize {
+        2
+    }
+
+    fn random_solution(&self, rng: &mut dyn RngCore) -> Vec<f64> {
+        (0..self.n)
+            .map(|i| {
+                let (lo, hi) = self.bounds(i);
+                rng.gen_range(lo..=hi)
+            })
+            .collect()
+    }
+
+    fn neighbor(&self, s: &Vec<f64>, rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut out = s.clone();
+        let i = rng.gen_range(0..self.n);
+        let (lo, hi) = self.bounds(i);
+        if rng.gen_bool(0.2) {
+            // Occasional macro-move: resample the coordinate so local
+            // searches can cross valleys (essential on ZDT4).
+            out[i] = rng.gen_range(lo..=hi);
+        } else {
+            let sigma = (hi - lo) * 0.1;
+            // Box–Muller-free gaussian-ish step: sum of uniforms.
+            let step: f64 = (0..6).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>() * sigma;
+            out[i] = (out[i] + step).clamp(lo, hi);
+        }
+        out
+    }
+
+    fn crossover(&self, a: &Vec<f64>, b: &Vec<f64>, rng: &mut dyn RngCore) -> Vec<f64> {
+        let mut child: Vec<f64> = a
+            .iter()
+            .zip(b)
+            .enumerate()
+            .map(|(i, (&x, &y))| {
+                let (lo, hi) = self.bounds(i);
+                let t: f64 = rng.gen_range(-0.25..1.25); // BLX-style blend
+                (x + t * (y - x)).clamp(lo, hi)
+            })
+            .collect();
+        // Light mutation keeps diversity.
+        if rng.gen_bool(0.3) {
+            let i = rng.gen_range(0..self.n);
+            let (lo, hi) = self.bounds(i);
+            child[i] = rng.gen_range(lo..=hi);
+        }
+        child
+    }
+
+    fn evaluate(&self, x: &Vec<f64>) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "solution has wrong dimensionality");
+        let tail = &x[1..];
+        match self.variant {
+            ZdtVariant::Zdt1 | ZdtVariant::Zdt2 | ZdtVariant::Zdt3 => {
+                let g = 1.0 + 9.0 * tail.iter().sum::<f64>() / (self.n - 1) as f64;
+                let f1 = x[0];
+                let h = match self.variant {
+                    ZdtVariant::Zdt1 => 1.0 - (f1 / g).sqrt(),
+                    ZdtVariant::Zdt2 => 1.0 - (f1 / g).powi(2),
+                    _ => {
+                        1.0 - (f1 / g).sqrt()
+                            - (f1 / g) * (10.0 * std::f64::consts::PI * f1).sin()
+                    }
+                };
+                vec![f1, g * h]
+            }
+            ZdtVariant::Zdt4 => {
+                let g = 1.0
+                    + 10.0 * (self.n - 1) as f64
+                    + tail
+                        .iter()
+                        .map(|&xi| xi * xi - 10.0 * (4.0 * std::f64::consts::PI * xi).cos())
+                        .sum::<f64>();
+                let f1 = x[0];
+                vec![f1, g * (1.0 - (f1 / g).sqrt())]
+            }
+            ZdtVariant::Zdt6 => {
+                let f1 = zdt6_f1(x[0]);
+                let g = 1.0
+                    + 9.0 * (tail.iter().sum::<f64>() / (self.n - 1) as f64).powf(0.25);
+                vec![f1, g * (1.0 - (f1 / g).powi(2))]
+            }
+        }
+    }
+
+    fn features(&self, s: &Vec<f64>) -> Vec<f64> {
+        s.clone()
+    }
+
+    fn feature_len(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zdt1_optimum_lies_on_the_analytic_front() {
+        let p = Zdt::zdt1(10);
+        for f1 in [0.0, 0.3, 1.0] {
+            let mut x = vec![0.0; 10];
+            x[0] = f1;
+            let f = p.evaluate(&x);
+            assert!((f[0] - f1).abs() < 1e-12);
+            assert!((f[1] - (1.0 - f1.sqrt())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zdt2_front_is_concave() {
+        let p = Zdt::zdt2(10);
+        let mut x = vec![0.0; 10];
+        x[0] = 0.5;
+        let f = p.evaluate(&x);
+        assert!((f[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_variables_only_hurt() {
+        let p = Zdt::zdt1(5);
+        let optimal = p.evaluate(&vec![0.5, 0.0, 0.0, 0.0, 0.0]);
+        let worse = p.evaluate(&vec![0.5, 0.5, 0.5, 0.5, 0.5]);
+        assert!(worse[1] > optimal[1]);
+        assert_eq!(worse[0], optimal[0]);
+    }
+
+    #[test]
+    fn random_solutions_respect_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let p = Zdt::zdt4(8);
+        for _ in 0..100 {
+            let x = p.random_solution(&mut rng);
+            assert!((0.0..=1.0).contains(&x[0]));
+            assert!(x[1..].iter().all(|&v| (-5.0..=5.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn neighbor_changes_one_coordinate_within_bounds() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let p = Zdt::zdt1(6);
+        let x = p.random_solution(&mut rng);
+        for _ in 0..50 {
+            let y = p.neighbor(&x, &mut rng);
+            let diffs = x.iter().zip(&y).filter(|(a, b)| a != b).count();
+            assert!(diffs <= 1);
+            assert!(y.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn crossover_stays_feasible() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let p = Zdt::zdt1(6);
+        let a = p.random_solution(&mut rng);
+        let b = p.random_solution(&mut rng);
+        for _ in 0..50 {
+            let c = p.crossover(&a, &b, &mut rng);
+            assert_eq!(c.len(), 6);
+            assert!(c.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn true_front_points_are_mutually_nondominated() {
+        for p in [Zdt::zdt1(5), Zdt::zdt2(5), Zdt::zdt3(5), Zdt::zdt6(5)] {
+            let front = p.true_front(60);
+            let idx = crate::pareto::non_dominated_indices(&front);
+            assert_eq!(idx.len(), front.len(), "{:?}", p.variant());
+        }
+    }
+
+    #[test]
+    fn evaluated_points_never_dominate_the_true_front() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let p = Zdt::zdt1(8);
+        let front = p.true_front(200);
+        for _ in 0..200 {
+            let x = p.random_solution(&mut rng);
+            let f = p.evaluate(&x);
+            assert!(
+                !front.iter().any(|tf| crate::pareto::dominates(&f, tf)),
+                "random point {f:?} dominates the analytic front"
+            );
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Scalarization of objective vectors for decomposition-based search.
+//!
+//! Two scalarizers appear in the paper:
+//!
+//! * the **weighted sum** of absolute distances to the reference point,
+//!   eq. (8), used as the minimization target of MOELA's ML-guided local
+//!   search;
+//! * the **Tchebycheff** function, eq. (9), used by the decomposition EA to
+//!   decide population updates.
+//!
+//! Both are provided behind the [`Scalarizer`] enum so engines can be
+//! configured with either. [`ReferencePoint`] maintains the component-wise
+//! best (minimum) objective values seen so far — the `z` of both equations.
+
+/// The reference point `z`: the best (minimum) value observed per objective.
+///
+/// # Example
+///
+/// ```
+/// use moela_moo::scalarize::ReferencePoint;
+///
+/// let mut z = ReferencePoint::new(2);
+/// z.update(&[3.0, 1.0]);
+/// z.update(&[2.0, 5.0]);
+/// assert_eq!(z.values(), &[2.0, 1.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReferencePoint {
+    z: Vec<f64>,
+}
+
+impl ReferencePoint {
+    /// A reference point of dimension `m`, initialized to `+∞` so the first
+    /// update defines it.
+    pub fn new(m: usize) -> Self {
+        Self { z: vec![f64::INFINITY; m] }
+    }
+
+    /// Builds a reference point directly from known per-objective minima.
+    pub fn from_values(z: Vec<f64>) -> Self {
+        Self { z }
+    }
+
+    /// Lowers components of `z` wherever `objectives` improves on them.
+    /// Returns `true` if any component changed.
+    pub fn update(&mut self, objectives: &[f64]) -> bool {
+        assert_eq!(objectives.len(), self.z.len(), "dimension mismatch");
+        let mut changed = false;
+        for (zi, &oi) in self.z.iter_mut().zip(objectives) {
+            if oi < *zi {
+                *zi = oi;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// The current component-wise minima.
+    pub fn values(&self) -> &[f64] {
+        &self.z
+    }
+
+    /// Dimensionality of the point.
+    pub fn len(&self) -> usize {
+        self.z.len()
+    }
+
+    /// `true` if the dimensionality is zero.
+    pub fn is_empty(&self) -> bool {
+        self.z.is_empty()
+    }
+}
+
+/// A scalarizing function `g(obj | w, z)` mapping an objective vector to a
+/// single minimization target for the sub-problem with weight `w`.
+#[derive(Clone, Copy, Debug, Default, Eq, PartialEq, Hash)]
+pub enum Scalarizer {
+    /// Eq. (8): `Σ_i w_i · |obj_i − z_i|` — MOELA's local-search target.
+    WeightedSum,
+    /// Eq. (9): `max_i w_i · |obj_i − z_i|` — the Tchebycheff approach used
+    /// by the decomposition EA.
+    #[default]
+    Tchebycheff,
+}
+
+impl Scalarizer {
+    /// Evaluates the scalarization of `objectives` under weight `w` and
+    /// reference point `z`.
+    ///
+    /// Zero weights are lifted to a small epsilon in the Tchebycheff case,
+    /// the standard guard that keeps extreme sub-problems sensitive to all
+    /// objectives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices disagree in length.
+    pub fn value(self, objectives: &[f64], w: &[f64], z: &[f64]) -> f64 {
+        assert_eq!(objectives.len(), w.len(), "weight dimension mismatch");
+        assert_eq!(objectives.len(), z.len(), "reference dimension mismatch");
+        const EPS_WEIGHT: f64 = 1e-4;
+        match self {
+            Scalarizer::WeightedSum => objectives
+                .iter()
+                .zip(w)
+                .zip(z)
+                .map(|((&o, &wi), &zi)| wi * (o - zi).abs())
+                .sum(),
+            Scalarizer::Tchebycheff => objectives
+                .iter()
+                .zip(w)
+                .zip(z)
+                .map(|((&o, &wi), &zi)| wi.max(EPS_WEIGHT) * (o - zi).abs())
+                .fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_point_tracks_componentwise_minimum() {
+        let mut z = ReferencePoint::new(3);
+        assert!(z.update(&[1.0, 2.0, 3.0]));
+        assert!(z.update(&[2.0, 1.0, 4.0]));
+        assert_eq!(z.values(), &[1.0, 1.0, 3.0]);
+        assert!(!z.update(&[5.0, 5.0, 5.0]));
+    }
+
+    #[test]
+    fn weighted_sum_matches_equation_8() {
+        let g = Scalarizer::WeightedSum.value(&[3.0, 4.0], &[0.25, 0.75], &[1.0, 1.0]);
+        assert!((g - (0.25 * 2.0 + 0.75 * 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tchebycheff_matches_equation_9() {
+        let g = Scalarizer::Tchebycheff.value(&[3.0, 4.0], &[0.25, 0.75], &[1.0, 1.0]);
+        assert!((g - (0.75 * 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tchebycheff_guards_zero_weights() {
+        // With a literally-zero weight the second objective would be
+        // invisible; the epsilon keeps it (slightly) visible.
+        let better = Scalarizer::Tchebycheff.value(&[1.0, 1.0], &[1.0, 0.0], &[0.0, 0.0]);
+        let worse = Scalarizer::Tchebycheff.value(&[1.0, 1e9], &[1.0, 0.0], &[0.0, 0.0]);
+        assert!(worse > better);
+    }
+
+    #[test]
+    fn scalarizers_agree_at_the_reference_point() {
+        for s in [Scalarizer::WeightedSum, Scalarizer::Tchebycheff] {
+            let v = s.value(&[1.0, 2.0], &[0.5, 0.5], &[1.0, 2.0]);
+            assert_eq!(v, 0.0, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dominated_points_never_scalarize_better() {
+        // If a weakly dominates b, g(a) <= g(b) for any non-negative weight.
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.5, 2.0, 3.5];
+        let z = [0.5, 1.0, 2.0];
+        for s in [Scalarizer::WeightedSum, Scalarizer::Tchebycheff] {
+            for w in [[1.0, 0.0, 0.0], [0.2, 0.3, 0.5], [0.0, 0.0, 1.0]] {
+                assert!(s.value(&a, &w, &z) <= s.value(&b, &w, &z));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        Scalarizer::WeightedSum.value(&[1.0, 2.0], &[1.0], &[0.0, 0.0]);
+    }
+}

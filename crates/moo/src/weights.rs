@@ -1,0 +1,206 @@
+//! Weight-vector generation and neighborhoods for decomposition-based MOO.
+//!
+//! MOELA and MOEA/D decompose an `M`-objective problem into `N`
+//! single-objective sub-problems, each defined by a weight vector on the unit
+//! simplex. Weight vectors should be evenly dispersed (§IV of the paper);
+//! the standard construction is the Das–Dennis simplex lattice produced by
+//! [`simplex_lattice`]. [`uniform_weights`] wraps it to deliver *exactly* `n`
+//! vectors, and [`neighborhoods`] builds each sub-problem's `T` nearest
+//! neighbors by Euclidean distance — the mating pool structure of MOEA/D.
+
+/// All weight vectors of the Das–Dennis simplex lattice with `h` divisions
+/// in `m` dimensions. Produces `C(h + m − 1, m − 1)` vectors whose
+/// components are multiples of `1/h` summing to 1.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+///
+/// # Example
+///
+/// ```
+/// use moela_moo::weights::simplex_lattice;
+///
+/// let w = simplex_lattice(10, 2);
+/// assert_eq!(w.len(), 11); // [0,1], [0.1,0.9], …, [1,0]
+/// ```
+pub fn simplex_lattice(h: u32, m: usize) -> Vec<Vec<f64>> {
+    assert!(m > 0, "weight vectors need at least one dimension");
+    let mut out = Vec::new();
+    let mut current = vec![0u32; m];
+    fill(&mut out, &mut current, 0, h, h);
+    out
+}
+
+fn fill(out: &mut Vec<Vec<f64>>, current: &mut Vec<u32>, dim: usize, remaining: u32, h: u32) {
+    if dim == current.len() - 1 {
+        current[dim] = remaining;
+        out.push(current.iter().map(|&c| f64::from(c) / f64::from(h)).collect());
+        return;
+    }
+    for v in 0..=remaining {
+        current[dim] = v;
+        fill(out, current, dim + 1, remaining - v, h);
+    }
+}
+
+/// Exactly `n` well-dispersed weight vectors in `m` dimensions.
+///
+/// Uses the smallest Das–Dennis lattice with at least `n` members, then
+/// keeps an evenly strided subset. For `m = 2` and `n = 11` this reproduces
+/// the paper's example set `{[0,1], [0.1,0.9], …, [1,0]}`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `m == 0`.
+pub fn uniform_weights(n: usize, m: usize) -> Vec<Vec<f64>> {
+    assert!(n > 0, "need at least one weight vector");
+    assert!(m > 0, "weight vectors need at least one dimension");
+    if m == 1 {
+        return vec![vec![1.0]; n];
+    }
+    let mut h = 1u32;
+    loop {
+        let count = lattice_size(h, m);
+        if count >= n as u64 {
+            break;
+        }
+        h += 1;
+    }
+    let lattice = simplex_lattice(h, m);
+    if lattice.len() == n {
+        return lattice;
+    }
+    // Evenly strided subset, always keeping the first and last lattice point
+    // so extreme directions survive.
+    let mut picked = Vec::with_capacity(n);
+    let step = (lattice.len() - 1) as f64 / (n - 1).max(1) as f64;
+    for i in 0..n {
+        let idx = (i as f64 * step).round() as usize;
+        picked.push(lattice[idx.min(lattice.len() - 1)].clone());
+    }
+    picked
+}
+
+fn lattice_size(h: u32, m: usize) -> u64 {
+    // C(h + m - 1, m - 1), computed multiplicatively to avoid overflow for
+    // the small h/m used here.
+    let mut num = 1u64;
+    let mut den = 1u64;
+    for i in 1..m as u64 {
+        num = num.saturating_mul(u64::from(h) + i);
+        den *= i;
+    }
+    num / den
+}
+
+/// For every weight vector, the indices of its `t` nearest weight vectors by
+/// Euclidean distance (including itself, matching MOEA/D's convention).
+///
+/// # Panics
+///
+/// Panics if `t` is zero or greater than `weights.len()`.
+pub fn neighborhoods(weights: &[Vec<f64>], t: usize) -> Vec<Vec<usize>> {
+    assert!(t >= 1 && t <= weights.len(), "neighborhood size out of range");
+    weights
+        .iter()
+        .map(|w| {
+            let mut order: Vec<usize> = (0..weights.len()).collect();
+            order.sort_by(|&a, &b| {
+                sq_dist(w, &weights[a])
+                    .partial_cmp(&sq_dist(w, &weights[b]))
+                    .expect("weight distances must not be NaN")
+            });
+            order.truncate(t);
+            order
+        })
+        .collect()
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_counts_match_binomials() {
+        assert_eq!(simplex_lattice(4, 2).len(), 5);
+        assert_eq!(simplex_lattice(4, 3).len(), 15); // C(6,2)
+        assert_eq!(simplex_lattice(3, 4).len(), 20); // C(6,3)
+    }
+
+    #[test]
+    fn lattice_vectors_sum_to_one() {
+        for w in simplex_lattice(5, 3) {
+            let s: f64 = w.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "{w:?}");
+            assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn paper_example_n11_m2() {
+        let w = uniform_weights(11, 2);
+        assert_eq!(w.len(), 11);
+        assert_eq!(w[0], vec![0.0, 1.0]);
+        assert_eq!(w[10], vec![1.0, 0.0]);
+        assert!((w[1][0] - 0.1).abs() < 1e-12);
+        assert!((w[1][1] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_weights_delivers_exact_count_for_awkward_n() {
+        for (n, m) in [(50, 3), (50, 4), (50, 5), (7, 2), (13, 5)] {
+            let w = uniform_weights(n, m);
+            assert_eq!(w.len(), n, "n={n} m={m}");
+            for v in &w {
+                assert_eq!(v.len(), m);
+                let s: f64 = v.iter().sum();
+                assert!((s - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_weights_keeps_extreme_directions() {
+        let w = uniform_weights(50, 5);
+        // First lattice point is (0,…,0,1) and last is (1,0,…,0).
+        assert_eq!(*w.first().expect("nonempty"), vec![0.0, 0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(*w.last().expect("nonempty"), vec![1.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn one_dimensional_weights_are_all_ones() {
+        assert_eq!(uniform_weights(3, 1), vec![vec![1.0]; 3]);
+    }
+
+    #[test]
+    fn neighborhood_contains_self_first() {
+        let w = uniform_weights(11, 2);
+        let nb = neighborhoods(&w, 4);
+        for (i, n) in nb.iter().enumerate() {
+            assert_eq!(n[0], i, "each vector is its own nearest neighbor");
+            assert_eq!(n.len(), 4);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_adjacent_on_a_line() {
+        let w = uniform_weights(11, 2);
+        let nb = neighborhoods(&w, 3);
+        // Interior vector 5's three nearest are 4,5,6 in some order.
+        let mut got = nb[5].clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_neighborhood_panics() {
+        let w = uniform_weights(5, 2);
+        neighborhoods(&w, 6);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests of the MOO toolkit's core invariants.
+
+use moela_moo::hypervolume::{hypervolume, monte_carlo_hypervolume};
+use moela_moo::normalize::Normalizer;
+use moela_moo::pareto::{crowding_distance, dominates, non_dominated_indices};
+use moela_moo::scalarize::{ReferencePoint, Scalarizer};
+use moela_moo::weights::{neighborhoods, uniform_weights};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn objective_vectors(m: usize, max_len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, m), 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact WFG hypervolume agrees with the Monte-Carlo estimator.
+    #[test]
+    fn exact_hv_matches_monte_carlo(points in objective_vectors(3, 10), seed in 0u64..100) {
+        let reference = vec![1.0; 3];
+        let exact = hypervolume(&points, &reference);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let est = monte_carlo_hypervolume(&points, &reference, &[0.0; 3], 60_000, &mut rng);
+        prop_assert!((exact - est).abs() < 0.03, "exact {exact} vs mc {est}");
+    }
+
+    /// Hypervolume never exceeds the reference box volume.
+    #[test]
+    fn hv_is_bounded_by_the_reference_box(points in objective_vectors(4, 12)) {
+        let reference = vec![1.1; 4];
+        let hv = hypervolume(&points, &reference);
+        prop_assert!(hv >= 0.0);
+        prop_assert!(hv <= 1.1f64.powi(4) + 1e-9);
+    }
+
+    /// The HV of a set equals the HV of its non-dominated subset.
+    #[test]
+    fn hv_depends_only_on_the_front(points in objective_vectors(3, 12)) {
+        let reference = vec![1.0; 3];
+        let front: Vec<Vec<f64>> = non_dominated_indices(&points)
+            .into_iter()
+            .map(|i| points[i].clone())
+            .collect();
+        let a = hypervolume(&points, &reference);
+        let b = hypervolume(&front, &reference);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    /// Dominance is a strict partial order: irreflexive, asymmetric,
+    /// transitive.
+    #[test]
+    fn dominance_is_a_strict_partial_order(
+        a in proptest::collection::vec(0.0f64..1.0, 3),
+        b in proptest::collection::vec(0.0f64..1.0, 3),
+        c in proptest::collection::vec(0.0f64..1.0, 3),
+    ) {
+        prop_assert!(!dominates(&a, &a));
+        if dominates(&a, &b) {
+            prop_assert!(!dominates(&b, &a));
+        }
+        if dominates(&a, &b) && dominates(&b, &c) {
+            prop_assert!(dominates(&a, &c));
+        }
+    }
+
+    /// Crowding distances are non-negative and never NaN.
+    #[test]
+    fn crowding_distances_are_well_formed(points in objective_vectors(3, 15)) {
+        let d = crowding_distance(&points);
+        prop_assert_eq!(d.len(), points.len());
+        prop_assert!(d.iter().all(|x| !x.is_nan() && *x >= 0.0));
+    }
+
+    /// Weight vectors lie on the simplex and neighborhoods start with self.
+    #[test]
+    fn weights_are_simplex_points(n in 2usize..40, m in 2usize..6) {
+        let w = uniform_weights(n, m);
+        prop_assert_eq!(w.len(), n);
+        for v in &w {
+            let s: f64 = v.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            prop_assert!(v.iter().all(|&x| (-1e-12..=1.0 + 1e-12).contains(&x)));
+        }
+        let t = (n / 2).max(1);
+        let nb = neighborhoods(&w, t);
+        for (i, neighbors) in nb.iter().enumerate() {
+            prop_assert_eq!(neighbors[0], i);
+            prop_assert_eq!(neighbors.len(), t);
+        }
+    }
+
+    /// The reference point is the component-wise minimum of everything it
+    /// observed.
+    #[test]
+    fn reference_point_tracks_minima(objs in objective_vectors(4, 20)) {
+        let mut z = ReferencePoint::new(4);
+        for o in &objs {
+            z.update(o);
+        }
+        for k in 0..4 {
+            let min = objs.iter().map(|o| o[k]).fold(f64::INFINITY, f64::min);
+            prop_assert!((z.values()[k] - min).abs() < 1e-12);
+        }
+    }
+
+    /// Normalization round-trips ordering: if `a[k] < b[k]` then
+    /// `norm(a)[k] <= norm(b)[k]`.
+    #[test]
+    fn normalization_preserves_per_dimension_order(
+        corpus in objective_vectors(3, 20),
+        a in proptest::collection::vec(0.0f64..1.0, 3),
+        b in proptest::collection::vec(0.0f64..1.0, 3),
+    ) {
+        let n = Normalizer::fit(&corpus);
+        let na = n.normalize_unclamped(&a);
+        let nb = n.normalize_unclamped(&b);
+        for k in 0..3 {
+            if a[k] < b[k] {
+                prop_assert!(na[k] <= nb[k] + 1e-12);
+            }
+        }
+    }
+
+    /// Scalarized values are zero exactly at the reference point and
+    /// non-negative everywhere.
+    #[test]
+    fn scalarizers_are_nonnegative(
+        obj in proptest::collection::vec(0.0f64..5.0, 3),
+        z in proptest::collection::vec(0.0f64..5.0, 3),
+        raw_w in proptest::collection::vec(0.01f64..1.0, 3),
+    ) {
+        let total: f64 = raw_w.iter().sum();
+        let w: Vec<f64> = raw_w.iter().map(|v| v / total).collect();
+        for s in [Scalarizer::WeightedSum, Scalarizer::Tchebycheff] {
+            prop_assert!(s.value(&obj, &w, &z) >= 0.0);
+            prop_assert!(s.value(&z, &w, &z).abs() < 1e-12);
+        }
+    }
+}

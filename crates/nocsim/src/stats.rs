@@ -1,0 +1,94 @@
+//! Simulation statistics and their conversion to the EDP model's inputs.
+
+use moela_traffic::edp::NetworkStats;
+
+/// Measured statistics of one simulation window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimStats {
+    /// Measured cycles (warm-up excluded).
+    pub cycles: u64,
+    /// Flits delivered within the window.
+    pub delivered: u64,
+    /// Flits injected in the window but still in the network at its end —
+    /// a growing backlog indicates saturation.
+    pub in_flight: u64,
+    /// Mean end-to-end flit latency in cycles (queueing included).
+    pub avg_latency: f64,
+    /// Per-link utilization in flits/cycle (both directions summed),
+    /// indexed like the design's link list.
+    pub link_utilization: Vec<f64>,
+    /// The busiest link's utilization.
+    pub max_link_utilization: f64,
+}
+
+impl SimStats {
+    /// Fraction of injected-and-measured flits that were delivered within
+    /// the window (1.0 = the network keeps up with injection).
+    pub fn delivery_ratio(&self) -> f64 {
+        let injected = self.delivered + self.in_flight;
+        if injected == 0 {
+            return 1.0;
+        }
+        self.delivered as f64 / injected as f64
+    }
+
+    /// Mean link utilization (the simulated counterpart of eq. (1), in
+    /// flits/cycle rather than flits/kilo-cycle).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.link_utilization.is_empty() {
+            return 0.0;
+        }
+        self.link_utilization.iter().sum::<f64>() / self.link_utilization.len() as f64
+    }
+
+    /// Converts the measurement into the analytic EDP model's inputs,
+    /// making the simulator a drop-in higher-fidelity backend for the
+    /// Fig.-3 pipeline. `network_energy_rate` and `total_pe_power` are not
+    /// observable by the network simulator and must come from the analytic
+    /// evaluation (they are routing-static quantities anyway).
+    pub fn to_network_stats(&self, network_energy_rate: f64, total_pe_power: f64) -> NetworkStats {
+        NetworkStats {
+            avg_packet_latency: self.avg_latency,
+            max_link_utilization: self.max_link_utilization,
+            network_energy_rate,
+            total_pe_power,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SimStats {
+        SimStats {
+            cycles: 1000,
+            delivered: 90,
+            in_flight: 10,
+            avg_latency: 25.0,
+            link_utilization: vec![0.1, 0.3, 0.2],
+            max_link_utilization: 0.3,
+        }
+    }
+
+    #[test]
+    fn delivery_ratio_counts_backlog() {
+        assert!((stats().delivery_ratio() - 0.9).abs() < 1e-12);
+        let empty = SimStats { delivered: 0, in_flight: 0, ..stats() };
+        assert_eq!(empty.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn mean_utilization_averages_links() {
+        assert!((stats().mean_utilization() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversion_preserves_the_measured_fields() {
+        let n = stats().to_network_stats(5.0, 120.0);
+        assert_eq!(n.avg_packet_latency, 25.0);
+        assert_eq!(n.max_link_utilization, 0.3);
+        assert_eq!(n.network_energy_rate, 5.0);
+        assert_eq!(n.total_pe_power, 120.0);
+    }
+}

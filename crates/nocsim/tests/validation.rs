@@ -1,0 +1,157 @@
+//! Validation of the simulator against the analytic evaluator: the two
+//! views must agree where queueing is negligible and diverge in the
+//! direction queueing predicts when it is not.
+
+use moela_manycore::routing::RoutingTable;
+use moela_manycore::{Design, ManycoreProblem, ObjectiveSet, PlatformConfig};
+use moela_moo::Problem;
+use moela_nocsim::{SimConfig, Simulator};
+use moela_traffic::{Benchmark, Workload};
+use rand::SeedableRng;
+
+fn problem(bench: Benchmark) -> ManycoreProblem {
+    let platform = PlatformConfig::builder()
+        .dims(3, 3, 2)
+        .cpus(2)
+        .llcs(4)
+        .planar_links(24)
+        .tsvs(6)
+        .build()
+        .expect("valid platform");
+    let workload = Workload::synthesize(bench, platform.pe_mix(), 9);
+    ManycoreProblem::new(platform, workload, ObjectiveSet::Three).expect("consistent")
+}
+
+fn design(problem: &ManycoreProblem, seed: u64) -> Design {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    problem.random_solution(&mut rng)
+}
+
+#[test]
+fn zero_load_latency_matches_the_analytic_route_latency() {
+    // At a vanishing load factor no queueing occurs, so every delivered
+    // flit's latency equals the routing table's r·h + d for its route.
+    let p = problem(Benchmark::Bp);
+    let d = design(&p, 1);
+    let sim = Simulator::new(&p, &d, SimConfig { load_factor: 0.02, warmup_cycles: 0 });
+    let stats = sim.run(60_000);
+    assert!(stats.delivered > 50, "need traffic to compare ({})", stats.delivered);
+
+    // Traffic-weighted analytic latency over the same flows.
+    let table = RoutingTable::build(p.config().dims(), &d.topology, p.config().noc());
+    let mut weighted = 0.0;
+    let mut total = 0.0;
+    for (i, j, f) in p.workload().flows() {
+        let (src, dst) = (d.placement.tile_of(i), d.placement.tile_of(j));
+        if src != dst {
+            weighted += f * table.latency(src, dst);
+            total += f;
+        }
+    }
+    let analytic = weighted / total;
+    let rel = (stats.avg_latency - analytic).abs() / analytic;
+    assert!(
+        rel < 0.25,
+        "zero-load sim latency {} vs analytic {analytic} (rel {rel:.3})",
+        stats.avg_latency
+    );
+    // And never *below* the analytic bound: queueing can only add delay.
+    assert!(stats.avg_latency >= analytic * 0.99);
+}
+
+#[test]
+fn low_load_utilization_matches_equation_one() {
+    let p = problem(Benchmark::Hot);
+    let d = design(&p, 2);
+    let sim = Simulator::new(&p, &d, SimConfig { load_factor: 1.0, warmup_cycles: 2_000 });
+    let stats = sim.run(50_000);
+    assert!(stats.delivery_ratio() > 0.95, "network must keep up at profiled load");
+
+    // The analytic u_k of eq. (1) in flits/kilo-cycle; the simulator
+    // reports flits/cycle.
+    let eval = p.evaluate_full(&d);
+    let analytic_mean = eval.mean_traffic / 1000.0;
+    let sim_mean = stats.mean_utilization();
+    let rel = (sim_mean - analytic_mean).abs() / analytic_mean;
+    assert!(
+        rel < 0.15,
+        "sim mean utilization {sim_mean:.5} vs analytic {analytic_mean:.5} (rel {rel:.3})"
+    );
+}
+
+#[test]
+fn overload_exposes_queueing_the_analytic_model_cannot_see() {
+    let p = problem(Benchmark::Bfs);
+    let d = design(&p, 3);
+    let calm = Simulator::new(&p, &d, SimConfig { load_factor: 0.2, warmup_cycles: 1_000 })
+        .run(20_000);
+    let slammed = Simulator::new(&p, &d, SimConfig { load_factor: 12.0, warmup_cycles: 1_000 })
+        .run(20_000);
+    assert!(
+        slammed.avg_latency > calm.avg_latency * 1.5,
+        "overload must raise latency ({} vs {})",
+        slammed.avg_latency,
+        calm.avg_latency
+    );
+    assert!(
+        slammed.delivery_ratio() < calm.delivery_ratio(),
+        "overload must leave a backlog"
+    );
+}
+
+#[test]
+fn no_link_exceeds_capacity() {
+    let p = problem(Benchmark::Gau);
+    let d = design(&p, 4);
+    let stats = Simulator::new(&p, &d, SimConfig { load_factor: 20.0, warmup_cycles: 500 })
+        .run(10_000);
+    // One flit per cycle per direction ⇒ a (bidirectionally summed)
+    // utilization of at most 2.
+    for (k, &u) in stats.link_utilization.iter().enumerate() {
+        assert!(u <= 2.0 + 1e-9, "link {k} over capacity: {u}");
+    }
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let p = problem(Benchmark::Srad);
+    let d = design(&p, 5);
+    let cfg = SimConfig { load_factor: 1.0, warmup_cycles: 500 };
+    let a = Simulator::new(&p, &d, cfg).run(15_000);
+    let b = Simulator::new(&p, &d, cfg).run(15_000);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn better_designs_simulate_better_too() {
+    // The analytic evaluator and the simulator must rank a good design
+    // (optimized placement) above an adversarial one on latency.
+    let p = problem(Benchmark::Sc);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let candidates: Vec<Design> = (0..8).map(|_| p.random_solution(&mut rng)).collect();
+    let analytic: Vec<f64> = candidates
+        .iter()
+        .map(|d| p.evaluate_full(d).network.avg_packet_latency)
+        .collect();
+    let best = analytic
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let worst = analytic
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let cfg = SimConfig { load_factor: 0.5, warmup_cycles: 1_000 };
+    let sim_best = Simulator::new(&p, &candidates[best], cfg).run(30_000);
+    let sim_worst = Simulator::new(&p, &candidates[worst], cfg).run(30_000);
+    assert!(
+        sim_best.avg_latency < sim_worst.avg_latency,
+        "simulator must agree with the analytic ranking ({} vs {})",
+        sim_best.avg_latency,
+        sim_worst.avg_latency
+    );
+}

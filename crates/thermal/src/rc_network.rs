@@ -1,0 +1,240 @@
+//! Detailed steady-state RC thermal network (3D-ICE substitute).
+//!
+//! One thermal node per tile per layer. Heat flows:
+//!
+//! * vertically within a stack through `R_j` (and through `R_b` from layer 1
+//!   to the ambient-temperature sink);
+//! * laterally between horizontally adjacent stacks in the same layer
+//!   through a lateral resistance `R_lat`.
+//!
+//! Steady state solves `G·T = P` where `G` is the conductance Laplacian
+//! (grounded at the sink) — here via Gauss–Seidel iteration, which converges
+//! quickly for these diagonally dominant systems and keeps the crate
+//! dependency-free.
+
+use crate::{PowerGrid, ThermalParams};
+
+/// A detailed thermal network for an `nx × ny × layers` stack.
+///
+/// # Example
+///
+/// ```
+/// use moela_thermal::{rc_network::RcNetwork, PowerGrid, ThermalParams};
+///
+/// let net = RcNetwork::new(2, 2, ThermalParams::uniform(2, 1.0, 0.5), 4.0);
+/// let mut p = PowerGrid::new(2, 2, 2);
+/// p.set(0, 2, 3.0);
+/// let temps = net.solve(&p);
+/// assert!(temps.iter().all(|row| row.iter().all(|&t| t >= 0.0)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RcNetwork {
+    nx: usize,
+    ny: usize,
+    params: ThermalParams,
+    r_lateral: f64,
+}
+
+impl RcNetwork {
+    /// Builds a network over an `nx × ny` grid with the given vertical
+    /// parameters and lateral resistance `r_lateral` between adjacent
+    /// stacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is zero or `r_lateral` is non-positive.
+    pub fn new(nx: usize, ny: usize, params: ThermalParams, r_lateral: f64) -> Self {
+        assert!(nx > 0 && ny > 0, "grid dimensions must be positive");
+        assert!(r_lateral > 0.0, "lateral resistance must be positive");
+        Self { nx, ny, params, r_lateral }
+    }
+
+    /// Number of layers in the stack.
+    pub fn layers(&self) -> usize {
+        self.params.layers()
+    }
+
+    /// The vertical parameters of the network.
+    pub fn params(&self) -> &ThermalParams {
+        &self.params
+    }
+
+    /// Solves for the steady-state temperature (above ambient) of every
+    /// node. Returns `temps[stack][layer-1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power`'s geometry disagrees with the network's.
+    pub fn solve(&self, power: &PowerGrid) -> Vec<Vec<f64>> {
+        assert_eq!(power.nx(), self.nx, "power grid width mismatch");
+        assert_eq!(power.ny(), self.ny, "power grid depth mismatch");
+        assert_eq!(power.layers(), self.layers(), "power grid layer mismatch");
+        let layers = self.layers();
+        let stacks = self.nx * self.ny;
+        let n_nodes = stacks * layers;
+        let g_lat = 1.0 / self.r_lateral;
+
+        // Conductance to the node below (towards the sink); layer 1 couples
+        // to the sink through R_1 + R_b in series with ambient fixed at 0.
+        let g_down: Vec<f64> = (1..=layers)
+            .map(|k| {
+                if k == 1 {
+                    1.0 / (self.params.r_vertical[0] + self.params.r_base)
+                } else {
+                    1.0 / self.params.r_vertical[k - 1]
+                }
+            })
+            .collect();
+
+        let idx = |stack: usize, layer: usize| stack * layers + (layer - 1);
+        let mut t = vec![0.0f64; n_nodes];
+        // Gauss–Seidel sweeps; diagonally dominant ⇒ geometric convergence.
+        let max_iter = 20_000;
+        let tol = 1e-10;
+        for _ in 0..max_iter {
+            let mut max_change = 0.0f64;
+            for s in 0..stacks {
+                let (x, y) = (s % self.nx, s / self.nx);
+                for k in 1..=layers {
+                    let i = idx(s, k);
+                    let mut diag = 0.0;
+                    let mut rhs = power.get(s, k);
+                    // Downwards (sink side).
+                    diag += g_down[k - 1];
+                    if k > 1 {
+                        rhs += g_down[k - 1] * t[idx(s, k - 1)];
+                    } // else coupled to ambient (0), contributes nothing to rhs.
+                      // Upwards.
+                    if k < layers {
+                        diag += g_down[k]; // same resistor seen from below
+                        rhs += g_down[k] * t[idx(s, k + 1)];
+                    }
+                    // Lateral neighbors.
+                    let mut lateral = |nx_: usize, ny_: usize| {
+                        let ns = ny_ * self.nx + nx_;
+                        rhs += g_lat * t[idx(ns, k)];
+                    };
+                    if x > 0 {
+                        diag += g_lat;
+                        lateral(x - 1, y);
+                    }
+                    if x + 1 < self.nx {
+                        diag += g_lat;
+                        lateral(x + 1, y);
+                    }
+                    if y > 0 {
+                        diag += g_lat;
+                        lateral(x, y - 1);
+                    }
+                    if y + 1 < self.ny {
+                        diag += g_lat;
+                        lateral(x, y + 1);
+                    }
+                    let new_t = rhs / diag;
+                    max_change = max_change.max((new_t - t[i]).abs());
+                    t[i] = new_t;
+                }
+            }
+            if max_change < tol {
+                break;
+            }
+        }
+        (0..stacks)
+            .map(|s| (1..=layers).map(|k| t[idx(s, k)]).collect())
+            .collect()
+    }
+
+    /// Peak node temperature for a power map.
+    pub fn peak_temperature(&self, power: &PowerGrid) -> f64 {
+        self.solve(power)
+            .iter()
+            .flatten()
+            .fold(0.0f64, |acc, &t| acc.max(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stack_single_layer_is_ohms_law() {
+        // One node: T = P · (R_1 + R_b).
+        let net = RcNetwork::new(1, 1, ThermalParams::uniform(1, 2.0, 1.0), 10.0);
+        let mut p = PowerGrid::new(1, 1, 1);
+        p.set(0, 1, 3.0);
+        let t = net.solve(&p);
+        assert!((t[0][0] - 9.0).abs() < 1e-8, "got {}", t[0][0]);
+    }
+
+    #[test]
+    fn single_stack_two_layers_matches_series_resistors() {
+        // Power only at top layer: all of it flows through R_2 then R_1+R_b.
+        let net = RcNetwork::new(1, 1, ThermalParams::uniform(2, 1.0, 0.5), 10.0);
+        let mut p = PowerGrid::new(1, 1, 2);
+        p.set(0, 2, 2.0);
+        let t = net.solve(&p);
+        // T_layer1 = 2·(R_1+R_b) = 3; T_layer2 = 3 + 2·R_2 = 5.
+        assert!((t[0][0] - 3.0).abs() < 1e-8);
+        assert!((t[0][1] - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn lateral_conduction_spreads_heat_to_idle_stacks() {
+        let net = RcNetwork::new(2, 1, ThermalParams::uniform(1, 1.0, 1.0), 2.0);
+        let mut p = PowerGrid::new(2, 1, 1);
+        p.set(0, 1, 4.0);
+        let t = net.solve(&p);
+        assert!(t[1][0] > 0.0, "idle neighbor must warm up");
+        assert!(t[0][0] > t[1][0], "heated stack stays hottest");
+        // Energy balance: total heat to sink equals injected power.
+        let g_sink = 1.0 / 2.0; // 1/(R_1+R_b)
+        let sunk = g_sink * (t[0][0] + t[1][0]);
+        assert!((sunk - 4.0).abs() < 1e-6, "sunk {sunk}");
+    }
+
+    #[test]
+    fn symmetry_of_symmetric_power_maps() {
+        let net = RcNetwork::new(3, 3, ThermalParams::uniform(2, 1.0, 0.5), 3.0);
+        let mut p = PowerGrid::new(3, 3, 2);
+        // Heat the center stack only: the 4 edge-adjacent stacks must be
+        // equal by symmetry, likewise the 4 corners.
+        p.set(4, 2, 5.0);
+        let t = net.solve(&p);
+        let edge = [1, 3, 5, 7].map(|s| t[s][1]);
+        let corner = [0, 2, 6, 8].map(|s| t[s][1]);
+        for w in edge.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-7);
+        }
+        for w in corner.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-7);
+        }
+        assert!(edge[0] > corner[0], "edge neighbors are closer to the heat");
+    }
+
+    #[test]
+    fn solution_is_linear_in_power() {
+        let net = RcNetwork::new(2, 2, ThermalParams::uniform(3, 1.5, 0.5), 2.5);
+        let mut p1 = PowerGrid::new(2, 2, 3);
+        p1.set(0, 3, 1.0);
+        p1.set(3, 1, 2.0);
+        let mut p2 = p1.clone();
+        p2.set(0, 3, 2.0);
+        p2.set(3, 1, 4.0);
+        let t1 = net.solve(&p1);
+        let t2 = net.solve(&p2);
+        for (r1, r2) in t1.iter().zip(&t2) {
+            for (&a, &b) in r1.iter().zip(r2) {
+                assert!((b - 2.0 * a).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power grid width mismatch")]
+    fn geometry_mismatch_panics() {
+        let net = RcNetwork::new(2, 2, ThermalParams::uniform(1, 1.0, 1.0), 1.0);
+        let p = PowerGrid::new(3, 2, 1);
+        net.solve(&p);
+    }
+}

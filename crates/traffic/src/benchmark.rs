@@ -1,0 +1,253 @@
+//! The seven Rodinia benchmarks and their communication/compute profiles.
+//!
+//! Each application is characterized by a [`TrafficProfile`] — the knobs of
+//! the statistical synthesizer in [`crate::synth`]. The shapes follow the
+//! published characterizations of the Rodinia suite (Che et al., IISWC
+//! 2009) and the CPU–GPU traffic analyses in the MOO-STAGE/MOOS line of
+//! work: stencil kernels exchange with spatial neighbors, graph traversal
+//! is irregular and heavy-tailed, elimination kernels broadcast pivots, and
+//! clustering gathers around hot centers.
+
+/// One of the seven Rodinia applications the paper evaluates.
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// Back Propagation — layered neural-network training.
+    Bp,
+    /// Breadth-First Search — irregular graph traversal.
+    Bfs,
+    /// Gaussian Elimination — pivot-row broadcast per step.
+    Gau,
+    /// Hotspot3D — 3D stencil thermal simulation.
+    Hot,
+    /// PathFinder — row-wise dynamic programming.
+    Pf,
+    /// Streamcluster — online clustering around hot centers.
+    Sc,
+    /// SRAD — speckle-reducing anisotropic diffusion (2D stencil + reduce).
+    Srad,
+}
+
+impl Benchmark {
+    /// All seven applications, in the paper's listing order.
+    pub const ALL: [Benchmark; 7] = [
+        Benchmark::Bp,
+        Benchmark::Bfs,
+        Benchmark::Gau,
+        Benchmark::Hot,
+        Benchmark::Pf,
+        Benchmark::Sc,
+        Benchmark::Srad,
+    ];
+
+    /// The six applications the paper's result tables report (Streamcluster
+    /// is profiled but not tabulated).
+    pub const TABLED: [Benchmark; 6] = [
+        Benchmark::Bfs,
+        Benchmark::Bp,
+        Benchmark::Gau,
+        Benchmark::Hot,
+        Benchmark::Pf,
+        Benchmark::Srad,
+    ];
+
+    /// The short name used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Bp => "BP",
+            Benchmark::Bfs => "BFS",
+            Benchmark::Gau => "GAU",
+            Benchmark::Hot => "HOT",
+            Benchmark::Pf => "PF",
+            Benchmark::Sc => "SC",
+            Benchmark::Srad => "SRAD",
+        }
+    }
+
+    /// The synthesizer profile of this application.
+    pub fn profile(&self) -> TrafficProfile {
+        match self {
+            // Layered NN: heavy GPU↔LLC weight traffic, moderate GPU↔GPU
+            // between adjacent layers, modest skew.
+            Benchmark::Bp => TrafficProfile {
+                cpu_llc: 0.6,
+                gpu_llc: 2.2,
+                gpu_gpu: 0.9,
+                cpu_cpu: 0.08,
+                llc_skew: 0.6,
+                gpu_pattern: GpuPattern::NeighborChain,
+                active_fraction: 0.95,
+                compute_intensity: 0.75,
+                burstiness: 0.3,
+            },
+            // Graph traversal: irregular, strongly skewed LLC demand, little
+            // GPU↔GPU, low arithmetic intensity.
+            Benchmark::Bfs => TrafficProfile {
+                cpu_llc: 0.8,
+                gpu_llc: 3.0,
+                gpu_gpu: 0.25,
+                cpu_cpu: 0.1,
+                llc_skew: 1.4,
+                gpu_pattern: GpuPattern::Random,
+                active_fraction: 0.7,
+                compute_intensity: 0.35,
+                burstiness: 0.8,
+            },
+            // Elimination: pivot-row broadcast dominates, streaming LLC.
+            Benchmark::Gau => TrafficProfile {
+                cpu_llc: 0.4,
+                gpu_llc: 1.6,
+                gpu_gpu: 1.8,
+                cpu_cpu: 0.05,
+                llc_skew: 0.4,
+                gpu_pattern: GpuPattern::Broadcast,
+                active_fraction: 1.0,
+                compute_intensity: 0.8,
+                burstiness: 0.25,
+            },
+            // 3D stencil: regular neighbor exchange is the dominant class.
+            Benchmark::Hot => TrafficProfile {
+                cpu_llc: 0.3,
+                gpu_llc: 1.2,
+                gpu_gpu: 2.6,
+                cpu_cpu: 0.04,
+                llc_skew: 0.25,
+                gpu_pattern: GpuPattern::Stencil2d,
+                active_fraction: 1.0,
+                compute_intensity: 0.9,
+                burstiness: 0.15,
+            },
+            // Row-wise DP: 1-D neighbor chain plus streaming reads.
+            Benchmark::Pf => TrafficProfile {
+                cpu_llc: 0.5,
+                gpu_llc: 1.8,
+                gpu_gpu: 1.3,
+                cpu_cpu: 0.06,
+                llc_skew: 0.5,
+                gpu_pattern: GpuPattern::NeighborChain,
+                active_fraction: 0.9,
+                compute_intensity: 0.6,
+                burstiness: 0.4,
+            },
+            // Clustering: gather/scatter around hot centers, CPUs busy.
+            Benchmark::Sc => TrafficProfile {
+                cpu_llc: 1.4,
+                gpu_llc: 2.0,
+                gpu_gpu: 0.5,
+                cpu_cpu: 0.25,
+                llc_skew: 1.1,
+                gpu_pattern: GpuPattern::Random,
+                active_fraction: 0.85,
+                compute_intensity: 0.55,
+                burstiness: 0.6,
+            },
+            // 2-D stencil with a global reduction phase.
+            Benchmark::Srad => TrafficProfile {
+                cpu_llc: 0.45,
+                gpu_llc: 1.5,
+                gpu_gpu: 2.1,
+                cpu_cpu: 0.05,
+                llc_skew: 0.35,
+                gpu_pattern: GpuPattern::Stencil2d,
+                active_fraction: 1.0,
+                compute_intensity: 0.7,
+                burstiness: 0.2,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The spatial structure of GPU↔GPU communication.
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash)]
+pub enum GpuPattern {
+    /// Each GPU exchanges with its logical 2-D grid neighbors (stencils).
+    Stencil2d,
+    /// Each GPU exchanges with its predecessor/successor (pipelines, DP).
+    NeighborChain,
+    /// One (rotating) source sends to all others (pivot broadcast).
+    Broadcast,
+    /// Uniformly random pairs (irregular kernels).
+    Random,
+}
+
+/// Synthesizer knobs for one application.
+///
+/// All class weights are *relative flit-rate intensities*; the synthesizer
+/// normalizes total injected traffic so applications are comparable.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrafficProfile {
+    /// CPU↔LLC request/reply intensity (latency-critical class).
+    pub cpu_llc: f64,
+    /// GPU↔LLC bulk transfer intensity (throughput class).
+    pub gpu_llc: f64,
+    /// GPU↔GPU exchange intensity.
+    pub gpu_gpu: f64,
+    /// CPU↔CPU coherence chatter intensity.
+    pub cpu_cpu: f64,
+    /// Zipf exponent of LLC home-slice popularity (0 = uniform; larger =
+    /// more hot-slice concentration).
+    pub llc_skew: f64,
+    /// Spatial structure of the GPU↔GPU class.
+    pub gpu_pattern: GpuPattern,
+    /// Fraction of GPUs that are active in the phase being modeled.
+    pub active_fraction: f64,
+    /// Arithmetic intensity in `[0,1]`: scales dynamic power and compute
+    /// time in the EDP model.
+    pub compute_intensity: f64,
+    /// Multiplicative log-normal jitter applied per pair (0 = none).
+    pub burstiness: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_have_positive_class_weights() {
+        for b in Benchmark::ALL {
+            let p = b.profile();
+            assert!(p.cpu_llc > 0.0 && p.gpu_llc > 0.0 && p.gpu_gpu > 0.0 && p.cpu_cpu > 0.0);
+            assert!((0.0..=1.0).contains(&p.active_fraction), "{b}");
+            assert!((0.0..=1.0).contains(&p.compute_intensity), "{b}");
+            assert!(p.llc_skew >= 0.0 && p.burstiness >= 0.0);
+        }
+    }
+
+    #[test]
+    fn profiles_differentiate_the_applications() {
+        // The structural claims the synthesizer encodes: BFS is the most
+        // LLC-skewed; HOT is the most stencil-dominated; SC has the most
+        // CPU involvement.
+        let most_skewed = Benchmark::ALL
+            .into_iter()
+            .max_by(|a, b| a.profile().llc_skew.total_cmp(&b.profile().llc_skew))
+            .expect("non-empty");
+        assert_eq!(most_skewed, Benchmark::Bfs);
+        let most_stencil = Benchmark::ALL
+            .into_iter()
+            .max_by(|a, b| a.profile().gpu_gpu.total_cmp(&b.profile().gpu_gpu))
+            .expect("non-empty");
+        assert_eq!(most_stencil, Benchmark::Hot);
+        let most_cpu = Benchmark::ALL
+            .into_iter()
+            .max_by(|a, b| a.profile().cpu_llc.total_cmp(&b.profile().cpu_llc))
+            .expect("non-empty");
+        assert_eq!(most_cpu, Benchmark::Sc);
+    }
+
+    #[test]
+    fn names_match_the_paper_tables() {
+        let names: Vec<&str> = Benchmark::TABLED.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["BFS", "BP", "GAU", "HOT", "PF", "SRAD"]);
+    }
+
+    #[test]
+    fn display_uses_short_names() {
+        assert_eq!(Benchmark::Srad.to_string(), "SRAD");
+    }
+}

@@ -1,0 +1,171 @@
+//! Analytic energy-delay-product model (gem5-gpu re-simulation substitute).
+//!
+//! The paper feeds each final design back through gem5-gpu + GPUWattch to
+//! obtain an EDP figure (Fig. 3). We substitute a closed-form composition
+//! that captures the first-order effects a cycle simulator would report:
+//!
+//! * **Delay** — a compute-bound baseline stretched by memory/network
+//!   stalls: average packet latency raises stall time, and the most
+//!   saturated link throttles throughput with an M/M/1-style factor.
+//! * **Energy** — PE power integrated over the run, plus network energy
+//!   proportional to flit·hop work.
+//!
+//! The absolute numbers are arbitrary-unit; Fig. 3 only uses EDP *ratios*
+//! between algorithms on the same workload, which this model preserves:
+//! designs with lower latency, lower congestion, and lower network energy
+//! get a lower EDP, with app-dependent weights (memory-bound apps are more
+//! latency-sensitive).
+
+use crate::benchmark::Benchmark;
+
+/// Network-level summary statistics of one design under one workload.
+/// Produced by the platform model (`moela-manycore`); consumed here.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkStats {
+    /// Traffic-weighted average end-to-end packet latency, cycles.
+    pub avg_packet_latency: f64,
+    /// Utilization of the most loaded link, normalized to link capacity
+    /// (may exceed 1 for infeasible demand; the model saturates).
+    pub max_link_utilization: f64,
+    /// Total network energy per kilo-cycle (links + routers), arbitrary
+    /// energy units.
+    pub network_energy_rate: f64,
+    /// Total PE power, watts.
+    pub total_pe_power: f64,
+}
+
+/// The analytic EDP evaluator.
+///
+/// # Example
+///
+/// ```
+/// use moela_traffic::{edp::{EdpModel, NetworkStats}, Benchmark};
+///
+/// let model = EdpModel::new(Benchmark::Bfs);
+/// let good = NetworkStats {
+///     avg_packet_latency: 20.0,
+///     max_link_utilization: 0.3,
+///     network_energy_rate: 5.0,
+///     total_pe_power: 120.0,
+/// };
+/// let bad = NetworkStats { avg_packet_latency: 60.0, ..good };
+/// assert!(model.edp(&good) < model.edp(&bad));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdpModel {
+    benchmark: Benchmark,
+    /// Baseline compute time in kilo-cycles for the modeled phase.
+    base_time: f64,
+    /// Fraction of baseline time that is memory-stall-able.
+    memory_sensitivity: f64,
+}
+
+impl EdpModel {
+    /// An EDP model for `benchmark`, deriving its latency sensitivity from
+    /// the benchmark's arithmetic intensity (memory-bound apps stall more).
+    pub fn new(benchmark: Benchmark) -> Self {
+        let profile = benchmark.profile();
+        Self {
+            benchmark,
+            base_time: 1000.0,
+            memory_sensitivity: 1.0 - profile.compute_intensity,
+        }
+    }
+
+    /// The benchmark this model is tuned for.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// Estimated execution time in kilo-cycles.
+    ///
+    /// `time = base · (compute + mem_sens · latency/REF) · congestion`
+    /// where congestion is an M/M/1-style stretch `1/(1 − u)` saturated at
+    /// 10× for `u → 1`.
+    pub fn execution_time(&self, stats: &NetworkStats) -> f64 {
+        const REFERENCE_LATENCY: f64 = 30.0; // cycles: an uncongested trip
+        let compute = 1.0 - self.memory_sensitivity;
+        let stall =
+            self.memory_sensitivity * (stats.avg_packet_latency / REFERENCE_LATENCY).max(0.0);
+        let u = stats.max_link_utilization.clamp(0.0, 0.999);
+        let congestion = (1.0 / (1.0 - u)).min(10.0);
+        self.base_time * (compute + stall) * congestion
+    }
+
+    /// Estimated total energy (arbitrary units).
+    pub fn energy(&self, stats: &NetworkStats) -> f64 {
+        let time = self.execution_time(stats);
+        (stats.total_pe_power + stats.network_energy_rate) * time
+    }
+
+    /// Energy-delay product: `energy × time`.
+    pub fn edp(&self, stats: &NetworkStats) -> f64 {
+        self.energy(stats) * self.execution_time(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> NetworkStats {
+        NetworkStats {
+            avg_packet_latency: 25.0,
+            max_link_utilization: 0.4,
+            network_energy_rate: 8.0,
+            total_pe_power: 150.0,
+        }
+    }
+
+    #[test]
+    fn edp_increases_with_latency() {
+        let m = EdpModel::new(Benchmark::Bfs);
+        let slow = NetworkStats { avg_packet_latency: 80.0, ..baseline() };
+        assert!(m.edp(&slow) > m.edp(&baseline()));
+    }
+
+    #[test]
+    fn edp_increases_with_congestion() {
+        let m = EdpModel::new(Benchmark::Hot);
+        let congested = NetworkStats { max_link_utilization: 0.95, ..baseline() };
+        assert!(m.edp(&congested) > m.edp(&baseline()));
+    }
+
+    #[test]
+    fn edp_increases_with_network_energy() {
+        let m = EdpModel::new(Benchmark::Gau);
+        let hungry = NetworkStats { network_energy_rate: 30.0, ..baseline() };
+        assert!(m.edp(&hungry) > m.edp(&baseline()));
+    }
+
+    #[test]
+    fn memory_bound_apps_are_more_latency_sensitive() {
+        let bfs = EdpModel::new(Benchmark::Bfs); // intensity 0.35
+        let hot = EdpModel::new(Benchmark::Hot); // intensity 0.9
+        let fast = baseline();
+        let slow = NetworkStats { avg_packet_latency: 75.0, ..baseline() };
+        let bfs_ratio = bfs.execution_time(&slow) / bfs.execution_time(&fast);
+        let hot_ratio = hot.execution_time(&slow) / hot.execution_time(&fast);
+        assert!(
+            bfs_ratio > hot_ratio,
+            "BFS must stretch more under latency (bfs {bfs_ratio:.2} vs hot {hot_ratio:.2})"
+        );
+    }
+
+    #[test]
+    fn congestion_stretch_saturates() {
+        let m = EdpModel::new(Benchmark::Pf);
+        let melted = NetworkStats { max_link_utilization: 5.0, ..baseline() };
+        let nearly = NetworkStats { max_link_utilization: 0.999, ..baseline() };
+        assert_eq!(m.execution_time(&melted), m.execution_time(&nearly));
+        assert!(m.execution_time(&melted).is_finite());
+    }
+
+    #[test]
+    fn edp_is_energy_times_delay() {
+        let m = EdpModel::new(Benchmark::Srad);
+        let s = baseline();
+        let expected = m.energy(&s) * m.execution_time(&s);
+        assert!((m.edp(&s) - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,182 @@
+//! Workload substrate: synthetic Rodinia-like traffic and power profiles,
+//! plus an analytic energy-delay-product (EDP) model.
+//!
+//! The paper profiles seven Rodinia applications with gem5-gpu/GPGPU-Sim
+//! (traffic frequencies `f_ij`) and McPAT/GPUWattch (per-PE power), then
+//! treats those profiles as *fixed inputs* to the design-space exploration.
+//! This crate substitutes the cycle-accurate tool-chain with statistical
+//! synthesizers that reproduce the communication *structure* of each
+//! application — which PE pairs talk, how heavy-tailed the destination
+//! distribution is, and how the pattern differs per app — which is what the
+//! optimizers actually react to.
+//!
+//! * [`Benchmark`] — the seven Rodinia applications and their
+//!   communication/compute profiles;
+//! * [`PeMix`] / [`PeKind`] — the logical processing-element population
+//!   (CPUs, GPUs, LLCs) independent of physical placement;
+//! * [`Workload`] — a synthesized `(traffic matrix, power vector)` pair;
+//! * [`edp`] — the analytic performance/energy composition used to score
+//!   final designs (the gem5-gpu re-simulation substitute).
+//!
+//! # Example
+//!
+//! ```
+//! use moela_traffic::{Benchmark, PeMix, Workload};
+//!
+//! let mix = PeMix::new(8, 40, 16);
+//! let w = Workload::synthesize(Benchmark::Bfs, mix, 7);
+//! assert_eq!(w.pe_count(), 64);
+//! assert!(w.total_traffic() > 0.0);
+//! ```
+
+pub mod benchmark;
+pub mod edp;
+pub mod import;
+pub mod power;
+pub mod synth;
+
+pub use benchmark::Benchmark;
+pub use import::ImportError;
+pub use synth::Workload;
+
+/// The kind of a logical processing element.
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash, PartialOrd, Ord)]
+pub enum PeKind {
+    /// An x86-class latency-sensitive core.
+    Cpu,
+    /// A throughput-oriented GPU streaming multiprocessor.
+    Gpu,
+    /// A last-level-cache slice with its memory controller.
+    Llc,
+}
+
+impl std::fmt::Display for PeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PeKind::Cpu => write!(f, "CPU"),
+            PeKind::Gpu => write!(f, "GPU"),
+            PeKind::Llc => write!(f, "LLC"),
+        }
+    }
+}
+
+/// The logical PE population: how many CPUs, GPUs, and LLC slices exist.
+///
+/// Logical PE ids are assigned contiguously: CPUs first, then GPUs, then
+/// LLCs. The paper's platform is `PeMix::new(8, 40, 16)`.
+#[derive(Clone, Copy, Debug, Eq, PartialEq, Hash)]
+pub struct PeMix {
+    cpus: usize,
+    gpus: usize,
+    llcs: usize,
+}
+
+impl PeMix {
+    /// The paper's 4×4×4 platform population: 8 CPUs, 40 GPUs, 16 LLCs.
+    pub fn paper() -> Self {
+        Self::new(8, 40, 16)
+    }
+
+    /// A population with the given counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero — every objective needs at least one PE
+    /// of each kind (CPU latency needs CPUs and LLCs; throughput needs
+    /// GPUs).
+    pub fn new(cpus: usize, gpus: usize, llcs: usize) -> Self {
+        assert!(cpus > 0 && gpus > 0 && llcs > 0, "each PE kind needs at least one instance");
+        Self { cpus, gpus, llcs }
+    }
+
+    /// Number of CPUs.
+    pub fn cpus(&self) -> usize {
+        self.cpus
+    }
+
+    /// Number of GPUs.
+    pub fn gpus(&self) -> usize {
+        self.gpus
+    }
+
+    /// Number of LLC slices.
+    pub fn llcs(&self) -> usize {
+        self.llcs
+    }
+
+    /// Total PE count.
+    pub fn total(&self) -> usize {
+        self.cpus + self.gpus + self.llcs
+    }
+
+    /// The kind of logical PE `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= total()`.
+    pub fn kind(&self, id: usize) -> PeKind {
+        assert!(id < self.total(), "PE id {id} out of range");
+        if id < self.cpus {
+            PeKind::Cpu
+        } else if id < self.cpus + self.gpus {
+            PeKind::Gpu
+        } else {
+            PeKind::Llc
+        }
+    }
+
+    /// The id range of a given kind.
+    pub fn ids_of(&self, kind: PeKind) -> std::ops::Range<usize> {
+        match kind {
+            PeKind::Cpu => 0..self.cpus,
+            PeKind::Gpu => self.cpus..self.cpus + self.gpus,
+            PeKind::Llc => self.cpus + self.gpus..self.total(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_ids_partition_by_kind() {
+        let mix = PeMix::new(2, 3, 4);
+        assert_eq!(mix.total(), 9);
+        assert_eq!(mix.kind(0), PeKind::Cpu);
+        assert_eq!(mix.kind(1), PeKind::Cpu);
+        assert_eq!(mix.kind(2), PeKind::Gpu);
+        assert_eq!(mix.kind(4), PeKind::Gpu);
+        assert_eq!(mix.kind(5), PeKind::Llc);
+        assert_eq!(mix.kind(8), PeKind::Llc);
+    }
+
+    #[test]
+    fn ids_of_covers_every_pe_once() {
+        let mix = PeMix::new(3, 5, 2);
+        let mut all: Vec<usize> = Vec::new();
+        for k in [PeKind::Cpu, PeKind::Gpu, PeKind::Llc] {
+            all.extend(mix.ids_of(k));
+        }
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn paper_mix_matches_section_v() {
+        let mix = PeMix::paper();
+        assert_eq!((mix.cpus(), mix.gpus(), mix.llcs()), (8, 40, 16));
+        assert_eq!(mix.total(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_id_panics() {
+        PeMix::new(1, 1, 1).kind(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one instance")]
+    fn zero_kind_count_panics() {
+        PeMix::new(0, 1, 1);
+    }
+}

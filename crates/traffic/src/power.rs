@@ -1,0 +1,132 @@
+//! Per-PE average power synthesis (McPAT/GPUWattch substitute).
+//!
+//! Power of a PE is a leakage/idle base plus a dynamic component scaled by
+//! the application's arithmetic intensity (for compute PEs) or by the
+//! traffic it serves (for LLC slices). Magnitudes follow published
+//! McPAT/GPUWattch figures for small cores at the paper's clocks
+//! (2.5 GHz x86 cores ≈ 2–4 W, 0.7 GHz Maxwell SMs ≈ 1.5–3.5 W,
+//! 256 KB LLC slices ≈ 0.3–0.9 W).
+
+use rand::Rng;
+
+use crate::benchmark::TrafficProfile;
+use crate::{PeKind, PeMix};
+
+/// Idle/leakage power per kind, watts.
+pub fn base_power(kind: PeKind) -> f64 {
+    match kind {
+        PeKind::Cpu => 1.2,
+        PeKind::Gpu => 0.9,
+        PeKind::Llc => 0.25,
+    }
+}
+
+/// Peak dynamic power per kind, watts.
+pub fn dynamic_power(kind: PeKind) -> f64 {
+    match kind {
+        PeKind::Cpu => 2.8,
+        PeKind::Gpu => 2.6,
+        PeKind::Llc => 0.65,
+    }
+}
+
+/// Synthesizes the average power of every logical PE for a profile.
+///
+/// `traffic` is the already-synthesized row-major `f_ij` matrix; LLC slice
+/// power scales with the traffic it serves relative to the busiest slice.
+/// A ±10 % per-PE jitter models process/workload variation.
+pub(crate) fn pe_powers(
+    profile: &TrafficProfile,
+    mix: PeMix,
+    traffic: &[f64],
+    rng: &mut impl Rng,
+) -> Vec<f64> {
+    let n = mix.total();
+    let served: Vec<f64> = (0..n)
+        .map(|pe| {
+            (0..n)
+                .map(|src| traffic[src * n + pe] + traffic[pe * n + src])
+                .sum()
+        })
+        .collect();
+    let max_llc_served = mix
+        .ids_of(PeKind::Llc)
+        .map(|l| served[l])
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    (0..n)
+        .map(|pe| {
+            let kind = mix.kind(pe);
+            let activity = match kind {
+                PeKind::Cpu | PeKind::Gpu => profile.compute_intensity,
+                PeKind::Llc => served[pe] / max_llc_served,
+            };
+            let jitter = rng.gen_range(0.9..1.1);
+            (base_power(kind) + dynamic_power(kind) * activity) * jitter
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, Workload};
+
+    #[test]
+    fn base_and_dynamic_orderings_are_physical() {
+        // Compute PEs dominate cache slices in both components.
+        assert!(base_power(PeKind::Cpu) > base_power(PeKind::Llc));
+        assert!(base_power(PeKind::Gpu) > base_power(PeKind::Llc));
+        assert!(dynamic_power(PeKind::Cpu) > dynamic_power(PeKind::Llc));
+        assert!(dynamic_power(PeKind::Gpu) > dynamic_power(PeKind::Llc));
+    }
+
+    #[test]
+    fn compute_heavy_apps_draw_more_gpu_power() {
+        let mix = PeMix::new(2, 8, 4);
+        let hot = Workload::synthesize(Benchmark::Hot, mix, 1); // intensity 0.9
+        let bfs = Workload::synthesize(Benchmark::Bfs, mix, 1); // intensity 0.35
+        let avg_gpu = |w: &Workload| {
+            let ids: Vec<usize> = mix.ids_of(PeKind::Gpu).collect();
+            ids.iter().map(|&i| w.pe_power(i)).sum::<f64>() / ids.len() as f64
+        };
+        assert!(avg_gpu(&hot) > avg_gpu(&bfs));
+    }
+
+    #[test]
+    fn hot_llc_slices_draw_more_power_than_cold_ones() {
+        let mix = PeMix::new(2, 8, 6);
+        // BFS: strongly skewed slice popularity.
+        let w = Workload::synthesize(Benchmark::Bfs, mix, 3);
+        let n = mix.total();
+        let served = |l: usize| -> f64 {
+            (0..n).map(|s| w.traffic(s, l) + w.traffic(l, s)).sum()
+        };
+        let llcs: Vec<usize> = mix.ids_of(PeKind::Llc).collect();
+        let hottest = *llcs
+            .iter()
+            .max_by(|&&a, &&b| served(a).total_cmp(&served(b)))
+            .expect("nonempty");
+        let coldest = *llcs
+            .iter()
+            .min_by(|&&a, &&b| served(a).total_cmp(&served(b)))
+            .expect("nonempty");
+        // Jitter is ±10 %, skew dominates it for BFS.
+        assert!(w.pe_power(hottest) > w.pe_power(coldest));
+    }
+
+    #[test]
+    fn powers_stay_within_physical_envelopes() {
+        let mix = PeMix::paper();
+        for b in Benchmark::ALL {
+            let w = Workload::synthesize(b, mix, 17);
+            for pe in 0..mix.total() {
+                let p = w.pe_power(pe);
+                let kind = mix.kind(pe);
+                let lo = base_power(kind) * 0.85;
+                let hi = (base_power(kind) + dynamic_power(kind)) * 1.15;
+                assert!((lo..=hi).contains(&p), "{b} {kind} {p}");
+            }
+        }
+    }
+}

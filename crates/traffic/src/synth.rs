@@ -1,0 +1,386 @@
+//! The traffic synthesizer: benchmark profile → `f_ij` matrix + power.
+
+use rand::{Rng, SeedableRng};
+
+use crate::benchmark::{Benchmark, GpuPattern};
+use crate::power;
+use crate::{PeKind, PeMix};
+
+/// Total injected traffic every synthesized workload is normalized to, in
+/// flits per kilo-cycle. Normalizing makes objective values comparable
+/// across applications; only the *distribution* differs per benchmark.
+pub const NORMALIZED_TOTAL_TRAFFIC: f64 = 1000.0;
+
+/// A synthesized workload: the communication frequency matrix `f_ij` over
+/// logical PEs and the average power of each PE.
+///
+/// # Example
+///
+/// ```
+/// use moela_traffic::{Benchmark, PeMix, Workload};
+///
+/// let w = Workload::synthesize(Benchmark::Hot, PeMix::new(2, 9, 4), 1);
+/// // Stencil app: GPU↔GPU traffic must exist.
+/// let gpu0 = 2; // first GPU id
+/// let any_gpu_pair: f64 = (2..11).map(|j| w.traffic(gpu0, j)).sum();
+/// assert!(any_gpu_pair > 0.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Workload {
+    benchmark: Benchmark,
+    mix: PeMix,
+    /// Row-major `f[i * n + j]`, flits per kilo-cycle from PE i to PE j.
+    traffic: Vec<f64>,
+    /// Average power per logical PE, watts.
+    power: Vec<f64>,
+}
+
+impl Workload {
+    /// Synthesizes the workload of `benchmark` on a `mix` population.
+    /// Deterministic for a given `(benchmark, mix, seed)` triple.
+    pub fn synthesize(benchmark: Benchmark, mix: PeMix, seed: u64) -> Self {
+        let profile = benchmark.profile();
+        let n = mix.total();
+        // Distinct, deterministic stream per (benchmark, seed).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            seed ^ (benchmark as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let mut f = vec![0.0f64; n * n];
+
+        // LLC home-slice popularity: Zipf(llc_skew) over a randomly
+        // permuted ranking, so the hot slice differs per seed.
+        let llc_ids: Vec<usize> = mix.ids_of(PeKind::Llc).collect();
+        let mut llc_rank: Vec<usize> = (0..llc_ids.len()).collect();
+        for i in (1..llc_rank.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            llc_rank.swap(i, j);
+        }
+        let zipf: Vec<f64> = {
+            let raw: Vec<f64> = (0..llc_ids.len())
+                .map(|r| 1.0 / ((r + 1) as f64).powf(profile.llc_skew))
+                .collect();
+            let total: f64 = raw.iter().sum();
+            raw.into_iter().map(|v| v / total).collect()
+        };
+        // popularity[k] = probability mass of LLC llc_ids[k].
+        let mut popularity = vec![0.0; llc_ids.len()];
+        for (rank, &slot) in llc_rank.iter().enumerate() {
+            popularity[slot] = zipf[rank];
+        }
+
+        let jitter = |rng: &mut rand::rngs::StdRng| -> f64 {
+            if profile.burstiness == 0.0 {
+                1.0
+            } else {
+                // Log-normal-ish multiplicative jitter.
+                let u: f64 = (0..4).map(|_| rng.gen_range(-0.5..0.5)).sum();
+                (u * profile.burstiness).exp()
+            }
+        };
+
+        // CPU↔LLC: requests (1 flit) out, replies (4-flit cache lines) back.
+        for c in mix.ids_of(PeKind::Cpu) {
+            let activity = jitter(&mut rng);
+            for (k, &l) in llc_ids.iter().enumerate() {
+                let demand = profile.cpu_llc * popularity[k] * activity;
+                f[c * n + l] += demand; // request
+                f[l * n + c] += 4.0 * demand; // reply
+            }
+        }
+
+        // GPU↔LLC: bulk transfers, mostly replies (reads dominate).
+        let gpu_ids: Vec<usize> = mix.ids_of(PeKind::Gpu).collect();
+        let active_gpus = ((gpu_ids.len() as f64 * profile.active_fraction).ceil() as usize)
+            .clamp(1, gpu_ids.len());
+        for &g in gpu_ids.iter().take(active_gpus) {
+            let activity = jitter(&mut rng);
+            for (k, &l) in llc_ids.iter().enumerate() {
+                let demand = profile.gpu_llc * popularity[k] * activity;
+                f[g * n + l] += demand;
+                f[l * n + g] += 4.0 * demand;
+            }
+        }
+
+        // GPU↔GPU: pattern-dependent.
+        let per_gpu = profile.gpu_gpu;
+        match profile.gpu_pattern {
+            GpuPattern::Stencil2d => {
+                // Arrange active GPUs on a logical √A × √A grid; exchange
+                // with up to 4 neighbors.
+                let side = (active_gpus as f64).sqrt().ceil() as usize;
+                for (idx, &g) in gpu_ids.iter().take(active_gpus).enumerate() {
+                    let (x, y) = (idx % side, idx / side);
+                    let mut neighbors = Vec::new();
+                    if x > 0 {
+                        neighbors.push(idx - 1);
+                    }
+                    if x + 1 < side && idx + 1 < active_gpus {
+                        neighbors.push(idx + 1);
+                    }
+                    if y > 0 {
+                        neighbors.push(idx - side);
+                    }
+                    if idx + side < active_gpus {
+                        neighbors.push(idx + side);
+                    }
+                    for nb in neighbors {
+                        f[g * n + gpu_ids[nb]] += per_gpu * jitter(&mut rng);
+                    }
+                }
+            }
+            GpuPattern::NeighborChain => {
+                for idx in 0..active_gpus.saturating_sub(1) {
+                    let a = gpu_ids[idx];
+                    let b = gpu_ids[idx + 1];
+                    let v = per_gpu * jitter(&mut rng);
+                    f[a * n + b] += v;
+                    f[b * n + a] += v;
+                }
+            }
+            GpuPattern::Broadcast => {
+                // Rotating pivot: model as every GPU broadcasting a share.
+                for (idx, &src) in gpu_ids.iter().take(active_gpus).enumerate() {
+                    let share = per_gpu / active_gpus as f64;
+                    for (jdx, &dst) in gpu_ids.iter().take(active_gpus).enumerate() {
+                        if idx != jdx {
+                            f[src * n + dst] += share * jitter(&mut rng);
+                        }
+                    }
+                }
+            }
+            GpuPattern::Random => {
+                // Sparse random pairs: each active GPU talks to ~3 partners.
+                for &src in gpu_ids.iter().take(active_gpus) {
+                    for _ in 0..3 {
+                        let dst = gpu_ids[rng.gen_range(0..active_gpus)];
+                        if dst != src {
+                            f[src * n + dst] += per_gpu / 3.0 * jitter(&mut rng);
+                        }
+                    }
+                }
+            }
+        }
+
+        // CPU↔CPU coherence chatter: all-to-all light traffic.
+        let cpu_ids: Vec<usize> = mix.ids_of(PeKind::Cpu).collect();
+        for &a in &cpu_ids {
+            for &b in &cpu_ids {
+                if a != b {
+                    f[a * n + b] += profile.cpu_cpu / cpu_ids.len() as f64 * jitter(&mut rng);
+                }
+            }
+        }
+
+        // Normalize total injected traffic.
+        let total: f64 = f.iter().sum();
+        debug_assert!(total > 0.0);
+        let scale = NORMALIZED_TOTAL_TRAFFIC / total;
+        for v in &mut f {
+            *v *= scale;
+        }
+
+        let power = power::pe_powers(&profile, mix, &f, &mut rng);
+        Self::assemble(benchmark, mix, f, power)
+    }
+
+    /// Internal constructor shared by the synthesizer and the importer
+    /// ([`crate::import`]); inputs must already be validated.
+    pub(crate) fn assemble(
+        benchmark: Benchmark,
+        mix: PeMix,
+        traffic: Vec<f64>,
+        power: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(traffic.len(), mix.total() * mix.total());
+        debug_assert_eq!(power.len(), mix.total());
+        Self { benchmark, mix, traffic, power }
+    }
+
+    /// The application this workload models.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// The PE population.
+    pub fn mix(&self) -> PeMix {
+        self.mix
+    }
+
+    /// Number of logical PEs.
+    pub fn pe_count(&self) -> usize {
+        self.mix.total()
+    }
+
+    /// Communication frequency `f_ij` from PE `i` to PE `j`
+    /// (flits per kilo-cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn traffic(&self, i: usize, j: usize) -> f64 {
+        let n = self.pe_count();
+        assert!(i < n && j < n, "PE id out of range");
+        self.traffic[i * n + j]
+    }
+
+    /// The whole traffic matrix, row-major.
+    pub fn traffic_matrix(&self) -> &[f64] {
+        &self.traffic
+    }
+
+    /// Sum of all `f_ij`.
+    pub fn total_traffic(&self) -> f64 {
+        self.traffic.iter().sum()
+    }
+
+    /// Average power of PE `i` in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn pe_power(&self, i: usize) -> f64 {
+        self.power[i]
+    }
+
+    /// All PE powers, indexed by logical PE id.
+    pub fn pe_powers(&self) -> &[f64] {
+        &self.power
+    }
+
+    /// All `(i, j, f_ij)` triples with non-zero traffic.
+    pub fn flows(&self) -> Vec<(usize, usize, f64)> {
+        let n = self.pe_count();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let v = self.traffic[i * n + j];
+                if v > 0.0 {
+                    out.push((i, j, v));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix() -> PeMix {
+        PeMix::new(4, 16, 8)
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_per_seed() {
+        let a = Workload::synthesize(Benchmark::Bfs, mix(), 3);
+        let b = Workload::synthesize(Benchmark::Bfs, mix(), 3);
+        assert_eq!(a, b);
+        let c = Workload::synthesize(Benchmark::Bfs, mix(), 4);
+        assert_ne!(a.traffic_matrix(), c.traffic_matrix());
+    }
+
+    #[test]
+    fn different_benchmarks_produce_different_matrices() {
+        let a = Workload::synthesize(Benchmark::Bfs, mix(), 3);
+        let b = Workload::synthesize(Benchmark::Hot, mix(), 3);
+        assert_ne!(a.traffic_matrix(), b.traffic_matrix());
+    }
+
+    #[test]
+    fn total_traffic_is_normalized() {
+        for b in Benchmark::ALL {
+            let w = Workload::synthesize(b, mix(), 11);
+            assert!(
+                (w.total_traffic() - NORMALIZED_TOTAL_TRAFFIC).abs() < 1e-6,
+                "{b}: {}",
+                w.total_traffic()
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_is_nonnegative_and_diagonal_free() {
+        let w = Workload::synthesize(Benchmark::Sc, mix(), 5);
+        let n = w.pe_count();
+        for i in 0..n {
+            assert_eq!(w.traffic(i, i), 0.0, "self-traffic at {i}");
+            for j in 0..n {
+                assert!(w.traffic(i, j) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn replies_outweigh_requests_for_cpu_llc() {
+        let w = Workload::synthesize(Benchmark::Sc, mix(), 5);
+        let m = w.mix();
+        let cpu = 0;
+        let req: f64 = m.ids_of(PeKind::Llc).map(|l| w.traffic(cpu, l)).sum();
+        let rep: f64 = m.ids_of(PeKind::Llc).map(|l| w.traffic(l, cpu)).sum();
+        assert!(rep > req, "cache-line replies must dominate requests");
+    }
+
+    #[test]
+    fn bfs_llc_demand_is_more_skewed_than_hot() {
+        let skew = |b: Benchmark| {
+            let w = Workload::synthesize(b, mix(), 7);
+            let m = w.mix();
+            let mut per_llc: Vec<f64> = m
+                .ids_of(PeKind::Llc)
+                .map(|l| {
+                    (0..m.total())
+                        .map(|src| w.traffic(src, l))
+                        .sum::<f64>()
+                })
+                .collect();
+            per_llc.sort_by(|a, b| b.total_cmp(a));
+            let total: f64 = per_llc.iter().sum();
+            per_llc[0] / total // share of the hottest slice
+        };
+        assert!(skew(Benchmark::Bfs) > skew(Benchmark::Hot));
+    }
+
+    #[test]
+    fn stencil_apps_have_dominant_gpu_gpu_class() {
+        let class_share = |b: Benchmark| {
+            let w = Workload::synthesize(b, mix(), 7);
+            let m = w.mix();
+            let gg: f64 = m
+                .ids_of(PeKind::Gpu)
+                .flat_map(|i| m.ids_of(PeKind::Gpu).map(move |j| (i, j)))
+                .map(|(i, j)| w.traffic(i, j))
+                .sum();
+            gg / w.total_traffic()
+        };
+        assert!(class_share(Benchmark::Hot) > class_share(Benchmark::Bfs));
+    }
+
+    #[test]
+    fn flows_enumerates_exactly_the_nonzero_entries() {
+        let w = Workload::synthesize(Benchmark::Gau, mix(), 2);
+        let flows = w.flows();
+        let total: f64 = flows.iter().map(|&(_, _, v)| v).sum();
+        assert!((total - w.total_traffic()).abs() < 1e-9);
+        assert!(flows.iter().all(|&(i, j, v)| v > 0.0 && i != j));
+    }
+
+    #[test]
+    fn every_pe_has_positive_power() {
+        for b in Benchmark::ALL {
+            let w = Workload::synthesize(b, mix(), 13);
+            assert!(w.pe_powers().iter().all(|&p| p > 0.0), "{b}");
+        }
+    }
+
+    #[test]
+    fn gpus_draw_more_power_than_llcs() {
+        let w = Workload::synthesize(Benchmark::Hot, mix(), 13);
+        let m = w.mix();
+        let avg = |k: PeKind| {
+            let ids: Vec<usize> = m.ids_of(k).collect();
+            ids.iter().map(|&i| w.pe_power(i)).sum::<f64>() / ids.len() as f64
+        };
+        assert!(avg(PeKind::Gpu) > avg(PeKind::Llc));
+    }
+}

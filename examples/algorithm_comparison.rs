@@ -1,0 +1,77 @@
+//! A miniature of the paper's evaluation: MOELA vs MOEA/D vs MOOS on one
+//! Rodinia workload at an equal objective-evaluation budget, compared by
+//! Pareto hypervolume under one shared normalizer.
+//!
+//! Run with: `cargo run --release --example algorithm_comparison`
+
+use moela::moo::normalize::Normalizer;
+use moela::prelude::*;
+use rand::SeedableRng;
+
+const BUDGET: u64 = 4_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = Benchmark::Srad;
+    let platform = PlatformConfig::paper();
+    let workload = Workload::synthesize(benchmark, platform.pe_mix(), 3);
+    let problem = ManycoreProblem::new(platform, workload, ObjectiveSet::Three)?;
+
+    // Fit one normalizer on a shared random corpus so all PHV values are
+    // on the same scale (this is what the benchmark harness does too).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let corpus: Vec<Vec<f64>> = (0..200)
+        .map(|_| problem.evaluate(&problem.random_solution(&mut rng)))
+        .collect();
+    let normalizer = Normalizer::fit(&corpus);
+
+    println!("workload {benchmark}, 3 objectives, budget {BUDGET} evaluations\n");
+    println!("{:<10} {:>8} {:>10} {:>10} {:>8}", "algorithm", "evals", "time", "PHV", "front");
+
+    // MOELA.
+    let config = MoelaConfig::builder()
+        .population(24)
+        .generations(500)
+        .trace_normalizer(normalizer.clone())
+        .max_evaluations(BUDGET)
+        .build()?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let moela = Moela::new(config, &problem).run(&mut rng);
+    report("MOELA", &moela, &normalizer);
+
+    // MOEA/D.
+    let config = MoeadConfig {
+        population: 24,
+        generations: 500,
+        trace_normalizer: Some(normalizer.clone()),
+        max_evaluations: Some(BUDGET),
+        ..Default::default()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let moead = Moead::new(config, &problem).run(&mut rng);
+    report("MOEA/D", &moead, &normalizer);
+
+    // MOOS.
+    let config = MoosConfig {
+        episodes: 10_000,
+        trace_normalizer: Some(normalizer.clone()),
+        max_evaluations: Some(BUDGET),
+        ..Default::default()
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let moos = Moos::new(config, &problem).run(&mut rng);
+    report("MOOS", &moos, &normalizer);
+
+    println!("\n(higher PHV = better trade-off coverage; same budget for all)");
+    Ok(())
+}
+
+fn report(name: &str, result: &MoelaOutcome<Design>, normalizer: &Normalizer) {
+    println!(
+        "{:<10} {:>8} {:>10.2?} {:>10.4} {:>8}",
+        name,
+        result.evaluations,
+        result.elapsed,
+        result.phv(normalizer),
+        result.front().len()
+    );
+}

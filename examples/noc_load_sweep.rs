@@ -1,0 +1,60 @@
+//! Load–latency characterization of an optimized NoC design with the
+//! flit-level simulator: the classic saturation curve, comparing a
+//! MOELA-optimized design against a random one.
+//!
+//! Run with: `cargo run --release --example noc_load_sweep`
+
+use moela::manycore::viz;
+use moela::nocsim::{SimConfig, Simulator};
+use moela::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let platform = PlatformConfig::builder()
+        .dims(3, 3, 2)
+        .cpus(2)
+        .llcs(4)
+        .planar_links(24)
+        .tsvs(6)
+        .build()?;
+    let workload = Workload::synthesize(Benchmark::Bfs, platform.pe_mix(), 17);
+    let problem = ManycoreProblem::new(platform, workload, ObjectiveSet::Three)?;
+
+    // One random design and one optimized for the traffic objectives.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let random_design = problem.random_solution(&mut rng);
+    let config = MoelaConfig::builder()
+        .population(16)
+        .generations(15)
+        .build()?;
+    let outcome = Moela::new(config, &problem).run(&mut rng);
+    // Pick the front design with the lowest mean traffic (objective 0).
+    let (optimized, _) = outcome
+        .front()
+        .into_iter()
+        .min_by(|a, b| a.1[0].total_cmp(&b.1[0]))
+        .expect("non-empty front");
+
+    println!("optimized placement (C = CPU, G = GPU, L = LLC):");
+    print!("{}", viz::placement_ascii(
+        problem.config().dims(),
+        problem.config().pe_mix(),
+        &optimized,
+    ));
+
+    println!("\n{:>6} {:>18} {:>18}", "load", "random latency", "optimized latency");
+    for load in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {
+        let cfg = SimConfig { load_factor: load, warmup_cycles: 2_000 };
+        let random_stats = Simulator::new(&problem, &random_design, cfg).run(20_000);
+        let optimized_stats = Simulator::new(&problem, &optimized, cfg).run(20_000);
+        println!(
+            "{load:>6.2} {:>12.1} cyc {:>12.1} cyc{}",
+            random_stats.avg_latency,
+            optimized_stats.avg_latency,
+            if optimized_stats.delivery_ratio() < 0.95 { "  (saturating)" } else { "" }
+        );
+    }
+    println!("\nlatency climbs as injection approaches link capacity — the");
+    println!("queueing behavior the analytic objectives cannot express.");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Quickstart: optimize a small 3×3×3 platform (the paper's Fig. 1 system)
+//! on three objectives and print the resulting Pareto front.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use moela::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Fig. 1 illustrates a 3-layer, 27-tile system. A 3×3
+    // layer has 8 edge tiles (only the center is interior), so up to 24
+    // LLC slices would fit; we use a CPU/GPU/LLC mix proportional to the
+    // paper's platform.
+    let platform = PlatformConfig::builder()
+        .dims(3, 3, 3)
+        .cpus(3)
+        .llcs(6) // edge tiles only, enforced by the design encoding
+        .planar_links(36) // = the 3D-mesh planar budget for this grid
+        .tsvs(18) // = every vertical position
+        .build()?;
+    println!("platform: {} tiles, {} planar links, {} TSVs", 27, 36, 18);
+    render_example_stack();
+
+    // Synthesize a BFS-like workload (irregular, LLC-skewed) and pose the
+    // 3-objective design problem: mean traffic, traffic variance, CPU-LLC
+    // latency.
+    let workload = Workload::synthesize(Benchmark::Bfs, platform.pe_mix(), 7);
+    let problem = ManycoreProblem::new(platform, workload, ObjectiveSet::Three)?;
+
+    // A small MOELA run — enough to see the hybrid loop work end to end.
+    let config = MoelaConfig::builder()
+        .population(16)
+        .generations(12)
+        .build()?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let outcome = Moela::new(config, &problem).run(&mut rng);
+
+    println!(
+        "\nMOELA finished: {} evaluations in {:.2?}",
+        outcome.evaluations, outcome.elapsed
+    );
+    let front = outcome.front();
+    println!("Pareto front ({} designs):", front.len());
+    println!("{:>12} {:>12} {:>12}", "mean", "variance", "latency");
+    let mut objs: Vec<Vec<f64>> = front.iter().map(|(_, o)| o.clone()).collect();
+    objs.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    for o in objs {
+        println!("{:>12.3} {:>12.3} {:>12.3}", o[0], o[1], o[2]);
+    }
+    let phv_gain = outcome.trace.last().map(|p| p.phv).unwrap_or(0.0)
+        - outcome.trace.first().map(|p| p.phv).unwrap_or(0.0);
+    println!("\nanytime PHV improved by {phv_gain:.4} over the run");
+    Ok(())
+}
+
+/// ASCII rendering of the Fig. 1 example: three stacked 3×3 dies.
+fn render_example_stack() {
+    println!("\n  layer 2   layer 1   layer 0 (next to heat sink)");
+    for row in 0..3 {
+        let mut line = String::from("  ");
+        for layer in (0..3).rev() {
+            for col in 0..3 {
+                let _ = (layer, row, col);
+                line.push_str("[R]");
+            }
+            line.push_str("   ");
+        }
+        println!("{line}");
+    }
+    println!("  each [R] = tile (PE + router); TSVs connect tiles vertically\n");
+}

@@ -1,0 +1,130 @@
+//! End-to-end integration: the full paper pipeline from workload synthesis
+//! through MOELA to EDP scoring, across every Rodinia application.
+
+use moela::prelude::*;
+use moela::traffic::edp::EdpModel;
+use rand::SeedableRng;
+
+fn small_problem(bench: Benchmark, set: ObjectiveSet, seed: u64) -> ManycoreProblem {
+    let platform = PlatformConfig::builder()
+        .dims(3, 3, 2)
+        .cpus(2)
+        .llcs(4)
+        .planar_links(24)
+        .tsvs(6)
+        .build()
+        .expect("valid small platform");
+    let workload = Workload::synthesize(bench, platform.pe_mix(), seed);
+    ManycoreProblem::new(platform, workload, set).expect("consistent problem")
+}
+
+#[test]
+fn moela_runs_on_every_benchmark() {
+    for bench in Benchmark::ALL {
+        let problem = small_problem(bench, ObjectiveSet::Three, 3);
+        let config = MoelaConfig::builder()
+            .population(8)
+            .generations(3)
+            .build()
+            .expect("valid config");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let out = Moela::new(config, &problem).run(&mut rng);
+        assert_eq!(out.population.len(), 8, "{bench}");
+        for (_, objs) in &out.population {
+            assert_eq!(objs.len(), 3);
+            assert!(objs.iter().all(|v| v.is_finite() && *v >= 0.0), "{bench}: {objs:?}");
+        }
+    }
+}
+
+#[test]
+fn optimized_designs_remain_feasible() {
+    let problem = small_problem(Benchmark::Hot, ObjectiveSet::Five, 5);
+    let config = MoelaConfig::builder()
+        .population(10)
+        .generations(5)
+        .build()
+        .expect("valid config");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let out = Moela::new(config, &problem).run(&mut rng);
+    let cfgp = problem.config();
+    for (design, _) in &out.population {
+        design
+            .validate(
+                cfgp.dims(),
+                cfgp.pe_mix(),
+                cfgp.planar_links(),
+                cfgp.tsvs(),
+                cfgp.noc().max_planar_length,
+                cfgp.noc().max_degree,
+            )
+            .expect("every optimized design satisfies §III constraints");
+    }
+}
+
+#[test]
+fn pipeline_reaches_edp_scoring() {
+    let problem = small_problem(Benchmark::Bfs, ObjectiveSet::Five, 7);
+    let config = MoelaConfig::builder()
+        .population(8)
+        .generations(4)
+        .build()
+        .expect("valid config");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let out = Moela::new(config, &problem).run(&mut rng);
+    let model = EdpModel::new(Benchmark::Bfs);
+    for (design, _) in out.front() {
+        let full = problem.evaluate_full(&design);
+        let edp = model.edp(&full.network);
+        assert!(edp.is_finite() && edp > 0.0);
+        assert!(full.peak_temperature > 0.0);
+    }
+}
+
+#[test]
+fn optimization_actually_improves_over_random_designs() {
+    use moela::moo::normalize::Normalizer;
+    let problem = small_problem(Benchmark::Srad, ObjectiveSet::Three, 9);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    // Random corpus defines the PHV scale.
+    let corpus: Vec<Vec<f64>> = (0..100)
+        .map(|_| problem.evaluate(&problem.random_solution(&mut rng)))
+        .collect();
+    let normalizer = Normalizer::fit(&corpus);
+    let keep = moela::moo::pareto::non_dominated_indices(&corpus);
+    let random_front: Vec<Vec<f64>> = keep.into_iter().map(|i| corpus[i].clone()).collect();
+    let random_phv = moela::moo::run::normalized_phv(&random_front, &normalizer);
+
+    let config = MoelaConfig::builder()
+        .population(12)
+        .generations(12)
+        .build()
+        .expect("valid config");
+    let out = Moela::new(config, &problem).run(&mut rng);
+    let phv = out.phv(&normalizer);
+    assert!(
+        phv > random_phv,
+        "optimized PHV {phv} must beat the random corpus front {random_phv}"
+    );
+}
+
+#[test]
+fn five_objective_stack_extends_three_objective_stack() {
+    let p3 = small_problem(Benchmark::Gau, ObjectiveSet::Three, 2);
+    let p5 = small_problem(Benchmark::Gau, ObjectiveSet::Five, 2);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let d = p3.random_solution(&mut rng);
+    let o3 = p3.evaluate(&d);
+    let o5 = p5.evaluate(&d);
+    assert_eq!(o3.as_slice(), &o5[..3]);
+}
+
+#[test]
+fn workloads_differ_by_application_but_not_by_run() {
+    let platform = PlatformConfig::paper();
+    let a1 = Workload::synthesize(Benchmark::Bp, platform.pe_mix(), 42);
+    let a2 = Workload::synthesize(Benchmark::Bp, platform.pe_mix(), 42);
+    let b = Workload::synthesize(Benchmark::Sc, platform.pe_mix(), 42);
+    assert_eq!(a1, a2, "synthesis must be reproducible");
+    assert_ne!(a1.traffic_matrix(), b.traffic_matrix());
+}
