@@ -4,7 +4,7 @@ use rand::RngCore;
 
 use moela_moo::normalize::Normalizer;
 use moela_moo::scalarize::Scalarizer;
-use moela_moo::Problem;
+use moela_moo::{ParallelEvaluator, Problem};
 
 pub use moela_moo::run::normalized_phv;
 
@@ -12,7 +12,12 @@ pub use moela_moo::run::normalized_phv;
 /// local-search baseline and MOOS's direction-following step. Returns the
 /// accepted states (start excluded) with their objectives, and the number
 /// of evaluations spent.
-pub fn weighted_descent<P: Problem>(
+///
+/// Each step samples its neighbors sequentially from `rng`, then
+/// evaluates them as one batch through `evaluator` — results are
+/// independent of the evaluator's worker count.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub fn weighted_descent<P>(
     problem: &P,
     start: &P::Solution,
     start_objectives: &[f64],
@@ -21,8 +26,13 @@ pub fn weighted_descent<P: Problem>(
     normalizer: &Normalizer,
     max_steps: usize,
     neighbors_per_step: usize,
+    evaluator: &ParallelEvaluator,
     rng: &mut dyn RngCore,
-) -> (Vec<(P::Solution, Vec<f64>)>, u64) {
+) -> (Vec<(P::Solution, Vec<f64>)>, u64)
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
     let g = |objs: &[f64]| {
         Scalarizer::WeightedSum.value(
             &normalizer.normalize(objs),
@@ -39,13 +49,16 @@ pub fn weighted_descent<P: Problem>(
     let mut evaluations = 0u64;
     let mut stalls = 0usize;
     for _ in 0..max_steps {
+        let candidates: Vec<P::Solution> =
+            (0..neighbors_per_step).map(|_| problem.neighbor(&current, rng)).collect();
+        let objective_batch = evaluator.evaluate(problem, &candidates);
+        evaluations += candidates.len() as u64;
         let mut best: Option<(P::Solution, Vec<f64>, f64)> = None;
-        for _ in 0..neighbors_per_step {
-            let cand = problem.neighbor(&current, rng);
-            let objs = problem.evaluate(&cand);
-            evaluations += 1;
+        for (cand, objs) in candidates.into_iter().zip(objective_batch) {
             let v = g(&objs);
-            if best.as_ref().map_or(true, |(_, _, bv)| v < *bv) {
+            // Strict `<` keeps the first minimum on ties, matching the
+            // original one-at-a-time loop.
+            if best.as_ref().is_none_or(|(_, _, bv)| v < *bv) {
                 best = Some((cand, objs, v));
             }
         }
@@ -95,8 +108,18 @@ mod tests {
         let start = p.random_solution(&mut rng);
         let objs = p.evaluate(&start);
         let n = Normalizer::from_bounds(vec![0.0, 0.0], vec![1.0, 10.0]);
-        let (accepted, evals) =
-            weighted_descent(&p, &start, &objs, &[0.5, 0.5], &[0.0, 0.0], &n, 30, 4, &mut rng);
+        let (accepted, evals) = weighted_descent(
+            &p,
+            &start,
+            &objs,
+            &[0.5, 0.5],
+            &[0.0, 0.0],
+            &n,
+            30,
+            4,
+            &ParallelEvaluator::default(),
+            &mut rng,
+        );
         assert!(evals > 0);
         if let Some((_, last)) = accepted.last() {
             let g = |o: &[f64]| 0.5 * o[0] + 0.5 * o[1] / 10.0;

@@ -24,6 +24,4 @@ pub use moead::{Moead, MoeadConfig};
 pub use moo_stage::{MooStage, MooStageConfig};
 pub use moos::{Moos, MoosConfig};
 pub use nsga2::{Nsga2, Nsga2Config};
-pub use simple::{
-    multi_start_local_search, random_search, MultiStartConfig, RandomSearchConfig,
-};
+pub use simple::{multi_start_local_search, random_search, MultiStartConfig, RandomSearchConfig};

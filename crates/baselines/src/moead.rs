@@ -18,7 +18,7 @@ use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
 use moela_moo::scalarize::{ReferencePoint, Scalarizer};
 use moela_moo::weights::{neighborhoods, uniform_weights};
-use moela_moo::Problem;
+use moela_moo::{ParallelEvaluator, Problem};
 
 /// MOEA/D parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -40,6 +40,9 @@ pub struct MoeadConfig {
     pub max_evaluations: Option<u64>,
     /// Optional wall-clock budget.
     pub time_budget: Option<Duration>,
+    /// Worker threads for batch objective evaluation (`0` = auto-detect).
+    /// Results are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for MoeadConfig {
@@ -53,6 +56,7 @@ impl Default for MoeadConfig {
             trace_normalizer: None,
             max_evaluations: None,
             time_budget: None,
+            threads: 1,
         }
     }
 }
@@ -93,13 +97,26 @@ impl<'p, P: Problem> Moead<'p, P> {
         assert!((0.0..=1.0).contains(&config.delta), "delta must lie in [0, 1]");
         Self { config, problem }
     }
+}
 
+impl<'p, P> Moead<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
     /// Runs MOEA/D and returns the final population with its trace.
+    ///
+    /// Each generation's offspring are generated sequentially from `rng`
+    /// (parents drawn from the population as it stood at the start of the
+    /// generation), evaluated as one batch through a [`ParallelEvaluator`]
+    /// sized by [`MoeadConfig::threads`], then applied in sub-problem
+    /// order — so results are bit-identical for every thread count.
     pub fn run(&self, rng: &mut impl RngCore) -> RunResult<P::Solution> {
         let rng: &mut dyn RngCore = rng;
         let cfg = &self.config;
         let m = self.problem.objective_count();
         let start_time = Instant::now();
+        let evaluator = ParallelEvaluator::new(cfg.threads);
         let mut evaluations = 0u64;
         let mut recorder = match &cfg.trace_normalizer {
             Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
@@ -108,34 +125,40 @@ impl<'p, P: Problem> Moead<'p, P> {
 
         let weights = uniform_weights(cfg.population, m);
         let nbhd = neighborhoods(&weights, cfg.neighborhood);
-        let mut solutions: Vec<P::Solution> = Vec::with_capacity(cfg.population);
-        let mut objectives: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
         let mut z = ReferencePoint::new(m);
         let mut normalizer = Normalizer::new(m);
-        for _ in 0..cfg.population {
-            let s = self.problem.random_solution(rng);
-            let o = self.problem.evaluate(&s);
-            evaluations += 1;
-            z.update(&o);
-            normalizer.observe(&o);
-            recorder.observe(&o);
-            solutions.push(s);
-            objectives.push(o);
+        let mut solutions: Vec<P::Solution> =
+            (0..cfg.population).map(|_| self.problem.random_solution(rng)).collect();
+        let mut objectives = evaluator.evaluate(self.problem, &solutions);
+        evaluations += solutions.len() as u64;
+        for o in &objectives {
+            z.update(o);
+            normalizer.observe(o);
+            recorder.observe(o);
         }
         recorder.record(0, evaluations, start_time.elapsed(), &objectives);
 
-        let budget_left = |evaluations: u64| {
-            cfg.max_evaluations.map_or(true, |cap| evaluations < cap)
-                && cfg.time_budget.map_or(true, |cap| start_time.elapsed() < cap)
-        };
-
         'outer: for generation in 0..cfg.generations {
+            if cfg.time_budget.is_some_and(|cap| start_time.elapsed() >= cap) {
+                break 'outer;
+            }
+            // Cap the generation to the remaining evaluation budget; a
+            // short (partial) generation is still evaluated, applied, and
+            // recorded before stopping, so the trace accounts for every
+            // evaluation.
+            let remaining =
+                cfg.max_evaluations.map_or(u64::MAX, |cap| cap.saturating_sub(evaluations));
+            if remaining == 0 {
+                break 'outer;
+            }
             let mut order: Vec<usize> = (0..cfg.population).collect();
             order.shuffle(rng);
-            for i in order {
-                if !budget_left(evaluations) {
-                    break 'outer;
-                }
+            order.truncate(remaining.min(cfg.population as u64) as usize);
+            let partial = order.len() < cfg.population;
+
+            let mut children: Vec<P::Solution> = Vec::with_capacity(order.len());
+            let mut pools: Vec<Vec<usize>> = Vec::with_capacity(order.len());
+            for &i in &order {
                 let whole: Vec<usize>;
                 let pool: &[usize] = if rng.gen_bool(cfg.delta) {
                     &nbhd[i]
@@ -144,17 +167,28 @@ impl<'p, P: Problem> Moead<'p, P> {
                     &whole
                 };
                 let pa = pool[rng.gen_range(0..pool.len())];
-                let mut pb = pool[rng.gen_range(0..pool.len())];
-                if pb == pa {
-                    pb = pool[(pool.iter().position(|&x| x == pa).expect("pa in pool") + 1)
-                        % pool.len()];
-                }
-                let child = self.problem.crossover(&solutions[pa], &solutions[pb], rng);
-                let child_objs = self.problem.evaluate(&child);
-                evaluations += 1;
-                z.update(&child_objs);
-                normalizer.observe(&child_objs);
-                recorder.observe(&child_objs);
+                let child = if pool.len() < 2 {
+                    // A one-element pool cannot supply a distinct second
+                    // parent; mutate instead of self-mating.
+                    self.problem.neighbor(&solutions[pa], rng)
+                } else {
+                    let mut pb = pool[rng.gen_range(0..pool.len())];
+                    if pb == pa {
+                        pb = pool[(pool.iter().position(|&x| x == pa).expect("pa in pool") + 1)
+                            % pool.len()];
+                    }
+                    self.problem.crossover(&solutions[pa], &solutions[pb], rng)
+                };
+                children.push(child);
+                pools.push(pool.to_vec());
+            }
+
+            let child_objs_batch = evaluator.evaluate(self.problem, &children);
+            evaluations += children.len() as u64;
+            for ((child, child_objs), pool) in children.iter().zip(&child_objs_batch).zip(&pools) {
+                z.update(child_objs);
+                normalizer.observe(child_objs);
+                recorder.observe(child_objs);
 
                 let g = |objs: &[f64], w: &[f64]| {
                     Scalarizer::Tchebycheff.value(
@@ -168,7 +202,7 @@ impl<'p, P: Problem> Moead<'p, P> {
                     if replaced >= cfg.max_replacements {
                         break;
                     }
-                    if g(&child_objs, &weights[j]) < g(&objectives[j], &weights[j]) {
+                    if g(child_objs, &weights[j]) < g(&objectives[j], &weights[j]) {
                         solutions[j] = child.clone();
                         objectives[j] = child_objs.clone();
                         replaced += 1;
@@ -176,6 +210,9 @@ impl<'p, P: Problem> Moead<'p, P> {
                 }
             }
             recorder.record(generation + 1, evaluations, start_time.elapsed(), &objectives);
+            if partial {
+                break 'outer;
+            }
         }
 
         RunResult {
@@ -218,14 +255,39 @@ mod tests {
     #[test]
     fn respects_the_evaluation_cap() {
         let problem = Zdt::zdt1(8);
+        // 299 does not divide into init + whole generations, forcing a
+        // partial final generation.
         let config = MoeadConfig {
             population: 10,
             generations: 10_000,
-            max_evaluations: Some(300),
+            max_evaluations: Some(299),
             ..Default::default()
         };
         let out = Moead::new(config, &problem).run(&mut rng(3));
-        assert!(out.evaluations <= 301);
+        assert_eq!(out.evaluations, 299, "batches are capped to the remaining budget");
+        let last = out.trace.last().expect("non-empty trace");
+        assert_eq!(
+            last.evaluations, out.evaluations,
+            "the partial final generation must still reach the trace"
+        );
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        let problem = Zdt::zdt2(8);
+        let run = |threads: usize| {
+            let config =
+                MoeadConfig { population: 12, generations: 8, threads, ..Default::default() };
+            Moead::new(config, &problem).run(&mut rng(6))
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_eq!(parallel.population, sequential.population);
+        assert_eq!(parallel.evaluations, sequential.evaluations);
+        let trace = |r: &RunResult<Vec<f64>>| -> Vec<(usize, u64, f64)> {
+            r.trace.iter().map(|p| (p.generation, p.evaluations, p.phv)).collect()
+        };
+        assert_eq!(trace(&parallel), trace(&sequential));
     }
 
     #[test]
@@ -244,9 +306,6 @@ mod tests {
     #[should_panic(expected = "neighborhood")]
     fn oversized_neighborhood_is_rejected() {
         let problem = Zdt::zdt1(4);
-        Moead::new(
-            MoeadConfig { population: 5, neighborhood: 6, ..Default::default() },
-            &problem,
-        );
+        Moead::new(MoeadConfig { population: 5, neighborhood: 6, ..Default::default() }, &problem);
     }
 }

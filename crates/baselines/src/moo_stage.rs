@@ -23,7 +23,7 @@ use moela_ml::{Dataset, ForestConfig, RandomForest};
 use moela_moo::archive::ParetoArchive;
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
-use moela_moo::Problem;
+use moela_moo::{ParallelEvaluator, Problem};
 
 use crate::common::normalized_phv;
 
@@ -49,6 +49,9 @@ pub struct MooStageConfig {
     pub max_evaluations: Option<u64>,
     /// Optional wall-clock budget.
     pub time_budget: Option<Duration>,
+    /// Worker threads for batch objective evaluation (`0` = auto-detect).
+    /// Results are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for MooStageConfig {
@@ -63,6 +66,7 @@ impl Default for MooStageConfig {
             trace_normalizer: None,
             max_evaluations: None,
             time_budget: None,
+            threads: 1,
         }
     }
 }
@@ -103,14 +107,27 @@ impl<'p, P: Problem> MooStage<'p, P> {
         );
         Self { config, problem }
     }
+}
 
+impl<'p, P> MooStage<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
     /// Runs MOO-STAGE and returns the archive (as the population) with its
     /// trace.
+    ///
+    /// Each base-search step's neighbors are sampled sequentially from
+    /// `rng`, then evaluated as one batch through a [`ParallelEvaluator`]
+    /// sized by [`MooStageConfig::threads`] — results are bit-identical
+    /// for every thread count (the archive only changes after the step's
+    /// best candidate is chosen).
     pub fn run(&self, rng: &mut impl RngCore) -> RunResult<P::Solution> {
         let mut rng: &mut dyn RngCore = rng;
         let cfg = &self.config;
         let m = self.problem.objective_count();
         let start_time = Instant::now();
+        let evaluator = ParallelEvaluator::new(cfg.threads);
         let mut evaluations = 0u64;
         let mut recorder = match &cfg.trace_normalizer {
             Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
@@ -132,8 +149,8 @@ impl<'p, P: Problem> MooStage<'p, P> {
         recorder.record(0, evaluations, start_time.elapsed(), &archive.objectives());
 
         let budget_left = |evaluations: u64| {
-            cfg.max_evaluations.map_or(true, |cap| evaluations < cap)
-                && cfg.time_budget.map_or(true, |cap| start_time.elapsed() < cap)
+            cfg.max_evaluations.is_none_or(|cap| evaluations < cap)
+                && cfg.time_budget.is_none_or(|cap| start_time.elapsed() < cap)
         };
 
         for episode in 0..cfg.episodes {
@@ -147,18 +164,20 @@ impl<'p, P: Problem> MooStage<'p, P> {
             let mut trajectory: Vec<Vec<f64>> = vec![self.problem.features(&current)];
             let mut stalls = 0usize;
             for _ in 0..cfg.ls_max_steps {
+                let candidates: Vec<P::Solution> = (0..cfg.ls_neighbors_per_step)
+                    .map(|_| self.problem.neighbor(&current, rng))
+                    .collect();
+                let objective_batch = evaluator.evaluate(self.problem, &candidates);
+                evaluations += candidates.len() as u64;
                 let mut best: Option<(P::Solution, Vec<f64>, f64)> = None;
-                for _ in 0..cfg.ls_neighbors_per_step {
-                    let cand = self.problem.neighbor(&current, rng);
-                    let objs = self.problem.evaluate(&cand);
-                    evaluations += 1;
+                for (cand, objs) in candidates.into_iter().zip(objective_batch) {
                     normalizer.observe(&objs);
                     recorder.observe(&objs);
                     // PHV potential: archive HV if this design joined.
                     let mut with = archive.objectives();
                     with.push(objs.clone());
                     let potential = normalized_phv(&with, &normalizer);
-                    if best.as_ref().map_or(true, |(_, _, bp)| potential > *bp) {
+                    if best.as_ref().is_none_or(|(_, _, bp)| potential > *bp) {
                         best = Some((cand, objs, potential));
                     }
                 }
@@ -217,12 +236,7 @@ impl<'p, P: Problem> MooStage<'p, P> {
                 None => self.problem.random_solution(rng),
             };
 
-            recorder.record(
-                episode + 1,
-                evaluations,
-                start_time.elapsed(),
-                &archive.objectives(),
-            );
+            recorder.record(episode + 1, evaluations, start_time.elapsed(), &archive.objectives());
         }
 
         RunResult {
@@ -258,10 +272,8 @@ mod tests {
     #[test]
     fn phv_trace_improves() {
         let problem = Zdt::zdt1(8);
-        let normalizer = moela_moo::normalize::Normalizer::from_bounds(
-            vec![0.0, 0.0],
-            vec![1.0, 10.0],
-        );
+        let normalizer =
+            moela_moo::normalize::Normalizer::from_bounds(vec![0.0, 0.0], vec![1.0, 10.0]);
         let config = MooStageConfig {
             episodes: 15,
             trace_normalizer: Some(normalizer),
@@ -283,12 +295,25 @@ mod tests {
     #[test]
     fn respects_the_evaluation_cap() {
         let problem = Zdt::zdt1(8);
-        let config = MooStageConfig {
-            episodes: 10_000,
-            max_evaluations: Some(300),
-            ..Default::default()
-        };
+        let config =
+            MooStageConfig { episodes: 10_000, max_evaluations: Some(300), ..Default::default() };
         let out = MooStage::new(config, &problem).run(&mut rng(4));
         assert!(out.evaluations <= 300 + 110, "evaluations {}", out.evaluations);
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        let problem = Zdt::zdt2(8);
+        let run = |threads: usize| {
+            let config = MooStageConfig { episodes: 8, threads, ..Default::default() };
+            MooStage::new(config, &problem).run(&mut rng(6))
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_eq!(parallel.evaluations, sequential.evaluations);
+        let objs = |r: &RunResult<Vec<f64>>| -> Vec<Vec<f64>> {
+            r.population.iter().map(|(_, o)| o.clone()).collect()
+        };
+        assert_eq!(objs(&parallel), objs(&sequential));
     }
 }

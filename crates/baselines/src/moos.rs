@@ -27,7 +27,7 @@ use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
 use moela_moo::scalarize::ReferencePoint;
 use moela_moo::weights::uniform_weights;
-use moela_moo::Problem;
+use moela_moo::{ParallelEvaluator, Problem};
 
 use crate::common::{normalized_phv, weighted_descent};
 
@@ -57,6 +57,9 @@ pub struct MoosConfig {
     pub max_evaluations: Option<u64>,
     /// Optional wall-clock budget.
     pub time_budget: Option<Duration>,
+    /// Worker threads for batch objective evaluation (`0` = auto-detect).
+    /// Results are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for MoosConfig {
@@ -73,6 +76,7 @@ impl Default for MoosConfig {
             trace_normalizer: None,
             max_evaluations: None,
             time_budget: None,
+            threads: 1,
         }
     }
 }
@@ -112,14 +116,25 @@ impl<'p, P: Problem> Moos<'p, P> {
         assert!((0.0..=1.0).contains(&config.epsilon), "epsilon must lie in [0, 1]");
         Self { config, problem }
     }
+}
 
+impl<'p, P> Moos<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
     /// Runs MOOS and returns the archive (as the population) with its
     /// trace.
+    ///
+    /// Each descent step's neighbors are evaluated as one batch through a
+    /// [`ParallelEvaluator`] sized by [`MoosConfig::threads`] — results
+    /// are bit-identical for every thread count.
     pub fn run(&self, rng: &mut impl RngCore) -> RunResult<P::Solution> {
         let mut rng: &mut dyn RngCore = rng;
         let cfg = &self.config;
         let m = self.problem.objective_count();
         let start_time = Instant::now();
+        let evaluator = ParallelEvaluator::new(cfg.threads);
         let mut evaluations = 0u64;
         let mut recorder = match &cfg.trace_normalizer {
             Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
@@ -147,8 +162,8 @@ impl<'p, P: Problem> Moos<'p, P> {
         let mut gain_model: Option<RandomForest> = None;
 
         let budget_left = |evaluations: u64| {
-            cfg.max_evaluations.map_or(true, |cap| evaluations < cap)
-                && cfg.time_budget.map_or(true, |cap| start_time.elapsed() < cap)
+            cfg.max_evaluations.is_none_or(|cap| evaluations < cap)
+                && cfg.time_budget.is_none_or(|cap| start_time.elapsed() < cap)
         };
 
         for episode in 0..cfg.episodes {
@@ -156,46 +171,48 @@ impl<'p, P: Problem> Moos<'p, P> {
                 break;
             }
             // --- Pick (start, direction) --------------------------------
-            let entries = archive.into_entries_view();
-            let (start, start_objs, weight) = if episode < cfg.warmup
-                || gain_model.is_none()
-                || rng.gen_bool(cfg.epsilon)
-            {
-                // Exploration: half the time restart from a fresh random
-                // design (archive members are locally exhausted), half the
-                // time re-descend an archive member in a random direction.
-                let w = directions[rng.gen_range(0..directions.len())].clone();
-                if rng.gen_bool(0.5) {
-                    let s = self.problem.random_solution(rng);
-                    let o = self.problem.evaluate(&s);
-                    evaluations += 1;
-                    z.update(&o);
-                    normalizer.observe(&o);
-                    recorder.observe(&o);
-                    archive.insert(s.clone(), o.clone());
-                    (s, o, w)
+            let entries = archive.entries_view();
+            // Keep the exact short-circuit order (the ε draw must only
+            // happen past warm-up with a model), so a `match` rewrite
+            // would change the RNG stream.
+            #[allow(clippy::unnecessary_unwrap)]
+            let (start, start_objs, weight) =
+                if episode < cfg.warmup || gain_model.is_none() || rng.gen_bool(cfg.epsilon) {
+                    // Exploration: half the time restart from a fresh random
+                    // design (archive members are locally exhausted), half the
+                    // time re-descend an archive member in a random direction.
+                    let w = directions[rng.gen_range(0..directions.len())].clone();
+                    if rng.gen_bool(0.5) {
+                        let s = self.problem.random_solution(rng);
+                        let o = self.problem.evaluate(&s);
+                        evaluations += 1;
+                        z.update(&o);
+                        normalizer.observe(&o);
+                        recorder.observe(&o);
+                        archive.insert(s.clone(), o.clone());
+                        (s, o, w)
+                    } else {
+                        let (s, o) = &entries[rng.gen_range(0..entries.len())];
+                        (s.clone(), o.clone(), w)
+                    }
                 } else {
-                    let (s, o) = &entries[rng.gen_range(0..entries.len())];
-                    (s.clone(), o.clone(), w)
-                }
-            } else {
-                let model = gain_model.as_ref().expect("checked above");
-                let mut best: Option<(usize, usize, f64)> = None;
-                for (si, (s, _)) in entries.iter().enumerate() {
-                    let f_base = self.problem.features(s);
-                    for (di, d) in directions.iter().enumerate() {
-                        let mut f = f_base.clone();
-                        f.extend_from_slice(d);
-                        let pred = model.predict(&f);
-                        if best.map_or(true, |(_, _, bp)| pred > bp) {
-                            best = Some((si, di, pred));
+                    let model = gain_model.as_ref().expect("checked above");
+                    let mut best: Option<(usize, usize, f64)> = None;
+                    for (si, (s, _)) in entries.iter().enumerate() {
+                        let f_base = self.problem.features(s);
+                        for (di, d) in directions.iter().enumerate() {
+                            let mut f = f_base.clone();
+                            f.extend_from_slice(d);
+                            let pred = model.predict(&f);
+                            if best.is_none_or(|(_, _, bp)| pred > bp) {
+                                best = Some((si, di, pred));
+                            }
                         }
                     }
-                }
-                let (si, di, _) = best.expect("archive is non-empty");
-                let (s, o) = &entries[si];
-                (s.clone(), o.clone(), directions[di].clone())
-            };
+                    let (si, di, _) = best.expect("archive is non-empty");
+                    let (s, o) = &entries[si];
+                    (s.clone(), o.clone(), directions[di].clone())
+                };
 
             // --- Episode: descend and archive ---------------------------
             let phv_before = normalized_phv(&archive.objectives(), &normalizer);
@@ -208,6 +225,7 @@ impl<'p, P: Problem> Moos<'p, P> {
                 &normalizer,
                 cfg.ls_max_steps,
                 cfg.ls_neighbors_per_step,
+                &evaluator,
                 rng,
             );
             evaluations += spent;
@@ -227,12 +245,7 @@ impl<'p, P: Problem> Moos<'p, P> {
                 gain_model = Some(RandomForest::fit(&train, &cfg.forest, &mut rng));
             }
 
-            recorder.record(
-                episode + 1,
-                evaluations,
-                start_time.elapsed(),
-                &archive.objectives(),
-            );
+            recorder.record(episode + 1, evaluations, start_time.elapsed(), &archive.objectives());
         }
 
         RunResult {
@@ -247,11 +260,11 @@ impl<'p, P: Problem> Moos<'p, P> {
 /// A cheap borrowed view of archive entries (the archive does not expose
 /// its internals mutably during an episode).
 trait ArchiveView<S> {
-    fn into_entries_view(&self) -> Vec<(S, Vec<f64>)>;
+    fn entries_view(&self) -> Vec<(S, Vec<f64>)>;
 }
 
 impl<S: Clone> ArchiveView<S> for ParetoArchive<S> {
-    fn into_entries_view(&self) -> Vec<(S, Vec<f64>)> {
+    fn entries_view(&self) -> Vec<(S, Vec<f64>)> {
         self.iter().cloned().collect()
     }
 }
@@ -289,15 +302,10 @@ mod tests {
     #[test]
     fn phv_trace_improves() {
         let problem = Zdt::zdt1(8);
-        let normalizer = moela_moo::normalize::Normalizer::from_bounds(
-            vec![0.0, 0.0],
-            vec![1.0, 10.0],
-        );
-        let config = MoosConfig {
-            episodes: 25,
-            trace_normalizer: Some(normalizer),
-            ..Default::default()
-        };
+        let normalizer =
+            moela_moo::normalize::Normalizer::from_bounds(vec![0.0, 0.0], vec![1.0, 10.0]);
+        let config =
+            MoosConfig { episodes: 25, trace_normalizer: Some(normalizer), ..Default::default() };
         let out = Moos::new(config, &problem).run(&mut rng(3));
         assert!(out.trace.last().expect("non-empty").phv > out.trace[0].phv);
     }
@@ -305,14 +313,27 @@ mod tests {
     #[test]
     fn respects_the_evaluation_cap() {
         let problem = Zdt::zdt1(8);
-        let config = MoosConfig {
-            episodes: 10_000,
-            max_evaluations: Some(400),
-            ..Default::default()
-        };
+        let config =
+            MoosConfig { episodes: 10_000, max_evaluations: Some(400), ..Default::default() };
         let out = Moos::new(config, &problem).run(&mut rng(4));
         // One in-flight episode may overshoot by its own budget.
         assert!(out.evaluations <= 400 + 110, "evaluations {}", out.evaluations);
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        let problem = Zdt::zdt2(8);
+        let run = |threads: usize| {
+            let config = MoosConfig { episodes: 12, threads, ..Default::default() };
+            Moos::new(config, &problem).run(&mut rng(7))
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_eq!(parallel.evaluations, sequential.evaluations);
+        let objs = |r: &RunResult<Vec<f64>>| -> Vec<Vec<f64>> {
+            r.population.iter().map(|(_, o)| o.clone()).collect()
+        };
+        assert_eq!(objs(&parallel), objs(&sequential));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use rand::{Rng, RngCore};
 
 use moela_moo::pareto::{crowding_distance, non_dominated_sort};
 use moela_moo::run::{RunResult, TraceRecorder};
-use moela_moo::Problem;
+use moela_moo::{ParallelEvaluator, Problem};
 
 /// NSGA-II parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -23,11 +23,21 @@ pub struct Nsga2Config {
     pub max_evaluations: Option<u64>,
     /// Optional wall-clock budget.
     pub time_budget: Option<Duration>,
+    /// Worker threads for batch objective evaluation (`0` = auto-detect).
+    /// Results are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for Nsga2Config {
     fn default() -> Self {
-        Self { population: 50, generations: 100, trace_normalizer: None, max_evaluations: None, time_budget: None }
+        Self {
+            population: 50,
+            generations: 100,
+            trace_normalizer: None,
+            max_evaluations: None,
+            time_budget: None,
+            threads: 1,
+        }
     }
 }
 
@@ -62,24 +72,41 @@ impl<'p, P: Problem> Nsga2<'p, P> {
         assert!(config.population >= 2, "population must be at least 2");
         Self { config, problem }
     }
+}
 
+impl<'p, P> Nsga2<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
     /// Runs NSGA-II and returns the final population with its trace.
+    ///
+    /// Each generation's offspring are generated sequentially from `rng`,
+    /// then evaluated as one batch through a [`ParallelEvaluator`] sized
+    /// by [`Nsga2Config::threads`] — results are bit-identical for every
+    /// thread count. When the evaluation budget runs out mid-generation,
+    /// the partial offspring batch still enters environmental selection
+    /// (those evaluations are paid for) and the trace records it.
     pub fn run(&self, rng: &mut impl RngCore) -> RunResult<P::Solution> {
         let rng: &mut dyn RngCore = rng;
         let cfg = &self.config;
         let m = self.problem.objective_count();
         let start_time = Instant::now();
+        let evaluator = ParallelEvaluator::new(cfg.threads);
         let mut evaluations = 0u64;
         let mut recorder = match &cfg.trace_normalizer {
             Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
             None => TraceRecorder::new(m),
         };
 
-        let mut pop: Vec<(P::Solution, Vec<f64>)> = (0..cfg.population)
-            .map(|_| {
-                let s = self.problem.random_solution(rng);
-                let o = self.problem.evaluate(&s);
-                evaluations += 1;
+        let candidates: Vec<P::Solution> =
+            (0..cfg.population).map(|_| self.problem.random_solution(rng)).collect();
+        let objective_batch = evaluator.evaluate(self.problem, &candidates);
+        evaluations += candidates.len() as u64;
+        let mut pop: Vec<(P::Solution, Vec<f64>)> = candidates
+            .into_iter()
+            .zip(objective_batch)
+            .map(|(s, o)| {
                 recorder.observe(&o);
                 (s, o)
             })
@@ -93,12 +120,20 @@ impl<'p, P: Problem> Nsga2<'p, P> {
         };
         record(&mut recorder, 0, evaluations, &pop);
 
-        let budget_left = |evaluations: u64| {
-            cfg.max_evaluations.map_or(true, |cap| evaluations < cap)
-                && cfg.time_budget.map_or(true, |cap| start_time.elapsed() < cap)
-        };
-
         'outer: for generation in 0..cfg.generations {
+            if cfg.time_budget.is_some_and(|cap| start_time.elapsed() >= cap) {
+                break 'outer;
+            }
+            // Cap the offspring batch to the remaining evaluation budget;
+            // a partial batch is still selected over and recorded.
+            let remaining =
+                cfg.max_evaluations.map_or(u64::MAX, |cap| cap.saturating_sub(evaluations));
+            if remaining == 0 {
+                break 'outer;
+            }
+            let n_children = remaining.min(cfg.population as u64) as usize;
+            let partial = n_children < cfg.population;
+
             // Rank the current population for tournament selection.
             let objs: Vec<Vec<f64>> = pop.iter().map(|(_, o)| o.clone()).collect();
             let fronts = non_dominated_sort(&objs);
@@ -122,25 +157,33 @@ impl<'p, P: Problem> Nsga2<'p, P> {
                 }
             };
 
-            // Offspring generation.
-            let mut offspring: Vec<(P::Solution, Vec<f64>)> = Vec::with_capacity(cfg.population);
-            for _ in 0..cfg.population {
-                if !budget_left(evaluations) {
-                    break 'outer;
-                }
-                let pa = tournament(rng);
-                let pb = tournament(rng);
-                let child = self.problem.crossover(&pop[pa].0, &pop[pb].0, rng);
-                let o = self.problem.evaluate(&child);
-                evaluations += 1;
-                recorder.observe(&o);
-                offspring.push((child, o));
-            }
+            // Offspring generation: children first (sequential RNG), then
+            // one batched evaluation.
+            let children: Vec<P::Solution> = (0..n_children)
+                .map(|_| {
+                    let pa = tournament(rng);
+                    let pb = tournament(rng);
+                    self.problem.crossover(&pop[pa].0, &pop[pb].0, rng)
+                })
+                .collect();
+            let child_objs = evaluator.evaluate(self.problem, &children);
+            evaluations += children.len() as u64;
+            let offspring: Vec<(P::Solution, Vec<f64>)> = children
+                .into_iter()
+                .zip(child_objs)
+                .map(|(child, o)| {
+                    recorder.observe(&o);
+                    (child, o)
+                })
+                .collect();
 
             // Environmental selection over parents ∪ offspring.
             pop.extend(offspring);
             pop = environmental_selection(pop, cfg.population);
             record(&mut recorder, generation + 1, evaluations, &pop);
+            if partial {
+                break 'outer;
+            }
         }
 
         RunResult {
@@ -237,13 +280,34 @@ mod tests {
     #[test]
     fn respects_the_evaluation_cap() {
         let problem = Zdt::zdt1(8);
+        // 205 forces a partial (5-child) final generation.
         let config = Nsga2Config {
             population: 10,
             generations: 10_000,
-            max_evaluations: Some(200),
+            max_evaluations: Some(205),
             ..Default::default()
         };
         let out = Nsga2::new(config, &problem).run(&mut rng(3));
-        assert!(out.evaluations <= 201);
+        assert_eq!(out.evaluations, 205, "batches are capped to the remaining budget");
+        assert_eq!(out.population.len(), 10, "partial offspring still face selection");
+        let last = out.trace.last().expect("non-empty trace");
+        assert_eq!(
+            last.evaluations, out.evaluations,
+            "the partial final generation must still reach the trace"
+        );
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        let problem = Zdt::zdt3(8);
+        let run = |threads: usize| {
+            let config =
+                Nsga2Config { population: 12, generations: 8, threads, ..Default::default() };
+            Nsga2::new(config, &problem).run(&mut rng(5))
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_eq!(parallel.population, sequential.population);
+        assert_eq!(parallel.evaluations, sequential.evaluations);
     }
 }

@@ -11,7 +11,7 @@ use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
 use moela_moo::scalarize::ReferencePoint;
 use moela_moo::weights::uniform_weights;
-use moela_moo::Problem;
+use moela_moo::{ParallelEvaluator, Problem};
 
 use crate::common::weighted_descent;
 
@@ -29,11 +29,21 @@ pub struct RandomSearchConfig {
     pub trace_normalizer: Option<Normalizer>,
     /// Optional wall-clock budget.
     pub time_budget: Option<Duration>,
+    /// Worker threads for batch objective evaluation (`0` = auto-detect).
+    /// Results are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for RandomSearchConfig {
     fn default() -> Self {
-        Self { samples: 1000, archive_cap: 50, trace_every: 100, trace_normalizer: None, time_budget: None }
+        Self {
+            samples: 1000,
+            archive_cap: 50,
+            trace_every: 100,
+            trace_normalizer: None,
+            time_budget: None,
+            threads: 1,
+        }
     }
 }
 
@@ -52,32 +62,46 @@ impl Default for RandomSearchConfig {
 /// let out = random_search(&cfg, &problem, &mut rng);
 /// assert_eq!(out.evaluations, 50);
 /// ```
-pub fn random_search<P: Problem>(
+pub fn random_search<P>(
     config: &RandomSearchConfig,
     problem: &P,
     rng: &mut impl RngCore,
-) -> RunResult<P::Solution> {
+) -> RunResult<P::Solution>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
     let rng: &mut dyn RngCore = rng;
     let m = problem.objective_count();
     let start_time = Instant::now();
+    let evaluator = ParallelEvaluator::new(config.threads);
     let mut recorder = match &config.trace_normalizer {
         Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
         None => TraceRecorder::new(m),
     };
     let mut archive: ParetoArchive<P::Solution> = ParetoArchive::bounded(config.archive_cap);
     let mut evaluations = 0u64;
-    for i in 0..config.samples {
-        if config.time_budget.map_or(false, |cap| start_time.elapsed() >= cap) {
+    // Draw and evaluate in chunks aligned to the trace granularity so the
+    // trace is identical to the old one-at-a-time loop (the wall-clock
+    // budget is now checked per chunk rather than per sample).
+    let chunk = if config.trace_every > 0 { config.trace_every } else { 64 };
+    let mut drawn = 0u64;
+    while drawn < config.samples {
+        if config.time_budget.is_some_and(|cap| start_time.elapsed() >= cap) {
             break;
         }
-        let s = problem.random_solution(rng);
-        let o = problem.evaluate(&s);
-        evaluations += 1;
-        recorder.observe(&o);
-        archive.insert(s, o);
-        if config.trace_every > 0 && (i + 1) % config.trace_every == 0 {
+        let n = chunk.min(config.samples - drawn) as usize;
+        let candidates: Vec<P::Solution> = (0..n).map(|_| problem.random_solution(rng)).collect();
+        let objective_batch = evaluator.evaluate(problem, &candidates);
+        evaluations += n as u64;
+        for (s, o) in candidates.into_iter().zip(objective_batch) {
+            recorder.observe(&o);
+            archive.insert(s, o);
+        }
+        drawn += n as u64;
+        if config.trace_every > 0 && drawn.is_multiple_of(config.trace_every) {
             recorder.record(
-                (i / config.trace_every.max(1)) as usize,
+                ((drawn - 1) / config.trace_every) as usize,
                 evaluations,
                 start_time.elapsed(),
                 &archive.objectives(),
@@ -85,7 +109,7 @@ pub fn random_search<P: Problem>(
         }
     }
     recorder.record(
-        usize::MAX.min(config.samples as usize),
+        config.samples as usize,
         evaluations,
         start_time.elapsed(),
         &archive.objectives(),
@@ -120,6 +144,9 @@ pub struct MultiStartConfig {
     pub max_evaluations: Option<u64>,
     /// Optional wall-clock budget.
     pub time_budget: Option<Duration>,
+    /// Worker threads for batch objective evaluation (`0` = auto-detect).
+    /// Results are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for MultiStartConfig {
@@ -133,19 +160,25 @@ impl Default for MultiStartConfig {
             trace_normalizer: None,
             max_evaluations: None,
             time_budget: None,
+            threads: 1,
         }
     }
 }
 
 /// Runs multi-start weighted-sum local search.
-pub fn multi_start_local_search<P: Problem>(
+pub fn multi_start_local_search<P>(
     config: &MultiStartConfig,
     problem: &P,
     rng: &mut impl RngCore,
-) -> RunResult<P::Solution> {
+) -> RunResult<P::Solution>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
     let rng: &mut dyn RngCore = rng;
     let m = problem.objective_count();
     let start_time = Instant::now();
+    let evaluator = ParallelEvaluator::new(config.threads);
     let mut recorder = match &config.trace_normalizer {
         Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
         None => TraceRecorder::new(m),
@@ -157,8 +190,8 @@ pub fn multi_start_local_search<P: Problem>(
     let mut evaluations = 0u64;
 
     for restart in 0..config.restarts {
-        if config.max_evaluations.map_or(false, |cap| evaluations >= cap)
-            || config.time_budget.map_or(false, |cap| start_time.elapsed() >= cap)
+        if config.max_evaluations.is_some_and(|cap| evaluations >= cap)
+            || config.time_budget.is_some_and(|cap| start_time.elapsed() >= cap)
         {
             break;
         }
@@ -180,6 +213,7 @@ pub fn multi_start_local_search<P: Problem>(
             &normalizer,
             config.ls_max_steps,
             config.ls_neighbors_per_step,
+            &evaluator,
             rng,
         );
         evaluations += spent;
@@ -230,27 +264,55 @@ mod tests {
 
     #[test]
     fn local_search_beats_random_search_at_equal_budget() {
+        // Any single seed pair is a coin with an edge, not a certainty, so
+        // compare mean IGD across a few independent runs.
         let problem = Zdt::zdt1(8);
-        let ls_cfg = MultiStartConfig { restarts: 25, ls_max_steps: 60, ..Default::default() };
-        let ls = multi_start_local_search(&ls_cfg, &problem, &mut rng(2));
-        let rs_cfg = RandomSearchConfig { samples: ls.evaluations, ..Default::default() };
-        let rs = random_search(&rs_cfg, &problem, &mut rng(3));
         let reference = problem.true_front(100);
-        let igd_ls = moela_moo::metrics::igd(&ls.front_objectives(), &reference);
-        let igd_rs = moela_moo::metrics::igd(&rs.front_objectives(), &reference);
-        assert!(igd_ls < igd_rs, "LS {igd_ls} vs RS {igd_rs}");
+        let mut igd_ls_total = 0.0;
+        let mut igd_rs_total = 0.0;
+        for seed in [2u64, 12, 22] {
+            let ls_cfg = MultiStartConfig { restarts: 25, ls_max_steps: 60, ..Default::default() };
+            let ls = multi_start_local_search(&ls_cfg, &problem, &mut rng(seed));
+            let rs_cfg = RandomSearchConfig { samples: ls.evaluations, ..Default::default() };
+            let rs = random_search(&rs_cfg, &problem, &mut rng(seed + 1));
+            igd_ls_total += moela_moo::metrics::igd(&ls.front_objectives(), &reference);
+            igd_rs_total += moela_moo::metrics::igd(&rs.front_objectives(), &reference);
+        }
+        assert!(igd_ls_total < igd_rs_total, "LS {igd_ls_total} vs RS {igd_rs_total}");
     }
 
     #[test]
     fn multi_start_respects_evaluation_cap() {
         let problem = Zdt::zdt1(6);
-        let cfg = MultiStartConfig {
-            restarts: 10_000,
-            max_evaluations: Some(250),
-            ..Default::default()
-        };
+        let cfg =
+            MultiStartConfig { restarts: 10_000, max_evaluations: Some(250), ..Default::default() };
         let out = multi_start_local_search(&cfg, &problem, &mut rng(4));
         assert!(out.evaluations <= 250 + 110);
+    }
+
+    #[test]
+    fn identical_results_across_thread_counts() {
+        let problem = Zdt::zdt3(8);
+        let objs = |r: &RunResult<Vec<f64>>| -> Vec<Vec<f64>> {
+            r.population.iter().map(|(_, o)| o.clone()).collect()
+        };
+
+        let rs = |threads: usize| {
+            let cfg = RandomSearchConfig { samples: 230, threads, ..Default::default() };
+            random_search(&cfg, &problem, &mut rng(8))
+        };
+        let (rs_seq, rs_par) = (rs(1), rs(4));
+        assert_eq!(rs_par.evaluations, rs_seq.evaluations);
+        assert_eq!(objs(&rs_par), objs(&rs_seq));
+        assert_eq!(rs_par.trace.len(), rs_seq.trace.len());
+
+        let ms = |threads: usize| {
+            let cfg = MultiStartConfig { restarts: 12, threads, ..Default::default() };
+            multi_start_local_search(&cfg, &problem, &mut rng(9))
+        };
+        let (ms_seq, ms_par) = (ms(1), ms(4));
+        assert_eq!(ms_par.evaluations, ms_seq.evaluations);
+        assert_eq!(objs(&ms_par), objs(&ms_seq));
     }
 
     #[test]

@@ -5,9 +5,9 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::{Rng, SeedableRng};
 
-use moela_manycore::{ManycoreProblem, ObjectiveSet, PlatformConfig};
 use moela_manycore::routing::RoutingTable;
 use moela_manycore::Topology;
+use moela_manycore::{ManycoreProblem, ObjectiveSet, PlatformConfig};
 use moela_ml::{Dataset, ForestConfig, RandomForest};
 use moela_moo::hypervolume::hypervolume;
 use moela_moo::pareto::non_dominated_sort;
@@ -46,32 +46,24 @@ fn bench_operators(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     let a = problem.random_solution(&mut rng);
     let b2 = problem.random_solution(&mut rng);
-    c.bench_function("operators/random_design", |b| {
-        b.iter(|| problem.random_solution(&mut rng))
-    });
-    c.bench_function("operators/neighbor_move", |b| {
-        b.iter(|| problem.neighbor(&a, &mut rng))
-    });
-    c.bench_function("operators/crossover", |b| {
-        b.iter(|| problem.crossover(&a, &b2, &mut rng))
-    });
+    c.bench_function("operators/random_design", |b| b.iter(|| problem.random_solution(&mut rng)));
+    c.bench_function("operators/neighbor_move", |b| b.iter(|| problem.neighbor(&a, &mut rng)));
+    c.bench_function("operators/crossover", |b| b.iter(|| problem.crossover(&a, &b2, &mut rng)));
     c.bench_function("operators/features", |b| b.iter(|| problem.features(&a)));
 }
 
 fn bench_hypervolume(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     for m in [2usize, 3, 5] {
-        let points: Vec<Vec<f64>> = (0..50)
-            .map(|_| (0..m).map(|_| rng.gen_range(0.0..1.0)).collect())
-            .collect();
+        let points: Vec<Vec<f64>> =
+            (0..50).map(|_| (0..m).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
         let reference = vec![1.1; m];
         c.bench_function(&format!("hypervolume/50pts_{m}d"), |b| {
             b.iter(|| hypervolume(&points, &reference))
         });
     }
-    let points: Vec<Vec<f64>> = (0..200)
-        .map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect())
-        .collect();
+    let points: Vec<Vec<f64>> =
+        (0..200).map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
     c.bench_function("pareto/non_dominated_sort_200pts_3d", |b| {
         b.iter(|| non_dominated_sort(&points))
     });

@@ -30,6 +30,7 @@ fn main() {
         cfg.budget, cfg.seeds
     );
 
+    #[allow(clippy::type_complexity)]
     let variants: Vec<(&str, Box<dyn Fn(MoelaConfigBuilder) -> MoelaConfigBuilder>)> = vec![
         ("baseline (LS-first, ML on)", Box::new(|b| b)),
         ("EA-first ordering", Box::new(|b| b.ea_first(true))),

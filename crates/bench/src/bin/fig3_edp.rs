@@ -25,10 +25,11 @@ fn main() {
         cfg.budget, cfg.seeds
     );
     println!();
-    let header: Vec<String> = ["App", "MOEA/D overhead", "MOOS overhead", "MOELA EDP", "MOELA peak T"]
-        .iter()
-        .map(|s| (*s).to_owned())
-        .collect();
+    let header: Vec<String> =
+        ["App", "MOEA/D overhead", "MOOS overhead", "MOELA EDP", "MOELA peak T"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
     let widths: Vec<usize> = header.iter().map(|h| h.len().max(12)).collect();
     println!("{}", moela_bench::format_row(&header, &widths));
 
@@ -40,8 +41,7 @@ fn main() {
             let moela = run_algo(&cell, Algo::Moela, &cfg, seed);
             let moead = run_algo(&cell, Algo::Moead, &cfg, seed);
             let moos = run_algo(&cell, Algo::Moos, &cfg, seed);
-            let (edp_moela, t_moela) =
-                select_design(&cell.problem, &model, &moela, cfg.simulate);
+            let (edp_moela, t_moela) = select_design(&cell.problem, &model, &moela, cfg.simulate);
             let (edp_moead, _) = select_design(&cell.problem, &model, &moead, cfg.simulate);
             let (edp_moos, _) = select_design(&cell.problem, &model, &moos, cfg.simulate);
             per_seed.push((
@@ -110,10 +110,8 @@ fn select_design(
             let full = problem.evaluate_full(&design);
             let network = if simulate {
                 let sim = Simulator::new(problem, &design, SimConfig::default());
-                sim.run(20_000).to_network_stats(
-                    full.network.network_energy_rate,
-                    full.network.total_pe_power,
-                )
+                sim.run(20_000)
+                    .to_network_stats(full.network.network_energy_rate, full.network.total_pe_power)
             } else {
                 full.network
             };
@@ -128,11 +126,7 @@ fn select_design(
         .min_by(|a, b| a.0.total_cmp(&b.0))
         .copied()
         .unwrap_or_else(|| {
-            scored
-                .iter()
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .copied()
-                .expect("front is non-empty")
+            scored.iter().min_by(|a, b| a.1.total_cmp(&b.1)).copied().expect("front is non-empty")
         })
 }
 

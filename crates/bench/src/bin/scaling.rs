@@ -19,6 +19,7 @@ use moela_traffic::{Benchmark, Workload};
 use rand::SeedableRng;
 
 /// The platforms under test: name, grid, CPU/LLC counts, link budgets.
+#[allow(clippy::type_complexity)]
 const PLATFORMS: [(&str, (usize, usize, usize), usize, usize, usize, usize); 3] = [
     // (label, (nx, ny, layers), cpus, llcs, planar, tsvs)
     ("4x4x4 (64 tiles, paper)", (4, 4, 4), 8, 16, 96, 48),
@@ -51,12 +52,11 @@ fn main() {
                 .build()
                 .expect("scaling platforms are feasible");
             let workload = Workload::synthesize(app, platform.pe_mix(), seed);
-            let problem = ManycoreProblem::new(platform, workload, ObjectiveSet::Five)
-                .expect("consistent");
+            let problem =
+                ManycoreProblem::new(platform, workload, ObjectiveSet::Five).expect("consistent");
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FFEE);
-            let corpus: Vec<Vec<f64>> = (0..200)
-                .map(|_| problem.evaluate(&problem.random_solution(&mut rng)))
-                .collect();
+            let corpus: Vec<Vec<f64>> =
+                (0..200).map(|_| problem.evaluate(&problem.random_solution(&mut rng))).collect();
             let normalizer = Normalizer::fit(&corpus);
             let cell = Cell { app, set: ObjectiveSet::Five, problem, normalizer };
             for (slot, algo) in [Algo::Moela, Algo::Moead, Algo::Moos].iter().enumerate() {

@@ -36,10 +36,7 @@ fn main() {
                     let cell = build_cell(app, set, 200, seed);
                     let moela = run_algo(&cell, Algo::Moela, &cfg, seed);
                     let other = run_algo(&cell, baseline, &cfg, seed);
-                    gains.push(hv_gain(
-                        moela.phv(&cell.normalizer),
-                        other.phv(&cell.normalizer),
-                    ));
+                    gains.push(hv_gain(moela.phv(&cell.normalizer), other.phv(&cell.normalizer)));
                 }
                 values.push(mean(&gains));
             }

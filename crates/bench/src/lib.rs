@@ -161,9 +161,8 @@ pub fn build_cell(app: Benchmark, set: ObjectiveSet, corpus: usize, seed: u64) -
     let problem =
         ManycoreProblem::new(platform, workload, set).expect("paper platform is consistent");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FFEE);
-    let objs: Vec<Vec<f64>> = (0..corpus)
-        .map(|_| problem.evaluate(&problem.random_solution(&mut rng)))
-        .collect();
+    let objs: Vec<Vec<f64>> =
+        (0..corpus).map(|_| problem.evaluate(&problem.random_solution(&mut rng))).collect();
     let normalizer = Normalizer::fit(&objs);
     Cell { app, set, problem, normalizer }
 }
@@ -237,10 +236,7 @@ pub fn run_algo(cell: &Cell, algo: Algo, cfg: &HarnessConfig, seed: u64) -> RunR
 /// `(baseline_evals_at_convergence, moela_evals, speedup)`; `None` when
 /// MOELA never reaches the baseline's converged quality within its budget
 /// (reported as `<1×` by the table binary).
-pub fn speedup(
-    moela: &RunResult<Design>,
-    baseline: &RunResult<Design>,
-) -> Option<(u64, u64, f64)> {
+pub fn speedup(moela: &RunResult<Design>, baseline: &RunResult<Design>) -> Option<(u64, u64, f64)> {
     let conv_idx = convergence_point(&baseline.trace, 0.005)?;
     let conv = baseline.trace[conv_idx];
     let moela_evals = evaluations_to_reach(&moela.trace, conv.phv)?;
@@ -291,12 +287,7 @@ where
 
 /// Formats a markdown-ish table row.
 pub fn format_row(cells: &[String], widths: &[usize]) -> String {
-    cells
-        .iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:>w$}", w = w))
-        .collect::<Vec<_>>()
-        .join("  ")
+    cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect::<Vec<_>>().join("  ")
 }
 
 #[cfg(test)]

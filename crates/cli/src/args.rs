@@ -44,11 +44,7 @@ impl Algorithm {
 
     /// The display name.
     pub fn name(&self) -> &'static str {
-        Self::ALL
-            .iter()
-            .find(|(a, _)| a == self)
-            .map(|(_, n)| *n)
-            .expect("every variant is listed")
+        Self::ALL.iter().find(|(a, _)| a == self).map(|(_, n)| *n).expect("every variant is listed")
     }
 }
 
@@ -67,6 +63,9 @@ pub struct RunOptions {
     pub population: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for batch objective evaluation (`0` = auto-detect).
+    /// Results are bit-identical for every value.
+    pub threads: usize,
     /// Wall-clock guard.
     pub time_guard: Duration,
     /// Optional path to write the PHV trace CSV to.
@@ -86,6 +85,7 @@ impl Default for RunOptions {
             budget: 4_000,
             population: 24,
             seed: 11,
+            threads: 1,
             time_guard: Duration::from_secs(600),
             trace_csv: None,
             front_csv: None,
@@ -165,13 +165,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     }
                 }
             }
-            Ok(Command::Simulate {
-                options: parse_run_options(&filtered)?,
-                load_factor,
-                cycles,
-            })
+            Ok(Command::Simulate { options: parse_run_options(&filtered)?, load_factor, cycles })
         }
-        other => Err(format!("unknown subcommand '{other}' (try: run, compare, info, simulate, help)")),
+        other => {
+            Err(format!("unknown subcommand '{other}' (try: run, compare, info, simulate, help)"))
+        }
     }
 }
 
@@ -179,11 +177,7 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
     let mut opts = RunOptions::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
-        let mut value = || {
-            it.next()
-                .cloned()
-                .ok_or_else(|| format!("flag {flag} needs a value"))
-        };
+        let mut value = || it.next().cloned().ok_or_else(|| format!("flag {flag} needs a value"));
         match flag.as_str() {
             "--app" => {
                 let name = value()?;
@@ -205,10 +199,12 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
                 opts.budget = value()?.parse().map_err(|_| "--budget needs an integer")?;
             }
             "--population" => {
-                opts.population =
-                    value()?.parse().map_err(|_| "--population needs an integer")?;
+                opts.population = value()?.parse().map_err(|_| "--population needs an integer")?;
             }
             "--seed" => opts.seed = value()?.parse().map_err(|_| "--seed needs an integer")?,
+            "--threads" => {
+                opts.threads = value()?.parse().map_err(|_| "--threads needs an integer")?;
+            }
             "--time-guard-secs" => {
                 opts.time_guard = Duration::from_secs(
                     value()?.parse().map_err(|_| "--time-guard-secs needs an integer")?,
@@ -250,6 +246,8 @@ COMMON FLAGS:
     --budget <N>                        evaluation budget [4000]
     --population <N>                    population size   [24]
     --seed <N>                          RNG seed          [11]
+    --threads <N>                       evaluation worker threads, 0 = auto;
+                                        results are identical for any N [1]
     --trace-csv <PATH>                  write PHV trace CSV
     --front-csv <PATH>                  write final front CSV
     --dot <PATH>                        write best design as Graphviz DOT
@@ -277,7 +275,7 @@ mod tests {
     fn run_parses_all_flags() {
         let cmd = parse(&argv(
             "run --app HOT --objectives 5 --algorithm moead --budget 999 \
-             --population 10 --seed 3 --trace-csv t.csv --front-csv f.csv",
+             --population 10 --seed 3 --threads 4 --trace-csv t.csv --front-csv f.csv",
         ))
         .expect("ok");
         let Command::Run(o) = cmd else { panic!("expected Run") };
@@ -287,6 +285,7 @@ mod tests {
         assert_eq!(o.budget, 999);
         assert_eq!(o.population, 10);
         assert_eq!(o.seed, 3);
+        assert_eq!(o.threads, 4);
         assert_eq!(o.trace_csv.as_deref(), Some("t.csv"));
         assert_eq!(o.front_csv.as_deref(), Some("f.csv"));
         assert_eq!(o.dot, None);
@@ -306,8 +305,7 @@ mod tests {
 
     #[test]
     fn simulate_extracts_its_own_flags() {
-        let cmd = parse(&argv("simulate --app GAU --load 2.5 --cycles 123 --seed 9"))
-            .expect("ok");
+        let cmd = parse(&argv("simulate --app GAU --load 2.5 --cycles 123 --seed 9")).expect("ok");
         let Command::Simulate { options, load_factor, cycles } = cmd else {
             panic!("expected Simulate")
         };

@@ -52,9 +52,8 @@ fn build_problem(opts: &RunOptions) -> ManycoreProblem {
 
 fn corpus_normalizer(problem: &ManycoreProblem, seed: u64) -> Normalizer {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FFEE);
-    let objs: Vec<Vec<f64>> = (0..200)
-        .map(|_| problem.evaluate(&problem.random_solution(&mut rng)))
-        .collect();
+    let objs: Vec<Vec<f64>> =
+        (0..200).map(|_| problem.evaluate(&problem.random_solution(&mut rng))).collect();
     Normalizer::fit(&objs)
 }
 
@@ -73,6 +72,7 @@ fn run_algorithm(
                 .trace_normalizer(normalizer.clone())
                 .max_evaluations(opts.budget)
                 .time_budget(opts.time_guard)
+                .threads(opts.threads)
                 .build()
                 .expect("validated options");
             Moela::new(config, problem).run(&mut rng)
@@ -85,6 +85,7 @@ fn run_algorithm(
                 trace_normalizer: Some(normalizer.clone()),
                 max_evaluations: Some(opts.budget),
                 time_budget: Some(opts.time_guard),
+                threads: opts.threads,
                 ..Default::default()
             };
             Moead::new(config, problem).run(&mut rng)
@@ -95,6 +96,7 @@ fn run_algorithm(
                 trace_normalizer: Some(normalizer.clone()),
                 max_evaluations: Some(opts.budget),
                 time_budget: Some(opts.time_guard),
+                threads: opts.threads,
                 ..Default::default()
             };
             Moos::new(config, problem).run(&mut rng)
@@ -105,6 +107,7 @@ fn run_algorithm(
                 trace_normalizer: Some(normalizer.clone()),
                 max_evaluations: Some(opts.budget),
                 time_budget: Some(opts.time_guard),
+                threads: opts.threads,
                 ..Default::default()
             };
             MooStage::new(config, problem).run(&mut rng)
@@ -116,6 +119,7 @@ fn run_algorithm(
                 trace_normalizer: Some(normalizer.clone()),
                 max_evaluations: Some(opts.budget),
                 time_budget: Some(opts.time_guard),
+                threads: opts.threads,
             };
             Nsga2::new(config, problem).run(&mut rng)
         }
@@ -123,6 +127,7 @@ fn run_algorithm(
             let config = RandomSearchConfig {
                 samples: opts.budget,
                 trace_normalizer: Some(normalizer.clone()),
+                threads: opts.threads,
                 ..Default::default()
             };
             random_search(&config, problem, &mut rng)
@@ -145,10 +150,8 @@ fn write_outputs(
     }
     if let Some(path) = &opts.dot {
         // "Best" = lowest first objective on the front.
-        if let Some((design, _)) = result
-            .front()
-            .into_iter()
-            .min_by(|a, b| a.1[0].total_cmp(&b.1[0]))
+        if let Some((design, _)) =
+            result.front().into_iter().min_by(|a, b| a.1[0].total_cmp(&b.1[0]))
         {
             let dot = viz::to_dot(problem.config().dims(), problem.config().pe_mix(), &design);
             std::fs::write(path, dot)?;
@@ -221,7 +224,11 @@ fn info(app: Benchmark, seed: u64) -> ExitCode {
     let w = Workload::synthesize(app, mix, seed);
     println!("{app} on the paper platform (seed {seed})");
     println!("  PEs: {} CPUs, {} GPUs, {} LLCs", mix.cpus(), mix.gpus(), mix.llcs());
-    println!("  total traffic: {:.1} flits/kilo-cycle over {} flows", w.total_traffic(), w.flows().len());
+    println!(
+        "  total traffic: {:.1} flits/kilo-cycle over {} flows",
+        w.total_traffic(),
+        w.flows().len()
+    );
     let class_total = |a: PeKind, b: PeKind| -> f64 {
         let total: f64 = mix
             .ids_of(a)

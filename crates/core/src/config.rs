@@ -64,6 +64,10 @@ pub struct MoelaConfig {
     pub max_evaluations: Option<u64>,
     /// Optional wall-clock budget (the paper's `T_stop`).
     pub time_budget: Option<Duration>,
+    /// Worker threads for batch objective evaluation (`0` = auto-detect
+    /// from the host). Results are bit-identical for every value — see
+    /// [`moela_moo::parallel::ParallelEvaluator`].
+    pub threads: usize,
 }
 
 impl MoelaConfig {
@@ -106,11 +110,16 @@ impl Default for MoelaConfigBuilder {
                 ls_neighbors_per_step: 4,
                 ls_stall_evaluations: 12,
                 max_replacements: 2,
-                forest: ForestConfig { trees: 25, bootstrap_size: Some(512), ..ForestConfig::default() },
+                forest: ForestConfig {
+                    trees: 25,
+                    bootstrap_size: Some(512),
+                    ..ForestConfig::default()
+                },
                 ea_first: false,
                 trace_normalizer: None,
                 max_evaluations: None,
                 time_budget: None,
+                threads: 1,
             },
             neighborhood_set: false,
             n_local_set: false,
@@ -218,6 +227,12 @@ impl MoelaConfigBuilder {
         self
     }
 
+    /// Sets the evaluation worker-thread count (`0` = auto-detect).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// Validates and produces the configuration. Unset `neighborhood` and
     /// `n_local` scale with the population (`T = max(3, N/5)`,
     /// `n_local = max(1, N/10)`).
@@ -229,9 +244,7 @@ impl MoelaConfigBuilder {
     pub fn build(mut self) -> Result<MoelaConfig, BuildConfigError> {
         let c = &mut self.config;
         if c.population < 2 {
-            return Err(BuildConfigError::InvalidField(
-                "population must be at least 2".to_owned(),
-            ));
+            return Err(BuildConfigError::InvalidField("population must be at least 2".to_owned()));
         }
         if !self.neighborhood_set {
             c.neighborhood = (c.population / 5).max(3).min(c.population);
@@ -260,9 +273,7 @@ impl MoelaConfigBuilder {
             ));
         }
         if c.train_cap == 0 {
-            return Err(BuildConfigError::InvalidField(
-                "train_cap must be positive".to_owned(),
-            ));
+            return Err(BuildConfigError::InvalidField("train_cap must be positive".to_owned()));
         }
         if c.ls_max_steps == 0 || c.ls_neighbors_per_step == 0 || c.ls_stall_evaluations == 0 {
             return Err(BuildConfigError::InvalidField(
@@ -317,16 +328,22 @@ mod tests {
     }
 
     #[test]
+    fn threads_default_to_sequential_and_are_settable() {
+        assert_eq!(MoelaConfig::paper().threads, 1);
+        let c = MoelaConfig::builder().population(10).threads(4).build().expect("valid");
+        assert_eq!(c.threads, 4);
+        let auto = MoelaConfig::builder().population(10).threads(0).build().expect("valid");
+        assert_eq!(auto.threads, 0, "0 is kept: it means auto-detect at run time");
+    }
+
+    #[test]
     fn invalid_fields_are_named() {
         let err = MoelaConfig::builder().population(1).build().expect_err("too small");
         assert!(err.to_string().contains("population"));
         let err = MoelaConfig::builder().delta(1.5).build().expect_err("bad delta");
         assert!(err.to_string().contains("delta"));
-        let err = MoelaConfig::builder()
-            .population(10)
-            .n_local(11)
-            .build()
-            .expect_err("n_local too big");
+        let err =
+            MoelaConfig::builder().population(10).n_local(11).build().expect_err("n_local too big");
         assert!(err.to_string().contains("n_local"));
     }
 }

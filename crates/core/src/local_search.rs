@@ -13,7 +13,7 @@ use rand::RngCore;
 
 use moela_moo::normalize::Normalizer;
 use moela_moo::scalarize::Scalarizer;
-use moela_moo::Problem;
+use moela_moo::{ParallelEvaluator, Problem};
 
 /// Budget knobs of one greedy descent.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,8 +54,12 @@ pub struct LocalSearchOutcome<S> {
 /// is computed in (see [`crate::population::Population`]); features are
 /// the problem's design descriptor with the weight vector appended, so the
 /// learned `Eval` can condition on the search direction.
+///
+/// Each step samples its `neighbors_per_step` candidates sequentially from
+/// `rng`, then evaluates the whole batch through `evaluator` — so results
+/// are independent of the evaluator's worker count.
 #[allow(clippy::too_many_arguments)]
-pub fn greedy_descent<P: Problem>(
+pub fn greedy_descent<P>(
     problem: &P,
     start: &P::Solution,
     start_objectives: &[f64],
@@ -63,8 +67,13 @@ pub fn greedy_descent<P: Problem>(
     z_raw: &[f64],
     normalizer: &Normalizer,
     budget: LocalSearchBudget,
+    evaluator: &ParallelEvaluator,
     rng: &mut dyn RngCore,
-) -> LocalSearchOutcome<P::Solution> {
+) -> LocalSearchOutcome<P::Solution>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
     let g = |objectives: &[f64]| -> f64 {
         Scalarizer::WeightedSum.value(
             &normalizer.normalize(objectives),
@@ -87,13 +96,16 @@ pub fn greedy_descent<P: Problem>(
     let mut stalls = 0usize;
 
     for _ in 0..budget.max_steps {
+        let candidates: Vec<P::Solution> =
+            (0..budget.neighbors_per_step).map(|_| problem.neighbor(&current, rng)).collect();
+        let objective_batch = evaluator.evaluate(problem, &candidates);
+        evaluations += candidates.len() as u64;
         let mut best_neighbor: Option<(P::Solution, Vec<f64>, f64)> = None;
-        for _ in 0..budget.neighbors_per_step {
-            let candidate = problem.neighbor(&current, rng);
-            let objs = problem.evaluate(&candidate);
-            evaluations += 1;
+        for (candidate, objs) in candidates.into_iter().zip(objective_batch) {
             let value = g(&objs);
-            if best_neighbor.as_ref().map_or(true, |(_, _, bg)| value < *bg) {
+            // Strict `<` keeps the first minimum on ties, matching the
+            // original one-at-a-time loop.
+            if best_neighbor.as_ref().is_none_or(|(_, _, bg)| value < *bg) {
                 best_neighbor = Some((candidate, objs, value));
             }
         }
@@ -143,13 +155,20 @@ mod tests {
         let (p, z, n, mut rng) = setup();
         let start = p.random_solution(&mut rng);
         let objs = p.evaluate(&start);
-        let budget = LocalSearchBudget { max_steps: 20, neighbors_per_step: 4, stall_evaluations: 12 };
-        let out = greedy_descent(&p, &start, &objs, &[0.5, 0.5], &z, &n, budget, &mut rng);
-        let g0 = Scalarizer::WeightedSum.value(
-            &n.normalize(&objs),
+        let budget =
+            LocalSearchBudget { max_steps: 20, neighbors_per_step: 4, stall_evaluations: 12 };
+        let out = greedy_descent(
+            &p,
+            &start,
+            &objs,
             &[0.5, 0.5],
-            &n.normalize(&z),
+            &z,
+            &n,
+            budget,
+            &ParallelEvaluator::default(),
+            &mut rng,
         );
+        let g0 = Scalarizer::WeightedSum.value(&n.normalize(&objs), &[0.5, 0.5], &n.normalize(&z));
         assert!(out.final_value <= g0);
     }
 
@@ -160,14 +179,21 @@ mod tests {
         for _ in 0..10 {
             let start = p.random_solution(&mut rng);
             let objs = p.evaluate(&start);
-            let budget = LocalSearchBudget { max_steps: 40, neighbors_per_step: 6, stall_evaluations: 18 };
-            let out =
-                greedy_descent(&p, &start, &objs, &[0.5, 0.5], &z, &n, budget, &mut rng);
-            let g0 = Scalarizer::WeightedSum.value(
-                &n.normalize(&objs),
+            let budget =
+                LocalSearchBudget { max_steps: 40, neighbors_per_step: 6, stall_evaluations: 18 };
+            let out = greedy_descent(
+                &p,
+                &start,
+                &objs,
                 &[0.5, 0.5],
-                &n.normalize(&z),
+                &z,
+                &n,
+                budget,
+                &ParallelEvaluator::default(),
+                &mut rng,
             );
+            let g0 =
+                Scalarizer::WeightedSum.value(&n.normalize(&objs), &[0.5, 0.5], &n.normalize(&z));
             if out.final_value < g0 * 0.95 {
                 improved += 1;
             }
@@ -180,8 +206,19 @@ mod tests {
         let (p, z, n, mut rng) = setup();
         let start = p.random_solution(&mut rng);
         let objs = p.evaluate(&start);
-        let budget = LocalSearchBudget { max_steps: 15, neighbors_per_step: 4, stall_evaluations: 12 };
-        let out = greedy_descent(&p, &start, &objs, &[1.0, 0.0], &z, &n, budget, &mut rng);
+        let budget =
+            LocalSearchBudget { max_steps: 15, neighbors_per_step: 4, stall_evaluations: 12 };
+        let out = greedy_descent(
+            &p,
+            &start,
+            &objs,
+            &[1.0, 0.0],
+            &z,
+            &n,
+            budget,
+            &ParallelEvaluator::default(),
+            &mut rng,
+        );
         assert!(!out.trajectory_features.is_empty());
         assert!(out.trajectory_features.len() <= budget.max_steps + 1);
         // Features = problem features + weight.
@@ -196,11 +233,54 @@ mod tests {
         let (p, z, n, mut rng) = setup();
         let start = p.random_solution(&mut rng);
         let objs = p.evaluate(&start);
-        let budget = LocalSearchBudget { max_steps: 10, neighbors_per_step: 3, stall_evaluations: 9 };
-        let out = greedy_descent(&p, &start, &objs, &[0.5, 0.5], &z, &n, budget, &mut rng);
+        let budget =
+            LocalSearchBudget { max_steps: 10, neighbors_per_step: 3, stall_evaluations: 9 };
+        let out = greedy_descent(
+            &p,
+            &start,
+            &objs,
+            &[0.5, 0.5],
+            &z,
+            &n,
+            budget,
+            &ParallelEvaluator::default(),
+            &mut rng,
+        );
         assert_eq!(out.evaluations % 3, 0, "whole steps only");
         assert!(out.evaluations <= 30);
         assert!(out.evaluations >= 3, "at least one step is attempted");
+    }
+
+    #[test]
+    fn descent_is_bit_identical_across_evaluator_thread_counts() {
+        let (p, z, n, _) = setup();
+        let budget =
+            LocalSearchBudget { max_steps: 25, neighbors_per_step: 5, stall_evaluations: 15 };
+        let run = |threads: usize| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+            let start = p.random_solution(&mut rng);
+            let objs = p.evaluate(&start);
+            greedy_descent(
+                &p,
+                &start,
+                &objs,
+                &[0.3, 0.7],
+                &z,
+                &n,
+                budget,
+                &ParallelEvaluator::new(threads),
+                &mut rng,
+            )
+        };
+        let sequential = run(1);
+        for threads in [2, 4, 8] {
+            let parallel = run(threads);
+            assert_eq!(parallel.best, sequential.best, "threads = {threads}");
+            assert_eq!(parallel.best_objectives, sequential.best_objectives);
+            assert_eq!(parallel.final_value, sequential.final_value);
+            assert_eq!(parallel.trajectory_features, sequential.trajectory_features);
+            assert_eq!(parallel.evaluations, sequential.evaluations);
+        }
     }
 
     #[test]
@@ -210,9 +290,30 @@ mod tests {
         // weight on f2 does, starting from the same point.
         let start = vec![0.9; 8];
         let objs = p.evaluate(&start);
-        let budget = LocalSearchBudget { max_steps: 60, neighbors_per_step: 6, stall_evaluations: 18 };
-        let to_f1 = greedy_descent(&p, &start, &objs, &[0.95, 0.05], &z, &n, budget, &mut rng);
-        let to_f2 = greedy_descent(&p, &start, &objs, &[0.05, 0.95], &z, &n, budget, &mut rng);
+        let budget =
+            LocalSearchBudget { max_steps: 60, neighbors_per_step: 6, stall_evaluations: 18 };
+        let to_f1 = greedy_descent(
+            &p,
+            &start,
+            &objs,
+            &[0.95, 0.05],
+            &z,
+            &n,
+            budget,
+            &ParallelEvaluator::default(),
+            &mut rng,
+        );
+        let to_f2 = greedy_descent(
+            &p,
+            &start,
+            &objs,
+            &[0.05, 0.95],
+            &z,
+            &n,
+            budget,
+            &ParallelEvaluator::default(),
+            &mut rng,
+        );
         assert!(
             to_f1.best_objectives[0] < to_f2.best_objectives[0],
             "f1-weighted search must reach lower f1 ({} vs {})",

@@ -21,7 +21,7 @@ use rand::{Rng, RngCore};
 use moela_ml::{Dataset, RandomForest};
 use moela_moo::run::{RunResult, TraceRecorder};
 use moela_moo::scalarize::Scalarizer;
-use moela_moo::Problem;
+use moela_moo::{ParallelEvaluator, Problem};
 
 use crate::config::MoelaConfig;
 use crate::local_search::{greedy_descent, LocalSearchBudget};
@@ -65,10 +65,21 @@ impl<'p, P: Problem> Moela<'p, P> {
     pub fn config(&self) -> &MoelaConfig {
         &self.config
     }
+}
 
+impl<'p, P> Moela<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
     /// Runs Algorithm 1 to completion (generations, evaluation cap, or
     /// time budget — whichever ends first) and returns the final
     /// population with its trace.
+    ///
+    /// Candidate designs are always *generated* sequentially from `rng`
+    /// and *evaluated* in batches through a [`ParallelEvaluator`] sized by
+    /// [`MoelaConfig::threads`], so the outcome is bit-identical for every
+    /// thread count.
     pub fn run(&self, rng: &mut impl RngCore) -> MoelaOutcome<P::Solution> {
         let mut rng: &mut dyn RngCore = rng;
         let cfg = &self.config;
@@ -80,12 +91,18 @@ impl<'p, P: Problem> Moela<'p, P> {
             None => TraceRecorder::new(m),
         };
 
-        // Initialization: N random designs, one per weight vector.
-        let individuals: Vec<Individual<P::Solution>> = (0..cfg.population)
-            .map(|_| {
-                let solution = self.problem.random_solution(rng);
-                let objectives = self.problem.evaluate(&solution);
-                evaluations += 1;
+        let evaluator = ParallelEvaluator::new(cfg.threads);
+
+        // Initialization: N random designs, one per weight vector, drawn
+        // sequentially and evaluated as one batch.
+        let candidates: Vec<P::Solution> =
+            (0..cfg.population).map(|_| self.problem.random_solution(rng)).collect();
+        let objective_batch = evaluator.evaluate(self.problem, &candidates);
+        evaluations += candidates.len() as u64;
+        let individuals: Vec<Individual<P::Solution>> = candidates
+            .into_iter()
+            .zip(objective_batch)
+            .map(|(solution, objectives)| {
                 recorder.observe(&objectives);
                 Individual { solution, objectives }
             })
@@ -99,26 +116,38 @@ impl<'p, P: Problem> Moela<'p, P> {
         recorder.record(0, evaluations, start_time.elapsed(), &population.objective_vectors());
 
         let budget_left = |evaluations: u64, start: Instant| {
-            cfg.max_evaluations.map_or(true, |cap| evaluations < cap)
-                && cfg.time_budget.map_or(true, |cap| start.elapsed() < cap)
+            cfg.max_evaluations.is_none_or(|cap| evaluations < cap)
+                && cfg.time_budget.is_none_or(|cap| start.elapsed() < cap)
         };
 
+        let mut last_generation = 0usize;
         'outer: for generation in 0..cfg.generations {
+            last_generation = generation + 1;
             // --- (Ablation) EA-first ordering ---------------------------
             if cfg.ea_first
-                && !self.ea_step(&mut population, &mut evaluations, &mut recorder, rng, start_time)
+                && !self.ea_step(
+                    &mut population,
+                    &mut evaluations,
+                    &mut recorder,
+                    &evaluator,
+                    rng,
+                    start_time,
+                )
             {
                 break 'outer;
             }
 
             // --- Local-search phase -------------------------------------
-            let starts = if generation < cfg.iter_early || eval_fn.is_none() {
-                let mut all: Vec<usize> = (0..cfg.population).collect();
-                all.shuffle(&mut rng);
-                all.truncate(cfg.n_local);
-                all
-            } else {
-                self.ml_guide(eval_fn.as_ref().expect("checked above"), &population, &recent_starts)
+            let starts = match &eval_fn {
+                Some(model) if generation >= cfg.iter_early => {
+                    self.ml_guide(model, &population, &recent_starts)
+                }
+                _ => {
+                    let mut all: Vec<usize> = (0..cfg.population).collect();
+                    all.shuffle(&mut rng);
+                    all.truncate(cfg.n_local);
+                    all
+                }
             };
             recent_starts = starts.clone();
             for idx in starts {
@@ -146,6 +175,7 @@ impl<'p, P: Problem> Moela<'p, P> {
                         neighbors_per_step: cfg.ls_neighbors_per_step,
                         stall_evaluations: cfg.ls_stall_evaluations,
                     },
+                    &evaluator,
                     rng,
                 );
                 evaluations += outcome.evaluations;
@@ -182,13 +212,33 @@ impl<'p, P: Problem> Moela<'p, P> {
 
             // --- Decomposition EA step -----------------------------------
             if !cfg.ea_first
-                && !self.ea_step(&mut population, &mut evaluations, &mut recorder, rng, start_time)
+                && !self.ea_step(
+                    &mut population,
+                    &mut evaluations,
+                    &mut recorder,
+                    &evaluator,
+                    rng,
+                    start_time,
+                )
             {
                 break 'outer;
             }
 
             recorder.record(
                 generation + 1,
+                evaluations,
+                start_time.elapsed(),
+                &population.objective_vectors(),
+            );
+        }
+
+        // A budget exhaustion breaks out of the loop *before* the
+        // per-generation record above, which used to leave the last
+        // paid-for evaluations invisible in the trace. Record a final
+        // point whenever the trace lags the evaluation count.
+        if recorder.points().last().is_none_or(|p| p.evaluations != evaluations) {
+            recorder.record(
+                last_generation,
                 evaluations,
                 start_time.elapsed(),
                 &population.objective_vectors(),
@@ -208,22 +258,36 @@ impl<'p, P: Problem> Moela<'p, P> {
     }
 
     /// One decomposition-EA pass over all sub-problems (Algorithm 1,
-    /// line 12). Returns `false` when the budget ran out mid-pass.
+    /// line 12). Offspring for every sub-problem are generated first —
+    /// parents drawn from the population as it stood at the start of the
+    /// pass — then evaluated as one batch, then offered to the population
+    /// in sub-problem order. Returns `false` when the budget cut the pass
+    /// short.
     fn ea_step(
         &self,
         population: &mut Population<P::Solution>,
         evaluations: &mut u64,
         recorder: &mut TraceRecorder,
+        evaluator: &ParallelEvaluator,
         rng: &mut dyn RngCore,
         start_time: Instant,
     ) -> bool {
         let cfg = &self.config;
-        for i in 0..cfg.population {
-            let within_budget = cfg.max_evaluations.map_or(true, |cap| *evaluations < cap)
-                && cfg.time_budget.map_or(true, |cap| start_time.elapsed() < cap);
-            if !within_budget {
-                return false;
-            }
+        if cfg.time_budget.is_some_and(|cap| start_time.elapsed() >= cap) {
+            return false;
+        }
+        // Cap the batch to the remaining evaluation budget so hard caps
+        // stay as tight as with one-at-a-time evaluation.
+        let remaining =
+            cfg.max_evaluations.map_or(u64::MAX, |cap| cap.saturating_sub(*evaluations));
+        let batch = (cfg.population as u64).min(remaining) as usize;
+        if batch == 0 {
+            return false;
+        }
+
+        let mut children: Vec<P::Solution> = Vec::with_capacity(batch);
+        let mut scopes: Vec<Vec<usize>> = Vec::with_capacity(batch);
+        for i in 0..batch {
             let whole: Vec<usize>;
             let pool: &[usize] = if rng.gen_bool(cfg.delta) {
                 population.neighborhood(i)
@@ -232,29 +296,39 @@ impl<'p, P: Problem> Moela<'p, P> {
                 &whole
             };
             let pa = pool[rng.gen_range(0..pool.len())];
-            let mut pb = pool[rng.gen_range(0..pool.len())];
-            if pb == pa {
-                pb = pool
-                    [(pool.iter().position(|&x| x == pa).expect("pa in pool") + 1) % pool.len()];
-            }
-            let child = self.problem.crossover(
-                &population.individual(pa).solution,
-                &population.individual(pb).solution,
-                rng,
-            );
-            let objectives = self.problem.evaluate(&child);
-            *evaluations += 1;
-            recorder.observe(&objectives);
-            let scope = pool.to_vec();
+            let child = if pool.len() < 2 {
+                // A one-element pool cannot supply a distinct second
+                // parent; mutate instead of crossing a design with itself.
+                self.problem.neighbor(&population.individual(pa).solution, rng)
+            } else {
+                let mut pb = pool[rng.gen_range(0..pool.len())];
+                if pb == pa {
+                    pb = pool[(pool.iter().position(|&x| x == pa).expect("pa in pool") + 1)
+                        % pool.len()];
+                }
+                self.problem.crossover(
+                    &population.individual(pa).solution,
+                    &population.individual(pb).solution,
+                    rng,
+                )
+            };
+            children.push(child);
+            scopes.push(pool.to_vec());
+        }
+
+        let objective_batch = evaluator.evaluate(self.problem, &children);
+        *evaluations += children.len() as u64;
+        for ((child, objectives), scope) in children.iter().zip(&objective_batch).zip(&scopes) {
+            recorder.observe(objectives);
             population.update(
                 Scalarizer::Tchebycheff,
-                &child,
-                &objectives,
-                &scope,
+                child,
+                objectives,
+                scope,
                 cfg.max_replacements,
             );
         }
-        true
+        batch == cfg.population
     }
 
     /// Algorithm 2: score every design with the learned `Eval` and return
@@ -308,8 +382,7 @@ mod tests {
         // The trace normalizer widens over time, so tiny dips are possible;
         // the final PHV must still beat the initial one clearly.
         let problem = Zdt::zdt1(10);
-        let config =
-            MoelaConfig::builder().population(16).generations(15).build().expect("valid");
+        let config = MoelaConfig::builder().population(16).generations(15).build().expect("valid");
         let out = Moela::new(config, &problem).run(&mut rng(2));
         let first = out.trace.first().expect("non-empty").phv;
         let last = out.trace.last().expect("non-empty").phv;
@@ -319,8 +392,7 @@ mod tests {
     #[test]
     fn moela_converges_toward_the_zdt1_front() {
         let problem = Zdt::zdt1(8);
-        let config =
-            MoelaConfig::builder().population(20).generations(30).build().expect("valid");
+        let config = MoelaConfig::builder().population(20).generations(30).build().expect("valid");
         let out = Moela::new(config, &problem).run(&mut rng(3));
         let front = out.front_objectives();
         let reference = problem.true_front(100);
@@ -331,8 +403,7 @@ mod tests {
     #[test]
     fn works_on_many_objective_problems() {
         let problem = Dtlz::dtlz2(5, 6);
-        let config =
-            MoelaConfig::builder().population(20).generations(8).build().expect("valid");
+        let config = MoelaConfig::builder().population(20).generations(8).build().expect("valid");
         let out = Moela::new(config, &problem).run(&mut rng(4));
         assert!(out.population.iter().all(|(_, o)| o.len() == 5));
     }
@@ -365,6 +436,43 @@ mod tests {
         };
         assert_eq!(objs(&a), objs(&b));
         assert_eq!(a.evaluations, b.evaluations);
+
+        // The evaluation thread count must not leak into results: RNG
+        // draws stay sequential, only pure evaluation fans out.
+        let parallel = Moela::new(
+            MoelaConfig::builder().population(8).generations(6).threads(4).build().expect("valid"),
+            &problem,
+        )
+        .run(&mut rng(7));
+        assert_eq!(parallel.population, a.population);
+        assert_eq!(parallel.evaluations, a.evaluations);
+        // TracePoint carries wall-clock `elapsed`; compare its
+        // deterministic fields.
+        let trace = |r: &MoelaOutcome<Vec<f64>>| -> Vec<(usize, u64, f64)> {
+            r.trace.iter().map(|p| (p.generation, p.evaluations, p.phv)).collect()
+        };
+        assert_eq!(trace(&parallel), trace(&a));
+    }
+
+    #[test]
+    fn early_budget_stop_still_records_the_final_trace_point() {
+        let counter = EvalCounter::new();
+        let problem = Counted::new(Zdt::zdt1(10), counter.clone());
+        // 7 × population doesn't divide the per-generation spend, so the
+        // cap lands mid-generation and forces the `break 'outer` path.
+        let config = MoelaConfig::builder()
+            .population(10)
+            .generations(1000)
+            .max_evaluations(77)
+            .build()
+            .expect("valid");
+        let out = Moela::new(config, &problem).run(&mut rng(11));
+        let last = out.trace.last().expect("non-empty trace");
+        assert_eq!(
+            last.evaluations, out.evaluations,
+            "the trace must account for every paid-for evaluation"
+        );
+        assert_eq!(out.evaluations, counter.count());
     }
 
     #[test]
@@ -386,8 +494,7 @@ mod tests {
     #[test]
     fn beats_pure_random_sampling_at_equal_evaluations() {
         let problem = Zdt::zdt1(10);
-        let config =
-            MoelaConfig::builder().population(16).generations(20).build().expect("valid");
+        let config = MoelaConfig::builder().population(16).generations(20).build().expect("valid");
         let out = Moela::new(config, &problem).run(&mut rng(9));
         // Random baseline with the same evaluation budget.
         let mut r = rng(10);

@@ -42,9 +42,7 @@ pub fn crossover(
     let b_links: std::collections::BTreeSet<Link> = b.topology.links().iter().copied().collect();
     let a_links: std::collections::BTreeSet<Link> = union.iter().copied().collect();
     union.extend(b_links.difference(&a_links));
-    let topology = builder
-        .from_preferred(&union, rng)
-        .unwrap_or_else(|_| a.topology.clone());
+    let topology = builder.from_preferred(&union, rng).unwrap_or_else(|_| a.topology.clone());
     let child = Design::new(placement, topology);
     moves::random_move(dims, mix, builder, max_degree, &child, rng)
 }
@@ -121,14 +119,8 @@ mod tests {
     fn offspring_inherit_tiles_from_both_parents() {
         let (dims, mix, _, a, b, mut rng) = setup();
         let child = placement_crossover(&dims, mix, &a.placement, &b.placement, &mut rng);
-        let from_a = dims
-            .tile_ids()
-            .filter(|&t| child.pe_at(t) == a.placement.pe_at(t))
-            .count();
-        let from_b = dims
-            .tile_ids()
-            .filter(|&t| child.pe_at(t) == b.placement.pe_at(t))
-            .count();
+        let from_a = dims.tile_ids().filter(|&t| child.pe_at(t) == a.placement.pe_at(t)).count();
+        let from_b = dims.tile_ids().filter(|&t| child.pe_at(t) == b.placement.pe_at(t)).count();
         assert!(from_a > 0, "no inheritance from parent A");
         assert!(from_b > 0, "no inheritance from parent B");
     }
@@ -137,13 +129,8 @@ mod tests {
     fn links_common_to_both_parents_mostly_survive() {
         let (dims, mix, builder, a, b, mut rng) = setup();
         let a_set: std::collections::HashSet<Link> = a.topology.links().iter().copied().collect();
-        let common: Vec<Link> = b
-            .topology
-            .links()
-            .iter()
-            .filter(|l| a_set.contains(l))
-            .copied()
-            .collect();
+        let common: Vec<Link> =
+            b.topology.links().iter().filter(|l| a_set.contains(l)).copied().collect();
         let child = crossover(&dims, mix, &builder, 7, &a, &b, &mut rng);
         let child_set: std::collections::HashSet<Link> =
             child.topology.links().iter().copied().collect();
@@ -161,13 +148,8 @@ mod tests {
         let c = crossover(&dims, mix, &builder, 7, &a, &a, &mut rng);
         // Placement crossover of A with A is a no-op; only the trailing
         // mutation and topology reshuffle may differ.
-        let placement_diffs = a
-            .placement
-            .pe_of()
-            .iter()
-            .zip(c.placement.pe_of())
-            .filter(|(x, y)| x != y)
-            .count();
+        let placement_diffs =
+            a.placement.pe_of().iter().zip(c.placement.pe_of()).filter(|(x, y)| x != y).count();
         assert!(placement_diffs <= 2, "at most the mutation's swap");
     }
 }

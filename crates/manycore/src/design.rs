@@ -36,10 +36,7 @@ impl Placement {
             assert_eq!(tile_of[pe], usize::MAX, "PE {pe} placed twice");
             tile_of[pe] = tile;
             if mix.kind(pe) == PeKind::Llc {
-                assert!(
-                    dims.is_edge(TileId(tile)),
-                    "LLC PE {pe} placed on interior tile {tile}"
-                );
+                assert!(dims.is_edge(TileId(tile)), "LLC PE {pe} placed on interior tile {tile}");
             }
         }
         Self { pe_of, tile_of }
@@ -70,8 +67,7 @@ impl Placement {
         let mut rest_tiles: Vec<usize> =
             (0..dims.tiles()).filter(|&t| pe_of[t] == usize::MAX).collect();
         rest_tiles.shuffle(rng);
-        let rest_pes: Vec<usize> =
-            mix.ids_of(PeKind::Cpu).chain(mix.ids_of(PeKind::Gpu)).collect();
+        let rest_pes: Vec<usize> = mix.ids_of(PeKind::Cpu).chain(mix.ids_of(PeKind::Gpu)).collect();
         for (&tile, &pe) in rest_tiles.iter().zip(&rest_pes) {
             pe_of[tile] = pe;
         }
@@ -232,16 +228,12 @@ mod tests {
         // Find an LLC tile and an interior tile.
         let llc_pe = mix.ids_of(PeKind::Llc).next().expect("has LLCs");
         let llc_tile = p.tile_of(llc_pe);
-        let interior = dims
-            .tile_ids()
-            .find(|&t| !dims.is_edge(t))
-            .expect("4x4 grids have interior tiles");
+        let interior =
+            dims.tile_ids().find(|&t| !dims.is_edge(t)).expect("4x4 grids have interior tiles");
         assert!(!p.swap_is_feasible(&dims, mix, llc_tile, interior));
         // Swapping two edge tiles is always fine.
-        let other_edge = dims
-            .tile_ids()
-            .find(|&t| dims.is_edge(t) && t != llc_tile)
-            .expect("many edges");
+        let other_edge =
+            dims.tile_ids().find(|&t| dims.is_edge(t) && t != llc_tile).expect("many edges");
         assert!(p.swap_is_feasible(&dims, mix, llc_tile, other_edge));
     }
 

@@ -68,13 +68,8 @@ pub struct Evaluation {
 impl Evaluation {
     /// The objective vector for `set` (minimization order of §III).
     pub fn objectives(&self, set: ObjectiveSet) -> Vec<f64> {
-        let all = [
-            self.mean_traffic,
-            self.traffic_variance,
-            self.cpu_latency,
-            self.energy,
-            self.thermal,
-        ];
+        let all =
+            [self.mean_traffic, self.traffic_variance, self.cpu_latency, self.energy, self.thermal];
         all[..set.count()].to_vec()
     }
 }
@@ -101,11 +96,7 @@ impl Evaluator {
         workload: Workload,
         thermal: FastThermalModel,
     ) -> Self {
-        assert_eq!(
-            workload.pe_count(),
-            dims.tiles(),
-            "workload population must fill the grid"
-        );
+        assert_eq!(workload.pe_count(), dims.tiles(), "workload population must fill the grid");
         assert!(
             thermal.params().layers() >= dims.layers(),
             "thermal model covers fewer layers than the grid"
@@ -168,11 +159,8 @@ impl Evaluator {
         }
 
         let mean_traffic = utilization.iter().sum::<f64>() / link_count as f64;
-        let traffic_variance = utilization
-            .iter()
-            .map(|u| (u - mean_traffic).powi(2))
-            .sum::<f64>()
-            / link_count as f64;
+        let traffic_variance =
+            utilization.iter().map(|u| (u - mean_traffic).powi(2)).sum::<f64>() / link_count as f64;
 
         // Eq. (3): CPU–LLC latency, traffic-weighted, normalized by C·M.
         let mix = self.workload.mix();
@@ -272,8 +260,7 @@ mod tests {
         let table = RoutingTable::build(ev.dims(), &d.topology, ev.params());
         let mut flit_hops = 0.0;
         for (i, j, f) in ev.workload().flows() {
-            flit_hops +=
-                f * table.hop_count(d.placement.tile_of(i), d.placement.tile_of(j)) as f64;
+            flit_hops += f * table.hop_count(d.placement.tile_of(i), d.placement.tile_of(j)) as f64;
         }
         let e = ev.evaluate(&d);
         let total_u = e.mean_traffic * d.topology.link_count() as f64;
@@ -295,10 +282,7 @@ mod tests {
         // Adversarial placement: CPUs in one far corner cluster, LLCs on
         // the opposite edge of the top layer.
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let random = Design::new(
-            Placement::random(&dims, mix, &mut rng),
-            Topology::mesh(&dims),
-        );
+        let random = Design::new(Placement::random(&dims, mix, &mut rng), Topology::mesh(&dims));
         // Friendly placement: CPUs adjacent to the LLC edge tiles.
         let mut pe_of = vec![usize::MAX; dims.tiles()];
         // LLCs on the edge of layer 0 (16 LLCs fill layer 0's 12 edge tiles
@@ -341,10 +325,7 @@ mod tests {
                 pe_of[t.0] = g;
             }
         }
-        let friendly = Design::new(
-            Placement::from_pe_of(&dims, mix, pe_of),
-            Topology::mesh(&dims),
-        );
+        let friendly = Design::new(Placement::from_pe_of(&dims, mix, pe_of), Topology::mesh(&dims));
         let lat_friendly = ev.evaluate(&friendly).cpu_latency;
         let lat_random = ev.evaluate(&random).cpu_latency;
         assert!(
@@ -372,27 +353,18 @@ mod tests {
         // Identify the per-PE powers; craft two placements differing only
         // in vertical power stacking by sorting PEs by power.
         let mut pes: Vec<usize> = (0..mix.total()).collect();
-        pes.sort_by(|&a, &b| {
-            ev.workload()
-                .pe_power(b)
-                .total_cmp(&ev.workload().pe_power(a))
-        });
+        pes.sort_by(|&a, &b| ev.workload().pe_power(b).total_cmp(&ev.workload().pe_power(a)));
         // Hot placement: hottest PEs fill entire stacks (columns) first.
         // The LLC-edge constraint makes a fully sorted assignment
         // infeasible, so both placements start from the same feasible
         // baseline and we only reorder the *non-LLC* PEs.
         let mut rng = rand::rngs::StdRng::seed_from_u64(12);
         let base = Placement::random(&dims, mix, &mut rng);
-        let non_llc_tiles: Vec<crate::geometry::TileId> = dims
-            .tile_ids()
-            .filter(|&t| mix.kind(base.pe_at(t)) != PeKind::Llc)
-            .collect();
+        let non_llc_tiles: Vec<crate::geometry::TileId> =
+            dims.tile_ids().filter(|&t| mix.kind(base.pe_at(t)) != PeKind::Llc).collect();
         let mut non_llc_pes: Vec<usize> = non_llc_tiles.iter().map(|&t| base.pe_at(t)).collect();
-        non_llc_pes.sort_by(|&a, &b| {
-            ev.workload()
-                .pe_power(b)
-                .total_cmp(&ev.workload().pe_power(a))
-        });
+        non_llc_pes
+            .sort_by(|&a, &b| ev.workload().pe_power(b).total_cmp(&ev.workload().pe_power(a)));
         // Column-major tile order stacks same-column tiles together.
         let mut column_major = non_llc_tiles.clone();
         column_major.sort_by_key(|&t| {
@@ -403,10 +375,7 @@ mod tests {
         for (&tile, &pe) in column_major.iter().zip(&non_llc_pes) {
             pe_of_hot[tile.0] = pe;
         }
-        let hot = Design::new(
-            Placement::from_pe_of(&dims, mix, pe_of_hot),
-            Topology::mesh(&dims),
-        );
+        let hot = Design::new(Placement::from_pe_of(&dims, mix, pe_of_hot), Topology::mesh(&dims));
         // Balanced placement: alternate hot/cold through the stacks.
         let mut balanced_pes = Vec::with_capacity(non_llc_pes.len());
         let half = non_llc_pes.len() / 2;
@@ -421,10 +390,8 @@ mod tests {
         for (&tile, &pe) in column_major.iter().zip(&balanced_pes) {
             pe_of_bal[tile.0] = pe;
         }
-        let balanced = Design::new(
-            Placement::from_pe_of(&dims, mix, pe_of_bal),
-            Topology::mesh(&dims),
-        );
+        let balanced =
+            Design::new(Placement::from_pe_of(&dims, mix, pe_of_bal), Topology::mesh(&dims));
         let t_hot = ev.evaluate(&hot).thermal;
         let t_bal = ev.evaluate(&balanced).thermal;
         assert!(

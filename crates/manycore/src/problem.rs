@@ -232,9 +232,7 @@ impl PlatformConfigBuilder {
     pub fn build(self) -> Result<PlatformConfig, BuildConfigError> {
         let dims = GridDims::new(self.nx, self.ny, self.layers);
         let tiles = dims.tiles();
-        let gpus = self
-            .gpus
-            .unwrap_or_else(|| tiles.saturating_sub(self.cpus + self.llcs));
+        let gpus = self.gpus.unwrap_or_else(|| tiles.saturating_sub(self.cpus + self.llcs));
         let pes = self.cpus + gpus + self.llcs;
         if pes != tiles {
             return Err(BuildConfigError::PopulationMismatch { pes, tiles });
@@ -247,7 +245,7 @@ impl PlatformConfigBuilder {
         }
         let mesh_planar =
             dims.layers() * (dims.nx() * (dims.ny() - 1) + dims.ny() * (dims.nx() - 1));
-        let vertical_positions = dims.tiles_per_layer() * (dims.layers() - 1).max(0);
+        let vertical_positions = dims.tiles_per_layer() * (dims.layers() - 1);
         let planar_links = self.planar_links.unwrap_or(mesh_planar);
         let tsvs = self.tsvs.unwrap_or(vertical_positions);
         if tsvs > vertical_positions {
@@ -268,12 +266,9 @@ impl PlatformConfigBuilder {
                 available: planar_links,
             });
         }
-        self.noc
-            .validate()
-            .map_err(BuildConfigError::InvalidNocParams)?;
-        let thermal = self
-            .thermal
-            .unwrap_or_else(|| ThermalParams::uniform(dims.layers(), 1.0, 0.5));
+        self.noc.validate().map_err(BuildConfigError::InvalidNocParams)?;
+        let thermal =
+            self.thermal.unwrap_or_else(|| ThermalParams::uniform(dims.layers(), 1.0, 0.5));
         Ok(PlatformConfig {
             dims,
             mix: PeMix::new(self.cpus, gpus, self.llcs),
@@ -391,10 +386,8 @@ impl Problem for ManycoreProblem {
 
     fn random_solution(&self, mut rng: &mut dyn RngCore) -> Design {
         let placement = Placement::random(&self.config.dims, self.config.mix, &mut rng);
-        let topology = self
-            .builder
-            .random(&mut rng)
-            .expect("validated budgets admit random topologies");
+        let topology =
+            self.builder.random(&mut rng).expect("validated budgets admit random topologies");
         Design::new(placement, topology)
     }
 
@@ -454,9 +447,9 @@ pub fn design_features(config: &PlatformConfig, workload: &Workload, d: &Design)
             })
             .collect();
         let n = coords.len() as f64;
-        let mean = coords.iter().fold((0.0, 0.0, 0.0), |acc, c| {
-            (acc.0 + c.0 / n, acc.1 + c.1 / n, acc.2 + c.2 / n)
-        });
+        let mean = coords
+            .iter()
+            .fold((0.0, 0.0, 0.0), |acc, c| (acc.0 + c.0 / n, acc.1 + c.1 / n, acc.2 + c.2 / n));
         let var = coords.iter().fold((0.0, 0.0, 0.0), |acc, c| {
             (
                 acc.0 + (c.0 - mean.0).powi(2) / n,
@@ -481,10 +474,7 @@ pub fn design_features(config: &PlatformConfig, workload: &Workload, d: &Design)
     out.extend([lmean, lvar.sqrt()]);
 
     // 3. Degree std/max (2) — the mean degree is budget-determined.
-    let degrees: Vec<f64> = dims
-        .tile_ids()
-        .map(|t| d.topology.degree(t) as f64)
-        .collect();
+    let degrees: Vec<f64> = dims.tile_ids().map(|t| d.topology.degree(t) as f64).collect();
     let dmean = degrees.iter().sum::<f64>() / degrees.len() as f64;
     let dvar = degrees.iter().map(|x| (x - dmean).powi(2)).sum::<f64>() / degrees.len() as f64;
     out.extend([dvar.sqrt(), degrees.iter().fold(0.0f64, |a, &b| a.max(b))]);

@@ -44,23 +44,16 @@ impl RoutingTable {
             .iter()
             .map(|l| params.router_stages + l.length(dims) * params.link_delay_per_unit)
             .collect();
-        let link_delay: Vec<f64> = topology
-            .links()
-            .iter()
-            .map(|l| l.length(dims) * params.link_delay_per_unit)
-            .collect();
+        let link_delay: Vec<f64> =
+            topology.links().iter().map(|l| l.length(dims) * params.link_delay_per_unit).collect();
 
         let mut parent = Vec::with_capacity(n);
         let mut cost = Vec::with_capacity(n);
         let mut hops = Vec::with_capacity(n);
         let mut wire = Vec::with_capacity(n);
         for src in 0..n {
-            let (p, c, h, w) =
-                dijkstra(src, n, topology, &link_cost, &link_delay);
-            assert!(
-                c.iter().all(|v| v.is_finite()),
-                "topology must be connected before routing"
-            );
+            let (p, c, h, w) = dijkstra(src, n, topology, &link_cost, &link_delay);
+            assert!(c.iter().all(|v| v.is_finite()), "topology must be connected before routing");
             parent.push(p);
             cost.push(c);
             hops.push(h);
@@ -108,7 +101,12 @@ impl RoutingTable {
     /// link and intermediate/destination router (the source router is
     /// reported last). This is the hot loop of objective evaluation — no
     /// allocation.
-    pub fn walk_path(&self, src: TileId, dst: TileId, mut visit: impl FnMut(Option<usize>, TileId)) {
+    pub fn walk_path(
+        &self,
+        src: TileId,
+        dst: TileId,
+        mut visit: impl FnMut(Option<usize>, TileId),
+    ) {
         let mut t = dst;
         while let Some((prev, link)) = self.parent[src.0][t.0] {
             visit(Some(link), t);
@@ -178,8 +176,7 @@ fn dijkstra(
             // Deterministic preference: strictly lower cost, or equal cost
             // through a lower-id predecessor.
             let better = nc < cost[nb.0]
-                || (nc == cost[nb.0]
-                    && parent[nb.0].map_or(false, |(p, _)| tile < p.0));
+                || (nc == cost[nb.0] && parent[nb.0].is_some_and(|(p, _)| tile < p.0));
             if better && !done[nb.0] {
                 cost[nb.0] = nc;
                 hops[nb.0] = hops[tile] + 1;
@@ -264,9 +261,8 @@ mod tests {
     fn express_links_shorten_routes() {
         // A 1×6 line plus one express link from 0 to 5.
         let dims = GridDims::new(6, 1, 1);
-        let mut links: Vec<crate::link::Link> = (0..5)
-            .map(|i| crate::link::Link::new(TileId(i), TileId(i + 1)))
-            .collect();
+        let mut links: Vec<crate::link::Link> =
+            (0..5).map(|i| crate::link::Link::new(TileId(i), TileId(i + 1))).collect();
         links.push(crate::link::Link::new(TileId(0), TileId(5)));
         let topo = Topology::from_links(&dims, links);
         let table = RoutingTable::build(&dims, &topo, &NocParams::paper());

@@ -32,11 +32,7 @@ impl Topology {
     pub fn from_links(dims: &GridDims, links: Vec<Link>) -> Self {
         let mut adjacency = vec![Vec::new(); dims.tiles()];
         for (idx, link) in links.iter().enumerate() {
-            assert!(
-                link.b().0 < dims.tiles(),
-                "link endpoint {} outside the grid",
-                link.b()
-            );
+            assert!(link.b().0 < dims.tiles(), "link endpoint {} outside the grid", link.b());
             adjacency[link.a().0].push((link.b(), idx));
             adjacency[link.b().0].push((link.a(), idx));
         }
@@ -190,10 +186,9 @@ pub enum BuildTopologyError {
 impl std::fmt::Display for BuildTopologyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BuildTopologyError::BudgetTooSmall { needed, available } => write!(
-                f,
-                "link budget {available} cannot span {needed}+1 tiles"
-            ),
+            BuildTopologyError::BudgetTooSmall { needed, available } => {
+                write!(f, "link budget {available} cannot span {needed}+1 tiles")
+            }
             BuildTopologyError::ConstructionFailed => {
                 write!(f, "randomized topology construction failed under the constraints")
             }
@@ -294,12 +289,8 @@ impl TopologyBuilder {
     }
 
     fn try_random(&self, rng: &mut impl Rng) -> Option<Topology> {
-        let mut pool: Vec<Link> = self
-            .planar_pool
-            .iter()
-            .chain(self.vertical_pool.iter())
-            .copied()
-            .collect();
+        let mut pool: Vec<Link> =
+            self.planar_pool.iter().chain(self.vertical_pool.iter()).copied().collect();
         pool.shuffle(rng);
         self.try_assemble(&pool, rng)
     }
@@ -414,8 +405,7 @@ impl Assembly {
         if *budget == 0 {
             return false;
         }
-        if self.degree[link.a().0] >= self.max_degree
-            || self.degree[link.b().0] >= self.max_degree
+        if self.degree[link.a().0] >= self.max_degree || self.degree[link.b().0] >= self.max_degree
         {
             return false;
         }

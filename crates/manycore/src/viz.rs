@@ -54,11 +54,7 @@ pub fn to_dot(dims: &GridDims, mix: PeMix, design: &Design) -> String {
             LinkKind::Planar => "solid",
             LinkKind::Vertical => "dashed",
         };
-        out.push_str(&format!(
-            "  t{} -- t{} [style={style}];\n",
-            link.a().0,
-            link.b().0
-        ));
+        out.push_str(&format!("  t{} -- t{} [style={style}];\n", link.a().0, link.b().0));
     }
     out.push_str("}\n");
     out
@@ -117,10 +113,7 @@ mod tests {
         let dims = GridDims::new(3, 3, 2);
         let mix = PeMix::new(2, 12, 4);
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let d = Design::new(
-            Placement::random(&dims, mix, &mut rng),
-            Topology::mesh(&dims),
-        );
+        let d = Design::new(Placement::random(&dims, mix, &mut rng), Topology::mesh(&dims));
         (dims, mix, d)
     }
 
@@ -141,15 +134,11 @@ mod tests {
     fn ascii_maps_have_one_cell_per_tile() {
         let (dims, mix, d) = design();
         let map = placement_ascii(&dims, mix, &d);
-        let cells = map.matches(['C', 'G']).count()
-            + map.chars().filter(|&c| c == 'L').count()
+        let cells = map.matches(['C', 'G']).count() + map.chars().filter(|&c| c == 'L').count()
             - map.matches("layer").count(); // 'L' of headers? headers say "layer"
-        // Count kind characters directly instead: strip header lines.
-        let body: String = map
-            .lines()
-            .filter(|l| !l.starts_with("layer"))
-            .collect::<Vec<_>>()
-            .join("");
+                                            // Count kind characters directly instead: strip header lines.
+        let body: String =
+            map.lines().filter(|l| !l.starts_with("layer")).collect::<Vec<_>>().join("");
         let kinds = body.chars().filter(|c| ['C', 'G', 'L'].contains(c)).count();
         assert_eq!(kinds, dims.tiles());
         let _ = cells;
@@ -171,10 +160,7 @@ mod tests {
         let map = degree_ascii(&dims, &d);
         // Corner tile of a 3x3x2 mesh has degree 3 (2 planar + 1 TSV).
         assert!(map.contains('3'));
-        let digits: u32 = map
-            .chars()
-            .filter_map(|c| c.to_digit(10))
-            .sum();
+        let digits: u32 = map.chars().filter_map(|c| c.to_digit(10)).sum();
         // Each link contributes 2 to the degree sum; headers contain the
         // layer indices 0 and 1 (sum 1).
         assert_eq!(digits, 2 * d.topology.link_count() as u32 + 1);

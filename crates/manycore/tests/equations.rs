@@ -12,8 +12,8 @@
 //! `E_r = 0.8` per flit·port. Thermal: single layer, `R_1 = 1.0`,
 //! `R_b = 0.5`.
 
-use moela_manycore::objectives::{Evaluator, ObjectiveSet};
 use moela_manycore::design::{Design, Placement};
+use moela_manycore::objectives::{Evaluator, ObjectiveSet};
 use moela_manycore::{GridDims, NocParams, Topology};
 use moela_thermal::{FastThermalModel, ThermalParams};
 use moela_traffic::{Benchmark, PeMix, Workload};
@@ -98,8 +98,8 @@ fn swapping_gpu_and_llc_changes_latency_as_predicted() {
     let mix = PeMix::new(1, 1, 1);
     let mut traffic = vec![0.0; 9];
     traffic[2] = 10.0;
-    let workload = Workload::from_parts(Benchmark::Bp, mix, traffic, vec![4.0, 2.0, 1.0])
-        .expect("valid");
+    let workload =
+        Workload::from_parts(Benchmark::Bp, mix, traffic, vec![4.0, 2.0, 1.0]).expect("valid");
     let thermal = FastThermalModel::new(ThermalParams::uniform(1, 1.0, 0.5));
     let ev = Evaluator::new(dims, NocParams::paper(), workload, thermal);
     let placement = Placement::from_pe_of(&dims, mix, vec![0, 2, 1]);

@@ -54,11 +54,7 @@ impl Dataset {
     pub fn push(&mut self, features: Vec<f64>, target: f64) {
         assert!(target.is_finite(), "regression target must be finite");
         if let Some(first) = self.features.first() {
-            assert_eq!(
-                features.len(),
-                first.len(),
-                "inconsistent feature dimensionality"
-            );
+            assert_eq!(features.len(), first.len(), "inconsistent feature dimensionality");
         }
         match self.capacity {
             Some(cap) if self.features.len() == cap => {

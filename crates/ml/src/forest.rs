@@ -155,16 +155,10 @@ mod tests {
     fn more_trees_reduce_prediction_variance() {
         let mut r = rng();
         let d = linear_data(300, 0.4, &mut r);
-        let small = RandomForest::fit(
-            &d,
-            &ForestConfig { trees: 3, ..ForestConfig::default() },
-            &mut r,
-        );
-        let large = RandomForest::fit(
-            &d,
-            &ForestConfig { trees: 60, ..ForestConfig::default() },
-            &mut r,
-        );
+        let small =
+            RandomForest::fit(&d, &ForestConfig { trees: 3, ..ForestConfig::default() }, &mut r);
+        let large =
+            RandomForest::fit(&d, &ForestConfig { trees: 60, ..ForestConfig::default() }, &mut r);
         // Average per-point variance of the ensemble mean scales ~1/T; the
         // per-tree variance itself is similar, so compare mean/T proxies.
         let x = [0.5, 0.5];

@@ -25,15 +25,8 @@ impl Default for TreeConfig {
 
 #[derive(Clone, Debug)]
 enum Node {
-    Leaf {
-        value: f64,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: Box<Node>,
-        right: Box<Node>,
-    },
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
 }
 
 /// A fitted CART regression tree.
@@ -175,7 +168,7 @@ fn build(
             let right_sum = total_sum - prefix_sum;
             let right_sse = (total_sq - prefix_sq) - right_sum * right_sum / right_n;
             let sse = left_sse + right_sse;
-            if best.map_or(true, |(_, _, b)| sse < b) {
+            if best.is_none_or(|(_, _, b)| sse < b) {
                 best = Some((feat, (xa + xb) / 2.0, sse));
             }
         }
@@ -184,9 +177,8 @@ fn build(
     match best {
         None => Node::Leaf { value: leaf_value },
         Some((feature, threshold, _)) => {
-            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
-                .into_iter()
-                .partition(|&i| data.features(i)[feature] <= threshold);
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                indices.into_iter().partition(|&i| data.features(i)[feature] <= threshold);
             if left_idx.is_empty() || right_idx.is_empty() {
                 return Node::Leaf { value: leaf_value };
             }

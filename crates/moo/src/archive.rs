@@ -47,11 +47,7 @@ impl<S: Clone> ParetoArchive<S> {
     /// it is not weakly dominated by an existing entry). Entries dominated
     /// by the newcomer are removed.
     pub fn insert(&mut self, solution: S, objectives: Vec<f64>) -> bool {
-        if self
-            .entries
-            .iter()
-            .any(|(_, o)| weakly_dominates(o, &objectives))
-        {
+        if self.entries.iter().any(|(_, o)| weakly_dominates(o, &objectives)) {
             return false;
         }
         self.entries.retain(|(_, o)| !dominates(&objectives, o));

@@ -118,6 +118,11 @@ impl<P: Problem> Problem for Counted<P> {
         self.inner.evaluate(s)
     }
 
+    fn evaluate_batch(&self, solutions: &[Self::Solution]) -> Vec<Vec<f64>> {
+        self.counter.add(solutions.len() as u64);
+        self.inner.evaluate_batch(solutions)
+    }
+
     fn features(&self, s: &Self::Solution) -> Vec<f64> {
         self.inner.features(s)
     }

@@ -47,20 +47,13 @@ use crate::pareto::{dominates, weakly_dominates};
 pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
     assert!(!reference.is_empty(), "reference point must be non-empty");
     for p in points {
-        assert_eq!(
-            p.len(),
-            reference.len(),
-            "point dimensionality must match the reference point"
-        );
+        assert_eq!(p.len(), reference.len(), "point dimensionality must match the reference point");
     }
     // Keep only points strictly inside the reference box in at least every
     // dimension (clamp is not needed for minimization: a coordinate above
     // the reference yields an empty box, so we drop those points).
-    let mut inside: Vec<Vec<f64>> = points
-        .iter()
-        .filter(|p| p.iter().zip(reference).all(|(&x, &r)| x < r))
-        .cloned()
-        .collect();
+    let mut inside: Vec<Vec<f64>> =
+        points.iter().filter(|p| p.iter().zip(reference).all(|(&x, &r)| x < r)).cloned().collect();
     if inside.is_empty() {
         return 0.0;
     }
@@ -139,10 +132,8 @@ fn inclhv(p: &[f64], reference: &[f64]) -> f64 {
 }
 
 fn exclhv(p: &[f64], rest: &[Vec<f64>], reference: &[f64]) -> f64 {
-    let mut limited: Vec<Vec<f64>> = rest
-        .iter()
-        .map(|q| q.iter().zip(p).map(|(&qi, &pi)| qi.max(pi)).collect())
-        .collect();
+    let mut limited: Vec<Vec<f64>> =
+        rest.iter().map(|q| q.iter().zip(p).map(|(&qi, &pi)| qi.max(pi)).collect()).collect();
     filter_non_dominated(&mut limited);
     inclhv(p, reference) - wfg_rec(&limited, reference)
 }
@@ -178,11 +169,7 @@ pub fn monte_carlo_hypervolume(
     rng: &mut impl Rng,
 ) -> f64 {
     assert_eq!(reference.len(), ideal.len());
-    let box_volume: f64 = reference
-        .iter()
-        .zip(ideal)
-        .map(|(&r, &i)| (r - i).max(0.0))
-        .product();
+    let box_volume: f64 = reference.iter().zip(ideal).map(|(&r, &i)| (r - i).max(0.0)).product();
     if box_volume == 0.0 || points.is_empty() || samples == 0 {
         return 0.0;
     }
@@ -247,10 +234,7 @@ mod tests {
     fn dominated_points_do_not_change_the_volume() {
         let front = vec![vec![0.2, 0.8], vec![0.8, 0.2]];
         let with_dominated = vec![vec![0.2, 0.8], vec![0.8, 0.2], vec![0.9, 0.9]];
-        assert_eq!(
-            hypervolume(&front, &[1.0, 1.0]),
-            hypervolume(&with_dominated, &[1.0, 1.0])
-        );
+        assert_eq!(hypervolume(&front, &[1.0, 1.0]), hypervolume(&with_dominated, &[1.0, 1.0]));
     }
 
     #[test]
@@ -279,23 +263,18 @@ mod tests {
     #[test]
     fn exact_matches_monte_carlo_in_4d() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-        let pts: Vec<Vec<f64>> = (0..12)
-            .map(|_| (0..4).map(|_| rng.gen_range(0.0..1.0)).collect())
-            .collect();
+        let pts: Vec<Vec<f64>> =
+            (0..12).map(|_| (0..4).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
         let exact = hypervolume(&pts, &[1.0; 4]);
         let est = monte_carlo_hypervolume(&pts, &[1.0; 4], &[0.0; 4], 200_000, &mut rng);
-        assert!(
-            (exact - est).abs() < 0.02,
-            "exact {exact} vs monte-carlo {est}"
-        );
+        assert!((exact - est).abs() < 0.02, "exact {exact} vs monte-carlo {est}");
     }
 
     #[test]
     fn adding_a_nondominated_point_never_decreases_hv() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let mut pts: Vec<Vec<f64>> = (0..8)
-            .map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect())
-            .collect();
+        let mut pts: Vec<Vec<f64>> =
+            (0..8).map(|_| (0..3).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
         let before = hypervolume(&pts, &[1.0; 3]);
         pts.push(vec![0.01, 0.01, 0.01]);
         let after = hypervolume(&pts, &[1.0; 3]);

@@ -16,6 +16,10 @@
 //!   [`scalarize::ReferencePoint`] tracking;
 //! * objective normalization ([`normalize::Normalizer`]) and a bounded
 //!   [`archive::ParetoArchive`];
+//! * deterministic parallel batch evaluation
+//!   ([`parallel::ParallelEvaluator`]) — optimizers generate candidates
+//!   sequentially, then evaluate whole batches across scoped worker
+//!   threads with bit-identical results at any thread count;
 //! * synthetic benchmark problems with known Pareto fronts in [`problems`]
 //!   (ZDT, DTLZ, and a combinatorial multi-objective knapsack), used to
 //!   validate every optimizer in the workspace.
@@ -38,6 +42,7 @@ pub mod counter;
 pub mod hypervolume;
 pub mod metrics;
 pub mod normalize;
+pub mod parallel;
 pub mod pareto;
 pub mod problem;
 pub mod problems;
@@ -46,4 +51,5 @@ pub mod scalarize;
 pub mod weights;
 
 pub use counter::{Counted, EvalCounter};
+pub use parallel::ParallelEvaluator;
 pub use problem::Problem;

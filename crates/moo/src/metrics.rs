@@ -19,12 +19,7 @@ pub fn igd(front: &[Vec<f64>], reference_front: &[Vec<f64>]) -> f64 {
     }
     let total: f64 = reference_front
         .iter()
-        .map(|r| {
-            front
-                .iter()
-                .map(|p| euclidean(p, r))
-                .fold(f64::INFINITY, f64::min)
-        })
+        .map(|r| front.iter().map(|p| euclidean(p, r)).fold(f64::INFINITY, f64::min))
         .sum();
     total / reference_front.len() as f64
 }
@@ -45,11 +40,7 @@ pub fn igd_plus(front: &[Vec<f64>], reference_front: &[Vec<f64>]) -> f64 {
             front
                 .iter()
                 .map(|p| {
-                    p.iter()
-                        .zip(r)
-                        .map(|(&pi, &ri)| (pi - ri).max(0.0).powi(2))
-                        .sum::<f64>()
-                        .sqrt()
+                    p.iter().zip(r).map(|(&pi, &ri)| (pi - ri).max(0.0).powi(2)).sum::<f64>().sqrt()
                 })
                 .fold(f64::INFINITY, f64::min)
         })
@@ -83,19 +74,13 @@ pub fn coverage(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
     if b.is_empty() {
         return 0.0;
     }
-    let covered = b
-        .iter()
-        .filter(|q| a.iter().any(|p| crate::pareto::weakly_dominates(p, q)))
-        .count();
+    let covered =
+        b.iter().filter(|q| a.iter().any(|p| crate::pareto::weakly_dominates(p, q))).count();
     covered as f64 / b.len() as f64
 }
 
 fn euclidean(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>().sqrt()
 }
 
 #[cfg(test)]
@@ -120,7 +105,8 @@ mod tests {
     #[test]
     fn igd_grows_with_distance() {
         let reference = line_front(11);
-        let near: Vec<Vec<f64>> = reference.iter().map(|p| vec![p[0] + 0.01, p[1] + 0.01]).collect();
+        let near: Vec<Vec<f64>> =
+            reference.iter().map(|p| vec![p[0] + 0.01, p[1] + 0.01]).collect();
         let far: Vec<Vec<f64>> = reference.iter().map(|p| vec![p[0] + 0.5, p[1] + 0.5]).collect();
         assert!(igd(&near, &reference) < igd(&far, &reference));
     }
@@ -136,7 +122,8 @@ mod tests {
         let reference = line_front(5);
         // Strictly better than the reference front: IGD+ sees zero distance,
         // plain IGD does not.
-        let better: Vec<Vec<f64>> = reference.iter().map(|p| vec![p[0] - 0.1, p[1] - 0.1]).collect();
+        let better: Vec<Vec<f64>> =
+            reference.iter().map(|p| vec![p[0] - 0.1, p[1] - 0.1]).collect();
         assert_eq!(igd_plus(&better, &reference), 0.0);
         assert!(igd(&better, &reference) > 0.0);
     }

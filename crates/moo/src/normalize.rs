@@ -37,10 +37,7 @@ impl Normalizer {
     /// Panics if the slices differ in length or any `min > max`.
     pub fn from_bounds(min: Vec<f64>, max: Vec<f64>) -> Self {
         assert_eq!(min.len(), max.len(), "bound dimension mismatch");
-        assert!(
-            min.iter().zip(&max).all(|(&lo, &hi)| lo <= hi),
-            "lower bound exceeds upper bound"
-        );
+        assert!(min.iter().zip(&max).all(|(&lo, &hi)| lo <= hi), "lower bound exceeds upper bound");
         Self { min, max }
     }
 

@@ -115,11 +115,12 @@ pub fn crowding_distance(front: &[Vec<f64>]) -> Vec<f64> {
         return vec![f64::INFINITY; n];
     }
     let mut order: Vec<usize> = (0..n).collect();
+    // `k` ranges over objectives, not `front`'s rows; an iterator would
+    // obscure the per-dimension re-sorting below.
+    #[allow(clippy::needless_range_loop)]
     for k in 0..m {
         order.sort_by(|&a, &b| {
-            front[a][k]
-                .partial_cmp(&front[b][k])
-                .expect("objective values must not be NaN")
+            front[a][k].partial_cmp(&front[b][k]).expect("objective values must not be NaN")
         });
         let lo = front[order[0]][k];
         let hi = front[order[n - 1]][k];
@@ -228,13 +229,8 @@ mod tests {
     fn crowding_prefers_isolated_points() {
         // Middle point 1 sits in a sparse region; point 2 is crowded
         // between 1 and 3.
-        let front = vec![
-            vec![0.0, 10.0],
-            vec![5.0, 5.0],
-            vec![8.8, 1.2],
-            vec![9.0, 1.0],
-            vec![10.0, 0.0],
-        ];
+        let front =
+            vec![vec![0.0, 10.0], vec![5.0, 5.0], vec![8.8, 1.2], vec![9.0, 1.0], vec![10.0, 0.0]];
         let d = crowding_distance(&front);
         assert!(d[1] > d[2]);
         assert!(d[1] > d[3]);

@@ -110,9 +110,7 @@ impl Dtlz {
             DtlzVariant::Dtlz2 | DtlzVariant::Dtlz4 => {
                 tail.iter().map(|&xi| (xi - 0.5).powi(2)).sum()
             }
-            DtlzVariant::Dtlz7 => {
-                1.0 + 9.0 * tail.iter().sum::<f64>() / self.k as f64
-            }
+            DtlzVariant::Dtlz7 => 1.0 + 9.0 * tail.iter().sum::<f64>() / self.k as f64,
         }
     }
 }
@@ -198,10 +196,7 @@ impl Problem for Dtlz {
                 let mut f: Vec<f64> = pos.to_vec();
                 let h = self.m as f64
                     - f.iter()
-                        .map(|&fi| {
-                            fi / (1.0 + g)
-                                * (1.0 + (3.0 * std::f64::consts::PI * fi).sin())
-                        })
+                        .map(|&fi| fi / (1.0 + g) * (1.0 + (3.0 * std::f64::consts::PI * fi).sin()))
                         .sum::<f64>();
                 f.push((1.0 + g) * h);
                 f

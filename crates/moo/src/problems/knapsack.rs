@@ -49,9 +49,8 @@ impl Knapsack {
         assert!(items > 0, "need at least one item");
         assert!(m > 0, "need at least one objective");
         let weights: Vec<f64> = (0..items).map(|_| rng.gen_range(1.0..=10.0)).collect();
-        let profits: Vec<Vec<f64>> = (0..m)
-            .map(|_| (0..items).map(|_| rng.gen_range(1.0..=10.0)).collect())
-            .collect();
+        let profits: Vec<Vec<f64>> =
+            (0..m).map(|_| (0..items).map(|_| rng.gen_range(1.0..=10.0)).collect()).collect();
         let capacity = weights.iter().sum::<f64>() / 2.0;
         let max_profit = profits.iter().map(|p| p.iter().sum()).collect();
         Self { weights, profits, capacity, max_profit }
@@ -69,11 +68,7 @@ impl Knapsack {
 
     /// Total selected weight of `x`.
     pub fn weight(&self, x: &[bool]) -> f64 {
-        x.iter()
-            .zip(&self.weights)
-            .filter(|(&sel, _)| sel)
-            .map(|(_, &w)| w)
-            .sum()
+        x.iter().zip(&self.weights).filter(|(&sel, _)| sel).map(|(_, &w)| w).sum()
     }
 
     /// Greedy repair: while over capacity, drop the selected item with the
@@ -123,11 +118,8 @@ impl Problem for Knapsack {
     }
 
     fn crossover(&self, a: &Vec<bool>, b: &Vec<bool>, rng: &mut dyn RngCore) -> Vec<bool> {
-        let mut child: Vec<bool> = a
-            .iter()
-            .zip(b)
-            .map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y })
-            .collect();
+        let mut child: Vec<bool> =
+            a.iter().zip(b).map(|(&x, &y)| if rng.gen_bool(0.5) { x } else { y }).collect();
         // Bit-flip mutation at rate 1/n.
         for bit in child.iter_mut() {
             if rng.gen_bool(1.0 / self.items() as f64) {
@@ -144,12 +136,7 @@ impl Problem for Knapsack {
             .iter()
             .zip(&self.max_profit)
             .map(|(p, &maxp)| {
-                let profit: f64 = x
-                    .iter()
-                    .zip(p)
-                    .filter(|(&sel, _)| sel)
-                    .map(|(_, &v)| v)
-                    .sum();
+                let profit: f64 = x.iter().zip(p).filter(|(&sel, _)| sel).map(|(_, &v)| v).sum();
                 maxp - profit
             })
             .collect()

@@ -113,9 +113,7 @@ impl Zdt {
             let f2 = match self.variant {
                 ZdtVariant::Zdt1 | ZdtVariant::Zdt4 => 1.0 - f1.sqrt(),
                 ZdtVariant::Zdt2 | ZdtVariant::Zdt6 => 1.0 - f1 * f1,
-                ZdtVariant::Zdt3 => {
-                    1.0 - f1.sqrt() - f1 * (10.0 * std::f64::consts::PI * f1).sin()
-                }
+                ZdtVariant::Zdt3 => 1.0 - f1.sqrt() - f1 * (10.0 * std::f64::consts::PI * f1).sin(),
             };
             pts.push(vec![f1, f2]);
         }
@@ -197,8 +195,7 @@ impl Problem for Zdt {
                     ZdtVariant::Zdt1 => 1.0 - (f1 / g).sqrt(),
                     ZdtVariant::Zdt2 => 1.0 - (f1 / g).powi(2),
                     _ => {
-                        1.0 - (f1 / g).sqrt()
-                            - (f1 / g) * (10.0 * std::f64::consts::PI * f1).sin()
+                        1.0 - (f1 / g).sqrt() - (f1 / g) * (10.0 * std::f64::consts::PI * f1).sin()
                     }
                 };
                 vec![f1, g * h]
@@ -215,8 +212,7 @@ impl Problem for Zdt {
             }
             ZdtVariant::Zdt6 => {
                 let f1 = zdt6_f1(x[0]);
-                let g = 1.0
-                    + 9.0 * (tail.iter().sum::<f64>() / (self.n - 1) as f64).powf(0.25);
+                let g = 1.0 + 9.0 * (tail.iter().sum::<f64>() / (self.n - 1) as f64).powf(0.25);
                 vec![f1, g * (1.0 - (f1 / g).powi(2))]
             }
         }

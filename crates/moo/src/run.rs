@@ -81,10 +81,7 @@ impl<S: Clone> RunResult<S> {
     /// The non-dominated subset of the final population.
     pub fn front(&self) -> Vec<(S, Vec<f64>)> {
         let objs: Vec<Vec<f64>> = self.population.iter().map(|(_, o)| o.clone()).collect();
-        non_dominated_indices(&objs)
-            .into_iter()
-            .map(|i| self.population[i].clone())
-            .collect()
+        non_dominated_indices(&objs).into_iter().map(|i| self.population[i].clone()).collect()
     }
 
     /// Objective vectors of the final front.
@@ -121,18 +118,10 @@ impl<S: Clone> RunResult<S> {
     pub fn front_csv(&self) -> String {
         let front = self.front_objectives();
         let m = front.first().map_or(0, Vec::len);
-        let mut out = (0..m)
-            .map(|k| format!("obj{k}"))
-            .collect::<Vec<_>>()
-            .join(",");
+        let mut out = (0..m).map(|k| format!("obj{k}")).collect::<Vec<_>>().join(",");
         out.push('\n');
         for row in front {
-            out.push_str(
-                &row.iter()
-                    .map(|v| format!("{v:.9}"))
-                    .collect::<Vec<_>>()
-                    .join(","),
-            );
+            out.push_str(&row.iter().map(|v| format!("{v:.9}")).collect::<Vec<_>>().join(","));
             out.push('\n');
         }
         out
@@ -182,10 +171,8 @@ impl TraceRecorder {
         population_objectives: &[Vec<f64>],
     ) {
         let idx = non_dominated_indices(population_objectives);
-        let front: Vec<Vec<f64>> = idx
-            .into_iter()
-            .map(|i| population_objectives[i].clone())
-            .collect();
+        let front: Vec<Vec<f64>> =
+            idx.into_iter().map(|i| population_objectives[i].clone()).collect();
         let phv = normalized_phv(&front, &self.normalizer);
         self.points.push(TracePoint { generation, evaluations, elapsed, phv });
     }
@@ -236,11 +223,7 @@ mod tests {
     #[test]
     fn front_filters_dominated_population_members() {
         let r = RunResult {
-            population: vec![
-                ("a", vec![1.0, 2.0]),
-                ("b", vec![2.0, 1.0]),
-                ("c", vec![3.0, 3.0]),
-            ],
+            population: vec![("a", vec![1.0, 2.0]), ("b", vec![2.0, 1.0]), ("c", vec![3.0, 3.0])],
             trace: Vec::new(),
             evaluations: 0,
             elapsed: Duration::ZERO,

@@ -99,12 +99,9 @@ impl Scalarizer {
         assert_eq!(objectives.len(), z.len(), "reference dimension mismatch");
         const EPS_WEIGHT: f64 = 1e-4;
         match self {
-            Scalarizer::WeightedSum => objectives
-                .iter()
-                .zip(w)
-                .zip(z)
-                .map(|((&o, &wi), &zi)| wi * (o - zi).abs())
-                .sum(),
+            Scalarizer::WeightedSum => {
+                objectives.iter().zip(w).zip(z).map(|((&o, &wi), &zi)| wi * (o - zi).abs()).sum()
+            }
             Scalarizer::Tchebycheff => objectives
                 .iter()
                 .zip(w)

@@ -3,10 +3,29 @@
 use moela_moo::hypervolume::{hypervolume, monte_carlo_hypervolume};
 use moela_moo::normalize::Normalizer;
 use moela_moo::pareto::{crowding_distance, dominates, non_dominated_indices};
+use moela_moo::problems::{Dtlz, Zdt};
 use moela_moo::scalarize::{ReferencePoint, Scalarizer};
 use moela_moo::weights::{neighborhoods, uniform_weights};
+use moela_moo::{ParallelEvaluator, Problem};
 use proptest::prelude::*;
 use rand::SeedableRng;
+
+/// `evaluate_batch` (at any worker count) must agree bit-for-bit with
+/// per-solution `evaluate` — the contract every optimizer's determinism
+/// rests on.
+fn assert_batch_parity<P>(problem: &P, count: usize, threads: usize, seed: u64)
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let solutions: Vec<P::Solution> =
+        (0..count).map(|_| problem.random_solution(&mut rng)).collect();
+    let sequential: Vec<Vec<f64>> = solutions.iter().map(|s| problem.evaluate(s)).collect();
+    assert_eq!(problem.evaluate_batch(&solutions), sequential);
+    let evaluator = ParallelEvaluator::new(threads);
+    assert_eq!(evaluator.evaluate(problem, &solutions), sequential);
+}
 
 fn objective_vectors(m: usize, max_len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, m), 1..max_len)
@@ -120,6 +139,47 @@ proptest! {
                 prop_assert!(na[k] <= nb[k] + 1e-12);
             }
         }
+    }
+
+    /// Batch evaluation equals per-solution evaluation on the ZDT family,
+    /// for any batch size and worker count.
+    #[test]
+    fn zdt_batch_evaluation_matches_sequential(
+        variant in 0usize..5,
+        n in 2usize..12,
+        count in 0usize..17,
+        threads in 0usize..9,
+        seed in 0u64..1000,
+    ) {
+        let problem = match variant {
+            0 => Zdt::zdt1(n),
+            1 => Zdt::zdt2(n),
+            2 => Zdt::zdt3(n),
+            3 => Zdt::zdt4(n),
+            _ => Zdt::zdt6(n),
+        };
+        assert_batch_parity(&problem, count, threads, seed);
+    }
+
+    /// Batch evaluation equals per-solution evaluation on the DTLZ family,
+    /// for any batch size and worker count.
+    #[test]
+    fn dtlz_batch_evaluation_matches_sequential(
+        variant in 0usize..5,
+        m in 2usize..5,
+        k in 2usize..8,
+        count in 0usize..17,
+        threads in 0usize..9,
+        seed in 0u64..1000,
+    ) {
+        let problem = match variant {
+            0 => Dtlz::dtlz1(m, k),
+            1 => Dtlz::dtlz2(m, k),
+            2 => Dtlz::dtlz3(m, k),
+            3 => Dtlz::dtlz4(m, k),
+            _ => Dtlz::dtlz7(m, k),
+        };
+        assert_batch_parity(&problem, count, threads, seed);
     }
 
     /// Scalarized values are zero exactly at the reference point and

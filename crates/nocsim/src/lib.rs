@@ -204,7 +204,7 @@ impl<'a> Simulator<'a> {
                     if dl.busy_until > cycle {
                         continue;
                     }
-                    let ready = dl.queue.front().map_or(false, |f| f.ready_at <= cycle);
+                    let ready = dl.queue.front().is_some_and(|f| f.ready_at <= cycle);
                     if !ready {
                         continue;
                     }
@@ -239,8 +239,7 @@ impl<'a> Simulator<'a> {
                     / measured_window
             })
             .collect();
-        let max_link_utilization =
-            link_utilization.iter().fold(0.0f64, |a, &b| a.max(b));
+        let max_link_utilization = link_utilization.iter().fold(0.0f64, |a, &b| a.max(b));
         SimStats {
             cycles,
             delivered,

@@ -83,28 +83,25 @@ fn low_load_utilization_matches_equation_one() {
 fn overload_exposes_queueing_the_analytic_model_cannot_see() {
     let p = problem(Benchmark::Bfs);
     let d = design(&p, 3);
-    let calm = Simulator::new(&p, &d, SimConfig { load_factor: 0.2, warmup_cycles: 1_000 })
-        .run(20_000);
-    let slammed = Simulator::new(&p, &d, SimConfig { load_factor: 12.0, warmup_cycles: 1_000 })
-        .run(20_000);
+    let calm =
+        Simulator::new(&p, &d, SimConfig { load_factor: 0.2, warmup_cycles: 1_000 }).run(20_000);
+    let slammed =
+        Simulator::new(&p, &d, SimConfig { load_factor: 12.0, warmup_cycles: 1_000 }).run(20_000);
     assert!(
         slammed.avg_latency > calm.avg_latency * 1.5,
         "overload must raise latency ({} vs {})",
         slammed.avg_latency,
         calm.avg_latency
     );
-    assert!(
-        slammed.delivery_ratio() < calm.delivery_ratio(),
-        "overload must leave a backlog"
-    );
+    assert!(slammed.delivery_ratio() < calm.delivery_ratio(), "overload must leave a backlog");
 }
 
 #[test]
 fn no_link_exceeds_capacity() {
     let p = problem(Benchmark::Gau);
     let d = design(&p, 4);
-    let stats = Simulator::new(&p, &d, SimConfig { load_factor: 20.0, warmup_cycles: 500 })
-        .run(10_000);
+    let stats =
+        Simulator::new(&p, &d, SimConfig { load_factor: 20.0, warmup_cycles: 500 }).run(10_000);
     // One flit per cycle per direction ⇒ a (bidirectionally summed)
     // utilization of at most 2.
     for (k, &u) in stats.link_utilization.iter().enumerate() {
@@ -129,10 +126,8 @@ fn better_designs_simulate_better_too() {
     let p = problem(Benchmark::Sc);
     let mut rng = rand::rngs::StdRng::seed_from_u64(6);
     let candidates: Vec<Design> = (0..8).map(|_| p.random_solution(&mut rng)).collect();
-    let analytic: Vec<f64> = candidates
-        .iter()
-        .map(|d| p.evaluate_full(d).network.avg_packet_latency)
-        .collect();
+    let analytic: Vec<f64> =
+        candidates.iter().map(|d| p.evaluate_full(d).network.avg_packet_latency).collect();
     let best = analytic
         .iter()
         .enumerate()

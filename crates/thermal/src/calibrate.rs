@@ -36,10 +36,7 @@ impl LayerSpec {
 pub fn params_from_specs(layers: &[LayerSpec], r_base: f64) -> ThermalParams {
     assert!(!layers.is_empty(), "need at least one layer");
     assert!(r_base > 0.0, "base resistance must be positive");
-    ThermalParams {
-        r_vertical: layers.iter().map(LayerSpec::resistance).collect(),
-        r_base,
-    }
+    ThermalParams { r_vertical: layers.iter().map(LayerSpec::resistance).collect(), r_base }
 }
 
 /// Extracts effective `R_j`/`R_b` by probing a detailed [`RcNetwork`] with
@@ -175,9 +172,9 @@ mod tests {
         // the same heterogeneous PE power multiset (GPU-heavy, CPU-medium,
         // LLC-light), not iid noise.
         let mut powers: Vec<f64> = Vec::new();
-        powers.extend(std::iter::repeat(4.0).take(16)); // GPU-like
-        powers.extend(std::iter::repeat(2.0).take(24));
-        powers.extend(std::iter::repeat(0.5).take(24)); // LLC-like
+        powers.extend(std::iter::repeat_n(4.0, 16)); // GPU-like
+        powers.extend(std::iter::repeat_n(2.0, 24));
+        powers.extend(std::iter::repeat_n(0.5, 24)); // LLC-like
         let corpus: Vec<PowerGrid> = (0..30)
             .map(|_| {
                 use rand::seq::SliceRandom;

@@ -87,8 +87,8 @@ impl FastThermalModel {
                 suffix_at[j] = suffix;
             }
         }
-        for j in 1..=layer {
-            t += self.params.r_vertical[j - 1] * suffix_at[j];
+        for (r, s) in self.params.r_vertical.iter().zip(&suffix_at[1..]) {
+            t += r * s;
         }
         t + self.params.r_base * suffix
     }
@@ -96,11 +96,7 @@ impl FastThermalModel {
     /// All `T_{n,k}` for the grid: `temps[stack][layer-1]`.
     pub fn temperatures(&self, power: &PowerGrid) -> Vec<Vec<f64>> {
         (0..power.stacks())
-            .map(|n| {
-                (1..=power.layers())
-                    .map(|k| self.stack_temperature(power, n, k))
-                    .collect()
-            })
+            .map(|n| (1..=power.layers()).map(|k| self.stack_temperature(power, n, k)).collect())
             .collect()
     }
 
@@ -130,9 +126,8 @@ impl FastThermalModel {
     /// Eq. (7): the combined thermal objective
     /// `T = max_{n,k} T_{n,k} × max_k ΔT(k)`.
     pub fn thermal_objective(&self, power: &PowerGrid) -> f64 {
-        let max_delta = (1..=power.layers())
-            .map(|k| self.layer_delta_t(power, k))
-            .fold(0.0f64, f64::max);
+        let max_delta =
+            (1..=power.layers()).map(|k| self.layer_delta_t(power, k)).fold(0.0f64, f64::max);
         self.peak_temperature(power) * max_delta
     }
 }
@@ -160,8 +155,8 @@ mod tests {
         let mut p = PowerGrid::new(1, 1, 2);
         p.set(0, 1, 3.0); // near sink
         p.set(0, 2, 1.0); // far from sink
-        // T_{·,2} = R_1·(P_1+P_2) + R_2·P_2 + R_b·(P_1+P_2)
-        //         = 1·4 + 2·1 + 0.5·4 = 8
+                          // T_{·,2} = R_1·(P_1+P_2) + R_2·P_2 + R_b·(P_1+P_2)
+                          //         = 1·4 + 2·1 + 0.5·4 = 8
         assert!((m.stack_temperature(&p, 0, 2) - 8.0).abs() < 1e-12);
         // T_{·,1} carries the whole stack across R_1 and R_b:
         //   1·4 + 0.5·4 = 6
@@ -225,9 +220,9 @@ mod tests {
         p.set(0, 1, 1.0);
         p.set(1, 2, 2.0);
         let t = m.temperatures(&p);
-        for n in 0..2 {
+        for (n, stack) in t.iter().enumerate() {
             for k in 1..=2 {
-                assert_eq!(t[n][k - 1], m.stack_temperature(&p, n, k));
+                assert_eq!(stack[k - 1], m.stack_temperature(&p, n, k));
             }
         }
     }

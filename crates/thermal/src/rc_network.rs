@@ -139,17 +139,12 @@ impl RcNetwork {
                 break;
             }
         }
-        (0..stacks)
-            .map(|s| (1..=layers).map(|k| t[idx(s, k)]).collect())
-            .collect()
+        (0..stacks).map(|s| (1..=layers).map(|k| t[idx(s, k)]).collect()).collect()
     }
 
     /// Peak node temperature for a power map.
     pub fn peak_temperature(&self, power: &PowerGrid) -> f64 {
-        self.solve(power)
-            .iter()
-            .flatten()
-            .fold(0.0f64, |acc, &t| acc.max(t))
+        self.solve(power).iter().flatten().fold(0.0f64, |acc, &t| acc.max(t))
     }
 }
 

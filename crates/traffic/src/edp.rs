@@ -65,11 +65,7 @@ impl EdpModel {
     /// the benchmark's arithmetic intensity (memory-bound apps stall more).
     pub fn new(benchmark: Benchmark) -> Self {
         let profile = benchmark.profile();
-        Self {
-            benchmark,
-            base_time: 1000.0,
-            memory_sensitivity: 1.0 - profile.compute_intensity,
-        }
+        Self { benchmark, base_time: 1000.0, memory_sensitivity: 1.0 - profile.compute_intensity }
     }
 
     /// The benchmark this model is tuned for.

@@ -192,16 +192,15 @@ mod tests {
         assert_eq!(w.traffic(1, 2), 4.0);
         assert_eq!(w.pe_power(2), 0.5);
 
-        let err = Workload::from_csv(Benchmark::Sc, mix(), "0, x, 2\n", power)
-            .expect_err("bad cell");
+        let err =
+            Workload::from_csv(Benchmark::Sc, mix(), "0, x, 2\n", power).expect_err("bad cell");
         assert!(err.to_string().contains("row 0, column 1"));
     }
 
     #[test]
     fn imported_workloads_drive_flows() {
         let traffic = vec![0.0, 7.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
-        let w = Workload::from_parts(Benchmark::Gau, mix(), traffic, vec![1.0; 3])
-            .expect("valid");
+        let w = Workload::from_parts(Benchmark::Gau, mix(), traffic, vec![1.0; 3]).expect("valid");
         assert_eq!(w.flows(), vec![(0, 1, 7.0)]);
         assert_eq!(w.total_traffic(), 7.0);
     }

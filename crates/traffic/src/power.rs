@@ -43,17 +43,10 @@ pub(crate) fn pe_powers(
 ) -> Vec<f64> {
     let n = mix.total();
     let served: Vec<f64> = (0..n)
-        .map(|pe| {
-            (0..n)
-                .map(|src| traffic[src * n + pe] + traffic[pe * n + src])
-                .sum()
-        })
+        .map(|pe| (0..n).map(|src| traffic[src * n + pe] + traffic[pe * n + src]).sum())
         .collect();
-    let max_llc_served = mix
-        .ids_of(PeKind::Llc)
-        .map(|l| served[l])
-        .fold(0.0f64, f64::max)
-        .max(1e-12);
+    let max_llc_served =
+        mix.ids_of(PeKind::Llc).map(|l| served[l]).fold(0.0f64, f64::max).max(1e-12);
     (0..n)
         .map(|pe| {
             let kind = mix.kind(pe);
@@ -99,18 +92,12 @@ mod tests {
         // BFS: strongly skewed slice popularity.
         let w = Workload::synthesize(Benchmark::Bfs, mix, 3);
         let n = mix.total();
-        let served = |l: usize| -> f64 {
-            (0..n).map(|s| w.traffic(s, l) + w.traffic(l, s)).sum()
-        };
+        let served = |l: usize| -> f64 { (0..n).map(|s| w.traffic(s, l) + w.traffic(l, s)).sum() };
         let llcs: Vec<usize> = mix.ids_of(PeKind::Llc).collect();
-        let hottest = *llcs
-            .iter()
-            .max_by(|&&a, &&b| served(a).total_cmp(&served(b)))
-            .expect("nonempty");
-        let coldest = *llcs
-            .iter()
-            .min_by(|&&a, &&b| served(a).total_cmp(&served(b)))
-            .expect("nonempty");
+        let hottest =
+            *llcs.iter().max_by(|&&a, &&b| served(a).total_cmp(&served(b))).expect("nonempty");
+        let coldest =
+            *llcs.iter().min_by(|&&a, &&b| served(a).total_cmp(&served(b))).expect("nonempty");
         // Jitter is ±10 %, skew dominates it for BFS.
         assert!(w.pe_power(hottest) > w.pe_power(coldest));
     }

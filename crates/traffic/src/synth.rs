@@ -56,9 +56,8 @@ impl Workload {
             llc_rank.swap(i, j);
         }
         let zipf: Vec<f64> = {
-            let raw: Vec<f64> = (0..llc_ids.len())
-                .map(|r| 1.0 / ((r + 1) as f64).powf(profile.llc_skew))
-                .collect();
+            let raw: Vec<f64> =
+                (0..llc_ids.len()).map(|r| 1.0 / ((r + 1) as f64).powf(profile.llc_skew)).collect();
             let total: f64 = raw.iter().sum();
             raw.into_iter().map(|v| v / total).collect()
         };
@@ -328,11 +327,7 @@ mod tests {
             let m = w.mix();
             let mut per_llc: Vec<f64> = m
                 .ids_of(PeKind::Llc)
-                .map(|l| {
-                    (0..m.total())
-                        .map(|src| w.traffic(src, l))
-                        .sum::<f64>()
-                })
+                .map(|l| (0..m.total()).map(|src| w.traffic(src, l)).sum::<f64>())
                 .collect();
             per_llc.sort_by(|a, b| b.total_cmp(a));
             let total: f64 = per_llc.iter().sum();

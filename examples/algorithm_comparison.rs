@@ -19,9 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fit one normalizer on a shared random corpus so all PHV values are
     // on the same scale (this is what the benchmark harness does too).
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
-    let corpus: Vec<Vec<f64>> = (0..200)
-        .map(|_| problem.evaluate(&problem.random_solution(&mut rng)))
-        .collect();
+    let corpus: Vec<Vec<f64>> =
+        (0..200).map(|_| problem.evaluate(&problem.random_solution(&mut rng))).collect();
     let normalizer = Normalizer::fit(&corpus);
 
     println!("workload {benchmark}, 3 objectives, budget {BUDGET} evaluations\n");

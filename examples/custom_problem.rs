@@ -100,12 +100,8 @@ impl Problem for SensorPlacement {
                 covered[c + 1] = true;
             }
         }
-        let uncovered: f64 = covered
-            .iter()
-            .zip(&self.demand)
-            .filter(|(&cov, _)| !cov)
-            .map(|(_, &d)| d)
-            .sum();
+        let uncovered: f64 =
+            covered.iter().zip(&self.demand).filter(|(&cov, _)| !cov).map(|(_, &d)| d).sum();
         let cost: f64 = s.iter().map(|&c| self.cost[c]).sum();
         vec![uncovered, cost]
     }
@@ -114,11 +110,8 @@ impl Problem for SensorPlacement {
         // Coverage bitmap-ish summary: sensor positions normalized plus
         // mean gap.
         let mut f: Vec<f64> = s.iter().map(|&c| c as f64 / self.cells() as f64).collect();
-        let mean_gap = s
-            .windows(2)
-            .map(|w| (w[1] - w[0]) as f64)
-            .sum::<f64>()
-            / (s.len().max(2) - 1) as f64;
+        let mean_gap =
+            s.windows(2).map(|w| (w[1] - w[0]) as f64).sum::<f64>() / (s.len().max(2) - 1) as f64;
         f.push(mean_gap);
         f
     }
@@ -130,17 +123,11 @@ impl Problem for SensorPlacement {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem = SensorPlacement::new(60, 10, 5);
-    let config = MoelaConfig::builder()
-        .population(20)
-        .generations(40)
-        .build()?;
+    let config = MoelaConfig::builder().population(20).generations(40).build()?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(8);
     let outcome = Moela::new(config, &problem).run(&mut rng);
 
-    println!(
-        "sensor placement: {} evaluations in {:.2?}",
-        outcome.evaluations, outcome.elapsed
-    );
+    println!("sensor placement: {} evaluations in {:.2?}", outcome.evaluations, outcome.elapsed);
     let mut front = outcome.front();
     front.sort_by(|a, b| a.1[0].total_cmp(&b.1[0]));
     println!("\nPareto front ({} placements):", front.len());

@@ -23,12 +23,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Paper-structure parameters at example scale (gen = 1000 takes hours;
     // 20 iterations already shows the behavior).
-    let config = MoelaConfig::builder()
-        .population(24)
-        .generations(20)
-        .iter_early(2)
-        .delta(0.9)
-        .build()?;
+    let config =
+        MoelaConfig::builder().population(24).generations(20).iter_early(2).delta(0.9).build()?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(2023);
     println!("running MOELA ({benchmark}, 5 objectives)…");
     let outcome = Moela::new(config, &problem).run(&mut rng);
@@ -50,26 +46,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (full.peak_temperature, edp_model.edp(&full.network), objs)
         })
         .collect();
-    let t_min = evaluated
-        .iter()
-        .map(|(t, _, _)| *t)
-        .fold(f64::INFINITY, f64::min);
+    let t_min = evaluated.iter().map(|(t, _, _)| *t).fold(f64::INFINITY, f64::min);
     let threshold = t_min * 1.05;
     let within: Vec<&(f64, f64, Vec<f64>)> =
         evaluated.iter().filter(|(t, _, _)| *t <= threshold).collect();
     let chosen = within
         .iter()
         .min_by(|a, b| a.1.total_cmp(&b.1))
-        .or_else(|| {
+        .or({
             // No design within threshold: fall back to the coolest.
             None
         })
         .copied()
         .unwrap_or_else(|| {
-            evaluated
-                .iter()
-                .min_by(|a, b| a.0.total_cmp(&b.0))
-                .expect("front is non-empty")
+            evaluated.iter().min_by(|a, b| a.0.total_cmp(&b.0)).expect("front is non-empty")
         });
 
     println!("\ncoolest design peak temperature: {t_min:.2} K above ambient");
@@ -80,11 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  EDP (arbitrary units): {:.3e}", chosen.1);
     println!(
         "  objectives [mean, var, latency, energy, thermal]:\n  {:?}",
-        chosen
-            .2
-            .iter()
-            .map(|v| (v * 1000.0).round() / 1000.0)
-            .collect::<Vec<f64>>()
+        chosen.2.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<f64>>()
     );
     Ok(())
 }

@@ -10,23 +10,15 @@ use moela::prelude::*;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let platform = PlatformConfig::builder()
-        .dims(3, 3, 2)
-        .cpus(2)
-        .llcs(4)
-        .planar_links(24)
-        .tsvs(6)
-        .build()?;
+    let platform =
+        PlatformConfig::builder().dims(3, 3, 2).cpus(2).llcs(4).planar_links(24).tsvs(6).build()?;
     let workload = Workload::synthesize(Benchmark::Bfs, platform.pe_mix(), 17);
     let problem = ManycoreProblem::new(platform, workload, ObjectiveSet::Three)?;
 
     // One random design and one optimized for the traffic objectives.
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     let random_design = problem.random_solution(&mut rng);
-    let config = MoelaConfig::builder()
-        .population(16)
-        .generations(15)
-        .build()?;
+    let config = MoelaConfig::builder().population(16).generations(15).build()?;
     let outcome = Moela::new(config, &problem).run(&mut rng);
     // Pick the front design with the lowest mean traffic (objective 0).
     let (optimized, _) = outcome
@@ -36,11 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("non-empty front");
 
     println!("optimized placement (C = CPU, G = GPU, L = LLC):");
-    print!("{}", viz::placement_ascii(
-        problem.config().dims(),
-        problem.config().pe_mix(),
-        &optimized,
-    ));
+    print!(
+        "{}",
+        viz::placement_ascii(problem.config().dims(), problem.config().pe_mix(), &optimized,)
+    );
 
     println!("\n{:>6} {:>18} {:>18}", "load", "random latency", "optimized latency");
     for load in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0] {

@@ -28,17 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let problem = ManycoreProblem::new(platform, workload, ObjectiveSet::Three)?;
 
     // A small MOELA run — enough to see the hybrid loop work end to end.
-    let config = MoelaConfig::builder()
-        .population(16)
-        .generations(12)
-        .build()?;
+    let config = MoelaConfig::builder().population(16).generations(12).build()?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
     let outcome = Moela::new(config, &problem).run(&mut rng);
 
-    println!(
-        "\nMOELA finished: {} evaluations in {:.2?}",
-        outcome.evaluations, outcome.elapsed
-    );
+    println!("\nMOELA finished: {} evaluations in {:.2?}", outcome.evaluations, outcome.elapsed);
     let front = outcome.front();
     println!("Pareto front ({} designs):", front.len());
     println!("{:>12} {:>12} {:>12}", "mean", "variance", "latency");

@@ -1,0 +1,290 @@
+//! Workspace-local, offline subset of the `proptest` API.
+//!
+//! The build hosts for this repository cannot reach crates.io, so this
+//! crate vendors what the workspace's property tests actually use:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * [`Strategy`] implemented for numeric `Range`s, and
+//! * [`collection::vec`] for fixed- and ranged-length vectors.
+//!
+//! Semantics versus upstream: inputs are sampled uniformly at random from
+//! a fixed-seed generator (one deterministic stream per test, forked per
+//! case) and failures are reported by ordinary panics **without input
+//! shrinking**. The failing case index and inputs are embedded in the
+//! panic message instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A recipe for generating random values of one type.
+///
+/// Upstream strategies also know how to *shrink*; this offline subset only
+/// samples.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident / $v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g, H / h);
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Just a constant value (upstream `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// What one sampled case did; [`prop_assume!`] early-returns `Rejected`.
+#[doc(hidden)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The body ran to completion.
+    Passed,
+    /// A `prop_assume!` precondition failed; the case is skipped.
+    Rejected,
+}
+
+/// Drives one test's cases with per-case forked RNG streams.
+#[doc(hidden)]
+pub struct Runner {
+    config: ProptestConfig,
+    test_seed: u64,
+}
+
+impl Runner {
+    /// Creates a runner for the named test.
+    pub fn new(config: ProptestConfig, test_name: &str) -> Self {
+        // Stable per-test seed (FNV-1a over the name) so each test draws
+        // the same inputs every run, independent of sibling tests.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x100_0000_01b3);
+        }
+        Self { config, test_seed: seed }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG for one case.
+    pub fn case_rng(&self, case: u32) -> StdRng {
+        StdRng::seed_from_u64(self.test_seed ^ (u64::from(case) << 32 | 0x5DEE_CE66))
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let runner = $crate::Runner::new($cfg, stringify!($name));
+            for case in 0..runner.cases() {
+                let mut rng = runner.case_rng(case);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, "),+),
+                    $(&$arg),+
+                );
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                    $crate::CaseOutcome::Passed
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {case}/{} failed for inputs: {}",
+                        runner.cases(),
+                        inputs.trim_end_matches(", ")
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Skips the current case when its precondition does not hold. Only
+/// valid directly inside a [`proptest!`] body (it early-returns from the
+/// generated case closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return $crate::CaseOutcome::Rejected;
+        }
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure; no
+/// shrinking in this offline subset).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 0usize..10, f in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn assume_skips_rejected_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_lengths_honor_the_spec(
+            fixed in crate::collection::vec(0u8..5, 4),
+            ranged in crate::collection::vec(0.0f64..1.0, 2..6),
+        ) {
+            prop_assert_eq!(fixed.len(), 4);
+            prop_assert!((2..6).contains(&ranged.len()));
+            prop_assert!(fixed.iter().all(|&v| v < 5));
+        }
+
+        #[test]
+        fn nested_vecs_compose(grid in crate::collection::vec(crate::collection::vec(0.0f64..1.0, 3), 1..5)) {
+            prop_assert!(!grid.is_empty() && grid.len() < 5);
+            prop_assert!(grid.iter().all(|row| row.len() == 3));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_test_name() {
+        let a = super::Runner::new(ProptestConfig::with_cases(4), "demo");
+        let b = super::Runner::new(ProptestConfig::with_cases(4), "demo");
+        let s: Vec<f64> = (0..4).map(|c| (0.0f64..1.0).generate(&mut a.case_rng(c))).collect();
+        let t: Vec<f64> = (0..4).map(|c| (0.0f64..1.0).generate(&mut b.case_rng(c))).collect();
+        assert_eq!(s, t);
+    }
+}

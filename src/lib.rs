@@ -41,8 +41,8 @@ pub use moela_baselines as baselines;
 pub use moela_core as core;
 pub use moela_manycore as manycore;
 pub use moela_ml as ml;
-pub use moela_nocsim as nocsim;
 pub use moela_moo as moo;
+pub use moela_nocsim as nocsim;
 pub use moela_thermal as thermal;
 pub use moela_traffic as traffic;
 

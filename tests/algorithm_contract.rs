@@ -119,11 +119,8 @@ fn moo_stage_contract() {
 fn naive_baseline_contracts() {
     let p = problem();
     let mut rng = rand::rngs::StdRng::seed_from_u64(6);
-    let rs = random_search(
-        &RandomSearchConfig { samples: BUDGET, ..Default::default() },
-        &p,
-        &mut rng,
-    );
+    let rs =
+        random_search(&RandomSearchConfig { samples: BUDGET, ..Default::default() }, &p, &mut rng);
     check("random", &rs);
     let ls = multi_start_local_search(
         &MultiStartConfig {
@@ -157,11 +154,7 @@ fn counted_adapter_agrees_with_reported_evaluations() {
 fn all_algorithms_are_deterministic_per_seed() {
     let p = problem();
     let run_twice = |seed: u64| {
-        let config = MoelaConfig::builder()
-            .population(8)
-            .generations(4)
-            .build()
-            .expect("valid");
+        let config = MoelaConfig::builder().population(8).generations(4).build().expect("valid");
         let mut r1 = rand::rngs::StdRng::seed_from_u64(seed);
         let mut r2 = rand::rngs::StdRng::seed_from_u64(seed);
         let a = Moela::new(config.clone(), &p).run(&mut r1);

@@ -22,11 +22,8 @@ fn small_problem(bench: Benchmark, set: ObjectiveSet, seed: u64) -> ManycoreProb
 fn moela_runs_on_every_benchmark() {
     for bench in Benchmark::ALL {
         let problem = small_problem(bench, ObjectiveSet::Three, 3);
-        let config = MoelaConfig::builder()
-            .population(8)
-            .generations(3)
-            .build()
-            .expect("valid config");
+        let config =
+            MoelaConfig::builder().population(8).generations(3).build().expect("valid config");
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let out = Moela::new(config, &problem).run(&mut rng);
         assert_eq!(out.population.len(), 8, "{bench}");
@@ -40,11 +37,8 @@ fn moela_runs_on_every_benchmark() {
 #[test]
 fn optimized_designs_remain_feasible() {
     let problem = small_problem(Benchmark::Hot, ObjectiveSet::Five, 5);
-    let config = MoelaConfig::builder()
-        .population(10)
-        .generations(5)
-        .build()
-        .expect("valid config");
+    let config =
+        MoelaConfig::builder().population(10).generations(5).build().expect("valid config");
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     let out = Moela::new(config, &problem).run(&mut rng);
     let cfgp = problem.config();
@@ -65,11 +59,7 @@ fn optimized_designs_remain_feasible() {
 #[test]
 fn pipeline_reaches_edp_scoring() {
     let problem = small_problem(Benchmark::Bfs, ObjectiveSet::Five, 7);
-    let config = MoelaConfig::builder()
-        .population(8)
-        .generations(4)
-        .build()
-        .expect("valid config");
+    let config = MoelaConfig::builder().population(8).generations(4).build().expect("valid config");
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let out = Moela::new(config, &problem).run(&mut rng);
     let model = EdpModel::new(Benchmark::Bfs);
@@ -87,25 +77,18 @@ fn optimization_actually_improves_over_random_designs() {
     let problem = small_problem(Benchmark::Srad, ObjectiveSet::Three, 9);
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     // Random corpus defines the PHV scale.
-    let corpus: Vec<Vec<f64>> = (0..100)
-        .map(|_| problem.evaluate(&problem.random_solution(&mut rng)))
-        .collect();
+    let corpus: Vec<Vec<f64>> =
+        (0..100).map(|_| problem.evaluate(&problem.random_solution(&mut rng))).collect();
     let normalizer = Normalizer::fit(&corpus);
     let keep = moela::moo::pareto::non_dominated_indices(&corpus);
     let random_front: Vec<Vec<f64>> = keep.into_iter().map(|i| corpus[i].clone()).collect();
     let random_phv = moela::moo::run::normalized_phv(&random_front, &normalizer);
 
-    let config = MoelaConfig::builder()
-        .population(12)
-        .generations(12)
-        .build()
-        .expect("valid config");
+    let config =
+        MoelaConfig::builder().population(12).generations(12).build().expect("valid config");
     let out = Moela::new(config, &problem).run(&mut rng);
     let phv = out.phv(&normalizer);
-    assert!(
-        phv > random_phv,
-        "optimized PHV {phv} must beat the random corpus front {random_phv}"
-    );
+    assert!(phv > random_phv, "optimized PHV {phv} must beat the random corpus front {random_phv}");
 }
 
 #[test]

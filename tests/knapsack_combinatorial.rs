@@ -19,9 +19,8 @@ fn instance() -> Knapsack {
 
 fn normalizer(p: &Knapsack) -> Normalizer {
     let mut rng = rand::rngs::StdRng::seed_from_u64(78);
-    let corpus: Vec<Vec<f64>> = (0..200)
-        .map(|_| p.evaluate(&p.random_solution(&mut rng)))
-        .collect();
+    let corpus: Vec<Vec<f64>> =
+        (0..200).map(|_| p.evaluate(&p.random_solution(&mut rng))).collect();
     Normalizer::fit(&corpus)
 }
 
@@ -46,10 +45,7 @@ fn moela_beats_random_search_on_the_knapsack() {
     );
     let phv_moela = moela.phv(&n);
     let phv_random = random.phv(&n);
-    assert!(
-        phv_moela > phv_random,
-        "MOELA {phv_moela:.4} must beat random {phv_random:.4}"
-    );
+    assert!(phv_moela > phv_random, "MOELA {phv_moela:.4} must beat random {phv_random:.4}");
 }
 
 #[test]
@@ -65,29 +61,18 @@ fn all_population_algorithms_produce_feasible_knapsack_fronts() {
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let moead = Moead::new(
-        MoeadConfig {
-            population: 16,
-            neighborhood: 5,
-            generations: 40,
-            ..Default::default()
-        },
+        MoeadConfig { population: 16, neighborhood: 5, generations: 40, ..Default::default() },
         &p,
     )
     .run(&mut rng);
     run_and_check("MOEA/D", moead.front());
 
-    let nsga2 = Nsga2::new(
-        Nsga2Config { population: 16, generations: 40, ..Default::default() },
-        &p,
-    )
-    .run(&mut rng);
+    let nsga2 =
+        Nsga2::new(Nsga2Config { population: 16, generations: 40, ..Default::default() }, &p)
+            .run(&mut rng);
     run_and_check("NSGA-II", nsga2.front());
 
-    let moos = Moos::new(
-        MoosConfig { episodes: 25, ..Default::default() },
-        &p,
-    )
-    .run(&mut rng);
+    let moos = Moos::new(MoosConfig { episodes: 25, ..Default::default() }, &p).run(&mut rng);
     run_and_check("MOOS", moos.front());
 }
 
@@ -95,11 +80,7 @@ fn all_population_algorithms_produce_feasible_knapsack_fronts() {
 fn knapsack_front_shows_a_real_tradeoff() {
     let p = instance();
     let n = normalizer(&p);
-    let config = MoelaConfig::builder()
-        .population(20)
-        .generations(30)
-        .build()
-        .expect("valid");
+    let config = MoelaConfig::builder().population(20).generations(30).build().expect("valid");
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     let out = Moela::new(config, &p).run(&mut rng);
     let front = out.front_objectives();
