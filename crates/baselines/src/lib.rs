@@ -20,8 +20,11 @@ pub mod moos;
 pub mod nsga2;
 pub mod simple;
 
-pub use moead::{Moead, MoeadConfig};
-pub use moo_stage::{MooStage, MooStageConfig};
-pub use moos::{Moos, MoosConfig};
-pub use nsga2::{Nsga2, Nsga2Config};
-pub use simple::{multi_start_local_search, random_search, MultiStartConfig, RandomSearchConfig};
+pub use moead::{Moead, MoeadConfig, MoeadState};
+pub use moo_stage::{MooStage, MooStageConfig, MooStageState};
+pub use moos::{Moos, MoosConfig, MoosState};
+pub use nsga2::{Nsga2, Nsga2Config, Nsga2State};
+pub use simple::{
+    multi_start_local_search, random_search, random_search_restore, random_search_start,
+    MultiStartConfig, RandomSearchConfig, RandomSearchState,
+};

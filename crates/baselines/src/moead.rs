@@ -8,17 +8,23 @@
 //! MOELA's EA step is intentionally the same machinery — the paper's
 //! contribution is what it *adds* (the ML-guided local search), so sharing
 //! the update semantics makes the comparison fair.
+//!
+//! Like every optimizer in the workspace, the run loop is exposed as a
+//! checkpointable state machine ([`MoeadState`], one step per generation).
 
 use std::time::{Duration, Instant};
 
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore};
 
+use moela_moo::checkpoint::Resumable;
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
 use moela_moo::scalarize::{ReferencePoint, Scalarizer};
+use moela_moo::snapshot::{entries_from_value, entries_to_value};
 use moela_moo::weights::{neighborhoods, uniform_weights};
 use moela_moo::{ParallelEvaluator, Problem};
+use moela_persist::{PersistError, Restore, Snapshot, SolutionCodec, Value};
 
 /// MOEA/D parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -113,7 +119,15 @@ where
     /// order — so results are bit-identical for every thread count.
     pub fn run(&self, rng: &mut impl RngCore) -> RunResult<P::Solution> {
         let rng: &mut dyn RngCore = rng;
-        let cfg = &self.config;
+        let mut state = self.start(rng);
+        while state.step(rng) {}
+        state.finish()
+    }
+
+    /// Initializes a run (random population + generation-0 trace point)
+    /// as a steppable state machine.
+    pub fn start(&self, rng: &mut dyn RngCore) -> MoeadState<'p, P> {
+        let cfg = self.config.clone();
         let m = self.problem.objective_count();
         let start_time = Instant::now();
         let evaluator = ParallelEvaluator::new(cfg.threads);
@@ -127,9 +141,9 @@ where
         let nbhd = neighborhoods(&weights, cfg.neighborhood);
         let mut z = ReferencePoint::new(m);
         let mut normalizer = Normalizer::new(m);
-        let mut solutions: Vec<P::Solution> =
+        let solutions: Vec<P::Solution> =
             (0..cfg.population).map(|_| self.problem.random_solution(rng)).collect();
-        let mut objectives = evaluator.evaluate(self.problem, &solutions);
+        let objectives = evaluator.evaluate(self.problem, &solutions);
         evaluations += solutions.len() as u64;
         for o in &objectives {
             z.update(o);
@@ -138,89 +152,247 @@ where
         }
         recorder.record(0, evaluations, start_time.elapsed(), &objectives);
 
-        'outer: for generation in 0..cfg.generations {
-            if cfg.time_budget.is_some_and(|cap| start_time.elapsed() >= cap) {
-                break 'outer;
-            }
-            // Cap the generation to the remaining evaluation budget; a
-            // short (partial) generation is still evaluated, applied, and
-            // recorded before stopping, so the trace accounts for every
-            // evaluation.
-            let remaining =
-                cfg.max_evaluations.map_or(u64::MAX, |cap| cap.saturating_sub(evaluations));
-            if remaining == 0 {
-                break 'outer;
-            }
-            let mut order: Vec<usize> = (0..cfg.population).collect();
-            order.shuffle(rng);
-            order.truncate(remaining.min(cfg.population as u64) as usize);
-            let partial = order.len() < cfg.population;
+        MoeadState {
+            config: cfg,
+            problem: self.problem,
+            evaluator,
+            start_time,
+            evaluations,
+            recorder,
+            weights,
+            nbhd,
+            z,
+            normalizer,
+            solutions,
+            objectives,
+            generation: 0,
+            finished: false,
+        }
+    }
 
-            let mut children: Vec<P::Solution> = Vec::with_capacity(order.len());
-            let mut pools: Vec<Vec<usize>> = Vec::with_capacity(order.len());
-            for &i in &order {
-                let whole: Vec<usize>;
-                let pool: &[usize] = if rng.gen_bool(cfg.delta) {
-                    &nbhd[i]
-                } else {
-                    whole = (0..cfg.population).collect();
-                    &whole
-                };
-                let pa = pool[rng.gen_range(0..pool.len())];
-                let child = if pool.len() < 2 {
-                    // A one-element pool cannot supply a distinct second
-                    // parent; mutate instead of self-mating.
-                    self.problem.neighbor(&solutions[pa], rng)
-                } else {
-                    let mut pb = pool[rng.gen_range(0..pool.len())];
-                    if pb == pa {
-                        pb = pool[(pool.iter().position(|&x| x == pa).expect("pa in pool") + 1)
-                            % pool.len()];
-                    }
-                    self.problem.crossover(&solutions[pa], &solutions[pb], rng)
-                };
-                children.push(child);
-                pools.push(pool.to_vec());
-            }
+    /// Rebuilds a mid-run state from a [`MoeadState::snapshot_state`]
+    /// value, with `elapsed` wall-clock time already consumed.
+    pub fn restore<C: SolutionCodec<P::Solution>>(
+        &self,
+        codec: &C,
+        value: &Value,
+        elapsed: Duration,
+    ) -> Result<MoeadState<'p, P>, PersistError> {
+        let cfg = self.config.clone();
+        let m = self.problem.objective_count();
+        let entries = entries_from_value(value.field("population")?, codec)?;
+        if entries.len() != cfg.population {
+            return Err(PersistError::schema("checkpointed population size mismatch"));
+        }
+        if entries.iter().any(|(_, o)| o.len() != m) {
+            return Err(PersistError::schema("checkpointed objective dimensionality mismatch"));
+        }
+        let (solutions, objectives): (Vec<_>, Vec<_>) = entries.into_iter().unzip();
+        let z = ReferencePoint::restore(value.field("z")?)?;
+        let normalizer = Normalizer::restore(value.field("normalizer")?)?;
+        if z.len() != m || normalizer.len() != m {
+            return Err(PersistError::schema(
+                "checkpointed reference/normalizer dimension mismatch",
+            ));
+        }
+        let weights = uniform_weights(cfg.population, m);
+        let nbhd = neighborhoods(&weights, cfg.neighborhood);
+        Ok(MoeadState {
+            evaluator: ParallelEvaluator::new(cfg.threads),
+            config: cfg,
+            problem: self.problem,
+            start_time: Instant::now().checked_sub(elapsed).unwrap_or_else(Instant::now),
+            evaluations: value.field("evaluations")?.as_u64()?,
+            recorder: TraceRecorder::restore(value.field("recorder")?)?,
+            weights,
+            nbhd,
+            z,
+            normalizer,
+            solutions,
+            objectives,
+            generation: value.field("generation")?.as_usize()?,
+            finished: value.field("finished")?.as_bool()?,
+        })
+    }
+}
 
-            let child_objs_batch = evaluator.evaluate(self.problem, &children);
-            evaluations += children.len() as u64;
-            for ((child, child_objs), pool) in children.iter().zip(&child_objs_batch).zip(&pools) {
-                z.update(child_objs);
-                normalizer.observe(child_objs);
-                recorder.observe(child_objs);
+/// A MOEA/D run in progress, checkpointable between generations.
+#[derive(Debug)]
+pub struct MoeadState<'p, P: Problem> {
+    config: MoeadConfig,
+    problem: &'p P,
+    evaluator: ParallelEvaluator,
+    start_time: Instant,
+    evaluations: u64,
+    recorder: TraceRecorder,
+    weights: Vec<Vec<f64>>,
+    nbhd: Vec<Vec<usize>>,
+    z: ReferencePoint,
+    normalizer: Normalizer,
+    solutions: Vec<P::Solution>,
+    objectives: Vec<Vec<f64>>,
+    generation: usize,
+    finished: bool,
+}
 
-                let g = |objs: &[f64], w: &[f64]| {
-                    Scalarizer::Tchebycheff.value(
-                        &normalizer.normalize(objs),
-                        w,
-                        &normalizer.normalize(z.values()),
-                    )
-                };
-                let mut replaced = 0;
-                for &j in pool {
-                    if replaced >= cfg.max_replacements {
-                        break;
-                    }
-                    if g(child_objs, &weights[j]) < g(&objectives[j], &weights[j]) {
-                        solutions[j] = child.clone();
-                        objectives[j] = child_objs.clone();
-                        replaced += 1;
-                    }
+impl<'p, P> MoeadState<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
+    /// Completed generations.
+    pub fn completed(&self) -> u64 {
+        self.generation as u64
+    }
+
+    /// Objective evaluations paid for so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Executes one generation. Returns `false` — drawing no RNG values —
+    /// once the run has finished.
+    pub fn step(&mut self, rng: &mut dyn RngCore) -> bool {
+        if self.finished || self.generation >= self.config.generations {
+            self.finished = true;
+            return false;
+        }
+        let cfg = &self.config;
+        let generation = self.generation;
+        if cfg.time_budget.is_some_and(|cap| self.start_time.elapsed() >= cap) {
+            self.finished = true;
+            return false;
+        }
+        // Cap the generation to the remaining evaluation budget; a short
+        // (partial) generation is still evaluated, applied, and recorded
+        // before stopping, so the trace accounts for every evaluation.
+        let remaining =
+            cfg.max_evaluations.map_or(u64::MAX, |cap| cap.saturating_sub(self.evaluations));
+        if remaining == 0 {
+            self.finished = true;
+            return false;
+        }
+        let mut order: Vec<usize> = (0..cfg.population).collect();
+        order.shuffle(rng);
+        order.truncate(remaining.min(cfg.population as u64) as usize);
+        let partial = order.len() < cfg.population;
+
+        let mut children: Vec<P::Solution> = Vec::with_capacity(order.len());
+        let mut pools: Vec<Vec<usize>> = Vec::with_capacity(order.len());
+        for &i in &order {
+            let whole: Vec<usize>;
+            let pool: &[usize] = if rng.gen_bool(cfg.delta) {
+                &self.nbhd[i]
+            } else {
+                whole = (0..cfg.population).collect();
+                &whole
+            };
+            let pa = pool[rng.gen_range(0..pool.len())];
+            let child = if pool.len() < 2 {
+                // A one-element pool cannot supply a distinct second
+                // parent; mutate instead of self-mating.
+                self.problem.neighbor(&self.solutions[pa], rng)
+            } else {
+                let mut pb = pool[rng.gen_range(0..pool.len())];
+                if pb == pa {
+                    pb = pool[(pool.iter().position(|&x| x == pa).expect("pa in pool") + 1)
+                        % pool.len()];
+                }
+                self.problem.crossover(&self.solutions[pa], &self.solutions[pb], rng)
+            };
+            children.push(child);
+            pools.push(pool.to_vec());
+        }
+
+        let child_objs_batch = self.evaluator.evaluate(self.problem, &children);
+        self.evaluations += children.len() as u64;
+        for ((child, child_objs), pool) in children.iter().zip(&child_objs_batch).zip(&pools) {
+            self.z.update(child_objs);
+            self.normalizer.observe(child_objs);
+            self.recorder.observe(child_objs);
+
+            let g = |objs: &[f64], w: &[f64]| {
+                Scalarizer::Tchebycheff.value(
+                    &self.normalizer.normalize(objs),
+                    w,
+                    &self.normalizer.normalize(self.z.values()),
+                )
+            };
+            let mut replaced = 0;
+            for &j in pool {
+                if replaced >= cfg.max_replacements {
+                    break;
+                }
+                if g(child_objs, &self.weights[j]) < g(&self.objectives[j], &self.weights[j]) {
+                    self.solutions[j] = child.clone();
+                    self.objectives[j] = child_objs.clone();
+                    replaced += 1;
                 }
             }
-            recorder.record(generation + 1, evaluations, start_time.elapsed(), &objectives);
-            if partial {
-                break 'outer;
-            }
         }
+        self.recorder.record(
+            generation + 1,
+            self.evaluations,
+            self.start_time.elapsed(),
+            &self.objectives,
+        );
+        self.generation = generation + 1;
+        if partial {
+            self.finished = true;
+            return false;
+        }
+        true
+    }
 
+    /// Consumes the state, producing the final result.
+    pub fn finish(self) -> RunResult<P::Solution> {
         RunResult {
-            population: solutions.into_iter().zip(objectives).collect(),
-            trace: recorder.into_points(),
-            evaluations,
-            elapsed: start_time.elapsed(),
+            population: self.solutions.into_iter().zip(self.objectives).collect(),
+            trace: self.recorder.into_points(),
+            evaluations: self.evaluations,
+            elapsed: self.start_time.elapsed(),
         }
+    }
+
+    /// Captures the complete optimizer state (the RNG is checkpointed by
+    /// the driver alongside).
+    pub fn snapshot_state<C: SolutionCodec<P::Solution>>(&self, codec: &C) -> Value {
+        let entries: Vec<(P::Solution, Vec<f64>)> =
+            self.solutions.iter().cloned().zip(self.objectives.iter().cloned()).collect();
+        Value::object(vec![
+            ("generation", Value::U64(self.generation as u64)),
+            ("finished", Value::Bool(self.finished)),
+            ("evaluations", Value::U64(self.evaluations)),
+            ("recorder", self.recorder.snapshot()),
+            ("population", entries_to_value(&entries, codec)),
+            ("z", self.z.snapshot()),
+            ("normalizer", self.normalizer.snapshot()),
+        ])
+    }
+}
+
+impl<'p, P, C> Resumable<C> for MoeadState<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+    C: SolutionCodec<P::Solution>,
+{
+    type Solution = P::Solution;
+
+    fn completed(&self) -> u64 {
+        MoeadState::completed(self)
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) -> bool {
+        MoeadState::step(self, rng)
+    }
+
+    fn snapshot_state(&self, codec: &C) -> Value {
+        MoeadState::snapshot_state(self, codec)
+    }
+
+    fn finish(self) -> RunResult<P::Solution> {
+        MoeadState::finish(self)
     }
 }
 
@@ -229,6 +401,7 @@ mod tests {
     use super::*;
     use moela_moo::metrics::igd;
     use moela_moo::problems::Zdt;
+    use moela_persist::VecF64Codec;
     use rand::SeedableRng;
 
     fn rng(seed: u64) -> rand::rngs::StdRng {
@@ -307,5 +480,46 @@ mod tests {
     fn oversized_neighborhood_is_rejected() {
         let problem = Zdt::zdt1(4);
         Moead::new(MoeadConfig { population: 5, neighborhood: 6, ..Default::default() }, &problem);
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_at_every_boundary() {
+        let problem = Zdt::zdt2(8);
+        let config = MoeadConfig { population: 10, generations: 6, ..Default::default() };
+        let moead = Moead::new(config.clone(), &problem);
+        let baseline = Moead::new(config, &problem).run(&mut rng(31));
+
+        for boundary in 0..6u64 {
+            let mut r = rng(31);
+            let mut state = moead.start(&mut r);
+            while state.completed() < boundary && state.step(&mut r) {}
+            let snap = state.snapshot_state(&VecF64Codec);
+            let mut r2 = rand::rngs::StdRng::from_state(r.state());
+            let mut resumed = moead.restore(&VecF64Codec, &snap, Duration::ZERO).expect("restore");
+            while resumed.step(&mut r2) {}
+            let out = resumed.finish();
+            assert_eq!(out.population, baseline.population, "boundary {boundary}");
+            assert_eq!(out.evaluations, baseline.evaluations);
+            let trace = |r: &RunResult<Vec<f64>>| -> Vec<(usize, u64, f64)> {
+                r.trace.iter().map(|p| (p.generation, p.evaluations, p.phv)).collect()
+            };
+            assert_eq!(trace(&out), trace(&baseline), "boundary {boundary}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_population_size_mismatch() {
+        let problem = Zdt::zdt1(6);
+        let config =
+            MoeadConfig { population: 8, neighborhood: 4, generations: 3, ..Default::default() };
+        let moead = Moead::new(config, &problem);
+        let mut r = rng(1);
+        let state = moead.start(&mut r);
+        let snap = state.snapshot_state(&VecF64Codec);
+        let other = Moead::new(
+            MoeadConfig { population: 12, neighborhood: 4, generations: 3, ..Default::default() },
+            &problem,
+        );
+        assert!(other.restore(&VecF64Codec, &snap, Duration::ZERO).is_err());
     }
 }

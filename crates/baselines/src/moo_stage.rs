@@ -14,6 +14,9 @@
 //! * the **meta search** hill-climbs on `Eval`'s *predictions* (no real
 //!   evaluations) from the end of the last trajectory to propose the next
 //!   start; when the meta search stalls, the next start is random.
+//!
+//! The run loop is exposed as a checkpointable state machine
+//! ([`MooStageState`], one step per episode).
 
 use std::time::{Duration, Instant};
 
@@ -21,9 +24,12 @@ use rand::RngCore;
 
 use moela_ml::{Dataset, ForestConfig, RandomForest};
 use moela_moo::archive::ParetoArchive;
+use moela_moo::checkpoint::Resumable;
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
+use moela_moo::snapshot::{archive_from_value, archive_to_value};
 use moela_moo::{ParallelEvaluator, Problem};
+use moela_persist::{PersistError, Restore, Snapshot, SolutionCodec, Value};
 
 use crate::common::normalized_phv;
 
@@ -123,8 +129,16 @@ where
     /// for every thread count (the archive only changes after the step's
     /// best candidate is chosen).
     pub fn run(&self, rng: &mut impl RngCore) -> RunResult<P::Solution> {
-        let mut rng: &mut dyn RngCore = rng;
-        let cfg = &self.config;
+        let rng: &mut dyn RngCore = rng;
+        let mut state = self.start(rng);
+        while state.step(rng) {}
+        state.finish()
+    }
+
+    /// Initializes a run (the seeded archive + episode-0 trace point) as
+    /// a steppable state machine.
+    pub fn start(&self, rng: &mut dyn RngCore) -> MooStageState<'p, P> {
+        let cfg = self.config.clone();
         let m = self.problem.objective_count();
         let start_time = Instant::now();
         let evaluator = ParallelEvaluator::new(cfg.threads);
@@ -136,11 +150,9 @@ where
 
         let mut archive: ParetoArchive<P::Solution> = ParetoArchive::bounded(cfg.archive_cap);
         let mut normalizer = Normalizer::new(m);
-        let mut train = Dataset::with_capacity(10_000);
-        let mut eval_fn: Option<RandomForest> = None;
 
         // Initial random start.
-        let mut start = self.problem.random_solution(rng);
+        let start = self.problem.random_solution(rng);
         let start_objs = self.problem.evaluate(&start);
         evaluations += 1;
         normalizer.observe(&start_objs);
@@ -148,103 +160,251 @@ where
         archive.insert(start.clone(), start_objs);
         recorder.record(0, evaluations, start_time.elapsed(), &archive.objectives());
 
-        let budget_left = |evaluations: u64| {
-            cfg.max_evaluations.is_none_or(|cap| evaluations < cap)
-                && cfg.time_budget.is_none_or(|cap| start_time.elapsed() < cap)
+        MooStageState {
+            config: cfg,
+            problem: self.problem,
+            evaluator,
+            start_time,
+            evaluations,
+            recorder,
+            archive,
+            normalizer,
+            train: Dataset::with_capacity(10_000),
+            eval_fn: None,
+            start,
+            episode: 0,
+            finished: false,
+        }
+    }
+
+    /// Rebuilds a mid-run state from a [`MooStageState::snapshot_state`]
+    /// value, with `elapsed` wall-clock time already consumed.
+    pub fn restore<C: SolutionCodec<P::Solution>>(
+        &self,
+        codec: &C,
+        value: &Value,
+        elapsed: Duration,
+    ) -> Result<MooStageState<'p, P>, PersistError> {
+        let cfg = self.config.clone();
+        let m = self.problem.objective_count();
+        let normalizer = Normalizer::restore(value.field("normalizer")?)?;
+        if normalizer.len() != m {
+            return Err(PersistError::schema("checkpointed normalizer dimension mismatch"));
+        }
+        let eval_fn = match value.field("eval_fn")? {
+            Value::Null => None,
+            v => Some(RandomForest::restore(v)?),
+        };
+        Ok(MooStageState {
+            evaluator: ParallelEvaluator::new(cfg.threads),
+            config: cfg,
+            problem: self.problem,
+            start_time: Instant::now().checked_sub(elapsed).unwrap_or_else(Instant::now),
+            evaluations: value.field("evaluations")?.as_u64()?,
+            recorder: TraceRecorder::restore(value.field("recorder")?)?,
+            archive: archive_from_value(value.field("archive")?, codec)?,
+            normalizer,
+            train: Dataset::restore(value.field("train")?)?,
+            eval_fn,
+            start: codec.decode_solution(value.field("start")?)?,
+            episode: value.field("episode")?.as_usize()?,
+            finished: value.field("finished")?.as_bool()?,
+        })
+    }
+}
+
+/// A MOO-STAGE run in progress, checkpointable between episodes.
+#[derive(Debug)]
+pub struct MooStageState<'p, P: Problem> {
+    config: MooStageConfig,
+    problem: &'p P,
+    evaluator: ParallelEvaluator,
+    start_time: Instant,
+    evaluations: u64,
+    recorder: TraceRecorder,
+    archive: ParetoArchive<P::Solution>,
+    normalizer: Normalizer,
+    train: Dataset,
+    eval_fn: Option<RandomForest>,
+    /// The next episode's base-search start, carried across episodes.
+    start: P::Solution,
+    episode: usize,
+    finished: bool,
+}
+
+impl<'p, P> MooStageState<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
+    /// Completed episodes.
+    pub fn completed(&self) -> u64 {
+        self.episode as u64
+    }
+
+    /// Objective evaluations paid for so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    fn budget_left(&self) -> bool {
+        self.config.max_evaluations.is_none_or(|cap| self.evaluations < cap)
+            && self.config.time_budget.is_none_or(|cap| self.start_time.elapsed() < cap)
+    }
+
+    /// Executes one episode. Returns `false` — drawing no RNG values —
+    /// once the run has finished.
+    pub fn step(&mut self, rng: &mut dyn RngCore) -> bool {
+        let mut rng = rng;
+        if self.finished || self.episode >= self.config.episodes {
+            self.finished = true;
+            return false;
+        }
+        if !self.budget_left() {
+            self.finished = true;
+            return false;
+        }
+        let episode = self.episode;
+        let cfg = self.config.clone();
+
+        // --- Base search: PHV-greedy hill climb ---------------------
+        const PATIENCE: usize = 3;
+        let mut current = self.start.clone();
+        let mut current_phv = normalized_phv(&self.archive.objectives(), &self.normalizer);
+        let mut trajectory: Vec<Vec<f64>> = vec![self.problem.features(&current)];
+        let mut stalls = 0usize;
+        for _ in 0..cfg.ls_max_steps {
+            let candidates: Vec<P::Solution> = (0..cfg.ls_neighbors_per_step)
+                .map(|_| self.problem.neighbor(&current, rng))
+                .collect();
+            let objective_batch = self.evaluator.evaluate(self.problem, &candidates);
+            self.evaluations += candidates.len() as u64;
+            let mut best: Option<(P::Solution, Vec<f64>, f64)> = None;
+            for (cand, objs) in candidates.into_iter().zip(objective_batch) {
+                self.normalizer.observe(&objs);
+                self.recorder.observe(&objs);
+                // PHV potential: archive HV if this design joined.
+                let mut with = self.archive.objectives();
+                with.push(objs.clone());
+                let potential = normalized_phv(&with, &self.normalizer);
+                if best.as_ref().is_none_or(|(_, _, bp)| potential > *bp) {
+                    best = Some((cand, objs, potential));
+                }
+            }
+            match best {
+                Some((cand, objs, potential)) if potential > current_phv + 1e-12 => {
+                    self.archive.insert(cand.clone(), objs);
+                    current = cand;
+                    current_phv = potential;
+                    trajectory.push(self.problem.features(&current));
+                    stalls = 0;
+                }
+                _ => {
+                    stalls += 1;
+                    if stalls >= PATIENCE {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // --- Label the trajectory and retrain Eval ------------------
+        let final_phv = normalized_phv(&self.archive.objectives(), &self.normalizer);
+        for features in trajectory {
+            // STAGE regresses the *outcome* onto every visited state;
+            // negate so lower predictions mean better starts, matching
+            // the random-forest consumers elsewhere in the workspace.
+            self.train.push(features, -final_phv);
+        }
+        if self.train.len() >= 8 {
+            self.eval_fn = Some(RandomForest::fit(&self.train, &cfg.forest, &mut rng));
+        }
+
+        // --- Meta search on predicted Eval --------------------------
+        self.start = match &self.eval_fn {
+            Some(model) => {
+                let mut meta = current.clone();
+                let mut meta_score = model.predict(&self.problem.features(&meta));
+                let mut moved = false;
+                for _ in 0..cfg.meta_steps {
+                    let cand = self.problem.neighbor(&meta, rng);
+                    let score = model.predict(&self.problem.features(&cand));
+                    if score < meta_score {
+                        meta = cand;
+                        meta_score = score;
+                        moved = true;
+                    }
+                }
+                if moved {
+                    meta
+                } else {
+                    // STAGE restarts randomly when the meta search
+                    // cannot escape the current basin.
+                    self.problem.random_solution(rng)
+                }
+            }
+            None => self.problem.random_solution(rng),
         };
 
-        for episode in 0..cfg.episodes {
-            if !budget_left(evaluations) {
-                break;
-            }
-            // --- Base search: PHV-greedy hill climb ---------------------
-            const PATIENCE: usize = 3;
-            let mut current = start.clone();
-            let mut current_phv = normalized_phv(&archive.objectives(), &normalizer);
-            let mut trajectory: Vec<Vec<f64>> = vec![self.problem.features(&current)];
-            let mut stalls = 0usize;
-            for _ in 0..cfg.ls_max_steps {
-                let candidates: Vec<P::Solution> = (0..cfg.ls_neighbors_per_step)
-                    .map(|_| self.problem.neighbor(&current, rng))
-                    .collect();
-                let objective_batch = evaluator.evaluate(self.problem, &candidates);
-                evaluations += candidates.len() as u64;
-                let mut best: Option<(P::Solution, Vec<f64>, f64)> = None;
-                for (cand, objs) in candidates.into_iter().zip(objective_batch) {
-                    normalizer.observe(&objs);
-                    recorder.observe(&objs);
-                    // PHV potential: archive HV if this design joined.
-                    let mut with = archive.objectives();
-                    with.push(objs.clone());
-                    let potential = normalized_phv(&with, &normalizer);
-                    if best.as_ref().is_none_or(|(_, _, bp)| potential > *bp) {
-                        best = Some((cand, objs, potential));
-                    }
-                }
-                match best {
-                    Some((cand, objs, potential)) if potential > current_phv + 1e-12 => {
-                        archive.insert(cand.clone(), objs);
-                        current = cand;
-                        current_phv = potential;
-                        trajectory.push(self.problem.features(&current));
-                        stalls = 0;
-                    }
-                    _ => {
-                        stalls += 1;
-                        if stalls >= PATIENCE {
-                            break;
-                        }
-                    }
-                }
-            }
+        self.recorder.record(
+            episode + 1,
+            self.evaluations,
+            self.start_time.elapsed(),
+            &self.archive.objectives(),
+        );
+        self.episode = episode + 1;
+        true
+    }
 
-            // --- Label the trajectory and retrain Eval ------------------
-            let final_phv = normalized_phv(&archive.objectives(), &normalizer);
-            for features in trajectory {
-                // STAGE regresses the *outcome* onto every visited state;
-                // negate so lower predictions mean better starts, matching
-                // the random-forest consumers elsewhere in the workspace.
-                train.push(features, -final_phv);
-            }
-            if train.len() >= 8 {
-                eval_fn = Some(RandomForest::fit(&train, &cfg.forest, &mut rng));
-            }
-
-            // --- Meta search on predicted Eval --------------------------
-            start = match &eval_fn {
-                Some(model) => {
-                    let mut meta = current.clone();
-                    let mut meta_score = model.predict(&self.problem.features(&meta));
-                    let mut moved = false;
-                    for _ in 0..cfg.meta_steps {
-                        let cand = self.problem.neighbor(&meta, rng);
-                        let score = model.predict(&self.problem.features(&cand));
-                        if score < meta_score {
-                            meta = cand;
-                            meta_score = score;
-                            moved = true;
-                        }
-                    }
-                    if moved {
-                        meta
-                    } else {
-                        // STAGE restarts randomly when the meta search
-                        // cannot escape the current basin.
-                        self.problem.random_solution(rng)
-                    }
-                }
-                None => self.problem.random_solution(rng),
-            };
-
-            recorder.record(episode + 1, evaluations, start_time.elapsed(), &archive.objectives());
-        }
-
+    /// Consumes the state, producing the final result.
+    pub fn finish(self) -> RunResult<P::Solution> {
         RunResult {
-            population: archive.into_entries(),
-            trace: recorder.into_points(),
-            evaluations,
-            elapsed: start_time.elapsed(),
+            population: self.archive.into_entries(),
+            trace: self.recorder.into_points(),
+            evaluations: self.evaluations,
+            elapsed: self.start_time.elapsed(),
         }
+    }
+
+    /// Captures the complete optimizer state (the RNG is checkpointed by
+    /// the driver alongside).
+    pub fn snapshot_state<C: SolutionCodec<P::Solution>>(&self, codec: &C) -> Value {
+        Value::object(vec![
+            ("episode", Value::U64(self.episode as u64)),
+            ("finished", Value::Bool(self.finished)),
+            ("evaluations", Value::U64(self.evaluations)),
+            ("recorder", self.recorder.snapshot()),
+            ("archive", archive_to_value(&self.archive, codec)),
+            ("normalizer", self.normalizer.snapshot()),
+            ("train", self.train.snapshot()),
+            ("eval_fn", self.eval_fn.as_ref().map_or(Value::Null, Snapshot::snapshot)),
+            ("start", codec.encode_solution(&self.start)),
+        ])
+    }
+}
+
+impl<'p, P, C> Resumable<C> for MooStageState<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+    C: SolutionCodec<P::Solution>,
+{
+    type Solution = P::Solution;
+
+    fn completed(&self) -> u64 {
+        MooStageState::completed(self)
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) -> bool {
+        MooStageState::step(self, rng)
+    }
+
+    fn snapshot_state(&self, codec: &C) -> Value {
+        MooStageState::snapshot_state(self, codec)
+    }
+
+    fn finish(self) -> RunResult<P::Solution> {
+        MooStageState::finish(self)
     }
 }
 
@@ -253,6 +413,7 @@ mod tests {
     use super::*;
     use moela_moo::metrics::igd;
     use moela_moo::problems::Zdt;
+    use moela_persist::VecF64Codec;
     use rand::SeedableRng;
 
     fn rng(seed: u64) -> rand::rngs::StdRng {
@@ -315,5 +476,35 @@ mod tests {
             r.population.iter().map(|(_, o)| o.clone()).collect()
         };
         assert_eq!(objs(&parallel), objs(&sequential));
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_at_every_boundary() {
+        // Enough episodes that the meta search runs both with and without
+        // a fitted Eval model across the resume boundary.
+        let problem = Zdt::zdt1(8);
+        let config = MooStageConfig { episodes: 7, ..Default::default() };
+        let stage = MooStage::new(config.clone(), &problem);
+        let baseline = MooStage::new(config, &problem).run(&mut rng(61));
+
+        for boundary in [0u64, 1, 3, 6] {
+            let mut r = rng(61);
+            let mut state = stage.start(&mut r);
+            while state.completed() < boundary && state.step(&mut r) {}
+            let snap = state.snapshot_state(&VecF64Codec);
+            let mut r2 = rand::rngs::StdRng::from_state(r.state());
+            let mut resumed = stage.restore(&VecF64Codec, &snap, Duration::ZERO).expect("restore");
+            while resumed.step(&mut r2) {}
+            let out = resumed.finish();
+            assert_eq!(out.evaluations, baseline.evaluations, "boundary {boundary}");
+            let objs = |r: &RunResult<Vec<f64>>| -> Vec<Vec<f64>> {
+                r.population.iter().map(|(_, o)| o.clone()).collect()
+            };
+            assert_eq!(objs(&out), objs(&baseline), "boundary {boundary}");
+            let trace = |r: &RunResult<Vec<f64>>| -> Vec<(usize, u64, f64)> {
+                r.trace.iter().map(|p| (p.generation, p.evaluations, p.phv)).collect()
+            };
+            assert_eq!(trace(&out), trace(&baseline), "boundary {boundary}");
+        }
     }
 }

@@ -16,6 +16,9 @@
 //! The PHV-gain labels are exactly the "costly PHV calculations" MOELA's
 //! §IV.A criticizes — they are recomputed after every episode here, which
 //! is faithful to MOOS and is what the speed comparison measures.
+//!
+//! The run loop is exposed as a checkpointable state machine
+//! ([`MoosState`], one step per episode).
 
 use std::time::{Duration, Instant};
 
@@ -23,11 +26,14 @@ use rand::{Rng, RngCore};
 
 use moela_ml::{Dataset, ForestConfig, RandomForest};
 use moela_moo::archive::ParetoArchive;
+use moela_moo::checkpoint::Resumable;
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
 use moela_moo::scalarize::ReferencePoint;
+use moela_moo::snapshot::{archive_from_value, archive_to_value};
 use moela_moo::weights::uniform_weights;
 use moela_moo::{ParallelEvaluator, Problem};
+use moela_persist::{PersistError, Restore, Snapshot, SolutionCodec, Value};
 
 use crate::common::{normalized_phv, weighted_descent};
 
@@ -130,8 +136,16 @@ where
     /// [`ParallelEvaluator`] sized by [`MoosConfig::threads`] — results
     /// are bit-identical for every thread count.
     pub fn run(&self, rng: &mut impl RngCore) -> RunResult<P::Solution> {
-        let mut rng: &mut dyn RngCore = rng;
-        let cfg = &self.config;
+        let rng: &mut dyn RngCore = rng;
+        let mut state = self.start(rng);
+        while state.step(rng) {}
+        state.finish()
+    }
+
+    /// Initializes a run (the seeded archive + episode-0 trace point) as
+    /// a steppable state machine.
+    pub fn start(&self, rng: &mut dyn RngCore) -> MoosState<'p, P> {
+        let cfg = self.config.clone();
         let m = self.problem.objective_count();
         let start_time = Instant::now();
         let evaluator = ParallelEvaluator::new(cfg.threads);
@@ -141,7 +155,6 @@ where
             None => TraceRecorder::new(m),
         };
 
-        let directions = uniform_weights(cfg.directions, m);
         let mut archive: ParetoArchive<P::Solution> = ParetoArchive::bounded(cfg.archive_cap);
         let mut z = ReferencePoint::new(m);
         let mut normalizer = Normalizer::new(m);
@@ -158,102 +171,251 @@ where
         }
         recorder.record(0, evaluations, start_time.elapsed(), &archive.objectives());
 
-        let mut train = Dataset::with_capacity(10_000);
-        let mut gain_model: Option<RandomForest> = None;
+        MoosState {
+            config: cfg,
+            problem: self.problem,
+            evaluator,
+            start_time,
+            evaluations,
+            recorder,
+            archive,
+            z,
+            normalizer,
+            train: Dataset::with_capacity(10_000),
+            gain_model: None,
+            episode: 0,
+            finished: false,
+        }
+    }
 
-        let budget_left = |evaluations: u64| {
-            cfg.max_evaluations.is_none_or(|cap| evaluations < cap)
-                && cfg.time_budget.is_none_or(|cap| start_time.elapsed() < cap)
+    /// Rebuilds a mid-run state from a [`MoosState::snapshot_state`]
+    /// value, with `elapsed` wall-clock time already consumed.
+    pub fn restore<C: SolutionCodec<P::Solution>>(
+        &self,
+        codec: &C,
+        value: &Value,
+        elapsed: Duration,
+    ) -> Result<MoosState<'p, P>, PersistError> {
+        let cfg = self.config.clone();
+        let m = self.problem.objective_count();
+        let archive = archive_from_value(value.field("archive")?, codec)?;
+        let z = ReferencePoint::restore(value.field("z")?)?;
+        let normalizer = Normalizer::restore(value.field("normalizer")?)?;
+        if z.len() != m || normalizer.len() != m {
+            return Err(PersistError::schema(
+                "checkpointed reference/normalizer dimension mismatch",
+            ));
+        }
+        let gain_model = match value.field("gain_model")? {
+            Value::Null => None,
+            v => Some(RandomForest::restore(v)?),
         };
+        Ok(MoosState {
+            evaluator: ParallelEvaluator::new(cfg.threads),
+            config: cfg,
+            problem: self.problem,
+            start_time: Instant::now().checked_sub(elapsed).unwrap_or_else(Instant::now),
+            evaluations: value.field("evaluations")?.as_u64()?,
+            recorder: TraceRecorder::restore(value.field("recorder")?)?,
+            archive,
+            z,
+            normalizer,
+            train: Dataset::restore(value.field("train")?)?,
+            gain_model,
+            episode: value.field("episode")?.as_usize()?,
+            finished: value.field("finished")?.as_bool()?,
+        })
+    }
+}
 
-        for episode in 0..cfg.episodes {
-            if !budget_left(evaluations) {
-                break;
-            }
-            // --- Pick (start, direction) --------------------------------
-            let entries = archive.entries_view();
-            // Keep the exact short-circuit order (the ε draw must only
-            // happen past warm-up with a model), so a `match` rewrite
-            // would change the RNG stream.
-            #[allow(clippy::unnecessary_unwrap)]
-            let (start, start_objs, weight) =
-                if episode < cfg.warmup || gain_model.is_none() || rng.gen_bool(cfg.epsilon) {
-                    // Exploration: half the time restart from a fresh random
-                    // design (archive members are locally exhausted), half the
-                    // time re-descend an archive member in a random direction.
-                    let w = directions[rng.gen_range(0..directions.len())].clone();
-                    if rng.gen_bool(0.5) {
-                        let s = self.problem.random_solution(rng);
-                        let o = self.problem.evaluate(&s);
-                        evaluations += 1;
-                        z.update(&o);
-                        normalizer.observe(&o);
-                        recorder.observe(&o);
-                        archive.insert(s.clone(), o.clone());
-                        (s, o, w)
-                    } else {
-                        let (s, o) = &entries[rng.gen_range(0..entries.len())];
-                        (s.clone(), o.clone(), w)
-                    }
+/// A MOOS run in progress, checkpointable between episodes.
+#[derive(Debug)]
+pub struct MoosState<'p, P: Problem> {
+    config: MoosConfig,
+    problem: &'p P,
+    evaluator: ParallelEvaluator,
+    start_time: Instant,
+    evaluations: u64,
+    recorder: TraceRecorder,
+    archive: ParetoArchive<P::Solution>,
+    z: ReferencePoint,
+    normalizer: Normalizer,
+    train: Dataset,
+    gain_model: Option<RandomForest>,
+    episode: usize,
+    finished: bool,
+}
+
+impl<'p, P> MoosState<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
+    /// Completed episodes.
+    pub fn completed(&self) -> u64 {
+        self.episode as u64
+    }
+
+    /// Objective evaluations paid for so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    fn budget_left(&self) -> bool {
+        self.config.max_evaluations.is_none_or(|cap| self.evaluations < cap)
+            && self.config.time_budget.is_none_or(|cap| self.start_time.elapsed() < cap)
+    }
+
+    /// Executes one episode. Returns `false` — drawing no RNG values —
+    /// once the run has finished.
+    pub fn step(&mut self, rng: &mut dyn RngCore) -> bool {
+        let mut rng = rng;
+        if self.finished || self.episode >= self.config.episodes {
+            self.finished = true;
+            return false;
+        }
+        if !self.budget_left() {
+            self.finished = true;
+            return false;
+        }
+        let episode = self.episode;
+        let cfg = self.config.clone();
+        let directions = uniform_weights(cfg.directions, self.problem.objective_count());
+
+        // --- Pick (start, direction) --------------------------------
+        let entries = self.archive.entries_view();
+        // Keep the exact short-circuit order (the ε draw must only
+        // happen past warm-up with a model), so a `match` rewrite
+        // would change the RNG stream.
+        #[allow(clippy::unnecessary_unwrap)]
+        let (start, start_objs, weight) =
+            if episode < cfg.warmup || self.gain_model.is_none() || rng.gen_bool(cfg.epsilon) {
+                // Exploration: half the time restart from a fresh random
+                // design (archive members are locally exhausted), half the
+                // time re-descend an archive member in a random direction.
+                let w = directions[rng.gen_range(0..directions.len())].clone();
+                if rng.gen_bool(0.5) {
+                    let s = self.problem.random_solution(rng);
+                    let o = self.problem.evaluate(&s);
+                    self.evaluations += 1;
+                    self.z.update(&o);
+                    self.normalizer.observe(&o);
+                    self.recorder.observe(&o);
+                    self.archive.insert(s.clone(), o.clone());
+                    (s, o, w)
                 } else {
-                    let model = gain_model.as_ref().expect("checked above");
-                    let mut best: Option<(usize, usize, f64)> = None;
-                    for (si, (s, _)) in entries.iter().enumerate() {
-                        let f_base = self.problem.features(s);
-                        for (di, d) in directions.iter().enumerate() {
-                            let mut f = f_base.clone();
-                            f.extend_from_slice(d);
-                            let pred = model.predict(&f);
-                            if best.is_none_or(|(_, _, bp)| pred > bp) {
-                                best = Some((si, di, pred));
-                            }
+                    let (s, o) = &entries[rng.gen_range(0..entries.len())];
+                    (s.clone(), o.clone(), w)
+                }
+            } else {
+                let model = self.gain_model.as_ref().expect("checked above");
+                let mut best: Option<(usize, usize, f64)> = None;
+                for (si, (s, _)) in entries.iter().enumerate() {
+                    let f_base = self.problem.features(s);
+                    for (di, d) in directions.iter().enumerate() {
+                        let mut f = f_base.clone();
+                        f.extend_from_slice(d);
+                        let pred = model.predict(&f);
+                        if best.is_none_or(|(_, _, bp)| pred > bp) {
+                            best = Some((si, di, pred));
                         }
                     }
-                    let (si, di, _) = best.expect("archive is non-empty");
-                    let (s, o) = &entries[si];
-                    (s.clone(), o.clone(), directions[di].clone())
-                };
+                }
+                let (si, di, _) = best.expect("archive is non-empty");
+                let (s, o) = &entries[si];
+                (s.clone(), o.clone(), directions[di].clone())
+            };
 
-            // --- Episode: descend and archive ---------------------------
-            let phv_before = normalized_phv(&archive.objectives(), &normalizer);
-            let (accepted, spent) = weighted_descent(
-                self.problem,
-                &start,
-                &start_objs,
-                &weight,
-                z.values(),
-                &normalizer,
-                cfg.ls_max_steps,
-                cfg.ls_neighbors_per_step,
-                &evaluator,
-                rng,
-            );
-            evaluations += spent;
-            for (s, o) in accepted {
-                z.update(&o);
-                normalizer.observe(&o);
-                recorder.observe(&o);
-                archive.insert(s, o);
-            }
-            let phv_after = normalized_phv(&archive.objectives(), &normalizer);
+        // --- Episode: descend and archive ---------------------------
+        let phv_before = normalized_phv(&self.archive.objectives(), &self.normalizer);
+        let (accepted, spent) = weighted_descent(
+            self.problem,
+            &start,
+            &start_objs,
+            &weight,
+            self.z.values(),
+            &self.normalizer,
+            cfg.ls_max_steps,
+            cfg.ls_neighbors_per_step,
+            &self.evaluator,
+            rng,
+        );
+        self.evaluations += spent;
+        for (s, o) in accepted {
+            self.z.update(&o);
+            self.normalizer.observe(&o);
+            self.recorder.observe(&o);
+            self.archive.insert(s, o);
+        }
+        let phv_after = normalized_phv(&self.archive.objectives(), &self.normalizer);
 
-            // --- Learn the gain ----------------------------------------
-            let mut features = self.problem.features(&start);
-            features.extend_from_slice(&weight);
-            train.push(features, phv_after - phv_before);
-            if episode + 1 >= cfg.warmup && train.len() >= 8 {
-                gain_model = Some(RandomForest::fit(&train, &cfg.forest, &mut rng));
-            }
-
-            recorder.record(episode + 1, evaluations, start_time.elapsed(), &archive.objectives());
+        // --- Learn the gain ----------------------------------------
+        let mut features = self.problem.features(&start);
+        features.extend_from_slice(&weight);
+        self.train.push(features, phv_after - phv_before);
+        if episode + 1 >= cfg.warmup && self.train.len() >= 8 {
+            self.gain_model = Some(RandomForest::fit(&self.train, &cfg.forest, &mut rng));
         }
 
+        self.recorder.record(
+            episode + 1,
+            self.evaluations,
+            self.start_time.elapsed(),
+            &self.archive.objectives(),
+        );
+        self.episode = episode + 1;
+        true
+    }
+
+    /// Consumes the state, producing the final result.
+    pub fn finish(self) -> RunResult<P::Solution> {
         RunResult {
-            population: archive.into_entries(),
-            trace: recorder.into_points(),
-            evaluations,
-            elapsed: start_time.elapsed(),
+            population: self.archive.into_entries(),
+            trace: self.recorder.into_points(),
+            evaluations: self.evaluations,
+            elapsed: self.start_time.elapsed(),
         }
+    }
+
+    /// Captures the complete optimizer state (the RNG is checkpointed by
+    /// the driver alongside).
+    pub fn snapshot_state<C: SolutionCodec<P::Solution>>(&self, codec: &C) -> Value {
+        Value::object(vec![
+            ("episode", Value::U64(self.episode as u64)),
+            ("finished", Value::Bool(self.finished)),
+            ("evaluations", Value::U64(self.evaluations)),
+            ("recorder", self.recorder.snapshot()),
+            ("archive", archive_to_value(&self.archive, codec)),
+            ("z", self.z.snapshot()),
+            ("normalizer", self.normalizer.snapshot()),
+            ("train", self.train.snapshot()),
+            ("gain_model", self.gain_model.as_ref().map_or(Value::Null, Snapshot::snapshot)),
+        ])
+    }
+}
+
+impl<'p, P, C> Resumable<C> for MoosState<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+    C: SolutionCodec<P::Solution>,
+{
+    type Solution = P::Solution;
+
+    fn completed(&self) -> u64 {
+        MoosState::completed(self)
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) -> bool {
+        MoosState::step(self, rng)
+    }
+
+    fn snapshot_state(&self, codec: &C) -> Value {
+        MoosState::snapshot_state(self, codec)
+    }
+
+    fn finish(self) -> RunResult<P::Solution> {
+        MoosState::finish(self)
     }
 }
 
@@ -274,6 +436,7 @@ mod tests {
     use super::*;
     use moela_moo::metrics::igd;
     use moela_moo::problems::Zdt;
+    use moela_persist::VecF64Codec;
     use rand::SeedableRng;
 
     fn rng(seed: u64) -> rand::rngs::StdRng {
@@ -347,5 +510,35 @@ mod tests {
             r.population.iter().map(|(_, o)| o.clone()).collect()
         };
         assert_eq!(objs(&a), objs(&b));
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_at_every_boundary() {
+        // Warmup 2 with 8 episodes exercises both the unguided and the
+        // model-guided episode paths across the resume boundary.
+        let problem = Zdt::zdt1(8);
+        let config = MoosConfig { episodes: 8, warmup: 2, ..Default::default() };
+        let moos = Moos::new(config.clone(), &problem);
+        let baseline = Moos::new(config, &problem).run(&mut rng(51));
+
+        for boundary in [0u64, 1, 2, 4, 7] {
+            let mut r = rng(51);
+            let mut state = moos.start(&mut r);
+            while state.completed() < boundary && state.step(&mut r) {}
+            let snap = state.snapshot_state(&VecF64Codec);
+            let mut r2 = rand::rngs::StdRng::from_state(r.state());
+            let mut resumed = moos.restore(&VecF64Codec, &snap, Duration::ZERO).expect("restore");
+            while resumed.step(&mut r2) {}
+            let out = resumed.finish();
+            assert_eq!(out.evaluations, baseline.evaluations, "boundary {boundary}");
+            let objs = |r: &RunResult<Vec<f64>>| -> Vec<Vec<f64>> {
+                r.population.iter().map(|(_, o)| o.clone()).collect()
+            };
+            assert_eq!(objs(&out), objs(&baseline), "boundary {boundary}");
+            let trace = |r: &RunResult<Vec<f64>>| -> Vec<(usize, u64, f64)> {
+                r.trace.iter().map(|p| (p.generation, p.evaluations, p.phv)).collect()
+            };
+            assert_eq!(trace(&out), trace(&baseline), "boundary {boundary}");
+        }
     }
 }

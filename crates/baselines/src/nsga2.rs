@@ -1,13 +1,19 @@
 //! NSGA-II (Deb et al., 2002): the classic Pareto-ranking evolutionary
 //! baseline (the paper's reference \[4\]).
+//!
+//! The run loop is exposed as a checkpointable state machine
+//! ([`Nsga2State`], one step per generation).
 
 use std::time::{Duration, Instant};
 
 use rand::{Rng, RngCore};
 
+use moela_moo::checkpoint::Resumable;
 use moela_moo::pareto::{crowding_distance, non_dominated_sort};
 use moela_moo::run::{RunResult, TraceRecorder};
+use moela_moo::snapshot::{entries_from_value, entries_to_value};
 use moela_moo::{ParallelEvaluator, Problem};
+use moela_persist::{PersistError, Restore, Snapshot, SolutionCodec, Value};
 
 /// NSGA-II parameters.
 #[derive(Clone, Debug, PartialEq)]
@@ -89,7 +95,15 @@ where
     /// (those evaluations are paid for) and the trace records it.
     pub fn run(&self, rng: &mut impl RngCore) -> RunResult<P::Solution> {
         let rng: &mut dyn RngCore = rng;
-        let cfg = &self.config;
+        let mut state = self.start(rng);
+        while state.step(rng) {}
+        state.finish()
+    }
+
+    /// Initializes a run (random population + generation-0 trace point)
+    /// as a steppable state machine.
+    pub fn start(&self, rng: &mut dyn RngCore) -> Nsga2State<'p, P> {
+        let cfg = self.config.clone();
         let m = self.problem.objective_count();
         let start_time = Instant::now();
         let evaluator = ParallelEvaluator::new(cfg.threads);
@@ -103,7 +117,7 @@ where
             (0..cfg.population).map(|_| self.problem.random_solution(rng)).collect();
         let objective_batch = evaluator.evaluate(self.problem, &candidates);
         evaluations += candidates.len() as u64;
-        let mut pop: Vec<(P::Solution, Vec<f64>)> = candidates
+        let pop: Vec<(P::Solution, Vec<f64>)> = candidates
             .into_iter()
             .zip(objective_batch)
             .map(|(s, o)| {
@@ -111,87 +125,208 @@ where
                 (s, o)
             })
             .collect();
-        let record = |recorder: &mut TraceRecorder,
-                      generation: usize,
-                      evaluations: u64,
-                      pop: &[(P::Solution, Vec<f64>)]| {
-            let objs: Vec<Vec<f64>> = pop.iter().map(|(_, o)| o.clone()).collect();
-            recorder.record(generation, evaluations, start_time.elapsed(), &objs);
-        };
-        record(&mut recorder, 0, evaluations, &pop);
+        let objs: Vec<Vec<f64>> = pop.iter().map(|(_, o)| o.clone()).collect();
+        recorder.record(0, evaluations, start_time.elapsed(), &objs);
 
-        'outer: for generation in 0..cfg.generations {
-            if cfg.time_budget.is_some_and(|cap| start_time.elapsed() >= cap) {
-                break 'outer;
-            }
-            // Cap the offspring batch to the remaining evaluation budget;
-            // a partial batch is still selected over and recorded.
-            let remaining =
-                cfg.max_evaluations.map_or(u64::MAX, |cap| cap.saturating_sub(evaluations));
-            if remaining == 0 {
-                break 'outer;
-            }
-            let n_children = remaining.min(cfg.population as u64) as usize;
-            let partial = n_children < cfg.population;
-
-            // Rank the current population for tournament selection.
-            let objs: Vec<Vec<f64>> = pop.iter().map(|(_, o)| o.clone()).collect();
-            let fronts = non_dominated_sort(&objs);
-            let mut rank = vec![0usize; pop.len()];
-            let mut crowd = vec![0.0f64; pop.len()];
-            for (r, front) in fronts.iter().enumerate() {
-                let front_objs: Vec<Vec<f64>> = front.iter().map(|&i| objs[i].clone()).collect();
-                let d = crowding_distance(&front_objs);
-                for (&i, &di) in front.iter().zip(&d) {
-                    rank[i] = r;
-                    crowd[i] = di;
-                }
-            }
-            let tournament = |rng: &mut dyn RngCore| -> usize {
-                let a = rng.gen_range(0..pop.len());
-                let b = rng.gen_range(0..pop.len());
-                if rank[a] < rank[b] || (rank[a] == rank[b] && crowd[a] > crowd[b]) {
-                    a
-                } else {
-                    b
-                }
-            };
-
-            // Offspring generation: children first (sequential RNG), then
-            // one batched evaluation.
-            let children: Vec<P::Solution> = (0..n_children)
-                .map(|_| {
-                    let pa = tournament(rng);
-                    let pb = tournament(rng);
-                    self.problem.crossover(&pop[pa].0, &pop[pb].0, rng)
-                })
-                .collect();
-            let child_objs = evaluator.evaluate(self.problem, &children);
-            evaluations += children.len() as u64;
-            let offspring: Vec<(P::Solution, Vec<f64>)> = children
-                .into_iter()
-                .zip(child_objs)
-                .map(|(child, o)| {
-                    recorder.observe(&o);
-                    (child, o)
-                })
-                .collect();
-
-            // Environmental selection over parents ∪ offspring.
-            pop.extend(offspring);
-            pop = environmental_selection(pop, cfg.population);
-            record(&mut recorder, generation + 1, evaluations, &pop);
-            if partial {
-                break 'outer;
-            }
-        }
-
-        RunResult {
-            population: pop,
-            trace: recorder.into_points(),
+        Nsga2State {
+            config: cfg,
+            problem: self.problem,
+            evaluator,
+            start_time,
             evaluations,
-            elapsed: start_time.elapsed(),
+            recorder,
+            pop,
+            generation: 0,
+            finished: false,
         }
+    }
+
+    /// Rebuilds a mid-run state from a [`Nsga2State::snapshot_state`]
+    /// value, with `elapsed` wall-clock time already consumed.
+    pub fn restore<C: SolutionCodec<P::Solution>>(
+        &self,
+        codec: &C,
+        value: &Value,
+        elapsed: Duration,
+    ) -> Result<Nsga2State<'p, P>, PersistError> {
+        let cfg = self.config.clone();
+        let m = self.problem.objective_count();
+        let pop = entries_from_value(value.field("population")?, codec)?;
+        if pop.is_empty() {
+            return Err(PersistError::schema("checkpointed population is empty"));
+        }
+        if pop.iter().any(|(_, o)| o.len() != m) {
+            return Err(PersistError::schema("checkpointed objective dimensionality mismatch"));
+        }
+        Ok(Nsga2State {
+            evaluator: ParallelEvaluator::new(cfg.threads),
+            config: cfg,
+            problem: self.problem,
+            start_time: Instant::now().checked_sub(elapsed).unwrap_or_else(Instant::now),
+            evaluations: value.field("evaluations")?.as_u64()?,
+            recorder: TraceRecorder::restore(value.field("recorder")?)?,
+            pop,
+            generation: value.field("generation")?.as_usize()?,
+            finished: value.field("finished")?.as_bool()?,
+        })
+    }
+}
+
+/// An NSGA-II run in progress, checkpointable between generations.
+#[derive(Debug)]
+pub struct Nsga2State<'p, P: Problem> {
+    config: Nsga2Config,
+    problem: &'p P,
+    evaluator: ParallelEvaluator,
+    start_time: Instant,
+    evaluations: u64,
+    recorder: TraceRecorder,
+    pop: Vec<(P::Solution, Vec<f64>)>,
+    generation: usize,
+    finished: bool,
+}
+
+impl<'p, P> Nsga2State<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
+    /// Completed generations.
+    pub fn completed(&self) -> u64 {
+        self.generation as u64
+    }
+
+    /// Objective evaluations paid for so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Executes one generation. Returns `false` — drawing no RNG values —
+    /// once the run has finished.
+    pub fn step(&mut self, rng: &mut dyn RngCore) -> bool {
+        if self.finished || self.generation >= self.config.generations {
+            self.finished = true;
+            return false;
+        }
+        let cfg = &self.config;
+        let generation = self.generation;
+        if cfg.time_budget.is_some_and(|cap| self.start_time.elapsed() >= cap) {
+            self.finished = true;
+            return false;
+        }
+        // Cap the offspring batch to the remaining evaluation budget;
+        // a partial batch is still selected over and recorded.
+        let remaining =
+            cfg.max_evaluations.map_or(u64::MAX, |cap| cap.saturating_sub(self.evaluations));
+        if remaining == 0 {
+            self.finished = true;
+            return false;
+        }
+        let n_children = remaining.min(cfg.population as u64) as usize;
+        let partial = n_children < cfg.population;
+
+        // Rank the current population for tournament selection.
+        let objs: Vec<Vec<f64>> = self.pop.iter().map(|(_, o)| o.clone()).collect();
+        let fronts = non_dominated_sort(&objs);
+        let mut rank = vec![0usize; self.pop.len()];
+        let mut crowd = vec![0.0f64; self.pop.len()];
+        for (r, front) in fronts.iter().enumerate() {
+            let front_objs: Vec<Vec<f64>> = front.iter().map(|&i| objs[i].clone()).collect();
+            let d = crowding_distance(&front_objs);
+            for (&i, &di) in front.iter().zip(&d) {
+                rank[i] = r;
+                crowd[i] = di;
+            }
+        }
+        let n = self.pop.len();
+        let tournament = |rng: &mut dyn RngCore| -> usize {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if rank[a] < rank[b] || (rank[a] == rank[b] && crowd[a] > crowd[b]) {
+                a
+            } else {
+                b
+            }
+        };
+
+        // Offspring generation: children first (sequential RNG), then
+        // one batched evaluation.
+        let children: Vec<P::Solution> = (0..n_children)
+            .map(|_| {
+                let pa = tournament(rng);
+                let pb = tournament(rng);
+                self.problem.crossover(&self.pop[pa].0, &self.pop[pb].0, rng)
+            })
+            .collect();
+        let child_objs = self.evaluator.evaluate(self.problem, &children);
+        self.evaluations += children.len() as u64;
+        let offspring: Vec<(P::Solution, Vec<f64>)> = children
+            .into_iter()
+            .zip(child_objs)
+            .map(|(child, o)| {
+                self.recorder.observe(&o);
+                (child, o)
+            })
+            .collect();
+
+        // Environmental selection over parents ∪ offspring.
+        self.pop.extend(offspring);
+        self.pop = environmental_selection(std::mem::take(&mut self.pop), cfg.population);
+        let objs: Vec<Vec<f64>> = self.pop.iter().map(|(_, o)| o.clone()).collect();
+        self.recorder.record(generation + 1, self.evaluations, self.start_time.elapsed(), &objs);
+        self.generation = generation + 1;
+        if partial {
+            self.finished = true;
+            return false;
+        }
+        true
+    }
+
+    /// Consumes the state, producing the final result.
+    pub fn finish(self) -> RunResult<P::Solution> {
+        RunResult {
+            population: self.pop,
+            trace: self.recorder.into_points(),
+            evaluations: self.evaluations,
+            elapsed: self.start_time.elapsed(),
+        }
+    }
+
+    /// Captures the complete optimizer state (the RNG is checkpointed by
+    /// the driver alongside).
+    pub fn snapshot_state<C: SolutionCodec<P::Solution>>(&self, codec: &C) -> Value {
+        Value::object(vec![
+            ("generation", Value::U64(self.generation as u64)),
+            ("finished", Value::Bool(self.finished)),
+            ("evaluations", Value::U64(self.evaluations)),
+            ("recorder", self.recorder.snapshot()),
+            ("population", entries_to_value(&self.pop, codec)),
+        ])
+    }
+}
+
+impl<'p, P, C> Resumable<C> for Nsga2State<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+    C: SolutionCodec<P::Solution>,
+{
+    type Solution = P::Solution;
+
+    fn completed(&self) -> u64 {
+        Nsga2State::completed(self)
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) -> bool {
+        Nsga2State::step(self, rng)
+    }
+
+    fn snapshot_state(&self, codec: &C) -> Value {
+        Nsga2State::snapshot_state(self, codec)
+    }
+
+    fn finish(self) -> RunResult<P::Solution> {
+        Nsga2State::finish(self)
     }
 }
 
@@ -226,6 +361,7 @@ mod tests {
     use super::*;
     use moela_moo::metrics::igd;
     use moela_moo::problems::Zdt;
+    use moela_persist::VecF64Codec;
     use rand::SeedableRng;
 
     fn rng(seed: u64) -> rand::rngs::StdRng {
@@ -309,5 +445,30 @@ mod tests {
         let parallel = run(4);
         assert_eq!(parallel.population, sequential.population);
         assert_eq!(parallel.evaluations, sequential.evaluations);
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_at_every_boundary() {
+        let problem = Zdt::zdt1(8);
+        let config = Nsga2Config { population: 10, generations: 6, ..Default::default() };
+        let nsga2 = Nsga2::new(config.clone(), &problem);
+        let baseline = Nsga2::new(config, &problem).run(&mut rng(41));
+
+        for boundary in 0..6u64 {
+            let mut r = rng(41);
+            let mut state = nsga2.start(&mut r);
+            while state.completed() < boundary && state.step(&mut r) {}
+            let snap = state.snapshot_state(&VecF64Codec);
+            let mut r2 = rand::rngs::StdRng::from_state(r.state());
+            let mut resumed = nsga2.restore(&VecF64Codec, &snap, Duration::ZERO).expect("restore");
+            while resumed.step(&mut r2) {}
+            let out = resumed.finish();
+            assert_eq!(out.population, baseline.population, "boundary {boundary}");
+            assert_eq!(out.evaluations, baseline.evaluations);
+            let trace = |r: &RunResult<Vec<f64>>| -> Vec<(usize, u64, f64)> {
+                r.trace.iter().map(|p| (p.generation, p.evaluations, p.phv)).collect()
+            };
+            assert_eq!(trace(&out), trace(&baseline), "boundary {boundary}");
+        }
     }
 }

@@ -7,11 +7,14 @@ use std::time::{Duration, Instant};
 use rand::{Rng, RngCore};
 
 use moela_moo::archive::ParetoArchive;
+use moela_moo::checkpoint::Resumable;
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
 use moela_moo::scalarize::ReferencePoint;
+use moela_moo::snapshot::{archive_from_value, archive_to_value};
 use moela_moo::weights::uniform_weights;
 use moela_moo::{ParallelEvaluator, Problem};
+use moela_persist::{PersistError, SolutionCodec, Value};
 
 use crate::common::weighted_descent;
 
@@ -72,53 +75,195 @@ where
     P::Solution: Sync,
 {
     let rng: &mut dyn RngCore = rng;
+    let mut state = random_search_start(config, problem);
+    while state.step(rng) {}
+    state.finish()
+}
+
+/// Initializes a random-search run as a steppable state machine (one
+/// step per trace chunk). Draws no RNG values itself.
+pub fn random_search_start<'p, P>(
+    config: &RandomSearchConfig,
+    problem: &'p P,
+) -> RandomSearchState<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
     let m = problem.objective_count();
-    let start_time = Instant::now();
-    let evaluator = ParallelEvaluator::new(config.threads);
-    let mut recorder = match &config.trace_normalizer {
+    let recorder = match &config.trace_normalizer {
         Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
         None => TraceRecorder::new(m),
     };
-    let mut archive: ParetoArchive<P::Solution> = ParetoArchive::bounded(config.archive_cap);
-    let mut evaluations = 0u64;
-    // Draw and evaluate in chunks aligned to the trace granularity so the
-    // trace is identical to the old one-at-a-time loop (the wall-clock
-    // budget is now checked per chunk rather than per sample).
-    let chunk = if config.trace_every > 0 { config.trace_every } else { 64 };
-    let mut drawn = 0u64;
-    while drawn < config.samples {
-        if config.time_budget.is_some_and(|cap| start_time.elapsed() >= cap) {
-            break;
+    RandomSearchState {
+        evaluator: ParallelEvaluator::new(config.threads),
+        config: config.clone(),
+        problem,
+        start_time: Instant::now(),
+        evaluations: 0,
+        recorder,
+        archive: ParetoArchive::bounded(config.archive_cap),
+        drawn: 0,
+        chunks: 0,
+        finished: false,
+    }
+}
+
+/// Rebuilds a mid-run state from a [`RandomSearchState::snapshot_state`]
+/// value, with `elapsed` wall-clock time already consumed.
+pub fn random_search_restore<'p, P, C>(
+    config: &RandomSearchConfig,
+    problem: &'p P,
+    codec: &C,
+    value: &Value,
+    elapsed: Duration,
+) -> Result<RandomSearchState<'p, P>, PersistError>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+    C: SolutionCodec<P::Solution>,
+{
+    use moela_persist::Restore;
+    let drawn = value.field("drawn")?.as_u64()?;
+    if drawn > config.samples {
+        return Err(PersistError::schema("checkpoint drew more samples than configured"));
+    }
+    Ok(RandomSearchState {
+        evaluator: ParallelEvaluator::new(config.threads),
+        config: config.clone(),
+        problem,
+        start_time: Instant::now().checked_sub(elapsed).unwrap_or_else(Instant::now),
+        evaluations: value.field("evaluations")?.as_u64()?,
+        recorder: TraceRecorder::restore(value.field("recorder")?)?,
+        archive: archive_from_value(value.field("archive")?, codec)?,
+        drawn,
+        chunks: value.field("chunks")?.as_u64()?,
+        finished: value.field("finished")?.as_bool()?,
+    })
+}
+
+/// A random-search run in progress, checkpointable between trace chunks.
+#[derive(Debug)]
+pub struct RandomSearchState<'p, P: Problem> {
+    config: RandomSearchConfig,
+    problem: &'p P,
+    evaluator: ParallelEvaluator,
+    start_time: Instant,
+    evaluations: u64,
+    recorder: TraceRecorder,
+    archive: ParetoArchive<P::Solution>,
+    drawn: u64,
+    chunks: u64,
+    finished: bool,
+}
+
+impl<'p, P> RandomSearchState<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
+    /// Completed chunks (checkpoint boundaries, not samples).
+    pub fn completed(&self) -> u64 {
+        self.chunks
+    }
+
+    /// Objective evaluations paid for so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Draws and evaluates one chunk of samples, aligned to the trace
+    /// granularity so the trace is identical to the old one-at-a-time
+    /// loop (the wall-clock budget is checked per chunk rather than per
+    /// sample). Returns `false` — drawing no RNG values — once the run
+    /// has finished.
+    pub fn step(&mut self, rng: &mut dyn RngCore) -> bool {
+        if self.finished || self.drawn >= self.config.samples {
+            self.finished = true;
+            return false;
         }
-        let n = chunk.min(config.samples - drawn) as usize;
-        let candidates: Vec<P::Solution> = (0..n).map(|_| problem.random_solution(rng)).collect();
-        let objective_batch = evaluator.evaluate(problem, &candidates);
-        evaluations += n as u64;
+        if self.config.time_budget.is_some_and(|cap| self.start_time.elapsed() >= cap) {
+            self.finished = true;
+            return false;
+        }
+        let cfg = &self.config;
+        let chunk = if cfg.trace_every > 0 { cfg.trace_every } else { 64 };
+        let n = chunk.min(cfg.samples - self.drawn) as usize;
+        let candidates: Vec<P::Solution> =
+            (0..n).map(|_| self.problem.random_solution(rng)).collect();
+        let objective_batch = self.evaluator.evaluate(self.problem, &candidates);
+        self.evaluations += n as u64;
         for (s, o) in candidates.into_iter().zip(objective_batch) {
-            recorder.observe(&o);
-            archive.insert(s, o);
+            self.recorder.observe(&o);
+            self.archive.insert(s, o);
         }
-        drawn += n as u64;
-        if config.trace_every > 0 && drawn.is_multiple_of(config.trace_every) {
-            recorder.record(
-                ((drawn - 1) / config.trace_every) as usize,
-                evaluations,
-                start_time.elapsed(),
-                &archive.objectives(),
+        self.drawn += n as u64;
+        if cfg.trace_every > 0 && self.drawn.is_multiple_of(cfg.trace_every) {
+            self.recorder.record(
+                ((self.drawn - 1) / cfg.trace_every) as usize,
+                self.evaluations,
+                self.start_time.elapsed(),
+                &self.archive.objectives(),
             );
         }
+        self.chunks += 1;
+        true
     }
-    recorder.record(
-        config.samples as usize,
-        evaluations,
-        start_time.elapsed(),
-        &archive.objectives(),
-    );
-    RunResult {
-        population: archive.into_entries(),
-        trace: recorder.into_points(),
-        evaluations,
-        elapsed: start_time.elapsed(),
+
+    /// Consumes the state, recording the final trace point and producing
+    /// the result.
+    pub fn finish(mut self) -> RunResult<P::Solution> {
+        self.recorder.record(
+            self.config.samples as usize,
+            self.evaluations,
+            self.start_time.elapsed(),
+            &self.archive.objectives(),
+        );
+        RunResult {
+            population: self.archive.into_entries(),
+            trace: self.recorder.into_points(),
+            evaluations: self.evaluations,
+            elapsed: self.start_time.elapsed(),
+        }
+    }
+
+    /// Captures the complete optimizer state (the RNG is checkpointed by
+    /// the driver alongside).
+    pub fn snapshot_state<C: SolutionCodec<P::Solution>>(&self, codec: &C) -> Value {
+        use moela_persist::Snapshot;
+        Value::object(vec![
+            ("drawn", Value::U64(self.drawn)),
+            ("chunks", Value::U64(self.chunks)),
+            ("finished", Value::Bool(self.finished)),
+            ("evaluations", Value::U64(self.evaluations)),
+            ("recorder", self.recorder.snapshot()),
+            ("archive", archive_to_value(&self.archive, codec)),
+        ])
+    }
+}
+
+impl<'p, P, C> Resumable<C> for RandomSearchState<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+    C: SolutionCodec<P::Solution>,
+{
+    type Solution = P::Solution;
+
+    fn completed(&self) -> u64 {
+        RandomSearchState::completed(self)
+    }
+
+    fn step(&mut self, rng: &mut dyn RngCore) -> bool {
+        RandomSearchState::step(self, rng)
+    }
+
+    fn snapshot_state(&self, codec: &C) -> Value {
+        RandomSearchState::snapshot_state(self, codec)
+    }
+
+    fn finish(self) -> RunResult<P::Solution> {
+        RandomSearchState::finish(self)
     }
 }
 
@@ -313,6 +458,37 @@ mod tests {
         let (ms_seq, ms_par) = (ms(1), ms(4));
         assert_eq!(ms_par.evaluations, ms_seq.evaluations);
         assert_eq!(objs(&ms_par), objs(&ms_seq));
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_at_every_boundary() {
+        use moela_persist::VecF64Codec;
+        let problem = Zdt::zdt1(6);
+        let cfg = RandomSearchConfig { samples: 230, trace_every: 50, ..Default::default() };
+        let baseline = random_search(&cfg, &problem, &mut rng(71));
+
+        // 230 samples at trace_every=50 is 5 chunks (the last partial).
+        for boundary in [0u64, 1, 3, 5] {
+            let mut r = rng(71);
+            let mut state = random_search_start(&cfg, &problem);
+            while state.completed() < boundary && state.step(&mut r) {}
+            let snap = state.snapshot_state(&VecF64Codec);
+            let mut r2 = rand::rngs::StdRng::from_state(r.state());
+            let mut resumed =
+                random_search_restore(&cfg, &problem, &VecF64Codec, &snap, Duration::ZERO)
+                    .expect("restore");
+            while resumed.step(&mut r2) {}
+            let out = resumed.finish();
+            assert_eq!(out.evaluations, baseline.evaluations, "boundary {boundary}");
+            let objs = |r: &RunResult<Vec<f64>>| -> Vec<Vec<f64>> {
+                r.population.iter().map(|(_, o)| o.clone()).collect()
+            };
+            assert_eq!(objs(&out), objs(&baseline), "boundary {boundary}");
+            let trace = |r: &RunResult<Vec<f64>>| -> Vec<(usize, u64, f64)> {
+                r.trace.iter().map(|p| (p.generation, p.evaluations, p.phv)).collect()
+            };
+            assert_eq!(trace(&out), trace(&baseline), "boundary {boundary}");
+        }
     }
 
     #[test]

@@ -74,6 +74,13 @@ pub struct RunOptions {
     pub front_csv: Option<String>,
     /// Optional path to write the best design's Graphviz DOT rendering to.
     pub dot: Option<String>,
+    /// Optional run directory (manifest + checkpoints + result CSVs).
+    pub run_dir: Option<String>,
+    /// Checkpoint cadence in optimizer steps (used with `run_dir`).
+    pub checkpoint_every: u64,
+    /// Abort the process after writing this many checkpoints (crash
+    /// injection for resume testing).
+    pub crash_after_checkpoints: Option<u64>,
 }
 
 impl Default for RunOptions {
@@ -90,6 +97,9 @@ impl Default for RunOptions {
             trace_csv: None,
             front_csv: None,
             dot: None,
+            run_dir: None,
+            checkpoint_every: 1,
+            crash_after_checkpoints: None,
         }
     }
 }
@@ -117,6 +127,19 @@ pub enum Command {
         /// Measured cycles.
         cycles: u64,
     },
+    /// Resume an interrupted run from its run directory.
+    Resume {
+        /// The run directory (must hold a manifest and checkpoints).
+        dir: String,
+        /// Optional worker-thread override (results are identical).
+        threads: Option<usize>,
+        /// Optional checkpoint-cadence override.
+        checkpoint_every: Option<u64>,
+        /// Crash injection for resume testing.
+        crash_after_checkpoints: Option<u64>,
+    },
+    /// Print the build version.
+    Version,
     /// Print usage.
     Help,
 }
@@ -132,6 +155,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     };
     match sub.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
+        "version" | "--version" | "-V" => Ok(Command::Version),
+        "resume" => parse_resume(rest),
         "run" => Ok(Command::Run(parse_run_options(rest)?)),
         "compare" => Ok(Command::Compare(parse_run_options(rest)?)),
         "info" => {
@@ -167,10 +192,40 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Simulate { options: parse_run_options(&filtered)?, load_factor, cycles })
         }
-        other => {
-            Err(format!("unknown subcommand '{other}' (try: run, compare, info, simulate, help)"))
+        other => Err(format!(
+            "unknown subcommand '{other}' (try: run, resume, compare, info, simulate, help)"
+        )),
+    }
+}
+
+fn parse_resume(args: &[String]) -> Result<Command, String> {
+    let mut dir = None;
+    let mut threads = None;
+    let mut checkpoint_every = None;
+    let mut crash_after_checkpoints = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("flag {arg} needs a value"));
+        match arg.as_str() {
+            "--threads" => {
+                threads = Some(value()?.parse().map_err(|_| "--threads needs an integer")?);
+            }
+            "--checkpoint-every" => {
+                checkpoint_every =
+                    Some(value()?.parse().map_err(|_| "--checkpoint-every needs an integer")?);
+            }
+            "--crash-after-checkpoints" => {
+                crash_after_checkpoints = Some(
+                    value()?.parse().map_err(|_| "--crash-after-checkpoints needs an integer")?,
+                );
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            positional if dir.is_none() => dir = Some(positional.to_owned()),
+            extra => return Err(format!("unexpected argument '{extra}'")),
         }
     }
+    let dir = dir.ok_or("resume needs a run directory (moela-dse resume <DIR>)")?;
+    Ok(Command::Resume { dir, threads, checkpoint_every, crash_after_checkpoints })
 }
 
 fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
@@ -213,6 +268,16 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
             "--trace-csv" => opts.trace_csv = Some(value()?),
             "--front-csv" => opts.front_csv = Some(value()?),
             "--dot" => opts.dot = Some(value()?),
+            "--run-dir" => opts.run_dir = Some(value()?),
+            "--checkpoint-every" => {
+                opts.checkpoint_every =
+                    value()?.parse().map_err(|_| "--checkpoint-every needs an integer")?;
+            }
+            "--crash-after-checkpoints" => {
+                opts.crash_after_checkpoints = Some(
+                    value()?.parse().map_err(|_| "--crash-after-checkpoints needs an integer")?,
+                );
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -221,6 +286,9 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
     }
     if opts.budget == 0 {
         return Err("--budget must be positive".to_owned());
+    }
+    if opts.checkpoint_every == 0 {
+        return Err("--checkpoint-every must be positive".to_owned());
     }
     Ok(opts)
 }
@@ -234,9 +302,11 @@ USAGE:
 
 SUBCOMMANDS:
     run        run one optimizer and print its Pareto front
+    resume     resume an interrupted run from its --run-dir
     compare    run every optimizer at the same budget and compare PHV
     info       describe an application's synthesized workload
     simulate   run the flit-level NoC simulator on a random design
+    version    print the build version
     help       print this text
 
 COMMON FLAGS:
@@ -251,6 +321,20 @@ COMMON FLAGS:
     --trace-csv <PATH>                  write PHV trace CSV
     --front-csv <PATH>                  write final front CSV
     --dot <PATH>                        write best design as Graphviz DOT
+
+RUN PERSISTENCE FLAGS:
+    --run-dir <DIR>                     structured run store: manifest.json,
+                                        rotating checkpoints/, trace.csv,
+                                        front.csv; enables `resume`
+    --checkpoint-every <N>              checkpoint cadence in steps [1]
+    --crash-after-checkpoints <N>       abort after N checkpoints (crash
+                                        injection for resume testing)
+
+RESUME:
+    moela-dse resume <DIR> [--threads N] [--checkpoint-every N]
+    continues an interrupted `run --run-dir DIR` from its newest intact
+    checkpoint; the finished trace.csv and front.csv are byte-identical
+    to an uninterrupted run at any thread count
 
 SIMULATE FLAGS:
     --load <F>                          injection multiplier [1.0]
@@ -319,6 +403,39 @@ mod tests {
     fn validation_rejects_degenerate_budgets() {
         assert!(parse(&argv("run --population 1")).is_err());
         assert!(parse(&argv("run --budget 0")).is_err());
+    }
+
+    #[test]
+    fn run_parses_persistence_flags() {
+        let cmd = parse(&argv("run --run-dir out/run1 --checkpoint-every 5")).expect("ok");
+        let Command::Run(o) = cmd else { panic!("expected Run") };
+        assert_eq!(o.run_dir.as_deref(), Some("out/run1"));
+        assert_eq!(o.checkpoint_every, 5);
+        assert_eq!(o.crash_after_checkpoints, None);
+        assert!(parse(&argv("run --checkpoint-every 0")).is_err());
+    }
+
+    #[test]
+    fn resume_parses_dir_and_overrides() {
+        let cmd =
+            parse(&argv("resume out/run1 --threads 4 --crash-after-checkpoints 2")).expect("ok");
+        let Command::Resume { dir, threads, checkpoint_every, crash_after_checkpoints } = cmd
+        else {
+            panic!("expected Resume")
+        };
+        assert_eq!(dir, "out/run1");
+        assert_eq!(threads, Some(4));
+        assert_eq!(checkpoint_every, None);
+        assert_eq!(crash_after_checkpoints, Some(2));
+        assert!(parse(&argv("resume")).is_err());
+        assert!(parse(&argv("resume a b")).is_err());
+    }
+
+    #[test]
+    fn version_has_three_spellings() {
+        for v in ["version", "--version", "-V"] {
+            assert_eq!(parse(&argv(v)).expect("ok"), Command::Version);
+        }
     }
 
     #[test]

@@ -1,25 +1,60 @@
 //! `moela-dse`: command-line design-space exploration with the MOELA
 //! framework. See `moela-dse help` for usage.
+//!
+//! With `run --run-dir DIR` every run becomes a structured, crash-safe
+//! store (manifest + rotating checkpoints + result CSVs) that
+//! `moela-dse resume DIR` continues from its newest intact checkpoint —
+//! producing byte-identical `trace.csv`/`front.csv` to an uninterrupted
+//! run, at any thread count.
 
 mod args;
 
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
+use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use moela_baselines::{
-    random_search, Moead, MoeadConfig, MooStage, MooStageConfig, Moos, MoosConfig, Nsga2,
-    Nsga2Config, RandomSearchConfig,
+    random_search_restore, random_search_start, Moead, MoeadConfig, MooStage, MooStageConfig, Moos,
+    MoosConfig, Nsga2, Nsga2Config, RandomSearchConfig,
 };
 use moela_core::{Moela, MoelaConfig};
-use moela_manycore::{viz, Design, ManycoreProblem, PlatformConfig};
+use moela_manycore::{viz, Design, ManycoreProblem, ObjectiveSet, PlatformConfig};
+use moela_moo::checkpoint::Resumable;
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::RunResult;
 use moela_moo::Problem;
 use moela_nocsim::{SimConfig, Simulator};
+use moela_persist::{
+    CheckpointStore, PersistError, Restore, RunStore, Snapshot, Value, FORMAT_VERSION,
+};
 use moela_traffic::{Benchmark, PeKind, Workload};
 
 use args::{Algorithm, Command, RunOptions};
+
+/// The build version stamped into manifests and checkpoints.
+const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// A user-facing failure: printed to stderr, exits with code 1.
+#[derive(Debug)]
+struct CliError(String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<PersistError> for CliError {
+    fn from(e: PersistError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+fn fail(message: impl Into<String>) -> CliError {
+    CliError(message.into())
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -30,41 +65,122 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match command {
+    let outcome = match command {
         Command::Help => {
             println!("{}", args::USAGE);
-            ExitCode::SUCCESS
+            Ok(())
+        }
+        Command::Version => {
+            println!("moela-dse {VERSION}");
+            Ok(())
         }
         Command::Run(opts) => run(&opts),
+        Command::Resume { dir, threads, checkpoint_every, crash_after_checkpoints } => {
+            resume(&dir, threads, checkpoint_every, crash_after_checkpoints)
+        }
         Command::Compare(opts) => compare(&opts),
-        Command::Info { app, seed } => info(app, seed),
+        Command::Info { app, seed } => {
+            info(app, seed);
+            Ok(())
+        }
         Command::Simulate { options, load_factor, cycles } => {
             simulate(&options, load_factor, cycles)
+        }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
         }
     }
 }
 
-fn build_problem(opts: &RunOptions) -> ManycoreProblem {
+fn build_problem(opts: &RunOptions) -> Result<ManycoreProblem, CliError> {
     let platform = PlatformConfig::paper();
     let workload = Workload::synthesize(opts.app, platform.pe_mix(), opts.seed);
-    ManycoreProblem::new(platform, workload, opts.set).expect("paper platform is consistent")
+    ManycoreProblem::new(platform, workload, opts.set)
+        .map_err(|e| fail(format!("cannot build the paper platform: {e}")))
 }
 
 fn corpus_normalizer(problem: &ManycoreProblem, seed: u64) -> Normalizer {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
     let objs: Vec<Vec<f64>> =
         (0..200).map(|_| problem.evaluate(&problem.random_solution(&mut rng))).collect();
     Normalizer::fit(&objs)
 }
 
-fn run_algorithm(
+/// Checkpointing context threaded through [`drive`].
+struct Persistence {
+    store: CheckpointStore,
+    every: u64,
+    crash_after: Option<u64>,
     algorithm: Algorithm,
+}
+
+/// A checkpoint to continue from: the optimizer state plus the wall-clock
+/// time the interrupted run had already consumed.
+struct ResumePoint {
+    state: Value,
+    elapsed: Duration,
+}
+
+/// Steps any resumable optimizer to completion, checkpointing every
+/// `persistence.every` completed steps. The envelope carries everything
+/// the optimizer state does not: format/build versions, the RNG state,
+/// and accumulated wall-clock time.
+fn drive<S>(
+    mut state: S,
+    rng: &mut StdRng,
+    codec: &ManycoreProblem,
+    persistence: Option<&Persistence>,
+    base_elapsed: Duration,
+) -> Result<RunResult<Design>, CliError>
+where
+    S: Resumable<ManycoreProblem, Solution = Design>,
+{
+    let t0 = Instant::now();
+    let mut written = 0u64;
+    while state.step(rng) {
+        let Some(p) = persistence else { continue };
+        if !state.completed().is_multiple_of(p.every) {
+            continue;
+        }
+        let elapsed = base_elapsed + t0.elapsed();
+        let envelope = Value::object(vec![
+            ("format", Value::U64(u64::from(FORMAT_VERSION))),
+            ("version", Value::Str(VERSION.to_owned())),
+            ("algorithm", Value::Str(p.algorithm.name().to_owned())),
+            ("completed", Value::U64(state.completed())),
+            ("rng", Value::u64_array(&rng.state())),
+            ("elapsed_nanos", Value::U64(elapsed.as_nanos() as u64)),
+            ("state", state.snapshot_state(codec)),
+        ]);
+        p.store.save(state.completed(), &envelope)?;
+        written += 1;
+        if p.crash_after.is_some_and(|n| written >= n) {
+            eprintln!("crash injection: aborting after {written} checkpoints");
+            std::process::abort();
+        }
+    }
+    Ok(state.finish())
+}
+
+/// Builds the selected optimizer (fresh, or restored from a checkpoint)
+/// and drives it to completion.
+fn execute(
+    opts: &RunOptions,
     problem: &ManycoreProblem,
     normalizer: &Normalizer,
-    opts: &RunOptions,
-) -> RunResult<Design> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
-    match algorithm {
+    persistence: Option<&Persistence>,
+    resume: Option<(ResumePoint, StdRng)>,
+) -> Result<RunResult<Design>, CliError> {
+    let (point, mut rng) = match resume {
+        Some((p, r)) => (Some(p), r),
+        None => (None, StdRng::seed_from_u64(opts.seed)),
+    };
+    let base_elapsed = point.as_ref().map_or(Duration::ZERO, |p| p.elapsed);
+    match opts.algorithm {
         Algorithm::Moela => {
             let config = MoelaConfig::builder()
                 .population(opts.population)
@@ -74,8 +190,13 @@ fn run_algorithm(
                 .time_budget(opts.time_guard)
                 .threads(opts.threads)
                 .build()
-                .expect("validated options");
-            Moela::new(config, problem).run(&mut rng)
+                .map_err(|e| fail(format!("invalid MOELA configuration: {e}")))?;
+            let moela = Moela::new(config, problem);
+            let state = match &point {
+                Some(p) => moela.restore(problem, &p.state, p.elapsed)?,
+                None => moela.start(&mut rng),
+            };
+            drive(state, &mut rng, problem, persistence, base_elapsed)
         }
         Algorithm::Moead => {
             let config = MoeadConfig {
@@ -88,7 +209,12 @@ fn run_algorithm(
                 threads: opts.threads,
                 ..Default::default()
             };
-            Moead::new(config, problem).run(&mut rng)
+            let moead = Moead::new(config, problem);
+            let state = match &point {
+                Some(p) => moead.restore(problem, &p.state, p.elapsed)?,
+                None => moead.start(&mut rng),
+            };
+            drive(state, &mut rng, problem, persistence, base_elapsed)
         }
         Algorithm::Moos => {
             let config = MoosConfig {
@@ -99,7 +225,12 @@ fn run_algorithm(
                 threads: opts.threads,
                 ..Default::default()
             };
-            Moos::new(config, problem).run(&mut rng)
+            let moos = Moos::new(config, problem);
+            let state = match &point {
+                Some(p) => moos.restore(problem, &p.state, p.elapsed)?,
+                None => moos.start(&mut rng),
+            };
+            drive(state, &mut rng, problem, persistence, base_elapsed)
         }
         Algorithm::MooStage => {
             let config = MooStageConfig {
@@ -110,7 +241,12 @@ fn run_algorithm(
                 threads: opts.threads,
                 ..Default::default()
             };
-            MooStage::new(config, problem).run(&mut rng)
+            let stage = MooStage::new(config, problem);
+            let state = match &point {
+                Some(p) => stage.restore(problem, &p.state, p.elapsed)?,
+                None => stage.start(&mut rng),
+            };
+            drive(state, &mut rng, problem, persistence, base_elapsed)
         }
         Algorithm::Nsga2 => {
             let config = Nsga2Config {
@@ -121,7 +257,12 @@ fn run_algorithm(
                 time_budget: Some(opts.time_guard),
                 threads: opts.threads,
             };
-            Nsga2::new(config, problem).run(&mut rng)
+            let nsga2 = Nsga2::new(config, problem);
+            let state = match &point {
+                Some(p) => nsga2.restore(problem, &p.state, p.elapsed)?,
+                None => nsga2.start(&mut rng),
+            };
+            drive(state, &mut rng, problem, persistence, base_elapsed)
         }
         Algorithm::Random => {
             let config = RandomSearchConfig {
@@ -130,22 +271,99 @@ fn run_algorithm(
                 threads: opts.threads,
                 ..Default::default()
             };
-            random_search(&config, problem, &mut rng)
+            let state = match &point {
+                Some(p) => random_search_restore(&config, problem, problem, &p.state, p.elapsed)?,
+                None => random_search_start(&config, problem),
+            };
+            drive(state, &mut rng, problem, persistence, base_elapsed)
         }
     }
+}
+
+/// The manifest written into every run directory: enough to rebuild the
+/// exact run configuration on resume, plus the fitted normalizer so
+/// resume skips the 200-design corpus fit.
+fn manifest_value(opts: &RunOptions, normalizer: &Normalizer) -> Value {
+    Value::object(vec![
+        ("format", Value::U64(u64::from(FORMAT_VERSION))),
+        ("version", Value::Str(VERSION.to_owned())),
+        ("algorithm", Value::Str(opts.algorithm.name().to_owned())),
+        ("app", Value::Str(opts.app.name().to_owned())),
+        ("objectives", Value::U64(opts.set.count() as u64)),
+        ("budget", Value::U64(opts.budget)),
+        ("population", Value::U64(opts.population as u64)),
+        ("seed", Value::U64(opts.seed)),
+        ("threads", Value::U64(opts.threads as u64)),
+        ("time_guard_secs", Value::U64(opts.time_guard.as_secs())),
+        ("checkpoint_every", Value::U64(opts.checkpoint_every)),
+        ("normalizer", normalizer.snapshot()),
+    ])
+}
+
+/// Rebuilds the run configuration (and the fitted normalizer) from a
+/// manifest, refusing manifests from an incompatible format version.
+fn options_from_manifest(m: &Value) -> Result<(RunOptions, Normalizer), CliError> {
+    let format = m.field("format")?.as_u64()?;
+    if format != u64::from(FORMAT_VERSION) {
+        return Err(fail(format!(
+            "run directory uses checkpoint format {format}, but this build supports only \
+             format {FORMAT_VERSION}"
+        )));
+    }
+    let app_name = m.field("app")?.as_str()?;
+    let app = Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(app_name))
+        .ok_or_else(|| fail(format!("manifest names unknown app '{app_name}'")))?;
+    let set = match m.field("objectives")?.as_u64()? {
+        3 => ObjectiveSet::Three,
+        4 => ObjectiveSet::Four,
+        5 => ObjectiveSet::Five,
+        other => return Err(fail(format!("manifest names unknown objective stack '{other}'"))),
+    };
+    let algorithm = Algorithm::parse(m.field("algorithm")?.as_str()?).map_err(fail)?;
+    let opts = RunOptions {
+        app,
+        set,
+        algorithm,
+        budget: m.field("budget")?.as_u64()?,
+        population: m.field("population")?.as_usize()?,
+        seed: m.field("seed")?.as_u64()?,
+        threads: m.field("threads")?.as_usize()?,
+        time_guard: Duration::from_secs(m.field("time_guard_secs")?.as_u64()?),
+        checkpoint_every: m.field("checkpoint_every")?.as_u64()?,
+        ..Default::default()
+    };
+    let normalizer = Normalizer::restore(m.field("normalizer")?)?;
+    if normalizer.len() != opts.set.count() {
+        return Err(fail("manifest normalizer does not match the objective stack"));
+    }
+    Ok((opts, normalizer))
+}
+
+/// The deterministic convergence trace (no wall-clock column), used for
+/// the run-dir `trace.csv` so kill + resume reproduces it byte for byte.
+fn deterministic_trace_csv(result: &RunResult<Design>) -> String {
+    let mut out = String::from("generation,evaluations,phv\n");
+    for p in &result.trace {
+        out.push_str(&format!("{},{},{:.9}\n", p.generation, p.evaluations, p.phv));
+    }
+    out
 }
 
 fn write_outputs(
     opts: &RunOptions,
     problem: &ManycoreProblem,
     result: &RunResult<Design>,
-) -> std::io::Result<()> {
+) -> Result<(), CliError> {
     if let Some(path) = &opts.trace_csv {
-        std::fs::write(path, result.trace_csv())?;
+        std::fs::write(path, result.trace_csv())
+            .map_err(|e| fail(format!("cannot write trace CSV '{path}': {e}")))?;
         println!("trace written to {path}");
     }
     if let Some(path) = &opts.front_csv {
-        std::fs::write(path, result.front_csv())?;
+        std::fs::write(path, result.front_csv())
+            .map_err(|e| fail(format!("cannot write front CSV '{path}': {e}")))?;
         println!("front written to {path}");
     }
     if let Some(path) = &opts.dot {
@@ -154,30 +372,28 @@ fn write_outputs(
             result.front().into_iter().min_by(|a, b| a.1[0].total_cmp(&b.1[0]))
         {
             let dot = viz::to_dot(problem.config().dims(), problem.config().pe_mix(), &design);
-            std::fs::write(path, dot)?;
+            std::fs::write(path, dot)
+                .map_err(|e| fail(format!("cannot write DOT file '{path}': {e}")))?;
             println!("best design written to {path} (render with `neato -Tpng`)");
         }
     }
     Ok(())
 }
 
-fn run(opts: &RunOptions) -> ExitCode {
-    let problem = build_problem(opts);
-    let normalizer = corpus_normalizer(&problem, opts.seed);
-    println!(
-        "{} on {} ({}), budget {} evaluations, seed {}",
-        opts.algorithm.name(),
-        opts.app,
-        opts.set,
-        opts.budget,
-        opts.seed
-    );
-    let result = run_algorithm(opts.algorithm, &problem, &normalizer, opts);
+/// Prints the result summary and writes every requested artifact (the
+/// run-dir CSVs and the ad-hoc output flags).
+fn finish_run(
+    opts: &RunOptions,
+    problem: &ManycoreProblem,
+    normalizer: &Normalizer,
+    run_store: Option<&RunStore>,
+    result: &RunResult<Design>,
+) -> Result<(), CliError> {
     println!(
         "finished: {} evaluations in {:.2?}; PHV {:.4}; front {} designs",
         result.evaluations,
         result.elapsed,
-        result.phv(&normalizer),
+        result.phv(normalizer),
         result.front().len()
     );
     let mut front = result.front_objectives();
@@ -189,15 +405,121 @@ fn run(opts: &RunOptions) -> ExitCode {
     if front.len() > 15 {
         println!("  … {} more", front.len() - 15);
     }
-    if let Err(e) = write_outputs(opts, &problem, &result) {
-        eprintln!("error writing outputs: {e}");
-        return ExitCode::FAILURE;
+    if let Some(store) = run_store {
+        store.write_trace(&deterministic_trace_csv(result))?;
+        store.write_front(&result.front_csv())?;
+        println!("run artifacts written to {}", store.root().display());
     }
-    ExitCode::SUCCESS
+    write_outputs(opts, problem, result)
 }
 
-fn compare(opts: &RunOptions) -> ExitCode {
-    let problem = build_problem(opts);
+fn run(opts: &RunOptions) -> Result<(), CliError> {
+    let problem = build_problem(opts)?;
+    let normalizer = corpus_normalizer(&problem, opts.seed);
+    println!(
+        "{} on {} ({}), budget {} evaluations, seed {}",
+        opts.algorithm.name(),
+        opts.app,
+        opts.set,
+        opts.budget,
+        opts.seed
+    );
+    let run_store = match &opts.run_dir {
+        Some(dir) => {
+            let store = RunStore::create(dir)?;
+            store.write_manifest(&manifest_value(opts, &normalizer))?;
+            Some(store)
+        }
+        None => None,
+    };
+    let persistence = match &run_store {
+        Some(store) => Some(Persistence {
+            store: store.checkpoints()?,
+            every: opts.checkpoint_every,
+            crash_after: opts.crash_after_checkpoints,
+            algorithm: opts.algorithm,
+        }),
+        None => None,
+    };
+    let result = execute(opts, &problem, &normalizer, persistence.as_ref(), None)?;
+    finish_run(opts, &problem, &normalizer, run_store.as_ref(), &result)
+}
+
+fn resume(
+    dir: &str,
+    threads: Option<usize>,
+    checkpoint_every: Option<u64>,
+    crash_after_checkpoints: Option<u64>,
+) -> Result<(), CliError> {
+    let store = RunStore::open(dir)?;
+    let manifest = store.read_manifest()?;
+    let (mut opts, normalizer) = options_from_manifest(&manifest)?;
+    if let Some(t) = threads {
+        opts.threads = t;
+    }
+    if let Some(e) = checkpoint_every {
+        if e == 0 {
+            return Err(fail("--checkpoint-every must be positive"));
+        }
+        opts.checkpoint_every = e;
+    }
+    opts.crash_after_checkpoints = crash_after_checkpoints;
+    opts.run_dir = Some(dir.to_owned());
+
+    let checkpoints = store.checkpoints()?;
+    let Some((seq, envelope, warnings)) = checkpoints.load_latest()? else {
+        return Err(fail(format!(
+            "{} holds no checkpoints to resume (was the run started with --checkpoint-every?)",
+            store.root().display()
+        )));
+    };
+    for w in warnings {
+        eprintln!("warning: skipped corrupt checkpoint: {w}");
+    }
+    let format = envelope.field("format")?.as_u64()?;
+    if format != u64::from(FORMAT_VERSION) {
+        return Err(fail(format!(
+            "checkpoint {seq} uses format {format}, but this build supports only format \
+             {FORMAT_VERSION}"
+        )));
+    }
+    let algorithm = envelope.field("algorithm")?.as_str()?;
+    if algorithm != opts.algorithm.name() {
+        return Err(fail(format!(
+            "checkpoint {seq} was written by '{algorithm}' but the manifest configures '{}'",
+            opts.algorithm.name()
+        )));
+    }
+    let rng_words: [u64; 4] = envelope
+        .field("rng")?
+        .to_u64_vec()?
+        .try_into()
+        .map_err(|_| fail(format!("checkpoint {seq} has a malformed RNG state")))?;
+    let rng = StdRng::from_state(rng_words);
+    let elapsed = Duration::from_nanos(envelope.field("elapsed_nanos")?.as_u64()?);
+    let point = ResumePoint { state: envelope.field("state")?.clone(), elapsed };
+
+    let problem = build_problem(&opts)?;
+    println!(
+        "resuming {} on {} ({}) from checkpoint {} in {}",
+        opts.algorithm.name(),
+        opts.app,
+        opts.set,
+        seq,
+        store.root().display()
+    );
+    let persistence = Persistence {
+        store: checkpoints,
+        every: opts.checkpoint_every,
+        crash_after: opts.crash_after_checkpoints,
+        algorithm: opts.algorithm,
+    };
+    let result = execute(&opts, &problem, &normalizer, Some(&persistence), Some((point, rng)))?;
+    finish_run(&opts, &problem, &normalizer, Some(&store), &result)
+}
+
+fn compare(opts: &RunOptions) -> Result<(), CliError> {
+    let problem = build_problem(opts)?;
     let normalizer = corpus_normalizer(&problem, opts.seed);
     println!(
         "comparing all algorithms on {} ({}), budget {} evaluations\n",
@@ -205,7 +527,9 @@ fn compare(opts: &RunOptions) -> ExitCode {
     );
     println!("{:<12} {:>10} {:>10} {:>10} {:>7}", "algorithm", "evals", "time", "PHV", "front");
     for (algorithm, name) in Algorithm::ALL {
-        let result = run_algorithm(algorithm, &problem, &normalizer, opts);
+        let mut per_algorithm = opts.clone();
+        per_algorithm.algorithm = algorithm;
+        let result = execute(&per_algorithm, &problem, &normalizer, None, None)?;
         println!(
             "{:<12} {:>10} {:>10.2?} {:>10.4} {:>7}",
             name,
@@ -215,10 +539,10 @@ fn compare(opts: &RunOptions) -> ExitCode {
             result.front().len()
         );
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn info(app: Benchmark, seed: u64) -> ExitCode {
+fn info(app: Benchmark, seed: u64) {
     let platform = PlatformConfig::paper();
     let mix = platform.pe_mix();
     let w = Workload::synthesize(app, mix, seed);
@@ -253,12 +577,11 @@ fn info(app: Benchmark, seed: u64) -> ExitCode {
     }
     let total_power: f64 = w.pe_powers().iter().sum();
     println!("  total PE power: {total_power:.1} W");
-    ExitCode::SUCCESS
 }
 
-fn simulate(opts: &RunOptions, load_factor: f64, cycles: u64) -> ExitCode {
-    let problem = build_problem(opts);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+fn simulate(opts: &RunOptions, load_factor: f64, cycles: u64) -> Result<(), CliError> {
+    let problem = build_problem(opts)?;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
     let design = problem.random_solution(&mut rng);
     println!(
         "simulating a random design: {} workload, load x{load_factor}, {cycles} cycles",
@@ -277,5 +600,5 @@ fn simulate(opts: &RunOptions, load_factor: f64, cycles: u64) -> ExitCode {
         analytic.network.avg_packet_latency,
         analytic.mean_traffic / 1000.0
     );
-    ExitCode::SUCCESS
+    Ok(())
 }

@@ -12,16 +12,24 @@
 //!    reached;
 //! 3. **decomposition EA** (line 12): MOEA/D-style mating within
 //!    Tchebycheff neighborhoods with probability `δ`.
+//!
+//! The run loop is exposed as a checkpointable state machine
+//! ([`MoelaState`], one [`Resumable::step`] per generation) so a run can
+//! be snapshotted at any generation boundary and resumed bit-identically.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore};
 
 use moela_ml::{Dataset, RandomForest};
+use moela_moo::checkpoint::Resumable;
+use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
-use moela_moo::scalarize::Scalarizer;
+use moela_moo::scalarize::{ReferencePoint, Scalarizer};
+use moela_moo::snapshot::entries_from_value;
 use moela_moo::{ParallelEvaluator, Problem};
+use moela_persist::{PersistError, Restore, Snapshot, SolutionCodec, Value};
 
 use crate::config::MoelaConfig;
 use crate::local_search::{greedy_descent, LocalSearchBudget};
@@ -81,8 +89,16 @@ where
     /// [`MoelaConfig::threads`], so the outcome is bit-identical for every
     /// thread count.
     pub fn run(&self, rng: &mut impl RngCore) -> MoelaOutcome<P::Solution> {
-        let mut rng: &mut dyn RngCore = rng;
-        let cfg = &self.config;
+        let rng: &mut dyn RngCore = rng;
+        let mut state = self.start(rng);
+        while state.step(rng) {}
+        state.finish()
+    }
+
+    /// Initializes a run (the random population plus the generation-0
+    /// trace point) and returns it as a steppable state machine.
+    pub fn start(&self, rng: &mut dyn RngCore) -> MoelaState<'p, P> {
+        let cfg = self.config.clone();
         let m = self.problem.objective_count();
         let start_time = Instant::now();
         let mut evaluations = 0u64;
@@ -90,7 +106,6 @@ where
             Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
             None => TraceRecorder::new(m),
         };
-
         let evaluator = ParallelEvaluator::new(cfg.threads);
 
         // Initialization: N random designs, one per weight vector, drawn
@@ -107,154 +122,284 @@ where
                 Individual { solution, objectives }
             })
             .collect();
-        let mut population = Population::new(individuals, m, cfg.neighborhood);
-        let mut train = Dataset::with_capacity(cfg.train_cap);
-        let mut eval_fn: Option<RandomForest> = None;
-        // Starts used in the previous iteration; MLguide skips them so the
-        // guided phase does not re-descend a freshly exhausted design.
-        let mut recent_starts: Vec<usize> = Vec::new();
+        let population = Population::new(individuals, m, cfg.neighborhood);
+        let train = Dataset::with_capacity(cfg.train_cap);
         recorder.record(0, evaluations, start_time.elapsed(), &population.objective_vectors());
 
-        let budget_left = |evaluations: u64, start: Instant| {
-            cfg.max_evaluations.is_none_or(|cap| evaluations < cap)
-                && cfg.time_budget.is_none_or(|cap| start.elapsed() < cap)
+        MoelaState {
+            config: cfg,
+            problem: self.problem,
+            evaluator,
+            start_time,
+            evaluations,
+            recorder,
+            population,
+            train,
+            eval_fn: None,
+            recent_starts: Vec::new(),
+            generation: 0,
+            last_generation: 0,
+            finished: false,
+        }
+    }
+
+    /// Rebuilds a mid-run state from a [`MoelaState::snapshot_state`]
+    /// value. `elapsed` is the wall-clock time the interrupted run had
+    /// already consumed (checkpointed alongside the snapshot); the
+    /// restored state's time budget continues from there.
+    pub fn restore<C: SolutionCodec<P::Solution>>(
+        &self,
+        codec: &C,
+        value: &Value,
+        elapsed: Duration,
+    ) -> Result<MoelaState<'p, P>, PersistError> {
+        let cfg = self.config.clone();
+        let m = self.problem.objective_count();
+        let individuals: Vec<Individual<P::Solution>> =
+            entries_from_value(value.field("population")?, codec)?
+                .into_iter()
+                .map(|(solution, objectives)| Individual { solution, objectives })
+                .collect();
+        if individuals.is_empty() {
+            return Err(PersistError::schema("checkpointed population is empty"));
+        }
+        if individuals.iter().any(|i| i.objectives.len() != m) {
+            return Err(PersistError::schema("checkpointed objective dimensionality mismatch"));
+        }
+        let z = ReferencePoint::restore(value.field("z")?)?;
+        let normalizer = Normalizer::restore(value.field("normalizer")?)?;
+        if z.len() != m || normalizer.len() != m {
+            return Err(PersistError::schema(
+                "checkpointed reference/normalizer dimension mismatch",
+            ));
+        }
+        let population = Population::from_parts(individuals, m, cfg.neighborhood, z, normalizer);
+        let eval_fn = match value.field("eval_fn")? {
+            Value::Null => None,
+            v => Some(RandomForest::restore(v)?),
         };
+        Ok(MoelaState {
+            evaluator: ParallelEvaluator::new(cfg.threads),
+            config: cfg,
+            problem: self.problem,
+            start_time: Instant::now().checked_sub(elapsed).unwrap_or_else(Instant::now),
+            evaluations: value.field("evaluations")?.as_u64()?,
+            recorder: TraceRecorder::restore(value.field("recorder")?)?,
+            population,
+            train: Dataset::restore(value.field("train")?)?,
+            eval_fn,
+            recent_starts: value.field("recent_starts")?.to_usize_vec()?,
+            generation: value.field("generation")?.as_usize()?,
+            last_generation: value.field("last_generation")?.as_usize()?,
+            finished: value.field("finished")?.as_bool()?,
+        })
+    }
+}
 
-        let mut last_generation = 0usize;
-        'outer: for generation in 0..cfg.generations {
-            last_generation = generation + 1;
-            // --- (Ablation) EA-first ordering ---------------------------
-            if cfg.ea_first
-                && !self.ea_step(
-                    &mut population,
-                    &mut evaluations,
-                    &mut recorder,
-                    &evaluator,
-                    rng,
-                    start_time,
-                )
-            {
-                break 'outer;
-            }
+/// A MOELA run in progress: everything `run` kept on the stack, held as a
+/// value so the driver can checkpoint between generations.
+#[derive(Debug)]
+pub struct MoelaState<'p, P: Problem> {
+    config: MoelaConfig,
+    problem: &'p P,
+    evaluator: ParallelEvaluator,
+    start_time: Instant,
+    evaluations: u64,
+    recorder: TraceRecorder,
+    population: Population<P::Solution>,
+    train: Dataset,
+    eval_fn: Option<RandomForest>,
+    /// Starts used in the previous iteration; MLguide skips them so the
+    /// guided phase does not re-descend a freshly exhausted design.
+    recent_starts: Vec<usize>,
+    /// Next generation index to execute.
+    generation: usize,
+    last_generation: usize,
+    finished: bool,
+}
 
-            // --- Local-search phase -------------------------------------
-            let starts = match &eval_fn {
-                Some(model) if generation >= cfg.iter_early => {
-                    self.ml_guide(model, &population, &recent_starts)
-                }
-                _ => {
-                    let mut all: Vec<usize> = (0..cfg.population).collect();
-                    all.shuffle(&mut rng);
-                    all.truncate(cfg.n_local);
-                    all
-                }
-            };
-            recent_starts = starts.clone();
-            for idx in starts {
-                if !budget_left(evaluations, start_time) {
-                    break 'outer;
-                }
-                let individual = population.individual(idx).clone();
-                let weight = population.weight(idx).to_vec();
-                let z_raw = population.reference().values().to_vec();
-                let normalizer = population.normalizer().clone();
-                let start_g = Scalarizer::WeightedSum.value(
-                    &normalizer.normalize(&individual.objectives),
-                    &weight,
-                    &normalizer.normalize(&z_raw),
-                );
-                let outcome = greedy_descent(
-                    self.problem,
-                    &individual.solution,
-                    &individual.objectives,
-                    &weight,
-                    &z_raw,
-                    &normalizer,
-                    LocalSearchBudget {
-                        max_steps: cfg.ls_max_steps,
-                        neighbors_per_step: cfg.ls_neighbors_per_step,
-                        stall_evaluations: cfg.ls_stall_evaluations,
-                    },
-                    &evaluator,
-                    rng,
-                );
-                evaluations += outcome.evaluations;
-                recorder.observe(&outcome.best_objectives);
-                // The paper's Eval "predict[s] how much a design can
-                // improve towards the reference point": the regression
-                // target is the (negative) improvement, so Algorithm 2's
-                // lowest-e_i selection picks the starts with the largest
-                // predicted improvement.
-                let improvement_target = outcome.final_value - start_g;
-                for features in outcome.trajectory_features {
-                    train.push(features, improvement_target);
-                }
-                // Offer every accepted state to every sub-problem — these
-                // evaluations are already paid for, and the search may
-                // have drifted through several weights' regions.
-                let scope: Vec<usize> = (0..population.len()).collect();
-                for (state, objectives) in &outcome.accepted {
-                    recorder.observe(objectives);
-                    population.update(
-                        Scalarizer::Tchebycheff,
-                        state,
-                        objectives,
-                        &scope,
-                        cfg.max_replacements,
-                    );
-                }
-            }
+impl<'p, P> MoelaState<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+{
+    /// Objective evaluations paid for so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
 
-            // --- Train Eval ----------------------------------------------
-            if generation + 1 >= cfg.iter_early && train.len() >= 8 {
-                eval_fn = Some(RandomForest::fit(&train, &cfg.forest, &mut rng));
-            }
+    /// Completed generations.
+    pub fn completed(&self) -> u64 {
+        self.generation as u64
+    }
 
-            // --- Decomposition EA step -----------------------------------
-            if !cfg.ea_first
-                && !self.ea_step(
-                    &mut population,
-                    &mut evaluations,
-                    &mut recorder,
-                    &evaluator,
-                    rng,
-                    start_time,
-                )
-            {
-                break 'outer;
-            }
+    fn budget_left(&self) -> bool {
+        self.config.max_evaluations.is_none_or(|cap| self.evaluations < cap)
+            && self.config.time_budget.is_none_or(|cap| self.start_time.elapsed() < cap)
+    }
 
-            recorder.record(
-                generation + 1,
-                evaluations,
-                start_time.elapsed(),
-                &population.objective_vectors(),
-            );
+    /// Executes one generation. Returns `false` — drawing no RNG values —
+    /// once the run has finished.
+    pub fn step(&mut self, rng: &mut dyn RngCore) -> bool {
+        let mut rng = rng;
+        if self.finished || self.generation >= self.config.generations {
+            self.finished = true;
+            return false;
+        }
+        let generation = self.generation;
+        self.last_generation = generation + 1;
+
+        // --- (Ablation) EA-first ordering ---------------------------
+        if self.config.ea_first && !self.ea_step(rng) {
+            self.finished = true;
+            return false;
         }
 
-        // A budget exhaustion breaks out of the loop *before* the
-        // per-generation record above, which used to leave the last
-        // paid-for evaluations invisible in the trace. Record a final
-        // point whenever the trace lags the evaluation count.
-        if recorder.points().last().is_none_or(|p| p.evaluations != evaluations) {
-            recorder.record(
-                last_generation,
-                evaluations,
-                start_time.elapsed(),
-                &population.objective_vectors(),
+        // --- Local-search phase -------------------------------------
+        let starts = match &self.eval_fn {
+            Some(model) if generation >= self.config.iter_early => {
+                ml_guide(self.problem, &self.config, model, &self.population, &self.recent_starts)
+            }
+            _ => {
+                let mut all: Vec<usize> = (0..self.config.population).collect();
+                all.shuffle(&mut rng);
+                all.truncate(self.config.n_local);
+                all
+            }
+        };
+        self.recent_starts = starts.clone();
+        for idx in starts {
+            if !self.budget_left() {
+                self.finished = true;
+                return false;
+            }
+            let individual = self.population.individual(idx).clone();
+            let weight = self.population.weight(idx).to_vec();
+            let z_raw = self.population.reference().values().to_vec();
+            let normalizer = self.population.normalizer().clone();
+            let start_g = Scalarizer::WeightedSum.value(
+                &normalizer.normalize(&individual.objectives),
+                &weight,
+                &normalizer.normalize(&z_raw),
             );
+            let outcome = greedy_descent(
+                self.problem,
+                &individual.solution,
+                &individual.objectives,
+                &weight,
+                &z_raw,
+                &normalizer,
+                LocalSearchBudget {
+                    max_steps: self.config.ls_max_steps,
+                    neighbors_per_step: self.config.ls_neighbors_per_step,
+                    stall_evaluations: self.config.ls_stall_evaluations,
+                },
+                &self.evaluator,
+                rng,
+            );
+            self.evaluations += outcome.evaluations;
+            self.recorder.observe(&outcome.best_objectives);
+            // The paper's Eval "predict[s] how much a design can
+            // improve towards the reference point": the regression
+            // target is the (negative) improvement, so Algorithm 2's
+            // lowest-e_i selection picks the starts with the largest
+            // predicted improvement.
+            let improvement_target = outcome.final_value - start_g;
+            for features in outcome.trajectory_features {
+                self.train.push(features, improvement_target);
+            }
+            // Offer every accepted state to every sub-problem — these
+            // evaluations are already paid for, and the search may
+            // have drifted through several weights' regions.
+            let scope: Vec<usize> = (0..self.population.len()).collect();
+            for (state, objectives) in &outcome.accepted {
+                self.recorder.observe(objectives);
+                self.population.update(
+                    Scalarizer::Tchebycheff,
+                    state,
+                    objectives,
+                    &scope,
+                    self.config.max_replacements,
+                );
+            }
         }
 
+        // --- Train Eval ----------------------------------------------
+        if generation + 1 >= self.config.iter_early && self.train.len() >= 8 {
+            self.eval_fn = Some(RandomForest::fit(&self.train, &self.config.forest, &mut rng));
+        }
+
+        // --- Decomposition EA step -----------------------------------
+        if !self.config.ea_first && !self.ea_step(rng) {
+            self.finished = true;
+            return false;
+        }
+
+        self.recorder.record(
+            generation + 1,
+            self.evaluations,
+            self.start_time.elapsed(),
+            &self.population.objective_vectors(),
+        );
+        self.generation = generation + 1;
+        true
+    }
+
+    /// Consumes the state, producing the final result.
+    pub fn finish(mut self) -> MoelaOutcome<P::Solution> {
+        // A budget exhaustion stops the run *before* the per-generation
+        // record, which would leave the last paid-for evaluations
+        // invisible in the trace. Record a final point whenever the trace
+        // lags the evaluation count.
+        if self.recorder.points().last().is_none_or(|p| p.evaluations != self.evaluations) {
+            self.recorder.record(
+                self.last_generation,
+                self.evaluations,
+                self.start_time.elapsed(),
+                &self.population.objective_vectors(),
+            );
+        }
         RunResult {
-            population: population
+            population: self
+                .population
                 .individuals()
                 .iter()
                 .map(|i| (i.solution.clone(), i.objectives.clone()))
                 .collect(),
-            trace: recorder.into_points(),
-            evaluations,
-            elapsed: start_time.elapsed(),
+            trace: self.recorder.into_points(),
+            evaluations: self.evaluations,
+            elapsed: self.start_time.elapsed(),
         }
+    }
+
+    /// Captures the complete optimizer state (the RNG is checkpointed by
+    /// the driver alongside).
+    pub fn snapshot_state<C: SolutionCodec<P::Solution>>(&self, codec: &C) -> Value {
+        let individuals = Value::Array(
+            self.population
+                .individuals()
+                .iter()
+                .map(|ind| {
+                    Value::object(vec![
+                        ("solution", codec.encode_solution(&ind.solution)),
+                        ("objectives", Value::f64_array(&ind.objectives)),
+                    ])
+                })
+                .collect(),
+        );
+        Value::object(vec![
+            ("generation", Value::U64(self.generation as u64)),
+            ("last_generation", Value::U64(self.last_generation as u64)),
+            ("finished", Value::Bool(self.finished)),
+            ("evaluations", Value::U64(self.evaluations)),
+            ("recorder", self.recorder.snapshot()),
+            ("population", individuals),
+            ("z", self.population.reference().snapshot()),
+            ("normalizer", self.population.normalizer().snapshot()),
+            ("train", self.train.snapshot()),
+            ("eval_fn", self.eval_fn.as_ref().map_or(Value::Null, Snapshot::snapshot)),
+            ("recent_starts", Value::usize_array(&self.recent_starts)),
+        ])
     }
 
     /// One decomposition-EA pass over all sub-problems (Algorithm 1,
@@ -263,23 +408,15 @@ where
     /// pass — then evaluated as one batch, then offered to the population
     /// in sub-problem order. Returns `false` when the budget cut the pass
     /// short.
-    fn ea_step(
-        &self,
-        population: &mut Population<P::Solution>,
-        evaluations: &mut u64,
-        recorder: &mut TraceRecorder,
-        evaluator: &ParallelEvaluator,
-        rng: &mut dyn RngCore,
-        start_time: Instant,
-    ) -> bool {
+    fn ea_step(&mut self, rng: &mut dyn RngCore) -> bool {
         let cfg = &self.config;
-        if cfg.time_budget.is_some_and(|cap| start_time.elapsed() >= cap) {
+        if cfg.time_budget.is_some_and(|cap| self.start_time.elapsed() >= cap) {
             return false;
         }
         // Cap the batch to the remaining evaluation budget so hard caps
         // stay as tight as with one-at-a-time evaluation.
         let remaining =
-            cfg.max_evaluations.map_or(u64::MAX, |cap| cap.saturating_sub(*evaluations));
+            cfg.max_evaluations.map_or(u64::MAX, |cap| cap.saturating_sub(self.evaluations));
         let batch = (cfg.population as u64).min(remaining) as usize;
         if batch == 0 {
             return false;
@@ -290,7 +427,7 @@ where
         for i in 0..batch {
             let whole: Vec<usize>;
             let pool: &[usize] = if rng.gen_bool(cfg.delta) {
-                population.neighborhood(i)
+                self.population.neighborhood(i)
             } else {
                 whole = (0..cfg.population).collect();
                 &whole
@@ -299,7 +436,7 @@ where
             let child = if pool.len() < 2 {
                 // A one-element pool cannot supply a distinct second
                 // parent; mutate instead of crossing a design with itself.
-                self.problem.neighbor(&population.individual(pa).solution, rng)
+                self.problem.neighbor(&self.population.individual(pa).solution, rng)
             } else {
                 let mut pb = pool[rng.gen_range(0..pool.len())];
                 if pb == pa {
@@ -307,8 +444,8 @@ where
                         % pool.len()];
                 }
                 self.problem.crossover(
-                    &population.individual(pa).solution,
-                    &population.individual(pb).solution,
+                    &self.population.individual(pa).solution,
+                    &self.population.individual(pb).solution,
                     rng,
                 )
             };
@@ -316,11 +453,11 @@ where
             scopes.push(pool.to_vec());
         }
 
-        let objective_batch = evaluator.evaluate(self.problem, &children);
-        *evaluations += children.len() as u64;
+        let objective_batch = self.evaluator.evaluate(self.problem, &children);
+        self.evaluations += children.len() as u64;
         for ((child, objectives), scope) in children.iter().zip(&objective_batch).zip(&scopes) {
-            recorder.observe(objectives);
-            population.update(
+            self.recorder.observe(objectives);
+            self.population.update(
                 Scalarizer::Tchebycheff,
                 child,
                 objectives,
@@ -330,29 +467,55 @@ where
         }
         batch == cfg.population
     }
+}
 
-    /// Algorithm 2: score every design with the learned `Eval` and return
-    /// the `n_local` most promising (lowest predicted outcome, i.e.
-    /// largest predicted improvement) indices, skipping designs searched
-    /// in the previous iteration.
-    fn ml_guide(
-        &self,
-        eval_fn: &RandomForest,
-        population: &Population<P::Solution>,
-        recent_starts: &[usize],
-    ) -> Vec<usize> {
-        let mut scored: Vec<(usize, f64)> = (0..population.len())
-            .filter(|i| !recent_starts.contains(i))
-            .map(|i| {
-                let mut features = self.problem.features(&population.individual(i).solution);
-                features.extend_from_slice(population.weight(i));
-                (i, eval_fn.predict(&features))
-            })
-            .collect();
-        scored.sort_by(|a, b| a.1.total_cmp(&b.1));
-        scored.truncate(self.config.n_local);
-        scored.into_iter().map(|(i, _)| i).collect()
+impl<'p, P, C> Resumable<C> for MoelaState<'p, P>
+where
+    P: Problem + Sync,
+    P::Solution: Sync,
+    C: SolutionCodec<P::Solution>,
+{
+    type Solution = P::Solution;
+
+    fn completed(&self) -> u64 {
+        MoelaState::completed(self)
     }
+
+    fn step(&mut self, rng: &mut dyn RngCore) -> bool {
+        MoelaState::step(self, rng)
+    }
+
+    fn snapshot_state(&self, codec: &C) -> Value {
+        MoelaState::snapshot_state(self, codec)
+    }
+
+    fn finish(self) -> RunResult<P::Solution> {
+        MoelaState::finish(self)
+    }
+}
+
+/// Algorithm 2: score every design with the learned `Eval` and return
+/// the `n_local` most promising (lowest predicted outcome, i.e.
+/// largest predicted improvement) indices, skipping designs searched
+/// in the previous iteration.
+fn ml_guide<P: Problem>(
+    problem: &P,
+    config: &MoelaConfig,
+    eval_fn: &RandomForest,
+    population: &Population<P::Solution>,
+    recent_starts: &[usize],
+) -> Vec<usize> {
+    let mut scored: Vec<(usize, f64)> = (0..population.len())
+        .filter(|i| !recent_starts.contains(i))
+        .map(|i| {
+            let mut features = problem.features(&population.individual(i).solution);
+            features.extend_from_slice(population.weight(i));
+            (i, eval_fn.predict(&features))
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+    scored.truncate(config.n_local);
+    scored.into_iter().map(|(i, _)| i).collect()
 }
 
 #[cfg(test)]
@@ -361,6 +524,7 @@ mod tests {
     use moela_moo::metrics::igd;
     use moela_moo::problems::{Dtlz, Zdt};
     use moela_moo::{Counted, EvalCounter};
+    use moela_persist::VecF64Codec;
     use rand::SeedableRng;
 
     fn rng(seed: u64) -> rand::rngs::StdRng {
@@ -459,7 +623,7 @@ mod tests {
         let counter = EvalCounter::new();
         let problem = Counted::new(Zdt::zdt1(10), counter.clone());
         // 7 × population doesn't divide the per-generation spend, so the
-        // cap lands mid-generation and forces the `break 'outer` path.
+        // cap lands mid-generation and forces the early-stop path.
         let config = MoelaConfig::builder()
             .population(10)
             .generations(1000)
@@ -513,5 +677,81 @@ mod tests {
             igd_moela < igd_random,
             "MOELA ({igd_moela}) must beat random search ({igd_random})"
         );
+    }
+
+    /// Resuming from a snapshot taken at every generation boundary must
+    /// reproduce the uninterrupted run bit-for-bit.
+    #[test]
+    fn snapshot_resume_is_bit_identical_at_every_boundary() {
+        let problem = Zdt::zdt3(8);
+        let config = MoelaConfig::builder()
+            .population(8)
+            .generations(5)
+            .iter_early(1)
+            .build()
+            .expect("valid");
+        let moela = Moela::new(config.clone(), &problem);
+
+        let baseline = Moela::new(config.clone(), &problem).run(&mut rng(21));
+
+        for boundary in 0..5u64 {
+            let mut r = rng(21);
+            let mut state = moela.start(&mut r);
+            while state.completed() < boundary && state.step(&mut r) {}
+            let snap = state.snapshot_state(&VecF64Codec);
+            let rng_state = r.state();
+
+            // Resume in a fresh state and run to completion.
+            let mut r2 = rand::rngs::StdRng::from_state(rng_state);
+            let mut resumed = moela.restore(&VecF64Codec, &snap, Duration::ZERO).expect("restore");
+            assert_eq!(resumed.completed(), boundary.min(state.completed()));
+            while resumed.step(&mut r2) {}
+            let out = resumed.finish();
+
+            assert_eq!(out.population, baseline.population, "boundary {boundary}");
+            assert_eq!(out.evaluations, baseline.evaluations);
+            let trace = |r: &MoelaOutcome<Vec<f64>>| -> Vec<(usize, u64, f64)> {
+                r.trace.iter().map(|p| (p.generation, p.evaluations, p.phv)).collect()
+            };
+            assert_eq!(trace(&out), trace(&baseline), "boundary {boundary}");
+        }
+    }
+
+    /// The snapshot value must survive an encode/decode round trip through
+    /// the JSON layer (this is what actually hits the disk).
+    #[test]
+    fn snapshot_survives_json_round_trip() {
+        let problem = Zdt::zdt1(6);
+        let config = MoelaConfig::builder()
+            .population(6)
+            .generations(3)
+            .iter_early(1)
+            .build()
+            .expect("valid");
+        let moela = Moela::new(config, &problem);
+        let mut r = rng(5);
+        let mut state = moela.start(&mut r);
+        while state.completed() < 2 && state.step(&mut r) {}
+        let snap = state.snapshot_state(&VecF64Codec);
+        let json = moela_persist::encode::to_string(&snap);
+        let back = moela_persist::decode::from_str(&json).expect("parse");
+        let restored = moela.restore(&VecF64Codec, &back, Duration::ZERO).expect("restore");
+        assert_eq!(restored.completed(), 2);
+        assert_eq!(restored.evaluations(), state.evaluations());
+    }
+
+    /// Once a run reports completion, further steps are no-ops that draw
+    /// nothing from the RNG.
+    #[test]
+    fn steps_past_the_end_draw_no_rng() {
+        let problem = Zdt::zdt1(6);
+        let config = MoelaConfig::builder().population(6).generations(2).build().expect("valid");
+        let mut r = rng(3);
+        let mut state = Moela::new(config, &problem).start(&mut r);
+        while state.step(&mut r) {}
+        let before = r.state();
+        assert!(!state.step(&mut r));
+        assert!(!state.step(&mut r));
+        assert_eq!(r.state(), before);
     }
 }

@@ -56,6 +56,34 @@ impl<S: Clone> Population<S> {
         Self { individuals, weights, neighborhoods: nbhd, z, normalizer }
     }
 
+    /// Rebuilds a population from checkpointed parts. Weights and
+    /// neighborhoods are deterministic functions of `(N, m, t)` and are
+    /// recomputed; `z` and the normalizer are adopted verbatim because the
+    /// running values may be wider than the current individuals imply
+    /// (they have observed every evaluation so far, including rejected
+    /// candidates).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Population::new`].
+    pub fn from_parts(
+        individuals: Vec<Individual<S>>,
+        m: usize,
+        t: usize,
+        z: ReferencePoint,
+        normalizer: Normalizer,
+    ) -> Self {
+        assert!(!individuals.is_empty(), "population must be non-empty");
+        assert!(
+            individuals.iter().all(|i| i.objectives.len() == m),
+            "objective dimensionality mismatch"
+        );
+        let n = individuals.len();
+        let weights = uniform_weights(n, m);
+        let nbhd = neighborhoods(&weights, t.clamp(1, n));
+        Self { individuals, weights, neighborhoods: nbhd, z, normalizer }
+    }
+
     /// Number of individuals (= sub-problems).
     pub fn len(&self) -> usize {
         self.individuals.len()

@@ -43,6 +43,7 @@
 //! # }
 //! ```
 
+pub mod codec;
 pub mod crossover;
 pub mod design;
 pub mod geometry;

@@ -4,6 +4,8 @@
 //! (`|S_train| ≤ 10K`); [`Dataset::with_capacity`] implements exactly that
 //! sliding-window behavior.
 
+use moela_persist::{PersistError, Restore, Snapshot, Value};
+
 /// A FIFO-bounded regression training set.
 ///
 /// # Example
@@ -99,6 +101,68 @@ impl Dataset {
     pub fn targets(&self) -> &[f64] {
         &self.targets
     }
+
+    /// The capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Ring-start index (position of the logically-oldest sample once the
+    /// bounded buffer has wrapped).
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Rebuilds a dataset from checkpointed storage — exact storage order
+    /// and ring position, so subsequent pushes evict the same samples the
+    /// uninterrupted run would have evicted.
+    pub fn from_parts(
+        features: Vec<Vec<f64>>,
+        targets: Vec<f64>,
+        capacity: Option<usize>,
+        start: usize,
+    ) -> Self {
+        assert_eq!(features.len(), targets.len(), "feature/target length mismatch");
+        Self { features, targets, capacity, start }
+    }
+}
+
+impl Snapshot for Dataset {
+    fn snapshot(&self) -> Value {
+        Value::object(vec![
+            ("features", Value::Array(self.features.iter().map(|f| Value::f64_array(f)).collect())),
+            ("targets", Value::f64_array(&self.targets)),
+            (
+                "capacity",
+                match self.capacity {
+                    Some(cap) => Value::U64(cap as u64),
+                    None => Value::Null,
+                },
+            ),
+            ("start", Value::U64(self.start as u64)),
+        ])
+    }
+}
+
+impl Restore for Dataset {
+    fn restore(value: &Value) -> Result<Self, PersistError> {
+        let features = value
+            .field("features")?
+            .as_array()?
+            .iter()
+            .map(Value::to_f64_vec)
+            .collect::<Result<Vec<_>, _>>()?;
+        let targets = value.field("targets")?.to_f64_vec()?;
+        if features.len() != targets.len() {
+            return Err(PersistError::schema("dataset feature/target length mismatch"));
+        }
+        let capacity = match value.field("capacity")? {
+            Value::Null => None,
+            v => Some(v.as_usize()?),
+        };
+        let start = value.field("start")?.as_usize()?;
+        Ok(Dataset::from_parts(features, targets, capacity, start))
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +203,22 @@ mod tests {
     fn nan_target_panics() {
         let mut d = Dataset::new();
         d.push(vec![1.0], f64::NAN);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_ring_position() {
+        let mut d = Dataset::with_capacity(3);
+        for i in 0..5 {
+            d.push(vec![i as f64], i as f64 * 2.0);
+        }
+        let mut back = Dataset::restore(&d.snapshot()).unwrap();
+        assert_eq!(back.capacity(), Some(3));
+        assert_eq!(back.start(), d.start());
+        assert_eq!(back.targets(), d.targets());
+        // The next push must evict the same slot in both copies.
+        d.push(vec![99.0], 99.0);
+        back.push(vec![99.0], 99.0);
+        assert_eq!(back.targets(), d.targets());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Bagged random forests over [`crate::tree::RegressionTree`].
 
+use moela_persist::{PersistError, Restore, Snapshot, Value};
 use rand::Rng;
 
 use crate::dataset::Dataset;
@@ -96,6 +97,30 @@ impl RandomForest {
     }
 }
 
+impl Snapshot for RandomForest {
+    fn snapshot(&self) -> Value {
+        Value::object(vec![(
+            "trees",
+            Value::Array(self.trees.iter().map(Snapshot::snapshot).collect()),
+        )])
+    }
+}
+
+impl Restore for RandomForest {
+    fn restore(value: &Value) -> Result<Self, PersistError> {
+        let trees = value
+            .field("trees")?
+            .as_array()?
+            .iter()
+            .map(RegressionTree::restore)
+            .collect::<Result<Vec<_>, _>>()?;
+        if trees.is_empty() {
+            return Err(PersistError::schema("forest must have at least one tree"));
+        }
+        Ok(Self { trees })
+    }
+}
+
 /// Mean-squared error of a predictor over a dataset — the fit-quality
 /// figure the MOELA trainer logs.
 pub fn mse(forest: &RandomForest, data: &Dataset) -> f64 {
@@ -183,6 +208,19 @@ mod tests {
         let f2 = RandomForest::fit(&d, &ForestConfig::default(), &mut rng());
         for x in [[0.2, 0.8], [0.7, 0.3]] {
             assert_eq!(f1.predict(&x), f2.predict(&x));
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_predicts_identically() {
+        let mut r = rng();
+        let d = linear_data(300, 0.2, &mut r);
+        let f = RandomForest::fit(&d, &ForestConfig::default(), &mut r);
+        let back = RandomForest::restore(&f.snapshot()).unwrap();
+        assert_eq!(back.tree_count(), f.tree_count());
+        for x in [[0.1, 0.9], [0.5, 0.5], [0.9, 0.2]] {
+            assert_eq!(back.predict(&x), f.predict(&x), "bit-identical predictions");
+            assert_eq!(back.tree_predictions(&x), f.tree_predictions(&x));
         }
     }
 

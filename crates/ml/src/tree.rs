@@ -1,5 +1,6 @@
 //! CART regression trees (variance-reduction splitting).
 
+use moela_persist::{PersistError, Restore, Snapshot, Value};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -109,6 +110,48 @@ impl RegressionTree {
         }
         walk(&self.root)
     }
+}
+
+impl Snapshot for RegressionTree {
+    fn snapshot(&self) -> Value {
+        Value::object(vec![
+            ("feature_len", Value::U64(self.feature_len as u64)),
+            ("root", node_to_value(&self.root)),
+        ])
+    }
+}
+
+impl Restore for RegressionTree {
+    fn restore(value: &Value) -> Result<Self, PersistError> {
+        Ok(Self {
+            feature_len: value.field("feature_len")?.as_usize()?,
+            root: node_from_value(value.field("root")?)?,
+        })
+    }
+}
+
+fn node_to_value(node: &Node) -> Value {
+    match node {
+        Node::Leaf { value } => Value::object(vec![("leaf", Value::F64(*value))]),
+        Node::Split { feature, threshold, left, right } => Value::object(vec![
+            ("feature", Value::U64(*feature as u64)),
+            ("threshold", Value::F64(*threshold)),
+            ("left", node_to_value(left)),
+            ("right", node_to_value(right)),
+        ]),
+    }
+}
+
+fn node_from_value(value: &Value) -> Result<Node, PersistError> {
+    if let Some(leaf) = value.field_opt("leaf") {
+        return Ok(Node::Leaf { value: leaf.as_f64()? });
+    }
+    Ok(Node::Split {
+        feature: value.field("feature")?.as_usize()?,
+        threshold: value.field("threshold")?.as_f64()?,
+        left: Box::new(node_from_value(value.field("left")?)?),
+        right: Box::new(node_from_value(value.field("right")?)?),
+    })
 }
 
 fn mean(data: &Dataset, indices: &[usize]) -> f64 {

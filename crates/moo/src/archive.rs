@@ -101,6 +101,24 @@ impl<S: Clone> ParetoArchive<S> {
     pub fn into_entries(self) -> Vec<(S, Vec<f64>)> {
         self.entries
     }
+
+    /// Rebuilds an archive from checkpointed entries **without**
+    /// re-running dominance filtering or eviction — entry order is part
+    /// of the restored state (MOOS indexes into it), so the entries are
+    /// adopted exactly as captured.
+    pub fn from_parts(entries: Vec<(S, Vec<f64>)>, capacity: Option<usize>) -> Self {
+        Self { entries, capacity }
+    }
+
+    /// The capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// The archived entries in insertion order.
+    pub fn entries(&self) -> &[(S, Vec<f64>)] {
+        &self.entries
+    }
 }
 
 impl<S: Clone> Default for ParetoArchive<S> {

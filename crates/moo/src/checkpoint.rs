@@ -1,0 +1,59 @@
+//! The optimizer-side checkpointing contract.
+//!
+//! Every optimizer in the workspace exposes a *state-machine* form of its
+//! run loop — `init` / [`Resumable::step`] / [`Resumable::finish`] — whose
+//! step granularity is one generation (or episode, or sampling chunk).
+//! The driver owns the loop:
+//!
+//! ```text
+//! let mut state = Algo::init(config, &problem, &mut rng);
+//! while state.step(&mut rng) {
+//!     // safe point: state.snapshot_state(&codec) + rng state → disk
+//! }
+//! let result = state.finish();
+//! ```
+//!
+//! The determinism contract: a state restored from
+//! [`Resumable::snapshot_state`] (together with the RNG state captured at
+//! the same safe point) continues with *bit-identical* RNG draws,
+//! evaluations and trace points as the uninterrupted run, at any thread
+//! count. The RNG state itself is **not** part of the snapshot value — the
+//! driver stores it alongside, in the checkpoint envelope, because one
+//! RNG spans the whole run while snapshots are per-algorithm.
+//!
+//! Restoration is an inherent per-algorithm constructor (configs and
+//! context differ), so this trait covers only the uniform part: stepping,
+//! snapshotting and finishing.
+
+use rand::RngCore;
+
+use moela_persist::{SolutionCodec, Value};
+
+use crate::run::RunResult;
+
+/// A checkpointable optimizer run in progress.
+///
+/// `C` is the solution codec (usually the problem type itself) used to
+/// encode solutions embedded in the state.
+pub trait Resumable<C: SolutionCodec<Self::Solution>> {
+    /// The problem's solution type.
+    type Solution;
+
+    /// Completed step count (generations / episodes / chunks). Starts at
+    /// 0 after `init` and increases by one per successful [`step`].
+    ///
+    /// [`step`]: Resumable::step
+    fn completed(&self) -> u64;
+
+    /// Executes exactly one step. Returns `false` when the run has
+    /// finished (budget exhausted, generations done, or time up) — after
+    /// which further calls must be no-ops that draw no RNG values.
+    fn step(&mut self, rng: &mut dyn RngCore) -> bool;
+
+    /// Captures the complete optimizer state (excluding the RNG, which
+    /// the driver checkpoints alongside).
+    fn snapshot_state(&self, codec: &C) -> Value;
+
+    /// Consumes the state, producing the final [`RunResult`].
+    fn finish(self) -> RunResult<Self::Solution>;
+}

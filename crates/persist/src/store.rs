@@ -1,0 +1,149 @@
+//! The run-store directory layout.
+//!
+//! ```text
+//! RUN_DIR/
+//!   manifest.json    # config + seed + build version (+ fitted normalizer)
+//!   checkpoints/     # rotating MOELA-CKPT files (see `checkpoint`)
+//!   trace.csv        # deterministic convergence trace
+//!   front.csv        # final Pareto front
+//! ```
+//!
+//! The manifest is plain JSON (human-inspectable, no checksum header) and
+//! is written atomically like checkpoints. `trace.csv` / `front.csv` are
+//! written once, when the run finishes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::checkpoint::{write_atomic, CheckpointStore};
+use crate::error::PersistError;
+use crate::value::Value;
+use crate::{decode, encode};
+
+/// Handle to one run directory.
+#[derive(Debug, Clone)]
+pub struct RunStore {
+    root: PathBuf,
+}
+
+impl RunStore {
+    /// Opens `root` as a run directory, creating it (and `checkpoints/`)
+    /// if needed.
+    pub fn create(root: impl Into<PathBuf>) -> Result<Self, PersistError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| PersistError::io(&root, e))?;
+        let store = Self { root };
+        fs::create_dir_all(store.checkpoints_dir())
+            .map_err(|e| PersistError::io(store.checkpoints_dir(), e))?;
+        Ok(store)
+    }
+
+    /// Opens an existing run directory; errors when there is no manifest
+    /// (i.e. nothing to resume).
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, PersistError> {
+        let root = root.into();
+        let manifest = root.join("manifest.json");
+        if !manifest.is_file() {
+            return Err(PersistError::io(
+                &manifest,
+                std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    "not a run directory (no manifest.json)",
+                ),
+            ));
+        }
+        Ok(Self { root })
+    }
+
+    /// The run directory itself.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// `RUN_DIR/manifest.json`.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.root.join("manifest.json")
+    }
+
+    /// `RUN_DIR/checkpoints`.
+    pub fn checkpoints_dir(&self) -> PathBuf {
+        self.root.join("checkpoints")
+    }
+
+    /// `RUN_DIR/trace.csv`.
+    pub fn trace_path(&self) -> PathBuf {
+        self.root.join("trace.csv")
+    }
+
+    /// `RUN_DIR/front.csv`.
+    pub fn front_path(&self) -> PathBuf {
+        self.root.join("front.csv")
+    }
+
+    /// The rotating checkpoint store under this run.
+    pub fn checkpoints(&self) -> Result<CheckpointStore, PersistError> {
+        CheckpointStore::new(self.checkpoints_dir())
+    }
+
+    /// Writes the manifest atomically.
+    pub fn write_manifest(&self, manifest: &Value) -> Result<(), PersistError> {
+        let text = encode::to_string(manifest);
+        write_atomic(&self.manifest_path(), text.as_bytes())
+    }
+
+    /// Reads and parses the manifest.
+    pub fn read_manifest(&self) -> Result<Value, PersistError> {
+        let path = self.manifest_path();
+        let text = fs::read_to_string(&path).map_err(|e| PersistError::io(&path, e))?;
+        decode::from_str(&text)
+    }
+
+    /// Writes `trace.csv` (atomically, like every run artifact).
+    pub fn write_trace(&self, csv: &str) -> Result<(), PersistError> {
+        write_atomic(&self.trace_path(), csv.as_bytes())
+    }
+
+    /// Writes `front.csv`.
+    pub fn write_front(&self, csv: &str) -> Result<(), PersistError> {
+        write_atomic(&self.front_path(), csv.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("moela-runstore-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn create_lays_out_the_directory() {
+        let root = temp_root("layout");
+        let store = RunStore::create(&root).unwrap();
+        assert!(store.checkpoints_dir().is_dir());
+        store.write_manifest(&Value::object(vec![("seed", Value::U64(11))])).unwrap();
+        let back = store.read_manifest().unwrap();
+        assert_eq!(back.field("seed").unwrap().as_u64().unwrap(), 11);
+        store.write_trace("generation,evaluations,phv\n").unwrap();
+        store.write_front("obj0,obj1\n").unwrap();
+        assert!(store.trace_path().is_file());
+        assert!(store.front_path().is_file());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_requires_a_manifest() {
+        let root = temp_root("open");
+        fs::create_dir_all(&root).unwrap();
+        let err = RunStore::open(&root).unwrap_err();
+        assert!(err.to_string().contains("manifest.json"), "{err}");
+        let store = RunStore::create(&root).unwrap();
+        store.write_manifest(&Value::Null).unwrap();
+        assert!(RunStore::open(&root).is_ok());
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based round-trip and corruption tests for the persist crate.
+//!
+//! The JSON layer and the checkpoint container each promise the same
+//! thing from opposite directions: every [`Value`] survives a trip to
+//! bytes and back unchanged, and no mutated byte stream is ever accepted
+//! (or panics) on the way back in.
+
+use std::path::Path;
+
+use moela_persist::{checkpoint, decode, encode, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+/// Generates arbitrary [`Value`] trees, `depth` levels deep at most.
+///
+/// Scalars deliberately hit the representational corners: extreme
+/// integers, negative zero, subnormals, and strings packed with the
+/// characters the encoder must escape.
+#[derive(Clone, Debug)]
+struct ArbValue {
+    depth: u32,
+}
+
+impl ArbValue {
+    fn scalar(rng: &mut StdRng) -> Value {
+        match rng.gen_range(0..7usize) {
+            0 => Value::Null,
+            1 => Value::Bool(rng.gen_bool(0.5)),
+            // Only negative I64s: the decoder canonicalizes non-negative
+            // integers to U64, so positives are the U64 arm's job.
+            2 => {
+                if rng.gen_bool(0.25) {
+                    Value::I64(i64::MIN)
+                } else {
+                    Value::I64(rng.gen_range(i64::MIN..0))
+                }
+            }
+            3 => {
+                if rng.gen_bool(0.25) {
+                    Value::U64(u64::MAX)
+                } else {
+                    Value::U64(rng.next_u64())
+                }
+            }
+            4 => Value::F64(Self::finite_f64(rng)),
+            _ => Value::Str(Self::string(rng)),
+        }
+    }
+
+    /// A finite float drawn from raw bit patterns (resampled until
+    /// finite), so exponent extremes and subnormals show up.
+    fn finite_f64(rng: &mut StdRng) -> f64 {
+        loop {
+            let f = f64::from_bits(rng.next_u64());
+            if f.is_finite() {
+                return f;
+            }
+        }
+    }
+
+    fn string(rng: &mut StdRng) -> String {
+        const POOL: &[char] = &[
+            'a', 'Z', '0', ' ', '"', '\\', '\n', '\r', '\t', '\u{08}', '\u{0C}', '\u{01}',
+            '\u{1f}', 'é', '☃', '𝄞', '/', '{', '}', '[', ']', ':', ',', 'N',
+        ];
+        let len = rng.gen_range(0..12usize);
+        (0..len).map(|_| POOL[rng.gen_range(0..POOL.len())]).collect()
+    }
+
+    fn generate_at(&self, depth: u32, rng: &mut StdRng) -> Value {
+        if depth == 0 || rng.gen_bool(0.4) {
+            return Self::scalar(rng);
+        }
+        if rng.gen_bool(0.5) {
+            let len = rng.gen_range(0..5usize);
+            Value::Array((0..len).map(|_| self.generate_at(depth - 1, rng)).collect())
+        } else {
+            let len = rng.gen_range(0..5usize);
+            Value::Object(
+                (0..len)
+                    .map(|i| {
+                        // Keys reuse the hostile character pool but get an
+                        // index prefix so duplicates cannot mask a field.
+                        (format!("{i}-{}", Self::string(rng)), self.generate_at(depth - 1, rng))
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+impl Strategy for ArbValue {
+    type Value = Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Value {
+        self.generate_at(self.depth, rng)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn values_round_trip_through_json_text(v in ArbValue { depth: 3 }) {
+        let text = encode::to_string(&v);
+        let back = decode::from_str(&text).expect("encoder output must parse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(v in ArbValue { depth: 3 }) {
+        let first = encode::to_string(&v);
+        let again = encode::to_string(&decode::from_str(&first).expect("parses"));
+        prop_assert_eq!(first, again);
+    }
+
+    #[test]
+    fn checkpoint_bytes_round_trip(v in ArbValue { depth: 3 }) {
+        let bytes = checkpoint::to_bytes(&v);
+        let back = checkpoint::from_bytes(&bytes, Path::new("<memory>"))
+            .expect("checkpoint bytes must re-parse");
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn every_f64_bit_pattern_survives_encoding(bits in 0u64..=u64::MAX) {
+        let f = f64::from_bits(bits);
+        let text = encode::to_string(&Value::F64(f));
+        let back = decode::from_str(&text).expect("parses").as_f64().expect("is a number");
+        if f.is_nan() {
+            prop_assert!(back.is_nan());
+        } else {
+            // Bit-exact, so -0.0 and subnormals survive verbatim.
+            prop_assert_eq!(back.to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_always_detected(
+        v in ArbValue { depth: 2 },
+        position in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = checkpoint::to_bytes(&v);
+        let index = ((bytes.len() - 1) as f64 * position) as usize;
+        bytes[index] ^= 1 << bit;
+        // A flip lands in the header (breaking the frame) or the payload
+        // (breaking the CRC), so the file must be rejected — with one
+        // benign exception: case-flipping a hex digit of the checksum
+        // still spells the same checksum. Corruption may never be
+        // *silently misread* as a different value, and never panic.
+        match checkpoint::from_bytes(&bytes, Path::new("<memory>")) {
+            Err(_) => {}
+            Ok(reparsed) => prop_assert_eq!(reparsed, v),
+        }
+    }
+
+    #[test]
+    fn truncations_are_always_detected(v in ArbValue { depth: 2 }, keep in 0.0f64..1.0) {
+        let bytes = checkpoint::to_bytes(&v);
+        let cut = ((bytes.len() - 1) as f64 * keep) as usize;
+        prop_assert!(checkpoint::from_bytes(&bytes[..cut], Path::new("<memory>")).is_err());
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics_the_decoder(s in ArbText) {
+        // Ok or Err are both fine; reaching this line is the property.
+        let _ = decode::from_str(&s);
+        let _ = checkpoint::from_bytes(s.as_bytes(), Path::new("<memory>"));
+    }
+}
+
+/// Random near-JSON text: fragments of valid syntax glued together so the
+/// decoder's error paths get exercised, not just its happy path.
+#[derive(Clone, Debug)]
+struct ArbText;
+
+impl Strategy for ArbText {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        const FRAGMENTS: &[&str] = &[
+            "{",
+            "}",
+            "[",
+            "]",
+            ":",
+            ",",
+            "\"",
+            "null",
+            "true",
+            "false",
+            "-",
+            "1",
+            "9e99",
+            "1e999",
+            "0.5",
+            "\\u12",
+            "\\q",
+            "\u{7f}",
+            "MOELA-CKPT",
+            " 1 ",
+            "crc32=",
+            "len=",
+            "\n",
+            "\"NaN\"",
+            "é",
+        ];
+        let len = rng.gen_range(0..16usize);
+        (0..len).map(|_| FRAGMENTS[rng.gen_range(0..FRAGMENTS.len())]).collect()
+    }
+}

@@ -17,4 +17,16 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> resume smoke (crash + resume is byte-identical)"
+smoke="$(mktemp -d)"
+trap 'rm -rf "$smoke"' EXIT
+dse=target/release/moela-dse
+flags=(--app BFS --objectives 3 --algorithm moela --budget 120 --population 8 --seed 7)
+"$dse" run "${flags[@]}" --run-dir "$smoke/full" >/dev/null
+"$dse" run "${flags[@]}" --run-dir "$smoke/crashed" --crash-after-checkpoints 1 \
+    >/dev/null 2>&1 && { echo "crash injection did not abort"; exit 1; }
+"$dse" resume "$smoke/crashed" >/dev/null
+cmp "$smoke/full/trace.csv" "$smoke/crashed/trace.csv"
+cmp "$smoke/full/front.csv" "$smoke/crashed/front.csv"
+
 echo "All checks passed."

@@ -43,6 +43,7 @@ pub use moela_manycore as manycore;
 pub use moela_ml as ml;
 pub use moela_moo as moo;
 pub use moela_nocsim as nocsim;
+pub use moela_persist as persist;
 pub use moela_thermal as thermal;
 pub use moela_traffic as traffic;
 
