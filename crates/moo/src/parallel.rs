@@ -64,6 +64,13 @@ impl ParallelEvaluator {
     /// worker evaluates its chunk via the problem's own
     /// [`Problem::evaluate_batch`] (so metering wrappers still tick), and
     /// chunk results are concatenated in order.
+    ///
+    /// # Panics
+    ///
+    /// A panic inside an evaluation is re-raised on the *caller's* thread
+    /// with its original payload, so callers can contain it with
+    /// `std::panic::catch_unwind` — a poisoned worker never takes down
+    /// the process on its own.
     pub fn evaluate<P>(&self, problem: &P, solutions: &[P::Solution]) -> Vec<Vec<f64>>
     where
         P: Problem + Sync,
@@ -75,15 +82,24 @@ impl ParallelEvaluator {
         }
         let chunk_len = solutions.len().div_ceil(workers);
         let mut results: Vec<Vec<Vec<f64>>> = Vec::with_capacity(workers);
+        let mut poisoned = None;
         std::thread::scope(|scope| {
             let handles: Vec<_> = solutions
                 .chunks(chunk_len)
                 .map(|chunk| scope.spawn(move || problem.evaluate_batch(chunk)))
                 .collect();
             for handle in handles {
-                results.push(handle.join().expect("evaluation worker panicked"));
+                // Join every worker before re-raising so the scope exits
+                // cleanly even when one chunk panicked.
+                match handle.join() {
+                    Ok(chunk) => results.push(chunk),
+                    Err(payload) => poisoned = Some(payload),
+                }
             }
         });
+        if let Some(payload) = poisoned {
+            std::panic::resume_unwind(payload);
+        }
         results.into_iter().flatten().collect()
     }
 }
@@ -141,5 +157,63 @@ mod tests {
         let solutions = batch(&problem, 17, 3);
         ParallelEvaluator::new(4).evaluate(&problem, &solutions);
         assert_eq!(counter.count(), 17);
+    }
+
+    /// A problem whose evaluation panics for solutions starting below zero.
+    struct Fragile;
+
+    impl Problem for Fragile {
+        type Solution = Vec<f64>;
+
+        fn objective_count(&self) -> usize {
+            2
+        }
+
+        fn random_solution(&self, _rng: &mut dyn rand::RngCore) -> Vec<f64> {
+            vec![1.0]
+        }
+
+        fn neighbor(&self, s: &Vec<f64>, _rng: &mut dyn rand::RngCore) -> Vec<f64> {
+            s.clone()
+        }
+
+        fn crossover(&self, a: &Vec<f64>, _b: &Vec<f64>, _rng: &mut dyn rand::RngCore) -> Vec<f64> {
+            a.clone()
+        }
+
+        fn evaluate(&self, s: &Vec<f64>) -> Vec<f64> {
+            assert!(s[0] >= 0.0, "fragile evaluation rejected the candidate");
+            vec![s[0], 1.0 - s[0]]
+        }
+
+        fn features(&self, s: &Vec<f64>) -> Vec<f64> {
+            s.clone()
+        }
+
+        fn feature_len(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_their_original_payload() {
+        let solutions: Vec<Vec<f64>> =
+            (0..12).map(|i| vec![if i == 7 { -1.0 } else { 1.0 }]).collect();
+        for threads in [1, 4] {
+            let evaluator = ParallelEvaluator::new(threads);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                evaluator.evaluate(&Fragile, &solutions)
+            }));
+            let payload = caught.expect_err("the poisoned chunk must panic");
+            let message = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+                .expect("panic carries a message");
+            assert!(
+                message.contains("fragile evaluation rejected"),
+                "threads {threads}: {message}"
+            );
+        }
     }
 }
