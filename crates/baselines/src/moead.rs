@@ -18,12 +18,13 @@ use rand::seq::SliceRandom;
 use rand::{Rng, RngCore};
 
 use moela_moo::checkpoint::Resumable;
+use moela_moo::fault::{fault_log_from, is_quarantined, EvalFault, FaultConfig, FaultLog};
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
 use moela_moo::scalarize::{ReferencePoint, Scalarizer};
 use moela_moo::snapshot::{entries_from_value, entries_to_value};
 use moela_moo::weights::{neighborhoods, uniform_weights};
-use moela_moo::{ParallelEvaluator, Problem};
+use moela_moo::{GuardedEvaluator, Problem};
 use moela_persist::{PersistError, Restore, Snapshot, SolutionCodec, Value};
 
 /// MOEA/D parameters.
@@ -49,6 +50,9 @@ pub struct MoeadConfig {
     /// Worker threads for batch objective evaluation (`0` = auto-detect).
     /// Results are bit-identical for every value.
     pub threads: usize,
+    /// Fault-containment policy for evaluation (see
+    /// [`moela_moo::GuardedEvaluator`]).
+    pub fault: FaultConfig,
 }
 
 impl Default for MoeadConfig {
@@ -63,6 +67,7 @@ impl Default for MoeadConfig {
             max_evaluations: None,
             time_budget: None,
             threads: 1,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -114,7 +119,7 @@ where
     ///
     /// Each generation's offspring are generated sequentially from `rng`
     /// (parents drawn from the population as it stood at the start of the
-    /// generation), evaluated as one batch through a [`ParallelEvaluator`]
+    /// generation), evaluated as one batch through a [`GuardedEvaluator`]
     /// sized by [`MoeadConfig::threads`], then applied in sub-problem
     /// order — so results are bit-identical for every thread count.
     pub fn run(&self, rng: &mut impl RngCore) -> RunResult<P::Solution> {
@@ -130,7 +135,7 @@ where
         let cfg = self.config.clone();
         let m = self.problem.objective_count();
         let start_time = Instant::now();
-        let evaluator = ParallelEvaluator::new(cfg.threads);
+        let mut evaluator = GuardedEvaluator::new(cfg.threads, cfg.fault);
         let mut evaluations = 0u64;
         let mut recorder = match &cfg.trace_normalizer {
             Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
@@ -143,14 +148,22 @@ where
         let mut normalizer = Normalizer::new(m);
         let solutions: Vec<P::Solution> =
             (0..cfg.population).map(|_| self.problem.random_solution(rng)).collect();
-        let objectives = evaluator.evaluate(self.problem, &solutions);
-        evaluations += solutions.len() as u64;
+        let batch = evaluator.evaluate(self.problem, &solutions);
+        evaluations += batch.attempts;
+        // Dropped initial slots are materialized as penalty vectors — every
+        // sub-problem keeps a member, but the quarantined ones never feed
+        // the reference point, normalizer, or trace.
+        let objectives = batch.materialized(m);
         for o in &objectives {
+            if is_quarantined(o) {
+                continue;
+            }
             z.update(o);
             normalizer.observe(o);
             recorder.observe(o);
         }
         recorder.record(0, evaluations, start_time.elapsed(), &objectives);
+        let evaluator_poisoned = evaluator.poisoned();
 
         MoeadState {
             config: cfg,
@@ -166,7 +179,7 @@ where
             solutions,
             objectives,
             generation: 0,
-            finished: false,
+            finished: evaluator_poisoned,
         }
     }
 
@@ -198,7 +211,11 @@ where
         let weights = uniform_weights(cfg.population, m);
         let nbhd = neighborhoods(&weights, cfg.neighborhood);
         Ok(MoeadState {
-            evaluator: ParallelEvaluator::new(cfg.threads),
+            evaluator: GuardedEvaluator::from_parts(
+                cfg.threads,
+                cfg.fault,
+                fault_log_from(value, "faults")?,
+            ),
             config: cfg,
             problem: self.problem,
             start_time: Instant::now().checked_sub(elapsed).unwrap_or_else(Instant::now),
@@ -221,7 +238,7 @@ where
 pub struct MoeadState<'p, P: Problem> {
     config: MoeadConfig,
     problem: &'p P,
-    evaluator: ParallelEvaluator,
+    evaluator: GuardedEvaluator,
     start_time: Instant,
     evaluations: u64,
     recorder: TraceRecorder,
@@ -253,7 +270,8 @@ where
     /// Executes one generation. Returns `false` — drawing no RNG values —
     /// once the run has finished.
     pub fn step(&mut self, rng: &mut dyn RngCore) -> bool {
-        if self.finished || self.generation >= self.config.generations {
+        if self.finished || self.generation >= self.config.generations || self.evaluator.poisoned()
+        {
             self.finished = true;
             return false;
         }
@@ -304,9 +322,17 @@ where
             pools.push(pool.to_vec());
         }
 
-        let child_objs_batch = self.evaluator.evaluate(self.problem, &children);
-        self.evaluations += children.len() as u64;
-        for ((child, child_objs), pool) in children.iter().zip(&child_objs_batch).zip(&pools) {
+        let batch = self.evaluator.evaluate(self.problem, &children);
+        self.evaluations += batch.attempts;
+        if self.evaluator.poisoned() {
+            self.finished = true;
+            return false;
+        }
+        for ((child, child_objs), pool) in children.iter().zip(&batch.objectives).zip(&pools) {
+            let Some(child_objs) = child_objs else { continue };
+            if is_quarantined(child_objs) {
+                continue;
+            }
             self.z.update(child_objs);
             self.normalizer.observe(child_objs);
             self.recorder.observe(child_objs);
@@ -367,7 +393,18 @@ where
             ("population", entries_to_value(&entries, codec)),
             ("z", self.z.snapshot()),
             ("normalizer", self.normalizer.snapshot()),
+            ("faults", self.evaluator.log().snapshot()),
         ])
+    }
+
+    /// Fault counters accumulated by the guarded evaluator.
+    pub fn fault_log(&self) -> &FaultLog {
+        self.evaluator.log()
+    }
+
+    /// The latched `Fail`-policy fault, if one stopped the run.
+    pub fn fault_error(&self) -> Option<&EvalFault> {
+        self.evaluator.error()
     }
 }
 
@@ -393,6 +430,14 @@ where
 
     fn finish(self) -> RunResult<P::Solution> {
         MoeadState::finish(self)
+    }
+
+    fn fault_log(&self) -> Option<&FaultLog> {
+        Some(MoeadState::fault_log(self))
+    }
+
+    fn fault_error(&self) -> Option<&EvalFault> {
+        MoeadState::fault_error(self)
     }
 }
 
@@ -505,6 +550,101 @@ mod tests {
             };
             assert_eq!(trace(&out), trace(&baseline), "boundary {boundary}");
         }
+    }
+
+    /// Under injected chaos with a containment policy, a full MOEA/D run
+    /// completes, stays finite, and is bit-identical at any thread count.
+    #[test]
+    fn chaotic_runs_are_finite_and_thread_invariant() {
+        use moela_moo::fault::{FaultConfig, FaultPolicy};
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        let spec = ChaosSpec::parse("panic=0.05,nan=0.05,inf=0.03,arity=0.03").unwrap();
+        let run = |threads: usize| {
+            let problem = ChaosProblem::new(Zdt::zdt1(8), spec, 31);
+            let config = MoeadConfig {
+                population: 10,
+                generations: 6,
+                threads,
+                fault: FaultConfig { policy: FaultPolicy::PenalizeWorst, retries: 1 },
+                ..Default::default()
+            };
+            let mut r = rng(13);
+            let mut state = Moead::new(config, &problem).start(&mut r);
+            while state.step(&mut r) {}
+            let log = *state.fault_log();
+            (state.finish(), log)
+        };
+        let (base, base_log) = run(1);
+        assert!(base_log.faults() > 0, "the spec must actually inject");
+        assert!(base.population.iter().all(|(_, o)| o.iter().all(|v| v.is_finite())));
+        for threads in [2, 4] {
+            let (out, log) = run(threads);
+            assert_eq!(out.population, base.population, "threads = {threads}");
+            assert_eq!(out.evaluations, base.evaluations);
+            assert_eq!(log, base_log, "fault counters must not depend on threads");
+        }
+    }
+
+    /// The default Fail policy latches the first fault as a structured
+    /// error and stops the run instead of aborting the process.
+    #[test]
+    fn fail_policy_latches_a_structured_error() {
+        use moela_moo::fault::FaultKind;
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        let problem = ChaosProblem::new(Zdt::zdt1(6), ChaosSpec::parse("panic=1.0").unwrap(), 5);
+        let config =
+            MoeadConfig { population: 6, neighborhood: 3, generations: 10, ..Default::default() };
+        let mut r = rng(1);
+        let mut state = Moead::new(config, &problem).start(&mut r);
+        assert!(!state.step(&mut r), "the poisoned guard must stop the run");
+        let err = state.fault_error().expect("a latched error");
+        assert_eq!(err.kind, FaultKind::Panic);
+        let via_trait =
+            <MoeadState<_> as Resumable<VecF64Codec>>::fault_error(&state).expect("surfaced");
+        assert_eq!(via_trait, err);
+    }
+
+    /// Interrupting a chaotic run and resuming (restoring the fault log
+    /// and the chaos ordinal) reproduces the uninterrupted run.
+    #[test]
+    fn chaos_resume_round_trips_fault_counters_bit_identically() {
+        use moela_moo::fault::{FaultConfig, FaultPolicy};
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        let spec = ChaosSpec::parse("nan=0.1,arity=0.05").unwrap();
+        let config = MoeadConfig {
+            population: 10,
+            generations: 5,
+            fault: FaultConfig { policy: FaultPolicy::Skip, retries: 1 },
+            ..Default::default()
+        };
+
+        let baseline_problem = ChaosProblem::new(Zdt::zdt3(8), spec, 77);
+        let mut r = rng(17);
+        let mut state = Moead::new(config.clone(), &baseline_problem).start(&mut r);
+        while state.step(&mut r) {}
+        let base_log = *state.fault_log();
+        let baseline = state.finish();
+        assert!(base_log.faults() > 0, "the spec must actually inject");
+
+        let interrupted_problem = ChaosProblem::new(Zdt::zdt3(8), spec, 77);
+        let moead2 = Moead::new(config.clone(), &interrupted_problem);
+        let mut r = rng(17);
+        let mut state = moead2.start(&mut r);
+        while state.completed() < 2 && state.step(&mut r) {}
+        let snap = state.snapshot_state(&VecF64Codec);
+        let ordinal = interrupted_problem.ordinal();
+        let rng_state = r.state();
+
+        let resumed_problem = ChaosProblem::new(Zdt::zdt3(8), spec, 77);
+        resumed_problem.set_ordinal(ordinal);
+        let moead3 = Moead::new(config, &resumed_problem);
+        let mut r2 = rand::rngs::StdRng::from_state(rng_state);
+        let mut resumed = moead3.restore(&VecF64Codec, &snap, Duration::ZERO).expect("restore");
+        while resumed.step(&mut r2) {}
+        assert_eq!(*resumed.fault_log(), base_log, "health counters must round-trip");
+        let out = resumed.finish();
+        assert_eq!(out.population, baseline.population);
+        assert_eq!(out.evaluations, baseline.evaluations);
     }
 
     #[test]

@@ -25,10 +25,11 @@ use rand::RngCore;
 use moela_ml::{Dataset, ForestConfig, RandomForest};
 use moela_moo::archive::ParetoArchive;
 use moela_moo::checkpoint::Resumable;
+use moela_moo::fault::{fault_log_from, is_quarantined, EvalFault, FaultConfig, FaultLog};
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
 use moela_moo::snapshot::{archive_from_value, archive_to_value};
-use moela_moo::{ParallelEvaluator, Problem};
+use moela_moo::{GuardedEvaluator, Problem};
 use moela_persist::{PersistError, Restore, Snapshot, SolutionCodec, Value};
 
 use crate::common::normalized_phv;
@@ -58,6 +59,9 @@ pub struct MooStageConfig {
     /// Worker threads for batch objective evaluation (`0` = auto-detect).
     /// Results are bit-identical for every value.
     pub threads: usize,
+    /// Fault-containment policy for evaluation (see
+    /// [`moela_moo::GuardedEvaluator`]).
+    pub fault: FaultConfig,
 }
 
 impl Default for MooStageConfig {
@@ -73,6 +77,7 @@ impl Default for MooStageConfig {
             max_evaluations: None,
             time_budget: None,
             threads: 1,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -124,7 +129,7 @@ where
     /// trace.
     ///
     /// Each base-search step's neighbors are sampled sequentially from
-    /// `rng`, then evaluated as one batch through a [`ParallelEvaluator`]
+    /// `rng`, then evaluated as one batch through a [`GuardedEvaluator`]
     /// sized by [`MooStageConfig::threads`] — results are bit-identical
     /// for every thread count (the archive only changes after the step's
     /// best candidate is chosen).
@@ -141,7 +146,7 @@ where
         let cfg = self.config.clone();
         let m = self.problem.objective_count();
         let start_time = Instant::now();
-        let evaluator = ParallelEvaluator::new(cfg.threads);
+        let mut evaluator = GuardedEvaluator::new(cfg.threads, cfg.fault);
         let mut evaluations = 0u64;
         let mut recorder = match &cfg.trace_normalizer {
             Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
@@ -151,14 +156,18 @@ where
         let mut archive: ParetoArchive<P::Solution> = ParetoArchive::bounded(cfg.archive_cap);
         let mut normalizer = Normalizer::new(m);
 
-        // Initial random start.
+        // Initial random start; a quarantined one is simply not archived
+        // (the base search still departs from it).
         let start = self.problem.random_solution(rng);
-        let start_objs = self.problem.evaluate(&start);
-        evaluations += 1;
-        normalizer.observe(&start_objs);
-        recorder.observe(&start_objs);
-        archive.insert(start.clone(), start_objs);
+        let (start_objs, attempts) = evaluator.evaluate_one(self.problem, &start);
+        evaluations += attempts;
+        if let Some(o) = start_objs.filter(|o| !is_quarantined(o)) {
+            normalizer.observe(&o);
+            recorder.observe(&o);
+            archive.insert(start.clone(), o);
+        }
         recorder.record(0, evaluations, start_time.elapsed(), &archive.objectives());
+        let evaluator_poisoned = evaluator.poisoned();
 
         MooStageState {
             config: cfg,
@@ -173,7 +182,7 @@ where
             eval_fn: None,
             start,
             episode: 0,
-            finished: false,
+            finished: evaluator_poisoned,
         }
     }
 
@@ -196,7 +205,11 @@ where
             v => Some(RandomForest::restore(v)?),
         };
         Ok(MooStageState {
-            evaluator: ParallelEvaluator::new(cfg.threads),
+            evaluator: GuardedEvaluator::from_parts(
+                cfg.threads,
+                cfg.fault,
+                fault_log_from(value, "faults")?,
+            ),
             config: cfg,
             problem: self.problem,
             start_time: Instant::now().checked_sub(elapsed).unwrap_or_else(Instant::now),
@@ -218,7 +231,7 @@ where
 pub struct MooStageState<'p, P: Problem> {
     config: MooStageConfig,
     problem: &'p P,
-    evaluator: ParallelEvaluator,
+    evaluator: GuardedEvaluator,
     start_time: Instant,
     evaluations: u64,
     recorder: TraceRecorder,
@@ -256,7 +269,7 @@ where
     /// once the run has finished.
     pub fn step(&mut self, rng: &mut dyn RngCore) -> bool {
         let mut rng = rng;
-        if self.finished || self.episode >= self.config.episodes {
+        if self.finished || self.episode >= self.config.episodes || self.evaluator.poisoned() {
             self.finished = true;
             return false;
         }
@@ -277,10 +290,18 @@ where
             let candidates: Vec<P::Solution> = (0..cfg.ls_neighbors_per_step)
                 .map(|_| self.problem.neighbor(&current, rng))
                 .collect();
-            let objective_batch = self.evaluator.evaluate(self.problem, &candidates);
-            self.evaluations += candidates.len() as u64;
+            let batch = self.evaluator.evaluate(self.problem, &candidates);
+            self.evaluations += batch.attempts;
+            if self.evaluator.poisoned() {
+                self.finished = true;
+                return false;
+            }
             let mut best: Option<(P::Solution, Vec<f64>, f64)> = None;
-            for (cand, objs) in candidates.into_iter().zip(objective_batch) {
+            for (cand, objs) in candidates.into_iter().zip(batch.objectives) {
+                let Some(objs) = objs else { continue };
+                if is_quarantined(&objs) {
+                    continue;
+                }
                 self.normalizer.observe(&objs);
                 self.recorder.observe(&objs);
                 // PHV potential: archive HV if this design joined.
@@ -314,7 +335,7 @@ where
             // STAGE regresses the *outcome* onto every visited state;
             // negate so lower predictions mean better starts, matching
             // the random-forest consumers elsewhere in the workspace.
-            self.train.push(features, -final_phv);
+            self.train.push_finite(features, -final_phv);
         }
         if self.train.len() >= 8 {
             self.eval_fn = Some(RandomForest::fit(&self.train, &cfg.forest, &mut rng));
@@ -379,7 +400,18 @@ where
             ("train", self.train.snapshot()),
             ("eval_fn", self.eval_fn.as_ref().map_or(Value::Null, Snapshot::snapshot)),
             ("start", codec.encode_solution(&self.start)),
+            ("faults", self.evaluator.log().snapshot()),
         ])
+    }
+
+    /// Fault counters accumulated by the guarded evaluator.
+    pub fn fault_log(&self) -> &FaultLog {
+        self.evaluator.log()
+    }
+
+    /// The latched `Fail`-policy fault, if one stopped the run.
+    pub fn fault_error(&self) -> Option<&EvalFault> {
+        self.evaluator.error()
     }
 }
 
@@ -405,6 +437,14 @@ where
 
     fn finish(self) -> RunResult<P::Solution> {
         MooStageState::finish(self)
+    }
+
+    fn fault_log(&self) -> Option<&FaultLog> {
+        Some(MooStageState::fault_log(self))
+    }
+
+    fn fault_error(&self) -> Option<&EvalFault> {
+        MooStageState::fault_error(self)
     }
 }
 
@@ -476,6 +516,63 @@ mod tests {
             r.population.iter().map(|(_, o)| o.clone()).collect()
         };
         assert_eq!(objs(&parallel), objs(&sequential));
+    }
+
+    /// Under injected chaos with a containment policy, a full MOO-STAGE
+    /// run completes, its archive stays clean, and results are
+    /// bit-identical at any thread count.
+    #[test]
+    fn chaotic_runs_are_finite_and_thread_invariant() {
+        use moela_moo::fault::{FaultConfig, FaultPolicy};
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        let spec = ChaosSpec::parse("panic=0.05,nan=0.05,arity=0.03").unwrap();
+        let run = |threads: usize| {
+            let problem = ChaosProblem::new(Zdt::zdt1(8), spec, 31);
+            let config = MooStageConfig {
+                episodes: 6,
+                threads,
+                fault: FaultConfig { policy: FaultPolicy::Skip, retries: 1 },
+                ..Default::default()
+            };
+            let mut r = rng(13);
+            let mut state = MooStage::new(config, &problem).start(&mut r);
+            while state.step(&mut r) {}
+            let log = *state.fault_log();
+            (state.finish(), log)
+        };
+        let (base, base_log) = run(1);
+        assert!(base_log.faults() > 0, "the spec must actually inject");
+        assert!(base
+            .population
+            .iter()
+            .all(|(_, o)| o.iter().all(|v| v.is_finite()) && !moela_moo::fault::is_penalty(o)));
+        for threads in [2, 4] {
+            let (out, log) = run(threads);
+            assert_eq!(out.evaluations, base.evaluations, "threads = {threads}");
+            let objs = |r: &RunResult<Vec<f64>>| -> Vec<Vec<f64>> {
+                r.population.iter().map(|(_, o)| o.clone()).collect()
+            };
+            assert_eq!(objs(&out), objs(&base), "threads = {threads}");
+            assert_eq!(log, base_log, "fault counters must not depend on threads");
+        }
+    }
+
+    /// The default Fail policy latches the first fault as a structured
+    /// error and stops the run instead of aborting the process.
+    #[test]
+    fn fail_policy_latches_a_structured_error() {
+        use moela_moo::fault::FaultKind;
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        let problem = ChaosProblem::new(Zdt::zdt1(6), ChaosSpec::parse("panic=1.0").unwrap(), 5);
+        let config = MooStageConfig { episodes: 10, ..Default::default() };
+        let mut r = rng(1);
+        let mut state = MooStage::new(config, &problem).start(&mut r);
+        assert!(!state.step(&mut r), "the poisoned guard must stop the run");
+        let err = state.fault_error().expect("a latched error");
+        assert_eq!(err.kind, FaultKind::Panic);
+        let via_trait =
+            <MooStageState<_> as Resumable<VecF64Codec>>::fault_error(&state).expect("surfaced");
+        assert_eq!(via_trait, err);
     }
 
     #[test]

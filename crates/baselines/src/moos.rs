@@ -27,12 +27,15 @@ use rand::{Rng, RngCore};
 use moela_ml::{Dataset, ForestConfig, RandomForest};
 use moela_moo::archive::ParetoArchive;
 use moela_moo::checkpoint::Resumable;
+use moela_moo::fault::{
+    fault_log_from, is_quarantined, penalty_objectives, EvalFault, FaultConfig, FaultLog,
+};
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
 use moela_moo::scalarize::ReferencePoint;
 use moela_moo::snapshot::{archive_from_value, archive_to_value};
 use moela_moo::weights::uniform_weights;
-use moela_moo::{ParallelEvaluator, Problem};
+use moela_moo::{GuardedEvaluator, Problem};
 use moela_persist::{PersistError, Restore, Snapshot, SolutionCodec, Value};
 
 use crate::common::{normalized_phv, weighted_descent};
@@ -66,6 +69,9 @@ pub struct MoosConfig {
     /// Worker threads for batch objective evaluation (`0` = auto-detect).
     /// Results are bit-identical for every value.
     pub threads: usize,
+    /// Fault-containment policy for evaluation (see
+    /// [`moela_moo::GuardedEvaluator`]).
+    pub fault: FaultConfig,
 }
 
 impl Default for MoosConfig {
@@ -83,6 +89,7 @@ impl Default for MoosConfig {
             max_evaluations: None,
             time_budget: None,
             threads: 1,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -133,7 +140,7 @@ where
     /// trace.
     ///
     /// Each descent step's neighbors are evaluated as one batch through a
-    /// [`ParallelEvaluator`] sized by [`MoosConfig::threads`] — results
+    /// [`GuardedEvaluator`] sized by [`MoosConfig::threads`] — results
     /// are bit-identical for every thread count.
     pub fn run(&self, rng: &mut impl RngCore) -> RunResult<P::Solution> {
         let rng: &mut dyn RngCore = rng;
@@ -148,7 +155,7 @@ where
         let cfg = self.config.clone();
         let m = self.problem.objective_count();
         let start_time = Instant::now();
-        let evaluator = ParallelEvaluator::new(cfg.threads);
+        let mut evaluator = GuardedEvaluator::new(cfg.threads, cfg.fault);
         let mut evaluations = 0u64;
         let mut recorder = match &cfg.trace_normalizer {
             Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
@@ -159,17 +166,26 @@ where
         let mut z = ReferencePoint::new(m);
         let mut normalizer = Normalizer::new(m);
 
-        // Seed the archive with a handful of random designs.
+        // Seed the archive with a handful of random designs; quarantined
+        // seeds are simply not archived.
         for _ in 0..4 {
             let s = self.problem.random_solution(rng);
-            let o = self.problem.evaluate(&s);
-            evaluations += 1;
+            let (o, attempts) = evaluator.evaluate_one(self.problem, &s);
+            evaluations += attempts;
+            if evaluator.poisoned() {
+                break;
+            }
+            let Some(o) = o else { continue };
+            if is_quarantined(&o) {
+                continue;
+            }
             z.update(&o);
             normalizer.observe(&o);
             recorder.observe(&o);
             archive.insert(s, o);
         }
         recorder.record(0, evaluations, start_time.elapsed(), &archive.objectives());
+        let evaluator_poisoned = evaluator.poisoned();
 
         MoosState {
             config: cfg,
@@ -184,7 +200,7 @@ where
             train: Dataset::with_capacity(10_000),
             gain_model: None,
             episode: 0,
-            finished: false,
+            finished: evaluator_poisoned,
         }
     }
 
@@ -211,7 +227,11 @@ where
             v => Some(RandomForest::restore(v)?),
         };
         Ok(MoosState {
-            evaluator: ParallelEvaluator::new(cfg.threads),
+            evaluator: GuardedEvaluator::from_parts(
+                cfg.threads,
+                cfg.fault,
+                fault_log_from(value, "faults")?,
+            ),
             config: cfg,
             problem: self.problem,
             start_time: Instant::now().checked_sub(elapsed).unwrap_or_else(Instant::now),
@@ -233,7 +253,7 @@ where
 pub struct MoosState<'p, P: Problem> {
     config: MoosConfig,
     problem: &'p P,
-    evaluator: ParallelEvaluator,
+    evaluator: GuardedEvaluator,
     start_time: Instant,
     evaluations: u64,
     recorder: TraceRecorder,
@@ -270,7 +290,7 @@ where
     /// once the run has finished.
     pub fn step(&mut self, rng: &mut dyn RngCore) -> bool {
         let mut rng = rng;
-        if self.finished || self.episode >= self.config.episodes {
+        if self.finished || self.episode >= self.config.episodes || self.evaluator.poisoned() {
             self.finished = true;
             return false;
         }
@@ -294,14 +314,27 @@ where
                 // design (archive members are locally exhausted), half the
                 // time re-descend an archive member in a random direction.
                 let w = directions[rng.gen_range(0..directions.len())].clone();
-                if rng.gen_bool(0.5) {
+                if entries.is_empty() || rng.gen_bool(0.5) {
                     let s = self.problem.random_solution(rng);
-                    let o = self.problem.evaluate(&s);
-                    self.evaluations += 1;
-                    self.z.update(&o);
-                    self.normalizer.observe(&o);
-                    self.recorder.observe(&o);
-                    self.archive.insert(s.clone(), o.clone());
+                    let (o, attempts) = self.evaluator.evaluate_one(self.problem, &s);
+                    self.evaluations += attempts;
+                    if self.evaluator.poisoned() {
+                        self.finished = true;
+                        return false;
+                    }
+                    // A quarantined fresh start still descends — from the
+                    // penalty corner, where any real neighbor improves —
+                    // but never touches the archive or the normalizer.
+                    let o = match o {
+                        Some(o) if !is_quarantined(&o) => {
+                            self.z.update(&o);
+                            self.normalizer.observe(&o);
+                            self.recorder.observe(&o);
+                            self.archive.insert(s.clone(), o.clone());
+                            o
+                        }
+                        _ => penalty_objectives(self.problem.objective_count()),
+                    };
                     (s, o, w)
                 } else {
                     let (s, o) = &entries[rng.gen_range(0..entries.len())];
@@ -321,9 +354,21 @@ where
                         }
                     }
                 }
-                let (si, di, _) = best.expect("archive is non-empty");
-                let (s, o) = &entries[si];
-                (s.clone(), o.clone(), directions[di].clone())
+                match best {
+                    Some((si, di, _)) => {
+                        let (s, o) = &entries[si];
+                        (s.clone(), o.clone(), directions[di].clone())
+                    }
+                    // Only reachable when chaos emptied the archive: fall
+                    // back to an unevaluated random start at the penalty
+                    // corner rather than indexing an empty archive.
+                    None => {
+                        let s = self.problem.random_solution(rng);
+                        let o = penalty_objectives(self.problem.objective_count());
+                        let w = directions[rng.gen_range(0..directions.len())].clone();
+                        (s, o, w)
+                    }
+                }
             };
 
         // --- Episode: descend and archive ---------------------------
@@ -337,10 +382,14 @@ where
             &self.normalizer,
             cfg.ls_max_steps,
             cfg.ls_neighbors_per_step,
-            &self.evaluator,
+            &mut self.evaluator,
             rng,
         );
         self.evaluations += spent;
+        if self.evaluator.poisoned() {
+            self.finished = true;
+            return false;
+        }
         for (s, o) in accepted {
             self.z.update(&o);
             self.normalizer.observe(&o);
@@ -352,7 +401,7 @@ where
         // --- Learn the gain ----------------------------------------
         let mut features = self.problem.features(&start);
         features.extend_from_slice(&weight);
-        self.train.push(features, phv_after - phv_before);
+        self.train.push_finite(features, phv_after - phv_before);
         if episode + 1 >= cfg.warmup && self.train.len() >= 8 {
             self.gain_model = Some(RandomForest::fit(&self.train, &cfg.forest, &mut rng));
         }
@@ -390,7 +439,18 @@ where
             ("normalizer", self.normalizer.snapshot()),
             ("train", self.train.snapshot()),
             ("gain_model", self.gain_model.as_ref().map_or(Value::Null, Snapshot::snapshot)),
+            ("faults", self.evaluator.log().snapshot()),
         ])
+    }
+
+    /// Fault counters accumulated by the guarded evaluator.
+    pub fn fault_log(&self) -> &FaultLog {
+        self.evaluator.log()
+    }
+
+    /// The latched `Fail`-policy fault, if one stopped the run.
+    pub fn fault_error(&self) -> Option<&EvalFault> {
+        self.evaluator.error()
     }
 }
 
@@ -416,6 +476,14 @@ where
 
     fn finish(self) -> RunResult<P::Solution> {
         MoosState::finish(self)
+    }
+
+    fn fault_log(&self) -> Option<&FaultLog> {
+        Some(MoosState::fault_log(self))
+    }
+
+    fn fault_error(&self) -> Option<&EvalFault> {
+        MoosState::fault_error(self)
     }
 }
 
@@ -510,6 +578,64 @@ mod tests {
             r.population.iter().map(|(_, o)| o.clone()).collect()
         };
         assert_eq!(objs(&a), objs(&b));
+    }
+
+    /// Under injected chaos with a containment policy, a full MOOS run
+    /// completes, its archive stays clean (finite, no penalty vectors),
+    /// and results are bit-identical at any thread count.
+    #[test]
+    fn chaotic_runs_are_finite_and_thread_invariant() {
+        use moela_moo::fault::{FaultConfig, FaultPolicy};
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        let spec = ChaosSpec::parse("panic=0.05,nan=0.05,arity=0.03").unwrap();
+        let run = |threads: usize| {
+            let problem = ChaosProblem::new(Zdt::zdt1(8), spec, 31);
+            let config = MoosConfig {
+                episodes: 8,
+                warmup: 2,
+                threads,
+                fault: FaultConfig { policy: FaultPolicy::Skip, retries: 1 },
+                ..Default::default()
+            };
+            let mut r = rng(13);
+            let mut state = Moos::new(config, &problem).start(&mut r);
+            while state.step(&mut r) {}
+            let log = *state.fault_log();
+            (state.finish(), log)
+        };
+        let (base, base_log) = run(1);
+        assert!(base_log.faults() > 0, "the spec must actually inject");
+        assert!(base
+            .population
+            .iter()
+            .all(|(_, o)| o.iter().all(|v| v.is_finite()) && !moela_moo::fault::is_penalty(o)));
+        for threads in [2, 4] {
+            let (out, log) = run(threads);
+            assert_eq!(out.evaluations, base.evaluations, "threads = {threads}");
+            let objs = |r: &RunResult<Vec<f64>>| -> Vec<Vec<f64>> {
+                r.population.iter().map(|(_, o)| o.clone()).collect()
+            };
+            assert_eq!(objs(&out), objs(&base), "threads = {threads}");
+            assert_eq!(log, base_log, "fault counters must not depend on threads");
+        }
+    }
+
+    /// The default Fail policy latches the first fault as a structured
+    /// error and stops the run instead of aborting the process.
+    #[test]
+    fn fail_policy_latches_a_structured_error() {
+        use moela_moo::fault::FaultKind;
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        let problem = ChaosProblem::new(Zdt::zdt1(6), ChaosSpec::parse("panic=1.0").unwrap(), 5);
+        let config = MoosConfig { episodes: 10, ..Default::default() };
+        let mut r = rng(1);
+        let mut state = Moos::new(config, &problem).start(&mut r);
+        assert!(!state.step(&mut r), "the poisoned guard must stop the run");
+        let err = state.fault_error().expect("a latched error");
+        assert_eq!(err.kind, FaultKind::Panic);
+        let via_trait =
+            <MoosState<_> as Resumable<VecF64Codec>>::fault_error(&state).expect("surfaced");
+        assert_eq!(via_trait, err);
     }
 
     #[test]

@@ -9,10 +9,11 @@ use std::time::{Duration, Instant};
 use rand::{Rng, RngCore};
 
 use moela_moo::checkpoint::Resumable;
+use moela_moo::fault::{fault_log_from, is_quarantined, EvalFault, FaultConfig, FaultLog};
 use moela_moo::pareto::{crowding_distance, non_dominated_sort};
 use moela_moo::run::{RunResult, TraceRecorder};
 use moela_moo::snapshot::{entries_from_value, entries_to_value};
-use moela_moo::{ParallelEvaluator, Problem};
+use moela_moo::{GuardedEvaluator, Problem};
 use moela_persist::{PersistError, Restore, Snapshot, SolutionCodec, Value};
 
 /// NSGA-II parameters.
@@ -32,6 +33,9 @@ pub struct Nsga2Config {
     /// Worker threads for batch objective evaluation (`0` = auto-detect).
     /// Results are bit-identical for every value.
     pub threads: usize,
+    /// Fault-containment policy for evaluation (see
+    /// [`moela_moo::GuardedEvaluator`]).
+    pub fault: FaultConfig,
 }
 
 impl Default for Nsga2Config {
@@ -43,6 +47,7 @@ impl Default for Nsga2Config {
             max_evaluations: None,
             time_budget: None,
             threads: 1,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -88,7 +93,7 @@ where
     /// Runs NSGA-II and returns the final population with its trace.
     ///
     /// Each generation's offspring are generated sequentially from `rng`,
-    /// then evaluated as one batch through a [`ParallelEvaluator`] sized
+    /// then evaluated as one batch through a [`GuardedEvaluator`] sized
     /// by [`Nsga2Config::threads`] — results are bit-identical for every
     /// thread count. When the evaluation budget runs out mid-generation,
     /// the partial offspring batch still enters environmental selection
@@ -106,7 +111,7 @@ where
         let cfg = self.config.clone();
         let m = self.problem.objective_count();
         let start_time = Instant::now();
-        let evaluator = ParallelEvaluator::new(cfg.threads);
+        let mut evaluator = GuardedEvaluator::new(cfg.threads, cfg.fault);
         let mut evaluations = 0u64;
         let mut recorder = match &cfg.trace_normalizer {
             Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
@@ -115,18 +120,24 @@ where
 
         let candidates: Vec<P::Solution> =
             (0..cfg.population).map(|_| self.problem.random_solution(rng)).collect();
-        let objective_batch = evaluator.evaluate(self.problem, &candidates);
-        evaluations += candidates.len() as u64;
+        let batch = evaluator.evaluate(self.problem, &candidates);
+        evaluations += batch.attempts;
+        // Dropped initial slots are materialized as penalty vectors so the
+        // population keeps its size; penalty members sink to the last front
+        // and are bred out, and they never feed the trace normalizer.
         let pop: Vec<(P::Solution, Vec<f64>)> = candidates
             .into_iter()
-            .zip(objective_batch)
+            .zip(batch.materialized(m))
             .map(|(s, o)| {
-                recorder.observe(&o);
+                if !is_quarantined(&o) {
+                    recorder.observe(&o);
+                }
                 (s, o)
             })
             .collect();
         let objs: Vec<Vec<f64>> = pop.iter().map(|(_, o)| o.clone()).collect();
         recorder.record(0, evaluations, start_time.elapsed(), &objs);
+        let evaluator_poisoned = evaluator.poisoned();
 
         Nsga2State {
             config: cfg,
@@ -137,7 +148,7 @@ where
             recorder,
             pop,
             generation: 0,
-            finished: false,
+            finished: evaluator_poisoned,
         }
     }
 
@@ -159,7 +170,11 @@ where
             return Err(PersistError::schema("checkpointed objective dimensionality mismatch"));
         }
         Ok(Nsga2State {
-            evaluator: ParallelEvaluator::new(cfg.threads),
+            evaluator: GuardedEvaluator::from_parts(
+                cfg.threads,
+                cfg.fault,
+                fault_log_from(value, "faults")?,
+            ),
             config: cfg,
             problem: self.problem,
             start_time: Instant::now().checked_sub(elapsed).unwrap_or_else(Instant::now),
@@ -177,7 +192,7 @@ where
 pub struct Nsga2State<'p, P: Problem> {
     config: Nsga2Config,
     problem: &'p P,
-    evaluator: ParallelEvaluator,
+    evaluator: GuardedEvaluator,
     start_time: Instant,
     evaluations: u64,
     recorder: TraceRecorder,
@@ -204,7 +219,8 @@ where
     /// Executes one generation. Returns `false` — drawing no RNG values —
     /// once the run has finished.
     pub fn step(&mut self, rng: &mut dyn RngCore) -> bool {
-        if self.finished || self.generation >= self.config.generations {
+        if self.finished || self.generation >= self.config.generations || self.evaluator.poisoned()
+        {
             self.finished = true;
             return false;
         }
@@ -258,11 +274,19 @@ where
                 self.problem.crossover(&self.pop[pa].0, &self.pop[pb].0, rng)
             })
             .collect();
-        let child_objs = self.evaluator.evaluate(self.problem, &children);
-        self.evaluations += children.len() as u64;
+        let batch = self.evaluator.evaluate(self.problem, &children);
+        self.evaluations += batch.attempts;
+        if self.evaluator.poisoned() {
+            self.finished = true;
+            return false;
+        }
+        // Skipped offspring simply shrink the batch — environmental
+        // selection handles a smaller parents ∪ offspring pool.
         let offspring: Vec<(P::Solution, Vec<f64>)> = children
             .into_iter()
-            .zip(child_objs)
+            .zip(batch.objectives)
+            .filter_map(|(child, o)| o.map(|o| (child, o)))
+            .filter(|(_, o)| !is_quarantined(o))
             .map(|(child, o)| {
                 self.recorder.observe(&o);
                 (child, o)
@@ -301,7 +325,18 @@ where
             ("evaluations", Value::U64(self.evaluations)),
             ("recorder", self.recorder.snapshot()),
             ("population", entries_to_value(&self.pop, codec)),
+            ("faults", self.evaluator.log().snapshot()),
         ])
+    }
+
+    /// Fault counters accumulated by the guarded evaluator.
+    pub fn fault_log(&self) -> &FaultLog {
+        self.evaluator.log()
+    }
+
+    /// The latched `Fail`-policy fault, if one stopped the run.
+    pub fn fault_error(&self) -> Option<&EvalFault> {
+        self.evaluator.error()
     }
 }
 
@@ -327,6 +362,14 @@ where
 
     fn finish(self) -> RunResult<P::Solution> {
         Nsga2State::finish(self)
+    }
+
+    fn fault_log(&self) -> Option<&FaultLog> {
+        Some(Nsga2State::fault_log(self))
+    }
+
+    fn fault_error(&self) -> Option<&EvalFault> {
+        Nsga2State::fault_error(self)
     }
 }
 
@@ -445,6 +488,57 @@ mod tests {
         let parallel = run(4);
         assert_eq!(parallel.population, sequential.population);
         assert_eq!(parallel.evaluations, sequential.evaluations);
+    }
+
+    /// Under injected chaos with a containment policy, a full NSGA-II run
+    /// completes, stays finite, and is bit-identical at any thread count.
+    #[test]
+    fn chaotic_runs_are_finite_and_thread_invariant() {
+        use moela_moo::fault::{FaultConfig, FaultPolicy};
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        let spec = ChaosSpec::parse("panic=0.05,nan=0.05,inf=0.03,arity=0.03").unwrap();
+        let run = |threads: usize| {
+            let problem = ChaosProblem::new(Zdt::zdt1(8), spec, 31);
+            let config = Nsga2Config {
+                population: 10,
+                generations: 6,
+                threads,
+                fault: FaultConfig { policy: FaultPolicy::Skip, retries: 1 },
+                ..Default::default()
+            };
+            let mut r = rng(13);
+            let mut state = Nsga2::new(config, &problem).start(&mut r);
+            while state.step(&mut r) {}
+            let log = *state.fault_log();
+            (state.finish(), log)
+        };
+        let (base, base_log) = run(1);
+        assert!(base_log.faults() > 0, "the spec must actually inject");
+        assert!(base.population.iter().all(|(_, o)| o.iter().all(|v| v.is_finite())));
+        for threads in [2, 4] {
+            let (out, log) = run(threads);
+            assert_eq!(out.population, base.population, "threads = {threads}");
+            assert_eq!(out.evaluations, base.evaluations);
+            assert_eq!(log, base_log, "fault counters must not depend on threads");
+        }
+    }
+
+    /// The default Fail policy latches the first fault as a structured
+    /// error and stops the run instead of aborting the process.
+    #[test]
+    fn fail_policy_latches_a_structured_error() {
+        use moela_moo::fault::FaultKind;
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        let problem = ChaosProblem::new(Zdt::zdt1(6), ChaosSpec::parse("panic=1.0").unwrap(), 5);
+        let config = Nsga2Config { population: 6, generations: 10, ..Default::default() };
+        let mut r = rng(1);
+        let mut state = Nsga2::new(config, &problem).start(&mut r);
+        assert!(!state.step(&mut r), "the poisoned guard must stop the run");
+        let err = state.fault_error().expect("a latched error");
+        assert_eq!(err.kind, FaultKind::Panic);
+        let via_trait =
+            <Nsga2State<_> as Resumable<VecF64Codec>>::fault_error(&state).expect("surfaced");
+        assert_eq!(via_trait, err);
     }
 
     #[test]

@@ -8,12 +8,13 @@ use rand::{Rng, RngCore};
 
 use moela_moo::archive::ParetoArchive;
 use moela_moo::checkpoint::Resumable;
+use moela_moo::fault::{fault_log_from, is_quarantined, EvalFault, FaultConfig, FaultLog};
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
 use moela_moo::scalarize::ReferencePoint;
 use moela_moo::snapshot::{archive_from_value, archive_to_value};
 use moela_moo::weights::uniform_weights;
-use moela_moo::{ParallelEvaluator, Problem};
+use moela_moo::{GuardedEvaluator, Problem};
 use moela_persist::{PersistError, SolutionCodec, Value};
 
 use crate::common::weighted_descent;
@@ -35,6 +36,9 @@ pub struct RandomSearchConfig {
     /// Worker threads for batch objective evaluation (`0` = auto-detect).
     /// Results are bit-identical for every value.
     pub threads: usize,
+    /// Fault-containment policy for evaluation (see
+    /// [`moela_moo::GuardedEvaluator`]).
+    pub fault: FaultConfig,
 }
 
 impl Default for RandomSearchConfig {
@@ -46,6 +50,7 @@ impl Default for RandomSearchConfig {
             trace_normalizer: None,
             time_budget: None,
             threads: 1,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -96,7 +101,7 @@ where
         None => TraceRecorder::new(m),
     };
     RandomSearchState {
-        evaluator: ParallelEvaluator::new(config.threads),
+        evaluator: GuardedEvaluator::new(config.threads, config.fault),
         config: config.clone(),
         problem,
         start_time: Instant::now(),
@@ -129,7 +134,11 @@ where
         return Err(PersistError::schema("checkpoint drew more samples than configured"));
     }
     Ok(RandomSearchState {
-        evaluator: ParallelEvaluator::new(config.threads),
+        evaluator: GuardedEvaluator::from_parts(
+            config.threads,
+            config.fault,
+            fault_log_from(value, "faults")?,
+        ),
         config: config.clone(),
         problem,
         start_time: Instant::now().checked_sub(elapsed).unwrap_or_else(Instant::now),
@@ -147,7 +156,7 @@ where
 pub struct RandomSearchState<'p, P: Problem> {
     config: RandomSearchConfig,
     problem: &'p P,
-    evaluator: ParallelEvaluator,
+    evaluator: GuardedEvaluator,
     start_time: Instant,
     evaluations: u64,
     recorder: TraceRecorder,
@@ -191,9 +200,17 @@ where
         let n = chunk.min(cfg.samples - self.drawn) as usize;
         let candidates: Vec<P::Solution> =
             (0..n).map(|_| self.problem.random_solution(rng)).collect();
-        let objective_batch = self.evaluator.evaluate(self.problem, &candidates);
-        self.evaluations += n as u64;
-        for (s, o) in candidates.into_iter().zip(objective_batch) {
+        let batch = self.evaluator.evaluate(self.problem, &candidates);
+        self.evaluations += batch.attempts;
+        if self.evaluator.poisoned() {
+            self.finished = true;
+            return false;
+        }
+        for (s, o) in candidates.into_iter().zip(batch.objectives) {
+            let Some(o) = o else { continue };
+            if is_quarantined(&o) {
+                continue;
+            }
             self.recorder.observe(&o);
             self.archive.insert(s, o);
         }
@@ -238,7 +255,18 @@ where
             ("evaluations", Value::U64(self.evaluations)),
             ("recorder", self.recorder.snapshot()),
             ("archive", archive_to_value(&self.archive, codec)),
+            ("faults", self.evaluator.log().snapshot()),
         ])
+    }
+
+    /// Fault counters accumulated by the guarded evaluator.
+    pub fn fault_log(&self) -> &FaultLog {
+        self.evaluator.log()
+    }
+
+    /// The latched `Fail`-policy fault, if one stopped the run.
+    pub fn fault_error(&self) -> Option<&EvalFault> {
+        self.evaluator.error()
     }
 }
 
@@ -264,6 +292,14 @@ where
 
     fn finish(self) -> RunResult<P::Solution> {
         RandomSearchState::finish(self)
+    }
+
+    fn fault_log(&self) -> Option<&FaultLog> {
+        Some(RandomSearchState::fault_log(self))
+    }
+
+    fn fault_error(&self) -> Option<&EvalFault> {
+        RandomSearchState::fault_error(self)
     }
 }
 
@@ -292,6 +328,9 @@ pub struct MultiStartConfig {
     /// Worker threads for batch objective evaluation (`0` = auto-detect).
     /// Results are bit-identical for every value.
     pub threads: usize,
+    /// Fault-containment policy for evaluation (see
+    /// [`moela_moo::GuardedEvaluator`]).
+    pub fault: FaultConfig,
 }
 
 impl Default for MultiStartConfig {
@@ -306,6 +345,7 @@ impl Default for MultiStartConfig {
             max_evaluations: None,
             time_budget: None,
             threads: 1,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -323,7 +363,7 @@ where
     let rng: &mut dyn RngCore = rng;
     let m = problem.objective_count();
     let start_time = Instant::now();
-    let evaluator = ParallelEvaluator::new(config.threads);
+    let mut evaluator = GuardedEvaluator::new(config.threads, config.fault);
     let mut recorder = match &config.trace_normalizer {
         Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
         None => TraceRecorder::new(m),
@@ -341,32 +381,50 @@ where
             break;
         }
         let start = problem.random_solution(rng);
-        let start_objs = problem.evaluate(&start);
-        evaluations += 1;
-        z.update(&start_objs);
-        normalizer.observe(&start_objs);
-        recorder.observe(&start_objs);
-        archive.insert(start.clone(), start_objs.clone());
+        let (start_objs, attempts) = evaluator.evaluate_one(problem, &start);
+        evaluations += attempts;
+        if evaluator.poisoned() {
+            break; // a Fail-policy fault latched; stop restarting
+        }
+        // A quarantined start (faulted under Skip/PenalizeWorst) has no
+        // trustworthy objectives to descend from: skip this restart but
+        // keep the trace cadence so resume bookkeeping stays aligned.
+        let usable = start_objs.as_ref().is_some_and(|o| !is_quarantined(o));
+        if let Some(start_objs) = start_objs.filter(|_| usable) {
+            z.update(&start_objs);
+            normalizer.observe(&start_objs);
+            recorder.observe(&start_objs);
+            archive.insert(start.clone(), start_objs.clone());
 
-        let weight = &directions[restart % directions.len()];
-        let (accepted, spent) = weighted_descent(
-            problem,
-            &start,
-            &start_objs,
-            weight,
-            z.values(),
-            &normalizer,
-            config.ls_max_steps,
-            config.ls_neighbors_per_step,
-            &evaluator,
-            rng,
-        );
-        evaluations += spent;
-        for (s, o) in accepted {
-            z.update(&o);
-            normalizer.observe(&o);
-            recorder.observe(&o);
-            archive.insert(s, o);
+            let weight = &directions[restart % directions.len()];
+            let (accepted, spent) = weighted_descent(
+                problem,
+                &start,
+                &start_objs,
+                weight,
+                z.values(),
+                &normalizer,
+                config.ls_max_steps,
+                config.ls_neighbors_per_step,
+                &mut evaluator,
+                rng,
+            );
+            evaluations += spent;
+            if evaluator.poisoned() {
+                recorder.record(
+                    restart + 1,
+                    evaluations,
+                    start_time.elapsed(),
+                    &archive.objectives(),
+                );
+                break;
+            }
+            for (s, o) in accepted {
+                z.update(&o);
+                normalizer.observe(&o);
+                recorder.observe(&o);
+                archive.insert(s, o);
+            }
         }
         recorder.record(restart + 1, evaluations, start_time.elapsed(), &archive.objectives());
     }
@@ -489,6 +547,105 @@ mod tests {
             };
             assert_eq!(trace(&out), trace(&baseline), "boundary {boundary}");
         }
+    }
+
+    /// Under injected chaos with a containment policy, random search
+    /// completes, its archive stays clean, and results are bit-identical
+    /// at any thread count.
+    #[test]
+    fn chaotic_random_search_is_finite_and_thread_invariant() {
+        use moela_moo::fault::{is_penalty, FaultConfig, FaultPolicy};
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        let spec = ChaosSpec::parse("panic=0.05,nan=0.05,inf=0.03,arity=0.03").unwrap();
+        let run = |threads: usize| {
+            let problem = ChaosProblem::new(Zdt::zdt1(8), spec, 31);
+            let cfg = RandomSearchConfig {
+                samples: 200,
+                trace_every: 50,
+                threads,
+                fault: FaultConfig { policy: FaultPolicy::Skip, retries: 1 },
+                ..Default::default()
+            };
+            let mut r = rng(13);
+            let mut state = random_search_start(&cfg, &problem);
+            while state.step(&mut r) {}
+            let log = *state.fault_log();
+            (state.finish(), log)
+        };
+        let (base, base_log) = run(1);
+        assert!(base_log.faults() > 0, "the spec must actually inject");
+        assert!(base
+            .population
+            .iter()
+            .all(|(_, o)| o.iter().all(|v| v.is_finite()) && !is_penalty(o)));
+        for threads in [2, 4] {
+            let (out, log) = run(threads);
+            assert_eq!(out.evaluations, base.evaluations, "threads = {threads}");
+            let objs = |r: &RunResult<Vec<f64>>| -> Vec<Vec<f64>> {
+                r.population.iter().map(|(_, o)| o.clone()).collect()
+            };
+            assert_eq!(objs(&out), objs(&base), "threads = {threads}");
+            assert_eq!(log, base_log, "fault counters must not depend on threads");
+        }
+    }
+
+    /// The default Fail policy latches the first fault as a structured
+    /// error and stops random search instead of aborting the process.
+    #[test]
+    fn fail_policy_latches_a_structured_error() {
+        use moela_moo::checkpoint::Resumable;
+        use moela_moo::fault::FaultKind;
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        use moela_persist::VecF64Codec;
+        let problem = ChaosProblem::new(Zdt::zdt1(6), ChaosSpec::parse("panic=1.0").unwrap(), 5);
+        let cfg = RandomSearchConfig { samples: 100, ..Default::default() };
+        let mut r = rng(1);
+        let mut state = random_search_start(&cfg, &problem);
+        assert!(!state.step(&mut r), "the poisoned guard must stop the run");
+        let err = state.fault_error().expect("a latched error");
+        assert_eq!(err.kind, FaultKind::Panic);
+        let via_trait = <RandomSearchState<_> as Resumable<VecF64Codec>>::fault_error(&state)
+            .expect("surfaced");
+        assert_eq!(via_trait, err);
+    }
+
+    /// Multi-start local search contains chaos: faulted starts and
+    /// neighbors never reach the archive, and a Fail-policy fault stops
+    /// the restarts early instead of aborting.
+    #[test]
+    fn chaotic_multi_start_contains_faults() {
+        use moela_moo::fault::{is_penalty, FaultConfig, FaultPolicy};
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        let spec = ChaosSpec::parse("panic=0.1,nan=0.1,arity=0.05").unwrap();
+        let run = |threads: usize| {
+            let problem = ChaosProblem::new(Zdt::zdt1(8), spec, 21);
+            let cfg = MultiStartConfig {
+                restarts: 10,
+                threads,
+                fault: FaultConfig { policy: FaultPolicy::Skip, retries: 1 },
+                ..Default::default()
+            };
+            multi_start_local_search(&cfg, &problem, &mut rng(3))
+        };
+        let base = run(1);
+        assert!(base
+            .population
+            .iter()
+            .all(|(_, o)| o.iter().all(|v| v.is_finite()) && !is_penalty(o)));
+        let par = run(4);
+        assert_eq!(par.evaluations, base.evaluations);
+        let objs = |r: &RunResult<Vec<f64>>| -> Vec<Vec<f64>> {
+            r.population.iter().map(|(_, o)| o.clone()).collect()
+        };
+        assert_eq!(objs(&par), objs(&base));
+
+        // Fail policy: the first faulted start ends the run after one
+        // attempted evaluation.
+        let problem = ChaosProblem::new(Zdt::zdt1(8), ChaosSpec::parse("panic=1.0").unwrap(), 9);
+        let cfg = MultiStartConfig { restarts: 10, ..Default::default() };
+        let out = multi_start_local_search(&cfg, &problem, &mut rng(4));
+        assert_eq!(out.evaluations, 1);
+        assert!(out.population.is_empty());
     }
 
     #[test]

@@ -3,7 +3,49 @@
 use std::time::Duration;
 
 use moela_manycore::ObjectiveSet;
+use moela_moo::fault::{FaultConfig, FaultPolicy};
+use moela_moo::ChaosSpec;
 use moela_traffic::Benchmark;
+
+/// A failed parse. `code` is the process exit code: `1` for malformed
+/// syntax (unknown flags, bad values), `2` for structurally valid but
+/// contradictory flag combinations, following the common CLI convention
+/// of reserving 2 for usage errors the user must resolve.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct ArgsError {
+    /// Human-readable description naming the offending flag or value.
+    pub message: String,
+    /// Process exit code (1 = malformed, 2 = contradictory combination).
+    pub code: u8,
+}
+
+impl ArgsError {
+    fn syntax(message: impl Into<String>) -> Self {
+        ArgsError { message: message.into(), code: 1 }
+    }
+
+    fn contradiction(message: impl Into<String>) -> Self {
+        ArgsError { message: message.into(), code: 2 }
+    }
+}
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<String> for ArgsError {
+    fn from(message: String) -> Self {
+        ArgsError::syntax(message)
+    }
+}
+
+impl From<&str> for ArgsError {
+    fn from(message: &str) -> Self {
+        ArgsError::syntax(message)
+    }
+}
 
 /// Which optimizer to run.
 #[derive(Clone, Copy, Debug, Eq, PartialEq)]
@@ -81,6 +123,24 @@ pub struct RunOptions {
     /// Abort the process after writing this many checkpoints (crash
     /// injection for resume testing).
     pub crash_after_checkpoints: Option<u64>,
+    /// What to do with a candidate whose evaluation faults (panics,
+    /// non-finite or malformed objectives).
+    pub fault_policy: FaultPolicy,
+    /// Re-evaluation attempts per faulted candidate before the policy
+    /// applies.
+    pub eval_retries: u32,
+    /// Optional seeded fault injection (chaos testing).
+    pub chaos: Option<ChaosSpec>,
+    /// Seed for the chaos fault stream (required with `--chaos` so the
+    /// injected faults are reproducible).
+    pub chaos_seed: Option<u64>,
+}
+
+impl RunOptions {
+    /// The fault-containment configuration handed to every optimizer.
+    pub fn fault(&self) -> FaultConfig {
+        FaultConfig { policy: self.fault_policy, retries: self.eval_retries }
+    }
 }
 
 impl Default for RunOptions {
@@ -100,6 +160,10 @@ impl Default for RunOptions {
             run_dir: None,
             checkpoint_every: 1,
             crash_after_checkpoints: None,
+            fault_policy: FaultPolicy::default(),
+            eval_retries: 0,
+            chaos: None,
+            chaos_seed: None,
         }
     }
 }
@@ -148,8 +212,10 @@ pub enum Command {
 ///
 /// # Errors
 ///
-/// Returns a human-readable message naming the offending flag or value.
-pub fn parse(args: &[String]) -> Result<Command, String> {
+/// Returns an [`ArgsError`] naming the offending flag or value, with
+/// exit code 1 for malformed syntax and 2 for contradictory flag
+/// combinations.
+pub fn parse(args: &[String]) -> Result<Command, ArgsError> {
     let Some((sub, rest)) = args.split_first() else {
         return Ok(Command::Help);
     };
@@ -192,13 +258,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Simulate { options: parse_run_options(&filtered)?, load_factor, cycles })
         }
-        other => Err(format!(
+        other => Err(ArgsError::syntax(format!(
             "unknown subcommand '{other}' (try: run, resume, compare, info, simulate, help)"
-        )),
+        ))),
     }
 }
 
-fn parse_resume(args: &[String]) -> Result<Command, String> {
+fn parse_resume(args: &[String]) -> Result<Command, ArgsError> {
     let mut dir = None;
     let mut threads = None;
     let mut checkpoint_every = None;
@@ -219,16 +285,18 @@ fn parse_resume(args: &[String]) -> Result<Command, String> {
                     value()?.parse().map_err(|_| "--crash-after-checkpoints needs an integer")?,
                 );
             }
-            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            flag if flag.starts_with("--") => {
+                return Err(ArgsError::syntax(format!("unknown flag '{flag}'")))
+            }
             positional if dir.is_none() => dir = Some(positional.to_owned()),
-            extra => return Err(format!("unexpected argument '{extra}'")),
+            extra => return Err(ArgsError::syntax(format!("unexpected argument '{extra}'"))),
         }
     }
     let dir = dir.ok_or("resume needs a run directory (moela-dse resume <DIR>)")?;
     Ok(Command::Resume { dir, threads, checkpoint_every, crash_after_checkpoints })
 }
 
-fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
+fn parse_run_options(args: &[String]) -> Result<RunOptions, ArgsError> {
     let mut opts = RunOptions::default();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -246,7 +314,11 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
                     "3" => ObjectiveSet::Three,
                     "4" => ObjectiveSet::Four,
                     "5" => ObjectiveSet::Five,
-                    other => return Err(format!("--objectives must be 3, 4, or 5 (got {other})")),
+                    other => {
+                        return Err(ArgsError::syntax(format!(
+                            "--objectives must be 3, 4, or 5 (got {other})"
+                        )))
+                    }
                 };
             }
             "--algorithm" => opts.algorithm = Algorithm::parse(&value()?)?,
@@ -278,17 +350,42 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, String> {
                     value()?.parse().map_err(|_| "--crash-after-checkpoints needs an integer")?,
                 );
             }
-            other => return Err(format!("unknown flag '{other}'")),
+            "--fault-policy" => opts.fault_policy = FaultPolicy::parse(&value()?)?,
+            "--eval-retries" => {
+                opts.eval_retries =
+                    value()?.parse().map_err(|_| "--eval-retries needs an integer")?;
+            }
+            "--chaos" => opts.chaos = Some(ChaosSpec::parse(&value()?)?),
+            "--chaos-seed" => {
+                opts.chaos_seed =
+                    Some(value()?.parse().map_err(|_| "--chaos-seed needs an integer")?);
+            }
+            other => return Err(ArgsError::syntax(format!("unknown flag '{other}'"))),
         }
     }
     if opts.population < 2 {
-        return Err("--population must be at least 2".to_owned());
+        return Err(ArgsError::syntax("--population must be at least 2"));
     }
     if opts.budget == 0 {
-        return Err("--budget must be positive".to_owned());
+        return Err(ArgsError::syntax("--budget must be positive"));
     }
     if opts.checkpoint_every == 0 {
-        return Err("--checkpoint-every must be positive".to_owned());
+        return Err(ArgsError::syntax("--checkpoint-every must be positive"));
+    }
+    if opts.fault_policy == FaultPolicy::Fail && opts.eval_retries > 0 {
+        return Err(ArgsError::contradiction(
+            "--fault-policy fail aborts on the first fault, so --eval-retries > 0 can never \
+             apply (use --fault-policy penalize-worst or skip to retry faulted candidates)",
+        ));
+    }
+    if opts.chaos.is_some() && opts.chaos_seed.is_none() {
+        return Err(ArgsError::contradiction(
+            "--chaos injects a seeded fault stream and needs --chaos-seed <N> so the \
+             injected faults are reproducible",
+        ));
+    }
+    if opts.chaos_seed.is_some() && opts.chaos.is_none() {
+        return Err(ArgsError::contradiction("--chaos-seed has no effect without --chaos <spec>"));
     }
     Ok(opts)
 }
@@ -321,6 +418,24 @@ COMMON FLAGS:
     --trace-csv <PATH>                  write PHV trace CSV
     --front-csv <PATH>                  write final front CSV
     --dot <PATH>                        write best design as Graphviz DOT
+
+FAULT CONTAINMENT FLAGS:
+    --fault-policy <fail|penalize-worst|skip>
+                                        what to do when an evaluation
+                                        faults (panic, NaN/Inf, wrong
+                                        arity): abort with a structured
+                                        error, quarantine behind a finite
+                                        worst-case penalty, or drop the
+                                        candidate [fail]
+    --eval-retries <N>                  re-evaluation attempts per faulted
+                                        candidate before the policy
+                                        applies (not with fail) [0]
+    --chaos <SPEC>                      seeded fault injection for chaos
+                                        testing; SPEC is key=probability
+                                        pairs, e.g. panic=0.05,nan=0.02
+                                        (keys: panic, nan, inf, arity,
+                                        slow); requires --chaos-seed
+    --chaos-seed <N>                    seed for the chaos fault stream
 
 RUN PERSISTENCE FLAGS:
     --run-dir <DIR>                     structured run store: manifest.json,
@@ -378,13 +493,14 @@ mod tests {
     #[test]
     fn unknown_values_are_reported_with_context() {
         let err = parse(&argv("run --app NOPE")).expect_err("bad app");
-        assert!(err.contains("NOPE"));
+        assert!(err.message.contains("NOPE"));
+        assert_eq!(err.code, 1);
         let err = parse(&argv("run --objectives 7")).expect_err("bad set");
-        assert!(err.contains("7"));
+        assert!(err.message.contains("7"));
         let err = parse(&argv("frobnicate")).expect_err("bad subcommand");
-        assert!(err.contains("frobnicate"));
+        assert!(err.message.contains("frobnicate"));
         let err = parse(&argv("run --algorithm simulated-annealing")).expect_err("bad algo");
-        assert!(err.contains("simulated-annealing"));
+        assert!(err.message.contains("simulated-annealing"));
     }
 
     #[test]
@@ -444,5 +560,59 @@ mod tests {
             assert_eq!(Algorithm::parse(name).expect("ok"), algo);
             assert_eq!(algo.name(), name);
         }
+    }
+
+    #[test]
+    fn fault_and_chaos_flags_parse() {
+        let cmd = parse(&argv(
+            "run --fault-policy skip --eval-retries 2 --chaos panic=0.1,nan=0.05 --chaos-seed 7",
+        ))
+        .expect("ok");
+        let Command::Run(o) = cmd else { panic!("expected Run") };
+        assert_eq!(o.fault_policy, FaultPolicy::Skip);
+        assert_eq!(o.eval_retries, 2);
+        let spec = o.chaos.expect("chaos set");
+        assert_eq!(spec.panic, 0.1);
+        assert_eq!(spec.nan, 0.05);
+        assert_eq!(o.chaos_seed, Some(7));
+        assert_eq!(o.fault().policy, FaultPolicy::Skip);
+        assert_eq!(o.fault().retries, 2);
+    }
+
+    #[test]
+    fn defaults_match_the_pre_containment_behavior() {
+        let Command::Run(o) = parse(&argv("run")).expect("ok") else { panic!("expected Run") };
+        assert_eq!(o.fault_policy, FaultPolicy::Fail);
+        assert_eq!(o.eval_retries, 0);
+        assert_eq!(o.chaos, None);
+        assert_eq!(o.chaos_seed, None);
+    }
+
+    #[test]
+    fn contradictory_combinations_exit_with_code_2() {
+        let err = parse(&argv("run --fault-policy fail --eval-retries 1"))
+            .expect_err("fail + retries is contradictory");
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--eval-retries"));
+
+        let err = parse(&argv("run --chaos panic=0.5")).expect_err("chaos needs a seed");
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("--chaos-seed"));
+
+        let err = parse(&argv("run --chaos-seed 3")).expect_err("seed without chaos");
+        assert_eq!(err.code, 2);
+
+        // Retries with a non-fail policy are fine.
+        assert!(parse(&argv("run --fault-policy skip --eval-retries 1")).is_ok());
+    }
+
+    #[test]
+    fn malformed_chaos_specs_are_syntax_errors() {
+        let err = parse(&argv("run --chaos panik=0.1 --chaos-seed 1")).expect_err("bad key");
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("panik"));
+        let err = parse(&argv("run --fault-policy explode")).expect_err("bad policy");
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("explode"));
     }
 }

@@ -22,9 +22,10 @@ use moela_baselines::{
 use moela_core::{Moela, MoelaConfig};
 use moela_manycore::{viz, Design, ManycoreProblem, ObjectiveSet, PlatformConfig};
 use moela_moo::checkpoint::Resumable;
+use moela_moo::fault::{FaultLog, FaultPolicy};
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::RunResult;
-use moela_moo::Problem;
+use moela_moo::{ChaosProblem, ChaosSpec, Problem};
 use moela_nocsim::{SimConfig, Simulator};
 use moela_persist::{
     CheckpointStore, PersistError, Restore, RunStore, Snapshot, Value, FORMAT_VERSION,
@@ -60,9 +61,11 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let command = match args::parse(&argv) {
         Ok(c) => c,
-        Err(msg) => {
-            eprintln!("error: {msg}\n\n{}", args::USAGE);
-            return ExitCode::FAILURE;
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", args::USAGE);
+            // Malformed syntax exits 1; contradictory flag combinations
+            // exit 2 (see `args::ArgsError`).
+            return ExitCode::from(e.code);
         }
     };
     let outcome = match command {
@@ -119,23 +122,32 @@ struct Persistence {
 }
 
 /// A checkpoint to continue from: the optimizer state plus the wall-clock
-/// time the interrupted run had already consumed.
+/// time the interrupted run had already consumed and, for chaotic runs,
+/// the chaos ordinal counter captured at the same safe point.
 struct ResumePoint {
     state: Value,
     elapsed: Duration,
+    chaos_ordinal: Option<u64>,
 }
 
 /// Steps any resumable optimizer to completion, checkpointing every
 /// `persistence.every` completed steps. The envelope carries everything
 /// the optimizer state does not: format/build versions, the RNG state,
-/// and accumulated wall-clock time.
+/// accumulated wall-clock time, and (for chaotic runs) the chaos ordinal
+/// counter so resume replays the identical fault stream.
+///
+/// A latched [`moela_moo::fault::FaultPolicy::Fail`] error surfaces as a
+/// [`CliError`] instead of a completed result. On success, the
+/// optimizer's fault counters are returned alongside the result for the
+/// end-of-run health report.
 fn drive<S>(
     mut state: S,
     rng: &mut StdRng,
     codec: &ManycoreProblem,
     persistence: Option<&Persistence>,
     base_elapsed: Duration,
-) -> Result<RunResult<Design>, CliError>
+    chaos_ordinal: Option<&dyn Fn() -> u64>,
+) -> Result<(RunResult<Design>, FaultLog), CliError>
 where
     S: Resumable<ManycoreProblem, Solution = Design>,
 {
@@ -147,15 +159,19 @@ where
             continue;
         }
         let elapsed = base_elapsed + t0.elapsed();
-        let envelope = Value::object(vec![
+        let mut fields = vec![
             ("format", Value::U64(u64::from(FORMAT_VERSION))),
             ("version", Value::Str(VERSION.to_owned())),
             ("algorithm", Value::Str(p.algorithm.name().to_owned())),
             ("completed", Value::U64(state.completed())),
             ("rng", Value::u64_array(&rng.state())),
             ("elapsed_nanos", Value::U64(elapsed.as_nanos() as u64)),
-            ("state", state.snapshot_state(codec)),
-        ]);
+        ];
+        if let Some(ordinal) = chaos_ordinal {
+            fields.push(("chaos_ordinal", Value::U64(ordinal())));
+        }
+        fields.push(("state", state.snapshot_state(codec)));
+        let envelope = Value::object(fields);
         p.store.save(state.completed(), &envelope)?;
         written += 1;
         if p.crash_after.is_some_and(|n| written >= n) {
@@ -163,18 +179,60 @@ where
             std::process::abort();
         }
     }
-    Ok(state.finish())
+    if let Some(fault) = state.fault_error() {
+        return Err(fail(format!(
+            "{fault} (policy 'fail' stops on the first fault; rerun with --fault-policy \
+             penalize-worst or skip to contain faults and continue)"
+        )));
+    }
+    let log = state.fault_log().copied().unwrap_or_default();
+    Ok((state.finish(), log))
 }
 
 /// Builds the selected optimizer (fresh, or restored from a checkpoint)
-/// and drives it to completion.
+/// and drives it to completion — against the bare manycore problem, or a
+/// seeded [`ChaosProblem`] wrapper when `--chaos` fault injection is
+/// configured.
 fn execute(
     opts: &RunOptions,
     problem: &ManycoreProblem,
     normalizer: &Normalizer,
     persistence: Option<&Persistence>,
     resume: Option<(ResumePoint, StdRng)>,
-) -> Result<RunResult<Design>, CliError> {
+) -> Result<(RunResult<Design>, FaultLog), CliError> {
+    match opts.chaos {
+        None => execute_on(opts, problem, problem, normalizer, persistence, resume, None),
+        Some(spec) => {
+            // Argument validation guarantees the seed is present.
+            let seed = opts.chaos_seed.expect("--chaos requires --chaos-seed");
+            let chaotic = ChaosProblem::new(problem, spec, seed);
+            if let Some((point, _)) = &resume {
+                // Replay the fault stream from the checkpointed ordinal;
+                // a pre-chaos checkpoint starts the stream at zero.
+                chaotic.set_ordinal(point.chaos_ordinal.unwrap_or(0));
+            }
+            let ordinal = || chaotic.ordinal();
+            execute_on(opts, &chaotic, problem, normalizer, persistence, resume, Some(&ordinal))
+        }
+    }
+}
+
+/// Drives one optimizer over `problem` — possibly a chaos wrapper —
+/// while `codec` stays the bare [`ManycoreProblem`] that encodes and
+/// decodes checkpointed solutions.
+#[allow(clippy::too_many_arguments)]
+fn execute_on<P>(
+    opts: &RunOptions,
+    problem: &P,
+    codec: &ManycoreProblem,
+    normalizer: &Normalizer,
+    persistence: Option<&Persistence>,
+    resume: Option<(ResumePoint, StdRng)>,
+    chaos_ordinal: Option<&dyn Fn() -> u64>,
+) -> Result<(RunResult<Design>, FaultLog), CliError>
+where
+    P: Problem<Solution = Design> + Sync,
+{
     let (point, mut rng) = match resume {
         Some((p, r)) => (Some(p), r),
         None => (None, StdRng::seed_from_u64(opts.seed)),
@@ -189,14 +247,15 @@ fn execute(
                 .max_evaluations(opts.budget)
                 .time_budget(opts.time_guard)
                 .threads(opts.threads)
+                .fault(opts.fault())
                 .build()
                 .map_err(|e| fail(format!("invalid MOELA configuration: {e}")))?;
             let moela = Moela::new(config, problem);
             let state = match &point {
-                Some(p) => moela.restore(problem, &p.state, p.elapsed)?,
+                Some(p) => moela.restore(codec, &p.state, p.elapsed)?,
                 None => moela.start(&mut rng),
             };
-            drive(state, &mut rng, problem, persistence, base_elapsed)
+            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal)
         }
         Algorithm::Moead => {
             let config = MoeadConfig {
@@ -207,14 +266,15 @@ fn execute(
                 max_evaluations: Some(opts.budget),
                 time_budget: Some(opts.time_guard),
                 threads: opts.threads,
+                fault: opts.fault(),
                 ..Default::default()
             };
             let moead = Moead::new(config, problem);
             let state = match &point {
-                Some(p) => moead.restore(problem, &p.state, p.elapsed)?,
+                Some(p) => moead.restore(codec, &p.state, p.elapsed)?,
                 None => moead.start(&mut rng),
             };
-            drive(state, &mut rng, problem, persistence, base_elapsed)
+            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal)
         }
         Algorithm::Moos => {
             let config = MoosConfig {
@@ -223,14 +283,15 @@ fn execute(
                 max_evaluations: Some(opts.budget),
                 time_budget: Some(opts.time_guard),
                 threads: opts.threads,
+                fault: opts.fault(),
                 ..Default::default()
             };
             let moos = Moos::new(config, problem);
             let state = match &point {
-                Some(p) => moos.restore(problem, &p.state, p.elapsed)?,
+                Some(p) => moos.restore(codec, &p.state, p.elapsed)?,
                 None => moos.start(&mut rng),
             };
-            drive(state, &mut rng, problem, persistence, base_elapsed)
+            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal)
         }
         Algorithm::MooStage => {
             let config = MooStageConfig {
@@ -239,14 +300,15 @@ fn execute(
                 max_evaluations: Some(opts.budget),
                 time_budget: Some(opts.time_guard),
                 threads: opts.threads,
+                fault: opts.fault(),
                 ..Default::default()
             };
             let stage = MooStage::new(config, problem);
             let state = match &point {
-                Some(p) => stage.restore(problem, &p.state, p.elapsed)?,
+                Some(p) => stage.restore(codec, &p.state, p.elapsed)?,
                 None => stage.start(&mut rng),
             };
-            drive(state, &mut rng, problem, persistence, base_elapsed)
+            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal)
         }
         Algorithm::Nsga2 => {
             let config = Nsga2Config {
@@ -256,26 +318,28 @@ fn execute(
                 max_evaluations: Some(opts.budget),
                 time_budget: Some(opts.time_guard),
                 threads: opts.threads,
+                fault: opts.fault(),
             };
             let nsga2 = Nsga2::new(config, problem);
             let state = match &point {
-                Some(p) => nsga2.restore(problem, &p.state, p.elapsed)?,
+                Some(p) => nsga2.restore(codec, &p.state, p.elapsed)?,
                 None => nsga2.start(&mut rng),
             };
-            drive(state, &mut rng, problem, persistence, base_elapsed)
+            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal)
         }
         Algorithm::Random => {
             let config = RandomSearchConfig {
                 samples: opts.budget,
                 trace_normalizer: Some(normalizer.clone()),
                 threads: opts.threads,
+                fault: opts.fault(),
                 ..Default::default()
             };
             let state = match &point {
-                Some(p) => random_search_restore(&config, problem, problem, &p.state, p.elapsed)?,
+                Some(p) => random_search_restore(&config, problem, codec, &p.state, p.elapsed)?,
                 None => random_search_start(&config, problem),
             };
-            drive(state, &mut rng, problem, persistence, base_elapsed)
+            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal)
         }
     }
 }
@@ -284,7 +348,7 @@ fn execute(
 /// exact run configuration on resume, plus the fitted normalizer so
 /// resume skips the 200-design corpus fit.
 fn manifest_value(opts: &RunOptions, normalizer: &Normalizer) -> Value {
-    Value::object(vec![
+    let mut fields = vec![
         ("format", Value::U64(u64::from(FORMAT_VERSION))),
         ("version", Value::Str(VERSION.to_owned())),
         ("algorithm", Value::Str(opts.algorithm.name().to_owned())),
@@ -296,8 +360,17 @@ fn manifest_value(opts: &RunOptions, normalizer: &Normalizer) -> Value {
         ("threads", Value::U64(opts.threads as u64)),
         ("time_guard_secs", Value::U64(opts.time_guard.as_secs())),
         ("checkpoint_every", Value::U64(opts.checkpoint_every)),
-        ("normalizer", normalizer.snapshot()),
-    ])
+        ("fault_policy", Value::Str(opts.fault_policy.name().to_owned())),
+        ("eval_retries", Value::U64(u64::from(opts.eval_retries))),
+    ];
+    if let Some(spec) = &opts.chaos {
+        fields.push(("chaos", Value::Str(spec.to_string())));
+    }
+    if let Some(seed) = opts.chaos_seed {
+        fields.push(("chaos_seed", Value::U64(seed)));
+    }
+    fields.push(("normalizer", normalizer.snapshot()));
+    Value::object(fields)
 }
 
 /// Rebuilds the run configuration (and the fitted normalizer) from a
@@ -322,6 +395,27 @@ fn options_from_manifest(m: &Value) -> Result<(RunOptions, Normalizer), CliError
         other => return Err(fail(format!("manifest names unknown objective stack '{other}'"))),
     };
     let algorithm = Algorithm::parse(m.field("algorithm")?.as_str()?).map_err(fail)?;
+    // Fault/chaos fields are absent from manifests written before fault
+    // containment existed; default to the pre-containment behavior.
+    let fault_policy = match m.field_opt("fault_policy") {
+        Some(v) => FaultPolicy::parse(v.as_str()?).map_err(fail)?,
+        None => FaultPolicy::default(),
+    };
+    let eval_retries = match m.field_opt("eval_retries") {
+        Some(v) => v.as_u64()? as u32,
+        None => 0,
+    };
+    let chaos = match m.field_opt("chaos") {
+        Some(v) => Some(ChaosSpec::parse(v.as_str()?).map_err(fail)?),
+        None => None,
+    };
+    let chaos_seed = match m.field_opt("chaos_seed") {
+        Some(v) => Some(v.as_u64()?),
+        None => None,
+    };
+    if chaos.is_some() && chaos_seed.is_none() {
+        return Err(fail("manifest configures --chaos but records no chaos seed"));
+    }
     let opts = RunOptions {
         app,
         set,
@@ -332,6 +426,10 @@ fn options_from_manifest(m: &Value) -> Result<(RunOptions, Normalizer), CliError
         threads: m.field("threads")?.as_usize()?,
         time_guard: Duration::from_secs(m.field("time_guard_secs")?.as_u64()?),
         checkpoint_every: m.field("checkpoint_every")?.as_u64()?,
+        fault_policy,
+        eval_retries,
+        chaos,
+        chaos_seed,
         ..Default::default()
     };
     let normalizer = Normalizer::restore(m.field("normalizer")?)?;
@@ -380,14 +478,59 @@ fn write_outputs(
     Ok(())
 }
 
+/// The end-of-run evaluation-health report persisted as `health.json`.
+fn health_value(opts: &RunOptions, log: &FaultLog) -> Value {
+    let mut fields = vec![
+        ("fault_policy", Value::Str(opts.fault_policy.name().to_owned())),
+        ("eval_retries", Value::U64(u64::from(opts.eval_retries))),
+        ("faults", Value::U64(log.faults())),
+        ("panics", Value::U64(log.panics)),
+        ("non_finite", Value::U64(log.non_finite)),
+        ("wrong_arity", Value::U64(log.wrong_arity)),
+        ("retries", Value::U64(log.retries)),
+        ("recovered", Value::U64(log.recovered)),
+        ("penalized", Value::U64(log.penalized)),
+        ("skipped", Value::U64(log.skipped)),
+    ];
+    if let Some(spec) = &opts.chaos {
+        fields.push(("chaos", Value::Str(spec.to_string())));
+    }
+    if let Some(seed) = opts.chaos_seed {
+        fields.push(("chaos_seed", Value::U64(seed)));
+    }
+    Value::object(fields)
+}
+
+/// Prints the fault-containment health line. Stays silent for clean runs
+/// without chaos so the happy-path output is unchanged.
+fn print_health(opts: &RunOptions, log: &FaultLog) {
+    if log.is_clean() && opts.chaos.is_none() {
+        return;
+    }
+    println!(
+        "evaluation health: {} faults contained ({} panics, {} non-finite, {} wrong-arity); \
+         {} retries ({} recovered), {} penalized, {} skipped [policy {}]",
+        log.faults(),
+        log.panics,
+        log.non_finite,
+        log.wrong_arity,
+        log.retries,
+        log.recovered,
+        log.penalized,
+        log.skipped,
+        opts.fault_policy.name(),
+    );
+}
+
 /// Prints the result summary and writes every requested artifact (the
-/// run-dir CSVs and the ad-hoc output flags).
+/// run-dir CSVs, the health report, and the ad-hoc output flags).
 fn finish_run(
     opts: &RunOptions,
     problem: &ManycoreProblem,
     normalizer: &Normalizer,
     run_store: Option<&RunStore>,
     result: &RunResult<Design>,
+    log: &FaultLog,
 ) -> Result<(), CliError> {
     println!(
         "finished: {} evaluations in {:.2?}; PHV {:.4}; front {} designs",
@@ -396,6 +539,7 @@ fn finish_run(
         result.phv(normalizer),
         result.front().len()
     );
+    print_health(opts, log);
     let mut front = result.front_objectives();
     front.sort_by(|a, b| a[0].total_cmp(&b[0]));
     for (i, objs) in front.iter().take(15).enumerate() {
@@ -408,6 +552,7 @@ fn finish_run(
     if let Some(store) = run_store {
         store.write_trace(&deterministic_trace_csv(result))?;
         store.write_front(&result.front_csv())?;
+        store.write_health(&health_value(opts, log))?;
         println!("run artifacts written to {}", store.root().display());
     }
     write_outputs(opts, problem, result)
@@ -424,6 +569,14 @@ fn run(opts: &RunOptions) -> Result<(), CliError> {
         opts.budget,
         opts.seed
     );
+    if let Some(spec) = &opts.chaos {
+        println!(
+            "chaos injection: {spec} (chaos seed {}), fault policy {}, {} retries",
+            opts.chaos_seed.expect("--chaos requires --chaos-seed"),
+            opts.fault_policy.name(),
+            opts.eval_retries
+        );
+    }
     let run_store = match &opts.run_dir {
         Some(dir) => {
             let store = RunStore::create(dir)?;
@@ -441,8 +594,8 @@ fn run(opts: &RunOptions) -> Result<(), CliError> {
         }),
         None => None,
     };
-    let result = execute(opts, &problem, &normalizer, persistence.as_ref(), None)?;
-    finish_run(opts, &problem, &normalizer, run_store.as_ref(), &result)
+    let (result, log) = execute(opts, &problem, &normalizer, persistence.as_ref(), None)?;
+    finish_run(opts, &problem, &normalizer, run_store.as_ref(), &result, &log)
 }
 
 fn resume(
@@ -497,7 +650,11 @@ fn resume(
         .map_err(|_| fail(format!("checkpoint {seq} has a malformed RNG state")))?;
     let rng = StdRng::from_state(rng_words);
     let elapsed = Duration::from_nanos(envelope.field("elapsed_nanos")?.as_u64()?);
-    let point = ResumePoint { state: envelope.field("state")?.clone(), elapsed };
+    let chaos_ordinal = match envelope.field_opt("chaos_ordinal") {
+        Some(v) => Some(v.as_u64()?),
+        None => None,
+    };
+    let point = ResumePoint { state: envelope.field("state")?.clone(), elapsed, chaos_ordinal };
 
     let problem = build_problem(&opts)?;
     println!(
@@ -514,8 +671,9 @@ fn resume(
         crash_after: opts.crash_after_checkpoints,
         algorithm: opts.algorithm,
     };
-    let result = execute(&opts, &problem, &normalizer, Some(&persistence), Some((point, rng)))?;
-    finish_run(&opts, &problem, &normalizer, Some(&store), &result)
+    let (result, log) =
+        execute(&opts, &problem, &normalizer, Some(&persistence), Some((point, rng)))?;
+    finish_run(&opts, &problem, &normalizer, Some(&store), &result, &log)
 }
 
 fn compare(opts: &RunOptions) -> Result<(), CliError> {
@@ -529,9 +687,14 @@ fn compare(opts: &RunOptions) -> Result<(), CliError> {
     for (algorithm, name) in Algorithm::ALL {
         let mut per_algorithm = opts.clone();
         per_algorithm.algorithm = algorithm;
-        let result = execute(&per_algorithm, &problem, &normalizer, None, None)?;
+        let (result, log) = execute(&per_algorithm, &problem, &normalizer, None, None)?;
+        let health = if log.is_clean() {
+            String::new()
+        } else {
+            format!("  ({} faults contained)", log.faults())
+        };
         println!(
-            "{:<12} {:>10} {:>10.2?} {:>10.4} {:>7}",
+            "{:<12} {:>10} {:>10.2?} {:>10.4} {:>7}{health}",
             name,
             result.evaluations,
             result.elapsed,

@@ -1,0 +1,323 @@
+//! End-to-end fault-containment tests that drive the real `moela-dse`
+//! binary under seeded chaos injection.
+//!
+//! The contract under test is the fault-containment tentpole:
+//!
+//! * every algorithm runs to completion under every injected fault kind
+//!   (panic, NaN, Inf, wrong arity), producing traces and fronts that
+//!   are bit-identical at any thread count;
+//! * a chaotic run killed at a checkpoint boundary and resumed is
+//!   byte-identical to the uninterrupted chaotic run (the fault stream
+//!   round-trips through the checkpoint);
+//! * contradictory flag combinations are rejected with exit code 2;
+//! * a `fail`-policy fault surfaces as a structured `error:` exit.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_moela-dse");
+
+/// One chaos spec per injected fault kind, each at a rate that faults
+/// several times within a 120-evaluation budget without drowning the run.
+const FAULT_KINDS: [(&str, &str); 4] =
+    [("panic", "panic=0.05"), ("nan", "nan=0.05"), ("inf", "inf=0.05"), ("arity", "arity=0.05")];
+
+fn moela_dse(args: &[&str]) -> Output {
+    Command::new(BIN).args(args).output().expect("spawn moela-dse")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("moela-chaos-test-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    fs::read(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Base flags for one chaotic run cell writing into `dir`.
+fn chaos_args<'a>(
+    algorithm: &'a str,
+    spec: &'a str,
+    threads: &'a str,
+    dir: &'a str,
+    extra: &[&'a str],
+) -> Vec<&'a str> {
+    let mut args = vec![
+        "run",
+        "--app",
+        "BFS",
+        "--objectives",
+        "3",
+        "--algorithm",
+        algorithm,
+        "--budget",
+        "120",
+        "--population",
+        "8",
+        "--seed",
+        "7",
+        "--threads",
+        threads,
+        "--run-dir",
+        dir,
+        "--chaos",
+        spec,
+        "--chaos-seed",
+        "41",
+        "--fault-policy",
+        "penalize-worst",
+        "--eval-retries",
+        "1",
+    ];
+    args.extend_from_slice(extra);
+    args
+}
+
+/// Extracts `"faults":N` from a health.json body.
+fn fault_count(health: &str) -> u64 {
+    let tail = health.split("\"faults\":").nth(1).expect("health.json has a faults field");
+    tail.chars().take_while(char::is_ascii_digit).collect::<String>().parse().expect("integer")
+}
+
+/// Runs `algorithm` under each fault kind at 1 and 4 threads and asserts
+/// the deterministic artifacts (trace, front, health) are byte-identical
+/// across thread counts, that faults were actually injected and
+/// contained, and that the front holds only finite objective values.
+fn assert_chaos_matrix_row(algorithm: &str) {
+    for (kind, spec) in FAULT_KINDS {
+        let mut reference: Option<(Vec<u8>, Vec<u8>, Vec<u8>)> = None;
+        for threads in ["1", "4"] {
+            let dir = scratch(&format!("matrix-{algorithm}-{kind}-t{threads}"));
+            let dir_str = dir.to_str().expect("utf-8 path");
+            let out = moela_dse(&chaos_args(algorithm, spec, threads, dir_str, &[]));
+            assert!(
+                out.status.success(),
+                "{algorithm} under {kind} chaos (threads {threads}) failed: {}",
+                stderr_of(&out)
+            );
+
+            let health = read(&dir.join("health.json"));
+            let health_text = String::from_utf8_lossy(&health).into_owned();
+            assert!(
+                fault_count(&health_text) > 0,
+                "{algorithm}/{kind}: the chaos spec must actually inject ({health_text})"
+            );
+
+            let front = read(&dir.join("front.csv"));
+            let front_text = String::from_utf8_lossy(&front);
+            for token in front_text.lines().skip(1).flat_map(|l| l.split(',')) {
+                let v: f64 = token.parse().unwrap_or_else(|e| {
+                    panic!("{algorithm}/{kind}: non-numeric front cell '{token}': {e}")
+                });
+                assert!(v.is_finite(), "{algorithm}/{kind}: non-finite front value {v}");
+                assert!(v < 1e30, "{algorithm}/{kind}: penalty vector leaked onto the front");
+            }
+
+            let artifacts = (read(&dir.join("trace.csv")), front, health);
+            match &reference {
+                None => reference = Some(artifacts),
+                Some(first) => assert_eq!(
+                    first, &artifacts,
+                    "{algorithm}/{kind}: artifacts differ between 1 and 4 threads"
+                ),
+            }
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+macro_rules! chaos_matrix_tests {
+    ($($name:ident: $algorithm:literal;)*) => {$(
+        #[test]
+        fn $name() {
+            assert_chaos_matrix_row($algorithm);
+        }
+    )*};
+}
+
+chaos_matrix_tests! {
+    moela_contains_every_fault_kind_at_any_thread_count: "moela";
+    moead_contains_every_fault_kind_at_any_thread_count: "moead";
+    moos_contains_every_fault_kind_at_any_thread_count: "moos";
+    moo_stage_contains_every_fault_kind_at_any_thread_count: "moo-stage";
+    nsga2_contains_every_fault_kind_at_any_thread_count: "nsga2";
+    random_contains_every_fault_kind_at_any_thread_count: "random";
+}
+
+/// Kills a chaotic run after one checkpoint, resumes it, and asserts the
+/// artifacts are byte-identical to the uninterrupted chaotic run — the
+/// fault stream (chaos ordinal) and fault counters round-trip through
+/// the checkpoint envelope.
+fn assert_chaos_crash_resume_is_bit_identical(algorithm: &str) {
+    let spec = "panic=0.03,nan=0.03,arity=0.02";
+    let full = scratch(&format!("chaos-full-{algorithm}"));
+    let full_dir = full.to_str().expect("utf-8 path");
+    let out = moela_dse(&chaos_args(algorithm, spec, "1", full_dir, &[]));
+    assert!(out.status.success(), "uninterrupted chaotic run failed: {}", stderr_of(&out));
+
+    let crashed = scratch(&format!("chaos-crashed-{algorithm}"));
+    let crashed_dir = crashed.to_str().expect("utf-8 path");
+    let out = moela_dse(&chaos_args(
+        algorithm,
+        spec,
+        "1",
+        crashed_dir,
+        &["--crash-after-checkpoints", "1"],
+    ));
+    assert!(!out.status.success(), "crash injection must abort the process");
+
+    // Resume with a different thread count: still byte-identical.
+    let out = moela_dse(&["resume", crashed_dir, "--threads", "4"]);
+    assert!(out.status.success(), "chaotic resume failed: {}", stderr_of(&out));
+
+    for file in ["trace.csv", "front.csv", "health.json"] {
+        assert_eq!(
+            read(&full.join(file)),
+            read(&crashed.join(file)),
+            "{file} differs after chaotic crash+resume for {algorithm}"
+        );
+    }
+    let _ = fs::remove_dir_all(&full);
+    let _ = fs::remove_dir_all(&crashed);
+}
+
+#[test]
+fn moela_chaotic_crash_resume_is_bit_identical() {
+    assert_chaos_crash_resume_is_bit_identical("moela");
+}
+
+#[test]
+fn moead_chaotic_crash_resume_is_bit_identical() {
+    assert_chaos_crash_resume_is_bit_identical("moead");
+}
+
+#[test]
+fn random_chaotic_crash_resume_is_bit_identical() {
+    assert_chaos_crash_resume_is_bit_identical("random");
+}
+
+#[test]
+fn skip_policy_also_completes_under_chaos() {
+    let dir = scratch("skip-policy");
+    let dir_str = dir.to_str().expect("utf-8 path");
+    let out = moela_dse(&[
+        "run",
+        "--app",
+        "BFS",
+        "--objectives",
+        "3",
+        "--algorithm",
+        "nsga2",
+        "--budget",
+        "120",
+        "--population",
+        "8",
+        "--seed",
+        "7",
+        "--run-dir",
+        dir_str,
+        "--chaos",
+        "nan=0.1",
+        "--chaos-seed",
+        "5",
+        "--fault-policy",
+        "skip",
+    ]);
+    assert!(out.status.success(), "skip-policy run failed: {}", stderr_of(&out));
+    let health = String::from_utf8_lossy(&read(&dir.join("health.json"))).into_owned();
+    assert!(fault_count(&health) > 0, "nan=0.1 must inject: {health}");
+    assert!(health.contains("\"fault_policy\":\"skip\""), "health records the policy: {health}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fail_policy_surfaces_a_structured_error() {
+    let out = moela_dse(&[
+        "run",
+        "--app",
+        "BFS",
+        "--algorithm",
+        "random",
+        "--budget",
+        "50",
+        "--chaos",
+        "panic=1",
+        "--chaos-seed",
+        "1",
+        "--fault-policy",
+        "fail",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "a latched fail fault exits 1");
+    let stderr = stderr_of(&out);
+    assert!(stderr.contains("error:"), "expected a user-facing error, got: {stderr}");
+    assert!(stderr.contains("panic"), "the error names the fault kind: {stderr}");
+    assert!(!stderr.contains("panicked at"), "the process itself must not panic: {stderr}");
+}
+
+#[test]
+fn contradictory_flag_combinations_exit_with_code_2() {
+    let cases: [&[&str]; 3] = [
+        &["run", "--fault-policy", "fail", "--eval-retries", "2"],
+        &["run", "--chaos", "panic=0.1"],
+        &["run", "--chaos-seed", "9"],
+    ];
+    for args in cases {
+        let out = moela_dse(args);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "contradictory combo {args:?} must exit 2, stderr: {}",
+            stderr_of(&out)
+        );
+        assert!(stderr_of(&out).contains("error:"), "combo {args:?} prints a diagnostic");
+    }
+}
+
+#[test]
+fn malformed_flags_still_exit_with_code_1() {
+    for args in [
+        ["run", "--chaos", "panik=0.1", "--chaos-seed", "1"],
+        ["run", "--fault-policy", "explode", "--budget", "10"],
+    ] {
+        let out = moela_dse(&args);
+        assert_eq!(out.status.code(), Some(1), "malformed {args:?} exits 1");
+    }
+}
+
+#[test]
+fn clean_runs_print_no_health_line_but_chaotic_runs_do() {
+    let out = moela_dse(&["run", "--app", "BFS", "--algorithm", "random", "--budget", "40"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        !stdout.contains("evaluation health"),
+        "clean run must not print a health line: {stdout}"
+    );
+
+    let out = moela_dse(&[
+        "run",
+        "--app",
+        "BFS",
+        "--algorithm",
+        "random",
+        "--budget",
+        "40",
+        "--chaos",
+        "nan=0.2",
+        "--chaos-seed",
+        "3",
+        "--fault-policy",
+        "penalize-worst",
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("evaluation health:"), "chaotic run prints health: {stdout}");
+    assert!(stdout.contains("chaos injection:"), "chaotic run announces chaos: {stdout}");
+}

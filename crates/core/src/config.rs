@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use moela_ml::ForestConfig;
+use moela_moo::fault::FaultConfig;
 
 /// Errors from [`MoelaConfigBuilder::build`].
 #[derive(Clone, Debug, Eq, PartialEq)]
@@ -68,6 +69,9 @@ pub struct MoelaConfig {
     /// from the host). Results are bit-identical for every value — see
     /// [`moela_moo::parallel::ParallelEvaluator`].
     pub threads: usize,
+    /// How evaluation faults (panics, non-finite or malformed objective
+    /// vectors) are contained — see [`moela_moo::fault::GuardedEvaluator`].
+    pub fault: FaultConfig,
 }
 
 impl MoelaConfig {
@@ -120,6 +124,7 @@ impl Default for MoelaConfigBuilder {
                 max_evaluations: None,
                 time_budget: None,
                 threads: 1,
+                fault: FaultConfig::default(),
             },
             neighborhood_set: false,
             n_local_set: false,
@@ -233,6 +238,12 @@ impl MoelaConfigBuilder {
         self
     }
 
+    /// Sets the fault-containment policy and retry budget.
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.config.fault = fault;
+        self
+    }
+
     /// Validates and produces the configuration. Unset `neighborhood` and
     /// `n_local` scale with the population (`T = max(3, N/5)`,
     /// `n_local = max(1, N/10)`).
@@ -334,6 +345,21 @@ mod tests {
         assert_eq!(c.threads, 4);
         let auto = MoelaConfig::builder().population(10).threads(0).build().expect("valid");
         assert_eq!(auto.threads, 0, "0 is kept: it means auto-detect at run time");
+    }
+
+    #[test]
+    fn fault_containment_defaults_to_fail_and_is_settable() {
+        use moela_moo::fault::FaultPolicy;
+        let c = MoelaConfig::paper();
+        assert_eq!(c.fault, FaultConfig::default());
+        assert_eq!(c.fault.policy, FaultPolicy::Fail);
+        let c = MoelaConfig::builder()
+            .population(10)
+            .fault(FaultConfig { policy: FaultPolicy::Skip, retries: 2 })
+            .build()
+            .expect("valid");
+        assert_eq!(c.fault.policy, FaultPolicy::Skip);
+        assert_eq!(c.fault.retries, 2);
     }
 
     #[test]

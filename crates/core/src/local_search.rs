@@ -11,9 +11,10 @@
 
 use rand::RngCore;
 
+use moela_moo::fault::is_quarantined;
 use moela_moo::normalize::Normalizer;
 use moela_moo::scalarize::Scalarizer;
-use moela_moo::{ParallelEvaluator, Problem};
+use moela_moo::{GuardedEvaluator, Problem};
 
 /// Budget knobs of one greedy descent.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,6 +59,13 @@ pub struct LocalSearchOutcome<S> {
 /// Each step samples its `neighbors_per_step` candidates sequentially from
 /// `rng`, then evaluates the whole batch through `evaluator` — so results
 /// are independent of the evaluator's worker count.
+///
+/// Evaluation faults are contained by the [`GuardedEvaluator`]: dropped or
+/// quarantined neighbors simply never become the step's best move, and a
+/// latched [`FaultPolicy::Fail`](moela_moo::fault::FaultPolicy::Fail)
+/// error ends the descent early (the caller checks
+/// [`GuardedEvaluator::poisoned`]). `evaluations` in the outcome counts
+/// *attempts*, retries included.
 #[allow(clippy::too_many_arguments)]
 pub fn greedy_descent<P>(
     problem: &P,
@@ -67,7 +75,7 @@ pub fn greedy_descent<P>(
     z_raw: &[f64],
     normalizer: &Normalizer,
     budget: LocalSearchBudget,
-    evaluator: &ParallelEvaluator,
+    evaluator: &mut GuardedEvaluator,
     rng: &mut dyn RngCore,
 ) -> LocalSearchOutcome<P::Solution>
 where
@@ -98,10 +106,18 @@ where
     for _ in 0..budget.max_steps {
         let candidates: Vec<P::Solution> =
             (0..budget.neighbors_per_step).map(|_| problem.neighbor(&current, rng)).collect();
-        let objective_batch = evaluator.evaluate(problem, &candidates);
-        evaluations += candidates.len() as u64;
+        let batch = evaluator.evaluate(problem, &candidates);
+        evaluations += batch.attempts;
+        if evaluator.poisoned() {
+            break; // a Fail-policy fault latched; stop descending
+        }
         let mut best_neighbor: Option<(P::Solution, Vec<f64>, f64)> = None;
-        for (candidate, objs) in candidates.into_iter().zip(objective_batch) {
+        for (candidate, objs) in candidates.into_iter().zip(batch.objectives) {
+            // Skipped (dropped) and quarantined neighbors never compete.
+            let Some(objs) = objs else { continue };
+            if is_quarantined(&objs) {
+                continue;
+            }
             let value = g(&objs);
             // Strict `<` keeps the first minimum on ties, matching the
             // original one-at-a-time loop.
@@ -140,8 +156,13 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use moela_moo::fault::{FaultConfig, FaultPolicy};
     use moela_moo::problems::Zdt;
     use rand::SeedableRng;
+
+    fn guard() -> GuardedEvaluator {
+        GuardedEvaluator::new(1, FaultConfig::default())
+    }
 
     fn setup() -> (Zdt, Vec<f64>, Normalizer, rand::rngs::StdRng) {
         let p = Zdt::zdt1(8);
@@ -157,17 +178,8 @@ mod tests {
         let objs = p.evaluate(&start);
         let budget =
             LocalSearchBudget { max_steps: 20, neighbors_per_step: 4, stall_evaluations: 12 };
-        let out = greedy_descent(
-            &p,
-            &start,
-            &objs,
-            &[0.5, 0.5],
-            &z,
-            &n,
-            budget,
-            &ParallelEvaluator::default(),
-            &mut rng,
-        );
+        let out =
+            greedy_descent(&p, &start, &objs, &[0.5, 0.5], &z, &n, budget, &mut guard(), &mut rng);
         let g0 = Scalarizer::WeightedSum.value(&n.normalize(&objs), &[0.5, 0.5], &n.normalize(&z));
         assert!(out.final_value <= g0);
     }
@@ -189,7 +201,7 @@ mod tests {
                 &z,
                 &n,
                 budget,
-                &ParallelEvaluator::default(),
+                &mut guard(),
                 &mut rng,
             );
             let g0 =
@@ -208,17 +220,8 @@ mod tests {
         let objs = p.evaluate(&start);
         let budget =
             LocalSearchBudget { max_steps: 15, neighbors_per_step: 4, stall_evaluations: 12 };
-        let out = greedy_descent(
-            &p,
-            &start,
-            &objs,
-            &[1.0, 0.0],
-            &z,
-            &n,
-            budget,
-            &ParallelEvaluator::default(),
-            &mut rng,
-        );
+        let out =
+            greedy_descent(&p, &start, &objs, &[1.0, 0.0], &z, &n, budget, &mut guard(), &mut rng);
         assert!(!out.trajectory_features.is_empty());
         assert!(out.trajectory_features.len() <= budget.max_steps + 1);
         // Features = problem features + weight.
@@ -235,17 +238,8 @@ mod tests {
         let objs = p.evaluate(&start);
         let budget =
             LocalSearchBudget { max_steps: 10, neighbors_per_step: 3, stall_evaluations: 9 };
-        let out = greedy_descent(
-            &p,
-            &start,
-            &objs,
-            &[0.5, 0.5],
-            &z,
-            &n,
-            budget,
-            &ParallelEvaluator::default(),
-            &mut rng,
-        );
+        let out =
+            greedy_descent(&p, &start, &objs, &[0.5, 0.5], &z, &n, budget, &mut guard(), &mut rng);
         assert_eq!(out.evaluations % 3, 0, "whole steps only");
         assert!(out.evaluations <= 30);
         assert!(out.evaluations >= 3, "at least one step is attempted");
@@ -268,7 +262,7 @@ mod tests {
                 &z,
                 &n,
                 budget,
-                &ParallelEvaluator::new(threads),
+                &mut GuardedEvaluator::new(threads, FaultConfig::default()),
                 &mut rng,
             )
         };
@@ -300,7 +294,7 @@ mod tests {
             &z,
             &n,
             budget,
-            &ParallelEvaluator::default(),
+            &mut guard(),
             &mut rng,
         );
         let to_f2 = greedy_descent(
@@ -311,7 +305,7 @@ mod tests {
             &z,
             &n,
             budget,
-            &ParallelEvaluator::default(),
+            &mut guard(),
             &mut rng,
         );
         assert!(
@@ -320,5 +314,62 @@ mod tests {
             to_f1.best_objectives[0],
             to_f2.best_objectives[0]
         );
+    }
+
+    #[test]
+    fn faulted_neighbors_are_contained_and_never_accepted() {
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        let (p, z, n, mut rng) = setup();
+        let chaotic =
+            ChaosProblem::new(p, ChaosSpec::parse("panic=0.2,nan=0.2,arity=0.1").unwrap(), 99);
+        let start = vec![0.9; 8];
+        let objs = chaotic.inner().evaluate(&start);
+        let budget =
+            LocalSearchBudget { max_steps: 20, neighbors_per_step: 4, stall_evaluations: 12 };
+        let mut guard =
+            GuardedEvaluator::new(2, FaultConfig { policy: FaultPolicy::Skip, retries: 1 });
+        let out = greedy_descent(
+            &chaotic,
+            &start,
+            &objs,
+            &[0.5, 0.5],
+            &z,
+            &n,
+            budget,
+            &mut guard,
+            &mut rng,
+        );
+        assert!(!guard.poisoned());
+        assert!(guard.log().faults() > 0, "the spec must actually inject");
+        assert!(out.best_objectives.iter().all(|v| v.is_finite()));
+        assert!(out.accepted.iter().all(|(_, o)| o.iter().all(|v| v.is_finite())));
+        assert!(out.final_value.is_finite());
+        assert!(out.evaluations >= 4, "attempts are still charged");
+    }
+
+    #[test]
+    fn a_latched_fail_fault_stops_the_descent_early() {
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        let (p, z, n, mut rng) = setup();
+        let chaotic = ChaosProblem::new(p, ChaosSpec::parse("panic=1.0").unwrap(), 7);
+        let start = vec![0.9; 8];
+        let objs = chaotic.inner().evaluate(&start);
+        let budget =
+            LocalSearchBudget { max_steps: 50, neighbors_per_step: 4, stall_evaluations: 200 };
+        let mut guard = GuardedEvaluator::new(1, FaultConfig::default());
+        let out = greedy_descent(
+            &chaotic,
+            &start,
+            &objs,
+            &[0.5, 0.5],
+            &z,
+            &n,
+            budget,
+            &mut guard,
+            &mut rng,
+        );
+        assert!(guard.poisoned());
+        assert_eq!(out.evaluations, 4, "exactly one batch is attempted before the latch");
+        assert_eq!(out.best_objectives, objs, "the start survives unchanged");
     }
 }

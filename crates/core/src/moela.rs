@@ -24,11 +24,12 @@ use rand::{Rng, RngCore};
 
 use moela_ml::{Dataset, RandomForest};
 use moela_moo::checkpoint::Resumable;
+use moela_moo::fault::{fault_log_from, is_quarantined, EvalFault, FaultLog};
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
 use moela_moo::scalarize::{ReferencePoint, Scalarizer};
 use moela_moo::snapshot::entries_from_value;
-use moela_moo::{ParallelEvaluator, Problem};
+use moela_moo::{GuardedEvaluator, Problem};
 use moela_persist::{PersistError, Restore, Snapshot, SolutionCodec, Value};
 
 use crate::config::MoelaConfig;
@@ -106,14 +107,18 @@ where
             Some(n) => TraceRecorder::with_fixed_normalizer(n.clone()),
             None => TraceRecorder::new(m),
         };
-        let evaluator = ParallelEvaluator::new(cfg.threads);
+        let mut evaluator = GuardedEvaluator::new(cfg.threads, cfg.fault);
 
         // Initialization: N random designs, one per weight vector, drawn
-        // sequentially and evaluated as one batch.
+        // sequentially and evaluated as one batch. The population
+        // structurally needs one objective vector per weight slot, so
+        // dropped candidates are materialized as penalty vectors (they are
+        // retired by selection pressure and never reach front or scale).
         let candidates: Vec<P::Solution> =
             (0..cfg.population).map(|_| self.problem.random_solution(rng)).collect();
-        let objective_batch = evaluator.evaluate(self.problem, &candidates);
-        evaluations += candidates.len() as u64;
+        let batch = evaluator.evaluate(self.problem, &candidates);
+        evaluations += batch.attempts;
+        let objective_batch = batch.materialized(m);
         let individuals: Vec<Individual<P::Solution>> = candidates
             .into_iter()
             .zip(objective_batch)
@@ -129,7 +134,6 @@ where
         MoelaState {
             config: cfg,
             problem: self.problem,
-            evaluator,
             start_time,
             evaluations,
             recorder,
@@ -139,7 +143,8 @@ where
             recent_starts: Vec::new(),
             generation: 0,
             last_generation: 0,
-            finished: false,
+            finished: evaluator.poisoned(),
+            evaluator,
         }
     }
 
@@ -179,7 +184,11 @@ where
             v => Some(RandomForest::restore(v)?),
         };
         Ok(MoelaState {
-            evaluator: ParallelEvaluator::new(cfg.threads),
+            evaluator: GuardedEvaluator::from_parts(
+                cfg.threads,
+                cfg.fault,
+                fault_log_from(value, "faults")?,
+            ),
             config: cfg,
             problem: self.problem,
             start_time: Instant::now().checked_sub(elapsed).unwrap_or_else(Instant::now),
@@ -202,7 +211,7 @@ where
 pub struct MoelaState<'p, P: Problem> {
     config: MoelaConfig,
     problem: &'p P,
-    evaluator: ParallelEvaluator,
+    evaluator: GuardedEvaluator,
     start_time: Instant,
     evaluations: u64,
     recorder: TraceRecorder,
@@ -223,9 +232,21 @@ where
     P: Problem + Sync,
     P::Solution: Sync,
 {
-    /// Objective evaluations paid for so far.
+    /// Objective evaluations paid for so far (faulted and retried
+    /// attempts included).
     pub fn evaluations(&self) -> u64 {
         self.evaluations
+    }
+
+    /// The fault counters accumulated so far.
+    pub fn fault_log(&self) -> &FaultLog {
+        self.evaluator.log()
+    }
+
+    /// The latched [`FaultPolicy::Fail`](moela_moo::fault::FaultPolicy)
+    /// error, if evaluation faulted under the default policy.
+    pub fn fault_error(&self) -> Option<&EvalFault> {
+        self.evaluator.error()
     }
 
     /// Completed generations.
@@ -242,7 +263,8 @@ where
     /// once the run has finished.
     pub fn step(&mut self, rng: &mut dyn RngCore) -> bool {
         let mut rng = rng;
-        if self.finished || self.generation >= self.config.generations {
+        if self.finished || self.generation >= self.config.generations || self.evaluator.poisoned()
+        {
             self.finished = true;
             return false;
         }
@@ -294,10 +316,14 @@ where
                     neighbors_per_step: self.config.ls_neighbors_per_step,
                     stall_evaluations: self.config.ls_stall_evaluations,
                 },
-                &self.evaluator,
+                &mut self.evaluator,
                 rng,
             );
             self.evaluations += outcome.evaluations;
+            if self.evaluator.poisoned() {
+                self.finished = true;
+                return false;
+            }
             self.recorder.observe(&outcome.best_objectives);
             // The paper's Eval "predict[s] how much a design can
             // improve towards the reference point": the regression
@@ -306,7 +332,7 @@ where
             // predicted improvement.
             let improvement_target = outcome.final_value - start_g;
             for features in outcome.trajectory_features {
-                self.train.push(features, improvement_target);
+                self.train.push_finite(features, improvement_target);
             }
             // Offer every accepted state to every sub-problem — these
             // evaluations are already paid for, and the search may
@@ -399,6 +425,7 @@ where
             ("train", self.train.snapshot()),
             ("eval_fn", self.eval_fn.as_ref().map_or(Value::Null, Snapshot::snapshot)),
             ("recent_starts", Value::usize_array(&self.recent_starts)),
+            ("faults", self.evaluator.log().snapshot()),
         ])
     }
 
@@ -453,9 +480,18 @@ where
             scopes.push(pool.to_vec());
         }
 
-        let objective_batch = self.evaluator.evaluate(self.problem, &children);
-        self.evaluations += children.len() as u64;
-        for ((child, objectives), scope) in children.iter().zip(&objective_batch).zip(&scopes) {
+        let guarded = self.evaluator.evaluate(self.problem, &children);
+        self.evaluations += guarded.attempts;
+        if self.evaluator.poisoned() {
+            return false;
+        }
+        for ((child, objectives), scope) in children.iter().zip(&guarded.objectives).zip(&scopes) {
+            // Dropped (Skip) children vanish; quarantined penalties could
+            // never replace a real member, so both are passed over.
+            let Some(objectives) = objectives else { continue };
+            if is_quarantined(objectives) {
+                continue;
+            }
             self.recorder.observe(objectives);
             self.population.update(
                 Scalarizer::Tchebycheff,
@@ -491,6 +527,14 @@ where
 
     fn finish(self) -> RunResult<P::Solution> {
         MoelaState::finish(self)
+    }
+
+    fn fault_log(&self) -> Option<&FaultLog> {
+        Some(MoelaState::fault_log(self))
+    }
+
+    fn fault_error(&self) -> Option<&EvalFault> {
+        MoelaState::fault_error(self)
     }
 }
 
@@ -738,6 +782,127 @@ mod tests {
         let restored = moela.restore(&VecF64Codec, &back, Duration::ZERO).expect("restore");
         assert_eq!(restored.completed(), 2);
         assert_eq!(restored.evaluations(), state.evaluations());
+    }
+
+    /// Under injected chaos with a containment policy, a full MOELA run
+    /// completes, stays finite, and is bit-identical at any thread count.
+    #[test]
+    fn chaotic_runs_are_finite_and_thread_invariant() {
+        use moela_moo::fault::{FaultConfig, FaultPolicy};
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        let spec = ChaosSpec::parse("panic=0.05,nan=0.05,inf=0.03,arity=0.03").unwrap();
+        let run = |threads: usize| {
+            let problem = ChaosProblem::new(Zdt::zdt1(8), spec, 31);
+            let config = MoelaConfig::builder()
+                .population(8)
+                .generations(4)
+                .threads(threads)
+                .fault(FaultConfig { policy: FaultPolicy::PenalizeWorst, retries: 1 })
+                .build()
+                .expect("valid");
+            let mut r = rng(13);
+            let moela = Moela::new(config, &problem);
+            let mut state = moela.start(&mut r);
+            while state.step(&mut r) {}
+            let log = *state.fault_log();
+            (state.finish(), log)
+        };
+        let (base, base_log) = run(1);
+        assert!(base_log.faults() > 0, "the spec must actually inject");
+        assert!(base.front_objectives().iter().all(|o| o.iter().all(|v| v.is_finite())));
+        for threads in [2, 4] {
+            let (out, log) = run(threads);
+            assert_eq!(out.population, base.population, "threads = {threads}");
+            assert_eq!(out.evaluations, base.evaluations);
+            assert_eq!(log, base_log, "fault counters must not depend on threads");
+        }
+    }
+
+    /// The default Fail policy latches the first fault as a structured
+    /// error and stops the run instead of aborting the process.
+    #[test]
+    fn fail_policy_latches_a_structured_error() {
+        use moela_moo::fault::FaultKind;
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        let problem = ChaosProblem::new(Zdt::zdt1(6), ChaosSpec::parse("panic=1.0").unwrap(), 5);
+        let config = MoelaConfig::builder().population(6).generations(10).build().expect("valid");
+        let mut r = rng(1);
+        let mut state = Moela::new(config, &problem).start(&mut r);
+        assert!(!state.step(&mut r), "the poisoned guard must stop the run");
+        let err = state.fault_error().expect("a latched error");
+        assert_eq!(err.kind, FaultKind::Panic);
+        assert!(err.message.contains("chaos: injected panic"));
+        // Resumable surfaces the same error without a downcast.
+        let via_trait =
+            <MoelaState<_> as Resumable<VecF64Codec>>::fault_error(&state).expect("surfaced");
+        assert_eq!(via_trait, err);
+    }
+
+    /// Interrupting a chaotic run and resuming (restoring the fault log
+    /// and the chaos ordinal) reproduces the uninterrupted run — same
+    /// population, same evaluations, same health counters.
+    #[test]
+    fn chaos_resume_round_trips_fault_counters_bit_identically() {
+        use moela_moo::fault::{FaultConfig, FaultPolicy};
+        use moela_moo::{ChaosProblem, ChaosSpec};
+        let spec = ChaosSpec::parse("nan=0.1,arity=0.05").unwrap();
+        let config = MoelaConfig::builder()
+            .population(8)
+            .generations(5)
+            .fault(FaultConfig { policy: FaultPolicy::Skip, retries: 1 })
+            .build()
+            .expect("valid");
+
+        let baseline_problem = ChaosProblem::new(Zdt::zdt3(8), spec, 77);
+        let moela = Moela::new(config.clone(), &baseline_problem);
+        let mut r = rng(17);
+        let mut state = moela.start(&mut r);
+        while state.step(&mut r) {}
+        let base_log = *state.fault_log();
+        let baseline = state.finish();
+        assert!(base_log.faults() > 0, "the spec must actually inject");
+
+        // Interrupt after 2 generations; carry the chaos ordinal alongside
+        // the snapshot exactly as the run driver does.
+        let interrupted_problem = ChaosProblem::new(Zdt::zdt3(8), spec, 77);
+        let moela2 = Moela::new(config.clone(), &interrupted_problem);
+        let mut r = rng(17);
+        let mut state = moela2.start(&mut r);
+        while state.completed() < 2 && state.step(&mut r) {}
+        let snap = state.snapshot_state(&VecF64Codec);
+        let ordinal = interrupted_problem.ordinal();
+        let rng_state = r.state();
+
+        let resumed_problem = ChaosProblem::new(Zdt::zdt3(8), spec, 77);
+        resumed_problem.set_ordinal(ordinal);
+        let moela3 = Moela::new(config, &resumed_problem);
+        let mut r2 = rand::rngs::StdRng::from_state(rng_state);
+        let mut resumed = moela3.restore(&VecF64Codec, &snap, Duration::ZERO).expect("restore");
+        while resumed.step(&mut r2) {}
+        assert_eq!(*resumed.fault_log(), base_log, "health counters must round-trip");
+        let out = resumed.finish();
+        assert_eq!(out.population, baseline.population);
+        assert_eq!(out.evaluations, baseline.evaluations);
+    }
+
+    /// Pre-fault-containment checkpoints (no `faults` field) still restore.
+    #[test]
+    fn restore_tolerates_checkpoints_without_fault_counters() {
+        let problem = Zdt::zdt1(6);
+        let config = MoelaConfig::builder().population(6).generations(3).build().expect("valid");
+        let moela = Moela::new(config, &problem);
+        let mut r = rng(5);
+        let mut state = moela.start(&mut r);
+        while state.completed() < 1 && state.step(&mut r) {}
+        let snap = state.snapshot_state(&VecF64Codec);
+        // Strip the faults field to mimic an old checkpoint.
+        let json = moela_persist::encode::to_string(&snap);
+        let stripped = moela_persist::decode::from_str(&json).expect("parse");
+        let Value::Object(mut fields) = stripped else { panic!("object snapshot") };
+        fields.retain(|(k, _)| k != "faults");
+        let old = Value::Object(fields);
+        let restored = moela.restore(&VecF64Codec, &old, Duration::ZERO).expect("restore");
+        assert!(restored.fault_log().is_clean());
     }
 
     /// Once a run reports completion, further steps are no-ops that draw

@@ -1,6 +1,7 @@
 //! The decomposition population: individuals bound to weight vectors, with
 //! the Tchebycheff update rule of eq. (10).
 
+use moela_moo::fault::is_quarantined;
 use moela_moo::normalize::Normalizer;
 use moela_moo::scalarize::{ReferencePoint, Scalarizer};
 use moela_moo::weights::{neighborhoods, uniform_weights};
@@ -50,6 +51,9 @@ impl<S: Clone> Population<S> {
         let mut z = ReferencePoint::new(m);
         let mut normalizer = Normalizer::new(m);
         for ind in &individuals {
+            if is_quarantined(&ind.objectives) {
+                continue;
+            }
             z.update(&ind.objectives);
             normalizer.observe(&ind.objectives);
         }
@@ -125,8 +129,13 @@ impl<S: Clone> Population<S> {
     }
 
     /// Registers a newly evaluated objective vector: lowers `z` and widens
-    /// the normalizer.
+    /// the normalizer. Quarantined vectors (non-finite or fault penalties)
+    /// are ignored — one would permanently blow out the normalizer's range
+    /// and distort every later scalarization.
     pub fn observe(&mut self, objectives: &[f64]) {
+        if is_quarantined(objectives) {
+            return;
+        }
         self.z.update(objectives);
         self.normalizer.observe(objectives);
     }
@@ -238,6 +247,43 @@ mod tests {
         assert_eq!(p.reference().values(), &[-1.0, 0.0]);
         let n = p.normalizer().normalize(&[-1.0, 50.0]);
         assert_eq!(n, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn quarantined_observations_leave_scale_and_reference_untouched() {
+        let mut p = population();
+        let z_before = p.reference().values().to_vec();
+        let max_before = p.normalizer().max().to_vec();
+        p.observe(&[f64::NAN, 1.0]);
+        p.observe(&[1.0, f64::INFINITY]);
+        p.observe(&moela_moo::fault::penalty_objectives(2));
+        assert_eq!(p.reference().values(), z_before.as_slice());
+        assert_eq!(p.normalizer().max(), max_before.as_slice());
+        // A penalty candidate scalarizes to the worst corner and can never
+        // replace a real member.
+        let replaced = p.update(
+            Scalarizer::Tchebycheff,
+            &"penalty",
+            &moela_moo::fault::penalty_objectives(2),
+            &[0, 1, 2],
+            10,
+        );
+        assert_eq!(replaced, 0);
+    }
+
+    #[test]
+    fn quarantined_individuals_do_not_seed_the_normalizer() {
+        let p = Population::new(
+            vec![
+                Individual { solution: "a", objectives: vec![0.0, 10.0] },
+                Individual { solution: "bad", objectives: moela_moo::fault::penalty_objectives(2) },
+                Individual { solution: "c", objectives: vec![10.0, 0.0] },
+            ],
+            2,
+            2,
+        );
+        assert_eq!(p.reference().values(), &[0.0, 0.0]);
+        assert_eq!(p.normalizer().max(), &[10.0, 10.0]);
     }
 
     #[test]

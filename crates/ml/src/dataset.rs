@@ -71,6 +71,20 @@ impl Dataset {
         }
     }
 
+    /// Appends a sample only when both the target and every feature are
+    /// finite; returns whether it was stored. This is the fault-tolerant
+    /// entry point optimizers use so quarantined evaluations can never
+    /// poison the forest's training set ([`push`](Self::push) stays
+    /// strict and panics, for callers that consider non-finite input a
+    /// bug).
+    pub fn push_finite(&mut self, features: Vec<f64>, target: f64) -> bool {
+        if !target.is_finite() || features.iter().any(|f| !f.is_finite()) {
+            return false;
+        }
+        self.push(features, target);
+        true
+    }
+
     /// Number of stored samples.
     pub fn len(&self) -> usize {
         self.features.len()
@@ -203,6 +217,18 @@ mod tests {
     fn nan_target_panics() {
         let mut d = Dataset::new();
         d.push(vec![1.0], f64::NAN);
+    }
+
+    #[test]
+    fn push_finite_drops_non_finite_samples() {
+        let mut d = Dataset::new();
+        assert!(d.push_finite(vec![1.0], 2.0));
+        assert!(!d.push_finite(vec![1.0], f64::NAN));
+        assert!(!d.push_finite(vec![1.0], f64::INFINITY));
+        assert!(!d.push_finite(vec![f64::NAN], 1.0));
+        assert!(!d.push_finite(vec![f64::NEG_INFINITY], 1.0));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.target(0), 2.0);
     }
 
     #[test]

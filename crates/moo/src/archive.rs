@@ -46,7 +46,17 @@ impl<S: Clone> ParetoArchive<S> {
     /// Attempts to insert a solution. Returns `true` if it was added (i.e.
     /// it is not weakly dominated by an existing entry). Entries dominated
     /// by the newcomer are removed.
+    ///
+    /// Vectors containing NaN or ±Inf are rejected outright: non-finite
+    /// coordinates make dominance comparisons lie (every comparison with
+    /// NaN is `false`), which would let a garbage point silently evict
+    /// legitimate entries. Rejection is logged in debug builds.
     pub fn insert(&mut self, solution: S, objectives: Vec<f64>) -> bool {
+        if objectives.iter().any(|v| !v.is_finite()) {
+            #[cfg(debug_assertions)]
+            eprintln!("ParetoArchive: rejected non-finite objective vector {objectives:?}");
+            return false;
+        }
         if self.entries.iter().any(|(_, o)| weakly_dominates(o, &objectives)) {
             return false;
         }
@@ -66,7 +76,7 @@ impl<S: Clone> ParetoArchive<S> {
         let victim = dist
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.partial_cmp(b.1).expect("crowding distance NaN"))
+            .min_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .expect("archive is non-empty when evicting");
         self.entries.swap_remove(victim);
@@ -196,6 +206,17 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = ParetoArchive::<u32>::bounded(0);
+    }
+
+    #[test]
+    fn non_finite_vectors_are_rejected_and_cannot_evict() {
+        let mut a = ParetoArchive::unbounded();
+        assert!(a.insert(1, vec![1.0, 1.0]));
+        assert!(!a.insert(2, vec![f64::NAN, 0.0]));
+        assert!(!a.insert(3, vec![f64::NEG_INFINITY, 0.0]));
+        assert!(!a.insert(4, vec![0.0, f64::INFINITY]));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.solutions(), vec![1]);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use rand::RngCore;
 
 use moela_persist::{SolutionCodec, Value};
 
+use crate::fault::{EvalFault, FaultLog};
 use crate::run::RunResult;
 
 /// A checkpointable optimizer run in progress.
@@ -56,4 +57,21 @@ pub trait Resumable<C: SolutionCodec<Self::Solution>> {
 
     /// Consumes the state, producing the final [`RunResult`].
     fn finish(self) -> RunResult<Self::Solution>;
+
+    /// The fault counters accumulated by this run's guarded evaluator,
+    /// if the optimizer evaluates under containment (all workspace
+    /// optimizers do; the default covers external implementors).
+    fn fault_log(&self) -> Option<&FaultLog> {
+        None
+    }
+
+    /// The latched [`crate::fault::FaultPolicy::Fail`] error, if an
+    /// evaluation fault stopped this run. When set, [`step`] has
+    /// returned `false` early and the driver should surface the error
+    /// instead of reporting a completed run.
+    ///
+    /// [`step`]: Resumable::step
+    fn fault_error(&self) -> Option<&EvalFault> {
+        None
+    }
 }

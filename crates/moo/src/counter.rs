@@ -123,6 +123,16 @@ impl<P: Problem> Problem for Counted<P> {
         self.inner.evaluate_batch(solutions)
     }
 
+    fn evaluate_ordinal(&self, s: &Self::Solution, ordinal: u64) -> Vec<f64> {
+        // Tick before evaluating so the count survives a contained panic.
+        self.counter.add(1);
+        self.inner.evaluate_ordinal(s, ordinal)
+    }
+
+    fn reserve_ordinals(&self, n: u64) -> u64 {
+        self.inner.reserve_ordinals(n)
+    }
+
     fn features(&self, s: &Self::Solution) -> Vec<f64> {
         self.inner.features(s)
     }

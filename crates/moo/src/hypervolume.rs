@@ -24,14 +24,87 @@ use rand::Rng;
 
 use crate::pareto::{dominates, weakly_dominates};
 
+/// A structured reason why a hypervolume computation cannot produce a
+/// trustworthy value.
+///
+/// Returned by [`try_hypervolume`] and [`try_monte_carlo_hypervolume`];
+/// the infallible variants instead *skip* non-finite points (documented
+/// on each function) and panic on malformed reference boxes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HvError {
+    /// The reference point has no coordinates.
+    EmptyReference,
+    /// The reference (or ideal) point contains NaN/±Inf.
+    NonFiniteReference,
+    /// A point's dimensionality differs from the reference point's.
+    DimensionMismatch {
+        /// Reference-point dimensionality.
+        expected: usize,
+        /// Offending point's dimensionality.
+        got: usize,
+    },
+    /// A point contains NaN/±Inf.
+    NonFinitePoint {
+        /// Index of the offending point in the input slice.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for HvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HvError::EmptyReference => write!(f, "hypervolume reference point is empty"),
+            HvError::NonFiniteReference => {
+                write!(f, "hypervolume reference/ideal point contains a non-finite value")
+            }
+            HvError::DimensionMismatch { expected, got } => {
+                write!(f, "hypervolume point has {got} objectives, reference has {expected}")
+            }
+            HvError::NonFinitePoint { index } => {
+                write!(f, "hypervolume input point {index} contains a non-finite value")
+            }
+        }
+    }
+}
+
+fn all_finite(v: &[f64]) -> bool {
+    v.iter().all(|x| x.is_finite())
+}
+
+/// Exact hypervolume with full input validation: every non-finite or
+/// mismatched input becomes a structured [`HvError`] instead of a skip
+/// or a panic.
+pub fn try_hypervolume(points: &[Vec<f64>], reference: &[f64]) -> Result<f64, HvError> {
+    if reference.is_empty() {
+        return Err(HvError::EmptyReference);
+    }
+    if !all_finite(reference) {
+        return Err(HvError::NonFiniteReference);
+    }
+    for (index, p) in points.iter().enumerate() {
+        if p.len() != reference.len() {
+            return Err(HvError::DimensionMismatch { expected: reference.len(), got: p.len() });
+        }
+        if !all_finite(p) {
+            return Err(HvError::NonFinitePoint { index });
+        }
+    }
+    Ok(hypervolume(points, reference))
+}
+
 /// Exact hypervolume of `points` with respect to `reference`
 /// (minimization: a point contributes iff it is ≤ `reference` in every
 /// coordinate after clamping).
 ///
+/// Points containing NaN or ±Inf are **skipped**: NaN and +Inf
+/// coordinates already fail the inside-the-reference-box test, and a
+/// −Inf coordinate would otherwise contribute unbounded garbage volume.
+/// Use [`try_hypervolume`] to surface such points as errors instead.
+///
 /// # Panics
 ///
 /// Panics if any point's length differs from `reference.len()`, or if
-/// `reference` is empty.
+/// `reference` is empty or non-finite.
 ///
 /// # Example
 ///
@@ -46,14 +119,20 @@ use crate::pareto::{dominates, weakly_dominates};
 /// ```
 pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
     assert!(!reference.is_empty(), "reference point must be non-empty");
+    assert!(all_finite(reference), "reference point must be finite");
     for p in points {
         assert_eq!(p.len(), reference.len(), "point dimensionality must match the reference point");
     }
-    // Keep only points strictly inside the reference box in at least every
-    // dimension (clamp is not needed for minimization: a coordinate above
-    // the reference yields an empty box, so we drop those points).
-    let mut inside: Vec<Vec<f64>> =
-        points.iter().filter(|p| p.iter().zip(reference).all(|(&x, &r)| x < r)).cloned().collect();
+    // Keep only finite points strictly inside the reference box (clamp is
+    // not needed for minimization: a coordinate above the reference yields
+    // an empty box, so we drop those points; non-finite points are the
+    // documented skip above).
+    let mut inside: Vec<Vec<f64>> = points
+        .iter()
+        .filter(|p| all_finite(p))
+        .filter(|p| p.iter().zip(reference).all(|(&x, &r)| x < r))
+        .cloned()
+        .collect();
     if inside.is_empty() {
         return 0.0;
     }
@@ -90,7 +169,7 @@ fn filter_non_dominated(points: &mut Vec<Vec<f64>>) {
 
 /// 2-D hypervolume by sweeping points sorted on the first objective.
 fn hv2d(points: &mut [Vec<f64>], reference: &[f64]) -> f64 {
-    points.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("NaN objective"));
+    points.sort_by(|a, b| a[0].total_cmp(&b[0]));
     let mut hv = 0.0;
     let mut prev_y = reference[1];
     for p in points.iter() {
@@ -109,7 +188,7 @@ fn wfg(points: &[Vec<f64>], reference: &[f64]) -> f64 {
     // Sorting by the last objective descending improves limit-set pruning.
     let mut pts: Vec<Vec<f64>> = points.to_vec();
     let last = reference.len() - 1;
-    pts.sort_by(|a, b| b[last].partial_cmp(&a[last]).expect("NaN objective"));
+    pts.sort_by(|a, b| b[last].total_cmp(&a[last]));
     wfg_rec(&pts, reference)
 }
 
@@ -145,6 +224,14 @@ fn exclhv(p: &[f64], rest: &[Vec<f64>], reference: &[f64]) -> f64 {
 /// the exact hypervolume; pass the component-wise minimum of the front (or
 /// anything below it).
 ///
+/// Points containing NaN or ±Inf are **skipped** (a −Inf coordinate would
+/// otherwise capture samples it has no right to); use
+/// [`try_monte_carlo_hypervolume`] to surface them as errors instead.
+///
+/// # Panics
+///
+/// Panics if `reference` and `ideal` differ in length or are non-finite.
+///
 /// # Example
 ///
 /// ```
@@ -169,8 +256,13 @@ pub fn monte_carlo_hypervolume(
     rng: &mut impl Rng,
 ) -> f64 {
     assert_eq!(reference.len(), ideal.len());
+    assert!(
+        all_finite(reference) && all_finite(ideal),
+        "reference and ideal points must be finite"
+    );
+    let finite: Vec<&Vec<f64>> = points.iter().filter(|p| all_finite(p)).collect();
     let box_volume: f64 = reference.iter().zip(ideal).map(|(&r, &i)| (r - i).max(0.0)).product();
-    if box_volume == 0.0 || points.is_empty() || samples == 0 {
+    if box_volume == 0.0 || finite.is_empty() || samples == 0 {
         return 0.0;
     }
     let m = reference.len();
@@ -180,11 +272,40 @@ pub fn monte_carlo_hypervolume(
         for k in 0..m {
             sample[k] = rng.gen_range(ideal[k]..reference[k]);
         }
-        if points.iter().any(|p| p.iter().zip(&sample).all(|(&pi, &si)| pi <= si)) {
+        if finite.iter().any(|p| p.iter().zip(&sample).all(|(&pi, &si)| pi <= si)) {
             hits += 1;
         }
     }
     box_volume * f64::from(hits) / f64::from(samples)
+}
+
+/// Monte-Carlo hypervolume with full input validation: every non-finite
+/// or mismatched input becomes a structured [`HvError`].
+pub fn try_monte_carlo_hypervolume(
+    points: &[Vec<f64>],
+    reference: &[f64],
+    ideal: &[f64],
+    samples: u32,
+    rng: &mut impl Rng,
+) -> Result<f64, HvError> {
+    if reference.is_empty() {
+        return Err(HvError::EmptyReference);
+    }
+    if !all_finite(reference) || !all_finite(ideal) {
+        return Err(HvError::NonFiniteReference);
+    }
+    if ideal.len() != reference.len() {
+        return Err(HvError::DimensionMismatch { expected: reference.len(), got: ideal.len() });
+    }
+    for (index, p) in points.iter().enumerate() {
+        if p.len() != reference.len() {
+            return Err(HvError::DimensionMismatch { expected: reference.len(), got: p.len() });
+        }
+        if !all_finite(p) {
+            return Err(HvError::NonFinitePoint { index });
+        }
+    }
+    Ok(monte_carlo_hypervolume(points, reference, ideal, samples, rng))
 }
 
 /// Relative hypervolume improvement of `ours` over `theirs`, expressed the
@@ -279,6 +400,70 @@ mod tests {
         pts.push(vec![0.01, 0.01, 0.01]);
         let after = hypervolume(&pts, &[1.0; 3]);
         assert!(after >= before);
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped_not_counted() {
+        let clean = vec![vec![0.25, 0.75], vec![0.75, 0.25]];
+        let base = hypervolume(&clean, &[1.0, 1.0]);
+        // Regression: a −Inf coordinate passes the `x < r` inside-filter
+        // and used to blow the volume up to +Inf.
+        let mut dirty = clean.clone();
+        dirty.push(vec![f64::NEG_INFINITY, 0.5]);
+        dirty.push(vec![f64::NAN, 0.1]);
+        dirty.push(vec![0.1, f64::INFINITY]);
+        let hv = hypervolume(&dirty, &[1.0, 1.0]);
+        assert!(hv.is_finite());
+        assert_eq!(hv, base);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let est = monte_carlo_hypervolume(&dirty, &[1.0, 1.0], &[0.0, 0.0], 50_000, &mut rng);
+        assert!(est.is_finite());
+        assert!((est - base).abs() < 0.02);
+    }
+
+    #[test]
+    fn try_hypervolume_reports_structured_errors() {
+        let clean = vec![vec![0.5, 0.5]];
+        assert_eq!(try_hypervolume(&clean, &[1.0, 1.0]), Ok(0.25));
+        assert_eq!(try_hypervolume(&clean, &[]), Err(HvError::EmptyReference));
+        assert_eq!(try_hypervolume(&clean, &[1.0, f64::NAN]), Err(HvError::NonFiniteReference));
+        assert_eq!(
+            try_hypervolume(&[vec![0.5]], &[1.0, 1.0]),
+            Err(HvError::DimensionMismatch { expected: 2, got: 1 })
+        );
+        assert_eq!(
+            try_hypervolume(&[vec![0.5, 0.5], vec![f64::NAN, 0.5]], &[1.0, 1.0]),
+            Err(HvError::NonFinitePoint { index: 1 })
+        );
+        let shown = format!("{}", HvError::NonFinitePoint { index: 1 });
+        assert!(shown.contains("point 1"));
+    }
+
+    #[test]
+    fn try_monte_carlo_reports_structured_errors() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let clean = vec![vec![0.0, 0.0]];
+        let est =
+            try_monte_carlo_hypervolume(&clean, &[1.0, 1.0], &[0.0, 0.0], 1_000, &mut rng).unwrap();
+        assert!((est - 1.0).abs() < 1e-9);
+        assert_eq!(
+            try_monte_carlo_hypervolume(&clean, &[1.0, 1.0], &[0.0, f64::NAN], 10, &mut rng),
+            Err(HvError::NonFiniteReference)
+        );
+        assert_eq!(
+            try_monte_carlo_hypervolume(&clean, &[1.0, 1.0], &[0.0], 10, &mut rng),
+            Err(HvError::DimensionMismatch { expected: 2, got: 1 })
+        );
+        assert_eq!(
+            try_monte_carlo_hypervolume(
+                &[vec![f64::INFINITY, 0.0]],
+                &[1.0, 1.0],
+                &[0.0, 0.0],
+                10,
+                &mut rng
+            ),
+            Err(HvError::NonFinitePoint { index: 0 })
+        );
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //!   ([`parallel::ParallelEvaluator`]) — optimizers generate candidates
 //!   sequentially, then evaluate whole batches across scoped worker
 //!   threads with bit-identical results at any thread count;
+//! * fault containment: [`fault::GuardedEvaluator`] turns panicking,
+//!   NaN-producing or malformed evaluations into structured
+//!   [`fault::EvalFault`]s handled by a uniform [`fault::FaultPolicy`],
+//!   and [`chaos::ChaosProblem`] injects such faults deterministically
+//!   for testing;
 //! * synthetic benchmark problems with known Pareto fronts in [`problems`]
 //!   (ZDT, DTLZ, and a combinatorial multi-objective knapsack), used to
 //!   validate every optimizer in the workspace;
@@ -41,8 +46,10 @@
 //! ```
 
 pub mod archive;
+pub mod chaos;
 pub mod checkpoint;
 pub mod counter;
+pub mod fault;
 pub mod hypervolume;
 pub mod metrics;
 pub mod normalize;
@@ -55,6 +62,11 @@ pub mod scalarize;
 pub mod snapshot;
 pub mod weights;
 
+pub use chaos::{ChaosProblem, ChaosSpec};
 pub use counter::{Counted, EvalCounter};
+pub use fault::{
+    is_penalty, is_quarantined, penalty_objectives, EvalFault, FaultConfig, FaultKind, FaultLog,
+    FaultPolicy, GuardedBatch, GuardedEvaluator, PENALTY,
+};
 pub use parallel::ParallelEvaluator;
 pub use problem::Problem;

@@ -65,8 +65,15 @@ impl Normalizer {
     }
 
     /// Widens the range to include `objectives`.
+    ///
+    /// Vectors containing NaN or ±Inf are ignored wholesale: a single
+    /// non-finite coordinate would permanently blow out the observed
+    /// range and corrupt every later normalization.
     pub fn observe(&mut self, objectives: &[f64]) {
         assert_eq!(objectives.len(), self.min.len(), "dimension mismatch");
+        if objectives.iter().any(|o| !o.is_finite()) {
+            return;
+        }
         for ((lo, hi), &o) in self.min.iter_mut().zip(self.max.iter_mut()).zip(objectives) {
             if o < *lo {
                 *lo = o;
@@ -186,5 +193,18 @@ mod tests {
     #[should_panic(expected = "lower bound exceeds upper bound")]
     fn invalid_bounds_panic() {
         Normalizer::from_bounds(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut n = Normalizer::new(2);
+        n.observe(&[0.0, 0.0]);
+        n.observe(&[10.0, 10.0]);
+        let before = n.clone();
+        n.observe(&[f64::NAN, 5.0]);
+        n.observe(&[5.0, f64::INFINITY]);
+        n.observe(&[f64::NEG_INFINITY, 5.0]);
+        assert_eq!(n, before);
+        assert_eq!(n.normalize(&[5.0, 5.0]), vec![0.5, 0.5]);
     }
 }

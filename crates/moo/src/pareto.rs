@@ -39,14 +39,23 @@ pub fn weakly_dominates(a: &[f64], b: &[f64]) -> bool {
     a.iter().zip(b).all(|(&x, &y)| x <= y)
 }
 
+fn all_finite(v: &[f64]) -> bool {
+    v.iter().all(|x| x.is_finite())
+}
+
 /// Indices of the non-dominated members of `objs` (the first Pareto front),
 /// in their original order.
 ///
 /// Duplicated objective vectors are all retained: a point never dominates an
-/// exact copy of itself.
+/// exact copy of itself. Vectors containing NaN or ±Inf are never part of
+/// the front (NaN makes dominance comparisons vacuously `false`, which
+/// would otherwise promote garbage points to the front).
 pub fn non_dominated_indices(objs: &[Vec<f64>]) -> Vec<usize> {
     (0..objs.len())
-        .filter(|&i| !objs.iter().enumerate().any(|(j, o)| j != i && dominates(o, &objs[i])))
+        .filter(|&i| all_finite(&objs[i]))
+        .filter(|&i| {
+            !objs.iter().enumerate().any(|(j, o)| j != i && all_finite(o) && dominates(o, &objs[i]))
+        })
         .collect()
 }
 
@@ -56,6 +65,12 @@ pub fn non_dominated_indices(objs: &[Vec<f64>]) -> Vec<usize> {
 /// front, `fronts[1]` the points dominated only by front 0, and so on. Every
 /// index appears in exactly one front.
 ///
+/// Vectors containing NaN or ±Inf are excluded from the dominance
+/// book-keeping (NaN comparisons would corrupt the domination counts) and
+/// collected into one extra *final* front, preserving the partition
+/// property while guaranteeing that selection-by-front-rank always
+/// prefers finite points.
+///
 /// Runs in `O(M·n²)` — the standard NSGA-II book-keeping with per-point
 /// domination counts.
 pub fn non_dominated_sort(objs: &[Vec<f64>]) -> Vec<Vec<usize>> {
@@ -63,35 +78,43 @@ pub fn non_dominated_sort(objs: &[Vec<f64>]) -> Vec<Vec<usize>> {
     if n == 0 {
         return Vec::new();
     }
+    let finite: Vec<usize> = (0..n).filter(|&i| all_finite(&objs[i])).collect();
+    let non_finite: Vec<usize> = (0..n).filter(|&i| !all_finite(&objs[i])).collect();
     // dominated_by[i] = points that i dominates; counts[i] = how many
-    // points dominate i.
-    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut counts = vec![0usize; n];
-    for i in 0..n {
-        for j in (i + 1)..n {
+    // points dominate i (both over positions in `finite`).
+    let k = finite.len();
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut counts = vec![0usize; k];
+    for a in 0..k {
+        for b in (a + 1)..k {
+            let (i, j) = (finite[a], finite[b]);
             if dominates(&objs[i], &objs[j]) {
-                dominated_by[i].push(j);
-                counts[j] += 1;
+                dominated_by[a].push(b);
+                counts[b] += 1;
             } else if dominates(&objs[j], &objs[i]) {
-                dominated_by[j].push(i);
-                counts[i] += 1;
+                dominated_by[b].push(a);
+                counts[a] += 1;
             }
         }
     }
     let mut fronts = Vec::new();
-    let mut current: Vec<usize> = (0..n).filter(|&i| counts[i] == 0).collect();
+    let mut current: Vec<usize> = (0..k).filter(|&a| counts[a] == 0).collect();
     while !current.is_empty() {
         let mut next = Vec::new();
-        for &i in &current {
-            for &j in &dominated_by[i] {
-                counts[j] -= 1;
-                if counts[j] == 0 {
-                    next.push(j);
+        for &a in &current {
+            for &b in &dominated_by[a] {
+                counts[b] -= 1;
+                if counts[b] == 0 {
+                    next.push(b);
                 }
             }
         }
         next.sort_unstable();
-        fronts.push(std::mem::replace(&mut current, next));
+        let front = std::mem::replace(&mut current, next);
+        fronts.push(front.into_iter().map(|a| finite[a]).collect());
+    }
+    if !non_finite.is_empty() {
+        fronts.push(non_finite);
     }
     fronts
 }
@@ -119,9 +142,9 @@ pub fn crowding_distance(front: &[Vec<f64>]) -> Vec<f64> {
     // obscure the per-dimension re-sorting below.
     #[allow(clippy::needless_range_loop)]
     for k in 0..m {
-        order.sort_by(|&a, &b| {
-            front[a][k].partial_cmp(&front[b][k]).expect("objective values must not be NaN")
-        });
+        // total_cmp keeps the sort deterministic even if a NaN slips in
+        // (NaN orders after +Inf); upstream guards keep fronts finite.
+        order.sort_by(|&a, &b| front[a][k].total_cmp(&front[b][k]));
         let lo = front[order[0]][k];
         let hi = front[order[n - 1]][k];
         dist[order[0]] = f64::INFINITY;
@@ -204,6 +227,31 @@ mod tests {
         let fronts = non_dominated_sort(&objs);
         assert_eq!(fronts[0], vec![0, 1]);
         assert_eq!(fronts[1], vec![2]);
+    }
+
+    #[test]
+    fn non_finite_points_land_in_a_final_quarantine_front() {
+        let objs = vec![
+            vec![1.0, 1.0],
+            vec![f64::NAN, 0.0],
+            vec![2.0, 2.0],
+            vec![f64::NEG_INFINITY, 0.0],
+            vec![0.0, f64::INFINITY],
+        ];
+        assert_eq!(non_dominated_indices(&objs), vec![0]);
+        let fronts = non_dominated_sort(&objs);
+        assert_eq!(fronts, vec![vec![0], vec![2], vec![1, 3, 4]]);
+        // Partition property holds even with garbage points present.
+        let mut seen: Vec<usize> = fronts.concat();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..objs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_non_finite_input_yields_one_quarantine_front() {
+        let objs = vec![vec![f64::NAN, 1.0], vec![1.0, f64::INFINITY]];
+        assert!(non_dominated_indices(&objs).is_empty());
+        assert_eq!(non_dominated_sort(&objs), vec![vec![0, 1]]);
     }
 
     #[test]

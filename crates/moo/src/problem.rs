@@ -72,6 +72,29 @@ pub trait Problem {
         solutions.iter().map(|s| self.evaluate(s)).collect()
     }
 
+    /// Evaluates `s` as global evaluation number `ordinal`.
+    ///
+    /// Ordinals are the addressing scheme of fault injection
+    /// ([`crate::chaos::ChaosProblem`]) and fault-contained evaluation
+    /// ([`crate::fault::GuardedEvaluator`]): the guard reserves a
+    /// contiguous ordinal range for a whole batch *before* fanning out,
+    /// assigns candidate `i` ordinal `base + i`, and thereby keeps the
+    /// fault stream bit-identical at any thread count. Most problems
+    /// ignore ordinals entirely — the default delegates to
+    /// [`evaluate`](Problem::evaluate).
+    fn evaluate_ordinal(&self, s: &Self::Solution, _ordinal: u64) -> Vec<f64> {
+        self.evaluate(s)
+    }
+
+    /// Reserves `n` consecutive evaluation ordinals, returning the first.
+    ///
+    /// Only ordinal-aware wrappers ([`crate::chaos::ChaosProblem`]) track
+    /// a counter; the default is a no-op returning 0, so plain problems
+    /// pay nothing.
+    fn reserve_ordinals(&self, _n: u64) -> u64 {
+        0
+    }
+
     /// A fixed-length numeric descriptor of `s` used as the input features
     /// of learned evaluation functions (e.g. MOELA's random-forest `Eval`).
     ///
@@ -114,6 +137,14 @@ impl<P: Problem + ?Sized> Problem for &P {
 
     fn evaluate_batch(&self, solutions: &[Self::Solution]) -> Vec<Vec<f64>> {
         (**self).evaluate_batch(solutions)
+    }
+
+    fn evaluate_ordinal(&self, s: &Self::Solution, ordinal: u64) -> Vec<f64> {
+        (**self).evaluate_ordinal(s, ordinal)
+    }
+
+    fn reserve_ordinals(&self, n: u64) -> u64 {
+        (**self).reserve_ordinals(n)
     }
 
     fn features(&self, s: &Self::Solution) -> Vec<f64> {

@@ -4,6 +4,7 @@
 
 use std::time::Duration;
 
+use crate::fault::is_quarantined;
 use crate::hypervolume::hypervolume;
 use crate::normalize::Normalizer;
 use crate::pareto::non_dominated_indices;
@@ -78,10 +79,18 @@ pub struct RunResult<S> {
 }
 
 impl<S: Clone> RunResult<S> {
-    /// The non-dominated subset of the final population.
+    /// The non-dominated subset of the final population. Quarantined
+    /// members (non-finite or penalty objective vectors left behind by
+    /// fault containment) are never part of the front.
     pub fn front(&self) -> Vec<(S, Vec<f64>)> {
-        let objs: Vec<Vec<f64>> = self.population.iter().map(|(_, o)| o.clone()).collect();
-        non_dominated_indices(&objs).into_iter().map(|i| self.population[i].clone()).collect()
+        let eligible: Vec<usize> = (0..self.population.len())
+            .filter(|&i| !is_quarantined(&self.population[i].1))
+            .collect();
+        let objs: Vec<Vec<f64>> = eligible.iter().map(|&i| self.population[i].1.clone()).collect();
+        non_dominated_indices(&objs)
+            .into_iter()
+            .map(|k| self.population[eligible[k]].clone())
+            .collect()
     }
 
     /// Objective vectors of the final front.
@@ -171,9 +180,11 @@ impl TraceRecorder {
     }
 
     /// Widens the normalizer with a newly evaluated objective vector
-    /// (no-op when the normalizer is frozen).
+    /// (no-op when the normalizer is frozen). Quarantined vectors —
+    /// non-finite or fault-containment penalties — are ignored so they
+    /// can never stretch the PHV scale.
     pub fn observe(&mut self, objectives: &[f64]) {
-        if !self.fixed {
+        if !self.fixed && !is_quarantined(objectives) {
             self.normalizer.observe(objectives);
         }
     }
@@ -186,9 +197,12 @@ impl TraceRecorder {
         elapsed: Duration,
         population_objectives: &[Vec<f64>],
     ) {
-        let idx = non_dominated_indices(population_objectives);
-        let front: Vec<Vec<f64>> =
-            idx.into_iter().map(|i| population_objectives[i].clone()).collect();
+        // Quarantined vectors contribute no PHV: a penalty vector pushed
+        // through the unclamped normalizer would dwarf every real design.
+        let clean: Vec<Vec<f64>> =
+            population_objectives.iter().filter(|o| !is_quarantined(o)).cloned().collect();
+        let idx = non_dominated_indices(&clean);
+        let front: Vec<Vec<f64>> = idx.into_iter().map(|i| clean[i].clone()).collect();
         let phv = normalized_phv(&front, &self.normalizer);
         self.points.push(TracePoint { generation, evaluations, elapsed, phv });
     }
@@ -276,6 +290,46 @@ mod tests {
         rec.record(2, 30, Duration::ZERO, &[vec![1.0, 1.0]]);
         let p = rec.points();
         assert!(p[0].phv < p[1].phv && p[1].phv < p[2].phv);
+    }
+
+    #[test]
+    fn quarantined_members_never_reach_the_front_or_the_scale() {
+        use crate::fault::PENALTY;
+        let r = RunResult {
+            population: vec![
+                ("a", vec![1.0, 2.0]),
+                ("penalized", vec![PENALTY, PENALTY]),
+                ("nan", vec![f64::NAN, 0.0]),
+            ],
+            trace: Vec::new(),
+            evaluations: 0,
+            elapsed: Duration::ZERO,
+        };
+        let front = r.front();
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].0, "a");
+        // Even an all-quarantined population yields an empty front, not
+        // a garbage one.
+        let all_bad = RunResult {
+            population: vec![("p", vec![PENALTY, PENALTY])],
+            trace: Vec::new(),
+            evaluations: 0,
+            elapsed: Duration::ZERO,
+        };
+        assert!(all_bad.front().is_empty());
+
+        let mut rec = TraceRecorder::new(2);
+        rec.observe(&[0.0, 0.0]);
+        rec.observe(&[10.0, 10.0]);
+        let before = rec.normalizer().clone();
+        rec.observe(&[PENALTY, PENALTY]);
+        rec.observe(&[f64::NAN, 1.0]);
+        assert_eq!(rec.normalizer(), &before);
+        rec.record(0, 5, Duration::ZERO, &[vec![5.0, 5.0], vec![PENALTY, PENALTY]]);
+        rec.record(1, 6, Duration::ZERO, &[vec![5.0, 5.0]]);
+        let pts = rec.points();
+        assert!(pts[0].phv.is_finite());
+        assert_eq!(pts[0].phv, pts[1].phv);
     }
 
     #[test]

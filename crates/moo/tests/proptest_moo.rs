@@ -1,14 +1,38 @@
 //! Property-based tests of the MOO toolkit's core invariants.
 
-use moela_moo::hypervolume::{hypervolume, monte_carlo_hypervolume};
+use moela_moo::archive::ParetoArchive;
+use moela_moo::hypervolume::{hypervolume, monte_carlo_hypervolume, try_hypervolume, HvError};
 use moela_moo::normalize::Normalizer;
-use moela_moo::pareto::{crowding_distance, dominates, non_dominated_indices};
+use moela_moo::pareto::{crowding_distance, dominates, non_dominated_indices, non_dominated_sort};
 use moela_moo::problems::{Dtlz, Zdt};
 use moela_moo::scalarize::{ReferencePoint, Scalarizer};
 use moela_moo::weights::{neighborhoods, uniform_weights};
-use moela_moo::{ParallelEvaluator, Problem};
+use moela_moo::{
+    is_quarantined, ChaosProblem, ChaosSpec, FaultConfig, FaultPolicy, GuardedEvaluator,
+    ParallelEvaluator, Problem,
+};
 use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+/// Replaces a random subset of coordinates with NaN/±Inf; returns the
+/// indices of the corrupted vectors.
+fn corrupt(points: &mut [Vec<f64>], seed: u64) -> Vec<usize> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut dirty = Vec::new();
+    for (i, p) in points.iter_mut().enumerate() {
+        if p.is_empty() || rng.gen_range(0.0..1.0) >= 0.4 {
+            continue;
+        }
+        let k = rng.gen_range(0..p.len());
+        p[k] = match rng.gen_range(0u32..3) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        dirty.push(i);
+    }
+    dirty
+}
 
 /// `evaluate_batch` (at any worker count) must agree bit-for-bit with
 /// per-solution `evaluate` — the contract every optimizer's determinism
@@ -180,6 +204,147 @@ proptest! {
             _ => Dtlz::dtlz7(m, k),
         };
         assert_batch_parity(&problem, count, threads, seed);
+    }
+
+    /// The archive never admits a non-finite objective vector, no matter
+    /// what mix of clean and corrupted points is thrown at it.
+    #[test]
+    fn archive_never_admits_non_finite(
+        points in objective_vectors(3, 20),
+        seed in 0u64..1000,
+        bounded in 0u32..2,
+    ) {
+        let mut points = points;
+        corrupt(&mut points, seed);
+        let mut archive =
+            if bounded == 1 { ParetoArchive::bounded(5) } else { ParetoArchive::unbounded() };
+        for (i, p) in points.iter().enumerate() {
+            archive.insert(i, p.clone());
+        }
+        for (_, o) in archive.iter() {
+            prop_assert!(o.iter().all(|v| v.is_finite()), "archive holds {o:?}");
+        }
+    }
+
+    /// Non-dominated sorting stays a partition under corruption, with
+    /// every non-finite point ranked strictly behind every finite one.
+    #[test]
+    fn sort_quarantines_non_finite_points(
+        points in objective_vectors(3, 20),
+        seed in 0u64..1000,
+    ) {
+        let mut points = points;
+        let dirty = corrupt(&mut points, seed);
+        let fronts = non_dominated_sort(&points);
+        let mut seen: Vec<usize> = fronts.concat();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..points.len()).collect::<Vec<_>>());
+        if !dirty.is_empty() {
+            let last = fronts.last().unwrap().clone();
+            prop_assert_eq!(last, dirty.clone());
+        }
+        for i in non_dominated_indices(&points) {
+            prop_assert!(!dirty.contains(&i));
+        }
+    }
+
+    /// Hypervolume of a corrupted set skips the garbage (stays finite and
+    /// equal to the clean subset), while `try_hypervolume` reports it.
+    #[test]
+    fn hv_skips_garbage_and_try_reports_it(
+        points in objective_vectors(3, 14),
+        seed in 0u64..1000,
+    ) {
+        let reference = vec![1.0; 3];
+        let mut points = points;
+        let dirty = corrupt(&mut points, seed);
+        let clean: Vec<Vec<f64>> = points
+            .iter()
+            .filter(|p| p.iter().all(|v| v.is_finite()))
+            .cloned()
+            .collect();
+        let hv = hypervolume(&points, &reference);
+        prop_assert!(hv.is_finite());
+        prop_assert_eq!(hv, hypervolume(&clean, &reference));
+        match try_hypervolume(&points, &reference) {
+            Ok(v) => {
+                prop_assert!(dirty.is_empty());
+                prop_assert_eq!(v, hv);
+            }
+            Err(HvError::NonFinitePoint { index }) => {
+                prop_assert_eq!(Some(&index), dirty.first());
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    /// A normalizer fed corrupted vectors keeps finite (or untouched
+    /// initial) bounds and keeps normalizing cleanly.
+    #[test]
+    fn normalizer_bounds_survive_corruption(
+        points in objective_vectors(3, 20),
+        seed in 0u64..1000,
+    ) {
+        let mut points = points;
+        corrupt(&mut points, seed);
+        let mut n = Normalizer::new(3);
+        for p in &points {
+            n.observe(p);
+        }
+        for k in 0..3 {
+            let (lo, hi) = (n.min()[k], n.max()[k]);
+            prop_assert!(lo.is_finite() || lo == f64::INFINITY, "min {lo}");
+            prop_assert!(hi.is_finite() || hi == f64::NEG_INFINITY, "max {hi}");
+        }
+        prop_assert!(n.normalize(&[0.5, 0.5, 0.5]).iter().all(|v| v.is_finite()));
+    }
+
+    /// Under every fault policy and thread count, a guarded chaotic
+    /// evaluation never emits a non-finite objective vector — so nothing
+    /// non-finite can reach archives, normalizers, datasets or
+    /// checkpoints downstream.
+    #[test]
+    fn guarded_chaos_output_is_always_finite(
+        count in 1usize..24,
+        threads in 1usize..5,
+        policy in 0u32..3,
+        retries in 0u32..3,
+        seed in 0u64..1000,
+    ) {
+        let policy = match policy {
+            0 => FaultPolicy::Fail,
+            1 => FaultPolicy::PenalizeWorst,
+            _ => FaultPolicy::Skip,
+        };
+        let problem = Zdt::zdt1(4);
+        let spec = ChaosSpec::parse("panic=0.15,nan=0.15,inf=0.15,arity=0.15").unwrap();
+        let chaotic = ChaosProblem::new(&problem, spec, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xABCD);
+        let solutions: Vec<Vec<f64>> =
+            (0..count).map(|_| problem.random_solution(&mut rng)).collect();
+        let mut guard = GuardedEvaluator::new(threads, FaultConfig { policy, retries });
+        let batch = guard.evaluate(&chaotic, &solutions);
+        prop_assert!(batch.attempts >= solutions.len() as u64);
+        for objs in batch.objectives.iter().flatten() {
+            prop_assert_eq!(objs.len(), problem.objective_count());
+            prop_assert!(objs.iter().all(|v| v.is_finite()), "leaked {objs:?}");
+        }
+        // Materialized batches (initial-population path) are finite too.
+        for objs in batch.materialized(problem.objective_count()) {
+            prop_assert!(objs.iter().all(|v| v.is_finite()));
+        }
+        // Quarantine bookkeeping is self-consistent.
+        let log = guard.log();
+        prop_assert_eq!(log.faults() >= log.penalized + log.skipped + log.recovered, true);
+        if policy == FaultPolicy::PenalizeWorst {
+            let penalized = batch
+                .objectives
+                .iter()
+                .flatten()
+                .filter(|o| is_quarantined(o))
+                .count() as u64;
+            prop_assert_eq!(penalized, log.penalized);
+        }
     }
 
     /// Scalarized values are zero exactly at the reference point and

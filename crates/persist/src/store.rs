@@ -6,6 +6,7 @@
 //!   checkpoints/     # rotating MOELA-CKPT files (see `checkpoint`)
 //!   trace.csv        # deterministic convergence trace
 //!   front.csv        # final Pareto front
+//!   health.json      # end-of-run evaluation-health report
 //! ```
 //!
 //! The manifest is plain JSON (human-inspectable, no checksum header) and
@@ -80,6 +81,11 @@ impl RunStore {
         self.root.join("front.csv")
     }
 
+    /// `RUN_DIR/health.json`.
+    pub fn health_path(&self) -> PathBuf {
+        self.root.join("health.json")
+    }
+
     /// The rotating checkpoint store under this run.
     pub fn checkpoints(&self) -> Result<CheckpointStore, PersistError> {
         CheckpointStore::new(self.checkpoints_dir())
@@ -107,6 +113,13 @@ impl RunStore {
     pub fn write_front(&self, csv: &str) -> Result<(), PersistError> {
         write_atomic(&self.front_path(), csv.as_bytes())
     }
+
+    /// Writes `health.json` — the end-of-run evaluation-health report
+    /// (fault counters, policy, chaos configuration).
+    pub fn write_health(&self, health: &Value) -> Result<(), PersistError> {
+        let text = encode::to_string(health);
+        write_atomic(&self.health_path(), text.as_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -130,8 +143,10 @@ mod tests {
         assert_eq!(back.field("seed").unwrap().as_u64().unwrap(), 11);
         store.write_trace("generation,evaluations,phv\n").unwrap();
         store.write_front("obj0,obj1\n").unwrap();
+        store.write_health(&Value::object(vec![("faults", Value::U64(0))])).unwrap();
         assert!(store.trace_path().is_file());
         assert!(store.front_path().is_file());
+        assert!(store.health_path().is_file());
         fs::remove_dir_all(&root).unwrap();
     }
 

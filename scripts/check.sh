@@ -29,4 +29,17 @@ flags=(--app BFS --objectives 3 --algorithm moela --budget 120 --population 8 --
 cmp "$smoke/full/trace.csv" "$smoke/crashed/trace.csv"
 cmp "$smoke/full/front.csv" "$smoke/crashed/front.csv"
 
+echo "==> chaos smoke (faults contained, kill + resume under chaos byte-identical)"
+chaos_flags=("${flags[@]}" --chaos panic=0.03,nan=0.03,arity=0.02 --chaos-seed 41
+    --fault-policy penalize-worst --eval-retries 1)
+"$dse" run "${chaos_flags[@]}" --run-dir "$smoke/chaos-full" >/dev/null
+grep -q '"faults":0' "$smoke/chaos-full/health.json" \
+    && { echo "chaos spec did not inject any faults"; exit 1; }
+"$dse" run "${chaos_flags[@]}" --run-dir "$smoke/chaos-crashed" --crash-after-checkpoints 1 \
+    >/dev/null 2>&1 && { echo "crash injection did not abort"; exit 1; }
+"$dse" resume "$smoke/chaos-crashed" --threads 4 >/dev/null
+cmp "$smoke/chaos-full/trace.csv" "$smoke/chaos-crashed/trace.csv"
+cmp "$smoke/chaos-full/front.csv" "$smoke/chaos-crashed/front.csv"
+cmp "$smoke/chaos-full/health.json" "$smoke/chaos-crashed/health.json"
+
 echo "All checks passed."
