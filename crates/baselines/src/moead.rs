@@ -25,6 +25,7 @@ use moela_moo::scalarize::{ReferencePoint, Scalarizer};
 use moela_moo::snapshot::{entries_from_value, entries_to_value};
 use moela_moo::weights::{neighborhoods, uniform_weights};
 use moela_moo::{GuardedEvaluator, Problem};
+use moela_obs::Obs;
 use moela_persist::{PersistError, Restore, Snapshot, SolutionCodec, Value};
 
 /// MOEA/D parameters.
@@ -180,6 +181,7 @@ where
             objectives,
             generation: 0,
             finished: evaluator_poisoned,
+            obs: Obs::disabled(),
         }
     }
 
@@ -229,6 +231,7 @@ where
             objectives,
             generation: value.field("generation")?.as_usize()?,
             finished: value.field("finished")?.as_bool()?,
+            obs: Obs::disabled(),
         })
     }
 }
@@ -250,6 +253,8 @@ pub struct MoeadState<'p, P: Problem> {
     objectives: Vec<Vec<f64>>,
     generation: usize,
     finished: bool,
+    /// Telemetry handle (never checkpointed; disabled by default).
+    obs: Obs,
 }
 
 impl<'p, P> MoeadState<'p, P>
@@ -265,6 +270,14 @@ where
     /// Objective evaluations paid for so far.
     pub fn evaluations(&self) -> u64 {
         self.evaluations
+    }
+
+    /// Installs the observability handle phase spans are reported
+    /// through. Telemetry is write-only: it never alters an RNG draw,
+    /// an evaluation, or a trace byte.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.evaluator.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Executes one generation. Returns `false` — drawing no RNG values —
@@ -297,6 +310,7 @@ where
 
         let mut children: Vec<P::Solution> = Vec::with_capacity(order.len());
         let mut pools: Vec<Vec<usize>> = Vec::with_capacity(order.len());
+        let mate_span = self.obs.span("mate");
         for &i in &order {
             let whole: Vec<usize>;
             let pool: &[usize] = if rng.gen_bool(cfg.delta) {
@@ -321,6 +335,7 @@ where
             children.push(child);
             pools.push(pool.to_vec());
         }
+        drop(mate_span);
 
         let batch = self.evaluator.evaluate(self.problem, &children);
         self.evaluations += batch.attempts;
@@ -328,6 +343,7 @@ where
             self.finished = true;
             return false;
         }
+        let select_span = self.obs.span("select");
         for ((child, child_objs), pool) in children.iter().zip(&batch.objectives).zip(&pools) {
             let Some(child_objs) = child_objs else { continue };
             if is_quarantined(child_objs) {
@@ -356,13 +372,21 @@ where
                 }
             }
         }
-        self.recorder.record(
-            generation + 1,
-            self.evaluations,
-            self.start_time.elapsed(),
-            &self.objectives,
-        );
+        drop(select_span);
+        {
+            let _archive = self.obs.span("archive_update");
+            self.recorder.record(
+                generation + 1,
+                self.evaluations,
+                self.start_time.elapsed(),
+                &self.objectives,
+            );
+        }
         self.generation = generation + 1;
+        self.obs.counter("generations", 1);
+        if let Some(point) = self.recorder.points().last() {
+            self.obs.gauge("phv", point.phv);
+        }
         if partial {
             self.finished = true;
             return false;
@@ -438,6 +462,18 @@ where
 
     fn fault_error(&self) -> Option<&EvalFault> {
         MoeadState::fault_error(self)
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        MoeadState::set_obs(self, obs);
+    }
+
+    fn evaluations(&self) -> u64 {
+        MoeadState::evaluations(self)
+    }
+
+    fn latest_phv(&self) -> Option<f64> {
+        self.recorder.points().last().map(|p| p.phv)
     }
 }
 

@@ -30,6 +30,7 @@ use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
 use moela_moo::snapshot::{archive_from_value, archive_to_value};
 use moela_moo::{GuardedEvaluator, Problem};
+use moela_obs::Obs;
 use moela_persist::{PersistError, Restore, Snapshot, SolutionCodec, Value};
 
 use crate::common::normalized_phv;
@@ -183,6 +184,7 @@ where
             start,
             episode: 0,
             finished: evaluator_poisoned,
+            obs: Obs::disabled(),
         }
     }
 
@@ -222,6 +224,7 @@ where
             start: codec.decode_solution(value.field("start")?)?,
             episode: value.field("episode")?.as_usize()?,
             finished: value.field("finished")?.as_bool()?,
+            obs: Obs::disabled(),
         })
     }
 }
@@ -243,6 +246,8 @@ pub struct MooStageState<'p, P: Problem> {
     start: P::Solution,
     episode: usize,
     finished: bool,
+    /// Telemetry handle (never checkpointed; disabled by default).
+    obs: Obs,
 }
 
 impl<'p, P> MooStageState<'p, P>
@@ -258,6 +263,14 @@ where
     /// Objective evaluations paid for so far.
     pub fn evaluations(&self) -> u64 {
         self.evaluations
+    }
+
+    /// Installs the observability handle phase spans are reported
+    /// through. Telemetry is write-only: it never alters an RNG draw,
+    /// an evaluation, or a trace byte.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.evaluator.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     fn budget_left(&self) -> bool {
@@ -281,6 +294,7 @@ where
         let cfg = self.config.clone();
 
         // --- Base search: PHV-greedy hill climb ---------------------
+        let ls_span = self.obs.span("local_search");
         const PATIENCE: usize = 3;
         let mut current = self.start.clone();
         let mut current_phv = normalized_phv(&self.archive.objectives(), &self.normalizer);
@@ -329,6 +343,8 @@ where
             }
         }
 
+        drop(ls_span);
+
         // --- Label the trajectory and retrain Eval ------------------
         let final_phv = normalized_phv(&self.archive.objectives(), &self.normalizer);
         for features in trajectory {
@@ -338,12 +354,14 @@ where
             self.train.push_finite(features, -final_phv);
         }
         if self.train.len() >= 8 {
+            let _fit = self.obs.span("surrogate_fit");
             self.eval_fn = Some(RandomForest::fit(&self.train, &cfg.forest, &mut rng));
         }
 
         // --- Meta search on predicted Eval --------------------------
         self.start = match &self.eval_fn {
             Some(model) => {
+                let _predict = self.obs.span("surrogate_predict");
                 let mut meta = current.clone();
                 let mut meta_score = model.predict(&self.problem.features(&meta));
                 let mut moved = false;
@@ -367,13 +385,21 @@ where
             None => self.problem.random_solution(rng),
         };
 
-        self.recorder.record(
-            episode + 1,
-            self.evaluations,
-            self.start_time.elapsed(),
-            &self.archive.objectives(),
-        );
+        {
+            let _archive = self.obs.span("archive_update");
+            self.recorder.record(
+                episode + 1,
+                self.evaluations,
+                self.start_time.elapsed(),
+                &self.archive.objectives(),
+            );
+        }
         self.episode = episode + 1;
+        self.obs.counter("generations", 1);
+        self.obs.gauge("archive_size", self.archive.len() as f64);
+        if let Some(point) = self.recorder.points().last() {
+            self.obs.gauge("phv", point.phv);
+        }
         true
     }
 
@@ -445,6 +471,18 @@ where
 
     fn fault_error(&self) -> Option<&EvalFault> {
         MooStageState::fault_error(self)
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        MooStageState::set_obs(self, obs);
+    }
+
+    fn evaluations(&self) -> u64 {
+        MooStageState::evaluations(self)
+    }
+
+    fn latest_phv(&self) -> Option<f64> {
+        self.recorder.points().last().map(|p| p.phv)
     }
 }
 

@@ -36,6 +36,7 @@ use moela_moo::scalarize::ReferencePoint;
 use moela_moo::snapshot::{archive_from_value, archive_to_value};
 use moela_moo::weights::uniform_weights;
 use moela_moo::{GuardedEvaluator, Problem};
+use moela_obs::Obs;
 use moela_persist::{PersistError, Restore, Snapshot, SolutionCodec, Value};
 
 use crate::common::{normalized_phv, weighted_descent};
@@ -201,6 +202,7 @@ where
             gain_model: None,
             episode: 0,
             finished: evaluator_poisoned,
+            obs: Obs::disabled(),
         }
     }
 
@@ -244,6 +246,7 @@ where
             gain_model,
             episode: value.field("episode")?.as_usize()?,
             finished: value.field("finished")?.as_bool()?,
+            obs: Obs::disabled(),
         })
     }
 }
@@ -264,6 +267,8 @@ pub struct MoosState<'p, P: Problem> {
     gain_model: Option<RandomForest>,
     episode: usize,
     finished: bool,
+    /// Telemetry handle (never checkpointed; disabled by default).
+    obs: Obs,
 }
 
 impl<'p, P> MoosState<'p, P>
@@ -279,6 +284,14 @@ where
     /// Objective evaluations paid for so far.
     pub fn evaluations(&self) -> u64 {
         self.evaluations
+    }
+
+    /// Installs the observability handle phase spans are reported
+    /// through. Telemetry is write-only: it never alters an RNG draw,
+    /// an evaluation, or a trace byte.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.evaluator.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     fn budget_left(&self) -> bool {
@@ -341,6 +354,7 @@ where
                     (s.clone(), o.clone(), w)
                 }
             } else {
+                let _predict = self.obs.span("surrogate_predict");
                 let model = self.gain_model.as_ref().expect("checked above");
                 let mut best: Option<(usize, usize, f64)> = None;
                 for (si, (s, _)) in entries.iter().enumerate() {
@@ -373,6 +387,7 @@ where
 
         // --- Episode: descend and archive ---------------------------
         let phv_before = normalized_phv(&self.archive.objectives(), &self.normalizer);
+        let ls_span = self.obs.span("local_search");
         let (accepted, spent) = weighted_descent(
             self.problem,
             &start,
@@ -385,16 +400,20 @@ where
             &mut self.evaluator,
             rng,
         );
+        drop(ls_span);
         self.evaluations += spent;
         if self.evaluator.poisoned() {
             self.finished = true;
             return false;
         }
-        for (s, o) in accepted {
-            self.z.update(&o);
-            self.normalizer.observe(&o);
-            self.recorder.observe(&o);
-            self.archive.insert(s, o);
+        {
+            let _archive = self.obs.span("archive_update");
+            for (s, o) in accepted {
+                self.z.update(&o);
+                self.normalizer.observe(&o);
+                self.recorder.observe(&o);
+                self.archive.insert(s, o);
+            }
         }
         let phv_after = normalized_phv(&self.archive.objectives(), &self.normalizer);
 
@@ -403,16 +422,25 @@ where
         features.extend_from_slice(&weight);
         self.train.push_finite(features, phv_after - phv_before);
         if episode + 1 >= cfg.warmup && self.train.len() >= 8 {
+            let _fit = self.obs.span("surrogate_fit");
             self.gain_model = Some(RandomForest::fit(&self.train, &cfg.forest, &mut rng));
         }
 
-        self.recorder.record(
-            episode + 1,
-            self.evaluations,
-            self.start_time.elapsed(),
-            &self.archive.objectives(),
-        );
+        {
+            let _archive = self.obs.span("archive_update");
+            self.recorder.record(
+                episode + 1,
+                self.evaluations,
+                self.start_time.elapsed(),
+                &self.archive.objectives(),
+            );
+        }
         self.episode = episode + 1;
+        self.obs.counter("generations", 1);
+        self.obs.gauge("archive_size", self.archive.len() as f64);
+        if let Some(point) = self.recorder.points().last() {
+            self.obs.gauge("phv", point.phv);
+        }
         true
     }
 
@@ -484,6 +512,18 @@ where
 
     fn fault_error(&self) -> Option<&EvalFault> {
         MoosState::fault_error(self)
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        MoosState::set_obs(self, obs);
+    }
+
+    fn evaluations(&self) -> u64 {
+        MoosState::evaluations(self)
+    }
+
+    fn latest_phv(&self) -> Option<f64> {
+        self.recorder.points().last().map(|p| p.phv)
     }
 }
 

@@ -14,6 +14,7 @@ use moela_moo::pareto::{crowding_distance, non_dominated_sort};
 use moela_moo::run::{RunResult, TraceRecorder};
 use moela_moo::snapshot::{entries_from_value, entries_to_value};
 use moela_moo::{GuardedEvaluator, Problem};
+use moela_obs::Obs;
 use moela_persist::{PersistError, Restore, Snapshot, SolutionCodec, Value};
 
 /// NSGA-II parameters.
@@ -149,6 +150,7 @@ where
             pop,
             generation: 0,
             finished: evaluator_poisoned,
+            obs: Obs::disabled(),
         }
     }
 
@@ -183,6 +185,7 @@ where
             pop,
             generation: value.field("generation")?.as_usize()?,
             finished: value.field("finished")?.as_bool()?,
+            obs: Obs::disabled(),
         })
     }
 }
@@ -199,6 +202,8 @@ pub struct Nsga2State<'p, P: Problem> {
     pop: Vec<(P::Solution, Vec<f64>)>,
     generation: usize,
     finished: bool,
+    /// Telemetry handle (never checkpointed; disabled by default).
+    obs: Obs,
 }
 
 impl<'p, P> Nsga2State<'p, P>
@@ -214,6 +219,14 @@ where
     /// Objective evaluations paid for so far.
     pub fn evaluations(&self) -> u64 {
         self.evaluations
+    }
+
+    /// Installs the observability handle phase spans are reported
+    /// through. Telemetry is write-only: it never alters an RNG draw,
+    /// an evaluation, or a trace byte.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.evaluator.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Executes one generation. Returns `false` — drawing no RNG values —
@@ -242,6 +255,7 @@ where
         let partial = n_children < cfg.population;
 
         // Rank the current population for tournament selection.
+        let rank_span = self.obs.span("select");
         let objs: Vec<Vec<f64>> = self.pop.iter().map(|(_, o)| o.clone()).collect();
         let fronts = non_dominated_sort(&objs);
         let mut rank = vec![0usize; self.pop.len()];
@@ -264,9 +278,11 @@ where
                 b
             }
         };
+        drop(rank_span);
 
         // Offspring generation: children first (sequential RNG), then
         // one batched evaluation.
+        let mate_span = self.obs.span("mate");
         let children: Vec<P::Solution> = (0..n_children)
             .map(|_| {
                 let pa = tournament(rng);
@@ -274,6 +290,7 @@ where
                 self.problem.crossover(&self.pop[pa].0, &self.pop[pb].0, rng)
             })
             .collect();
+        drop(mate_span);
         let batch = self.evaluator.evaluate(self.problem, &children);
         self.evaluations += batch.attempts;
         if self.evaluator.poisoned() {
@@ -294,11 +311,26 @@ where
             .collect();
 
         // Environmental selection over parents ∪ offspring.
-        self.pop.extend(offspring);
-        self.pop = environmental_selection(std::mem::take(&mut self.pop), cfg.population);
+        {
+            let _select = self.obs.span("select");
+            self.pop.extend(offspring);
+            self.pop = environmental_selection(std::mem::take(&mut self.pop), cfg.population);
+        }
         let objs: Vec<Vec<f64>> = self.pop.iter().map(|(_, o)| o.clone()).collect();
-        self.recorder.record(generation + 1, self.evaluations, self.start_time.elapsed(), &objs);
+        {
+            let _archive = self.obs.span("archive_update");
+            self.recorder.record(
+                generation + 1,
+                self.evaluations,
+                self.start_time.elapsed(),
+                &objs,
+            );
+        }
         self.generation = generation + 1;
+        self.obs.counter("generations", 1);
+        if let Some(point) = self.recorder.points().last() {
+            self.obs.gauge("phv", point.phv);
+        }
         if partial {
             self.finished = true;
             return false;
@@ -370,6 +402,18 @@ where
 
     fn fault_error(&self) -> Option<&EvalFault> {
         Nsga2State::fault_error(self)
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        Nsga2State::set_obs(self, obs);
+    }
+
+    fn evaluations(&self) -> u64 {
+        Nsga2State::evaluations(self)
+    }
+
+    fn latest_phv(&self) -> Option<f64> {
+        self.recorder.points().last().map(|p| p.phv)
     }
 }
 

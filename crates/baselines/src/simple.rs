@@ -15,6 +15,7 @@ use moela_moo::scalarize::ReferencePoint;
 use moela_moo::snapshot::{archive_from_value, archive_to_value};
 use moela_moo::weights::uniform_weights;
 use moela_moo::{GuardedEvaluator, Problem};
+use moela_obs::Obs;
 use moela_persist::{PersistError, SolutionCodec, Value};
 
 use crate::common::weighted_descent;
@@ -111,6 +112,7 @@ where
         drawn: 0,
         chunks: 0,
         finished: false,
+        obs: Obs::disabled(),
     }
 }
 
@@ -148,6 +150,7 @@ where
         drawn,
         chunks: value.field("chunks")?.as_u64()?,
         finished: value.field("finished")?.as_bool()?,
+        obs: Obs::disabled(),
     })
 }
 
@@ -164,6 +167,8 @@ pub struct RandomSearchState<'p, P: Problem> {
     drawn: u64,
     chunks: u64,
     finished: bool,
+    /// Telemetry handle (never checkpointed; disabled by default).
+    obs: Obs,
 }
 
 impl<'p, P> RandomSearchState<'p, P>
@@ -179,6 +184,14 @@ where
     /// Objective evaluations paid for so far.
     pub fn evaluations(&self) -> u64 {
         self.evaluations
+    }
+
+    /// Installs the observability handle phase spans are reported
+    /// through. Telemetry is write-only: it never alters an RNG draw,
+    /// an evaluation, or a trace byte.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.evaluator.set_obs(obs.clone());
+        self.obs = obs;
     }
 
     /// Draws and evaluates one chunk of samples, aligned to the trace
@@ -206,24 +219,32 @@ where
             self.finished = true;
             return false;
         }
-        for (s, o) in candidates.into_iter().zip(batch.objectives) {
-            let Some(o) = o else { continue };
-            if is_quarantined(&o) {
-                continue;
+        {
+            let _archive = self.obs.span("archive_update");
+            for (s, o) in candidates.into_iter().zip(batch.objectives) {
+                let Some(o) = o else { continue };
+                if is_quarantined(&o) {
+                    continue;
+                }
+                self.recorder.observe(&o);
+                self.archive.insert(s, o);
             }
-            self.recorder.observe(&o);
-            self.archive.insert(s, o);
-        }
-        self.drawn += n as u64;
-        if cfg.trace_every > 0 && self.drawn.is_multiple_of(cfg.trace_every) {
-            self.recorder.record(
-                ((self.drawn - 1) / cfg.trace_every) as usize,
-                self.evaluations,
-                self.start_time.elapsed(),
-                &self.archive.objectives(),
-            );
+            self.drawn += n as u64;
+            if cfg.trace_every > 0 && self.drawn.is_multiple_of(cfg.trace_every) {
+                self.recorder.record(
+                    ((self.drawn - 1) / cfg.trace_every) as usize,
+                    self.evaluations,
+                    self.start_time.elapsed(),
+                    &self.archive.objectives(),
+                );
+            }
         }
         self.chunks += 1;
+        self.obs.counter("generations", 1);
+        self.obs.gauge("archive_size", self.archive.len() as f64);
+        if let Some(point) = self.recorder.points().last() {
+            self.obs.gauge("phv", point.phv);
+        }
         true
     }
 
@@ -300,6 +321,18 @@ where
 
     fn fault_error(&self) -> Option<&EvalFault> {
         RandomSearchState::fault_error(self)
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        RandomSearchState::set_obs(self, obs);
+    }
+
+    fn evaluations(&self) -> u64 {
+        RandomSearchState::evaluations(self)
+    }
+
+    fn latest_phv(&self) -> Option<f64> {
+        self.recorder.points().last().map(|p| p.phv)
     }
 }
 

@@ -5,6 +5,7 @@ use std::time::Duration;
 use moela_manycore::ObjectiveSet;
 use moela_moo::fault::{FaultConfig, FaultPolicy};
 use moela_moo::ChaosSpec;
+use moela_obs::LogLevel;
 use moela_traffic::Benchmark;
 
 /// A failed parse. `code` is the process exit code: `1` for malformed
@@ -134,6 +135,11 @@ pub struct RunOptions {
     /// Seed for the chaos fault stream (required with `--chaos` so the
     /// injected faults are reproducible).
     pub chaos_seed: Option<u64>,
+    /// Paint a rate-limited live progress line on stderr.
+    pub progress: bool,
+    /// Verbosity of human-facing status output (`quiet` = artifacts
+    /// only; warnings always reach stderr).
+    pub log_level: LogLevel,
 }
 
 impl RunOptions {
@@ -164,6 +170,8 @@ impl Default for RunOptions {
             eval_retries: 0,
             chaos: None,
             chaos_seed: None,
+            progress: false,
+            log_level: LogLevel::Info,
         }
     }
 }
@@ -201,6 +209,10 @@ pub enum Command {
         checkpoint_every: Option<u64>,
         /// Crash injection for resume testing.
         crash_after_checkpoints: Option<u64>,
+        /// Paint a rate-limited live progress line on stderr.
+        progress: bool,
+        /// Verbosity of human-facing status output.
+        log_level: LogLevel,
     },
     /// Print the build version.
     Version,
@@ -269,10 +281,19 @@ fn parse_resume(args: &[String]) -> Result<Command, ArgsError> {
     let mut threads = None;
     let mut checkpoint_every = None;
     let mut crash_after_checkpoints = None;
+    let mut progress = false;
+    let mut log_level = LogLevel::Info;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = || it.next().ok_or_else(|| format!("flag {arg} needs a value"));
         match arg.as_str() {
+            "--progress" => progress = true,
+            "--log-level" => {
+                let name = value()?;
+                log_level = LogLevel::parse(name).ok_or_else(|| {
+                    format!("--log-level must be quiet, info, or debug (got {name})")
+                })?;
+            }
             "--threads" => {
                 threads = Some(value()?.parse().map_err(|_| "--threads needs an integer")?);
             }
@@ -293,7 +314,14 @@ fn parse_resume(args: &[String]) -> Result<Command, ArgsError> {
         }
     }
     let dir = dir.ok_or("resume needs a run directory (moela-dse resume <DIR>)")?;
-    Ok(Command::Resume { dir, threads, checkpoint_every, crash_after_checkpoints })
+    Ok(Command::Resume {
+        dir,
+        threads,
+        checkpoint_every,
+        crash_after_checkpoints,
+        progress,
+        log_level,
+    })
 }
 
 fn parse_run_options(args: &[String]) -> Result<RunOptions, ArgsError> {
@@ -360,6 +388,13 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, ArgsError> {
                 opts.chaos_seed =
                     Some(value()?.parse().map_err(|_| "--chaos-seed needs an integer")?);
             }
+            "--progress" => opts.progress = true,
+            "--log-level" => {
+                let name = value()?;
+                opts.log_level = LogLevel::parse(&name).ok_or_else(|| {
+                    format!("--log-level must be quiet, info, or debug (got {name})")
+                })?;
+            }
             other => return Err(ArgsError::syntax(format!("unknown flag '{other}'"))),
         }
     }
@@ -419,6 +454,15 @@ COMMON FLAGS:
     --front-csv <PATH>                  write final front CSV
     --dot <PATH>                        write best design as Graphviz DOT
 
+OBSERVABILITY FLAGS:
+    --progress                          live progress line on stderr (gen,
+                                        evals, evals/s, best PHV, ETA)
+    --log-level <quiet|info|debug>      status verbosity [info]; quiet =
+                                        artifacts only (warnings still on
+                                        stderr); with --run-dir every run
+                                        also writes events.jsonl and
+                                        metrics.json telemetry
+
 FAULT CONTAINMENT FLAGS:
     --fault-policy <fail|penalize-worst|skip>
                                         what to do when an evaluation
@@ -447,6 +491,7 @@ RUN PERSISTENCE FLAGS:
 
 RESUME:
     moela-dse resume <DIR> [--threads N] [--checkpoint-every N]
+                           [--progress] [--log-level L]
     continues an interrupted `run --run-dir DIR` from its newest intact
     checkpoint; the finished trace.csv and front.csv are byte-identical
     to an uninterrupted run at any thread count
@@ -533,9 +578,18 @@ mod tests {
 
     #[test]
     fn resume_parses_dir_and_overrides() {
-        let cmd =
-            parse(&argv("resume out/run1 --threads 4 --crash-after-checkpoints 2")).expect("ok");
-        let Command::Resume { dir, threads, checkpoint_every, crash_after_checkpoints } = cmd
+        let cmd = parse(&argv(
+            "resume out/run1 --threads 4 --crash-after-checkpoints 2 --progress --log-level quiet",
+        ))
+        .expect("ok");
+        let Command::Resume {
+            dir,
+            threads,
+            checkpoint_every,
+            crash_after_checkpoints,
+            progress,
+            log_level,
+        } = cmd
         else {
             panic!("expected Resume")
         };
@@ -543,8 +597,27 @@ mod tests {
         assert_eq!(threads, Some(4));
         assert_eq!(checkpoint_every, None);
         assert_eq!(crash_after_checkpoints, Some(2));
+        assert!(progress);
+        assert_eq!(log_level, LogLevel::Quiet);
         assert!(parse(&argv("resume")).is_err());
         assert!(parse(&argv("resume a b")).is_err());
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let Command::Run(o) = parse(&argv("run --progress --log-level debug")).expect("ok") else {
+            panic!("expected Run")
+        };
+        assert!(o.progress);
+        assert_eq!(o.log_level, LogLevel::Debug);
+
+        let Command::Run(o) = parse(&argv("run")).expect("ok") else { panic!("expected Run") };
+        assert!(!o.progress);
+        assert_eq!(o.log_level, LogLevel::Info);
+
+        let err = parse(&argv("run --log-level loud")).expect_err("bad level");
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("loud"));
     }
 
     #[test]

@@ -27,6 +27,7 @@ use moela_moo::normalize::Normalizer;
 use moela_moo::run::RunResult;
 use moela_moo::{ChaosProblem, ChaosSpec, Problem};
 use moela_nocsim::{SimConfig, Simulator};
+use moela_obs::{JsonlSink, MetricsAggregator, Obs, ProgressReporter, Reporter, SharedSink, Sink};
 use moela_persist::{
     CheckpointStore, PersistError, Restore, RunStore, Snapshot, Value, FORMAT_VERSION,
 };
@@ -78,9 +79,14 @@ fn main() -> ExitCode {
             Ok(())
         }
         Command::Run(opts) => run(&opts),
-        Command::Resume { dir, threads, checkpoint_every, crash_after_checkpoints } => {
-            resume(&dir, threads, checkpoint_every, crash_after_checkpoints)
-        }
+        Command::Resume {
+            dir,
+            threads,
+            checkpoint_every,
+            crash_after_checkpoints,
+            progress,
+            log_level,
+        } => resume(&dir, threads, checkpoint_every, crash_after_checkpoints, progress, log_level),
         Command::Compare(opts) => compare(&opts),
         Command::Info { app, seed } => {
             info(app, seed);
@@ -130,6 +136,88 @@ struct ResumePoint {
     chaos_ordinal: Option<u64>,
 }
 
+/// Live telemetry threaded through [`drive`]: the obs handle every
+/// optimizer reports phase spans through, the in-memory aggregator the
+/// end-of-run `metrics.json` is rendered from, and the optional live
+/// progress line. All of it is write-only wall-clock instrumentation —
+/// none of it feeds back into the optimizer, so the deterministic
+/// artifacts (trace.csv, front.csv, checkpoints) are byte-identical
+/// with telemetry on or off.
+struct Telemetry {
+    obs: Obs,
+    aggregator: Option<std::sync::Arc<std::sync::Mutex<MetricsAggregator>>>,
+    progress: Option<ProgressReporter>,
+    reporter: Reporter,
+}
+
+impl Telemetry {
+    /// Builds the run telemetry: a JSONL event sink plus the metrics
+    /// aggregator when a run store exists (both are cheap), and the
+    /// progress reporter when `--progress` was given. `base_evals` seeds
+    /// resume-aware throughput accounting.
+    fn new(opts: &RunOptions, store: Option<&RunStore>, base_evals: u64) -> Self {
+        let mut sinks: Vec<Box<dyn Sink>> = Vec::new();
+        let mut aggregator = None;
+        if let Some(store) = store {
+            if let Ok(jsonl) = JsonlSink::append(&store.events_path()) {
+                sinks.push(Box::new(jsonl));
+            }
+            let shared = SharedSink::new(MetricsAggregator::new());
+            aggregator = Some(shared.handle());
+            sinks.push(Box::new(shared));
+        }
+        let obs = if sinks.is_empty() { Obs::disabled() } else { Obs::with_sinks(sinks) };
+        let progress = opts.progress.then(|| ProgressReporter::new(base_evals, Some(opts.budget)));
+        Telemetry { obs, aggregator, progress, reporter: Reporter::new(opts.log_level) }
+    }
+
+    /// Renders `metrics.json` from the aggregated events, folding in the
+    /// identity and fault counters `health.json` used to carry alone.
+    fn metrics_value(
+        &self,
+        opts: &RunOptions,
+        log: &FaultLog,
+        resumed: bool,
+        base_evals: u64,
+    ) -> Option<Value> {
+        let aggregator = self.aggregator.as_ref()?;
+        let rendered = aggregator.lock().map(|agg| agg.render()).ok()?;
+        let mut fields = vec![
+            ("algorithm", Value::Str(opts.algorithm.name().to_owned())),
+            ("app", Value::Str(opts.app.name().to_owned())),
+            ("seed", Value::U64(opts.seed)),
+            ("budget", Value::U64(opts.budget)),
+            ("threads", Value::U64(opts.threads as u64)),
+            (
+                "resume",
+                Value::object(vec![
+                    ("resumed", Value::Bool(resumed)),
+                    ("prior_evaluations", Value::U64(base_evals)),
+                ]),
+            ),
+            (
+                "faults",
+                Value::object(vec![
+                    ("fault_policy", Value::Str(opts.fault_policy.name().to_owned())),
+                    ("total", Value::U64(log.faults())),
+                    ("panics", Value::U64(log.panics)),
+                    ("non_finite", Value::U64(log.non_finite)),
+                    ("wrong_arity", Value::U64(log.wrong_arity)),
+                    ("retries", Value::U64(log.retries)),
+                    ("recovered", Value::U64(log.recovered)),
+                    ("penalized", Value::U64(log.penalized)),
+                    ("skipped", Value::U64(log.skipped)),
+                ]),
+            ),
+            ("telemetry", rendered),
+        ];
+        if let Some(spec) = &opts.chaos {
+            fields.push(("chaos", Value::Str(spec.to_string())));
+        }
+        Some(Value::object(fields))
+    }
+}
+
 /// Steps any resumable optimizer to completion, checkpointing every
 /// `persistence.every` completed steps. The envelope carries everything
 /// the optimizer state does not: format/build versions, the RNG state,
@@ -147,13 +235,18 @@ fn drive<S>(
     persistence: Option<&Persistence>,
     base_elapsed: Duration,
     chaos_ordinal: Option<&dyn Fn() -> u64>,
+    telemetry: &mut Telemetry,
 ) -> Result<(RunResult<Design>, FaultLog), CliError>
 where
     S: Resumable<ManycoreProblem, Solution = Design>,
 {
+    state.set_obs(telemetry.obs.clone());
     let t0 = Instant::now();
     let mut written = 0u64;
     while state.step(rng) {
+        if let Some(progress) = telemetry.progress.as_mut() {
+            progress.update(state.completed(), state.evaluations(), state.latest_phv());
+        }
         let Some(p) = persistence else { continue };
         if !state.completed().is_multiple_of(p.every) {
             continue;
@@ -172,12 +265,21 @@ where
         }
         fields.push(("state", state.snapshot_state(codec)));
         let envelope = Value::object(fields);
-        p.store.save(state.completed(), &envelope)?;
+        {
+            let _ckpt = telemetry.obs.span("checkpoint_write");
+            p.store.save(state.completed(), &envelope)?;
+        }
+        // Telemetry is crash-safe at the same cadence as the run itself:
+        // everything up to the newest checkpoint survives an abort.
+        telemetry.obs.flush();
         written += 1;
         if p.crash_after.is_some_and(|n| written >= n) {
             eprintln!("crash injection: aborting after {written} checkpoints");
             std::process::abort();
         }
+    }
+    if let Some(progress) = telemetry.progress.as_mut() {
+        progress.finish(state.completed(), state.evaluations(), state.latest_phv());
     }
     if let Some(fault) = state.fault_error() {
         return Err(fail(format!(
@@ -199,9 +301,12 @@ fn execute(
     normalizer: &Normalizer,
     persistence: Option<&Persistence>,
     resume: Option<(ResumePoint, StdRng)>,
+    telemetry: &mut Telemetry,
 ) -> Result<(RunResult<Design>, FaultLog), CliError> {
     match opts.chaos {
-        None => execute_on(opts, problem, problem, normalizer, persistence, resume, None),
+        None => {
+            execute_on(opts, problem, problem, normalizer, persistence, resume, None, telemetry)
+        }
         Some(spec) => {
             // Argument validation guarantees the seed is present.
             let seed = opts.chaos_seed.expect("--chaos requires --chaos-seed");
@@ -212,7 +317,16 @@ fn execute(
                 chaotic.set_ordinal(point.chaos_ordinal.unwrap_or(0));
             }
             let ordinal = || chaotic.ordinal();
-            execute_on(opts, &chaotic, problem, normalizer, persistence, resume, Some(&ordinal))
+            execute_on(
+                opts,
+                &chaotic,
+                problem,
+                normalizer,
+                persistence,
+                resume,
+                Some(&ordinal),
+                telemetry,
+            )
         }
     }
 }
@@ -229,6 +343,7 @@ fn execute_on<P>(
     persistence: Option<&Persistence>,
     resume: Option<(ResumePoint, StdRng)>,
     chaos_ordinal: Option<&dyn Fn() -> u64>,
+    telemetry: &mut Telemetry,
 ) -> Result<(RunResult<Design>, FaultLog), CliError>
 where
     P: Problem<Solution = Design> + Sync,
@@ -255,7 +370,7 @@ where
                 Some(p) => moela.restore(codec, &p.state, p.elapsed)?,
                 None => moela.start(&mut rng),
             };
-            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal)
+            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal, telemetry)
         }
         Algorithm::Moead => {
             let config = MoeadConfig {
@@ -274,7 +389,7 @@ where
                 Some(p) => moead.restore(codec, &p.state, p.elapsed)?,
                 None => moead.start(&mut rng),
             };
-            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal)
+            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal, telemetry)
         }
         Algorithm::Moos => {
             let config = MoosConfig {
@@ -291,7 +406,7 @@ where
                 Some(p) => moos.restore(codec, &p.state, p.elapsed)?,
                 None => moos.start(&mut rng),
             };
-            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal)
+            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal, telemetry)
         }
         Algorithm::MooStage => {
             let config = MooStageConfig {
@@ -308,7 +423,7 @@ where
                 Some(p) => stage.restore(codec, &p.state, p.elapsed)?,
                 None => stage.start(&mut rng),
             };
-            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal)
+            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal, telemetry)
         }
         Algorithm::Nsga2 => {
             let config = Nsga2Config {
@@ -325,7 +440,7 @@ where
                 Some(p) => nsga2.restore(codec, &p.state, p.elapsed)?,
                 None => nsga2.start(&mut rng),
             };
-            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal)
+            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal, telemetry)
         }
         Algorithm::Random => {
             let config = RandomSearchConfig {
@@ -339,7 +454,7 @@ where
                 Some(p) => random_search_restore(&config, problem, codec, &p.state, p.elapsed)?,
                 None => random_search_start(&config, problem),
             };
-            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal)
+            drive(state, &mut rng, codec, persistence, base_elapsed, chaos_ordinal, telemetry)
         }
     }
 }
@@ -453,16 +568,17 @@ fn write_outputs(
     opts: &RunOptions,
     problem: &ManycoreProblem,
     result: &RunResult<Design>,
+    reporter: &Reporter,
 ) -> Result<(), CliError> {
     if let Some(path) = &opts.trace_csv {
         std::fs::write(path, result.trace_csv())
             .map_err(|e| fail(format!("cannot write trace CSV '{path}': {e}")))?;
-        println!("trace written to {path}");
+        reporter.info(&format!("trace written to {path}"));
     }
     if let Some(path) = &opts.front_csv {
         std::fs::write(path, result.front_csv())
             .map_err(|e| fail(format!("cannot write front CSV '{path}': {e}")))?;
-        println!("front written to {path}");
+        reporter.info(&format!("front written to {path}"));
     }
     if let Some(path) = &opts.dot {
         // "Best" = lowest first objective on the front.
@@ -472,7 +588,7 @@ fn write_outputs(
             let dot = viz::to_dot(problem.config().dims(), problem.config().pe_mix(), &design);
             std::fs::write(path, dot)
                 .map_err(|e| fail(format!("cannot write DOT file '{path}': {e}")))?;
-            println!("best design written to {path} (render with `neato -Tpng`)");
+            reporter.info(&format!("best design written to {path} (render with `neato -Tpng`)"));
         }
     }
     Ok(())
@@ -498,16 +614,24 @@ fn health_value(opts: &RunOptions, log: &FaultLog) -> Value {
     if let Some(seed) = opts.chaos_seed {
         fields.push(("chaos_seed", Value::U64(seed)));
     }
+    fields.push((
+        "deprecated",
+        Value::Str(
+            "fault counters now also live under 'faults' in metrics.json; health.json \
+             will be dropped in the next release"
+                .to_owned(),
+        ),
+    ));
     Value::object(fields)
 }
 
 /// Prints the fault-containment health line. Stays silent for clean runs
 /// without chaos so the happy-path output is unchanged.
-fn print_health(opts: &RunOptions, log: &FaultLog) {
+fn print_health(opts: &RunOptions, log: &FaultLog, reporter: &Reporter) {
     if log.is_clean() && opts.chaos.is_none() {
         return;
     }
-    println!(
+    reporter.info(&format!(
         "evaluation health: {} faults contained ({} panics, {} non-finite, {} wrong-arity); \
          {} retries ({} recovered), {} penalized, {} skipped [policy {}]",
         log.faults(),
@@ -519,11 +643,13 @@ fn print_health(opts: &RunOptions, log: &FaultLog) {
         log.penalized,
         log.skipped,
         opts.fault_policy.name(),
-    );
+    ));
 }
 
 /// Prints the result summary and writes every requested artifact (the
-/// run-dir CSVs, the health report, and the ad-hoc output flags).
+/// run-dir CSVs, the health and metrics reports, and the ad-hoc output
+/// flags).
+#[allow(clippy::too_many_arguments)]
 fn finish_run(
     opts: &RunOptions,
     problem: &ManycoreProblem,
@@ -531,51 +657,60 @@ fn finish_run(
     run_store: Option<&RunStore>,
     result: &RunResult<Design>,
     log: &FaultLog,
+    telemetry: &mut Telemetry,
+    resumed: bool,
+    base_evals: u64,
 ) -> Result<(), CliError> {
-    println!(
+    let reporter = telemetry.reporter;
+    reporter.info(&format!(
         "finished: {} evaluations in {:.2?}; PHV {:.4}; front {} designs",
         result.evaluations,
         result.elapsed,
         result.phv(normalizer),
         result.front().len()
-    );
-    print_health(opts, log);
+    ));
+    print_health(opts, log, &reporter);
     let mut front = result.front_objectives();
     front.sort_by(|a, b| a[0].total_cmp(&b[0]));
     for (i, objs) in front.iter().take(15).enumerate() {
         let cells: Vec<String> = objs.iter().map(|v| format!("{v:>12.3}")).collect();
-        println!("  #{:<3} {}", i, cells.join(" "));
+        reporter.info(&format!("  #{:<3} {}", i, cells.join(" ")));
     }
     if front.len() > 15 {
-        println!("  … {} more", front.len() - 15);
+        reporter.info(&format!("  … {} more", front.len() - 15));
     }
     if let Some(store) = run_store {
         store.write_trace(&deterministic_trace_csv(result))?;
         store.write_front(&result.front_csv())?;
         store.write_health(&health_value(opts, log))?;
-        println!("run artifacts written to {}", store.root().display());
+        telemetry.obs.flush();
+        if let Some(metrics) = telemetry.metrics_value(opts, log, resumed, base_evals) {
+            store.write_metrics(&metrics)?;
+        }
+        reporter.info(&format!("run artifacts written to {}", store.root().display()));
     }
-    write_outputs(opts, problem, result)
+    write_outputs(opts, problem, result, &reporter)
 }
 
 fn run(opts: &RunOptions) -> Result<(), CliError> {
+    let reporter = Reporter::new(opts.log_level);
     let problem = build_problem(opts)?;
     let normalizer = corpus_normalizer(&problem, opts.seed);
-    println!(
+    reporter.info(&format!(
         "{} on {} ({}), budget {} evaluations, seed {}",
         opts.algorithm.name(),
         opts.app,
         opts.set,
         opts.budget,
         opts.seed
-    );
+    ));
     if let Some(spec) = &opts.chaos {
-        println!(
+        reporter.info(&format!(
             "chaos injection: {spec} (chaos seed {}), fault policy {}, {} retries",
             opts.chaos_seed.expect("--chaos requires --chaos-seed"),
             opts.fault_policy.name(),
             opts.eval_retries
-        );
+        ));
     }
     let run_store = match &opts.run_dir {
         Some(dir) => {
@@ -594,8 +729,21 @@ fn run(opts: &RunOptions) -> Result<(), CliError> {
         }),
         None => None,
     };
-    let (result, log) = execute(opts, &problem, &normalizer, persistence.as_ref(), None)?;
-    finish_run(opts, &problem, &normalizer, run_store.as_ref(), &result, &log)
+    let mut telemetry = Telemetry::new(opts, run_store.as_ref(), 0);
+    telemetry.obs.marker("run_start", opts.algorithm.name());
+    let (result, log) =
+        execute(opts, &problem, &normalizer, persistence.as_ref(), None, &mut telemetry)?;
+    finish_run(
+        opts,
+        &problem,
+        &normalizer,
+        run_store.as_ref(),
+        &result,
+        &log,
+        &mut telemetry,
+        false,
+        0,
+    )
 }
 
 fn resume(
@@ -603,6 +751,8 @@ fn resume(
     threads: Option<usize>,
     checkpoint_every: Option<u64>,
     crash_after_checkpoints: Option<u64>,
+    progress: bool,
+    log_level: moela_obs::LogLevel,
 ) -> Result<(), CliError> {
     let store = RunStore::open(dir)?;
     let manifest = store.read_manifest()?;
@@ -618,6 +768,9 @@ fn resume(
     }
     opts.crash_after_checkpoints = crash_after_checkpoints;
     opts.run_dir = Some(dir.to_owned());
+    opts.progress = progress;
+    opts.log_level = log_level;
+    let reporter = Reporter::new(opts.log_level);
 
     let checkpoints = store.checkpoints()?;
     let Some((seq, envelope, warnings)) = checkpoints.load_latest()? else {
@@ -657,50 +810,79 @@ fn resume(
     let point = ResumePoint { state: envelope.field("state")?.clone(), elapsed, chaos_ordinal };
 
     let problem = build_problem(&opts)?;
-    println!(
+    reporter.info(&format!(
         "resuming {} on {} ({}) from checkpoint {} in {}",
         opts.algorithm.name(),
         opts.app,
         opts.set,
         seq,
         store.root().display()
-    );
+    ));
     let persistence = Persistence {
         store: checkpoints,
         every: opts.checkpoint_every,
         crash_after: opts.crash_after_checkpoints,
         algorithm: opts.algorithm,
     };
-    let (result, log) =
-        execute(&opts, &problem, &normalizer, Some(&persistence), Some((point, rng)))?;
-    finish_run(&opts, &problem, &normalizer, Some(&store), &result, &log)
+    // Progress rates and the metrics throughput window count only the
+    // work done after this resume; events.jsonl appends to the prior
+    // process's log rather than truncating it.
+    let base_evals =
+        point.state.field_opt("evaluations").and_then(|v| v.as_u64().ok()).unwrap_or_default();
+    let mut telemetry = Telemetry::new(&opts, Some(&store), base_evals);
+    telemetry.obs.marker("resume", &format!("checkpoint {seq}"));
+    let (result, log) = execute(
+        &opts,
+        &problem,
+        &normalizer,
+        Some(&persistence),
+        Some((point, rng)),
+        &mut telemetry,
+    )?;
+    finish_run(
+        &opts,
+        &problem,
+        &normalizer,
+        Some(&store),
+        &result,
+        &log,
+        &mut telemetry,
+        true,
+        base_evals,
+    )
 }
 
 fn compare(opts: &RunOptions) -> Result<(), CliError> {
+    let reporter = Reporter::new(opts.log_level);
     let problem = build_problem(opts)?;
     let normalizer = corpus_normalizer(&problem, opts.seed);
-    println!(
+    reporter.info(&format!(
         "comparing all algorithms on {} ({}), budget {} evaluations\n",
         opts.app, opts.set, opts.budget
-    );
-    println!("{:<12} {:>10} {:>10} {:>10} {:>7}", "algorithm", "evals", "time", "PHV", "front");
+    ));
+    reporter.info(&format!(
+        "{:<12} {:>10} {:>10} {:>10} {:>7}",
+        "algorithm", "evals", "time", "PHV", "front"
+    ));
     for (algorithm, name) in Algorithm::ALL {
         let mut per_algorithm = opts.clone();
         per_algorithm.algorithm = algorithm;
-        let (result, log) = execute(&per_algorithm, &problem, &normalizer, None, None)?;
+        let mut telemetry = Telemetry::new(&per_algorithm, None, 0);
+        let (result, log) =
+            execute(&per_algorithm, &problem, &normalizer, None, None, &mut telemetry)?;
         let health = if log.is_clean() {
             String::new()
         } else {
             format!("  ({} faults contained)", log.faults())
         };
-        println!(
+        reporter.info(&format!(
             "{:<12} {:>10} {:>10.2?} {:>10.4} {:>7}{health}",
             name,
             result.evaluations,
             result.elapsed,
             result.phv(&normalizer),
             result.front().len()
-        );
+        ));
     }
     Ok(())
 }

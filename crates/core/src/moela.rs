@@ -30,6 +30,7 @@ use moela_moo::run::{RunResult, TraceRecorder};
 use moela_moo::scalarize::{ReferencePoint, Scalarizer};
 use moela_moo::snapshot::entries_from_value;
 use moela_moo::{GuardedEvaluator, Problem};
+use moela_obs::Obs;
 use moela_persist::{PersistError, Restore, Snapshot, SolutionCodec, Value};
 
 use crate::config::MoelaConfig;
@@ -145,6 +146,7 @@ where
             last_generation: 0,
             finished: evaluator.poisoned(),
             evaluator,
+            obs: Obs::disabled(),
         }
     }
 
@@ -201,6 +203,7 @@ where
             generation: value.field("generation")?.as_usize()?,
             last_generation: value.field("last_generation")?.as_usize()?,
             finished: value.field("finished")?.as_bool()?,
+            obs: Obs::disabled(),
         })
     }
 }
@@ -225,6 +228,8 @@ pub struct MoelaState<'p, P: Problem> {
     generation: usize,
     last_generation: usize,
     finished: bool,
+    /// Telemetry handle (never checkpointed; disabled by default).
+    obs: Obs,
 }
 
 impl<'p, P> MoelaState<'p, P>
@@ -254,6 +259,14 @@ where
         self.generation as u64
     }
 
+    /// Installs the observability handle phase spans are reported
+    /// through. Telemetry is write-only: it never alters an RNG draw,
+    /// an evaluation, or a trace byte.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.evaluator.set_obs(obs.clone());
+        self.obs = obs;
+    }
+
     fn budget_left(&self) -> bool {
         self.config.max_evaluations.is_none_or(|cap| self.evaluations < cap)
             && self.config.time_budget.is_none_or(|cap| self.start_time.elapsed() < cap)
@@ -280,6 +293,7 @@ where
         // --- Local-search phase -------------------------------------
         let starts = match &self.eval_fn {
             Some(model) if generation >= self.config.iter_early => {
+                let _predict = self.obs.span("surrogate_predict");
                 ml_guide(self.problem, &self.config, model, &self.population, &self.recent_starts)
             }
             _ => {
@@ -290,6 +304,7 @@ where
             }
         };
         self.recent_starts = starts.clone();
+        let ls_span = self.obs.span("local_search");
         for idx in starts {
             if !self.budget_left() {
                 self.finished = true;
@@ -349,9 +364,11 @@ where
                 );
             }
         }
+        drop(ls_span);
 
         // --- Train Eval ----------------------------------------------
         if generation + 1 >= self.config.iter_early && self.train.len() >= 8 {
+            let _fit = self.obs.span("surrogate_fit");
             self.eval_fn = Some(RandomForest::fit(&self.train, &self.config.forest, &mut rng));
         }
 
@@ -361,13 +378,20 @@ where
             return false;
         }
 
-        self.recorder.record(
-            generation + 1,
-            self.evaluations,
-            self.start_time.elapsed(),
-            &self.population.objective_vectors(),
-        );
+        {
+            let _archive = self.obs.span("archive_update");
+            self.recorder.record(
+                generation + 1,
+                self.evaluations,
+                self.start_time.elapsed(),
+                &self.population.objective_vectors(),
+            );
+        }
         self.generation = generation + 1;
+        self.obs.counter("generations", 1);
+        if let Some(point) = self.recorder.points().last() {
+            self.obs.gauge("phv", point.phv);
+        }
         true
     }
 
@@ -451,6 +475,7 @@ where
 
         let mut children: Vec<P::Solution> = Vec::with_capacity(batch);
         let mut scopes: Vec<Vec<usize>> = Vec::with_capacity(batch);
+        let mate_span = self.obs.span("mate");
         for i in 0..batch {
             let whole: Vec<usize>;
             let pool: &[usize] = if rng.gen_bool(cfg.delta) {
@@ -479,12 +504,14 @@ where
             children.push(child);
             scopes.push(pool.to_vec());
         }
+        drop(mate_span);
 
         let guarded = self.evaluator.evaluate(self.problem, &children);
         self.evaluations += guarded.attempts;
         if self.evaluator.poisoned() {
             return false;
         }
+        let _select = self.obs.span("select");
         for ((child, objectives), scope) in children.iter().zip(&guarded.objectives).zip(&scopes) {
             // Dropped (Skip) children vanish; quarantined penalties could
             // never replace a real member, so both are passed over.
@@ -535,6 +562,18 @@ where
 
     fn fault_error(&self) -> Option<&EvalFault> {
         MoelaState::fault_error(self)
+    }
+
+    fn set_obs(&mut self, obs: Obs) {
+        MoelaState::set_obs(self, obs);
+    }
+
+    fn evaluations(&self) -> u64 {
+        MoelaState::evaluations(self)
+    }
+
+    fn latest_phv(&self) -> Option<f64> {
+        self.recorder.points().last().map(|p| p.phv)
     }
 }
 

@@ -27,6 +27,7 @@
 
 use rand::RngCore;
 
+use moela_obs::Obs;
 use moela_persist::{SolutionCodec, Value};
 
 use crate::fault::{EvalFault, FaultLog};
@@ -72,6 +73,25 @@ pub trait Resumable<C: SolutionCodec<Self::Solution>> {
     ///
     /// [`step`]: Resumable::step
     fn fault_error(&self) -> Option<&EvalFault> {
+        None
+    }
+
+    /// Installs an observability handle the optimizer reports phase
+    /// spans and counters through. Called by the driver after `init` or
+    /// restore; never checkpointed. Observability is strictly
+    /// write-only telemetry — installing a handle must not change a
+    /// single RNG draw, evaluation, or trace byte. The default ignores
+    /// the handle (external implementors emit nothing).
+    fn set_obs(&mut self, _obs: Obs) {}
+
+    /// Objective evaluations paid for so far, for progress reporting.
+    fn evaluations(&self) -> u64 {
+        0
+    }
+
+    /// The most recent normalized hypervolume recorded on the anytime
+    /// trace, if any — the "best scalarized" figure progress lines show.
+    fn latest_phv(&self) -> Option<f64> {
         None
     }
 }

@@ -30,6 +30,7 @@ use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Once;
 
+use moela_obs::Obs;
 use moela_persist::{PersistError, Restore, Snapshot, Value};
 
 use crate::parallel::ParallelEvaluator;
@@ -339,6 +340,7 @@ pub struct GuardedEvaluator {
     config: FaultConfig,
     log: FaultLog,
     error: Option<EvalFault>,
+    obs: Obs,
 }
 
 impl GuardedEvaluator {
@@ -350,12 +352,26 @@ impl GuardedEvaluator {
             config,
             log: FaultLog::default(),
             error: None,
+            obs: Obs::disabled(),
         }
     }
 
     /// Rebuilds a guard from a checkpointed fault log.
     pub fn from_parts(threads: usize, config: FaultConfig, log: FaultLog) -> Self {
-        Self { evaluator: ParallelEvaluator::new(threads), config, log, error: None }
+        Self {
+            evaluator: ParallelEvaluator::new(threads),
+            config,
+            log,
+            error: None,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Installs the observability handle every batch evaluation reports
+    /// through (`evaluate` spans plus `evaluations`/`eval_faults`
+    /// counters). The default handle is disabled and free.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The fault counters accumulated so far.
@@ -388,6 +404,8 @@ impl GuardedEvaluator {
         if solutions.is_empty() || self.poisoned() {
             return GuardedBatch { objectives: vec![None; solutions.len()], attempts: 0 };
         }
+        let _span = self.obs.span("evaluate");
+        let faults_before = self.log.faults();
         let m = problem.objective_count();
         let base = problem.reserve_ordinals(solutions.len() as u64);
         let mut results = self.evaluator.try_evaluate(problem, solutions, base, m);
@@ -439,6 +457,11 @@ impl GuardedEvaluator {
                 },
             })
             .collect();
+        self.obs.counter("evaluations", attempts);
+        let faulted = self.log.faults() - faults_before;
+        if faulted > 0 {
+            self.obs.counter("eval_faults", faulted);
+        }
         GuardedBatch { objectives, attempts }
     }
 

@@ -1,0 +1,161 @@
+//! Fixed log-scale histogram for latency samples.
+
+use moela_persist::Value;
+
+/// Number of buckets. Bucket 0 holds exactly `{0}`; bucket `i > 0` holds
+/// `[2^(i-1), 2^i)`. Everything at or above `2^(BUCKETS-2)` (~2^38 µs,
+/// about 76 hours) collapses into the last bucket, so no sample is ever
+/// dropped.
+pub const BUCKETS: usize = 40;
+
+/// A counting histogram over non-negative integer samples (microseconds
+/// in practice) with fixed power-of-two bucket edges. Recording never
+/// allocates and never loses a count: every sample lands in exactly one
+/// bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram { counts: [0; BUCKETS], total: 0, sum: 0, max: 0 }
+    }
+
+    /// The bucket index `value` falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// Inclusive lower and exclusive upper bound of bucket `idx` (the
+    /// last bucket's upper bound is `u64::MAX`).
+    pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+        assert!(idx < BUCKETS, "bucket index {idx} out of range");
+        match idx {
+            0 => (0, 1),
+            _ => {
+                let lo = 1u64 << (idx - 1);
+                let hi = if idx == BUCKETS - 1 { u64::MAX } else { 1u64 << idx };
+                (lo, hi)
+            }
+        }
+    }
+
+    /// Add one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Render as a JSON value: totals plus the sparse list of non-empty
+    /// buckets with their bounds.
+    pub fn to_value(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(idx, &count)| {
+                let (lo, hi) = Self::bucket_bounds(idx);
+                Value::object(vec![
+                    ("lo_us", Value::U64(lo)),
+                    ("hi_us", Value::U64(hi)),
+                    ("count", Value::U64(count)),
+                ])
+            })
+            .collect();
+        Value::object(vec![
+            ("total", Value::U64(self.total)),
+            ("sum_us", Value::U64(self.sum)),
+            ("max_us", Value::U64(self.max)),
+            ("buckets", Value::Array(buckets)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_partition_the_sample_space() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+        for idx in 0..BUCKETS {
+            let (lo, hi) = LogHistogram::bucket_bounds(idx);
+            assert_eq!(LogHistogram::bucket_of(lo), idx);
+            if idx < BUCKETS - 1 {
+                assert_eq!(LogHistogram::bucket_of(hi - 1), idx);
+                assert_eq!(LogHistogram::bucket_of(hi), idx + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn totals_track_every_record() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 1, 5, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts().iter().sum::<u64>(), 6);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX); // saturated
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn to_value_lists_only_non_empty_buckets() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(700);
+        let v = h.to_value();
+        assert_eq!(v.field("total").unwrap().as_u64().unwrap(), 2);
+        let buckets = v.field("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].field("lo_us").unwrap().as_u64().unwrap(), 0);
+        assert_eq!(buckets[1].field("lo_us").unwrap().as_u64().unwrap(), 512);
+        assert_eq!(buckets[1].field("hi_us").unwrap().as_u64().unwrap(), 1024);
+    }
+}

@@ -1,0 +1,146 @@
+//! Rate-limited live progress line on stderr.
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Paints a single-line, carriage-return-overwritten status line on
+/// stderr: generation, evaluations, evaluation rate, best scalarized
+/// objective (normalized hypervolume), and an ETA toward the evaluation
+/// budget. Emission is rate-limited so tight step loops do not flood the
+/// terminal.
+///
+/// Rates and the ETA count only work done by *this process*: on resume
+/// the reporter is seeded with the restored evaluation count and measures
+/// throughput from that baseline, never pretending checkpointed work
+/// happened now.
+#[derive(Debug)]
+pub struct ProgressReporter {
+    start: Instant,
+    min_interval: Duration,
+    last_emit: Option<Instant>,
+    base_evals: u64,
+    budget: Option<u64>,
+    painted: bool,
+}
+
+impl ProgressReporter {
+    /// `base_evals` is the evaluation count already paid for before this
+    /// process started (0 for a fresh run); `budget` is the total
+    /// evaluation budget the ETA aims at.
+    pub fn new(base_evals: u64, budget: Option<u64>) -> Self {
+        ProgressReporter {
+            start: Instant::now(),
+            min_interval: Duration::from_millis(200),
+            last_emit: None,
+            base_evals,
+            budget,
+            painted: false,
+        }
+    }
+
+    /// Possibly repaint the live line (rate-limited).
+    pub fn update(&mut self, generation: u64, evaluations: u64, best: Option<f64>) {
+        let now = Instant::now();
+        if let Some(last) = self.last_emit {
+            if now.duration_since(last) < self.min_interval {
+                return;
+            }
+        }
+        self.last_emit = Some(now);
+        self.paint(generation, evaluations, best, false);
+    }
+
+    /// Paint a final line and move to a fresh terminal line.
+    pub fn finish(&mut self, generation: u64, evaluations: u64, best: Option<f64>) {
+        self.paint(generation, evaluations, best, true);
+    }
+
+    fn line(&self, generation: u64, evaluations: u64, best: Option<f64>) -> String {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let done_here = evaluations.saturating_sub(self.base_evals);
+        let rate = if elapsed > 0.0 { done_here as f64 / elapsed } else { 0.0 };
+        let best_txt = match best {
+            Some(v) => format!("{v:.4}"),
+            None => "--".to_string(),
+        };
+        let eta_txt = match self.budget {
+            Some(budget) if rate > 0.0 && budget > evaluations => {
+                let secs = (budget - evaluations) as f64 / rate;
+                format_eta(secs)
+            }
+            Some(budget) if budget <= evaluations => "0s".to_string(),
+            _ => "--".to_string(),
+        };
+        format!(
+            "gen {generation} | {evaluations} evals | {rate:.0} evals/s | best {best_txt} | eta {eta_txt}"
+        )
+    }
+
+    fn paint(&mut self, generation: u64, evaluations: u64, best: Option<f64>, last: bool) {
+        let mut err = std::io::stderr().lock();
+        // Pad to clear leftovers from a longer previous line.
+        let _ = write!(err, "\r{:<70}", self.line(generation, evaluations, best));
+        if last {
+            let _ = writeln!(err);
+        }
+        let _ = err.flush();
+        self.painted = true;
+    }
+
+    /// Whether a live line is currently painted (callers print a newline
+    /// before interleaving other stderr output).
+    pub fn painted(&self) -> bool {
+        self.painted
+    }
+}
+
+fn format_eta(secs: f64) -> String {
+    if !secs.is_finite() {
+        return "--".to_string();
+    }
+    let secs = secs.round() as u64;
+    if secs >= 3600 {
+        format!("{}h{:02}m", secs / 3600, (secs % 3600) / 60)
+    } else if secs >= 60 {
+        format!("{}m{:02}s", secs / 60, secs % 60)
+    } else {
+        format!("{secs}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_reports_process_local_rate_after_resume() {
+        let mut p = ProgressReporter::new(1000, Some(2000));
+        p.start = Instant::now() - Duration::from_secs(2);
+        let line = p.line(5, 1400, Some(0.5));
+        // 400 evals in ~2s => ~200 evals/s, not 700/s.
+        assert!(line.contains("200 evals/s"), "line was: {line}");
+        assert!(line.contains("gen 5"));
+        assert!(line.contains("1400 evals"));
+        assert!(line.contains("best 0.5000"));
+    }
+
+    #[test]
+    fn eta_counts_down_to_the_budget() {
+        let mut p = ProgressReporter::new(0, Some(300));
+        p.start = Instant::now() - Duration::from_secs(1);
+        let line = p.line(1, 100, None);
+        // 100 evals/s, 200 remaining => ~2s.
+        assert!(line.contains("eta 2s"), "line was: {line}");
+        assert!(line.contains("best --"));
+        let done = p.line(2, 300, None);
+        assert!(done.contains("eta 0s"), "line was: {done}");
+    }
+
+    #[test]
+    fn eta_formats_hours_and_minutes() {
+        assert_eq!(format_eta(5.4), "5s");
+        assert_eq!(format_eta(125.0), "2m05s");
+        assert_eq!(format_eta(7320.0), "2h02m");
+        assert_eq!(format_eta(f64::INFINITY), "--");
+    }
+}

@@ -1,0 +1,110 @@
+//! Leveled status output for the CLI (`--log-level {quiet,info,debug}`).
+
+/// Verbosity of human-facing status output. `Quiet` yields
+/// artifacts-only runs: nothing on stdout, warnings still on stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Suppress all status output; only artifacts and warnings remain.
+    Quiet,
+    /// Normal status lines (the default).
+    Info,
+    /// Additionally print diagnostic detail.
+    Debug,
+}
+
+impl LogLevel {
+    /// Parse a `--log-level` argument.
+    pub fn parse(text: &str) -> Option<LogLevel> {
+        match text {
+            "quiet" => Some(LogLevel::Quiet),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Routes status lines according to the configured [`LogLevel`]. Status
+/// (`info`, `debug`) goes to stdout, warnings always go to stderr — the
+/// same streams the pre-obs ad-hoc prints used, so scripted consumers
+/// keep working.
+#[derive(Debug, Clone, Copy)]
+pub struct Reporter {
+    level: LogLevel,
+}
+
+impl Default for Reporter {
+    fn default() -> Self {
+        Reporter { level: LogLevel::Info }
+    }
+}
+
+impl Reporter {
+    /// A reporter at `level`.
+    pub fn new(level: LogLevel) -> Self {
+        Reporter { level }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    /// Whether `info` output is emitted.
+    pub fn info_enabled(&self) -> bool {
+        self.level >= LogLevel::Info
+    }
+
+    /// Whether `debug` output is emitted.
+    pub fn debug_enabled(&self) -> bool {
+        self.level >= LogLevel::Debug
+    }
+
+    /// Print a status line (stdout) unless quiet.
+    pub fn info(&self, message: &str) {
+        if self.info_enabled() {
+            println!("{message}");
+        }
+    }
+
+    /// Print a diagnostic line (stdout) at debug level only.
+    pub fn debug(&self, message: &str) {
+        if self.debug_enabled() {
+            println!("{message}");
+        }
+    }
+
+    /// Print a warning (stderr) at every level — even quiet runs must
+    /// surface recoverable trouble.
+    pub fn warn(&self, message: &str) {
+        eprintln!("{message}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(LogLevel::parse("quiet"), Some(LogLevel::Quiet));
+        assert_eq!(LogLevel::parse("info"), Some(LogLevel::Info));
+        assert_eq!(LogLevel::parse("debug"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("verbose"), None);
+        assert!(LogLevel::Quiet < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+    }
+
+    #[test]
+    fn gating_follows_the_level() {
+        let quiet = Reporter::new(LogLevel::Quiet);
+        assert!(!quiet.info_enabled());
+        assert!(!quiet.debug_enabled());
+        let info = Reporter::new(LogLevel::Info);
+        assert!(info.info_enabled());
+        assert!(!info.debug_enabled());
+        let debug = Reporter::new(LogLevel::Debug);
+        assert!(debug.info_enabled());
+        assert!(debug.debug_enabled());
+    }
+}

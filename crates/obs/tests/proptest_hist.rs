@@ -1,0 +1,49 @@
+//! Property-based tests: histogram bucketing never loses a count.
+
+use moela_obs::hist::{LogHistogram, BUCKETS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every recorded sample lands in exactly one bucket: the bucket
+    /// counts always sum to the number of records, regardless of input.
+    #[test]
+    fn bucket_counts_sum_to_total(samples in vec(0u64..u64::MAX, 0..400)) {
+        let mut hist = LogHistogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        prop_assert_eq!(hist.total(), samples.len() as u64);
+        prop_assert_eq!(hist.counts().iter().sum::<u64>(), samples.len() as u64);
+        prop_assert_eq!(hist.is_empty(), samples.is_empty());
+        if let Some(&max) = samples.iter().max() {
+            prop_assert_eq!(hist.max(), max);
+        }
+    }
+
+    /// Each sample falls inside the bounds of the bucket it is assigned
+    /// to, and the rendered JSON preserves the full count.
+    #[test]
+    fn samples_fall_inside_their_bucket_bounds(samples in vec(0u64..u64::MAX, 1..200)) {
+        let mut hist = LogHistogram::new();
+        for &s in &samples {
+            let idx = LogHistogram::bucket_of(s);
+            prop_assert!(idx < BUCKETS);
+            let (lo, hi) = LogHistogram::bucket_bounds(idx);
+            prop_assert!(s >= lo, "{s} below bucket {idx} lower bound {lo}");
+            if idx < BUCKETS - 1 {
+                prop_assert!(s < hi, "{s} at or above bucket {idx} upper bound {hi}");
+            }
+            hist.record(s);
+        }
+        let rendered = hist.to_value();
+        let total = rendered.field("total").unwrap().as_u64().unwrap();
+        prop_assert_eq!(total, samples.len() as u64);
+        let buckets = rendered.field("buckets").unwrap().as_array().unwrap();
+        let listed: u64 = buckets
+            .iter()
+            .map(|b| b.field("count").unwrap().as_u64().unwrap())
+            .sum();
+        prop_assert_eq!(listed, total, "sparse rendering dropped counts");
+    }
+}

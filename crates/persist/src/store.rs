@@ -6,7 +6,9 @@
 //!   checkpoints/     # rotating MOELA-CKPT files (see `checkpoint`)
 //!   trace.csv        # deterministic convergence trace
 //!   front.csv        # final Pareto front
-//!   health.json      # end-of-run evaluation-health report
+//!   health.json      # end-of-run evaluation-health report (deprecated)
+//!   events.jsonl     # append-only telemetry event log (when obs is on)
+//!   metrics.json     # end-of-run phase metrics (when obs is on)
 //! ```
 //!
 //! The manifest is plain JSON (human-inspectable, no checksum header) and
@@ -86,6 +88,17 @@ impl RunStore {
         self.root.join("health.json")
     }
 
+    /// `RUN_DIR/events.jsonl` — the append-only telemetry event log.
+    /// Resumed runs append; the file is never truncated.
+    pub fn events_path(&self) -> PathBuf {
+        self.root.join("events.jsonl")
+    }
+
+    /// `RUN_DIR/metrics.json` — the end-of-run phase-metrics report.
+    pub fn metrics_path(&self) -> PathBuf {
+        self.root.join("metrics.json")
+    }
+
     /// The rotating checkpoint store under this run.
     pub fn checkpoints(&self) -> Result<CheckpointStore, PersistError> {
         CheckpointStore::new(self.checkpoints_dir())
@@ -120,6 +133,15 @@ impl RunStore {
         let text = encode::to_string(health);
         write_atomic(&self.health_path(), text.as_bytes())
     }
+
+    /// Writes `metrics.json` — the end-of-run phase-metrics report
+    /// (per-phase timing, throughput, fault counters, PHV series).
+    /// Wall-clock data lives only here, in `events.jsonl`, and on
+    /// stderr — never in the deterministic artifacts.
+    pub fn write_metrics(&self, metrics: &Value) -> Result<(), PersistError> {
+        let text = encode::to_string(metrics);
+        write_atomic(&self.metrics_path(), text.as_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -144,9 +166,12 @@ mod tests {
         store.write_trace("generation,evaluations,phv\n").unwrap();
         store.write_front("obj0,obj1\n").unwrap();
         store.write_health(&Value::object(vec![("faults", Value::U64(0))])).unwrap();
+        store.write_metrics(&Value::object(vec![("wall_us", Value::U64(1))])).unwrap();
         assert!(store.trace_path().is_file());
         assert!(store.front_path().is_file());
         assert!(store.health_path().is_file());
+        assert!(store.metrics_path().is_file());
+        assert_eq!(store.events_path(), root.join("events.jsonl"));
         fs::remove_dir_all(&root).unwrap();
     }
 

@@ -42,4 +42,17 @@ cmp "$smoke/chaos-full/trace.csv" "$smoke/chaos-crashed/trace.csv"
 cmp "$smoke/chaos-full/front.csv" "$smoke/chaos-crashed/front.csv"
 cmp "$smoke/chaos-full/health.json" "$smoke/chaos-crashed/health.json"
 
+echo "==> obs smoke (telemetry artifacts exist; deterministic artifacts untouched)"
+"$dse" run "${flags[@]}" --run-dir "$smoke/traced" --progress --log-level debug \
+    2>/dev/null >/dev/null
+test -s "$smoke/traced/events.jsonl" || { echo "events.jsonl missing or empty"; exit 1; }
+test -s "$smoke/traced/metrics.json" || { echo "metrics.json missing or empty"; exit 1; }
+grep -q '"type":"enter"' "$smoke/traced/events.jsonl"
+grep -q '"evals_per_sec":' "$smoke/traced/metrics.json"
+grep -q '"phases":' "$smoke/traced/metrics.json"
+cmp "$smoke/full/trace.csv" "$smoke/traced/trace.csv"
+cmp "$smoke/full/front.csv" "$smoke/traced/front.csv"
+quiet_out="$("$dse" run "${flags[@]}" --log-level quiet)"
+[ -z "$quiet_out" ] || { echo "--log-level quiet printed to stdout"; exit 1; }
+
 echo "All checks passed."
