@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use moela_manycore::ObjectiveSet;
 use moela_moo::fault::{FaultConfig, FaultPolicy};
-use moela_moo::ChaosSpec;
+use moela_moo::{ChaosSpec, DEFAULT_EVAL_CACHE_CAPACITY};
 use moela_obs::LogLevel;
 use moela_traffic::Benchmark;
 
@@ -130,6 +130,10 @@ pub struct RunOptions {
     /// Re-evaluation attempts per faulted candidate before the policy
     /// applies.
     pub eval_retries: u32,
+    /// Evaluation-cache capacity in memoized designs (`0` = caching
+    /// off, including topology-keyed routing reuse). Results are
+    /// bit-identical for every value.
+    pub eval_cache: usize,
     /// Optional seeded fault injection (chaos testing).
     pub chaos: Option<ChaosSpec>,
     /// Seed for the chaos fault stream (required with `--chaos` so the
@@ -168,6 +172,7 @@ impl Default for RunOptions {
             crash_after_checkpoints: None,
             fault_policy: FaultPolicy::default(),
             eval_retries: 0,
+            eval_cache: DEFAULT_EVAL_CACHE_CAPACITY,
             chaos: None,
             chaos_seed: None,
             progress: false,
@@ -383,6 +388,14 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, ArgsError> {
                 opts.eval_retries =
                     value()?.parse().map_err(|_| "--eval-retries needs an integer")?;
             }
+            "--eval-cache" => {
+                let v = value()?;
+                opts.eval_cache = if v.eq_ignore_ascii_case("off") {
+                    0
+                } else {
+                    v.parse().map_err(|_| "--eval-cache needs an integer or 'off'")?
+                };
+            }
             "--chaos" => opts.chaos = Some(ChaosSpec::parse(&value()?)?),
             "--chaos-seed" => {
                 opts.chaos_seed =
@@ -450,6 +463,11 @@ COMMON FLAGS:
     --seed <N>                          RNG seed          [11]
     --threads <N>                       evaluation worker threads, 0 = auto;
                                         results are identical for any N [1]
+    --eval-cache <N|off>                memoize up to N evaluated designs
+                                        and reuse routing tables across
+                                        placement-only moves; off disables
+                                        both layers; results are identical
+                                        either way [4096]
     --trace-csv <PATH>                  write PHV trace CSV
     --front-csv <PATH>                  write final front CSV
     --dot <PATH>                        write best design as Graphviz DOT
@@ -633,6 +651,32 @@ mod tests {
             assert_eq!(Algorithm::parse(name).expect("ok"), algo);
             assert_eq!(algo.name(), name);
         }
+    }
+
+    #[test]
+    fn eval_cache_parses_sizes_and_off() {
+        let Command::Run(o) = parse(&argv("run")).expect("ok") else { panic!("expected Run") };
+        assert_eq!(o.eval_cache, DEFAULT_EVAL_CACHE_CAPACITY);
+
+        let Command::Run(o) = parse(&argv("run --eval-cache 128")).expect("ok") else {
+            panic!("expected Run")
+        };
+        assert_eq!(o.eval_cache, 128);
+
+        let Command::Run(o) = parse(&argv("run --eval-cache off")).expect("ok") else {
+            panic!("expected Run")
+        };
+        assert_eq!(o.eval_cache, 0);
+
+        // `0` is an explicit spelling of `off`.
+        let Command::Run(o) = parse(&argv("run --eval-cache 0")).expect("ok") else {
+            panic!("expected Run")
+        };
+        assert_eq!(o.eval_cache, 0);
+
+        let err = parse(&argv("run --eval-cache many")).expect_err("bad value");
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("--eval-cache"));
     }
 
     #[test]

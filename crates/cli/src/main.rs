@@ -25,7 +25,7 @@ use moela_moo::checkpoint::Resumable;
 use moela_moo::fault::{FaultLog, FaultPolicy};
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::RunResult;
-use moela_moo::{ChaosProblem, ChaosSpec, Problem};
+use moela_moo::{CachedProblem, ChaosProblem, ChaosSpec, EvalCache, Problem};
 use moela_nocsim::{SimConfig, Simulator};
 use moela_obs::{JsonlSink, MetricsAggregator, Obs, ProgressReporter, Reporter, SharedSink, Sink};
 use moela_persist::{
@@ -108,8 +108,14 @@ fn main() -> ExitCode {
 fn build_problem(opts: &RunOptions) -> Result<ManycoreProblem, CliError> {
     let platform = PlatformConfig::paper();
     let workload = Workload::synthesize(opts.app, platform.pe_mix(), opts.seed);
-    ManycoreProblem::new(platform, workload, opts.set)
-        .map_err(|e| fail(format!("cannot build the paper platform: {e}")))
+    let mut problem = ManycoreProblem::new(platform, workload, opts.set)
+        .map_err(|e| fail(format!("cannot build the paper platform: {e}")))?;
+    if opts.eval_cache == 0 {
+        // `--eval-cache off` disables both layers: the design-keyed memo
+        // and the topology-keyed routing-table reuse.
+        problem.set_routing_cache_capacity(0);
+    }
+    Ok(problem)
 }
 
 fn corpus_normalizer(problem: &ManycoreProblem, seed: u64) -> Normalizer {
@@ -172,7 +178,8 @@ impl Telemetry {
     }
 
     /// Renders `metrics.json` from the aggregated events, folding in the
-    /// identity and fault counters `health.json` used to carry alone.
+    /// identity and fault counters the retired `health.json` used to
+    /// carry alone, plus the evaluation-cache hit rates.
     fn metrics_value(
         &self,
         opts: &RunOptions,
@@ -181,7 +188,21 @@ impl Telemetry {
         base_evals: u64,
     ) -> Option<Value> {
         let aggregator = self.aggregator.as_ref()?;
-        let rendered = aggregator.lock().map(|agg| agg.render()).ok()?;
+        let (rendered, cache) = aggregator
+            .lock()
+            .map(|agg| {
+                let counters = [
+                    "cache_hits",
+                    "cache_misses",
+                    "cache_evictions",
+                    "routing_rebuilds",
+                    "routing_hits",
+                ]
+                .map(|name| agg.counter(name));
+                (agg.render(), counters)
+            })
+            .ok()?;
+        let [cache_hits, cache_misses, cache_evictions, routing_rebuilds, routing_hits] = cache;
         let mut fields = vec![
             ("algorithm", Value::Str(opts.algorithm.name().to_owned())),
             ("app", Value::Str(opts.app.name().to_owned())),
@@ -207,6 +228,18 @@ impl Telemetry {
                     ("recovered", Value::U64(log.recovered)),
                     ("penalized", Value::U64(log.penalized)),
                     ("skipped", Value::U64(log.skipped)),
+                ]),
+            ),
+            (
+                "cache",
+                Value::object(vec![
+                    ("enabled", Value::Bool(opts.eval_cache > 0)),
+                    ("capacity", Value::U64(opts.eval_cache as u64)),
+                    ("hits", Value::U64(cache_hits)),
+                    ("misses", Value::U64(cache_misses)),
+                    ("evictions", Value::U64(cache_evictions)),
+                    ("routing_rebuilds", Value::U64(routing_rebuilds)),
+                    ("routing_hits", Value::U64(routing_hits)),
                 ]),
             ),
             ("telemetry", rendered),
@@ -292,9 +325,17 @@ where
 }
 
 /// Builds the selected optimizer (fresh, or restored from a checkpoint)
-/// and drives it to completion — against the bare manycore problem, or a
-/// seeded [`ChaosProblem`] wrapper when `--chaos` fault injection is
-/// configured.
+/// and drives it to completion — against the bare manycore problem, a
+/// memoizing [`CachedProblem`] wrapper (`--eval-cache`, on by default),
+/// and/or a seeded [`ChaosProblem`] wrapper when `--chaos` fault
+/// injection is configured. Under chaos the cache sits *below* the
+/// injector (`Chaos(Cached(problem))`) so faulted evaluations are never
+/// admitted and the fault stream consumes ordinals identically with the
+/// cache on or off.
+///
+/// After the run, cache and routing-reuse counters are emitted through
+/// the obs pipeline so `metrics.json` records hit rates — write-only
+/// telemetry that never feeds back into the optimizer.
 fn execute(
     opts: &RunOptions,
     problem: &ManycoreProblem,
@@ -303,32 +344,66 @@ fn execute(
     resume: Option<(ResumePoint, StdRng)>,
     telemetry: &mut Telemetry,
 ) -> Result<(RunResult<Design>, FaultLog), CliError> {
-    match opts.chaos {
-        None => {
+    let cache = (opts.eval_cache > 0).then(|| std::sync::Arc::new(EvalCache::new(opts.eval_cache)));
+    let outcome = match (opts.chaos, &cache) {
+        (None, None) => {
             execute_on(opts, problem, problem, normalizer, persistence, resume, None, telemetry)
         }
-        Some(spec) => {
+        (None, Some(cache)) => {
+            let cached = CachedProblem::new(problem, std::sync::Arc::clone(cache));
+            execute_on(opts, &cached, problem, normalizer, persistence, resume, None, telemetry)
+        }
+        (Some(spec), cache) => {
             // Argument validation guarantees the seed is present.
             let seed = opts.chaos_seed.expect("--chaos requires --chaos-seed");
-            let chaotic = ChaosProblem::new(problem, spec, seed);
-            if let Some((point, _)) = &resume {
-                // Replay the fault stream from the checkpointed ordinal;
-                // a pre-chaos checkpoint starts the stream at zero.
-                chaotic.set_ordinal(point.chaos_ordinal.unwrap_or(0));
+            if let Some(cache) = cache {
+                let cached = CachedProblem::new(problem, std::sync::Arc::clone(cache));
+                let chaotic = ChaosProblem::new(cached, spec, seed);
+                if let Some((point, _)) = &resume {
+                    // Replay the fault stream from the checkpointed
+                    // ordinal; a pre-chaos checkpoint starts at zero.
+                    chaotic.set_ordinal(point.chaos_ordinal.unwrap_or(0));
+                }
+                let ordinal = || chaotic.ordinal();
+                execute_on(
+                    opts,
+                    &chaotic,
+                    problem,
+                    normalizer,
+                    persistence,
+                    resume,
+                    Some(&ordinal),
+                    telemetry,
+                )
+            } else {
+                let chaotic = ChaosProblem::new(problem, spec, seed);
+                if let Some((point, _)) = &resume {
+                    chaotic.set_ordinal(point.chaos_ordinal.unwrap_or(0));
+                }
+                let ordinal = || chaotic.ordinal();
+                execute_on(
+                    opts,
+                    &chaotic,
+                    problem,
+                    normalizer,
+                    persistence,
+                    resume,
+                    Some(&ordinal),
+                    telemetry,
+                )
             }
-            let ordinal = || chaotic.ordinal();
-            execute_on(
-                opts,
-                &chaotic,
-                problem,
-                normalizer,
-                persistence,
-                resume,
-                Some(&ordinal),
-                telemetry,
-            )
         }
+    };
+    let (rebuilds, routing_hits) = problem.routing_stats();
+    telemetry.obs.counter("routing_rebuilds", rebuilds);
+    telemetry.obs.counter("routing_hits", routing_hits);
+    if let Some(cache) = &cache {
+        let stats = cache.stats();
+        telemetry.obs.counter("cache_hits", stats.hits);
+        telemetry.obs.counter("cache_misses", stats.misses);
+        telemetry.obs.counter("cache_evictions", stats.evictions);
     }
+    outcome
 }
 
 /// Drives one optimizer over `problem` — possibly a chaos wrapper —
@@ -477,6 +552,7 @@ fn manifest_value(opts: &RunOptions, normalizer: &Normalizer) -> Value {
         ("checkpoint_every", Value::U64(opts.checkpoint_every)),
         ("fault_policy", Value::Str(opts.fault_policy.name().to_owned())),
         ("eval_retries", Value::U64(u64::from(opts.eval_retries))),
+        ("eval_cache", Value::U64(opts.eval_cache as u64)),
     ];
     if let Some(spec) = &opts.chaos {
         fields.push(("chaos", Value::Str(spec.to_string())));
@@ -520,6 +596,12 @@ fn options_from_manifest(m: &Value) -> Result<(RunOptions, Normalizer), CliError
         Some(v) => v.as_u64()? as u32,
         None => 0,
     };
+    // Manifests written before the evaluation cache existed resume with
+    // today's default — results are bit-identical at any capacity.
+    let eval_cache = match m.field_opt("eval_cache") {
+        Some(v) => v.as_usize()?,
+        None => RunOptions::default().eval_cache,
+    };
     let chaos = match m.field_opt("chaos") {
         Some(v) => Some(ChaosSpec::parse(v.as_str()?).map_err(fail)?),
         None => None,
@@ -543,6 +625,7 @@ fn options_from_manifest(m: &Value) -> Result<(RunOptions, Normalizer), CliError
         checkpoint_every: m.field("checkpoint_every")?.as_u64()?,
         fault_policy,
         eval_retries,
+        eval_cache,
         chaos,
         chaos_seed,
         ..Default::default()
@@ -594,37 +677,6 @@ fn write_outputs(
     Ok(())
 }
 
-/// The end-of-run evaluation-health report persisted as `health.json`.
-fn health_value(opts: &RunOptions, log: &FaultLog) -> Value {
-    let mut fields = vec![
-        ("fault_policy", Value::Str(opts.fault_policy.name().to_owned())),
-        ("eval_retries", Value::U64(u64::from(opts.eval_retries))),
-        ("faults", Value::U64(log.faults())),
-        ("panics", Value::U64(log.panics)),
-        ("non_finite", Value::U64(log.non_finite)),
-        ("wrong_arity", Value::U64(log.wrong_arity)),
-        ("retries", Value::U64(log.retries)),
-        ("recovered", Value::U64(log.recovered)),
-        ("penalized", Value::U64(log.penalized)),
-        ("skipped", Value::U64(log.skipped)),
-    ];
-    if let Some(spec) = &opts.chaos {
-        fields.push(("chaos", Value::Str(spec.to_string())));
-    }
-    if let Some(seed) = opts.chaos_seed {
-        fields.push(("chaos_seed", Value::U64(seed)));
-    }
-    fields.push((
-        "deprecated",
-        Value::Str(
-            "fault counters now also live under 'faults' in metrics.json; health.json \
-             will be dropped in the next release"
-                .to_owned(),
-        ),
-    ));
-    Value::object(fields)
-}
-
 /// Prints the fault-containment health line. Stays silent for clean runs
 /// without chaos so the happy-path output is unchanged.
 fn print_health(opts: &RunOptions, log: &FaultLog, reporter: &Reporter) {
@@ -647,7 +699,8 @@ fn print_health(opts: &RunOptions, log: &FaultLog, reporter: &Reporter) {
 }
 
 /// Prints the result summary and writes every requested artifact (the
-/// run-dir CSVs, the health and metrics reports, and the ad-hoc output
+/// run-dir CSVs, the metrics report — which carries the fault counters
+/// the retired `health.json` used to hold — and the ad-hoc output
 /// flags).
 #[allow(clippy::too_many_arguments)]
 fn finish_run(
@@ -682,7 +735,6 @@ fn finish_run(
     if let Some(store) = run_store {
         store.write_trace(&deterministic_trace_csv(result))?;
         store.write_front(&result.front_csv())?;
-        store.write_health(&health_value(opts, log))?;
         telemetry.obs.flush();
         if let Some(metrics) = telemetry.metrics_value(opts, log, resumed, base_evals) {
             store.write_metrics(&metrics)?;

@@ -1,0 +1,208 @@
+//! Evaluation-cache parity tests: caching must be invisible in every
+//! deterministic artifact.
+//!
+//! The contract under test is the two-layer evaluation cache:
+//!
+//! * for every optimizer, `trace.csv` and `front.csv` are byte-identical
+//!   with the cache on (any capacity, including eviction-heavy tiny
+//!   ones) and off, at 1 and 4 threads;
+//! * the same holds under `--chaos` fault injection, where the cache
+//!   sits below the injector and faulted evaluations bypass it;
+//! * `metrics.json` reports the cache and routing-reuse counters.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_moela-dse");
+
+fn moela_dse(args: &[&str]) -> Output {
+    Command::new(BIN).args(args).output().expect("spawn moela-dse")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("moela-cache-test-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    fs::read(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Standard tiny run (the golden-test configuration) with extra flags.
+fn run_algorithm(algorithm: &str, dir: &Path, extra: &[&str]) {
+    let mut args = vec![
+        "run",
+        "--app",
+        "BFS",
+        "--objectives",
+        "3",
+        "--algorithm",
+        algorithm,
+        "--budget",
+        "120",
+        "--population",
+        "8",
+        "--seed",
+        "7",
+        "--run-dir",
+        dir.to_str().expect("utf-8 path"),
+    ];
+    args.extend_from_slice(extra);
+    let out = moela_dse(&args);
+    assert!(
+        out.status.success(),
+        "{algorithm} run {extra:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Runs `algorithm` with `extra` cells on top of the cache-off baseline
+/// and asserts the deterministic artifacts never move by a byte.
+fn assert_cache_is_invisible(algorithm: &str, chaos: &[&str]) {
+    let baseline = scratch(&format!("{algorithm}-baseline"));
+    let mut off = vec!["--eval-cache", "off", "--threads", "1"];
+    off.extend_from_slice(chaos);
+    run_algorithm(algorithm, &baseline, &off);
+    let reference = (read(&baseline.join("trace.csv")), read(&baseline.join("front.csv")));
+    let _ = fs::remove_dir_all(&baseline);
+
+    // Default capacity at both thread counts, plus a capacity so small
+    // that almost every insert evicts — eviction must be invisible too.
+    let cells: [&[&str]; 3] =
+        [&["--threads", "1"], &["--threads", "4"], &["--eval-cache", "2", "--threads", "4"]];
+    for (i, cell) in cells.iter().enumerate() {
+        let dir = scratch(&format!("{algorithm}-cell{i}"));
+        let mut args = cell.to_vec();
+        args.extend_from_slice(chaos);
+        run_algorithm(algorithm, &dir, &args);
+        let artifacts = (read(&dir.join("trace.csv")), read(&dir.join("front.csv")));
+        assert_eq!(
+            reference, artifacts,
+            "{algorithm}: artifacts with cache cell {cell:?} differ from the cache-off baseline"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+macro_rules! parity_tests {
+    ($($name:ident: $algorithm:literal;)*) => {$(
+        #[test]
+        fn $name() {
+            assert_cache_is_invisible($algorithm, &[]);
+        }
+    )*};
+}
+
+parity_tests! {
+    moela_artifacts_identical_with_cache_on_or_off: "moela";
+    moead_artifacts_identical_with_cache_on_or_off: "moead";
+    moos_artifacts_identical_with_cache_on_or_off: "moos";
+    moo_stage_artifacts_identical_with_cache_on_or_off: "moo-stage";
+    nsga2_artifacts_identical_with_cache_on_or_off: "nsga2";
+    random_artifacts_identical_with_cache_on_or_off: "random";
+}
+
+/// Under chaos the cache sits below the injector: the fault stream
+/// consumes ordinals identically and faulted evaluations are never
+/// admitted, so the artifacts still match the cache-off chaotic run.
+#[test]
+fn chaotic_artifacts_identical_with_cache_on_or_off() {
+    let chaos = [
+        "--chaos",
+        "panic=0.03,nan=0.03,arity=0.02",
+        "--chaos-seed",
+        "41",
+        "--fault-policy",
+        "penalize-worst",
+        "--eval-retries",
+        "1",
+    ];
+    assert_cache_is_invisible("moela", &chaos);
+    assert_cache_is_invisible("nsga2", &chaos);
+}
+
+/// Pulls the `"cache":{...}` object out of a metrics.json body. The
+/// object holds only flat counters, so it ends at the first `}`.
+fn cache_object(metrics: &str) -> &str {
+    let tail = metrics.split("\"cache\":{").nth(1).expect("metrics.json has a cache object");
+    tail.split('}').next().expect("the cache object closes")
+}
+
+fn counter_in(object: &str, name: &str) -> u64 {
+    let tail = object.split(&format!("\"{name}\":")).nth(1).unwrap_or_else(|| {
+        panic!("cache object lacks {name}: {object}");
+    });
+    tail.chars().take_while(char::is_ascii_digit).collect::<String>().parse().expect("integer")
+}
+
+#[test]
+fn metrics_report_cache_and_routing_counters() {
+    let dir = scratch("metrics-on");
+    run_algorithm("moela", &dir, &[]);
+    let metrics = String::from_utf8(read(&dir.join("metrics.json"))).expect("utf-8 metrics");
+    let cache = cache_object(&metrics);
+    assert!(cache.contains("\"enabled\":true"), "default runs cache: {cache}");
+    assert_eq!(counter_in(cache, "capacity"), 4096, "default capacity: {cache}");
+    assert!(counter_in(cache, "misses") > 0, "every unique design misses once: {cache}");
+    assert!(
+        counter_in(cache, "routing_rebuilds") > 0,
+        "at least one routing table is built: {cache}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+
+    let dir = scratch("metrics-off");
+    run_algorithm("moela", &dir, &["--eval-cache", "off"]);
+    let metrics = String::from_utf8(read(&dir.join("metrics.json"))).expect("utf-8 metrics");
+    let cache = cache_object(&metrics);
+    assert!(cache.contains("\"enabled\":false"), "--eval-cache off is recorded: {cache}");
+    assert_eq!(counter_in(cache, "hits"), 0, "no memo layer, no hits: {cache}");
+    assert_eq!(counter_in(cache, "routing_hits"), 0, "off disables routing reuse as well: {cache}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Resume round-trips `--eval-cache` through the manifest, and a run
+/// resumed with caching still matches the golden uninterrupted output.
+#[test]
+fn crash_resume_with_cache_is_bit_identical() {
+    let full = scratch("resume-full");
+    run_algorithm("moela", &full, &[]);
+
+    let crashed = scratch("resume-crashed");
+    let crashed_dir = crashed.to_str().expect("utf-8 path");
+    let mut args = vec![
+        "run",
+        "--app",
+        "BFS",
+        "--objectives",
+        "3",
+        "--algorithm",
+        "moela",
+        "--budget",
+        "120",
+        "--population",
+        "8",
+        "--seed",
+        "7",
+        "--run-dir",
+        crashed_dir,
+    ];
+    args.extend_from_slice(&["--crash-after-checkpoints", "1"]);
+    let out = moela_dse(&args);
+    assert!(!out.status.success(), "crash injection must abort the process");
+    let manifest = String::from_utf8(read(&crashed.join("manifest.json"))).expect("utf-8");
+    assert!(manifest.contains("\"eval_cache\":4096"), "manifest records the capacity: {manifest}");
+
+    let out = moela_dse(&["resume", crashed_dir, "--threads", "4"]);
+    assert!(out.status.success(), "resume failed: {}", String::from_utf8_lossy(&out.stderr));
+    for file in ["trace.csv", "front.csv"] {
+        assert_eq!(
+            read(&full.join(file)),
+            read(&crashed.join(file)),
+            "{file} differs after crash+resume with the cache enabled"
+        );
+    }
+    let _ = fs::remove_dir_all(&full);
+    let _ = fs::remove_dir_all(&crashed);
+}

@@ -80,19 +80,27 @@ fn chaos_args<'a>(
     args
 }
 
-/// Extracts `"faults":N` from a health.json body.
-fn fault_count(health: &str) -> u64 {
-    let tail = health.split("\"faults\":").nth(1).expect("health.json has a faults field");
+/// Extracts the `"faults":{...}` object from a metrics.json body. The
+/// object holds only flat counters, so it ends at the first `}`.
+fn faults_object(metrics: &str) -> &str {
+    let tail = metrics.split("\"faults\":{").nth(1).expect("metrics.json has a faults object");
+    tail.split('}').next().expect("the faults object closes")
+}
+
+/// Extracts the contained-fault total from a metrics.json body.
+fn fault_count(metrics: &str) -> u64 {
+    let tail = faults_object(metrics).split("\"total\":").nth(1).expect("faults has a total");
     tail.chars().take_while(char::is_ascii_digit).collect::<String>().parse().expect("integer")
 }
 
 /// Runs `algorithm` under each fault kind at 1 and 4 threads and asserts
-/// the deterministic artifacts (trace, front, health) are byte-identical
-/// across thread counts, that faults were actually injected and
-/// contained, and that the front holds only finite objective values.
+/// the deterministic artifacts (trace, front) are byte-identical across
+/// thread counts, that faults were actually injected and contained (per
+/// the metrics.json fault counters), and that the front holds only
+/// finite objective values.
 fn assert_chaos_matrix_row(algorithm: &str) {
     for (kind, spec) in FAULT_KINDS {
-        let mut reference: Option<(Vec<u8>, Vec<u8>, Vec<u8>)> = None;
+        let mut reference: Option<(Vec<u8>, Vec<u8>)> = None;
         for threads in ["1", "4"] {
             let dir = scratch(&format!("matrix-{algorithm}-{kind}-t{threads}"));
             let dir_str = dir.to_str().expect("utf-8 path");
@@ -103,11 +111,10 @@ fn assert_chaos_matrix_row(algorithm: &str) {
                 stderr_of(&out)
             );
 
-            let health = read(&dir.join("health.json"));
-            let health_text = String::from_utf8_lossy(&health).into_owned();
+            let metrics = String::from_utf8_lossy(&read(&dir.join("metrics.json"))).into_owned();
             assert!(
-                fault_count(&health_text) > 0,
-                "{algorithm}/{kind}: the chaos spec must actually inject ({health_text})"
+                fault_count(&metrics) > 0,
+                "{algorithm}/{kind}: the chaos spec must actually inject ({metrics})"
             );
 
             let front = read(&dir.join("front.csv"));
@@ -120,7 +127,7 @@ fn assert_chaos_matrix_row(algorithm: &str) {
                 assert!(v < 1e30, "{algorithm}/{kind}: penalty vector leaked onto the front");
             }
 
-            let artifacts = (read(&dir.join("trace.csv")), front, health);
+            let artifacts = (read(&dir.join("trace.csv")), front);
             match &reference {
                 None => reference = Some(artifacts),
                 Some(first) => assert_eq!(
@@ -177,13 +184,25 @@ fn assert_chaos_crash_resume_is_bit_identical(algorithm: &str) {
     let out = moela_dse(&["resume", crashed_dir, "--threads", "4"]);
     assert!(out.status.success(), "chaotic resume failed: {}", stderr_of(&out));
 
-    for file in ["trace.csv", "front.csv", "health.json"] {
+    for file in ["trace.csv", "front.csv"] {
         assert_eq!(
             read(&full.join(file)),
             read(&crashed.join(file)),
             "{file} differs after chaotic crash+resume for {algorithm}"
         );
     }
+    // metrics.json carries wall-clock data so whole files cannot be
+    // compared, but the fault counters must round-trip exactly through
+    // the checkpoint envelope.
+    let faults_of = |dir: &Path| {
+        let metrics = String::from_utf8_lossy(&read(&dir.join("metrics.json"))).into_owned();
+        faults_object(&metrics).to_owned()
+    };
+    assert_eq!(
+        faults_of(&full),
+        faults_of(&crashed),
+        "fault counters differ after chaotic crash+resume for {algorithm}"
+    );
     let _ = fs::remove_dir_all(&full);
     let _ = fs::remove_dir_all(&crashed);
 }
@@ -231,9 +250,15 @@ fn skip_policy_also_completes_under_chaos() {
         "skip",
     ]);
     assert!(out.status.success(), "skip-policy run failed: {}", stderr_of(&out));
-    let health = String::from_utf8_lossy(&read(&dir.join("health.json"))).into_owned();
-    assert!(fault_count(&health) > 0, "nan=0.1 must inject: {health}");
-    assert!(health.contains("\"fault_policy\":\"skip\""), "health records the policy: {health}");
+    let metrics = String::from_utf8_lossy(&read(&dir.join("metrics.json"))).into_owned();
+    assert!(fault_count(&metrics) > 0, "nan=0.1 must inject: {metrics}");
+    assert!(
+        faults_object(&metrics).contains("\"fault_policy\":\"skip\""),
+        "metrics record the policy: {metrics}"
+    );
+    // The deprecated health.json is gone for good: current runs write
+    // the fault counters into metrics.json only.
+    assert!(!dir.join("health.json").exists(), "health.json must no longer be written");
     let _ = fs::remove_dir_all(&dir);
 }
 

@@ -69,7 +69,7 @@ fn assert_artifacts_unaffected(algorithm: &str) {
     let traced = scratch(&format!("{algorithm}-traced"));
     run_algorithm(algorithm, &plain, &[]);
     run_algorithm(algorithm, &traced, &["--progress", "--log-level", "debug"]);
-    for artifact in ["trace.csv", "front.csv", "health.json"] {
+    for artifact in ["trace.csv", "front.csv"] {
         assert_eq!(
             read(&plain.join(artifact)),
             read(&traced.join(artifact)),
@@ -174,6 +174,12 @@ fn metrics_json_reports_phases_throughput_and_faults() {
         "\"phv_per_generation\":",
         "\"faults\":",
         "\"resume\":",
+        "\"cache\":",
+        "\"hits\":",
+        "\"misses\":",
+        "\"evictions\":",
+        "\"routing_rebuilds\":",
+        "\"routing_hits\":",
     ] {
         assert!(text.contains(key), "metrics.json lacks {key}: {text}");
     }

@@ -1,5 +1,7 @@
 //! The five design objectives of §III and their evaluator.
 
+use std::sync::Arc;
+
 use moela_thermal::{FastThermalModel, PowerGrid};
 use moela_traffic::edp::NetworkStats;
 use moela_traffic::{PeKind, Workload};
@@ -8,6 +10,7 @@ use crate::design::Design;
 use crate::geometry::GridDims;
 use crate::params::NocParams;
 use crate::routing::RoutingTable;
+use crate::routing_cache::{RoutingCache, DEFAULT_ROUTING_CACHE_CAPACITY};
 
 /// Which of the paper's objective stacks to evaluate.
 ///
@@ -75,12 +78,18 @@ impl Evaluation {
 }
 
 /// Evaluates designs for one `(platform, workload)` pair.
+///
+/// Routing tables are cached by topology fingerprint in a shared
+/// [`RoutingCache`]: clones of an evaluator (and problems derived from
+/// it) reuse one cache, so placement-only moves skip the all-pairs
+/// Dijkstra rebuild entirely.
 #[derive(Clone, Debug)]
 pub struct Evaluator {
     dims: GridDims,
     params: NocParams,
     workload: Workload,
     thermal: FastThermalModel,
+    routing: Arc<RoutingCache>,
 }
 
 impl Evaluator {
@@ -101,12 +110,30 @@ impl Evaluator {
             thermal.params().layers() >= dims.layers(),
             "thermal model covers fewer layers than the grid"
         );
-        Self { dims, params, workload, thermal }
+        Self {
+            dims,
+            params,
+            workload,
+            thermal,
+            routing: Arc::new(RoutingCache::new(DEFAULT_ROUTING_CACHE_CAPACITY)),
+        }
     }
 
     /// The workload this evaluator scores against.
     pub fn workload(&self) -> &Workload {
         &self.workload
+    }
+
+    /// Replaces the routing cache with a fresh one of `capacity` tables
+    /// (0 disables reuse: every evaluation rebuilds its table). Existing
+    /// clones keep the old cache; reconfigure before sharing.
+    pub fn set_routing_cache_capacity(&mut self, capacity: usize) {
+        self.routing = Arc::new(RoutingCache::new(capacity));
+    }
+
+    /// The shared routing cache (for counters: rebuilds/hits).
+    pub fn routing_cache(&self) -> &RoutingCache {
+        &self.routing
     }
 
     /// The grid dimensions.
@@ -120,8 +147,26 @@ impl Evaluator {
     }
 
     /// Computes every objective and summary statistic for `design`.
+    ///
+    /// Split into two stages: route construction (cached by topology
+    /// fingerprint, see [`Evaluator::routing_for`]) and flow accumulation
+    /// ([`Evaluator::evaluate_with_table`]). Designs differing only in
+    /// placement share a table and skip Dijkstra.
     pub fn evaluate(&self, design: &Design) -> Evaluation {
-        let table = RoutingTable::build(&self.dims, &design.topology, &self.params);
+        let table = self.routing_for(design);
+        self.evaluate_with_table(design, &table)
+    }
+
+    /// Stage 1: the routing table for `design`'s topology, served from
+    /// the shared cache when available.
+    pub fn routing_for(&self, design: &Design) -> Arc<RoutingTable> {
+        self.routing.routing_for(&self.dims, &design.topology, &self.params)
+    }
+
+    /// Stage 2: flow accumulation, latency, energy, and thermal scoring
+    /// against a pre-built routing table. `table` must have been built
+    /// for `design.topology` (same link set *and* order).
+    pub fn evaluate_with_table(&self, design: &Design, table: &RoutingTable) -> Evaluation {
         let link_count = design.topology.link_count();
         let mut utilization = vec![0.0f64; link_count];
         let mut energy = 0.0f64;
@@ -172,7 +217,10 @@ impl Evaluator {
                 cpu_latency += table.latency(src, dst) * self.workload.traffic(c, m);
             }
         }
-        cpu_latency /= (mix.cpus() * mix.llcs()) as f64;
+        // Degenerate mixes (no CPUs or no LLCs) have no CPU–LLC pairs at
+        // all: the objective is 0 by definition, not 0/0.
+        let cpu_llc_pairs = (mix.cpus() * mix.llcs()) as f64;
+        cpu_latency = if cpu_llc_pairs > 0.0 { cpu_latency / cpu_llc_pairs } else { 0.0 };
 
         // Thermal: map per-PE power onto the stacks.
         let mut power = PowerGrid::new(self.dims.nx(), self.dims.ny(), self.dims.layers());
@@ -272,6 +320,61 @@ mod tests {
         let ev = evaluator(Benchmark::Srad);
         let d = mesh_design(&ev, 4);
         assert_eq!(ev.evaluate(&d), ev.evaluate(&d));
+    }
+
+    #[test]
+    fn placement_only_variants_share_one_routing_table() {
+        let ev = evaluator(Benchmark::Hot);
+        for seed in 0..8 {
+            let d = mesh_design(&ev, seed); // same mesh, different placements
+            let _ = ev.evaluate(&d);
+        }
+        assert_eq!(ev.routing_cache().rebuilds(), 1, "one Dijkstra for eight evaluations");
+        assert_eq!(ev.routing_cache().hits(), 7);
+    }
+
+    #[test]
+    fn cached_evaluation_is_bit_identical_to_uncached() {
+        let cached = evaluator(Benchmark::Srad);
+        let mut uncached = evaluator(Benchmark::Srad);
+        uncached.set_routing_cache_capacity(0);
+        for seed in 0..4 {
+            let d = mesh_design(&cached, seed);
+            assert_eq!(cached.evaluate(&d), uncached.evaluate(&d));
+        }
+        assert_eq!(uncached.routing_cache().hits(), 0);
+        assert_eq!(uncached.routing_cache().rebuilds(), 4);
+    }
+
+    fn degenerate_evaluator(mix: PeMix) -> Evaluator {
+        let dims = GridDims::new(3, 3, 1);
+        let workload = Workload::synthesize(Benchmark::Bfs, mix, 5);
+        let thermal = FastThermalModel::new(ThermalParams::uniform(1, 1.0, 0.5));
+        Evaluator::new(dims, NocParams::paper(), workload, thermal)
+    }
+
+    #[test]
+    fn mix_without_cpus_defines_cpu_latency_as_zero() {
+        let mix = PeMix::with_counts(0, 5, 4);
+        let ev = degenerate_evaluator(mix);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let d = Design::new(Placement::random(ev.dims(), mix, &mut rng), Topology::mesh(ev.dims()));
+        let e = ev.evaluate(&d);
+        assert_eq!(e.cpu_latency, 0.0, "no CPU–LLC pairs: the objective is 0, not NaN");
+        for (i, v) in e.objectives(ObjectiveSet::Five).iter().enumerate() {
+            assert!(v.is_finite(), "objective {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn mix_without_llcs_defines_cpu_latency_as_zero() {
+        let mix = PeMix::with_counts(2, 7, 0);
+        let ev = degenerate_evaluator(mix);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let d = Design::new(Placement::random(ev.dims(), mix, &mut rng), Topology::mesh(ev.dims()));
+        let e = ev.evaluate(&d);
+        assert_eq!(e.cpu_latency, 0.0);
+        assert!(e.objectives(ObjectiveSet::Five).iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -375,6 +375,20 @@ impl ManycoreProblem {
     pub fn workload(&self) -> &Workload {
         self.evaluator.workload()
     }
+
+    /// Reconfigures the routing-table cache (0 disables reuse). Apply
+    /// before cloning/sharing the problem: clones made earlier keep the
+    /// old cache.
+    pub fn set_routing_cache_capacity(&mut self, capacity: usize) {
+        self.evaluator.set_routing_cache_capacity(capacity);
+    }
+
+    /// Routing-table (rebuilds, cache hits) counters, shared across every
+    /// clone of this problem.
+    pub fn routing_stats(&self) -> (u64, u64) {
+        let cache = self.evaluator.routing_cache();
+        (cache.rebuilds(), cache.hits())
+    }
 }
 
 impl Problem for ManycoreProblem {
@@ -416,6 +430,25 @@ impl Problem for ManycoreProblem {
 
     fn evaluate(&self, s: &Design) -> Vec<f64> {
         self.evaluator.evaluate(s).objectives(self.objective_set)
+    }
+
+    /// Exact canonical bytes of the design: the placement vector plus the
+    /// ordered link list. Two designs share a key iff they are equal
+    /// (`Design: PartialEq` compares the same data), so memoized results
+    /// can never collide.
+    fn cache_key(&self, s: &Design) -> Option<Vec<u8>> {
+        let links = s.topology.links();
+        let mut key = Vec::with_capacity(8 + 4 * (s.placement.pe_of().len() + 2 * links.len()));
+        key.extend_from_slice(&(s.placement.pe_of().len() as u32).to_le_bytes());
+        for &pe in s.placement.pe_of() {
+            key.extend_from_slice(&(pe as u32).to_le_bytes());
+        }
+        key.extend_from_slice(&(links.len() as u32).to_le_bytes());
+        for l in links {
+            key.extend_from_slice(&(l.a().0 as u32).to_le_bytes());
+            key.extend_from_slice(&(l.b().0 as u32).to_le_bytes());
+        }
+        Some(key)
     }
 
     fn features(&self, s: &Design) -> Vec<f64> {
@@ -665,6 +698,30 @@ mod tests {
         let d = p.random_solution(&mut rng);
         // The first three objectives agree between stacks.
         assert_eq!(p.evaluate(&d), p5.evaluate(&d)[..3].to_vec());
+    }
+
+    #[test]
+    fn cache_keys_match_design_equality() {
+        let p = paper_problem(ObjectiveSet::Three);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a = p.random_solution(&mut rng);
+        let b = p.random_solution(&mut rng);
+        assert_eq!(p.cache_key(&a), p.cache_key(&a.clone()), "equal designs share a key");
+        assert_ne!(p.cache_key(&a), p.cache_key(&b), "distinct designs get distinct keys");
+        let n = p.neighbor(&a, &mut rng);
+        assert_ne!(p.cache_key(&a), p.cache_key(&n), "one move changes the key");
+    }
+
+    #[test]
+    fn objective_set_clones_share_the_routing_cache() {
+        let p = paper_problem(ObjectiveSet::Three);
+        let q = p.with_objective_set(ObjectiveSet::Five);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let d = p.random_solution(&mut rng);
+        p.evaluate(&d);
+        q.evaluate(&d);
+        let (rebuilds, hits) = p.routing_stats();
+        assert_eq!((rebuilds, hits), (1, 1), "the second evaluation reuses the table");
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Evaluation-cache determinism on the real platform model: randomized
+//! placement/topology move sequences must evaluate bit-identically with
+//! the cache on or off, at any thread count, and the routing layer must
+//! actually skip Dijkstra rebuilds on placement-only walks.
+
+use std::sync::Arc;
+
+use moela_manycore::{moves, Design, ManycoreProblem, ObjectiveSet, PlatformConfig};
+use moela_moo::fault::{FaultConfig, GuardedEvaluator};
+use moela_moo::{CachedProblem, EvalCache, Problem};
+use moela_traffic::{Benchmark, Workload};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn paper_problem() -> ManycoreProblem {
+    let platform = PlatformConfig::paper();
+    let workload = Workload::synthesize(Benchmark::Bfs, platform.pe_mix(), 7);
+    ManycoreProblem::new(platform, workload, ObjectiveSet::Three).expect("paper platform builds")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A random walk of placement/topology moves, then the same designs
+    /// revisited in reverse (so the cache genuinely hits), evaluates to
+    /// the exact same objective bytes as the uncached problem — through
+    /// the full guarded batch pipeline at 1 and 4 worker threads, and
+    /// even with a capacity so small that most inserts evict.
+    #[test]
+    fn cached_move_sequences_evaluate_bit_identically(
+        seed in 0u64..200,
+        walk in 1usize..10,
+        capacity in 2usize..65,
+    ) {
+        let problem = paper_problem();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut designs = vec![problem.random_solution(&mut rng)];
+        for _ in 0..walk {
+            let next = problem.neighbor(designs.last().expect("nonempty"), &mut rng);
+            designs.push(next);
+        }
+        let mut batch: Vec<Design> = designs.clone();
+        batch.extend(designs.iter().rev().cloned());
+
+        let m = problem.objective_count();
+        let reference = GuardedEvaluator::new(1, FaultConfig::default())
+            .evaluate(&problem, &batch)
+            .materialized(m);
+        for threads in [1usize, 4] {
+            let cached = CachedProblem::new(&problem, Arc::new(EvalCache::new(capacity)));
+            let got = GuardedEvaluator::new(threads, FaultConfig::default())
+                .evaluate(&cached, &batch)
+                .materialized(m);
+            prop_assert_eq!(
+                &got, &reference,
+                "cache (capacity {}) at {} threads changed the objectives", capacity, threads
+            );
+            let stats = cached.cache().stats();
+            prop_assert!(stats.hits > 0, "the reversed revisit must hit ({:?})", stats);
+        }
+    }
+}
+
+/// The acceptance bar for the routing layer: on a placement-heavy local
+/// search (pure tile swaps, topology untouched), the shared routing
+/// cache must cut Dijkstra rebuilds at least 5x against a cache-off
+/// evaluator — proven by the same counters `metrics.json` reports.
+#[test]
+fn placement_heavy_walks_cut_routing_rebuilds_at_least_5x() {
+    let walk = 30usize;
+    let counts = [0usize, moela_manycore::DEFAULT_ROUTING_CACHE_CAPACITY].map(|capacity| {
+        let mut problem = paper_problem();
+        problem.set_routing_cache_capacity(capacity);
+        let dims = *problem.config().dims();
+        let mix = problem.config().pe_mix();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut design = problem.random_solution(&mut rng);
+        problem.evaluate(&design);
+        for _ in 0..walk {
+            design = moves::swap_tiles(&dims, mix, &design, &mut rng);
+            problem.evaluate(&design);
+        }
+        let (rebuilds, _hits) = problem.routing_stats();
+        rebuilds
+    });
+    let [uncached, cached] = counts;
+    assert_eq!(uncached, walk as u64 + 1, "capacity 0 rebuilds per evaluation");
+    assert!(
+        uncached >= 5 * cached,
+        "placement-only walk must cut rebuilds at least 5x (uncached {uncached}, cached {cached})"
+    );
+}

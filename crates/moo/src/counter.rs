@@ -133,6 +133,10 @@ impl<P: Problem> Problem for Counted<P> {
         self.inner.reserve_ordinals(n)
     }
 
+    fn cache_key(&self, s: &Self::Solution) -> Option<Vec<u8>> {
+        self.inner.cache_key(s)
+    }
+
     fn features(&self, s: &Self::Solution) -> Vec<f64> {
         self.inner.features(s)
     }

@@ -20,6 +20,11 @@
 //!   ([`parallel::ParallelEvaluator`]) — optimizers generate candidates
 //!   sequentially, then evaluate whole batches across scoped worker
 //!   threads with bit-identical results at any thread count;
+//! * evaluation memoization: [`cache::CachedProblem`] memoizes whole
+//!   objective vectors in a bounded, thread-safe [`cache::EvalCache`]
+//!   keyed by exact solution bytes ([`Problem::cache_key`]), so duplicate
+//!   candidates never re-evaluate while staying bit-identical to
+//!   uncached runs;
 //! * fault containment: [`fault::GuardedEvaluator`] turns panicking,
 //!   NaN-producing or malformed evaluations into structured
 //!   [`fault::EvalFault`]s handled by a uniform [`fault::FaultPolicy`],
@@ -46,6 +51,7 @@
 //! ```
 
 pub mod archive;
+pub mod cache;
 pub mod chaos;
 pub mod checkpoint;
 pub mod counter;
@@ -62,6 +68,7 @@ pub mod scalarize;
 pub mod snapshot;
 pub mod weights;
 
+pub use cache::{CacheStats, CachedProblem, EvalCache, DEFAULT_EVAL_CACHE_CAPACITY};
 pub use chaos::{ChaosProblem, ChaosSpec};
 pub use counter::{Counted, EvalCounter};
 pub use fault::{

@@ -58,7 +58,10 @@ pub fn spread_2d(front: &[Vec<f64>]) -> f64 {
         return f64::NAN;
     }
     let mut pts = front.to_vec();
-    pts.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("NaN objective"));
+    // total_cmp, not partial_cmp: a NaN objective (e.g. a quarantined
+    // penalty leaking into a diagnostic front) must not abort the process
+    // — NaN sorts after every finite value and flows into the result.
+    pts.sort_by(|a, b| a[0].total_cmp(&b[0]));
     let gaps: Vec<f64> = pts.windows(2).map(|w| euclidean(&w[0], &w[1])).collect();
     let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
     if mean <= f64::EPSILON {
@@ -140,6 +143,19 @@ mod tests {
     fn spread_is_nan_when_undefined() {
         assert!(spread_2d(&[vec![1.0, 2.0]]).is_nan());
         assert!(spread_2d(&[vec![1.0, 2.0, 3.0], vec![0.0, 0.0, 0.0]]).is_nan());
+    }
+
+    #[test]
+    fn spread_survives_nan_objectives_without_panicking() {
+        // A quarantined-penalty or user-supplied front may carry NaN; the
+        // metric must degrade (NaN result) instead of aborting the process.
+        let mut front = line_front(5);
+        front.push(vec![f64::NAN, 0.5]);
+        let spread = spread_2d(&front);
+        assert!(spread.is_nan(), "NaN input flows to a NaN result, got {spread}");
+        // An all-NaN front is equally survivable.
+        let all_nan = vec![vec![f64::NAN, f64::NAN], vec![f64::NAN, f64::NAN]];
+        let _ = spread_2d(&all_nan);
     }
 
     #[test]

@@ -95,6 +95,25 @@ pub trait Problem {
         0
     }
 
+    /// A stable, collision-free memoization key for `s`, or `None` when
+    /// this problem's evaluations must not be memoized.
+    ///
+    /// The contract: two solutions share a key **iff** they are equal as
+    /// far as [`evaluate`](Problem::evaluate) is concerned, so a cached
+    /// result can be substituted for re-evaluation without changing a
+    /// single bit. Implementations should return exact canonical bytes of
+    /// the solution, not a hash — a hash collision would silently return
+    /// the wrong objectives.
+    ///
+    /// The default is `None` (no memoization). Wrappers whose results
+    /// depend on more than the solution — e.g.
+    /// [`crate::chaos::ChaosProblem`], where the outcome depends on the
+    /// evaluation ordinal — must also return `None` so nothing caches
+    /// *above* them.
+    fn cache_key(&self, _s: &Self::Solution) -> Option<Vec<u8>> {
+        None
+    }
+
     /// A fixed-length numeric descriptor of `s` used as the input features
     /// of learned evaluation functions (e.g. MOELA's random-forest `Eval`).
     ///
@@ -145,6 +164,10 @@ impl<P: Problem + ?Sized> Problem for &P {
 
     fn reserve_ordinals(&self, n: u64) -> u64 {
         (**self).reserve_ordinals(n)
+    }
+
+    fn cache_key(&self, s: &Self::Solution) -> Option<Vec<u8>> {
+        (**self).cache_key(s)
     }
 
     fn features(&self, s: &Self::Solution) -> Vec<f64> {

@@ -6,7 +6,6 @@
 //!   checkpoints/     # rotating MOELA-CKPT files (see `checkpoint`)
 //!   trace.csv        # deterministic convergence trace
 //!   front.csv        # final Pareto front
-//!   health.json      # end-of-run evaluation-health report (deprecated)
 //!   events.jsonl     # append-only telemetry event log (when obs is on)
 //!   metrics.json     # end-of-run phase metrics (when obs is on)
 //! ```
@@ -83,7 +82,11 @@ impl RunStore {
         self.root.join("front.csv")
     }
 
-    /// `RUN_DIR/health.json`.
+    /// `RUN_DIR/health.json` — retired: current runs fold the fault
+    /// counters into `metrics.json` and write no health file. The path
+    /// is kept so tooling can still read (or knowingly ignore) the
+    /// report in run directories produced by older builds; resume
+    /// tolerates both layouts.
     pub fn health_path(&self) -> PathBuf {
         self.root.join("health.json")
     }
@@ -127,13 +130,6 @@ impl RunStore {
         write_atomic(&self.front_path(), csv.as_bytes())
     }
 
-    /// Writes `health.json` — the end-of-run evaluation-health report
-    /// (fault counters, policy, chaos configuration).
-    pub fn write_health(&self, health: &Value) -> Result<(), PersistError> {
-        let text = encode::to_string(health);
-        write_atomic(&self.health_path(), text.as_bytes())
-    }
-
     /// Writes `metrics.json` — the end-of-run phase-metrics report
     /// (per-phase timing, throughput, fault counters, PHV series).
     /// Wall-clock data lives only here, in `events.jsonl`, and on
@@ -165,11 +161,13 @@ mod tests {
         assert_eq!(back.field("seed").unwrap().as_u64().unwrap(), 11);
         store.write_trace("generation,evaluations,phv\n").unwrap();
         store.write_front("obj0,obj1\n").unwrap();
-        store.write_health(&Value::object(vec![("faults", Value::U64(0))])).unwrap();
         store.write_metrics(&Value::object(vec![("wall_us", Value::U64(1))])).unwrap();
         assert!(store.trace_path().is_file());
         assert!(store.front_path().is_file());
-        assert!(store.health_path().is_file());
+        // No health.json: current runs never write one, but the path
+        // accessor survives for old run directories.
+        assert!(!store.health_path().is_file());
+        assert_eq!(store.health_path(), root.join("health.json"));
         assert!(store.metrics_path().is_file());
         assert_eq!(store.events_path(), root.join("events.jsonl"));
         fs::remove_dir_all(&root).unwrap();

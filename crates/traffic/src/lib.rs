@@ -89,6 +89,19 @@ impl PeMix {
         Self { cpus, gpus, llcs }
     }
 
+    /// A population that tolerates zero-count kinds — degenerate research
+    /// scenarios such as a GPU-only die with no CPUs or no LLC slices.
+    /// Objectives over the missing kind are defined as 0 (the CPU–LLC
+    /// latency of a CPU-less platform is 0, not NaN).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is entirely empty.
+    pub fn with_counts(cpus: usize, gpus: usize, llcs: usize) -> Self {
+        assert!(cpus + gpus + llcs > 0, "the population cannot be empty");
+        Self { cpus, gpus, llcs }
+    }
+
     /// Number of CPUs.
     pub fn cpus(&self) -> usize {
         self.cpus

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Telemetry benchmark sweep: runs every optimizer at a standard budget
 # with observability on, then assembles their metrics.json reports into
-# one BENCH_<date>.json at the repo root. Wall-clock figures are
-# machine-dependent snapshots, not regression gates — compare them
-# across commits on the same machine only.
+# one BENCH_<date>.json at the repo root. Each embedded report carries
+# the evaluation-cache counters (cache_hits/cache_misses/evictions and
+# routing_rebuilds/routing_hits inside its "cache" object), so cache hit
+# rates are collated alongside the timing data and echoed per run below.
+# Wall-clock figures are machine-dependent snapshots, not regression
+# gates — compare them across commits on the same machine only.
 #
 # Usage: scripts/bench.sh [BUDGET] [SEED]
 set -euo pipefail
@@ -26,6 +29,8 @@ for algo in "${algorithms[@]}"; do
     "$dse" run --app HOT --objectives 3 --algorithm "$algo" \
         --budget "$budget" --population 24 --seed "$seed" \
         --run-dir "$sweep/$algo" --log-level quiet
+    grep -o '"cache":{[^}]*}' "$sweep/$algo/metrics.json" \
+        | sed "s/^/    /" || echo "    (no cache counters in metrics.json)"
 done
 
 {

@@ -33,14 +33,31 @@ echo "==> chaos smoke (faults contained, kill + resume under chaos byte-identica
 chaos_flags=("${flags[@]}" --chaos panic=0.03,nan=0.03,arity=0.02 --chaos-seed 41
     --fault-policy penalize-worst --eval-retries 1)
 "$dse" run "${chaos_flags[@]}" --run-dir "$smoke/chaos-full" >/dev/null
-grep -q '"faults":0' "$smoke/chaos-full/health.json" \
+test ! -e "$smoke/chaos-full/health.json" \
+    || { echo "health.json is retired and must no longer be written"; exit 1; }
+grep -o '"faults":{[^}]*}' "$smoke/chaos-full/metrics.json" | grep -q '"total":0' \
     && { echo "chaos spec did not inject any faults"; exit 1; }
 "$dse" run "${chaos_flags[@]}" --run-dir "$smoke/chaos-crashed" --crash-after-checkpoints 1 \
     >/dev/null 2>&1 && { echo "crash injection did not abort"; exit 1; }
 "$dse" resume "$smoke/chaos-crashed" --threads 4 >/dev/null
 cmp "$smoke/chaos-full/trace.csv" "$smoke/chaos-crashed/trace.csv"
 cmp "$smoke/chaos-full/front.csv" "$smoke/chaos-crashed/front.csv"
-cmp "$smoke/chaos-full/health.json" "$smoke/chaos-crashed/health.json"
+# metrics.json carries wall-clock data, so compare only the fault counters.
+full_faults="$(grep -o '"faults":{[^}]*}' "$smoke/chaos-full/metrics.json")"
+crashed_faults="$(grep -o '"faults":{[^}]*}' "$smoke/chaos-crashed/metrics.json")"
+[ "$full_faults" = "$crashed_faults" ] \
+    || { echo "fault counters differ after chaotic crash + resume"; exit 1; }
+
+echo "==> cache smoke (cache on/off parity; hit counters land in metrics.json)"
+"$dse" run "${flags[@]}" --eval-cache off --run-dir "$smoke/nocache" >/dev/null
+cmp "$smoke/full/trace.csv" "$smoke/nocache/trace.csv"
+cmp "$smoke/full/front.csv" "$smoke/nocache/front.csv"
+grep -q '"cache":{"enabled":true' "$smoke/full/metrics.json"
+grep -q '"cache":{"enabled":false' "$smoke/nocache/metrics.json"
+grep -o '"cache":{[^}]*}' "$smoke/full/metrics.json" | grep -q '"misses":0' \
+    && { echo "the default cache saw no lookups"; exit 1; }
+grep -o '"cache":{[^}]*}' "$smoke/full/metrics.json" | grep -q '"routing_rebuilds":0' \
+    && { echo "no routing table was ever built"; exit 1; }
 
 echo "==> obs smoke (telemetry artifacts exist; deterministic artifacts untouched)"
 "$dse" run "${flags[@]}" --run-dir "$smoke/traced" --progress --log-level debug \
