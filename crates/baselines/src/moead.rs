@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore};
 
-use moela_moo::checkpoint::Resumable;
+use moela_moo::checkpoint::{CancelToken, Resumable};
 use moela_moo::fault::{fault_log_from, is_quarantined, EvalFault, FaultConfig, FaultLog};
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
@@ -182,6 +182,7 @@ where
             generation: 0,
             finished: evaluator_poisoned,
             obs: Obs::disabled(),
+            cancel: CancelToken::default(),
         }
     }
 
@@ -232,6 +233,7 @@ where
             generation: value.field("generation")?.as_usize()?,
             finished: value.field("finished")?.as_bool()?,
             obs: Obs::disabled(),
+            cancel: CancelToken::default(),
         })
     }
 }
@@ -255,6 +257,9 @@ pub struct MoeadState<'p, P: Problem> {
     finished: bool,
     /// Telemetry handle (never checkpointed; disabled by default).
     obs: Obs,
+    /// Cooperative cancellation flag (never checkpointed; inert
+    /// unless the driver installs a shared token).
+    cancel: CancelToken,
 }
 
 impl<'p, P> MoeadState<'p, P>
@@ -275,6 +280,12 @@ where
     /// Installs the observability handle phase spans are reported
     /// through. Telemetry is write-only: it never alters an RNG draw,
     /// an evaluation, or a trace byte.
+    /// Installs a cooperative cancellation token checked at step
+    /// boundaries (see [`CancelToken`]).
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
     pub fn set_obs(&mut self, obs: Obs) {
         self.evaluator.set_obs(obs.clone());
         self.obs = obs;
@@ -283,6 +294,11 @@ where
     /// Executes one generation. Returns `false` — drawing no RNG values —
     /// once the run has finished.
     pub fn step(&mut self, rng: &mut dyn RngCore) -> bool {
+        if self.cancel.is_cancelled() {
+            // Cancelled at a step boundary: draw nothing, mutate
+            // nothing, stay snapshottable and resumable.
+            return false;
+        }
         if self.finished || self.generation >= self.config.generations || self.evaluator.poisoned()
         {
             self.finished = true;
@@ -462,6 +478,10 @@ where
 
     fn fault_error(&self) -> Option<&EvalFault> {
         MoeadState::fault_error(self)
+    }
+
+    fn set_cancel(&mut self, token: CancelToken) {
+        MoeadState::set_cancel(self, token);
     }
 
     fn set_obs(&mut self, obs: Obs) {

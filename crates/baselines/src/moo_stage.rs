@@ -24,7 +24,7 @@ use rand::RngCore;
 
 use moela_ml::{Dataset, ForestConfig, RandomForest};
 use moela_moo::archive::ParetoArchive;
-use moela_moo::checkpoint::Resumable;
+use moela_moo::checkpoint::{CancelToken, Resumable};
 use moela_moo::fault::{fault_log_from, is_quarantined, EvalFault, FaultConfig, FaultLog};
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
@@ -185,6 +185,7 @@ where
             episode: 0,
             finished: evaluator_poisoned,
             obs: Obs::disabled(),
+            cancel: CancelToken::default(),
         }
     }
 
@@ -225,6 +226,7 @@ where
             episode: value.field("episode")?.as_usize()?,
             finished: value.field("finished")?.as_bool()?,
             obs: Obs::disabled(),
+            cancel: CancelToken::default(),
         })
     }
 }
@@ -248,6 +250,9 @@ pub struct MooStageState<'p, P: Problem> {
     finished: bool,
     /// Telemetry handle (never checkpointed; disabled by default).
     obs: Obs,
+    /// Cooperative cancellation flag (never checkpointed; inert
+    /// unless the driver installs a shared token).
+    cancel: CancelToken,
 }
 
 impl<'p, P> MooStageState<'p, P>
@@ -268,6 +273,12 @@ where
     /// Installs the observability handle phase spans are reported
     /// through. Telemetry is write-only: it never alters an RNG draw,
     /// an evaluation, or a trace byte.
+    /// Installs a cooperative cancellation token checked at step
+    /// boundaries (see [`CancelToken`]).
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
     pub fn set_obs(&mut self, obs: Obs) {
         self.evaluator.set_obs(obs.clone());
         self.obs = obs;
@@ -281,6 +292,11 @@ where
     /// Executes one episode. Returns `false` — drawing no RNG values —
     /// once the run has finished.
     pub fn step(&mut self, rng: &mut dyn RngCore) -> bool {
+        if self.cancel.is_cancelled() {
+            // Cancelled at a step boundary: draw nothing, mutate
+            // nothing, stay snapshottable and resumable.
+            return false;
+        }
         let mut rng = rng;
         if self.finished || self.episode >= self.config.episodes || self.evaluator.poisoned() {
             self.finished = true;
@@ -471,6 +487,10 @@ where
 
     fn fault_error(&self) -> Option<&EvalFault> {
         MooStageState::fault_error(self)
+    }
+
+    fn set_cancel(&mut self, token: CancelToken) {
+        MooStageState::set_cancel(self, token);
     }
 
     fn set_obs(&mut self, obs: Obs) {

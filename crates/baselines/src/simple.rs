@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use rand::{Rng, RngCore};
 
 use moela_moo::archive::ParetoArchive;
-use moela_moo::checkpoint::Resumable;
+use moela_moo::checkpoint::{CancelToken, Resumable};
 use moela_moo::fault::{fault_log_from, is_quarantined, EvalFault, FaultConfig, FaultLog};
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
@@ -113,6 +113,7 @@ where
         chunks: 0,
         finished: false,
         obs: Obs::disabled(),
+        cancel: CancelToken::default(),
     }
 }
 
@@ -151,6 +152,7 @@ where
         chunks: value.field("chunks")?.as_u64()?,
         finished: value.field("finished")?.as_bool()?,
         obs: Obs::disabled(),
+        cancel: CancelToken::default(),
     })
 }
 
@@ -169,6 +171,9 @@ pub struct RandomSearchState<'p, P: Problem> {
     finished: bool,
     /// Telemetry handle (never checkpointed; disabled by default).
     obs: Obs,
+    /// Cooperative cancellation flag (never checkpointed; inert
+    /// unless the driver installs a shared token).
+    cancel: CancelToken,
 }
 
 impl<'p, P> RandomSearchState<'p, P>
@@ -189,6 +194,12 @@ where
     /// Installs the observability handle phase spans are reported
     /// through. Telemetry is write-only: it never alters an RNG draw,
     /// an evaluation, or a trace byte.
+    /// Installs a cooperative cancellation token checked at step
+    /// boundaries (see [`CancelToken`]).
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
     pub fn set_obs(&mut self, obs: Obs) {
         self.evaluator.set_obs(obs.clone());
         self.obs = obs;
@@ -200,6 +211,11 @@ where
     /// sample). Returns `false` — drawing no RNG values — once the run
     /// has finished.
     pub fn step(&mut self, rng: &mut dyn RngCore) -> bool {
+        if self.cancel.is_cancelled() {
+            // Cancelled at a step boundary: draw nothing, mutate
+            // nothing, stay snapshottable and resumable.
+            return false;
+        }
         if self.finished || self.drawn >= self.config.samples {
             self.finished = true;
             return false;
@@ -321,6 +337,10 @@ where
 
     fn fault_error(&self) -> Option<&EvalFault> {
         RandomSearchState::fault_error(self)
+    }
+
+    fn set_cancel(&mut self, token: CancelToken) {
+        RandomSearchState::set_cancel(self, token);
     }
 
     fn set_obs(&mut self, obs: Obs) {

@@ -181,6 +181,38 @@ impl Default for RunOptions {
     }
 }
 
+/// Options for the embedded DSE job server.
+#[derive(Clone, Debug, Eq, PartialEq)]
+pub struct ServeOptions {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Concurrent optimizer-run workers.
+    pub workers: usize,
+    /// Bounded submission-queue depth; a full queue answers 429.
+    pub queue_depth: usize,
+    /// Directory that holds one run store per job (also where restart
+    /// rediscovers interrupted jobs).
+    pub run_root: String,
+    /// Checkpoint cadence applied to served jobs that do not set one.
+    pub checkpoint_every: u64,
+    /// Optional file the server writes its bound address to (for
+    /// scripts using port 0).
+    pub addr_file: Option<String>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7774".to_owned(),
+            workers: 2,
+            queue_depth: 16,
+            run_root: String::new(),
+            checkpoint_every: 1,
+            addr_file: None,
+        }
+    }
+}
+
 /// The parsed command.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
@@ -219,6 +251,8 @@ pub enum Command {
         /// Verbosity of human-facing status output.
         log_level: LogLevel,
     },
+    /// Serve DSE jobs over HTTP with bounded queueing and graceful drain.
+    Serve(ServeOptions),
     /// Print the build version.
     Version,
     /// Print usage.
@@ -240,6 +274,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgsError> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "version" | "--version" | "-V" => Ok(Command::Version),
         "resume" => parse_resume(rest),
+        "serve" => parse_serve(rest),
         "run" => Ok(Command::Run(parse_run_options(rest)?)),
         "compare" => Ok(Command::Compare(parse_run_options(rest)?)),
         "info" => {
@@ -276,7 +311,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgsError> {
             Ok(Command::Simulate { options: parse_run_options(&filtered)?, load_factor, cycles })
         }
         other => Err(ArgsError::syntax(format!(
-            "unknown subcommand '{other}' (try: run, resume, compare, info, simulate, help)"
+            "unknown subcommand '{other}' (try: run, resume, serve, compare, info, simulate, help)"
         ))),
     }
 }
@@ -327,6 +362,44 @@ fn parse_resume(args: &[String]) -> Result<Command, ArgsError> {
         progress,
         log_level,
     })
+}
+
+fn parse_serve(args: &[String]) -> Result<Command, ArgsError> {
+    let mut opts = ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().cloned().ok_or_else(|| format!("flag {flag} needs a value"));
+        match flag.as_str() {
+            "--addr" => opts.addr = value()?,
+            "--workers" => {
+                opts.workers = value()?.parse().map_err(|_| "--workers needs an integer")?;
+            }
+            "--queue-depth" => {
+                opts.queue_depth =
+                    value()?.parse().map_err(|_| "--queue-depth needs an integer")?;
+            }
+            "--run-root" => opts.run_root = value()?,
+            "--checkpoint-every" => {
+                opts.checkpoint_every =
+                    value()?.parse().map_err(|_| "--checkpoint-every needs an integer")?;
+            }
+            "--addr-file" => opts.addr_file = Some(value()?),
+            other => return Err(ArgsError::syntax(format!("unknown flag '{other}'"))),
+        }
+    }
+    if opts.run_root.is_empty() {
+        return Err(ArgsError::syntax("serve needs --run-root <DIR> to store job run directories"));
+    }
+    if opts.workers == 0 {
+        return Err(ArgsError::syntax("--workers must be at least 1"));
+    }
+    if opts.queue_depth == 0 {
+        return Err(ArgsError::syntax("--queue-depth must be at least 1"));
+    }
+    if opts.checkpoint_every == 0 {
+        return Err(ArgsError::syntax("--checkpoint-every must be positive"));
+    }
+    Ok(Command::Serve(opts))
 }
 
 fn parse_run_options(args: &[String]) -> Result<RunOptions, ArgsError> {
@@ -411,6 +484,14 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, ArgsError> {
             other => return Err(ArgsError::syntax(format!("unknown flag '{other}'"))),
         }
     }
+    validate_run_options(&opts)?;
+    Ok(opts)
+}
+
+/// Semantic validation shared by the flag parser and the job server's
+/// spec validation, so a served job refuses exactly the configurations
+/// the command line refuses.
+pub fn validate_run_options(opts: &RunOptions) -> Result<(), ArgsError> {
     if opts.population < 2 {
         return Err(ArgsError::syntax("--population must be at least 2"));
     }
@@ -435,7 +516,7 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, ArgsError> {
     if opts.chaos_seed.is_some() && opts.chaos.is_none() {
         return Err(ArgsError::contradiction("--chaos-seed has no effect without --chaos <spec>"));
     }
-    Ok(opts)
+    Ok(())
 }
 
 /// The usage text.
@@ -448,6 +529,7 @@ USAGE:
 SUBCOMMANDS:
     run        run one optimizer and print its Pareto front
     resume     resume an interrupted run from its --run-dir
+    serve      serve DSE jobs over HTTP (bounded queue, graceful drain)
     compare    run every optimizer at the same budget and compare PHV
     info       describe an application's synthesized workload
     simulate   run the flit-level NoC simulator on a random design
@@ -517,6 +599,18 @@ RESUME:
 SIMULATE FLAGS:
     --load <F>                          injection multiplier [1.0]
     --cycles <N>                        measured cycles      [50000]
+
+SERVE:
+    moela-dse serve --run-root <DIR> [--addr HOST:PORT] [--workers N]
+                    [--queue-depth N] [--checkpoint-every N]
+                    [--addr-file PATH]
+    embedded DSE job server: POST /jobs submits a run spec (the same
+    fields as `run` flags), GET /jobs/{id} polls state and live phase
+    metrics, GET /jobs/{id}/front fetches the finished front, DELETE
+    cancels at the next checkpoint, POST /shutdown drains gracefully;
+    a full queue answers 429 with Retry-After. Interrupted jobs are
+    rediscovered from --run-root and resumed on restart. Defaults:
+    --addr 127.0.0.1:7774, --workers 2, --queue-depth 16.
 ";
 
 #[cfg(test)]
@@ -721,6 +815,34 @@ mod tests {
 
         // Retries with a non-fail policy are fine.
         assert!(parse(&argv("run --fault-policy skip --eval-retries 1")).is_ok());
+    }
+
+    #[test]
+    fn serve_parses_flags_and_validates() {
+        let cmd = parse(&argv(
+            "serve --run-root out/jobs --addr 0.0.0.0:0 --workers 3 --queue-depth 5 \
+             --checkpoint-every 4 --addr-file out/addr",
+        ))
+        .expect("ok");
+        let Command::Serve(o) = cmd else { panic!("expected Serve") };
+        assert_eq!(o.run_root, "out/jobs");
+        assert_eq!(o.addr, "0.0.0.0:0");
+        assert_eq!(o.workers, 3);
+        assert_eq!(o.queue_depth, 5);
+        assert_eq!(o.checkpoint_every, 4);
+        assert_eq!(o.addr_file.as_deref(), Some("out/addr"));
+
+        let Command::Serve(o) = parse(&argv("serve --run-root r")).expect("defaults") else {
+            panic!("expected Serve")
+        };
+        assert_eq!(o.addr, "127.0.0.1:7774");
+        assert_eq!(o.workers, 2);
+        assert_eq!(o.queue_depth, 16);
+
+        assert!(parse(&argv("serve")).is_err());
+        assert!(parse(&argv("serve --run-root r --workers 0")).is_err());
+        assert!(parse(&argv("serve --run-root r --queue-depth 0")).is_err());
+        assert!(parse(&argv("serve --run-root r --what no")).is_err());
     }
 
     #[test]

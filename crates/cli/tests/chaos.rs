@@ -346,3 +346,38 @@ fn clean_runs_print_no_health_line_but_chaotic_runs_do() {
     assert!(stdout.contains("evaluation health:"), "chaotic run prints health: {stdout}");
     assert!(stdout.contains("chaos injection:"), "chaotic run announces chaos: {stdout}");
 }
+
+#[test]
+fn manifest_with_chaos_but_no_seed_exits_2_without_panicking() {
+    // A resumable chaotic run directory, then a doctored manifest that
+    // configures chaos without recording its seed — the same
+    // contradiction `--chaos` without `--chaos-seed` is on the command
+    // line, arriving through the bypass path the flag parser never sees.
+    let dir = scratch("manifest-no-seed");
+    let dir_str = dir.to_str().expect("utf-8 path");
+    let out = moela_dse(&chaos_args(
+        "random",
+        "nan=0.05",
+        "1",
+        dir_str,
+        &["--crash-after-checkpoints", "1"],
+    ));
+    assert!(!out.status.success(), "crash injection must abort the process");
+
+    let manifest = dir.join("manifest.json");
+    let text = String::from_utf8(read(&manifest)).expect("manifest is UTF-8");
+    assert!(text.contains("\"chaos_seed\":41,"), "chaos_seed field moved? {text}");
+    fs::write(&manifest, text.replace("\"chaos_seed\":41,", "")).expect("rewrite manifest");
+
+    let out = moela_dse(&["resume", dir_str]);
+    let stderr = stderr_of(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "a chaos manifest without a seed is a user error (exit 2), stderr: {stderr}"
+    );
+    assert!(stderr.contains("error:"), "expected a structured diagnostic, got: {stderr}");
+    assert!(stderr.contains("chaos"), "the diagnostic names the contradiction: {stderr}");
+    assert!(!stderr.contains("panicked"), "the process must not panic: {stderr}");
+    let _ = fs::remove_dir_all(&dir);
+}

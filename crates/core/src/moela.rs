@@ -23,7 +23,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, RngCore};
 
 use moela_ml::{Dataset, RandomForest};
-use moela_moo::checkpoint::Resumable;
+use moela_moo::checkpoint::{CancelToken, Resumable};
 use moela_moo::fault::{fault_log_from, is_quarantined, EvalFault, FaultLog};
 use moela_moo::normalize::Normalizer;
 use moela_moo::run::{RunResult, TraceRecorder};
@@ -147,6 +147,7 @@ where
             finished: evaluator.poisoned(),
             evaluator,
             obs: Obs::disabled(),
+            cancel: CancelToken::default(),
         }
     }
 
@@ -204,6 +205,7 @@ where
             last_generation: value.field("last_generation")?.as_usize()?,
             finished: value.field("finished")?.as_bool()?,
             obs: Obs::disabled(),
+            cancel: CancelToken::default(),
         })
     }
 }
@@ -230,6 +232,9 @@ pub struct MoelaState<'p, P: Problem> {
     finished: bool,
     /// Telemetry handle (never checkpointed; disabled by default).
     obs: Obs,
+    /// Cooperative cancellation flag (never checkpointed; inert
+    /// unless the driver installs a shared token).
+    cancel: CancelToken,
 }
 
 impl<'p, P> MoelaState<'p, P>
@@ -262,6 +267,12 @@ where
     /// Installs the observability handle phase spans are reported
     /// through. Telemetry is write-only: it never alters an RNG draw,
     /// an evaluation, or a trace byte.
+    /// Installs a cooperative cancellation token checked at step
+    /// boundaries (see [`CancelToken`]).
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
     pub fn set_obs(&mut self, obs: Obs) {
         self.evaluator.set_obs(obs.clone());
         self.obs = obs;
@@ -275,6 +286,11 @@ where
     /// Executes one generation. Returns `false` — drawing no RNG values —
     /// once the run has finished.
     pub fn step(&mut self, rng: &mut dyn RngCore) -> bool {
+        if self.cancel.is_cancelled() {
+            // Cancelled at a step boundary: draw nothing, mutate
+            // nothing, stay snapshottable and resumable.
+            return false;
+        }
         let mut rng = rng;
         if self.finished || self.generation >= self.config.generations || self.evaluator.poisoned()
         {
@@ -562,6 +578,10 @@ where
 
     fn fault_error(&self) -> Option<&EvalFault> {
         MoelaState::fault_error(self)
+    }
+
+    fn set_cancel(&mut self, token: CancelToken) {
+        MoelaState::set_cancel(self, token);
     }
 
     fn set_obs(&mut self, obs: Obs) {

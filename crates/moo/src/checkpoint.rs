@@ -25,6 +25,9 @@
 //! context differ), so this trait covers only the uniform part: stepping,
 //! snapshotting and finishing.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use rand::RngCore;
 
 use moela_obs::Obs;
@@ -32,6 +35,37 @@ use moela_persist::{SolutionCodec, Value};
 
 use crate::fault::{EvalFault, FaultLog};
 use crate::run::RunResult;
+
+/// A shared cooperative-cancellation flag checked at step boundaries.
+///
+/// Clones share one flag. The driver (or a job server) keeps one clone
+/// and installs another via [`Resumable::set_cancel`]; once
+/// [`CancelToken::cancel`] is called, the optimizer's next
+/// [`Resumable::step`] returns `false` *without drawing a single RNG
+/// value or mutating state*, leaving the run at a valid checkpoint
+/// boundary. The token is never part of a snapshot: a restored run
+/// starts with a fresh, un-cancelled token.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
 
 /// A checkpointable optimizer run in progress.
 ///
@@ -75,6 +109,16 @@ pub trait Resumable<C: SolutionCodec<Self::Solution>> {
     fn fault_error(&self) -> Option<&EvalFault> {
         None
     }
+
+    /// Installs a cooperative-cancellation token. After the token is
+    /// cancelled, [`step`] must return `false` immediately — drawing no
+    /// RNG values and mutating nothing — so the state can still be
+    /// snapshotted at the boundary and resumed later. The default
+    /// ignores the token (external implementors are then only
+    /// cancellable between steps, by the driver's own check).
+    ///
+    /// [`step`]: Resumable::step
+    fn set_cancel(&mut self, _token: CancelToken) {}
 
     /// Installs an observability handle the optimizer reports phase
     /// spans and counters through. Called by the driver after `init` or

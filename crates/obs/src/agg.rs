@@ -68,6 +68,34 @@ impl MetricsAggregator {
         self.last_t_us.saturating_sub(self.first_t_us.unwrap_or(0))
     }
 
+    /// Current value of a gauge (`None` when never set).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    /// A cheap live snapshot for polling while a run is still in flight
+    /// (the job server's `GET /jobs/{id}`): evaluation/generation
+    /// counters, throughput over the process wall-clock window, and the
+    /// latest PHV gauge — no histograms, no per-phase breakdown. Safe to
+    /// call at any event boundary; [`MetricsAggregator::render`] remains
+    /// the full end-of-run report.
+    pub fn summary(&self) -> Value {
+        let wall_us = self.wall_us();
+        let evaluations = self.counter("evaluations");
+        let evals_per_sec =
+            if wall_us > 0 { evaluations as f64 / (wall_us as f64 / 1e6) } else { 0.0 };
+        let mut fields = vec![
+            ("wall_us", Value::U64(wall_us)),
+            ("evaluations", Value::U64(evaluations)),
+            ("generations", Value::U64(self.counter("generations"))),
+            ("evals_per_sec", Value::F64(evals_per_sec)),
+        ];
+        if let Some(phv) = self.gauge("phv") {
+            fields.push(("phv", Value::F64(phv)));
+        }
+        Value::object(fields)
+    }
+
     /// Render the aggregate as the body of `metrics.json`.
     pub fn render(&self) -> Value {
         let wall_us = self.wall_us();
@@ -214,6 +242,24 @@ mod tests {
         let v = agg.render();
         let rate = v.field("evals_per_sec").unwrap().as_f64().unwrap();
         assert!((rate - 200.0).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn summary_is_a_cheap_live_subset() {
+        let mut agg = MetricsAggregator::new();
+        let v = agg.summary();
+        assert_eq!(v.field("evaluations").unwrap().as_u64().unwrap(), 0);
+        assert!(v.field_opt("phv").is_none());
+        agg.record(&Event::Counter { name: "evaluations", delta: 50, t_us: 0 });
+        agg.record(&Event::Counter { name: "generations", delta: 2, t_us: 100 });
+        agg.record(&Event::Gauge { name: "phv", value: 0.5, t_us: 1_000_000 });
+        let v = agg.summary();
+        assert_eq!(v.field("evaluations").unwrap().as_u64().unwrap(), 50);
+        assert_eq!(v.field("generations").unwrap().as_u64().unwrap(), 2);
+        let rate = v.field("evals_per_sec").unwrap().as_f64().unwrap();
+        assert!((rate - 50.0).abs() < 1e-9, "rate {rate}");
+        assert_eq!(v.field("phv").unwrap().as_f64().unwrap(), 0.5);
+        assert!(v.field_opt("phases").is_none(), "summary must stay lightweight");
     }
 
     #[test]

@@ -6,8 +6,11 @@
 //!   checkpoints/     # rotating MOELA-CKPT files (see `checkpoint`)
 //!   trace.csv        # deterministic convergence trace
 //!   front.csv        # final Pareto front
+//!   trace.json       # same trace, machine-readable (no reparsing CSV)
+//!   front.json       # same front, machine-readable
 //!   events.jsonl     # append-only telemetry event log (when obs is on)
 //!   metrics.json     # end-of-run phase metrics (when obs is on)
+//!   job.json         # job-state manifest (only for server-managed runs)
 //! ```
 //!
 //! The manifest is plain JSON (human-inspectable, no checksum header) and
@@ -91,6 +94,25 @@ impl RunStore {
         self.root.join("health.json")
     }
 
+    /// `RUN_DIR/trace.json` — the machine-readable convergence trace
+    /// (same deterministic data as `trace.csv`, no CSV reparsing).
+    pub fn trace_json_path(&self) -> PathBuf {
+        self.root.join("trace.json")
+    }
+
+    /// `RUN_DIR/front.json` — the machine-readable final front.
+    pub fn front_json_path(&self) -> PathBuf {
+        self.root.join("front.json")
+    }
+
+    /// `RUN_DIR/job.json` — the job-state manifest maintained by the
+    /// serving layer for runs it owns (id, submitted spec, lifecycle
+    /// state). Absent for plain CLI runs; a restarted server rediscovers
+    /// its in-flight jobs from these files.
+    pub fn job_path(&self) -> PathBuf {
+        self.root.join("job.json")
+    }
+
     /// `RUN_DIR/events.jsonl` — the append-only telemetry event log.
     /// Resumed runs append; the file is never truncated.
     pub fn events_path(&self) -> PathBuf {
@@ -130,6 +152,30 @@ impl RunStore {
         write_atomic(&self.front_path(), csv.as_bytes())
     }
 
+    /// Writes `trace.json` (atomically; deterministic bytes for equal
+    /// values, like every JSON artifact in the store).
+    pub fn write_trace_json(&self, trace: &Value) -> Result<(), PersistError> {
+        write_atomic(&self.trace_json_path(), encode::to_string(trace).as_bytes())
+    }
+
+    /// Writes `front.json`.
+    pub fn write_front_json(&self, front: &Value) -> Result<(), PersistError> {
+        write_atomic(&self.front_json_path(), encode::to_string(front).as_bytes())
+    }
+
+    /// Writes the `job.json` job-state manifest (atomically, so a crash
+    /// mid-transition leaves the previous state readable).
+    pub fn write_job(&self, job: &Value) -> Result<(), PersistError> {
+        write_atomic(&self.job_path(), encode::to_string(job).as_bytes())
+    }
+
+    /// Reads and parses `job.json`.
+    pub fn read_job(&self) -> Result<Value, PersistError> {
+        let path = self.job_path();
+        let text = fs::read_to_string(&path).map_err(|e| PersistError::io(&path, e))?;
+        decode::from_str(&text)
+    }
+
     /// Writes `metrics.json` — the end-of-run phase-metrics report
     /// (per-phase timing, throughput, fault counters, PHV series).
     /// Wall-clock data lives only here, in `events.jsonl`, and on
@@ -162,14 +208,35 @@ mod tests {
         store.write_trace("generation,evaluations,phv\n").unwrap();
         store.write_front("obj0,obj1\n").unwrap();
         store.write_metrics(&Value::object(vec![("wall_us", Value::U64(1))])).unwrap();
+        store.write_trace_json(&Value::object(vec![("points", Value::Array(vec![]))])).unwrap();
+        store.write_front_json(&Value::object(vec![("objectives", Value::Array(vec![]))])).unwrap();
         assert!(store.trace_path().is_file());
         assert!(store.front_path().is_file());
+        assert!(store.trace_json_path().is_file());
+        assert!(store.front_json_path().is_file());
         // No health.json: current runs never write one, but the path
         // accessor survives for old run directories.
         assert!(!store.health_path().is_file());
         assert_eq!(store.health_path(), root.join("health.json"));
         assert!(store.metrics_path().is_file());
         assert_eq!(store.events_path(), root.join("events.jsonl"));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn job_manifest_round_trips() {
+        let root = temp_root("job");
+        let store = RunStore::create(&root).unwrap();
+        assert!(!store.job_path().is_file());
+        assert!(store.read_job().is_err());
+        let job = Value::object(vec![
+            ("id", Value::Str("job-000001".into())),
+            ("state", Value::Str("queued".into())),
+        ]);
+        store.write_job(&job).unwrap();
+        let back = store.read_job().unwrap();
+        assert_eq!(back.field("id").unwrap().as_str().unwrap(), "job-000001");
+        assert_eq!(back.field("state").unwrap().as_str().unwrap(), "queued");
         fs::remove_dir_all(&root).unwrap();
     }
 

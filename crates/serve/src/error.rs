@@ -1,0 +1,64 @@
+//! Structured JSON error bodies: every failure the API can produce is
+//! `{"error":{"status":…,"code":…,"message":…}}` so clients never have
+//! to scrape prose off a status line.
+
+use moela_persist::Value;
+
+use crate::http::Response;
+
+/// A user-facing API failure.
+#[derive(Debug)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable discriminator (e.g. `queue_full`).
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl ApiError {
+    /// Builds an error.
+    pub fn new(status: u16, code: &'static str, message: impl Into<String>) -> Self {
+        ApiError { status, code, message: message.into() }
+    }
+
+    /// `404 not_found`.
+    pub fn not_found(message: impl Into<String>) -> Self {
+        Self::new(404, "not_found", message)
+    }
+
+    /// `400 bad_request`.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(400, "bad_request", message)
+    }
+
+    /// Renders the structured JSON response.
+    pub fn response(&self) -> Response {
+        let body = Value::object(vec![(
+            "error",
+            Value::object(vec![
+                ("status", Value::U64(u64::from(self.status))),
+                ("code", Value::Str(self.code.to_owned())),
+                ("message", Value::Str(self.message.clone())),
+            ]),
+        )]);
+        Response::json(self.status, &body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_as_structured_json() {
+        let resp = ApiError::new(429, "queue_full", "queue is full").response();
+        assert_eq!(resp.status, 429);
+        let text = String::from_utf8(resp.body).expect("utf-8");
+        assert_eq!(
+            text,
+            "{\"error\":{\"status\":429,\"code\":\"queue_full\",\"message\":\"queue is full\"}}"
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! A minimal, defensive HTTP/1.1 layer over `std::net` — no crates.io.
+//!
+//! Scope is deliberately narrow: one request per connection
+//! (`Connection: close` on every response), bodies delimited by
+//! `Content-Length`, and hard caps everywhere a client could make the
+//! server buffer without bound. Slow or abusive clients are cut off by
+//! the socket read/write timeouts the server installs before parsing.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+use moela_persist::{encode, Value};
+
+/// Upper bound on the request line plus all headers, in bytes.
+const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Upper bound on a single header line, in bytes.
+const MAX_LINE_BYTES: usize = 4 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Decoded path without the query string (e.g. `/jobs/job-000001`).
+    pub path: String,
+    /// Lowercased header names with their raw values.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with this (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed; each maps to one response status.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The client sent nothing or stalled past the read timeout (408,
+    /// or silently dropped when not a single byte arrived).
+    Timeout,
+    /// The peer closed before a full request arrived.
+    Disconnected,
+    /// The request violates the framing rules (400).
+    Malformed(String),
+    /// The head or body exceeds the configured cap (413).
+    TooLarge(String),
+}
+
+/// Reads one HTTP/1.1 request from `stream`. The caller must have set a
+/// read timeout on the socket; a stalled client surfaces as
+/// [`HttpError::Timeout`].
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut head_bytes = 0usize;
+
+    let request_line = read_line(&mut reader, &mut head_bytes)?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default().to_ascii_uppercase();
+    let target = parts.next().unwrap_or_default().to_owned();
+    let version = parts.next().unwrap_or_default();
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad request line {request_line:?}")));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::Malformed(format!("bad request target {target:?}")));
+    }
+    let path = target.split('?').next().unwrap_or_default().to_owned();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader, &mut head_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))?,
+        None => 0,
+    };
+    if content_length > max_body {
+        return Err(HttpError::TooLarge(format!(
+            "request body of {content_length} bytes exceeds the {max_body}-byte cap"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(io_to_http)?;
+    }
+    Ok(Request { method, path, headers, body })
+}
+
+/// Reads one CRLF- (or LF-) terminated line, charging it against the
+/// per-request head budget.
+fn read_line(
+    reader: &mut BufReader<&mut TcpStream>,
+    head_bytes: &mut usize,
+) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() && *head_bytes == 0 {
+                    return Err(HttpError::Disconnected);
+                }
+                return Err(HttpError::Malformed("connection closed mid-request".into()));
+            }
+            Ok(_) => {}
+            Err(e) => return Err(io_to_http(e)),
+        }
+        *head_bytes += 1;
+        if *head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "request head exceeds the {MAX_HEAD_BYTES}-byte cap"
+            )));
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        buf.push(byte[0]);
+        if buf.len() > MAX_LINE_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "header line exceeds the {MAX_LINE_BYTES}-byte cap"
+            )));
+        }
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| HttpError::Malformed("non-UTF-8 request head".into()))
+}
+
+fn io_to_http(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+        std::io::ErrorKind::UnexpectedEof => {
+            HttpError::Malformed("connection closed mid-request".into())
+        }
+        _ => HttpError::Malformed(format!("read error: {e}")),
+    }
+}
+
+/// One response, always `Connection: close`.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond Content-Type/Content-Length/Connection.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Type` value.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response from a [`Value`].
+    pub fn json(status: u16, body: &Value) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: encode::to_string(body).into_bytes(),
+        }
+    }
+
+    /// A JSON response from already-encoded bytes (artifact files).
+    pub fn json_bytes(status: u16, body: Vec<u8>) -> Self {
+        Response { status, headers: Vec::new(), content_type: "application/json", body }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.to_owned(), value));
+        self
+    }
+
+    /// Serializes status line, headers and body onto `stream`. Write
+    /// errors are returned for accounting but there is nothing further
+    /// to do with a vanished client.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status));
+        head.push_str(&format!("Content-Type: {}\r\n", self.content_type));
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("Connection: close\r\n\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// The reason phrase for every status this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    /// Runs the parser against raw client bytes over a real socket pair.
+    fn parse(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&raw).expect("send");
+            // Keep the socket open briefly so a short read is a timeout,
+            // not an EOF.
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        stream.set_read_timeout(Some(Duration::from_millis(150))).expect("timeout");
+        let out = read_request(&mut stream, max_body);
+        client.join().expect("client");
+        out
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req =
+            parse(b"POST /jobs?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd", 1024)
+                .expect("ok");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_before_reading_them() {
+        let err = parse(b"POST /jobs HTTP/1.1\r\nContent-Length: 99999\r\n\r\n", 1024)
+            .expect_err("too large");
+        assert!(matches!(err, HttpError::TooLarge(_)), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        let err = parse(b"NOT-HTTP\r\n\r\n", 1024).expect_err("malformed");
+        assert!(matches!(err, HttpError::Malformed(_)), "{err:?}");
+        let err = parse(b"GET jobs HTTP/1.1\r\n\r\n", 1024).expect_err("relative target");
+        assert!(matches!(err, HttpError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn stalled_clients_time_out() {
+        let err = parse(b"GET /jobs HTTP/1.1\r\n", 1024).expect_err("stall");
+        assert!(matches!(err, HttpError::Timeout), "{err:?}");
+    }
+
+    #[test]
+    fn response_serializes_with_length_and_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            Response::json(429, &Value::object(vec![("ok", Value::Bool(false))]))
+                .with_header("Retry-After", "1".into())
+                .write_to(&mut stream)
+                .expect("write");
+        });
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let mut out = String::new();
+        client.read_to_string(&mut out).expect("read");
+        server.join().expect("server");
+        assert!(out.starts_with("HTTP/1.1 429 Too Many Requests\r\n"), "{out}");
+        assert!(out.contains("Retry-After: 1\r\n"), "{out}");
+        assert!(out.contains("Connection: close\r\n"), "{out}");
+        assert!(out.ends_with("{\"ok\":false}"), "{out}");
+    }
+}

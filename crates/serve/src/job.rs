@@ -1,0 +1,270 @@
+//! Job identity, lifecycle states, and the in-memory record the manager
+//! and the HTTP layer share.
+//!
+//! The lifecycle is a small state machine:
+//!
+//! ```text
+//! queued ──▶ running ──▶ done
+//!    │          │  ├───▶ failed
+//!    │          │  ├───▶ cancelled    (DELETE while running)
+//!    │          │  └───▶ interrupted  (graceful drain / dead server)
+//!    └─────────▶ cancelled            (DELETE while queued)
+//! ```
+//!
+//! `cancelled` and `interrupted` both leave a resumable `RunStore`
+//! behind; a restarted server re-queues `interrupted` (and stale
+//! `running`/`queued`) jobs, while `cancelled` stays parked until a
+//! human resumes it with `moela-dse resume`.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use moela_moo::checkpoint::CancelToken;
+use moela_obs::MetricsAggregator;
+use moela_persist::{RunStore, Value};
+
+/// `job.json` format version.
+pub const JOB_FORMAT: u64 = 1;
+
+/// One job's lifecycle state.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub enum JobState {
+    /// Accepted, waiting for a run worker.
+    Queued,
+    /// A worker is driving the optimizer.
+    Running,
+    /// Finished; `front.json`/`trace.json` are ready.
+    Done,
+    /// The run errored; see the record's `error`.
+    Failed,
+    /// Cancelled by the client at a step boundary (resumable).
+    Cancelled,
+    /// Parked at a checkpoint by a drain or a dead server (resumed
+    /// automatically on restart).
+    Interrupted,
+}
+
+impl JobState {
+    /// All states with their wire names.
+    pub const ALL: [(JobState, &'static str); 6] = [
+        (JobState::Queued, "queued"),
+        (JobState::Running, "running"),
+        (JobState::Done, "done"),
+        (JobState::Failed, "failed"),
+        (JobState::Cancelled, "cancelled"),
+        (JobState::Interrupted, "interrupted"),
+    ];
+
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        Self::ALL.iter().find(|(s, _)| *s == self).map(|(_, n)| *n).expect("every state listed")
+    }
+
+    /// Parses a wire name.
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.iter().find(|(_, n)| *n == name).map(|(s, _)| *s)
+    }
+
+    /// Whether the job can never run again without outside intervention.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+}
+
+/// The mutable half of a job record, guarded by one mutex.
+#[derive(Debug, Default)]
+pub struct JobCell {
+    state: Option<JobState>,
+    /// Set when a client cancelled (distinguishes `cancelled` from
+    /// `interrupted` when the worker parks the run).
+    cancel_requested: bool,
+    error: Option<String>,
+    summary: Option<Value>,
+}
+
+/// A shared handle to the job's live in-run metrics aggregator. `None`
+/// until the runner publishes one, and across restarts.
+pub type LiveMetrics = Mutex<Option<Arc<Mutex<MetricsAggregator>>>>;
+
+/// One job known to the manager (in any state).
+#[derive(Debug)]
+pub struct JobRecord {
+    /// Stable identity, also the run directory name (`job-000001`).
+    pub id: String,
+    /// Monotonic submission sequence (listing and recovery order).
+    pub seq: u64,
+    /// The job's run directory (a `RunStore` layout).
+    pub dir: PathBuf,
+    /// The validated, normalized submission spec.
+    pub spec: Value,
+    /// Cooperative cancellation flag threaded into the optimizer.
+    pub cancel: CancelToken,
+    /// Live metrics published by the runner while the job runs.
+    pub live: LiveMetrics,
+    cell: Mutex<JobCell>,
+}
+
+impl JobRecord {
+    /// A fresh record in `state`.
+    pub fn new(id: String, seq: u64, dir: PathBuf, spec: Value, state: JobState) -> Self {
+        JobRecord {
+            id,
+            seq,
+            dir,
+            spec,
+            cancel: CancelToken::new(),
+            live: Mutex::new(None),
+            cell: Mutex::new(JobCell {
+                state: Some(state),
+                cancel_requested: false,
+                error: None,
+                summary: None,
+            }),
+        }
+    }
+
+    /// The current lifecycle state.
+    pub fn state(&self) -> JobState {
+        self.cell.lock().expect("job cell").state.expect("state always set")
+    }
+
+    /// Transitions to `state`, optionally recording a failure message or
+    /// a completion summary.
+    pub fn set_state(&self, state: JobState, error: Option<String>, summary: Option<Value>) {
+        let mut cell = self.cell.lock().expect("job cell");
+        cell.state = Some(state);
+        if error.is_some() {
+            cell.error = error;
+        }
+        if summary.is_some() {
+            cell.summary = summary;
+        }
+    }
+
+    /// Marks that a client asked for cancellation (so a parked run
+    /// reports `cancelled`, not `interrupted`).
+    pub fn request_cancel(&self) {
+        self.cell.lock().expect("job cell").cancel_requested = true;
+        self.cancel.cancel();
+    }
+
+    /// Whether a client asked for cancellation.
+    pub fn cancel_requested(&self) -> bool {
+        self.cell.lock().expect("job cell").cancel_requested
+    }
+
+    /// The failure message, if the job failed.
+    pub fn error(&self) -> Option<String> {
+        self.cell.lock().expect("job cell").error.clone()
+    }
+
+    /// The completion summary, if the job finished.
+    pub fn summary(&self) -> Option<Value> {
+        self.cell.lock().expect("job cell").summary.clone()
+    }
+
+    /// A live snapshot from the in-run metrics aggregator, when the job
+    /// is running and the runner has published one.
+    pub fn live_summary(&self) -> Option<Value> {
+        let slot = self.live.lock().ok()?;
+        let agg = slot.as_ref()?;
+        let agg = agg.lock().ok()?;
+        Some(agg.summary())
+    }
+
+    /// Renders the record for the API. `detail` adds the spec, live
+    /// metrics, summary, and error; the list view omits them.
+    pub fn to_value(&self, detail: bool) -> Value {
+        let mut fields = vec![
+            ("id", Value::Str(self.id.clone())),
+            ("seq", Value::U64(self.seq)),
+            ("state", Value::Str(self.state().name().to_owned())),
+        ];
+        if detail {
+            fields.push(("dir", Value::Str(self.dir.display().to_string())));
+            fields.push(("spec", self.spec.clone()));
+            if let Some(live) = self.live_summary() {
+                fields.push(("live", live));
+            }
+            if let Some(summary) = self.summary() {
+                fields.push(("summary", summary));
+            }
+            if let Some(error) = self.error() {
+                fields.push(("error", Value::Str(error)));
+            }
+        }
+        Value::object(fields)
+    }
+
+    /// The persistent `job.json` document for this record.
+    pub fn manifest(&self) -> Value {
+        let mut fields = vec![
+            ("format", Value::U64(JOB_FORMAT)),
+            ("id", Value::Str(self.id.clone())),
+            ("seq", Value::U64(self.seq)),
+            ("state", Value::Str(self.state().name().to_owned())),
+            ("spec", self.spec.clone()),
+        ];
+        if let Some(error) = self.error() {
+            fields.push(("error", Value::Str(error)));
+        }
+        if let Some(summary) = self.summary() {
+            fields.push(("summary", summary));
+        }
+        Value::object(fields)
+    }
+
+    /// Writes `job.json` into the run directory. I/O failures are
+    /// returned as text: losing a state write must fail the transition
+    /// loudly, never crash the server.
+    pub fn persist(&self) -> Result<(), String> {
+        let store = RunStore::create(&self.dir)
+            .map_err(|e| format!("cannot open run dir for {}: {e}", self.id))?;
+        store.write_job(&self.manifest()).map_err(|e| format!("cannot persist {}: {e}", self.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_names_round_trip() {
+        for (state, name) in JobState::ALL {
+            assert_eq!(JobState::parse(name), Some(state));
+            assert_eq!(state.name(), name);
+        }
+        assert_eq!(JobState::parse("nope"), None);
+    }
+
+    #[test]
+    fn terminality_matches_the_lifecycle() {
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(!JobState::Interrupted.is_terminal());
+    }
+
+    #[test]
+    fn record_transitions_and_renders() {
+        let spec = Value::object(vec![("algorithm", Value::Str("nsga2".into()))]);
+        let record =
+            JobRecord::new("job-000001".into(), 1, PathBuf::from("/tmp/x"), spec, JobState::Queued);
+        assert_eq!(record.state(), JobState::Queued);
+        assert!(!record.cancel.is_cancelled());
+        record.set_state(JobState::Running, None, None);
+        record.request_cancel();
+        assert!(record.cancel.is_cancelled());
+        assert!(record.cancel_requested());
+        record.set_state(JobState::Cancelled, None, None);
+        let v = record.to_value(true);
+        assert_eq!(v.field("state").unwrap().as_str().unwrap(), "cancelled");
+        assert_eq!(v.field("spec").unwrap().field("algorithm").unwrap().as_str().unwrap(), "nsga2");
+        let list = record.to_value(false);
+        assert!(list.field_opt("spec").is_none());
+        let manifest = record.manifest();
+        assert_eq!(manifest.field("format").unwrap().as_u64().unwrap(), JOB_FORMAT);
+    }
+}

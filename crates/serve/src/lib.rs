@@ -1,0 +1,39 @@
+//! moela-serve: an embedded DSE job server.
+//!
+//! A dependency-free (std-only) HTTP/1.1 front end over the existing
+//! run/checkpoint machinery: clients `POST /jobs` a JSON spec, a
+//! bounded queue feeds a fixed pool of run workers, each worker drives
+//! an optimizer through the same start/step/finish loop the CLI uses
+//! (so served artifacts are byte-identical to `moela-dse run` at the
+//! same seed), and every lifecycle transition is persisted to the job's
+//! `RunStore` so a killed server rediscovers and resumes its in-flight
+//! jobs on restart.
+//!
+//! The crate deliberately knows nothing about algorithms or problems:
+//! the embedding binary supplies a [`JobRunner`]. Layering:
+//!
+//! ```text
+//! http    one-request-per-connection parser/writer, hard caps
+//! error   structured JSON error bodies
+//! job     lifecycle states + the shared per-job record
+//! metrics whole-server counters (GET /metrics)
+//! runner  the JobRunner seam the embedding binary implements
+//! manager bounded queue, worker pool, recovery, drain
+//! server  accept loop, connection pool, routing, event streaming
+//! ```
+
+mod error;
+mod http;
+mod job;
+mod manager;
+mod metrics;
+mod runner;
+mod server;
+
+pub use error::ApiError;
+pub use http::{read_request, HttpError, Request, Response};
+pub use job::{JobRecord, JobState, LiveMetrics, JOB_FORMAT};
+pub use manager::JobManager;
+pub use metrics::ServerMetrics;
+pub use runner::{JobContext, JobRunner, RunOutcome};
+pub use server::{ServeConfig, Server};

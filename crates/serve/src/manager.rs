@@ -1,0 +1,551 @@
+//! The job manager: a bounded submission queue, a fixed pool of run
+//! workers, lifecycle bookkeeping, and crash recovery.
+//!
+//! All shared state lives in one `Mutex<Inner>` plus a `Condvar`; no
+//! lock is ever held across a runner call or a disk write. Backpressure
+//! is strict: when the queue holds `queue_depth` jobs, submissions are
+//! refused with 429 rather than buffered — memory use is bounded by
+//! configuration, not by client enthusiasm.
+//!
+//! A graceful drain stops workers from picking up new work, fires every
+//! running job's cancel token so it parks at the next step boundary,
+//! and waits for the pool to exit. Queued jobs stay `queued` in their
+//! `job.json`; a restarted server rediscovers them (and any `running`
+//! jobs a crash left behind) and re-queues them in submission order.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use moela_persist::{decode, Value};
+
+use crate::error::ApiError;
+use crate::job::{JobRecord, JobState};
+use crate::metrics::ServerMetrics;
+use crate::runner::{JobContext, JobRunner, RunOutcome};
+
+/// Mutable manager state, guarded by [`JobManager::inner`].
+#[derive(Debug, Default)]
+struct Inner {
+    /// Every known job, keyed by submission sequence.
+    jobs: BTreeMap<u64, Arc<JobRecord>>,
+    /// Sequences waiting for a worker, oldest first.
+    queue: VecDeque<u64>,
+    /// Jobs currently inside a runner call.
+    running: usize,
+    /// Next submission sequence to hand out.
+    next_seq: u64,
+    /// Set once by [`JobManager::drain`]; never cleared.
+    draining: bool,
+    /// Worker threads that have not exited yet.
+    workers_alive: usize,
+}
+
+/// Owns the queue and the run-worker pool. Construct with
+/// [`JobManager::start`]; shut down with [`JobManager::drain`].
+pub struct JobManager {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    runner: Arc<dyn JobRunner>,
+    metrics: Arc<ServerMetrics>,
+    run_root: PathBuf,
+    queue_depth: usize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for JobManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobManager")
+            .field("run_root", &self.run_root)
+            .field("queue_depth", &self.queue_depth)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobManager {
+    /// Creates the manager: recovers jobs left behind in `run_root` by a
+    /// previous process, then starts `workers` run threads.
+    pub fn start(
+        run_root: PathBuf,
+        queue_depth: usize,
+        workers: usize,
+        runner: Arc<dyn JobRunner>,
+        metrics: Arc<ServerMetrics>,
+    ) -> std::io::Result<Arc<Self>> {
+        std::fs::create_dir_all(&run_root)?;
+        let manager = Arc::new(JobManager {
+            inner: Mutex::new(Inner::default()),
+            cond: Condvar::new(),
+            runner,
+            metrics,
+            run_root,
+            queue_depth: queue_depth.max(1),
+            workers: Mutex::new(Vec::new()),
+        });
+        manager.recover()?;
+        {
+            let mut handles = manager.workers.lock().expect("workers");
+            manager.inner.lock().expect("inner").workers_alive = workers.max(1);
+            for n in 0..workers.max(1) {
+                let m = Arc::clone(&manager);
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("moela-run-{n}"))
+                        .spawn(move || m.worker_loop())
+                        .expect("spawn run worker"),
+                );
+            }
+        }
+        Ok(manager)
+    }
+
+    /// Scans `run_root` for `job.json` manifests from a previous life.
+    /// Unfinished jobs (`queued`, `running`, `interrupted`) are
+    /// re-queued in submission order; finished ones are kept as records
+    /// so the API can still report them.
+    fn recover(&self) -> std::io::Result<()> {
+        let mut found: Vec<(u64, Arc<JobRecord>, bool)> = Vec::new();
+        for entry in std::fs::read_dir(&self.run_root)? {
+            let dir = entry?.path();
+            let manifest_path = dir.join("job.json");
+            if !manifest_path.is_file() {
+                continue;
+            }
+            let text = std::fs::read_to_string(&manifest_path)?;
+            let Ok(manifest) = decode::from_str(&text) else {
+                eprintln!("serve: skipping unreadable manifest {}", manifest_path.display());
+                continue;
+            };
+            let Some(record) = record_from_manifest(&manifest, dir) else {
+                eprintln!("serve: skipping malformed manifest {}", manifest_path.display());
+                continue;
+            };
+            let unfinished = !record.state().is_terminal();
+            found.push((record.seq, Arc::new(record), unfinished));
+        }
+        found.sort_by_key(|(seq, _, _)| *seq);
+
+        let mut requeue = Vec::new();
+        {
+            let mut inner = self.inner.lock().expect("inner");
+            for (seq, record, unfinished) in found {
+                inner.next_seq = inner.next_seq.max(seq + 1);
+                if unfinished {
+                    record.set_state(JobState::Queued, None, None);
+                    inner.queue.push_back(seq);
+                    requeue.push(Arc::clone(&record));
+                    ServerMetrics::bump(&self.metrics.recovered);
+                }
+                inner.jobs.insert(seq, record);
+            }
+        }
+        // Persist the queued state outside the lock; a failure here only
+        // means the next crash re-runs the same recovery.
+        for record in requeue {
+            if let Err(e) = record.persist() {
+                eprintln!("serve: {e}");
+            }
+        }
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Validates and enqueues a job. Refuses with 503 while draining and
+    /// 429 (plus `Retry-After`) when the queue is at capacity.
+    pub fn submit(&self, spec: &Value) -> Result<Arc<JobRecord>, ApiError> {
+        let spec =
+            self.runner.validate(spec).map_err(|msg| ApiError::new(400, "invalid_spec", msg))?;
+        let record = {
+            let mut inner = self.inner.lock().expect("inner");
+            if inner.draining {
+                return Err(ApiError::new(503, "draining", "server is draining"));
+            }
+            if inner.queue.len() >= self.queue_depth {
+                ServerMetrics::bump(&self.metrics.rejected_full);
+                return Err(ApiError::new(
+                    429,
+                    "queue_full",
+                    format!("submission queue is full ({} jobs)", self.queue_depth),
+                ));
+            }
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            let id = format!("job-{seq:06}");
+            let dir = self.run_root.join(&id);
+            let record = Arc::new(JobRecord::new(id, seq, dir, spec, JobState::Queued));
+            inner.jobs.insert(seq, Arc::clone(&record));
+            inner.queue.push_back(seq);
+            record
+        };
+        ServerMetrics::bump(&self.metrics.submitted);
+        if let Err(e) = record.persist() {
+            eprintln!("serve: {e}");
+        }
+        self.cond.notify_one();
+        Ok(record)
+    }
+
+    /// All jobs in submission order.
+    pub fn list(&self) -> Vec<Arc<JobRecord>> {
+        self.inner.lock().expect("inner").jobs.values().cloned().collect()
+    }
+
+    /// Looks up a job by id.
+    pub fn get(&self, id: &str) -> Option<Arc<JobRecord>> {
+        self.inner.lock().expect("inner").jobs.values().find(|r| r.id == id).cloned()
+    }
+
+    /// Cancels a job: a queued job is removed from the queue outright; a
+    /// running job has its token fired and parks at the next step
+    /// boundary. Terminal jobs refuse with 409.
+    pub fn cancel(&self, id: &str) -> Result<Arc<JobRecord>, ApiError> {
+        let record = self.get(id).ok_or_else(|| ApiError::not_found(format!("no job {id}")))?;
+        let was_queued = {
+            let mut inner = self.inner.lock().expect("inner");
+            match record.state() {
+                JobState::Queued => {
+                    inner.queue.retain(|&seq| seq != record.seq);
+                    record.request_cancel();
+                    record.set_state(JobState::Cancelled, None, None);
+                    true
+                }
+                JobState::Running => {
+                    record.request_cancel();
+                    false
+                }
+                state => {
+                    return Err(ApiError::new(
+                        409,
+                        "not_cancellable",
+                        format!("job {id} is already {}", state.name()),
+                    ));
+                }
+            }
+        };
+        if was_queued {
+            ServerMetrics::bump(&self.metrics.cancelled);
+            if let Err(e) = record.persist() {
+                eprintln!("serve: {e}");
+            }
+        }
+        Ok(record)
+    }
+
+    /// Graceful drain: stop handing out work, park every running job at
+    /// its next step boundary, and wait for the worker pool to exit.
+    /// Queued jobs are left `queued` on disk for the next process.
+    pub fn drain(&self) {
+        let running: Vec<Arc<JobRecord>> = {
+            let mut inner = self.inner.lock().expect("inner");
+            inner.draining = true;
+            inner.jobs.values().filter(|r| r.state() == JobState::Running).cloned().collect()
+        };
+        for record in running {
+            // Fire the token without marking a client cancel: the worker
+            // records the parked job as `interrupted`, not `cancelled`.
+            record.cancel.cancel();
+        }
+        self.cond.notify_all();
+        let mut inner = self.inner.lock().expect("inner");
+        while inner.running > 0 || inner.workers_alive > 0 {
+            inner = self.cond.wait(inner).expect("inner");
+        }
+        drop(inner);
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// One run worker: pop, run, record the outcome, repeat. Exits when
+    /// a drain begins.
+    fn worker_loop(&self) {
+        loop {
+            let record = {
+                let mut inner = self.inner.lock().expect("inner");
+                loop {
+                    if inner.draining {
+                        inner.workers_alive -= 1;
+                        self.cond.notify_all();
+                        return;
+                    }
+                    if let Some(seq) = inner.queue.pop_front() {
+                        let record = inner.jobs.get(&seq).expect("queued job exists").clone();
+                        inner.running += 1;
+                        break record;
+                    }
+                    inner = self.cond.wait(inner).expect("inner");
+                }
+            };
+
+            record.set_state(JobState::Running, None, None);
+            if let Err(e) = record.persist() {
+                eprintln!("serve: {e}");
+            }
+            let outcome = self.runner.run(JobContext {
+                id: &record.id,
+                dir: &record.dir,
+                spec: &record.spec,
+                cancel: record.cancel.clone(),
+                live: &record.live,
+            });
+            *record.live.lock().expect("live slot") = None;
+            let (state, error, summary) = match outcome {
+                Ok(RunOutcome::Completed { summary }) => {
+                    ServerMetrics::bump(&self.metrics.completed);
+                    (JobState::Done, None, Some(summary))
+                }
+                Ok(RunOutcome::Interrupted) if record.cancel_requested() => {
+                    ServerMetrics::bump(&self.metrics.cancelled);
+                    (JobState::Cancelled, None, None)
+                }
+                Ok(RunOutcome::Interrupted) => {
+                    ServerMetrics::bump(&self.metrics.interrupted);
+                    (JobState::Interrupted, None, None)
+                }
+                Err(message) => {
+                    ServerMetrics::bump(&self.metrics.failed);
+                    (JobState::Failed, Some(message), None)
+                }
+            };
+            record.set_state(state, error, summary);
+            if let Err(e) = record.persist() {
+                eprintln!("serve: {e}");
+            }
+            let mut inner = self.inner.lock().expect("inner");
+            inner.running -= 1;
+            self.cond.notify_all();
+        }
+    }
+}
+
+/// Rebuilds a [`JobRecord`] from a persisted `job.json`.
+fn record_from_manifest(manifest: &Value, dir: PathBuf) -> Option<JobRecord> {
+    let id = manifest.field_opt("id")?.as_str().ok()?.to_owned();
+    let seq = manifest.field_opt("seq")?.as_u64().ok()?;
+    let state = JobState::parse(manifest.field_opt("state")?.as_str().ok()?)?;
+    let spec = manifest.field_opt("spec")?.clone();
+    let record = JobRecord::new(id, seq, dir, spec, state);
+    let error = manifest.field_opt("error").and_then(|v| v.as_str().ok()).map(str::to_owned);
+    let summary = manifest.field_opt("summary").cloned();
+    if error.is_some() || summary.is_some() {
+        record.set_state(state, error, summary);
+    }
+    Some(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    /// A runner that "runs" by polling its cancel token: completes after
+    /// `steps` polls, or parks if cancelled first.
+    struct StubRunner {
+        steps: u64,
+        step_ms: u64,
+        started: AtomicU64,
+    }
+
+    impl StubRunner {
+        fn new(steps: u64, step_ms: u64) -> Self {
+            StubRunner { steps, step_ms, started: AtomicU64::new(0) }
+        }
+    }
+
+    impl JobRunner for StubRunner {
+        fn validate(&self, spec: &Value) -> Result<Value, String> {
+            if spec.field_opt("bad").is_some() {
+                return Err("bad spec".into());
+            }
+            Ok(spec.clone())
+        }
+
+        fn run(&self, ctx: JobContext<'_>) -> Result<RunOutcome, String> {
+            self.started.fetch_add(1, Ordering::SeqCst);
+            if ctx.spec.field_opt("fail").is_some() {
+                return Err("boom".into());
+            }
+            for _ in 0..self.steps {
+                if ctx.cancel.is_cancelled() {
+                    return Ok(RunOutcome::Interrupted);
+                }
+                std::thread::sleep(Duration::from_millis(self.step_ms));
+            }
+            Ok(RunOutcome::Completed { summary: Value::object(vec![("ok", Value::Bool(true))]) })
+        }
+    }
+
+    fn spec() -> Value {
+        Value::object(vec![("algorithm", Value::Str("stub".into()))])
+    }
+
+    fn wait_for(record: &JobRecord, state: JobState) {
+        // Generous deadline: the full workspace suite runs real optimizer
+        // e2e tests concurrently, and a starved worker thread can take
+        // seconds to pick a stub job up.
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while record.state() != state {
+            if std::time::Instant::now() >= deadline {
+                panic!("job {} never reached {state:?} (at {:?})", record.id, record.state());
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn jobs_run_to_completion_and_persist() {
+        let root = tempdir("complete");
+        let metrics = Arc::new(ServerMetrics::new());
+        let manager = JobManager::start(
+            root.clone(),
+            4,
+            2,
+            Arc::new(StubRunner::new(1, 1)),
+            Arc::clone(&metrics),
+        )
+        .expect("start");
+        let record = manager.submit(&spec()).expect("submit");
+        wait_for(&record, JobState::Done);
+        assert!(record.summary().is_some());
+        let on_disk = std::fs::read_to_string(record.dir.join("job.json")).expect("job.json");
+        assert!(on_disk.contains("\"state\":\"done\""), "{on_disk}");
+        manager.drain();
+        assert_eq!(metrics.completed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn full_queue_refuses_submissions() {
+        let root = tempdir("full");
+        let manager = JobManager::start(
+            root,
+            1,
+            1,
+            Arc::new(StubRunner::new(10_000, 5)),
+            Arc::new(ServerMetrics::new()),
+        )
+        .expect("start");
+        // First job occupies the single worker; second fills the queue.
+        let running = manager.submit(&spec()).expect("submit 1");
+        wait_for(&running, JobState::Running);
+        manager.submit(&spec()).expect("submit 2");
+        let err = manager.submit(&spec()).expect_err("queue full");
+        assert_eq!(err.status, 429);
+        assert_eq!(err.code, "queue_full");
+        manager.drain();
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_before_queueing() {
+        let root = tempdir("invalid");
+        let manager = JobManager::start(
+            root,
+            4,
+            1,
+            Arc::new(StubRunner::new(1, 1)),
+            Arc::new(ServerMetrics::new()),
+        )
+        .expect("start");
+        let err =
+            manager.submit(&Value::object(vec![("bad", Value::Bool(true))])).expect_err("invalid");
+        assert_eq!(err.status, 400);
+        assert!(manager.list().is_empty());
+        manager.drain();
+    }
+
+    #[test]
+    fn cancel_handles_every_lifecycle_stage() {
+        let root = tempdir("cancel");
+        let metrics = Arc::new(ServerMetrics::new());
+        let manager = JobManager::start(
+            root,
+            4,
+            1,
+            Arc::new(StubRunner::new(10_000, 5)),
+            Arc::clone(&metrics),
+        )
+        .expect("start");
+        let running = manager.submit(&spec()).expect("submit running");
+        wait_for(&running, JobState::Running);
+        let queued = manager.submit(&spec()).expect("submit queued");
+
+        // Queued: removed from the queue immediately.
+        manager.cancel(&queued.id).expect("cancel queued");
+        assert_eq!(queued.state(), JobState::Cancelled);
+        // Terminal: refused.
+        let err = manager.cancel(&queued.id).expect_err("cancel terminal");
+        assert_eq!(err.status, 409);
+        // Running: parks at the next step boundary as cancelled.
+        manager.cancel(&running.id).expect("cancel running");
+        wait_for(&running, JobState::Cancelled);
+        assert_eq!(metrics.cancelled.load(Ordering::Relaxed), 2);
+        manager.drain();
+    }
+
+    #[test]
+    fn drain_interrupts_running_and_leaves_queued_for_restart() {
+        let root = tempdir("drain");
+        let metrics = Arc::new(ServerMetrics::new());
+        let manager = JobManager::start(
+            root.clone(),
+            4,
+            1,
+            Arc::new(StubRunner::new(10_000, 5)),
+            Arc::clone(&metrics),
+        )
+        .expect("start");
+        let running = manager.submit(&spec()).expect("submit running");
+        wait_for(&running, JobState::Running);
+        let queued = manager.submit(&spec()).expect("submit queued");
+        manager.drain();
+        assert_eq!(running.state(), JobState::Interrupted);
+        assert_eq!(queued.state(), JobState::Queued);
+        let err = manager.submit(&spec()).expect_err("draining");
+        assert_eq!(err.status, 503);
+
+        // A fresh manager over the same root re-queues both and runs
+        // them to completion.
+        let metrics2 = Arc::new(ServerMetrics::new());
+        let revived =
+            JobManager::start(root, 4, 2, Arc::new(StubRunner::new(1, 1)), Arc::clone(&metrics2))
+                .expect("restart");
+        assert_eq!(metrics2.recovered.load(Ordering::Relaxed), 2);
+        let jobs = revived.list();
+        assert_eq!(jobs.len(), 2);
+        for job in &jobs {
+            wait_for(job, JobState::Done);
+        }
+        // New submissions continue the sequence instead of reusing ids.
+        let fresh = revived.submit(&spec()).expect("submit after restart");
+        assert!(fresh.seq > jobs.iter().map(|j| j.seq).max().unwrap());
+        revived.drain();
+    }
+
+    #[test]
+    fn failed_runs_record_their_error() {
+        let root = tempdir("failed");
+        let manager = JobManager::start(
+            root,
+            4,
+            1,
+            Arc::new(StubRunner::new(1, 1)),
+            Arc::new(ServerMetrics::new()),
+        )
+        .expect("start");
+        let record =
+            manager.submit(&Value::object(vec![("fail", Value::Bool(true))])).expect("submit");
+        wait_for(&record, JobState::Failed);
+        assert_eq!(record.error().as_deref(), Some("boom"));
+        manager.drain();
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("moela-serve-mgr-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        dir
+    }
+}

@@ -1,0 +1,78 @@
+//! Whole-server counters behind `GET /metrics`.
+//!
+//! Plain atomics — incremented from HTTP threads and run workers alike,
+//! rendered as one flat JSON object. These are process-local and reset
+//! on restart; per-job durable truth lives in each job's `RunStore`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use moela_persist::Value;
+
+/// Monotonic server-lifetime counters.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// HTTP requests parsed far enough to be routed.
+    pub http_requests: AtomicU64,
+    /// Requests rejected before routing (malformed, oversized, stalled).
+    pub http_rejected: AtomicU64,
+    /// Jobs accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Submissions bounced with 429 because the queue was full.
+    pub rejected_full: AtomicU64,
+    /// Jobs that ran to completion.
+    pub completed: AtomicU64,
+    /// Jobs that errored while running.
+    pub failed: AtomicU64,
+    /// Jobs cancelled by a client.
+    pub cancelled: AtomicU64,
+    /// Jobs parked at a checkpoint by a drain.
+    pub interrupted: AtomicU64,
+    /// Jobs rediscovered from disk and re-queued at startup.
+    pub recovered: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one to `counter`.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the counters for `GET /metrics`.
+    pub fn to_value(&self) -> Value {
+        let read = |c: &AtomicU64| Value::U64(c.load(Ordering::Relaxed));
+        Value::object(vec![
+            ("http_requests", read(&self.http_requests)),
+            ("http_rejected", read(&self.http_rejected)),
+            ("jobs_submitted", read(&self.submitted)),
+            ("jobs_rejected_full", read(&self.rejected_full)),
+            ("jobs_completed", read(&self.completed)),
+            ("jobs_failed", read(&self.failed)),
+            ("jobs_cancelled", read(&self.cancelled)),
+            ("jobs_interrupted", read(&self.interrupted)),
+            ("jobs_recovered", read(&self.recovered)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_render_flat_and_start_at_zero() {
+        let m = ServerMetrics::new();
+        let v = m.to_value();
+        assert_eq!(v.field("jobs_submitted").unwrap().as_u64().unwrap(), 0);
+        ServerMetrics::bump(&m.submitted);
+        ServerMetrics::bump(&m.submitted);
+        ServerMetrics::bump(&m.rejected_full);
+        let v = m.to_value();
+        assert_eq!(v.field("jobs_submitted").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(v.field("jobs_rejected_full").unwrap().as_u64().unwrap(), 1);
+    }
+}

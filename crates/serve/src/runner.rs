@@ -1,0 +1,58 @@
+//! The seam between the server and the optimizer driver.
+//!
+//! `moela-serve` owns queueing, lifecycle, and HTTP; it knows nothing
+//! about algorithms, problems, or checkpoint envelopes. The binary that
+//! embeds the server supplies a [`JobRunner`] — in `moela-dse` that is
+//! the same engine the `run`/`resume` subcommands use, which is what
+//! makes served artifacts byte-identical to CLI runs.
+
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use moela_moo::checkpoint::CancelToken;
+use moela_obs::MetricsAggregator;
+use moela_persist::Value;
+
+/// Everything a runner gets for one job execution.
+pub struct JobContext<'a> {
+    /// Stable job id (`job-000001`).
+    pub id: &'a str,
+    /// The job's run directory; the runner creates or reopens the
+    /// `RunStore` here, including checkpoints from a previous life.
+    pub dir: &'a Path,
+    /// The validated submission spec.
+    pub spec: &'a Value,
+    /// Cancellation flag: the runner must thread it into the optimizer
+    /// so a cancel or drain parks the run at the next step boundary.
+    pub cancel: CancelToken,
+    /// Slot the runner fills with its live metrics aggregator so
+    /// `GET /jobs/{id}` can report in-flight progress.
+    pub live: &'a Mutex<Option<Arc<Mutex<MetricsAggregator>>>>,
+}
+
+/// How one job execution ended (errors are the `Err` channel).
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// Ran to completion; `summary` becomes the job's final report.
+    Completed {
+        /// Small JSON summary (evaluations, PHV, artifact names).
+        summary: Value,
+    },
+    /// Parked at a checkpoint because the cancel token fired; the
+    /// `RunStore` is resumable.
+    Interrupted,
+}
+
+/// Validates and executes jobs. Implementations must be `Send + Sync`;
+/// one instance is shared by every run worker.
+pub trait JobRunner: Send + Sync {
+    /// Checks a submission spec before it is accepted into the queue,
+    /// returning the normalized spec to persist. Errors become 400s.
+    fn validate(&self, spec: &Value) -> Result<Value, String>;
+
+    /// Drives one job to an outcome. Called from a run worker thread; a
+    /// fresh directory means a new run, an existing checkpoint means
+    /// resume. Must never panic — the optimizer layer already contains
+    /// evaluation panics, and infrastructure errors belong in `Err`.
+    fn run(&self, ctx: JobContext<'_>) -> Result<RunOutcome, String>;
+}

@@ -59,6 +59,35 @@ grep -o '"cache":{[^}]*}' "$smoke/full/metrics.json" | grep -q '"misses":0' \
 grep -o '"cache":{[^}]*}' "$smoke/full/metrics.json" | grep -q '"routing_rebuilds":0' \
     && { echo "no routing table was ever built"; exit 1; }
 
+echo "==> serve smoke (served job matches moela-dse run byte-for-byte; drain exits 0)"
+"$dse" serve --addr 127.0.0.1:0 --addr-file "$smoke/addr" --run-root "$smoke/jobs" \
+    --workers 1 --queue-depth 4 >/dev/null &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -s "$smoke/addr" ] && break; sleep 0.1; done
+[ -s "$smoke/addr" ] || { echo "server never wrote its address file"; exit 1; }
+addr="$(cat "$smoke/addr")"
+spec='{"app":"BFS","objectives":3,"algorithm":"moela","budget":120,"population":8,"seed":7}'
+job="$(curl -sf -X POST "http://$addr/jobs" --data "$spec" \
+    | grep -o '"id":"[^"]*"' | cut -d'"' -f4)"
+[ -n "$job" ] || { echo "job submission returned no id"; exit 1; }
+state=""
+for _ in $(seq 1 600); do
+    state="$(curl -sf "http://$addr/jobs/$job" | grep -o '"state":"[^"]*"' | cut -d'"' -f4)"
+    [ "$state" = "done" ] && break
+    case "$state" in failed|cancelled|interrupted)
+        echo "served job ended $state"; exit 1;;
+    esac
+    sleep 0.1
+done
+[ "$state" = "done" ] || { echo "served job never finished (state: ${state:-unknown})"; exit 1; }
+curl -sf "http://$addr/metrics" | grep -q '"jobs_completed":1' \
+    || { echo "/metrics did not count the completed job"; exit 1; }
+curl -sf -X POST "http://$addr/shutdown" >/dev/null
+wait "$serve_pid" || { echo "drain did not exit 0"; exit 1; }
+for artifact in trace.csv front.csv trace.json front.json; do
+    cmp "$smoke/full/$artifact" "$smoke/jobs/$job/$artifact"
+done
+
 echo "==> obs smoke (telemetry artifacts exist; deterministic artifacts untouched)"
 "$dse" run "${flags[@]}" --run-dir "$smoke/traced" --progress --log-level debug \
     2>/dev/null >/dev/null

@@ -43,7 +43,9 @@ pub use moela_manycore as manycore;
 pub use moela_ml as ml;
 pub use moela_moo as moo;
 pub use moela_nocsim as nocsim;
+pub use moela_obs as obs;
 pub use moela_persist as persist;
+pub use moela_serve as serve;
 pub use moela_thermal as thermal;
 pub use moela_traffic as traffic;
 
