@@ -198,6 +198,17 @@ pub struct ServeOptions {
     /// Optional file the server writes its bound address to (for
     /// scripts using port 0).
     pub addr_file: Option<String>,
+    /// Attempt budget per job before quarantine (counts the first try).
+    pub max_attempts: u64,
+    /// First retry backoff in milliseconds (doubles per attempt, plus
+    /// deterministic jitter).
+    pub retry_base_ms: u64,
+    /// Seconds without a step heartbeat before a running job is marked
+    /// stalled and interrupted.
+    pub stall_timeout_s: u64,
+    /// Extra seconds a stalled job may ignore its interrupt before the
+    /// worker is abandoned and the job quarantined.
+    pub stall_grace_s: u64,
 }
 
 impl Default for ServeOptions {
@@ -209,6 +220,10 @@ impl Default for ServeOptions {
             run_root: String::new(),
             checkpoint_every: 1,
             addr_file: None,
+            max_attempts: 3,
+            retry_base_ms: 1_000,
+            stall_timeout_s: 30,
+            stall_grace_s: 60,
         }
     }
 }
@@ -384,6 +399,22 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgsError> {
                     value()?.parse().map_err(|_| "--checkpoint-every needs an integer")?;
             }
             "--addr-file" => opts.addr_file = Some(value()?),
+            "--max-attempts" => {
+                opts.max_attempts =
+                    value()?.parse().map_err(|_| "--max-attempts needs an integer")?;
+            }
+            "--retry-base-ms" => {
+                opts.retry_base_ms =
+                    value()?.parse().map_err(|_| "--retry-base-ms needs an integer")?;
+            }
+            "--stall-timeout-s" => {
+                opts.stall_timeout_s =
+                    value()?.parse().map_err(|_| "--stall-timeout-s needs an integer")?;
+            }
+            "--stall-grace-s" => {
+                opts.stall_grace_s =
+                    value()?.parse().map_err(|_| "--stall-grace-s needs an integer")?;
+            }
             other => return Err(ArgsError::syntax(format!("unknown flag '{other}'"))),
         }
     }
@@ -398,6 +429,15 @@ fn parse_serve(args: &[String]) -> Result<Command, ArgsError> {
     }
     if opts.checkpoint_every == 0 {
         return Err(ArgsError::syntax("--checkpoint-every must be positive"));
+    }
+    if opts.max_attempts == 0 {
+        return Err(ArgsError::syntax("--max-attempts must be at least 1 (the first try counts)"));
+    }
+    if opts.retry_base_ms == 0 {
+        return Err(ArgsError::syntax("--retry-base-ms must be positive"));
+    }
+    if opts.stall_timeout_s == 0 {
+        return Err(ArgsError::syntax("--stall-timeout-s must be positive"));
     }
     Ok(Command::Serve(opts))
 }
@@ -603,14 +643,26 @@ SIMULATE FLAGS:
 SERVE:
     moela-dse serve --run-root <DIR> [--addr HOST:PORT] [--workers N]
                     [--queue-depth N] [--checkpoint-every N]
-                    [--addr-file PATH]
+                    [--addr-file PATH] [--max-attempts N]
+                    [--retry-base-ms N] [--stall-timeout-s N]
+                    [--stall-grace-s N]
     embedded DSE job server: POST /jobs submits a run spec (the same
-    fields as `run` flags), GET /jobs/{id} polls state and live phase
-    metrics, GET /jobs/{id}/front fetches the finished front, DELETE
-    cancels at the next checkpoint, POST /shutdown drains gracefully;
-    a full queue answers 429 with Retry-After. Interrupted jobs are
-    rediscovered from --run-root and resumed on restart. Defaults:
-    --addr 127.0.0.1:7774, --workers 2, --queue-depth 16.
+    fields as `run` flags, plus timeout_s for a per-job wall-clock
+    deadline), GET /jobs/{id} polls state and live phase metrics,
+    GET /jobs/{id}/front fetches the finished front, DELETE cancels
+    at the next checkpoint, POST /shutdown drains gracefully; a full
+    queue answers 429 with Retry-After. Interrupted jobs are
+    rediscovered from --run-root and resumed on restart. Every job is
+    supervised: transient failures (I/O errors, exhausted fault
+    budgets, runner panics) retry from the last checkpoint with
+    exponential backoff until --max-attempts, then quarantine; a
+    watchdog interrupts jobs whose step heartbeat goes quiet for
+    --stall-timeout-s and abandons workers that stay stuck past
+    --stall-grace-s more. GET /healthz reports liveness, GET /readyz
+    readiness (503 while draining or disk-degraded). Defaults:
+    --addr 127.0.0.1:7774, --workers 2, --queue-depth 16,
+    --max-attempts 3, --retry-base-ms 1000, --stall-timeout-s 30,
+    --stall-grace-s 60.
 ";
 
 #[cfg(test)]
@@ -821,7 +873,8 @@ mod tests {
     fn serve_parses_flags_and_validates() {
         let cmd = parse(&argv(
             "serve --run-root out/jobs --addr 0.0.0.0:0 --workers 3 --queue-depth 5 \
-             --checkpoint-every 4 --addr-file out/addr",
+             --checkpoint-every 4 --addr-file out/addr --max-attempts 5 --retry-base-ms 250 \
+             --stall-timeout-s 10 --stall-grace-s 20",
         ))
         .expect("ok");
         let Command::Serve(o) = cmd else { panic!("expected Serve") };
@@ -831,6 +884,10 @@ mod tests {
         assert_eq!(o.queue_depth, 5);
         assert_eq!(o.checkpoint_every, 4);
         assert_eq!(o.addr_file.as_deref(), Some("out/addr"));
+        assert_eq!(o.max_attempts, 5);
+        assert_eq!(o.retry_base_ms, 250);
+        assert_eq!(o.stall_timeout_s, 10);
+        assert_eq!(o.stall_grace_s, 20);
 
         let Command::Serve(o) = parse(&argv("serve --run-root r")).expect("defaults") else {
             panic!("expected Serve")
@@ -838,11 +895,18 @@ mod tests {
         assert_eq!(o.addr, "127.0.0.1:7774");
         assert_eq!(o.workers, 2);
         assert_eq!(o.queue_depth, 16);
+        assert_eq!(o.max_attempts, 3);
+        assert_eq!(o.retry_base_ms, 1_000);
+        assert_eq!(o.stall_timeout_s, 30);
+        assert_eq!(o.stall_grace_s, 60);
 
         assert!(parse(&argv("serve")).is_err());
         assert!(parse(&argv("serve --run-root r --workers 0")).is_err());
         assert!(parse(&argv("serve --run-root r --queue-depth 0")).is_err());
         assert!(parse(&argv("serve --run-root r --what no")).is_err());
+        assert!(parse(&argv("serve --run-root r --max-attempts 0")).is_err());
+        assert!(parse(&argv("serve --run-root r --retry-base-ms 0")).is_err());
+        assert!(parse(&argv("serve --run-root r --stall-timeout-s 0")).is_err());
     }
 
     #[test]

@@ -30,13 +30,29 @@ use moela_obs::{JsonlSink, MetricsAggregator, Obs, ProgressReporter, Reporter, S
 use moela_persist::{
     CheckpointStore, PersistError, Restore, RunStore, Snapshot, Value, FORMAT_VERSION,
 };
-use moela_serve::LiveMetrics;
+use moela_serve::{Heartbeat, LiveMetrics};
 use moela_traffic::{Benchmark, Workload};
 
 use crate::args::{Algorithm, RunOptions};
 
 /// The build version stamped into manifests and checkpoints.
 pub(crate) const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// How a [`CliError`] should be treated by a supervising caller (the
+/// job server). Plain CLI runs ignore this — every class exits nonzero
+/// with the same message either way.
+#[derive(Clone, Copy, Debug, Eq, PartialEq)]
+pub(crate) enum ErrorClass {
+    /// Retrying cannot help: bad configuration, logic errors, corrupt
+    /// data that will never parse differently.
+    Fatal,
+    /// Likely to succeed on a retry from the last checkpoint — e.g. an
+    /// exhausted evaluation fault budget under `--fault-policy fail`.
+    Transient,
+    /// An OS-level I/O failure writing run state: retryable, and the
+    /// server additionally degrades its readiness probe.
+    Disk,
+}
 
 /// A user-facing failure: printed to stderr, exits with `code` (1 for
 /// operational failures, 2 for contradictory configuration the user
@@ -45,6 +61,8 @@ pub(crate) const VERSION: &str = env!("CARGO_PKG_VERSION");
 pub(crate) struct CliError {
     pub(crate) message: String,
     pub(crate) code: u8,
+    /// Retry disposition for supervised (served) executions.
+    pub(crate) class: ErrorClass,
 }
 
 impl std::fmt::Display for CliError {
@@ -55,20 +73,28 @@ impl std::fmt::Display for CliError {
 
 impl From<PersistError> for CliError {
     fn from(e: PersistError) -> Self {
-        fail(e.to_string())
+        // OS-level I/O failures are worth retrying (and flag disk
+        // trouble to the server); corruption is final.
+        let class = if e.is_transient_io() { ErrorClass::Disk } else { ErrorClass::Fatal };
+        CliError { message: e.to_string(), code: 1, class }
     }
 }
 
 /// An operational failure (exit code 1).
 pub(crate) fn fail(message: impl Into<String>) -> CliError {
-    CliError { message: message.into(), code: 1 }
+    CliError { message: message.into(), code: 1, class: ErrorClass::Fatal }
+}
+
+/// An operational failure a supervisor should retry (exit code 1).
+pub(crate) fn transient(message: impl Into<String>) -> CliError {
+    CliError { message: message.into(), code: 1, class: ErrorClass::Transient }
 }
 
 /// A configuration the user must fix (exit code 2) — e.g. `--chaos`
 /// without `--chaos-seed` arriving through a manifest or job spec that
 /// bypassed argument parsing.
 pub(crate) fn user_error(message: impl Into<String>) -> CliError {
-    CliError { message: message.into(), code: 2 }
+    CliError { message: message.into(), code: 2, class: ErrorClass::Fatal }
 }
 
 /// External hooks threaded through a run by the job server. Plain CLI
@@ -79,6 +105,10 @@ pub(crate) struct ExecHooks<'a> {
     pub(crate) cancel: Option<&'a CancelToken>,
     /// Slot to publish the live metrics aggregator into while running.
     pub(crate) live: Option<&'a LiveMetrics>,
+    /// Step-boundary liveness beacon for the server's watchdog.
+    pub(crate) heartbeat: Option<&'a Heartbeat>,
+    /// 1-based attempt number under supervision; 0 for direct CLI runs.
+    pub(crate) attempt: u64,
 }
 
 impl ExecHooks<'_> {
@@ -89,6 +119,13 @@ impl ExecHooks<'_> {
 
     fn cancelled(&self) -> bool {
         self.cancel.is_some_and(|t| t.is_cancelled())
+    }
+
+    /// Publishes "still making step progress" to the watchdog.
+    fn beat(&self) {
+        if let Some(hb) = self.heartbeat {
+            hb.beat();
+        }
     }
 }
 
@@ -153,6 +190,9 @@ pub(crate) struct Telemetry {
     pub(crate) aggregator: Option<Arc<Mutex<MetricsAggregator>>>,
     pub(crate) progress: Option<ProgressReporter>,
     pub(crate) reporter: Reporter,
+    /// Supervised attempt number ([`ExecHooks::attempt`]); 0 for direct
+    /// CLI runs, which therefore emit no supervision block.
+    pub(crate) attempt: u64,
 }
 
 impl Telemetry {
@@ -173,7 +213,7 @@ impl Telemetry {
         }
         let obs = if sinks.is_empty() { Obs::disabled() } else { Obs::with_sinks(sinks) };
         let progress = opts.progress.then(|| ProgressReporter::new(base_evals, Some(opts.budget)));
-        Telemetry { obs, aggregator, progress, reporter: Reporter::new(opts.log_level) }
+        Telemetry { obs, aggregator, progress, reporter: Reporter::new(opts.log_level), attempt: 0 }
     }
 
     /// Publishes this run's aggregator into the server's live slot so
@@ -255,6 +295,14 @@ impl Telemetry {
         ];
         if let Some(spec) = &opts.chaos {
             fields.push(("chaos", Value::Str(spec.to_string())));
+        }
+        if self.attempt > 0 {
+            // Only supervised (served) executions carry this, so direct
+            // CLI runs keep their exact historical metrics.json shape.
+            fields.push((
+                "supervision",
+                Value::object(vec![(moela_obs::names::JOB_ATTEMPT, Value::U64(self.attempt))]),
+            ));
         }
         Some(Value::object(fields))
     }
@@ -344,6 +392,7 @@ where
     let t0 = Instant::now();
     let mut written = 0u64;
     while state.step(rng) {
+        hooks.beat();
         if let Some(progress) = telemetry.progress.as_mut() {
             progress.update(state.completed(), state.evaluations(), state.latest_phv());
         }
@@ -372,7 +421,10 @@ where
         return Ok(Driven::Interrupted { completed: state.completed() });
     }
     if let Some(fault) = state.fault_error() {
-        return Err(fail(format!(
+        // Transient by classification: a different attempt sees a
+        // different slice of the fault stream, so a supervisor may
+        // legitimately retry from the last checkpoint.
+        return Err(transient(format!(
             "{fault} (policy 'fail' stops on the first fault; rerun with --fault-policy \
              penalize-worst or skip to contain faults and continue)"
         )));
@@ -970,6 +1022,7 @@ pub(crate) fn run(opts: &RunOptions, hooks: &ExecHooks<'_>) -> Result<RunStatus,
         None => None,
     };
     let mut telemetry = Telemetry::new(opts, run_store.as_ref(), 0);
+    telemetry.attempt = hooks.attempt;
     telemetry.publish_live(hooks);
     telemetry.obs.marker("run_start", opts.algorithm.name());
     let driven =
@@ -1093,6 +1146,7 @@ pub(crate) fn resume(
     let base_evals =
         point.state.field_opt("evaluations").and_then(|v| v.as_u64().ok()).unwrap_or_default();
     let mut telemetry = Telemetry::new(&opts, Some(&store), base_evals);
+    telemetry.attempt = hooks.attempt;
     telemetry.publish_live(hooks);
     telemetry.obs.marker("resume", &format!("checkpoint {seq}"));
     let driven = execute(

@@ -17,15 +17,15 @@ use moela_moo::fault::FaultPolicy;
 use moela_moo::ChaosSpec;
 use moela_obs::LogLevel;
 use moela_persist::Value;
-use moela_serve::{JobContext, JobRunner, RunOutcome, ServeConfig, Server};
+use moela_serve::{JobContext, JobRunner, RunError, RunOutcome, ServeConfig, Server};
 use moela_traffic::Benchmark;
 
 use crate::args::{self, Algorithm, RunOptions, ServeOptions};
-use crate::engine::{self, fail, CliError, ExecHooks, ResumeOverrides, RunStatus};
+use crate::engine::{self, fail, CliError, ErrorClass, ExecHooks, ResumeOverrides, RunStatus};
 
 /// The spec keys a job submission may set; everything else is rejected
 /// so a typo (`"algorthm"`) fails loudly instead of running defaults.
-const SPEC_KEYS: [&str; 14] = [
+const SPEC_KEYS: [&str; 15] = [
     "app",
     "objectives",
     "algorithm",
@@ -40,6 +40,7 @@ const SPEC_KEYS: [&str; 14] = [
     "eval_cache",
     "chaos",
     "chaos_seed",
+    "timeout_s",
 ];
 
 /// Translates a submission spec into [`RunOptions`]. Unknown keys are
@@ -123,12 +124,33 @@ fn spec_to_options(spec: &Value, default_checkpoint_every: u64) -> Result<RunOpt
     if let Some(n) = u64_field("chaos_seed")? {
         opts.chaos_seed = Some(n);
     }
+    // `timeout_s` is validated here (so submission rejects it loudly)
+    // but enforced by the server's supervisor, not the run engine.
+    timeout_from_spec(spec)?;
     // Served jobs log through job.json and events.jsonl, not the server's
     // stdout; interactive progress painting makes no sense here either.
     opts.log_level = LogLevel::Quiet;
     opts.progress = false;
     args::validate_run_options(&opts).map_err(|e| e.message)?;
     Ok(opts)
+}
+
+/// Extracts and validates the optional per-job wall-clock deadline. The
+/// engine never sees it — the server's supervisor enforces it at step
+/// boundaries through the cancel seam.
+fn timeout_from_spec(spec: &Value) -> Result<Option<u64>, String> {
+    match spec.field_opt("timeout_s") {
+        Some(v) => {
+            let secs = v
+                .as_u64()
+                .map_err(|_| "spec key 'timeout_s' must be a positive integer (seconds)")?;
+            if secs == 0 {
+                return Err("spec key 'timeout_s' must be at least 1 second".into());
+            }
+            Ok(Some(secs))
+        }
+        None => Ok(None),
+    }
 }
 
 /// Renders the effective configuration back into a spec object. This is
@@ -182,11 +204,24 @@ pub(crate) struct DseRunner {
 impl JobRunner for DseRunner {
     fn validate(&self, spec: &Value) -> Result<Value, String> {
         let opts = spec_to_options(spec, self.default_checkpoint_every)?;
-        Ok(normalized_spec(&opts))
+        let mut normalized = normalized_spec(&opts);
+        // The deadline is server-side state, not a RunOptions field, so
+        // it must ride the normalized spec to survive in job.json.
+        if let Some(secs) = timeout_from_spec(spec)? {
+            if let Value::Object(fields) = &mut normalized {
+                fields.push(("timeout_s".to_owned(), Value::U64(secs)));
+            }
+        }
+        Ok(normalized)
     }
 
-    fn run(&self, ctx: JobContext<'_>) -> Result<RunOutcome, String> {
-        let hooks = ExecHooks { cancel: Some(&ctx.cancel), live: Some(ctx.live) };
+    fn run(&self, ctx: JobContext<'_>) -> Result<RunOutcome, RunError> {
+        let hooks = ExecHooks {
+            cancel: Some(&ctx.cancel),
+            live: Some(ctx.live),
+            heartbeat: Some(ctx.heartbeat),
+            attempt: ctx.attempt,
+        };
         let dir = ctx.dir.to_string_lossy().into_owned();
         // A manifest plus at least one checkpoint means this directory is
         // a previous life of the same job: resume it. Anything less is a
@@ -209,7 +244,13 @@ impl JobRunner for DseRunner {
         match status {
             Ok(RunStatus::Completed { summary }) => Ok(RunOutcome::Completed { summary }),
             Ok(RunStatus::Interrupted) => Ok(RunOutcome::Interrupted),
-            Err(e) => Err(e.message),
+            // The engine's classification drives the supervisor: only
+            // transient and disk failures feed retry-with-backoff.
+            Err(e) => Err(match e.class {
+                ErrorClass::Fatal => RunError::permanent(e.message),
+                ErrorClass::Transient => RunError::transient(e.message),
+                ErrorClass::Disk => RunError::disk(e.message),
+            }),
         }
     }
 }
@@ -220,6 +261,10 @@ pub(crate) fn serve(opts: &ServeOptions) -> Result<(), CliError> {
     let mut config = ServeConfig::new(opts.addr.clone(), PathBuf::from(&opts.run_root));
     config.workers = opts.workers;
     config.queue_depth = opts.queue_depth;
+    config.supervise.max_attempts = opts.max_attempts;
+    config.supervise.retry_base = Duration::from_millis(opts.retry_base_ms);
+    config.supervise.stall_timeout = Duration::from_secs(opts.stall_timeout_s);
+    config.supervise.stall_grace = Duration::from_secs(opts.stall_grace_s);
     let runner = Arc::new(DseRunner { default_checkpoint_every: opts.checkpoint_every });
     let server = Server::bind(config, runner)
         .map_err(|e| fail(format!("cannot start server on {}: {e}", opts.addr)))?;
@@ -273,5 +318,27 @@ mod tests {
         let normalized = normalized_spec(&opts);
         let reparsed = spec_to_options(&normalized, 1).expect("normalized specs revalidate");
         assert_eq!(reparsed, opts, "normalization round-trips");
+    }
+
+    #[test]
+    fn timeout_s_validates_and_rides_the_normalized_spec() {
+        let err = timeout_from_spec(&Value::object(vec![("timeout_s", Value::U64(0))]))
+            .expect_err("zero deadline");
+        assert!(err.contains("at least 1"), "{err}");
+        let err = timeout_from_spec(&Value::object(vec![("timeout_s", Value::Str("5s".into()))]))
+            .expect_err("non-integer deadline");
+        assert!(err.contains("positive integer"), "{err}");
+        assert_eq!(timeout_from_spec(&Value::object(vec![])).expect("absent is fine"), None);
+
+        let runner = DseRunner { default_checkpoint_every: 1 };
+        let spec = Value::object(vec![("budget", Value::U64(50)), ("timeout_s", Value::U64(7))]);
+        let normalized = runner.validate(&spec).expect("valid spec");
+        assert_eq!(
+            normalized.field("timeout_s").and_then(|v| v.as_u64()).ok(),
+            Some(7),
+            "the deadline must survive normalization so a restarted server still enforces it"
+        );
+        // And the normalized spec (now carrying timeout_s) revalidates.
+        runner.validate(&normalized).expect("normalized specs revalidate");
     }
 }

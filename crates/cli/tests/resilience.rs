@@ -1,0 +1,496 @@
+//! End-to-end tests for the self-healing supervision layer, driving
+//! the real `moela-dse serve` binary over real sockets.
+//!
+//! The contract under test: every served job is supervised. Transient
+//! failures retry from the last checkpoint with backoff and quarantine
+//! after the attempt budget; a SIGKILL burns an attempt that survives
+//! the restart via `job.json`; a crash loop quarantines on recovery;
+//! `timeout_s` deadlines fire at step boundaries; and a disk fault
+//! flips readiness to degraded-but-alive until the job settles clean.
+//! Throughout, a healthy sibling job must finish byte-identical to a
+//! plain `moela-dse run` — supervision never touches the artifacts.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_moela-dse");
+
+/// The healthy-sibling configuration, spelled both as `run` flags and
+/// as a job spec, so the byte-identical comparison can't drift. The
+/// chaos `slow` injector (200µs per evaluation, no faults) stretches
+/// runs enough to observe mid-flight states reliably.
+const ALGORITHM: &str = "nsga2";
+const BUDGET: &str = "1000";
+const POPULATION: &str = "8";
+const SEED: &str = "7";
+const CHAOS: &str = "slow=1";
+const CHAOS_SEED: &str = "1";
+
+fn clean_spec() -> String {
+    format!(
+        "{{\"algorithm\":\"{ALGORITHM}\",\"budget\":{BUDGET},\"population\":{POPULATION},\
+         \"seed\":{SEED},\"chaos\":\"{CHAOS}\",\"chaos_seed\":{CHAOS_SEED}}}"
+    )
+}
+
+/// A poison job: every evaluation faults (`panic=1`) and the default
+/// `fail` policy latches the fault as a run error, which the engine
+/// classifies transient — so the supervisor retries it until the
+/// attempt budget quarantines it.
+fn poison_spec() -> String {
+    format!(
+        "{{\"algorithm\":\"{ALGORITHM}\",\"budget\":200,\"population\":{POPULATION},\
+         \"seed\":{SEED},\"chaos\":\"panic=1\",\"chaos_seed\":3}}"
+    )
+}
+
+fn moela_dse(args: &[&str]) -> Output {
+    Command::new(BIN).args(args).output().expect("spawn moela-dse")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("moela-resilience-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    fs::read(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Runs the reference `moela-dse run` into a scratch dir and returns it.
+fn reference_run(name: &str) -> PathBuf {
+    let dir = scratch(name);
+    let out = moela_dse(&[
+        "run",
+        "--algorithm",
+        ALGORITHM,
+        "--budget",
+        BUDGET,
+        "--population",
+        POPULATION,
+        "--seed",
+        SEED,
+        "--chaos",
+        CHAOS,
+        "--chaos-seed",
+        CHAOS_SEED,
+        "--log-level",
+        "quiet",
+        "--run-dir",
+        dir.to_str().expect("utf-8 path"),
+    ]);
+    assert!(out.status.success(), "reference run failed: {}", String::from_utf8_lossy(&out.stderr));
+    dir
+}
+
+/// A `moela-dse serve` process bound to an ephemeral port, with
+/// arbitrary extra flags for the supervision knobs.
+struct ServerProc {
+    child: Child,
+    addr: String,
+    root: PathBuf,
+}
+
+impl ServerProc {
+    fn start(tag: &str, root: &Path, workers: u32, extra: &[&str]) -> Self {
+        let addr_file = std::env::temp_dir()
+            .join(format!("moela-resilience-addr-{tag}-{}", std::process::id()));
+        let _ = fs::remove_file(&addr_file);
+        let mut cmd = Command::new(BIN);
+        cmd.args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().expect("utf-8 path"),
+            "--run-root",
+            root.to_str().expect("utf-8 path"),
+            "--workers",
+            &workers.to_string(),
+            "--queue-depth",
+            "8",
+        ]);
+        cmd.args(extra);
+        let child = cmd.stdout(Stdio::null()).stderr(Stdio::null()).spawn().expect("spawn serve");
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let addr = loop {
+            if let Ok(text) = fs::read_to_string(&addr_file) {
+                if !text.trim().is_empty() {
+                    break text.trim().to_owned();
+                }
+            }
+            assert!(Instant::now() < deadline, "server never wrote its address file");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let _ = fs::remove_file(&addr_file);
+        ServerProc { child, addr, root: root.to_path_buf() }
+    }
+
+    /// Sends `POST /shutdown`, waits for a clean exit 0.
+    fn shutdown(mut self) {
+        let (status, _, _) = http(&self.addr, "POST", "/shutdown", None);
+        assert_eq!(status, 200, "shutdown must be accepted");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        loop {
+            if let Some(code) = self.child.try_wait().expect("wait") {
+                assert!(code.success(), "drained server must exit 0, got {code}");
+                return;
+            }
+            assert!(Instant::now() < deadline, "server did not drain in time");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    fn kill(mut self) {
+        self.child.kill().expect("kill serve");
+        self.child.wait().expect("reap serve");
+    }
+}
+
+/// A panicking test must not leak its server process.
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        if self.child.kill().is_ok() {
+            let _ = self.child.wait();
+        }
+    }
+}
+
+/// One HTTP/1.1 request; returns (status, headers, body).
+fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let body = body.unwrap_or_default();
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {raw:?}"));
+    let (head, payload) = raw.split_once("\r\n\r\n").unwrap_or((raw.as_str(), ""));
+    (status, head.to_owned(), payload.to_owned())
+}
+
+fn submit(addr: &str, spec: &str) -> String {
+    let (status, _, body) = http(addr, "POST", "/jobs", Some(spec));
+    assert_eq!(status, 202, "submit must be accepted: {body}");
+    let rest = body.split("\"id\":\"").nth(1).unwrap_or_else(|| panic!("no id in {body}"));
+    rest.split('"').next().expect("terminated id").to_owned()
+}
+
+fn job_body(addr: &str, id: &str) -> String {
+    let (status, _, body) = http(addr, "GET", &format!("/jobs/{id}"), None);
+    assert_eq!(status, 200, "job lookup failed: {body}");
+    body
+}
+
+fn job_state(addr: &str, id: &str) -> String {
+    let body = job_body(addr, id);
+    let rest = body.split("\"state\":\"").nth(1).unwrap_or_else(|| panic!("no state in {body}"));
+    rest.split('"').next().expect("terminated state").to_owned()
+}
+
+/// Polls until the job reaches `want`, failing fast on any *other*
+/// terminal state.
+fn wait_for_state(addr: &str, id: &str, want: &str, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let state = job_state(addr, id);
+        if state == want {
+            return;
+        }
+        if ["done", "failed", "cancelled", "quarantined", "deadline_exceeded"]
+            .contains(&state.as_str())
+        {
+            let body = job_body(addr, id);
+            panic!("job {id} reached terminal state '{state}' while waiting for '{want}': {body}");
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for '{want}' (job {id}: {state})");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Polls `predicate` over the job's `job.json` until it holds — the
+/// on-disk manifest lags the in-memory state by one persist call, so
+/// asserting it immediately after an HTTP state change is a race.
+fn wait_for_on_disk(job_dir: &Path, needle: &str, timeout: Duration) -> String {
+    let path = job_dir.join("job.json");
+    let deadline = Instant::now() + timeout;
+    loop {
+        let text = fs::read_to_string(&path).unwrap_or_default();
+        if text.contains(needle) {
+            return text;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job.json never contained {needle:?}; last contents: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn has_checkpoint(job_dir: &Path) -> bool {
+    fs::read_dir(job_dir.join("checkpoints"))
+        .map(|entries| {
+            entries.flatten().any(|entry| {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                name.starts_with("ckpt-") && name.ends_with(".json")
+            })
+        })
+        .unwrap_or(false)
+}
+
+/// The artifacts the byte-identical contract covers.
+const ARTIFACTS: [&str; 4] = ["trace.csv", "front.csv", "trace.json", "front.json"];
+
+fn assert_artifacts_match(reference: &Path, job_dir: &Path, context: &str) {
+    for file in ARTIFACTS {
+        assert_eq!(
+            read(&reference.join(file)),
+            read(&job_dir.join(file)),
+            "{file} differs from the reference run after {context}"
+        );
+    }
+}
+
+/// Pulls `"name":<u64>` out of a flat JSON rendering.
+fn json_u64(body: &str, name: &str) -> Option<u64> {
+    let rest = body.split(&format!("\"{name}\":")).nth(1)?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+#[test]
+fn poison_job_quarantines_while_a_sibling_completes_byte_identically() {
+    let reference = reference_run("ref-poison");
+    let root = scratch("root-poison");
+    // Two workers: the poison job must not starve the healthy sibling.
+    let server =
+        ServerProc::start("poison", &root, 2, &["--max-attempts", "2", "--retry-base-ms", "50"]);
+
+    let poisoned = submit(&server.addr, &poison_spec());
+    let clean = submit(&server.addr, &clean_spec());
+
+    wait_for_state(&server.addr, &poisoned, "quarantined", Duration::from_secs(120));
+    let body = job_body(&server.addr, &poisoned);
+    assert!(
+        body.contains("quarantined after 2 attempts"),
+        "quarantine must cite the exhausted budget: {body}"
+    );
+    assert!(body.contains("\"history\""), "job detail must expose the attempt history: {body}");
+
+    // The attempt history survives on disk: a restarted server knows
+    // this job is poison without re-running it.
+    let job_json =
+        wait_for_on_disk(&root.join(&poisoned), "\"quarantined\"", Duration::from_secs(60));
+    assert!(job_json.contains("\"attempts\":2"), "attempt counter must persist: {job_json}");
+    // The retry shows up in history as a re-queue carrying attempt 1's
+    // error, followed by attempt 2 running.
+    assert!(
+        job_json.contains("{\"state\":\"queued\",\"attempt\":1,\"error\""),
+        "history must record the retry re-queue with its error: {job_json}"
+    );
+    assert!(
+        job_json.contains("{\"state\":\"running\",\"attempt\":2}"),
+        "history must record the second attempt: {job_json}"
+    );
+
+    // Supervision counters surface in /metrics.
+    let (status, _, metrics) = http(&server.addr, "GET", "/metrics", None);
+    assert_eq!(status, 200);
+    assert!(json_u64(&metrics, "jobs_retried") >= Some(1), "{metrics}");
+    assert_eq!(json_u64(&metrics, "jobs_quarantined"), Some(1), "{metrics}");
+
+    // The sibling is untouched by its neighbor's crash-loop.
+    wait_for_state(&server.addr, &clean, "done", Duration::from_secs(120));
+    assert_artifacts_match(&reference, &server.root.join(&clean), "a quarantined neighbor");
+
+    server.shutdown();
+    let _ = fs::remove_dir_all(&reference);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn sigkill_burns_an_attempt_and_restart_resumes_the_counter() {
+    let reference = reference_run("ref-sigkill");
+    let root = scratch("root-sigkill");
+    let server = ServerProc::start("sigkill", &root, 1, &[]);
+
+    let id = submit(&server.addr, &clean_spec());
+    wait_for_state(&server.addr, &id, "running", Duration::from_secs(30));
+    let job_dir = root.join(&id);
+    // Wait for a real checkpoint so the second attempt resumes rather
+    // than restarting from scratch.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !has_checkpoint(&job_dir) {
+        assert!(Instant::now() < deadline, "no checkpoint appeared before the kill");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // The first attempt was persisted at pickup, so the SIGKILL cannot
+    // erase it.
+    let job_json = wait_for_on_disk(&job_dir, "\"attempts\":1", Duration::from_secs(30));
+    assert!(job_json.contains("\"running\""), "{job_json}");
+    server.kill();
+
+    let server = ServerProc::start("sigkill-restart", &root, 1, &[]);
+    wait_for_state(&server.addr, &id, "done", Duration::from_secs(120));
+    // The recovered execution is attempt 2: the counter carried over.
+    let job_json = wait_for_on_disk(&job_dir, "\"done\"", Duration::from_secs(60));
+    assert!(
+        job_json.contains("\"attempts\":2"),
+        "restart must resume the attempt counter, not reset it: {job_json}"
+    );
+    assert_artifacts_match(&reference, &job_dir, "a SIGKILL mid-attempt");
+
+    server.shutdown();
+    let _ = fs::remove_dir_all(&reference);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn crash_loop_across_restarts_is_quarantined_on_recovery() {
+    let root = scratch("root-crashloop");
+    let server = ServerProc::start("crashloop", &root, 1, &["--max-attempts", "1"]);
+
+    let id = submit(&server.addr, &clean_spec());
+    wait_for_state(&server.addr, &id, "running", Duration::from_secs(30));
+    let job_dir = root.join(&id);
+    wait_for_on_disk(&job_dir, "\"attempts\":1", Duration::from_secs(30));
+    server.kill();
+
+    // Recovery sees a job that died mid-attempt with its budget already
+    // spent: re-running it would crash-loop forever, so it quarantines.
+    let server = ServerProc::start("crashloop-restart", &root, 1, &["--max-attempts", "1"]);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while job_state(&server.addr, &id) != "quarantined" {
+        assert!(Instant::now() < deadline, "recovery never quarantined the crash-looping job");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let body = job_body(&server.addr, &id);
+    assert!(body.contains("crash loop"), "quarantine must name the crash loop: {body}");
+    let (_, _, metrics) = http(&server.addr, "GET", "/metrics", None);
+    assert_eq!(json_u64(&metrics, "jobs_quarantined"), Some(1), "{metrics}");
+
+    server.shutdown();
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn timeout_s_deadline_interrupts_at_a_step_boundary() {
+    let root = scratch("root-deadline");
+    let server = ServerProc::start("deadline", &root, 1, &[]);
+
+    // ~4s of work (20k evaluations × 200µs) against a 1s deadline.
+    let spec = format!(
+        "{{\"algorithm\":\"{ALGORITHM}\",\"budget\":20000,\"population\":{POPULATION},\
+         \"seed\":{SEED},\"chaos\":\"{CHAOS}\",\"chaos_seed\":{CHAOS_SEED},\"timeout_s\":1}}"
+    );
+    let id = submit(&server.addr, &spec);
+    wait_for_state(&server.addr, &id, "deadline_exceeded", Duration::from_secs(60));
+    let body = job_body(&server.addr, &id);
+    assert!(
+        body.contains("deadline exceeded: timeout_s=1"),
+        "the error must cite the configured deadline: {body}"
+    );
+    let (_, _, metrics) = http(&server.addr, "GET", "/metrics", None);
+    assert_eq!(json_u64(&metrics, "jobs_deadline_exceeded"), Some(1), "{metrics}");
+
+    // The deadline parked the run cooperatively: the directory is a
+    // valid run store a human can still resume by hand.
+    let job_dir = root.join(&id);
+    assert!(job_dir.join("manifest.json").is_file(), "deadline must leave the manifest");
+
+    server.shutdown();
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn disk_fault_degrades_readiness_then_recovers() {
+    let root = scratch("root-diskfault");
+    // A long retry backoff keeps the degraded window wide open for the
+    // probes below; the fault is healed before the retry fires.
+    let server = ServerProc::start(
+        "diskfault",
+        &root,
+        1,
+        &["--max-attempts", "3", "--retry-base-ms", "2000"],
+    );
+
+    // Before any fault: alive and ready.
+    let (status, _, health) = http(&server.addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert!(health.contains("\"ready\":true"), "{health}");
+    let (status, _, _) = http(&server.addr, "GET", "/readyz", None);
+    assert_eq!(status, 200);
+
+    let id = submit(&server.addr, &clean_spec());
+    wait_for_state(&server.addr, &id, "running", Duration::from_secs(30));
+    let job_dir = root.join(&id);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !has_checkpoint(&job_dir) {
+        assert!(Instant::now() < deadline, "no checkpoint appeared before the fault");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Inject the disk fault: the checkpoints directory becomes a plain
+    // file, so every subsequent checkpoint write fails with ENOTDIR.
+    // (chmod is useless here — tests may run as root.)
+    let ckpt_dir = job_dir.join("checkpoints");
+    fs::remove_dir_all(&ckpt_dir).expect("remove checkpoints dir");
+    fs::write(&ckpt_dir, b"not a directory").expect("plant the fault");
+
+    // Liveness holds while readiness degrades: /healthz stays 200 with
+    // live:true, /readyz flips to 503.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, _, health) = http(&server.addr, "GET", "/healthz", None);
+        assert_eq!(status, 200, "liveness must hold through a disk fault");
+        assert!(health.contains("\"live\":true"), "{health}");
+        if health.contains("\"disk_degraded\":true") {
+            assert!(health.contains("\"ready\":false"), "{health}");
+            break;
+        }
+        assert!(Instant::now() < deadline, "disk fault never degraded the server: {health}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (status, _, ready) = http(&server.addr, "GET", "/readyz", None);
+    assert_eq!(status, 503, "readiness must fail while disk-degraded: {ready}");
+
+    // The failure was classified and counted, and the job is retrying
+    // rather than dead.
+    let (_, _, metrics) = http(&server.addr, "GET", "/metrics", None);
+    assert!(json_u64(&metrics, "disk_write_failures") >= Some(1), "{metrics}");
+
+    // Heal the disk before the backoff expires; the retry then runs
+    // clean, the job completes, and readiness recovers.
+    fs::remove_file(&ckpt_dir).expect("remove the fault");
+    fs::create_dir_all(&ckpt_dir).expect("restore checkpoints dir");
+
+    wait_for_state(&server.addr, &id, "done", Duration::from_secs(180));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, _, health) = http(&server.addr, "GET", "/healthz", None);
+        assert_eq!(status, 200);
+        if health.contains("\"disk_degraded\":false") && health.contains("\"ready\":true") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "server never recovered from the disk fault: {health}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (status, _, _) = http(&server.addr, "GET", "/readyz", None);
+    assert_eq!(status, 200, "readiness must recover after a clean settle");
+
+    server.shutdown();
+    let _ = fs::remove_dir_all(&root);
+}

@@ -198,7 +198,9 @@ fn wait_for_state(addr: &str, id: &str, want: &str, timeout: Duration) {
         if state == want {
             return;
         }
-        if ["done", "failed", "cancelled"].contains(&state.as_str()) {
+        if ["done", "failed", "cancelled", "quarantined", "deadline_exceeded"]
+            .contains(&state.as_str())
+        {
             let (_, _, body) = http(addr, "GET", &format!("/jobs/{id}"), None);
             panic!("job {id} reached terminal state '{state}' while waiting for '{want}': {body}");
         }

@@ -25,6 +25,7 @@
 pub mod agg;
 pub mod hist;
 pub mod jsonl;
+pub mod names;
 pub mod progress;
 pub mod report;
 

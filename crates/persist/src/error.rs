@@ -73,6 +73,15 @@ impl PersistError {
     pub fn schema(message: impl Into<String>) -> Self {
         PersistError::Schema(message.into())
     }
+
+    /// Whether this failure came from the OS I/O layer rather than from
+    /// corrupt or incompatible data. I/O failures (full disk, vanished
+    /// mount, permission flap) are worth retrying after a pause;
+    /// corruption variants describe bytes that will never parse
+    /// differently, so retrying the same read cannot help.
+    pub fn is_transient_io(&self) -> bool {
+        matches!(self, PersistError::Io { .. })
+    }
 }
 
 impl fmt::Display for PersistError {
@@ -119,5 +128,26 @@ impl std::error::Error for PersistError {
             PersistError::Io { source, .. } => Some(source),
             _ => None,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_os_io_failures_are_transient() {
+        let io = PersistError::io("/tmp/x", std::io::Error::other("disk on fire"));
+        assert!(io.is_transient_io());
+        assert!(!PersistError::schema("wrong shape").is_transient_io());
+        assert!(
+            !PersistError::Parse { line: 1, column: 2, message: "oops".into() }.is_transient_io()
+        );
+        let corrupt = PersistError::ChecksumMismatch {
+            path: PathBuf::from("/tmp/x"),
+            expected: 1,
+            actual: 2,
+        };
+        assert!(!corrupt.is_transient_io(), "corruption never heals by retrying");
     }
 }

@@ -55,7 +55,7 @@ mod tests {
     fn errors_render_as_structured_json() {
         let resp = ApiError::new(429, "queue_full", "queue is full").response();
         assert_eq!(resp.status, 429);
-        let text = String::from_utf8(resp.body).expect("utf-8");
+        let text = String::from_utf8_lossy(&resp.body);
         assert_eq!(
             text,
             "{\"error\":{\"status\":429,\"code\":\"queue_full\",\"message\":\"queue is full\"}}"

@@ -53,8 +53,10 @@ pub enum HttpError {
 
 /// Reads one HTTP/1.1 request from `stream`. The caller must have set a
 /// read timeout on the socket; a stalled client surfaces as
-/// [`HttpError::Timeout`].
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+/// [`HttpError::Timeout`]. Generic over the byte source so the parser
+/// can be exercised against in-memory input (see the proptest harness);
+/// the server always hands it a `TcpStream`.
+pub fn read_request<R: Read>(stream: &mut R, max_body: usize) -> Result<Request, HttpError> {
     let mut reader = BufReader::new(stream);
     let mut head_bytes = 0usize;
 
@@ -103,8 +105,8 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
 
 /// Reads one CRLF- (or LF-) terminated line, charging it against the
 /// per-request head budget.
-fn read_line(
-    reader: &mut BufReader<&mut TcpStream>,
+fn read_line<R: Read>(
+    reader: &mut BufReader<&mut R>,
     head_bytes: &mut usize,
 ) -> Result<String, HttpError> {
     let mut buf = Vec::new();

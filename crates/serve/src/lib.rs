@@ -13,27 +13,33 @@
 //! the embedding binary supplies a [`JobRunner`]. Layering:
 //!
 //! ```text
-//! http    one-request-per-connection parser/writer, hard caps
-//! error   structured JSON error bodies
-//! job     lifecycle states + the shared per-job record
-//! metrics whole-server counters (GET /metrics)
-//! runner  the JobRunner seam the embedding binary implements
-//! manager bounded queue, worker pool, recovery, drain
-//! server  accept loop, connection pool, routing, event streaming
+//! http      one-request-per-connection parser/writer, hard caps
+//! error     structured JSON error bodies
+//! lock      poison-recovering mutex acquisition
+//! supervise retry backoff, heartbeats, and the supervision policy
+//! job       lifecycle states + the shared per-job record
+//! metrics   whole-server counters (GET /metrics)
+//! runner    the JobRunner seam the embedding binary implements
+//! manager   bounded queue, worker pool, watchdog, recovery, drain
+//! server    accept loop, connection pool, routing, event streaming
 //! ```
 
 mod error;
 mod http;
 mod job;
+mod lock;
 mod manager;
 mod metrics;
 mod runner;
 mod server;
+mod supervise;
 
 pub use error::ApiError;
 pub use http::{read_request, HttpError, Request, Response};
-pub use job::{JobRecord, JobState, LiveMetrics, JOB_FORMAT};
+pub use job::{HistoryEntry, InterruptKind, JobRecord, JobState, LiveMetrics, JOB_FORMAT};
+pub use lock::lock;
 pub use manager::JobManager;
 pub use metrics::ServerMetrics;
-pub use runner::{JobContext, JobRunner, RunOutcome};
+pub use runner::{FailureKind, JobContext, JobRunner, RunError, RunOutcome};
 pub use server::{ServeConfig, Server};
+pub use supervise::{backoff_delay, Heartbeat, SupervisePolicy};

@@ -1,0 +1,42 @@
+//! Poison-recovering mutex acquisition.
+//!
+//! Every lock in this crate guards state that stays internally
+//! consistent between acquisitions — job records persist themselves,
+//! counters are atomics, the queue is re-checked under the lock — so a
+//! panic inside a critical section leaves nothing half-written that a
+//! later reader could misinterpret. Std's poisoning would still turn
+//! that one panicked thread into a cascade: every subsequent
+//! `.lock().expect(...)` on the same mutex aborts its thread too, and
+//! the whole server wedges. [`lock`] recovers the guard instead, so a
+//! single crashed holder costs exactly one job, never the process.
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Acquires `m`, recovering the guard when a previous holder panicked.
+pub fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn a_panicked_holder_does_not_poison_later_acquisitions() {
+        let shared = Arc::new(Mutex::new(41u64));
+        let holder = Arc::clone(&shared);
+        let panicked = std::thread::spawn(move || {
+            let mut guard = lock(&holder);
+            *guard += 1;
+            panic!("holder dies with the lock");
+        })
+        .join();
+        assert!(panicked.is_err(), "the holder must have panicked");
+        assert!(shared.lock().is_err(), "the mutex must actually be poisoned");
+        // The helper recovers the guard and the pre-panic write is intact.
+        assert_eq!(*lock(&shared), 42);
+        *lock(&shared) = 7;
+        assert_eq!(*lock(&shared), 7);
+    }
+}

@@ -1,14 +1,22 @@
 //! Whole-server counters behind `GET /metrics`.
 //!
-//! Plain atomics — incremented from HTTP threads and run workers alike,
-//! rendered as one flat JSON object. These are process-local and reset
-//! on restart; per-job durable truth lives in each job's `RunStore`.
+//! Plain atomics — incremented from HTTP threads, run workers, and the
+//! watchdog alike, rendered as one flat JSON object. These are
+//! process-local and reset on restart; per-job durable truth lives in
+//! each job's `RunStore`. Supervision counters share their names with
+//! the engine's `metrics.json` via [`moela_obs::names`].
+//!
+//! `disk_degraded` is the one non-monotonic flag here: it latches on a
+//! failed checkpoint/manifest write and clears on the next successful
+//! one, and is what splits `/readyz` readiness from `/healthz`
+//! liveness.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
+use moela_obs::names;
 use moela_persist::Value;
 
-/// Monotonic server-lifetime counters.
+/// Monotonic server-lifetime counters (plus the disk-health latch).
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
     /// HTTP requests parsed far enough to be routed.
@@ -21,7 +29,7 @@ pub struct ServerMetrics {
     pub rejected_full: AtomicU64,
     /// Jobs that ran to completion.
     pub completed: AtomicU64,
-    /// Jobs that errored while running.
+    /// Jobs that errored permanently while running.
     pub failed: AtomicU64,
     /// Jobs cancelled by a client.
     pub cancelled: AtomicU64,
@@ -29,6 +37,23 @@ pub struct ServerMetrics {
     pub interrupted: AtomicU64,
     /// Jobs rediscovered from disk and re-queued at startup.
     pub recovered: AtomicU64,
+    /// Jobs re-queued with backoff after a transient failure.
+    pub retried: AtomicU64,
+    /// Jobs parked terminally after exhausting their attempt budget.
+    pub quarantined: AtomicU64,
+    /// Jobs the watchdog marked stalled on a stale heartbeat.
+    pub stalled: AtomicU64,
+    /// Jobs terminated by their spec's `timeout_s` deadline.
+    pub deadline_exceeded: AtomicU64,
+    /// Runner panics contained by a worker's unwind boundary.
+    pub runner_panics: AtomicU64,
+    /// Worker threads replaced after dying or being abandoned.
+    pub worker_respawns: AtomicU64,
+    /// Job-state / checkpoint writes that failed with an I/O error.
+    pub disk_write_failures: AtomicU64,
+    /// Latched while the last job-state write failed; cleared by the
+    /// next successful one. Drives the `/readyz` readiness split.
+    pub disk_degraded: AtomicBool,
 }
 
 impl ServerMetrics {
@@ -40,6 +65,22 @@ impl ServerMetrics {
     /// Adds one to `counter`.
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a failed durable write (the latch is set separately by
+    /// the manager, which tracks which jobs are still disk-suspect).
+    pub fn count_disk_failure(&self) {
+        Self::bump(&self.disk_write_failures);
+    }
+
+    /// Sets or clears the readiness-degradation latch.
+    pub fn set_disk_degraded(&self, degraded: bool) {
+        self.disk_degraded.store(degraded, Ordering::Relaxed);
+    }
+
+    /// Whether the last durable write failed.
+    pub fn is_disk_degraded(&self) -> bool {
+        self.disk_degraded.load(Ordering::Relaxed)
     }
 
     /// Renders the counters for `GET /metrics`.
@@ -55,6 +96,14 @@ impl ServerMetrics {
             ("jobs_cancelled", read(&self.cancelled)),
             ("jobs_interrupted", read(&self.interrupted)),
             ("jobs_recovered", read(&self.recovered)),
+            (names::JOBS_RETRIED, read(&self.retried)),
+            (names::JOBS_QUARANTINED, read(&self.quarantined)),
+            (names::JOBS_STALLED, read(&self.stalled)),
+            (names::JOBS_DEADLINE_EXCEEDED, read(&self.deadline_exceeded)),
+            (names::RUNNER_PANICS, read(&self.runner_panics)),
+            (names::WORKER_RESPAWNS, read(&self.worker_respawns)),
+            (names::DISK_WRITE_FAILURES, read(&self.disk_write_failures)),
+            ("disk_degraded", Value::Bool(self.is_disk_degraded())),
         ])
     }
 }
@@ -68,11 +117,31 @@ mod tests {
         let m = ServerMetrics::new();
         let v = m.to_value();
         assert_eq!(v.field("jobs_submitted").unwrap().as_u64().unwrap(), 0);
+        assert_eq!(v.field("jobs_retried").unwrap().as_u64().unwrap(), 0);
+        assert_eq!(v.field("jobs_quarantined").unwrap().as_u64().unwrap(), 0);
         ServerMetrics::bump(&m.submitted);
         ServerMetrics::bump(&m.submitted);
         ServerMetrics::bump(&m.rejected_full);
         let v = m.to_value();
         assert_eq!(v.field("jobs_submitted").unwrap().as_u64().unwrap(), 2);
         assert_eq!(v.field("jobs_rejected_full").unwrap().as_u64().unwrap(), 1);
+    }
+
+    #[test]
+    fn disk_degradation_latches_and_recovers() {
+        let m = ServerMetrics::new();
+        assert!(!m.is_disk_degraded());
+        m.count_disk_failure();
+        m.count_disk_failure();
+        m.set_disk_degraded(true);
+        assert!(m.is_disk_degraded());
+        let v = m.to_value();
+        assert_eq!(v.field("disk_write_failures").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(v.field("disk_degraded").unwrap(), &Value::Bool(true));
+        m.set_disk_degraded(false);
+        assert!(!m.is_disk_degraded());
+        let v = m.to_value();
+        assert_eq!(v.field("disk_write_failures").unwrap().as_u64().unwrap(), 2, "counter stays");
+        assert_eq!(v.field("disk_degraded").unwrap(), &Value::Bool(false));
     }
 }

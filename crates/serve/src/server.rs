@@ -9,10 +9,18 @@
 //! GET    /jobs/{id}/trace   convergence trace (JSON)     200 | 404 | 409
 //! GET    /jobs/{id}/events  telemetry JSONL stream       200 | 404
 //! DELETE /jobs/{id}         cancel                       200 | 404 | 409
-//! GET    /healthz           liveness probe               200
+//! GET    /healthz           liveness probe (always 200)  200
+//! GET    /readyz            readiness probe              200 | 503
 //! GET    /metrics           server counters              200
 //! POST   /shutdown          graceful drain, then exit 0  200
 //! ```
+//!
+//! Liveness and readiness are deliberately split: `/healthz` answers
+//! 200 as long as the process can serve HTTP at all (its body reports
+//! `ready`/`disk_degraded` for observers), while `/readyz` turns 503
+//! when the server is draining or the disk-health latch is set — a load
+//! balancer should stop routing new submissions, but the process should
+//! not be killed while it is still retrying jobs and serving reads.
 //!
 //! Every response carries `Connection: close`; every socket gets read
 //! and write timeouts before a byte is parsed, so a stalled client can
@@ -33,9 +41,11 @@ use moela_persist::{decode, Value};
 use crate::error::ApiError;
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::job::{JobRecord, JobState};
+use crate::lock::lock;
 use crate::manager::JobManager;
 use crate::metrics::ServerMetrics;
 use crate::runner::JobRunner;
+use crate::supervise::SupervisePolicy;
 
 /// Server tunables; every field has a sensible default via
 /// [`ServeConfig::new`].
@@ -57,6 +67,8 @@ pub struct ServeConfig {
     pub write_timeout: Duration,
     /// Request-body cap in bytes.
     pub max_body: usize,
+    /// Job supervision: retry budget/backoff, stall detection, deadlines.
+    pub supervise: SupervisePolicy,
 }
 
 impl ServeConfig {
@@ -71,6 +83,7 @@ impl ServeConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             max_body: 256 * 1024,
+            supervise: SupervisePolicy::default(),
         }
     }
 }
@@ -100,6 +113,7 @@ impl Server {
             config.run_root.clone(),
             config.queue_depth,
             config.workers,
+            config.supervise.clone(),
             runner,
             Arc::clone(&metrics),
         )?;
@@ -179,8 +193,7 @@ fn spawn_http_pool(
                 .name(format!("moela-http-{n}"))
                 .spawn(move || loop {
                     let stream = {
-                        let guard: std::sync::MutexGuard<'_, Receiver<TcpStream>> =
-                            rx.lock().expect("http rx");
+                        let guard: std::sync::MutexGuard<'_, Receiver<TcpStream>> = lock(&rx);
                         guard.recv()
                     };
                     match stream {
@@ -230,13 +243,34 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream) {
 fn route(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
+        // Liveness: always 200 while the process can answer HTTP; the
+        // body carries the readiness detail for observers.
         ("GET", ["healthz"]) => {
             let draining = state.shutdown.load(Ordering::SeqCst);
+            let degraded = state.metrics.is_disk_degraded();
             Ok(Response::json(
                 200,
                 &Value::object(vec![
-                    ("ok", Value::Bool(true)),
+                    ("ok", Value::Bool(!draining && !degraded)),
+                    ("live", Value::Bool(true)),
+                    ("ready", Value::Bool(!draining && !degraded)),
                     ("draining", Value::Bool(draining)),
+                    ("disk_degraded", Value::Bool(degraded)),
+                ]),
+            ))
+        }
+        // Readiness: 503 while draining or disk-degraded so a load
+        // balancer stops sending new work — without killing the process.
+        ("GET", ["readyz"]) => {
+            let draining = state.shutdown.load(Ordering::SeqCst);
+            let degraded = state.metrics.is_disk_degraded();
+            let ready = !draining && !degraded;
+            Ok(Response::json(
+                if ready { 200 } else { 503 },
+                &Value::object(vec![
+                    ("ready", Value::Bool(ready)),
+                    ("draining", Value::Bool(draining)),
+                    ("disk_degraded", Value::Bool(degraded)),
                 ]),
             ))
         }
@@ -270,7 +304,7 @@ fn route(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
         }
         ("GET", ["jobs", id, "front"]) => artifact(state, id, "front.json"),
         ("GET", ["jobs", id, "trace"]) => artifact(state, id, "trace.json"),
-        (_, ["healthz" | "metrics" | "shutdown" | "jobs", ..]) => Err(ApiError::new(
+        (_, ["healthz" | "readyz" | "metrics" | "shutdown" | "jobs", ..]) => Err(ApiError::new(
             405,
             "method_not_allowed",
             format!("{} is not supported on {}", req.method, req.path),
@@ -338,7 +372,8 @@ fn stream_events(state: &ServerState, req: &Request, stream: &mut TcpStream) {
                 offset = bytes.len() as u64;
             }
         }
-        let live = matches!(record.state(), JobState::Queued | JobState::Running);
+        let live =
+            matches!(record.state(), JobState::Queued | JobState::Running | JobState::Stalled);
         if !live || state.shutdown.load(Ordering::SeqCst) {
             return;
         }
@@ -349,12 +384,12 @@ fn stream_events(state: &ServerState, req: &Request, stream: &mut TcpStream) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{JobContext, RunOutcome};
+    use crate::runner::{JobContext, RunError, RunOutcome};
     use moela_persist::RunStore;
     use std::io::{Read, Write};
 
     /// A runner that writes a front.json + an events line, then polls
-    /// its cancel token for `steps` ticks.
+    /// its cancel token for `steps` ticks (beating the heartbeat).
     struct StubRunner {
         steps: u64,
     }
@@ -367,11 +402,12 @@ mod tests {
             Ok(spec.clone())
         }
 
-        fn run(&self, ctx: JobContext<'_>) -> Result<RunOutcome, String> {
-            let store = RunStore::create(ctx.dir).map_err(|e| e.to_string())?;
+        fn run(&self, ctx: JobContext<'_>) -> Result<RunOutcome, RunError> {
+            let store = RunStore::create(ctx.dir).map_err(|e| RunError::disk(e.to_string()))?;
             std::fs::write(store.events_path(), "{\"event\":\"started\"}\n")
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| RunError::disk(e.to_string()))?;
             for _ in 0..self.steps {
+                ctx.heartbeat.beat();
                 if ctx.cancel.is_cancelled() {
                     return Ok(RunOutcome::Interrupted);
                 }
@@ -382,7 +418,7 @@ mod tests {
                     "objectives",
                     Value::Array(vec![Value::Array(vec![Value::F64(1.0), Value::F64(2.0)])]),
                 )]))
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| RunError::disk(e.to_string()))?;
             Ok(RunOutcome::Completed {
                 summary: Value::object(vec![("evaluations", Value::U64(42))]),
             })
@@ -463,9 +499,15 @@ mod tests {
         let (status, body) = server.call("GET", "/healthz", "");
         assert_eq!(status, 200);
         assert!(body.contains("\"ok\":true"), "{body}");
+        assert!(body.contains("\"live\":true"), "{body}");
+        assert!(body.contains("\"disk_degraded\":false"), "{body}");
+        let (status, body) = server.call("GET", "/readyz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ready\":true"), "{body}");
         let (status, body) = server.call("GET", "/metrics", "");
         assert_eq!(status, 200);
         assert!(body.contains("\"jobs_submitted\":0"), "{body}");
+        assert!(body.contains("\"jobs_quarantined\":0"), "{body}");
         let (status, body) = server.call("GET", "/nope", "");
         assert_eq!(status, 404);
         assert!(body.contains("\"code\":\"not_found\""), "{body}");

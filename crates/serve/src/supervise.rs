@@ -1,0 +1,183 @@
+//! Supervision policy: retry backoff, heartbeats, and the knobs the
+//! watchdog runs on.
+//!
+//! Everything here is deterministic on purpose. The backoff jitter is
+//! derived from the job id and the attempt number — not a clock, not a
+//! process-global RNG — so the exact retry schedule of any job can be
+//! reproduced (and pinned in tests) from its `job.json` alone. Two jobs
+//! retrying after the same fault still spread out, because their ids
+//! hash apart.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Tunables for the self-healing job lifecycle. One policy is shared by
+/// the manager, its workers, and the watchdog thread.
+#[derive(Debug, Clone)]
+pub struct SupervisePolicy {
+    /// Attempts a job may consume before it is quarantined. An attempt
+    /// is counted when a worker picks the job up, so crash-loops that
+    /// never reach a failure path still burn attempts.
+    pub max_attempts: u64,
+    /// First retry delay; doubles every further attempt.
+    pub retry_base: Duration,
+    /// Ceiling on the exponential part of the retry delay.
+    pub retry_cap: Duration,
+    /// A running job whose heartbeat is older than this is `stalled`.
+    pub stall_timeout: Duration,
+    /// How long after stalling (still without a heartbeat) the watchdog
+    /// abandons the worker and quarantines the job.
+    pub stall_grace: Duration,
+    /// Watchdog scan cadence.
+    pub tick: Duration,
+}
+
+impl Default for SupervisePolicy {
+    fn default() -> Self {
+        SupervisePolicy {
+            max_attempts: 3,
+            retry_base: Duration::from_secs(1),
+            retry_cap: Duration::from_secs(60),
+            stall_timeout: Duration::from_secs(30),
+            stall_grace: Duration::from_secs(60),
+            tick: Duration::from_millis(50),
+        }
+    }
+}
+
+impl SupervisePolicy {
+    /// The delay before retrying `job_id` after its `attempt`-th failed
+    /// attempt (1-based). See [`backoff_delay`].
+    pub fn backoff(&self, job_id: &str, attempt: u64) -> Duration {
+        backoff_delay(self.retry_base, self.retry_cap, job_id, attempt)
+    }
+}
+
+/// Exponential backoff with deterministic jitter: `base · 2^(n−1)`
+/// capped at `cap`, plus up to 25% jitter drawn from a hash of the job
+/// id and the attempt number. No clocks, no global RNG — the schedule
+/// is a pure function of its arguments.
+pub fn backoff_delay(base: Duration, cap: Duration, job_id: &str, attempt: u64) -> Duration {
+    let attempt = attempt.max(1);
+    let base_ms = (base.as_millis() as u64).max(1);
+    let cap_ms = (cap.as_millis() as u64).max(base_ms);
+    let shift = (attempt - 1).min(16) as u32;
+    let exp_ms = base_ms.saturating_mul(1u64 << shift).min(cap_ms);
+    let span = exp_ms / 4;
+    let jitter = if span == 0 { 0 } else { splitmix64(fnv1a(job_id) ^ attempt) % (span + 1) };
+    Duration::from_millis(exp_ms + jitter)
+}
+
+/// FNV-1a over the job id: stable, dependency-free, good enough to
+/// decorrelate sibling jobs' schedules.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: turns the structured fnv⊕attempt input into
+/// well-mixed jitter bits.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A step-boundary heartbeat: the engine loop beats it once per
+/// optimizer step, the watchdog reads how long ago the last beat was.
+/// Stored as milliseconds since the heartbeat's own epoch so readers
+/// and writers never share more than one atomic.
+#[derive(Debug)]
+pub struct Heartbeat {
+    epoch: Instant,
+    last_ms: AtomicU64,
+}
+
+impl Default for Heartbeat {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Heartbeat {
+    /// A fresh heartbeat, considered beaten "now".
+    pub fn new() -> Self {
+        Heartbeat { epoch: Instant::now(), last_ms: AtomicU64::new(0) }
+    }
+
+    /// Records a beat.
+    pub fn beat(&self) {
+        self.last_ms.store(self.epoch.elapsed().as_millis() as u64, Ordering::Release);
+    }
+
+    /// Time since the last beat.
+    pub fn idle(&self) -> Duration {
+        let now = self.epoch.elapsed().as_millis() as u64;
+        Duration::from_millis(now.saturating_sub(self.last_ms.load(Ordering::Acquire)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_doubles_under_the_cap() {
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(10);
+        for attempt in 1..=8 {
+            let a = backoff_delay(base, cap, "job-000007", attempt);
+            let b = backoff_delay(base, cap, "job-000007", attempt);
+            assert_eq!(a, b, "attempt {attempt} must be reproducible");
+            let exp = (100u64 << (attempt - 1)).min(10_000);
+            let ms = a.as_millis() as u64;
+            assert!(ms >= exp, "attempt {attempt}: {ms} < exponential floor {exp}");
+            assert!(ms <= exp + exp / 4, "attempt {attempt}: {ms} above jitter ceiling");
+        }
+    }
+
+    #[test]
+    fn backoff_sequence_is_pinned_for_a_known_job() {
+        // The exact schedule for job-000001 at base 100ms / cap 10s.
+        // These values are the contract: change the hash, the mixer, or
+        // the jitter span and this test must be updated deliberately.
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(10);
+        let schedule: Vec<u64> =
+            (1..=6).map(|n| backoff_delay(base, cap, "job-000001", n).as_millis() as u64).collect();
+        assert_eq!(schedule, vec![119, 208, 477, 952, 1918, 3438]);
+    }
+
+    #[test]
+    fn jobs_with_different_ids_jitter_apart() {
+        let base = Duration::from_millis(1000);
+        let cap = Duration::from_secs(60);
+        let a = backoff_delay(base, cap, "job-000001", 1);
+        let b = backoff_delay(base, cap, "job-000002", 1);
+        assert_ne!(a, b, "sibling jobs must not retry in lockstep");
+    }
+
+    #[test]
+    fn backoff_tolerates_degenerate_inputs() {
+        // Zero base, huge attempt, cap below base: no panic, no zero
+        // stampede, exponential part saturates at the cap.
+        let d = backoff_delay(Duration::ZERO, Duration::ZERO, "j", 1);
+        assert!(d >= Duration::from_millis(1));
+        let d = backoff_delay(Duration::from_secs(5), Duration::from_secs(1), "j", 63);
+        assert!(d <= Duration::from_secs(5) + Duration::from_millis(1250));
+    }
+
+    #[test]
+    fn heartbeat_idle_grows_until_the_next_beat() {
+        let hb = Heartbeat::new();
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(hb.idle() >= Duration::from_millis(20));
+        hb.beat();
+        assert!(hb.idle() < Duration::from_millis(20));
+    }
+}

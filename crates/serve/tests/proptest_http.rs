@@ -1,0 +1,96 @@
+//! Property-based fuzzing of the hand-rolled HTTP/1.1 parser.
+//!
+//! The parser sits in front of every byte a client can send, so its
+//! contract is absolute: for ANY input — random byte soup, truncated
+//! heads, oversized lines, hostile Content-Lengths — it returns a
+//! structured [`HttpError`] or a parsed request. It never panics and
+//! never allocates past its caps. The parser is generic over `Read`,
+//! so these cases drive it straight from in-memory cursors with no
+//! sockets involved.
+
+use std::io::Cursor;
+
+use moela_serve::{read_request, HttpError};
+use proptest::prelude::*;
+
+/// The body cap used across the harness (small, so the TooLarge path
+/// is reachable by generated Content-Lengths).
+const MAX_BODY: usize = 4 * 1024;
+
+/// Runs the parser over raw bytes; the return value only matters to
+/// the cases that assert which structured outcome appeared.
+fn parse(raw: &[u8]) -> Result<moela_serve::Request, HttpError> {
+    read_request(&mut Cursor::new(raw.to_vec()), MAX_BODY)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup must produce a structured outcome, not a
+    /// panic (the proptest runner turns any panic into a failure).
+    #[test]
+    fn byte_soup_never_panics(raw in proptest::collection::vec(0u8..=255u8, 0..2048)) {
+        let _ = parse(&raw);
+    }
+
+    /// Mostly-textual soup exercises the request-line and header paths
+    /// deeper than uniform bytes (which usually die on the first line).
+    #[test]
+    fn ascii_soup_never_panics(raw in proptest::collection::vec(9u8..=126u8, 0..2048)) {
+        let _ = parse(&raw);
+    }
+
+    /// Every truncation of a valid request fails with a structured
+    /// error — closed-mid-request or disconnected — never a panic, and
+    /// never a phantom "parsed" request.
+    #[test]
+    fn truncated_heads_fail_structurally(cut in 0usize..55) {
+        // The full request is 55 bytes; every strict prefix is truncated.
+        let full = b"POST /jobs HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd";
+        prop_assert!(cut < full.len());
+        let err = parse(&full[..cut]).expect_err("a truncated request must not parse");
+        prop_assert!(
+            matches!(err, HttpError::Malformed(_) | HttpError::Disconnected),
+            "unexpected error for cut {}: {:?}", cut, err
+        );
+    }
+
+    /// A header line of any length past the cap is refused as TooLarge
+    /// instead of being buffered without bound.
+    #[test]
+    fn oversized_header_lines_are_capped(extra in 0usize..4096) {
+        let mut raw = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 4096 + extra));
+        raw.extend_from_slice(b"\r\n\r\n");
+        let err = parse(&raw).expect_err("oversized header must be refused");
+        prop_assert!(matches!(err, HttpError::TooLarge(_)), "{:?}", err);
+    }
+
+    /// A Content-Length above the body cap is refused before any body
+    /// byte is read, whatever the advertised size.
+    #[test]
+    fn oversized_bodies_are_refused_up_front(excess in 1u64..u32::MAX as u64) {
+        let raw = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY as u64 + excess
+        );
+        let err = parse(raw.as_bytes()).expect_err("oversized body must be refused");
+        prop_assert!(matches!(err, HttpError::TooLarge(_)), "{:?}", err);
+    }
+
+    /// Valid requests with arbitrary binary bodies round-trip exactly:
+    /// fuzzing must not scare the parser off correct input.
+    #[test]
+    fn valid_requests_round_trip(body in proptest::collection::vec(0u8..=255u8, 0..512)) {
+        let mut raw = format!(
+            "POST /jobs/fuzz HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        raw.extend_from_slice(&body);
+        let req = parse(&raw).expect("a well-formed request must parse");
+        prop_assert_eq!(req.method.as_str(), "POST");
+        prop_assert_eq!(req.path.as_str(), "/jobs/fuzz");
+        prop_assert_eq!(req.body, body);
+    }
+}
