@@ -360,6 +360,7 @@ where
             return false;
         }
         let select_span = self.obs.span("select");
+        let mut ea_improvements = 0u64;
         for ((child, child_objs), pool) in children.iter().zip(&batch.objectives).zip(&pools) {
             let Some(child_objs) = child_objs else { continue };
             if is_quarantined(child_objs) {
@@ -387,6 +388,10 @@ where
                     replaced += 1;
                 }
             }
+            ea_improvements += replaced as u64;
+        }
+        if ea_improvements > 0 {
+            self.obs.counter(moela_obs::names::EA_IMPROVEMENTS, ea_improvements);
         }
         drop(select_span);
         {

@@ -311,6 +311,7 @@ where
 
         // --- Base search: PHV-greedy hill climb ---------------------
         let ls_span = self.obs.span("local_search");
+        let mut ls_improvements = 0u64;
         const PATIENCE: usize = 3;
         let mut current = self.start.clone();
         let mut current_phv = normalized_phv(&self.archive.objectives(), &self.normalizer);
@@ -344,7 +345,9 @@ where
             }
             match best {
                 Some((cand, objs, potential)) if potential > current_phv + 1e-12 => {
-                    self.archive.insert(cand.clone(), objs);
+                    if self.archive.insert(cand.clone(), objs) {
+                        ls_improvements += 1;
+                    }
                     current = cand;
                     current_phv = potential;
                     trajectory.push(self.problem.features(&current));
@@ -359,6 +362,9 @@ where
             }
         }
 
+        if ls_improvements > 0 {
+            self.obs.counter(moela_obs::names::LS_IMPROVEMENTS, ls_improvements);
+        }
         drop(ls_span);
 
         // --- Label the trajectory and retrain Eval ------------------

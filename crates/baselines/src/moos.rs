@@ -424,11 +424,17 @@ where
         }
         {
             let _archive = self.obs.span("archive_update");
+            let mut ls_improvements = 0u64;
             for (s, o) in accepted {
                 self.z.update(&o);
                 self.normalizer.observe(&o);
                 self.recorder.observe(&o);
-                self.archive.insert(s, o);
+                if self.archive.insert(s, o) {
+                    ls_improvements += 1;
+                }
+            }
+            if ls_improvements > 0 {
+                self.obs.counter(moela_obs::names::LS_IMPROVEMENTS, ls_improvements);
             }
         }
         let phv_after = normalized_phv(&self.archive.objectives(), &self.normalizer);

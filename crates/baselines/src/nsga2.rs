@@ -329,8 +329,27 @@ where
         // Environmental selection over parents ∪ offspring.
         {
             let _select = self.obs.span("select");
+            let offspring_objs: Vec<Vec<f64>> = offspring.iter().map(|(_, o)| o.clone()).collect();
             self.pop.extend(offspring);
             self.pop = environmental_selection(std::mem::take(&mut self.pop), cfg.population);
+            // Operator attribution (telemetry only): offspring that won
+            // a slot in the next generation, matched multiset-style by
+            // their bit-exact objective vectors.
+            let mut unmatched = offspring_objs;
+            let survivors = self
+                .pop
+                .iter()
+                .filter(|(_, objs)| match unmatched.iter().position(|o| o == objs) {
+                    Some(i) => {
+                        unmatched.swap_remove(i);
+                        true
+                    }
+                    None => false,
+                })
+                .count() as u64;
+            if survivors > 0 {
+                self.obs.counter(moela_obs::names::EA_IMPROVEMENTS, survivors);
+            }
         }
         let objs: Vec<Vec<f64>> = self.pop.iter().map(|(_, o)| o.clone()).collect();
         {

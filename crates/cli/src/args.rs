@@ -251,6 +251,26 @@ pub enum Command {
         /// Measured cycles.
         cycles: u64,
     },
+    /// Analyze a finished run directory: write `report.json` and the
+    /// Perfetto-viewable `trace.chrome.json`, print a summary.
+    Report {
+        /// The run directory (must hold a manifest and a finished run).
+        dir: String,
+        /// Verbosity of human-facing status output.
+        log_level: LogLevel,
+    },
+    /// Compare two finished runs (or benchmark snapshots) and fail on
+    /// regression — the CI bench gate.
+    CompareRuns {
+        /// Baseline run directory or `BENCH_*.json` snapshot.
+        baseline: String,
+        /// Candidate run directory or `BENCH_*.json` snapshot.
+        candidate: String,
+        /// Maximum tolerated relative final-PHV drop.
+        max_phv_regression: f64,
+        /// Maximum tolerated relative evals/s drop.
+        max_rate_regression: f64,
+    },
     /// Resume an interrupted run from its run directory.
     Resume {
         /// The run directory (must hold a manifest and checkpoints).
@@ -290,7 +310,13 @@ pub fn parse(args: &[String]) -> Result<Command, ArgsError> {
         "version" | "--version" | "-V" => Ok(Command::Version),
         "resume" => parse_resume(rest),
         "serve" => parse_serve(rest),
+        "report" => parse_report(rest),
         "run" => Ok(Command::Run(parse_run_options(rest)?)),
+        // Two forms share the name: `compare [run flags]` re-runs every
+        // algorithm at one budget, while `compare <A> <B>` diffs two
+        // existing runs/snapshots. A leading positional selects the
+        // second form.
+        "compare" if rest.first().is_some_and(|a| !a.starts_with("--")) => parse_compare_runs(rest),
         "compare" => Ok(Command::Compare(parse_run_options(rest)?)),
         "info" => {
             let opts = parse_run_options(rest)?;
@@ -377,6 +403,70 @@ fn parse_resume(args: &[String]) -> Result<Command, ArgsError> {
         progress,
         log_level,
     })
+}
+
+fn parse_report(args: &[String]) -> Result<Command, ArgsError> {
+    let mut dir = None;
+    let mut log_level = LogLevel::Info;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--log-level" => {
+                let name = it.next().ok_or("flag --log-level needs a value")?;
+                log_level = LogLevel::parse(name).ok_or_else(|| {
+                    format!("--log-level must be quiet, info, or debug (got {name})")
+                })?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(ArgsError::syntax(format!("unknown flag '{flag}'")))
+            }
+            positional if dir.is_none() => dir = Some(positional.to_owned()),
+            extra => return Err(ArgsError::syntax(format!("unexpected argument '{extra}'"))),
+        }
+    }
+    let dir = dir.ok_or("report needs a run directory (moela-dse report <DIR>)")?;
+    Ok(Command::Report { dir, log_level })
+}
+
+fn parse_compare_runs(args: &[String]) -> Result<Command, ArgsError> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut max_phv_regression = 0.01;
+    let mut max_rate_regression = 0.2;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().ok_or_else(|| format!("flag {arg} needs a value"));
+        match arg.as_str() {
+            "--max-phv-regression" => {
+                max_phv_regression =
+                    value()?.parse().map_err(|_| "--max-phv-regression needs a number")?;
+            }
+            "--max-rate-regression" => {
+                max_rate_regression =
+                    value()?.parse().map_err(|_| "--max-rate-regression needs a number")?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(ArgsError::syntax(format!("unknown flag '{flag}'")))
+            }
+            positional if paths.len() < 2 => paths.push(positional.to_owned()),
+            extra => return Err(ArgsError::syntax(format!("unexpected argument '{extra}'"))),
+        }
+    }
+    if !(0.0..=1.0).contains(&max_phv_regression) || !(0.0..=1.0).contains(&max_rate_regression) {
+        return Err(ArgsError::syntax("regression thresholds must be between 0 and 1"));
+    }
+    let mut drain = paths.drain(..);
+    match (drain.next(), drain.next()) {
+        (Some(baseline), Some(candidate)) => Ok(Command::CompareRuns {
+            baseline,
+            candidate,
+            max_phv_regression,
+            max_rate_regression,
+        }),
+        _ => Err(ArgsError::syntax(
+            "compare needs two paths (moela-dse compare <BASELINE> <CANDIDATE>, each a run \
+             directory or a BENCH_*.json snapshot)",
+        )),
+    }
 }
 
 fn parse_serve(args: &[String]) -> Result<Command, ArgsError> {
@@ -570,7 +660,11 @@ SUBCOMMANDS:
     run        run one optimizer and print its Pareto front
     resume     resume an interrupted run from its --run-dir
     serve      serve DSE jobs over HTTP (bounded queue, graceful drain)
-    compare    run every optimizer at the same budget and compare PHV
+    report     analyze a finished run directory (report.json + Perfetto
+               trace) and print convergence/phase telemetry
+    compare    run every optimizer at the same budget and compare PHV;
+               or, with two paths, diff two finished runs/snapshots and
+               fail on regression
     info       describe an application's synthesized workload
     simulate   run the flit-level NoC simulator on a random design
     version    print the build version
@@ -635,6 +729,21 @@ RESUME:
     continues an interrupted `run --run-dir DIR` from its newest intact
     checkpoint; the finished trace.csv and front.csv are byte-identical
     to an uninterrupted run at any thread count
+
+REPORT:
+    moela-dse report <DIR> [--log-level L]
+    replays DIR/events.jsonl and joins it with the deterministic
+    artifacts into DIR/report.json (convergence telemetry, exact phase
+    p50/p90/p99, operator attribution, cache/fault trends) and
+    DIR/trace.chrome.json (open at https://ui.perfetto.dev); tolerates
+    a torn final event line after SIGKILL
+
+COMPARE (regression gate):
+    moela-dse compare <BASELINE> <CANDIDATE>
+                      [--max-phv-regression F] [--max-rate-regression F]
+    each path is a finished run directory or a BENCH_*.json snapshot;
+    prints per-algorithm PHV and throughput deltas and exits 3 when the
+    candidate regresses past a threshold (defaults: PHV 0.01, rate 0.2)
 
 SIMULATE FLAGS:
     --load <F>                          injection multiplier [1.0]
@@ -765,6 +874,49 @@ mod tests {
         assert_eq!(log_level, LogLevel::Quiet);
         assert!(parse(&argv("resume")).is_err());
         assert!(parse(&argv("resume a b")).is_err());
+    }
+
+    #[test]
+    fn report_parses_dir_and_log_level() {
+        let cmd = parse(&argv("report out/run1 --log-level quiet")).expect("ok");
+        assert_eq!(cmd, Command::Report { dir: "out/run1".into(), log_level: LogLevel::Quiet });
+        assert!(parse(&argv("report")).is_err());
+        assert!(parse(&argv("report a b")).is_err());
+        assert!(parse(&argv("report a --what")).is_err());
+    }
+
+    #[test]
+    fn compare_with_two_paths_is_the_regression_gate() {
+        let cmd = parse(&argv("compare out/a out/b")).expect("ok");
+        let Command::CompareRuns { baseline, candidate, max_phv_regression, max_rate_regression } =
+            cmd
+        else {
+            panic!("expected CompareRuns")
+        };
+        assert_eq!(baseline, "out/a");
+        assert_eq!(candidate, "out/b");
+        assert_eq!(max_phv_regression, 0.01);
+        assert_eq!(max_rate_regression, 0.2);
+
+        let cmd = parse(&argv(
+            "compare BENCH_a.json BENCH_b.json --max-phv-regression 0.05 \
+             --max-rate-regression 0.5",
+        ))
+        .expect("ok");
+        let Command::CompareRuns { max_phv_regression, max_rate_regression, .. } = cmd else {
+            panic!("expected CompareRuns")
+        };
+        assert_eq!(max_phv_regression, 0.05);
+        assert_eq!(max_rate_regression, 0.5);
+
+        assert!(parse(&argv("compare out/a")).is_err(), "one path is not enough");
+        assert!(parse(&argv("compare a b c")).is_err());
+        assert!(parse(&argv("compare a b --max-phv-regression 2")).is_err());
+
+        // Flag-only compare keeps its historical meaning: run every
+        // algorithm at one budget.
+        let cmd = parse(&argv("compare --budget 50")).expect("ok");
+        assert!(matches!(cmd, Command::Compare(_)));
     }
 
     #[test]

@@ -390,6 +390,12 @@ where
         state.set_cancel(token.clone());
     }
     let t0 = Instant::now();
+    if let Some(progress) = telemetry.progress.as_mut() {
+        // The reporter was built before checkpoint decode/restore;
+        // restart its rate clock now that stepping actually begins so
+        // resume setup time never deflates evals/s or inflates the ETA.
+        progress.begin();
+    }
     let mut written = 0u64;
     while state.step(rng) {
         hooks.beat();

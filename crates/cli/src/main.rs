@@ -9,6 +9,7 @@
 //! the same engine as an HTTP job server with bounded queueing,
 //! cooperative cancellation, and graceful drain.
 
+mod analysis;
 mod args;
 mod engine;
 mod serve_cmd;
@@ -66,6 +67,12 @@ fn main() -> ExitCode {
             engine::resume(&dir, &overrides, &ExecHooks::none()).map(|_| ())
         }
         Command::Serve(opts) => serve_cmd::serve(&opts),
+        Command::Report { dir, log_level } => analysis::report(&dir, log_level),
+        Command::CompareRuns { baseline, candidate, max_phv_regression, max_rate_regression } => {
+            let thresholds =
+                analysis::CompareThresholds { max_phv_regression, max_rate_regression };
+            analysis::compare_runs(&baseline, &candidate, &thresholds)
+        }
         Command::Compare(opts) => compare(&opts),
         Command::Info { app, seed } => {
             info(app, seed);

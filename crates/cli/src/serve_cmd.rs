@@ -17,7 +17,9 @@ use moela_moo::fault::FaultPolicy;
 use moela_moo::ChaosSpec;
 use moela_obs::LogLevel;
 use moela_persist::Value;
-use moela_serve::{JobContext, JobRunner, RunError, RunOutcome, ServeConfig, Server};
+use moela_serve::{
+    JobContext, JobRunner, ReportBuilder, RunError, RunOutcome, ServeConfig, Server,
+};
 use moela_traffic::Benchmark;
 
 use crate::args::{self, Algorithm, RunOptions, ServeOptions};
@@ -265,6 +267,12 @@ pub(crate) fn serve(opts: &ServeOptions) -> Result<(), CliError> {
     config.supervise.retry_base = Duration::from_millis(opts.retry_base_ms);
     config.supervise.stall_timeout = Duration::from_secs(opts.stall_timeout_s);
     config.supervise.stall_grace = Duration::from_secs(opts.stall_grace_s);
+    // `GET /jobs/{id}/report` builds the same analysis document as
+    // `moela-dse report`, minus the on-disk artifacts (the endpoint is
+    // read-only over the job's run store).
+    config.report_builder = Some(ReportBuilder::new(|dir| {
+        crate::analysis::build_report(dir).map(|(report, _)| report).map_err(|e| e.message)
+    }));
     let runner = Arc::new(DseRunner { default_checkpoint_every: opts.checkpoint_every });
     let server = Server::bind(config, runner)
         .map_err(|e| fail(format!("cannot start server on {}: {e}", opts.addr)))?;

@@ -369,15 +369,19 @@ where
             // evaluations are already paid for, and the search may
             // have drifted through several weights' regions.
             let scope: Vec<usize> = (0..self.population.len()).collect();
+            let mut ls_improvements = 0u64;
             for (state, objectives) in &outcome.accepted {
                 self.recorder.observe(objectives);
-                self.population.update(
+                ls_improvements += self.population.update(
                     Scalarizer::Tchebycheff,
                     state,
                     objectives,
                     &scope,
                     self.config.max_replacements,
-                );
+                ) as u64;
+            }
+            if ls_improvements > 0 {
+                self.obs.counter(moela_obs::names::LS_IMPROVEMENTS, ls_improvements);
             }
         }
         drop(ls_span);
@@ -528,6 +532,7 @@ where
             return false;
         }
         let _select = self.obs.span("select");
+        let mut ea_improvements = 0u64;
         for ((child, objectives), scope) in children.iter().zip(&guarded.objectives).zip(&scopes) {
             // Dropped (Skip) children vanish; quarantined penalties could
             // never replace a real member, so both are passed over.
@@ -536,13 +541,16 @@ where
                 continue;
             }
             self.recorder.observe(objectives);
-            self.population.update(
+            ea_improvements += self.population.update(
                 Scalarizer::Tchebycheff,
                 child,
                 objectives,
                 scope,
                 cfg.max_replacements,
-            );
+            ) as u64;
+        }
+        if ea_improvements > 0 {
+            self.obs.counter(moela_obs::names::EA_IMPROVEMENTS, ea_improvements);
         }
         batch == cfg.population
     }

@@ -16,6 +16,11 @@
 //! * Human output — [`ProgressReporter`] paints a rate-limited live
 //!   status line on stderr, and [`Reporter`] routes status text through
 //!   `--log-level {quiet,info,debug}`.
+//! * Offline analysis — [`replay`] streams `events.jsonl` back into
+//!   validated per-phase statistics with exact quantiles (tolerating
+//!   the torn tail a SIGKILL leaves behind), and [`chrome`] exports the
+//!   replayed span stream as a Perfetto-viewable Chrome trace with
+//!   per-worker evaluation lanes.
 //!
 //! Determinism rule: observability data is wall-clock tainted and flows
 //! **only** to `events.jsonl`, `metrics.json`, and stderr. Nothing in
@@ -23,16 +28,20 @@
 //! `front.csv`, or checkpoints.
 
 pub mod agg;
+pub mod chrome;
 pub mod hist;
 pub mod jsonl;
 pub mod names;
 pub mod progress;
+pub mod replay;
 pub mod report;
 
 pub use agg::MetricsAggregator;
+pub use chrome::chrome_trace;
 pub use hist::LogHistogram;
 pub use jsonl::{event_value, JsonlSink};
 pub use progress::ProgressReporter;
+pub use replay::{replay_run_dir, PhaseReplay, ReplayError, ReplayEvent, RunReplay, SpanRecord};
 pub use report::{LogLevel, Reporter};
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};

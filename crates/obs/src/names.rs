@@ -30,3 +30,13 @@ pub const DISK_WRITE_FAILURES: &str = "disk_write_failures";
 /// The 1-based attempt number of a supervised execution (engine-side
 /// marker in `metrics.json`; absent for direct CLI runs).
 pub const JOB_ATTEMPT: &str = "job_attempt";
+
+/// Population/archive members replaced or inserted by local-search
+/// moves. With [`EA_IMPROVEMENTS`] this attributes search progress to
+/// its producing operator, MOEADr-style — the pair is emitted per step
+/// by every optimizer and totalled by `moela-dse report`.
+pub const LS_IMPROVEMENTS: &str = "ls_improvements";
+
+/// Population members replaced by crossover/mutation offspring (the
+/// decomposition-EA or environmental-selection half of a step).
+pub const EA_IMPROVEMENTS: &str = "ea_improvements";

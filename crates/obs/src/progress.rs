@@ -38,6 +38,15 @@ impl ProgressReporter {
         }
     }
 
+    /// Restarts the rate clock. The reporter is constructed while a run
+    /// is still being set up — on resume that includes decoding and
+    /// restoring the newest checkpoint — so the driver calls this at
+    /// the top of its step loop to keep restore time out of the
+    /// evals/s denominator (and therefore out of the ETA).
+    pub fn begin(&mut self) {
+        self.start = Instant::now();
+    }
+
     /// Possibly repaint the live line (rate-limited).
     pub fn update(&mut self, generation: u64, evaluations: u64, best: Option<f64>) {
         let now = Instant::now();
@@ -122,6 +131,24 @@ mod tests {
         assert!(line.contains("gen 5"));
         assert!(line.contains("1400 evals"));
         assert!(line.contains("best 0.5000"));
+    }
+
+    /// Resume setup (checkpoint decode + state restore) happens between
+    /// construction and the first step; `begin()` discards that window
+    /// so the resumed-run rate reflects stepping alone.
+    #[test]
+    fn begin_excludes_restore_time_from_the_resumed_rate() {
+        let mut p = ProgressReporter::new(1000, Some(2000));
+        // Construction happened 10s ago (slow checkpoint restore)…
+        p.start = Instant::now() - Duration::from_secs(10);
+        // …but stepping only began 2s ago.
+        p.begin();
+        p.start -= Duration::from_secs(2);
+        let line = p.line(5, 1400, Some(0.5));
+        // 400 post-resume evals in 2s of stepping => 200 evals/s; the
+        // stale clock would have reported 33 evals/s and a 4x ETA.
+        assert!(line.contains("200 evals/s"), "line was: {line}");
+        assert!(line.contains("eta 3s"), "line was: {line}");
     }
 
     #[test]

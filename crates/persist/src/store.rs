@@ -124,6 +124,19 @@ impl RunStore {
         self.root.join("metrics.json")
     }
 
+    /// `RUN_DIR/report.json` — the offline run-analysis report built by
+    /// `moela-dse report` from the trace and the replayed event log.
+    /// Additive: the analysis never rewrites any other artifact.
+    pub fn report_path(&self) -> PathBuf {
+        self.root.join("report.json")
+    }
+
+    /// `RUN_DIR/trace.chrome.json` — the Chrome trace-event export of
+    /// the replayed span stream (open at <https://ui.perfetto.dev>).
+    pub fn chrome_trace_path(&self) -> PathBuf {
+        self.root.join("trace.chrome.json")
+    }
+
     /// The rotating checkpoint store under this run.
     pub fn checkpoints(&self) -> Result<CheckpointStore, PersistError> {
         CheckpointStore::new(self.checkpoints_dir())
@@ -183,6 +196,16 @@ impl RunStore {
     pub fn write_metrics(&self, metrics: &Value) -> Result<(), PersistError> {
         let text = encode::to_string(metrics);
         write_atomic(&self.metrics_path(), text.as_bytes())
+    }
+
+    /// Writes `report.json` — the offline analysis report.
+    pub fn write_report(&self, report: &Value) -> Result<(), PersistError> {
+        write_atomic(&self.report_path(), encode::to_string(report).as_bytes())
+    }
+
+    /// Writes `trace.chrome.json` — the Perfetto-viewable trace export.
+    pub fn write_chrome_trace(&self, trace: &Value) -> Result<(), PersistError> {
+        write_atomic(&self.chrome_trace_path(), encode::to_string(trace).as_bytes())
     }
 }
 

@@ -24,6 +24,8 @@ pub struct Request {
     pub method: String,
     /// Decoded path without the query string (e.g. `/jobs/job-000001`).
     pub path: String,
+    /// The raw query string without the `?` (empty when absent).
+    pub query: String,
     /// Lowercased header names with their raw values.
     pub headers: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length`).
@@ -34,6 +36,16 @@ impl Request {
     /// The first header with this (lowercase) name.
     pub fn header(&self, name: &str) -> Option<&str> {
         self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The first `key=value` query parameter with this name (no
+    /// percent-decoding — this server's parameters are plain tokens).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v)
     }
 }
 
@@ -71,7 +83,10 @@ pub fn read_request<R: Read>(stream: &mut R, max_body: usize) -> Result<Request,
     if !target.starts_with('/') {
         return Err(HttpError::Malformed(format!("bad request target {target:?}")));
     }
-    let path = target.split('?').next().unwrap_or_default().to_owned();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.clone(), String::new()),
+    };
 
     let mut headers = Vec::new();
     loop {
@@ -100,7 +115,7 @@ pub fn read_request<R: Read>(stream: &mut R, max_body: usize) -> Result<Request,
     if content_length > 0 {
         reader.read_exact(&mut body).map_err(io_to_http)?;
     }
-    Ok(Request { method, path, headers, body })
+    Ok(Request { method, path, query, headers, body })
 }
 
 /// Reads one CRLF- (or LF-) terminated line, charging it against the
@@ -183,6 +198,17 @@ impl Response {
         Response { status, headers: Vec::new(), content_type: "application/json", body }
     }
 
+    /// A plain-text response in the Prometheus text exposition format
+    /// (version 0.0.4 — what `/metrics?format=prometheus` scrapes).
+    pub fn prometheus(status: u16, body: String) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
     /// Adds a header.
     pub fn with_header(mut self, name: &str, value: String) -> Self {
         self.headers.push((name.to_owned(), value));
@@ -219,6 +245,7 @@ pub fn reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
@@ -256,8 +283,21 @@ mod tests {
                 .expect("ok");
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/jobs");
+        assert_eq!(req.query, "x=1");
         assert_eq!(req.header("host"), Some("h"));
         assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn query_parameters_parse_without_decoding() {
+        let req = parse(b"GET /metrics?format=prometheus&x=1 HTTP/1.1\r\n\r\n", 1024).expect("ok");
+        assert_eq!(req.path, "/metrics");
+        assert_eq!(req.query_param("format"), Some("prometheus"));
+        assert_eq!(req.query_param("x"), Some("1"));
+        assert_eq!(req.query_param("missing"), None);
+        let req = parse(b"GET /metrics HTTP/1.1\r\n\r\n", 1024).expect("ok");
+        assert_eq!(req.query, "");
+        assert_eq!(req.query_param("format"), None);
     }
 
     #[test]

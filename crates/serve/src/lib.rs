@@ -41,5 +41,5 @@ pub use lock::lock;
 pub use manager::JobManager;
 pub use metrics::ServerMetrics;
 pub use runner::{FailureKind, JobContext, JobRunner, RunError, RunOutcome};
-pub use server::{ServeConfig, Server};
+pub use server::{ReportBuilder, ServeConfig, Server};
 pub use supervise::{backoff_delay, Heartbeat, SupervisePolicy};

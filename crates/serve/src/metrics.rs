@@ -106,6 +106,33 @@ impl ServerMetrics {
             ("disk_degraded", Value::Bool(self.is_disk_degraded())),
         ])
     }
+
+    /// Renders the same counters in the Prometheus text exposition
+    /// format (version 0.0.4): every monotonic counter as a
+    /// `moela_serve_`-prefixed `counter`, the `disk_degraded` latch as
+    /// a 0/1 `gauge`. Driven off [`Self::to_value`] so the two
+    /// representations can never disagree on names or values.
+    pub fn to_prometheus(&self) -> String {
+        let Value::Object(fields) = self.to_value() else {
+            unreachable!("to_value renders an object")
+        };
+        let mut out = String::new();
+        for (name, value) in fields {
+            let metric = format!("moela_serve_{name}");
+            match value {
+                Value::U64(v) => {
+                    out.push_str(&format!("# TYPE {metric} counter\n{metric} {v}\n"));
+                }
+                Value::Bool(b) => {
+                    out.push_str(&format!("# TYPE {metric} gauge\n{metric} {}\n", u8::from(b)));
+                }
+                other => {
+                    debug_assert!(false, "unexpected metrics value kind {}", other.kind());
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +152,24 @@ mod tests {
         let v = m.to_value();
         assert_eq!(v.field("jobs_submitted").unwrap().as_u64().unwrap(), 2);
         assert_eq!(v.field("jobs_rejected_full").unwrap().as_u64().unwrap(), 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_mirrors_the_json_counters() {
+        let m = ServerMetrics::new();
+        ServerMetrics::bump(&m.submitted);
+        ServerMetrics::bump(&m.submitted);
+        m.set_disk_degraded(true);
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE moela_serve_jobs_submitted counter\n"), "{text}");
+        assert!(text.contains("\nmoela_serve_jobs_submitted 2\n"), "{text}");
+        assert!(text.contains("# TYPE moela_serve_disk_degraded gauge\n"), "{text}");
+        assert!(text.contains("\nmoela_serve_disk_degraded 1\n"), "{text}");
+        // Every JSON key appears as a prefixed metric line.
+        let Value::Object(fields) = m.to_value() else { panic!("object") };
+        for (name, _) in fields {
+            assert!(text.contains(&format!("moela_serve_{name} ")), "missing {name}: {text}");
+        }
     }
 
     #[test]

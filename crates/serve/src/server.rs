@@ -8,10 +8,14 @@
 //! GET    /jobs/{id}/front   final front (JSON)           200 | 404 | 409
 //! GET    /jobs/{id}/trace   convergence trace (JSON)     200 | 404 | 409
 //! GET    /jobs/{id}/events  telemetry JSONL stream       200 | 404
+//! GET    /jobs/{id}/report  run-analysis report (JSON)   200 | 404 | 409 | 501
 //! DELETE /jobs/{id}         cancel                       200 | 404 | 409
 //! GET    /healthz           liveness probe (always 200)  200
 //! GET    /readyz            readiness probe              200 | 503
-//! GET    /metrics           server counters              200
+//! GET    /metrics           server counters (JSON, or
+//!                           Prometheus text with
+//!                           ?format=prometheus or
+//!                           Accept: text/plain)          200
 //! POST   /shutdown          graceful drain, then exit 0  200
 //! ```
 //!
@@ -47,6 +51,37 @@ use crate::metrics::ServerMetrics;
 use crate::runner::JobRunner;
 use crate::supervise::SupervisePolicy;
 
+/// Builds the run-analysis report for one finished job's run directory
+/// (the `GET /jobs/{id}/report` body). Injected by the embedding binary
+/// — the analysis lives above this crate — so the server stays free of
+/// optimizer knowledge. Returns `Err` with a human-readable reason when
+/// the run is not analyzable yet (mapped to 409).
+#[derive(Clone)]
+pub struct ReportBuilder(Arc<ReportFn>);
+
+/// The closure shape behind [`ReportBuilder`].
+type ReportFn = dyn Fn(&std::path::Path) -> Result<Value, String> + Send + Sync;
+
+impl ReportBuilder {
+    /// Wraps a report-building closure.
+    pub fn new(
+        f: impl Fn(&std::path::Path) -> Result<Value, String> + Send + Sync + 'static,
+    ) -> Self {
+        ReportBuilder(Arc::new(f))
+    }
+
+    /// Builds the report for `dir`.
+    pub fn build(&self, dir: &std::path::Path) -> Result<Value, String> {
+        (self.0)(dir)
+    }
+}
+
+impl std::fmt::Debug for ReportBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ReportBuilder(..)")
+    }
+}
+
 /// Server tunables; every field has a sensible default via
 /// [`ServeConfig::new`].
 #[derive(Debug, Clone)]
@@ -69,6 +104,9 @@ pub struct ServeConfig {
     pub max_body: usize,
     /// Job supervision: retry budget/backoff, stall detection, deadlines.
     pub supervise: SupervisePolicy,
+    /// Optional run-analysis hook behind `GET /jobs/{id}/report`
+    /// (absent → 501).
+    pub report_builder: Option<ReportBuilder>,
 }
 
 impl ServeConfig {
@@ -84,6 +122,7 @@ impl ServeConfig {
             write_timeout: Duration::from_secs(10),
             max_body: 256 * 1024,
             supervise: SupervisePolicy::default(),
+            report_builder: None,
         }
     }
 }
@@ -274,7 +313,18 @@ fn route(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
                 ]),
             ))
         }
-        ("GET", ["metrics"]) => Ok(Response::json(200, &state.metrics.to_value())),
+        ("GET", ["metrics"]) => {
+            // Content negotiation: JSON stays the default so existing
+            // scrapers are untouched; `?format=prometheus` (or an
+            // `Accept: text/plain` scraper) gets the text exposition.
+            let wants_text = req.query_param("format") == Some("prometheus")
+                || req.header("accept").is_some_and(|a| a.contains("text/plain"));
+            if wants_text {
+                Ok(Response::prometheus(200, state.metrics.to_prometheus()))
+            } else {
+                Ok(Response::json(200, &state.metrics.to_value()))
+            }
+        }
         ("POST", ["shutdown"]) => {
             state.shutdown.store(true, Ordering::SeqCst);
             Ok(Response::json(200, &Value::object(vec![("draining", Value::Bool(true))])))
@@ -304,6 +354,26 @@ fn route(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
         }
         ("GET", ["jobs", id, "front"]) => artifact(state, id, "front.json"),
         ("GET", ["jobs", id, "trace"]) => artifact(state, id, "trace.json"),
+        ("GET", ["jobs", id, "report"]) => {
+            let record = lookup(state, id)?;
+            let Some(builder) = &state.config.report_builder else {
+                return Err(ApiError::new(
+                    501,
+                    "not_implemented",
+                    "this server was started without a report builder",
+                ));
+            };
+            match builder.build(&record.dir) {
+                Ok(report) => Ok(Response::json(200, &report)),
+                // The run is still producing artifacts (or crashed
+                // before finishing): same contract as /front and /trace.
+                Err(reason) => Err(ApiError::new(
+                    409,
+                    "not_ready",
+                    format!("job {id} is {}; {reason}", record.state().name()),
+                )),
+            }
+        }
         (_, ["healthz" | "readyz" | "metrics" | "shutdown" | "jobs", ..]) => Err(ApiError::new(
             405,
             "method_not_allowed",
@@ -513,6 +583,67 @@ mod tests {
         assert!(body.contains("\"code\":\"not_found\""), "{body}");
         let (status, body) = server.call("PUT", "/jobs", "");
         assert_eq!(status, 405, "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_exposes_prometheus_text_on_request() {
+        let server = serve("prom", 1, 1, 4);
+        let (status, body) = server.call("GET", "/metrics?format=prometheus", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("# TYPE moela_serve_http_requests counter"), "{body}");
+        assert!(body.contains("moela_serve_jobs_submitted 0"), "{body}");
+        assert!(body.contains("moela_serve_disk_degraded 0"), "{body}");
+        // The JSON default is untouched for existing scrapers.
+        let (status, body) = server.call("GET", "/metrics", "");
+        assert_eq!(status, 200);
+        assert!(body.starts_with('{'), "{body}");
+        assert!(body.contains("\"jobs_submitted\""), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn report_route_uses_the_injected_builder() {
+        let root =
+            std::env::temp_dir().join(format!("moela-serve-http-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut config = ServeConfig::new("127.0.0.1:0", &root);
+        config.workers = 1;
+        config.report_builder = Some(ReportBuilder::new(|dir| {
+            if dir.join("front.json").is_file() {
+                Ok(Value::object(vec![("report", Value::Bool(true))]))
+            } else {
+                Err("the run has not finished".into())
+            }
+        }));
+        let server = Server::bind(config, Arc::new(StubRunner { steps: 200 })).expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || server.run());
+        let server = TestServer { addr, handle, root };
+        let (status, _) = server.call("POST", "/jobs", "{\"algorithm\":\"stub\"}");
+        assert_eq!(status, 202);
+        // ~1s of stub steps remain, so the report cannot be ready yet.
+        let (status, body) = server.call("GET", "/jobs/job-000000/report", "");
+        assert_eq!(status, 409, "{body}");
+        assert!(body.contains("\"code\":\"not_ready\""), "{body}");
+        server.poll_until("job-000000", "done");
+        let (status, body) = server.call("GET", "/jobs/job-000000/report", "");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"report\":true"), "{body}");
+        let (status, _) = server.call("GET", "/jobs/job-999999/report", "");
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn report_route_without_a_builder_is_501() {
+        let server = serve("noreport", 1, 1, 4);
+        let (status, _) = server.call("POST", "/jobs", "{\"algorithm\":\"stub\"}");
+        assert_eq!(status, 202);
+        server.poll_until("job-000000", "done");
+        let (status, body) = server.call("GET", "/jobs/job-000000/report", "");
+        assert_eq!(status, 501, "{body}");
+        assert!(body.contains("\"code\":\"not_implemented\""), "{body}");
         server.shutdown();
     }
 

@@ -46,3 +46,14 @@ done
 } >"$out"
 
 echo "wrote $out"
+
+# Informational delta against the most recent earlier snapshot; wall
+# clocks differ across machines, so this never gates the sweep.
+prev="$(ls -1t BENCH_*.json 2>/dev/null | grep -vF "$out" | head -1 || true)"
+if [ -n "$prev" ]; then
+    echo "==> compare against $prev"
+    "$dse" compare "$prev" "$out" \
+        || echo "    (delta past thresholds — informational only on a different machine)"
+else
+    echo "no previous BENCH_*.json to compare against"
+fi

@@ -101,4 +101,31 @@ cmp "$smoke/full/front.csv" "$smoke/traced/front.csv"
 quiet_out="$("$dse" run "${flags[@]}" --log-level quiet)"
 [ -z "$quiet_out" ] || { echo "--log-level quiet printed to stdout"; exit 1; }
 
+echo "==> report smoke (report.json + Perfetto trace; compare gates regressions)"
+"$dse" report "$smoke/traced" >/dev/null
+test -s "$smoke/traced/report.json" || { echo "report.json missing or empty"; exit 1; }
+test -s "$smoke/traced/trace.chrome.json" \
+    || { echo "trace.chrome.json missing or empty"; exit 1; }
+grep -q '"convergence":' "$smoke/traced/report.json"
+grep -q '"traceEvents":' "$smoke/traced/trace.chrome.json"
+python3 -m json.tool "$smoke/traced/trace.chrome.json" >/dev/null \
+    || { echo "trace.chrome.json is not valid JSON"; exit 1; }
+# report is a pure reader: the deterministic artifacts must not move.
+cmp "$smoke/full/trace.csv" "$smoke/traced/trace.csv"
+cmp "$smoke/full/front.csv" "$smoke/traced/front.csv"
+"$dse" compare "$smoke/traced" "$smoke/traced" >/dev/null \
+    || { echo "self-compare must exit 0"; exit 1; }
+bench="$smoke/doctored-bench.json"
+{
+    printf '{"runs":{"moela":'
+    sed -E 's/"evals_per_sec":[0-9.eE+-]+/"evals_per_sec":99999999.0/' \
+        "$smoke/traced/metrics.json"
+    printf '}}'
+} >"$bench"
+set +e
+"$dse" compare "$bench" "$smoke/traced" >/dev/null 2>&1
+rc=$?
+set -e
+[ "$rc" -eq 3 ] || { echo "doctored regression must exit 3 (got $rc)"; exit 1; }
+
 echo "All checks passed."
