@@ -321,7 +321,9 @@ where
             let candidates: Vec<P::Solution> = (0..cfg.ls_neighbors_per_step)
                 .map(|_| self.problem.neighbor(&current, rng))
                 .collect();
-            let batch = self.evaluator.evaluate(self.problem, &candidates);
+            // Every candidate is one move from `current`, so delta-capable
+            // problems may score the batch incrementally (bit-identically).
+            let batch = self.evaluator.evaluate_neighbors(self.problem, &current, &candidates);
             self.evaluations += batch.attempts;
             if self.evaluator.poisoned() {
                 self.finished = true;

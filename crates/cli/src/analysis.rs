@@ -236,6 +236,13 @@ pub(crate) fn build_report(dir: &Path) -> Result<(Value, Value), CliError> {
                 ("hit_rate", Value::F64(hit_rate)),
             ]),
         ),
+        (
+            "delta",
+            Value::object(vec![
+                ("hits", Value::U64(replay.counter("delta_hits"))),
+                ("fallbacks", Value::U64(replay.counter("delta_fallbacks"))),
+            ]),
+        ),
         ("trends", trends_value(&replay)),
         (
             "events",
@@ -310,6 +317,14 @@ pub(crate) fn report(dir: &str, log_level: LogLevel) -> Result<(), CliError> {
         throughput.field("evals_per_sec")?.as_f64()?,
         throughput.field("wall_us")?.as_u64()? as f64 / 1e6
     ));
+    let delta = report.field("delta")?;
+    let (delta_hits, delta_fallbacks) =
+        (delta.field("hits")?.as_u64()?, delta.field("fallbacks")?.as_u64()?);
+    if delta_hits + delta_fallbacks > 0 {
+        reporter.info(&format!(
+            "  delta evaluation: {delta_hits} incremental, {delta_fallbacks} full fallbacks"
+        ));
+    }
     if let Value::Object(phases) = report.field("phases")? {
         for (name, stat) in phases {
             reporter.info(&format!(

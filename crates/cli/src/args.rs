@@ -134,6 +134,11 @@ pub struct RunOptions {
     /// off, including topology-keyed routing reuse). Results are
     /// bit-identical for every value.
     pub eval_cache: usize,
+    /// Incremental move evaluation: score a neighbor by patching the
+    /// base design's cached evaluation state instead of re-evaluating
+    /// from scratch, falling back to full evaluation whenever a move
+    /// cannot be scored exactly. Results are bit-identical on or off.
+    pub eval_delta: bool,
     /// Optional seeded fault injection (chaos testing).
     pub chaos: Option<ChaosSpec>,
     /// Seed for the chaos fault stream (required with `--chaos` so the
@@ -173,6 +178,7 @@ impl Default for RunOptions {
             fault_policy: FaultPolicy::default(),
             eval_retries: 0,
             eval_cache: DEFAULT_EVAL_CACHE_CAPACITY,
+            eval_delta: true,
             chaos: None,
             chaos_seed: None,
             progress: false,
@@ -599,6 +605,18 @@ fn parse_run_options(args: &[String]) -> Result<RunOptions, ArgsError> {
                     v.parse().map_err(|_| "--eval-cache needs an integer or 'off'")?
                 };
             }
+            "--eval-delta" => {
+                let v = value()?;
+                opts.eval_delta = if v.eq_ignore_ascii_case("on") {
+                    true
+                } else if v.eq_ignore_ascii_case("off") {
+                    false
+                } else {
+                    return Err(ArgsError::syntax(format!(
+                        "--eval-delta must be on or off (got {v})"
+                    )));
+                };
+            }
             "--chaos" => opts.chaos = Some(ChaosSpec::parse(&value()?)?),
             "--chaos-seed" => {
                 opts.chaos_seed =
@@ -684,6 +702,12 @@ COMMON FLAGS:
                                         placement-only moves; off disables
                                         both layers; results are identical
                                         either way [4096]
+    --eval-delta <on|off>               incremental move evaluation: score
+                                        a neighbor by patching the base
+                                        design's cached evaluation state
+                                        (exact; falls back to a full
+                                        evaluation for unrecognized moves);
+                                        results are identical either way [on]
     --trace-csv <PATH>                  write PHV trace CSV
     --front-csv <PATH>                  write final front CSV
     --dot <PATH>                        write best design as Graphviz DOT
@@ -975,6 +999,26 @@ mod tests {
         let err = parse(&argv("run --eval-cache many")).expect_err("bad value");
         assert_eq!(err.code, 1);
         assert!(err.message.contains("--eval-cache"));
+    }
+
+    #[test]
+    fn eval_delta_parses_on_off_and_defaults_on() {
+        let Command::Run(o) = parse(&argv("run")).expect("ok") else { panic!("expected Run") };
+        assert!(o.eval_delta, "delta evaluation defaults on");
+
+        let Command::Run(o) = parse(&argv("run --eval-delta off")).expect("ok") else {
+            panic!("expected Run")
+        };
+        assert!(!o.eval_delta);
+
+        let Command::Run(o) = parse(&argv("run --eval-delta on")).expect("ok") else {
+            panic!("expected Run")
+        };
+        assert!(o.eval_delta);
+
+        let err = parse(&argv("run --eval-delta maybe")).expect_err("bad value");
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("--eval-delta"));
     }
 
     #[test]

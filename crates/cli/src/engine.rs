@@ -151,6 +151,7 @@ pub(crate) fn build_problem(opts: &RunOptions) -> Result<ManycoreProblem, CliErr
         // and the topology-keyed routing-table reuse.
         problem.set_routing_cache_capacity(0);
     }
+    problem.set_delta_eval(opts.eval_delta);
     Ok(problem)
 }
 
@@ -246,12 +247,15 @@ impl Telemetry {
                     "cache_evictions",
                     "routing_rebuilds",
                     "routing_hits",
+                    "delta_hits",
+                    "delta_fallbacks",
                 ]
                 .map(|name| agg.counter(name));
                 (agg.render(), counters)
             })
             .ok()?;
-        let [cache_hits, cache_misses, cache_evictions, routing_rebuilds, routing_hits] = cache;
+        let [cache_hits, cache_misses, cache_evictions, routing_rebuilds, routing_hits, delta_hits, delta_fallbacks] =
+            cache;
         let mut fields = vec![
             ("algorithm", Value::Str(opts.algorithm.name().to_owned())),
             ("app", Value::Str(opts.app.name().to_owned())),
@@ -289,6 +293,14 @@ impl Telemetry {
                     ("evictions", Value::U64(cache_evictions)),
                     ("routing_rebuilds", Value::U64(routing_rebuilds)),
                     ("routing_hits", Value::U64(routing_hits)),
+                ]),
+            ),
+            (
+                "delta",
+                Value::object(vec![
+                    ("enabled", Value::Bool(opts.eval_delta)),
+                    ("hits", Value::U64(delta_hits)),
+                    ("fallbacks", Value::U64(delta_fallbacks)),
                 ]),
             ),
             ("telemetry", rendered),
@@ -461,6 +473,14 @@ pub(crate) fn execute(
     hooks: &ExecHooks<'_>,
 ) -> Result<Driven, CliError> {
     let cache = (opts.eval_cache > 0).then(|| Arc::new(EvalCache::new(opts.eval_cache)));
+    // The problem's routing and delta counters are cumulative over the
+    // problem's lifetime, which is longer than this run: the corpus
+    // normalizer evaluates 200 designs before `execute` is ever called,
+    // and `compare` (or a serve worker reusing a problem) drives several
+    // executions over one problem. Snapshot at entry and emit only the
+    // difference so every run's metrics.json counts its own work alone.
+    let (base_rebuilds, base_routing_hits) = problem.routing_stats();
+    let (base_delta_hits, base_delta_fallbacks) = problem.delta_stats();
     let outcome = match (opts.chaos, &cache) {
         (None, None) => execute_on(
             opts,
@@ -538,8 +558,11 @@ pub(crate) fn execute(
         }
     };
     let (rebuilds, routing_hits) = problem.routing_stats();
-    telemetry.obs.counter("routing_rebuilds", rebuilds);
-    telemetry.obs.counter("routing_hits", routing_hits);
+    telemetry.obs.counter("routing_rebuilds", rebuilds - base_rebuilds);
+    telemetry.obs.counter("routing_hits", routing_hits - base_routing_hits);
+    let (delta_hits, delta_fallbacks) = problem.delta_stats();
+    telemetry.obs.counter("delta_hits", delta_hits - base_delta_hits);
+    telemetry.obs.counter("delta_fallbacks", delta_fallbacks - base_delta_fallbacks);
     if let Some(cache) = &cache {
         let stats = cache.stats();
         telemetry.obs.counter("cache_hits", stats.hits);
@@ -751,6 +774,7 @@ pub(crate) fn manifest_value(opts: &RunOptions, normalizer: &Normalizer) -> Valu
         ("fault_policy", Value::Str(opts.fault_policy.name().to_owned())),
         ("eval_retries", Value::U64(u64::from(opts.eval_retries))),
         ("eval_cache", Value::U64(opts.eval_cache as u64)),
+        ("eval_delta", Value::Bool(opts.eval_delta)),
     ];
     if let Some(spec) = &opts.chaos {
         fields.push(("chaos", Value::Str(spec.to_string())));
@@ -800,6 +824,13 @@ pub(crate) fn options_from_manifest(m: &Value) -> Result<(RunOptions, Normalizer
         Some(v) => v.as_usize()?,
         None => RunOptions::default().eval_cache,
     };
+    // Manifests written before delta evaluation existed resume with
+    // today's default — the fast path is bit-identical to full
+    // evaluation, so the choice never changes resumed artifacts.
+    let eval_delta = match m.field_opt("eval_delta") {
+        Some(v) => v.as_bool()?,
+        None => RunOptions::default().eval_delta,
+    };
     let chaos = match m.field_opt("chaos") {
         Some(v) => Some(ChaosSpec::parse(v.as_str()?).map_err(fail)?),
         None => None,
@@ -826,6 +857,7 @@ pub(crate) fn options_from_manifest(m: &Value) -> Result<(RunOptions, Normalizer
         fault_policy,
         eval_retries,
         eval_cache,
+        eval_delta,
         chaos,
         chaos_seed,
         ..Default::default()

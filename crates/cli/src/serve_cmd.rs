@@ -27,7 +27,7 @@ use crate::engine::{self, fail, CliError, ErrorClass, ExecHooks, ResumeOverrides
 
 /// The spec keys a job submission may set; everything else is rejected
 /// so a typo (`"algorthm"`) fails loudly instead of running defaults.
-const SPEC_KEYS: [&str; 15] = [
+const SPEC_KEYS: [&str; 16] = [
     "app",
     "objectives",
     "algorithm",
@@ -40,6 +40,7 @@ const SPEC_KEYS: [&str; 15] = [
     "fault_policy",
     "eval_retries",
     "eval_cache",
+    "eval_delta",
     "chaos",
     "chaos_seed",
     "timeout_s",
@@ -120,6 +121,10 @@ fn spec_to_options(spec: &Value, default_checkpoint_every: u64) -> Result<RunOpt
     if let Some(n) = u64_field("eval_cache")? {
         opts.eval_cache = n as usize;
     }
+    if let Some(v) = spec.field_opt("eval_delta") {
+        opts.eval_delta =
+            v.as_bool().map_err(|_| "spec key 'eval_delta' must be a boolean".to_owned())?;
+    }
     if let Some(s) = str_field("chaos")? {
         opts.chaos = Some(ChaosSpec::parse(s)?);
     }
@@ -172,6 +177,7 @@ fn normalized_spec(opts: &RunOptions) -> Value {
         ("fault_policy", Value::Str(opts.fault_policy.name().to_owned())),
         ("eval_retries", Value::U64(u64::from(opts.eval_retries))),
         ("eval_cache", Value::U64(opts.eval_cache as u64)),
+        ("eval_delta", Value::Bool(opts.eval_delta)),
     ];
     if let Some(spec) = &opts.chaos {
         fields.push(("chaos", Value::Str(spec.to_string())));
@@ -326,6 +332,15 @@ mod tests {
         let normalized = normalized_spec(&opts);
         let reparsed = spec_to_options(&normalized, 1).expect("normalized specs revalidate");
         assert_eq!(reparsed, opts, "normalization round-trips");
+
+        let spec = Value::object(vec![("eval_delta", Value::Bool(false))]);
+        let opts = spec_to_options(&spec, 1).expect("ok");
+        assert!(!opts.eval_delta, "eval_delta=false must parse");
+        let reparsed = spec_to_options(&normalized_spec(&opts), 1).expect("revalidates");
+        assert_eq!(reparsed, opts, "eval_delta survives normalization");
+        let err = spec_to_options(&Value::object(vec![("eval_delta", Value::U64(1))]), 1)
+            .expect_err("non-boolean eval_delta");
+        assert!(err.contains("eval_delta"), "{err}");
     }
 
     #[test]

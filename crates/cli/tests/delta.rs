@@ -1,0 +1,207 @@
+//! Delta-evaluation parity end-to-end: the incremental move fast path
+//! must be invisible in every deterministic artifact.
+//!
+//! The contract under test is `--eval-delta` (on by default):
+//!
+//! * for every optimizer, `trace.csv` and `front.csv` are byte-identical
+//!   with the fast path on and off, at 1 and 4 threads;
+//! * the same holds under `--chaos` fault injection, where the injector
+//!   sits above the delta-capable problem and consumes ordinals
+//!   identically on both paths;
+//! * kill + resume round-trips `--eval-delta` through the manifest and
+//!   still reproduces the uninterrupted run byte for byte;
+//! * `metrics.json` reports the delta hit/fallback counters per run.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_moela-dse");
+
+fn moela_dse(args: &[&str]) -> Output {
+    Command::new(BIN).args(args).output().expect("spawn moela-dse")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("moela-delta-test-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    fs::read(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// Standard tiny run (the golden-test configuration) with extra flags.
+fn run_algorithm(algorithm: &str, dir: &Path, extra: &[&str]) {
+    let mut args = vec![
+        "run",
+        "--app",
+        "BFS",
+        "--objectives",
+        "3",
+        "--algorithm",
+        algorithm,
+        "--budget",
+        "120",
+        "--population",
+        "8",
+        "--seed",
+        "7",
+        "--run-dir",
+        dir.to_str().expect("utf-8 path"),
+    ];
+    args.extend_from_slice(extra);
+    let out = moela_dse(&args);
+    assert!(
+        out.status.success(),
+        "{algorithm} run {extra:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Runs `algorithm` with the fast path off as the baseline, then with it
+/// on at 1 and 4 threads (plus any `chaos` cells), asserting the
+/// deterministic artifacts never move by a byte.
+fn assert_delta_is_invisible(algorithm: &str, chaos: &[&str]) {
+    let baseline = scratch(&format!("{algorithm}-baseline"));
+    let mut off = vec!["--eval-delta", "off", "--threads", "1"];
+    off.extend_from_slice(chaos);
+    run_algorithm(algorithm, &baseline, &off);
+    let reference = (read(&baseline.join("trace.csv")), read(&baseline.join("front.csv")));
+    let _ = fs::remove_dir_all(&baseline);
+
+    let cells: [&[&str]; 2] =
+        [&["--eval-delta", "on", "--threads", "1"], &["--eval-delta", "on", "--threads", "4"]];
+    for (i, cell) in cells.iter().enumerate() {
+        let dir = scratch(&format!("{algorithm}-cell{i}"));
+        let mut args = cell.to_vec();
+        args.extend_from_slice(chaos);
+        run_algorithm(algorithm, &dir, &args);
+        let artifacts = (read(&dir.join("trace.csv")), read(&dir.join("front.csv")));
+        assert_eq!(
+            reference, artifacts,
+            "{algorithm}: artifacts with delta cell {cell:?} differ from the delta-off baseline"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+macro_rules! parity_tests {
+    ($($name:ident: $algorithm:literal;)*) => {$(
+        #[test]
+        fn $name() {
+            assert_delta_is_invisible($algorithm, &[]);
+        }
+    )*};
+}
+
+parity_tests! {
+    moela_artifacts_identical_with_delta_on_or_off: "moela";
+    moead_artifacts_identical_with_delta_on_or_off: "moead";
+    moos_artifacts_identical_with_delta_on_or_off: "moos";
+    moo_stage_artifacts_identical_with_delta_on_or_off: "moo-stage";
+    nsga2_artifacts_identical_with_delta_on_or_off: "nsga2";
+    random_artifacts_identical_with_delta_on_or_off: "random";
+}
+
+/// Under chaos the injector wraps the delta-capable problem: the fault
+/// stream consumes ordinals identically whether a neighbor was scored
+/// incrementally or in full, so chaotic artifacts still match.
+#[test]
+fn chaotic_artifacts_identical_with_delta_on_or_off() {
+    let chaos = [
+        "--chaos",
+        "panic=0.03,nan=0.03,arity=0.02",
+        "--chaos-seed",
+        "41",
+        "--fault-policy",
+        "penalize-worst",
+        "--eval-retries",
+        "1",
+    ];
+    assert_delta_is_invisible("moos", &chaos);
+}
+
+/// Pulls the `"delta":{...}` object out of a metrics.json body. The
+/// object holds only flat fields, so it ends at the first `}`.
+fn delta_object(metrics: &str) -> &str {
+    let tail = metrics.split("\"delta\":{").nth(1).expect("metrics.json has a delta object");
+    tail.split('}').next().expect("the delta object closes")
+}
+
+fn counter_in(object: &str, name: &str) -> u64 {
+    let tail = object.split(&format!("\"{name}\":")).nth(1).unwrap_or_else(|| {
+        panic!("delta object lacks {name}: {object}");
+    });
+    tail.chars().take_while(char::is_ascii_digit).collect::<String>().parse().expect("integer")
+}
+
+/// MOOS descends through neighbor batches, so its runs must actually
+/// exercise the fast path — and `--eval-delta off` must record zero
+/// delta work while the delta-off run reports `enabled:false`.
+#[test]
+fn metrics_report_delta_counters() {
+    let dir = scratch("metrics-on");
+    run_algorithm("moos", &dir, &[]);
+    let metrics = String::from_utf8(read(&dir.join("metrics.json"))).expect("utf-8 metrics");
+    let delta = delta_object(&metrics);
+    assert!(delta.contains("\"enabled\":true"), "default runs the fast path: {delta}");
+    assert!(counter_in(delta, "hits") > 0, "descents must hit the delta path: {delta}");
+    let _ = fs::remove_dir_all(&dir);
+
+    let dir = scratch("metrics-off");
+    run_algorithm("moos", &dir, &["--eval-delta", "off"]);
+    let metrics = String::from_utf8(read(&dir.join("metrics.json"))).expect("utf-8 metrics");
+    let delta = delta_object(&metrics);
+    assert!(delta.contains("\"enabled\":false"), "--eval-delta off is recorded: {delta}");
+    assert_eq!(counter_in(delta, "hits"), 0, "no fast path, no hits: {delta}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Kill + resume round-trips `--eval-delta` through the manifest, and a
+/// run resumed with the fast path still matches the golden
+/// uninterrupted output byte for byte.
+#[test]
+fn crash_resume_with_delta_is_bit_identical() {
+    let full = scratch("resume-full");
+    run_algorithm("moela", &full, &[]);
+
+    let crashed = scratch("resume-crashed");
+    let crashed_dir = crashed.to_str().expect("utf-8 path");
+    let args = [
+        "run",
+        "--app",
+        "BFS",
+        "--objectives",
+        "3",
+        "--algorithm",
+        "moela",
+        "--budget",
+        "120",
+        "--population",
+        "8",
+        "--seed",
+        "7",
+        "--run-dir",
+        crashed_dir,
+        "--crash-after-checkpoints",
+        "1",
+    ];
+    let out = moela_dse(&args);
+    assert!(!out.status.success(), "crash injection must abort the process");
+    let manifest = String::from_utf8(read(&crashed.join("manifest.json"))).expect("utf-8");
+    assert!(manifest.contains("\"eval_delta\":true"), "manifest records the flag: {manifest}");
+
+    let out = moela_dse(&["resume", crashed_dir, "--threads", "4"]);
+    assert!(out.status.success(), "resume failed: {}", String::from_utf8_lossy(&out.stderr));
+    for file in ["trace.csv", "front.csv"] {
+        assert_eq!(
+            read(&full.join(file)),
+            read(&crashed.join(file)),
+            "{file} differs after crash+resume with the delta fast path enabled"
+        );
+    }
+    let _ = fs::remove_dir_all(&full);
+    let _ = fs::remove_dir_all(&crashed);
+}

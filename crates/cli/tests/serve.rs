@@ -270,6 +270,45 @@ fn served_job_matches_cli_run_byte_for_byte() {
     let _ = fs::remove_dir_all(&root);
 }
 
+/// Counter blocks in `metrics.json` are per-job state, not process
+/// state: two identical jobs served back-to-back by the same server
+/// process must report byte-identical cache/delta/fault counters, and
+/// both must match a fresh one-shot CLI run. This pins the execute-entry
+/// counter snapshot — without it, a job's metrics would absorb the
+/// normalizer corpus fit and any earlier run sharing the process.
+#[test]
+fn sequential_jobs_report_isolated_per_job_counters() {
+    let reference = reference_run("ref-counters");
+    let root = scratch("root-counters");
+    let server = ServerProc::start("counters", &root, 1, 4);
+
+    let first = submit(&server.addr);
+    wait_for_state(&server.addr, &first, "done", Duration::from_secs(120));
+    let second = submit(&server.addr);
+    wait_for_state(&server.addr, &second, "done", Duration::from_secs(120));
+    server.shutdown();
+
+    // Flat counter objects close at the first `}`, so substring
+    // extraction is exact.
+    let block = |dir: &Path, key: &str| -> String {
+        let metrics = String::from_utf8(read(&dir.join("metrics.json"))).expect("utf-8 metrics");
+        let tail = metrics
+            .split(&format!("\"{key}\":{{"))
+            .nth(1)
+            .unwrap_or_else(|| panic!("metrics.json in {} lacks {key}", dir.display()));
+        tail.split('}').next().expect("the object closes").to_owned()
+    };
+    for key in ["cache", "delta", "faults"] {
+        let a = block(&root.join(&first), key);
+        let b = block(&root.join(&second), key);
+        assert_eq!(a, b, "{key} counters differ between identical sequential jobs");
+        let r = block(&reference, key);
+        assert_eq!(a, r, "served {key} counters differ from the one-shot CLI run's");
+    }
+    let _ = fs::remove_dir_all(&reference);
+    let _ = fs::remove_dir_all(&root);
+}
+
 #[test]
 fn full_queue_returns_429_with_retry_after() {
     let root = scratch("root-saturate");

@@ -106,7 +106,9 @@ where
     for _ in 0..budget.max_steps {
         let candidates: Vec<P::Solution> =
             (0..budget.neighbors_per_step).map(|_| problem.neighbor(&current, rng)).collect();
-        let batch = evaluator.evaluate(problem, &candidates);
+        // Every candidate is one move from `current`, so delta-capable
+        // problems may score the batch incrementally (bit-identically).
+        let batch = evaluator.evaluate_neighbors(problem, &current, &candidates);
         evaluations += batch.attempts;
         if evaluator.poisoned() {
             break; // a Fail-policy fault latched; stop descending

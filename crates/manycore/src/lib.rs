@@ -45,6 +45,7 @@
 
 pub mod codec;
 pub mod crossover;
+pub mod delta;
 pub mod design;
 pub mod geometry;
 pub mod link;
@@ -57,6 +58,7 @@ pub mod routing_cache;
 pub mod topology;
 pub mod viz;
 
+pub use delta::{DeltaEngine, EvalState, MoveDelta, DEFAULT_DELTA_CACHE_CAPACITY};
 pub use design::Design;
 pub use geometry::{GridDims, TileCoord, TileId};
 pub use link::{Link, LinkKind};

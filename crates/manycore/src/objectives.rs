@@ -146,6 +146,12 @@ impl Evaluator {
         &self.params
     }
 
+    /// The thermal model (used by the delta-evaluation fast path to
+    /// re-solve a patched power grid).
+    pub(crate) fn thermal_model(&self) -> &FastThermalModel {
+        &self.thermal
+    }
+
     /// Computes every objective and summary statistic for `design`.
     ///
     /// Split into two stages: route construction (cached by topology

@@ -1,6 +1,8 @@
 //! The platform configuration and the [`ManycoreProblem`] — the §III
 //! design problem packaged behind the [`moela_moo::Problem`] trait.
 
+use std::sync::Arc;
+
 use rand::RngCore;
 
 use moela_moo::Problem;
@@ -8,6 +10,7 @@ use moela_thermal::{FastThermalModel, ThermalParams};
 use moela_traffic::{PeKind, PeMix, Workload};
 
 use crate::crossover;
+use crate::delta::{self, DeltaEngine, DEFAULT_DELTA_CACHE_CAPACITY};
 use crate::design::{Design, Placement};
 use crate::geometry::{GridDims, TileId};
 use crate::link::LinkKind;
@@ -317,6 +320,8 @@ pub struct ManycoreProblem {
     objective_set: ObjectiveSet,
     evaluator: Evaluator,
     builder: TopologyBuilder,
+    delta: Arc<DeltaEngine>,
+    delta_enabled: bool,
 }
 
 impl ManycoreProblem {
@@ -346,7 +351,14 @@ impl ManycoreProblem {
             config.noc.max_planar_length,
             config.noc.max_degree,
         );
-        Ok(Self { config, objective_set, evaluator, builder })
+        Ok(Self {
+            config,
+            objective_set,
+            evaluator,
+            builder,
+            delta: Arc::new(DeltaEngine::new(DEFAULT_DELTA_CACHE_CAPACITY)),
+            delta_enabled: true,
+        })
     }
 
     /// The platform configuration.
@@ -388,6 +400,29 @@ impl ManycoreProblem {
     pub fn routing_stats(&self) -> (u64, u64) {
         let cache = self.evaluator.routing_cache();
         (cache.rebuilds(), cache.hits())
+    }
+
+    /// Switches the incremental (delta) move-evaluation fast path on or
+    /// off. Off replaces the engine, so counters restart from zero and
+    /// nothing is retained. Apply before cloning/sharing the problem:
+    /// clones made earlier keep the old engine.
+    pub fn set_delta_eval(&mut self, enabled: bool) {
+        self.delta_enabled = enabled;
+        let capacity = if enabled { DEFAULT_DELTA_CACHE_CAPACITY } else { 0 };
+        self.delta = Arc::new(DeltaEngine::new(capacity));
+    }
+
+    /// Whether the delta-evaluation fast path is active.
+    pub fn delta_eval_enabled(&self) -> bool {
+        self.delta_enabled
+    }
+
+    /// Delta-evaluation (hits, fallbacks) counters, shared across every
+    /// clone of this problem: hits are neighbor evaluations served by an
+    /// exact incremental update, fallbacks are full evaluations (base
+    /// bootstraps included).
+    pub fn delta_stats(&self) -> (u64, u64) {
+        (self.delta.hits(), self.delta.fallbacks())
     }
 }
 
@@ -432,23 +467,26 @@ impl Problem for ManycoreProblem {
         self.evaluator.evaluate(s).objectives(self.objective_set)
     }
 
+    /// The incremental fast path: when `s` is one recognized move away
+    /// from `base`, the shared [`DeltaEngine`] patches the base's cached
+    /// evaluation state instead of re-evaluating from scratch — with a
+    /// guaranteed-exact result (the engine falls back to a full
+    /// evaluation whenever a move cannot be scored exactly). Disabled
+    /// engines skip straight to [`evaluate_ordinal`](Problem::evaluate_ordinal).
+    fn evaluate_neighbor_ordinal(&self, base: &Design, s: &Design, ordinal: u64) -> Vec<f64> {
+        if !self.delta_enabled {
+            return self.evaluate_ordinal(s, ordinal);
+        }
+        self.delta.evaluate_neighbor(&self.evaluator, base, s).objectives(self.objective_set)
+    }
+
     /// Exact canonical bytes of the design: the placement vector plus the
     /// ordered link list. Two designs share a key iff they are equal
     /// (`Design: PartialEq` compares the same data), so memoized results
-    /// can never collide.
+    /// can never collide. The same bytes key the delta engine's state
+    /// cache.
     fn cache_key(&self, s: &Design) -> Option<Vec<u8>> {
-        let links = s.topology.links();
-        let mut key = Vec::with_capacity(8 + 4 * (s.placement.pe_of().len() + 2 * links.len()));
-        key.extend_from_slice(&(s.placement.pe_of().len() as u32).to_le_bytes());
-        for &pe in s.placement.pe_of() {
-            key.extend_from_slice(&(pe as u32).to_le_bytes());
-        }
-        key.extend_from_slice(&(links.len() as u32).to_le_bytes());
-        for l in links {
-            key.extend_from_slice(&(l.a().0 as u32).to_le_bytes());
-            key.extend_from_slice(&(l.b().0 as u32).to_le_bytes());
-        }
-        Some(key)
+        Some(delta::design_key(s))
     }
 
     fn features(&self, s: &Design) -> Vec<f64> {
@@ -722,6 +760,37 @@ mod tests {
         q.evaluate(&d);
         let (rebuilds, hits) = p.routing_stats();
         assert_eq!((rebuilds, hits), (1, 1), "the second evaluation reuses the table");
+    }
+
+    #[test]
+    fn neighbor_evaluation_is_bit_identical_and_counts_delta_hits() {
+        let p = paper_problem(ObjectiveSet::Five);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut current = p.random_solution(&mut rng);
+        for step in 0..12 {
+            let next = p.neighbor(&current, &mut rng);
+            assert_eq!(
+                p.evaluate_neighbor_ordinal(&current, &next, step),
+                p.evaluate(&next),
+                "delta and full evaluation diverged at step {step}"
+            );
+            current = next;
+        }
+        let (hits, fallbacks) = p.delta_stats();
+        assert_eq!(fallbacks, 1, "only the seed design needs a full bootstrap");
+        assert_eq!(hits, 12, "every accepted neighbor delta-evaluates");
+    }
+
+    #[test]
+    fn disabled_delta_engine_stays_exact_and_counts_nothing() {
+        let mut p = paper_problem(ObjectiveSet::Five);
+        p.set_delta_eval(false);
+        assert!(!p.delta_eval_enabled());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let base = p.random_solution(&mut rng);
+        let next = p.neighbor(&base, &mut rng);
+        assert_eq!(p.evaluate_neighbor_ordinal(&base, &next, 0), p.evaluate(&next));
+        assert_eq!(p.delta_stats(), (0, 0), "the off engine never runs");
     }
 
     #[test]

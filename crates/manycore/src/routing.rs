@@ -11,6 +11,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::geometry::{GridDims, TileId};
+use crate::link::Link;
 use crate::params::NocParams;
 use crate::topology::Topology;
 
@@ -118,6 +119,86 @@ impl RoutingTable {
     /// Number of tiles routed.
     pub fn tile_count(&self) -> usize {
         self.n
+    }
+
+    /// The per-source "row may change" mask for replacing the link at
+    /// `victim_idx` with `new_link` (latency cost `new_cost`).
+    ///
+    /// A source's routes are provably unchanged by the rewire when
+    /// (a) its shortest-path tree never crosses the removed link — removal
+    /// can then neither raise a cost nor steal a chosen parent — and
+    /// (b) the inserted link cannot complete a path that matches or beats
+    /// an existing route: `cost[a] + new_cost > cost[b]` and symmetrically
+    /// (ties count as affected because they can flip the deterministic
+    /// lowest-id parent preference). Everything else is conservatively
+    /// marked affected and re-routed from scratch.
+    pub fn rewire_affected_sources(
+        &self,
+        victim_idx: usize,
+        new_link: Link,
+        new_cost: f64,
+    ) -> Vec<bool> {
+        let (a, b) = (new_link.a().0, new_link.b().0);
+        (0..self.n)
+            .map(|src| {
+                let uses_victim =
+                    self.parent[src].iter().any(|p| p.is_some_and(|(_, l)| l == victim_idx));
+                let row = &self.cost[src];
+                uses_victim || row[a] + new_cost <= row[b] || row[b] + new_cost <= row[a]
+            })
+            .collect()
+    }
+
+    /// Repairs this table — built for the pre-rewire topology — into the
+    /// table for `new_topology`, rerunning Dijkstra only for the sources
+    /// in `affected` (from [`RoutingTable::rewire_affected_sources`]) and
+    /// cloning every other row. The result is bitwise identical to
+    /// [`RoutingTable::build`] on `new_topology`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_topology` is disconnected.
+    pub fn repair_rewire(
+        &self,
+        dims: &GridDims,
+        new_topology: &Topology,
+        affected: &[bool],
+        params: &NocParams,
+    ) -> Self {
+        let n = self.n;
+        let link_cost: Vec<f64> = new_topology
+            .links()
+            .iter()
+            .map(|l| params.router_stages + l.length(dims) * params.link_delay_per_unit)
+            .collect();
+        let link_delay: Vec<f64> = new_topology
+            .links()
+            .iter()
+            .map(|l| l.length(dims) * params.link_delay_per_unit)
+            .collect();
+        let mut parent = Vec::with_capacity(n);
+        let mut cost = Vec::with_capacity(n);
+        let mut hops = Vec::with_capacity(n);
+        let mut wire = Vec::with_capacity(n);
+        for (src, &is_affected) in affected.iter().enumerate().take(n) {
+            if is_affected {
+                let (p, c, h, w) = dijkstra(src, n, new_topology, &link_cost, &link_delay);
+                assert!(
+                    c.iter().all(|v| v.is_finite()),
+                    "topology must be connected before routing"
+                );
+                parent.push(p);
+                cost.push(c);
+                hops.push(h);
+                wire.push(w);
+            } else {
+                parent.push(self.parent[src].clone());
+                cost.push(self.cost[src].clone());
+                hops.push(self.hops[src].clone());
+                wire.push(self.wire_delay[src].clone());
+            }
+        }
+        Self { n, parent, cost, hops, wire_delay: wire }
     }
 }
 

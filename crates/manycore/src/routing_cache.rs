@@ -78,6 +78,59 @@ impl RoutingCache {
         self.hits.load(Ordering::Relaxed)
     }
 
+    /// Looks up the table for `topology` without building on a miss. A
+    /// hit counts toward [`RoutingCache::hits`]; a miss counts nothing
+    /// (the caller decides whether to rebuild or repair incrementally).
+    pub fn lookup(&self, topology: &Topology) -> Option<Arc<RoutingTable>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let fp = topology.fingerprint();
+        let mut state = self.state.lock().expect("routing cache poisoned");
+        state.tick += 1;
+        let tick = state.tick;
+        let entry = state
+            .entries
+            .iter_mut()
+            .find(|e| e.fingerprint == fp && e.links == topology.links())?;
+        entry.last_used = tick;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&entry.table))
+    }
+
+    /// Stores a table produced elsewhere (e.g. by incremental repair)
+    /// under `topology`, evicting LRU-style. Does not count a rebuild —
+    /// [`RoutingCache::rebuilds`] keeps meaning "full Dijkstra passes".
+    /// No-op at capacity 0. `table` must have been built (or repaired to
+    /// be bitwise identical to a build) for `topology`'s exact link list.
+    pub fn admit(&self, topology: &Topology, table: Arc<RoutingTable>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let fp = topology.fingerprint();
+        let mut state = self.state.lock().expect("routing cache poisoned");
+        state.tick += 1;
+        let tick = state.tick;
+        if !state.entries.iter().any(|e| e.fingerprint == fp && e.links == topology.links()) {
+            if state.entries.len() >= self.capacity {
+                let victim = state
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(i, _)| i)
+                    .expect("non-empty over-capacity cache");
+                state.entries.swap_remove(victim);
+            }
+            state.entries.push(Entry {
+                fingerprint: fp,
+                links: topology.links().to_vec(),
+                table,
+                last_used: tick,
+            });
+        }
+    }
+
     /// The routing table for `topology`, from cache when possible.
     ///
     /// The table is built *outside* the lock, so concurrent misses on

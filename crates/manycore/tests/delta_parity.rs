@@ -1,0 +1,245 @@
+//! Differential conformance harness for the incremental (delta) move
+//! evaluation fast path: long random move chains — swaps, rewires, and
+//! mixed walks, on the paper platform and on degenerate grids — must
+//! produce objective vectors *bitwise* equal to full evaluation at
+//! every step, for all five objectives.
+//!
+//! The harness has a self-check mode: compiling with
+//! `--features delta-fault` routes every applied delta through a
+//! deliberate one-ULP-sized utilization perturbation, and the
+//! `self_check` module asserts the divergence is caught — proving these
+//! parity assertions have teeth rather than comparing a value to
+//! itself.
+
+use moela_manycore::moves;
+use moela_manycore::{ManycoreProblem, ObjectiveSet, PlatformConfig};
+use moela_moo::Problem;
+use moela_traffic::{Benchmark, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The grids under test: the paper's 4×4×4 platform plus two degenerate
+/// shapes — a minimal 2×2×2 stack and a single-layer 3×3 slab with no
+/// vertical links at all (so rewires only ever touch the planar pool).
+fn platform(grid: u8) -> PlatformConfig {
+    match grid {
+        0 => PlatformConfig::paper(),
+        1 => PlatformConfig::builder()
+            .dims(2, 2, 2)
+            .cpus(2)
+            .gpus(4)
+            .llcs(2)
+            .build()
+            .expect("the 2x2x2 stack is feasible"),
+        _ => PlatformConfig::builder()
+            .dims(3, 3, 1)
+            .cpus(2)
+            .gpus(5)
+            .llcs(2)
+            .build()
+            .expect("the single-layer slab is feasible"),
+    }
+}
+
+fn problem_on(grid: u8, set: ObjectiveSet, seed: u64) -> ManycoreProblem {
+    let config = platform(grid);
+    let workload = Workload::synthesize(Benchmark::Bfs, config.pe_mix(), seed);
+    ManycoreProblem::new(config, workload, set).expect("platform builds")
+}
+
+/// Bit patterns, so the comparison is exact equality of bytes — not an
+/// epsilon, and not `==` (which would let `-0.0` pass for `0.0`).
+fn bits(objectives: &[f64]) -> Vec<u64> {
+    objectives.iter().map(|v| v.to_bits()).collect()
+}
+
+/// The parity suite proper. Compiled out under `delta-fault`, where the
+/// delta path is deliberately wrong and only `self_check` applies.
+#[cfg(not(feature = "delta-fault"))]
+mod parity {
+    use super::*;
+    use moela_manycore::objectives::Evaluator;
+    use moela_manycore::topology::TopologyBuilder;
+    use moela_manycore::{Design, MoveDelta};
+    use moela_thermal::FastThermalModel;
+    use proptest::prelude::*;
+
+    /// A bare engine-level evaluator over the same `(platform, workload)`
+    /// pair `problem_on` builds, for driving [`Evaluator::evaluate_delta`]
+    /// directly.
+    fn evaluator_on(grid: u8, seed: u64) -> Evaluator {
+        let config = platform(grid);
+        let workload = Workload::synthesize(Benchmark::Bfs, config.pe_mix(), seed);
+        let thermal = FastThermalModel::new(config.thermal().clone());
+        Evaluator::new(*config.dims(), *config.noc(), workload, thermal)
+    }
+
+    /// One move of the requested kind. `kind` 0 = placement swap, 1 = link
+    /// rewire, anything else = the problem's own mixed move distribution.
+    fn step(problem: &ManycoreProblem, kind: u8, current: &Design, rng: &mut StdRng) -> Design {
+        let config = problem.config();
+        match kind {
+            0 => moves::swap_tiles(config.dims(), config.pe_mix(), current, rng),
+            1 => {
+                let builder = TopologyBuilder::new(
+                    *config.dims(),
+                    config.planar_links(),
+                    config.tsvs(),
+                    config.noc().max_planar_length,
+                    config.noc().max_degree,
+                );
+                moves::rewire_link(config.dims(), &builder, config.noc().max_degree, current, rng)
+            }
+            _ => problem.neighbor(current, rng),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Random move chains of every kind, on every grid, scored over
+        /// all five objectives: the delta-served neighbor evaluation
+        /// must equal full evaluation bitwise at every single step. The
+        /// chain always advances through the delta path's own output,
+        /// so drift would compound — and be caught at the step it
+        /// first appears.
+        #[test]
+        fn move_chains_evaluate_bitwise_identically(
+            seed in 0u64..500,
+            walk in 1usize..12,
+            kind in 0u8..3,
+            grid in 0u8..3,
+        ) {
+            let problem = problem_on(grid, ObjectiveSet::Five, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD17A);
+            let mut current = problem.random_solution(&mut rng);
+            for i in 0..walk {
+                let next = step(&problem, kind, &current, &mut rng);
+                let fast = problem.evaluate_neighbor_ordinal(&current, &next, 0);
+                let full = problem.evaluate(&next);
+                prop_assert_eq!(
+                    bits(&fast), bits(&full),
+                    "step {} of a kind-{} chain on grid {} diverged: delta {:?} vs full {:?}",
+                    i, kind, grid, fast, full
+                );
+                current = next;
+            }
+        }
+
+        /// The engine driven bare, below the problem wrapper: classify
+        /// each move with [`MoveDelta::between`], patch the running
+        /// [`EvalState`] with [`Evaluator::evaluate_delta`], and demand
+        /// the patched state equals a from-scratch build bitwise — both
+        /// its evaluation and its successor's (state chaining).
+        #[test]
+        fn patched_states_equal_fresh_builds(
+            seed in 0u64..300,
+            walk in 2usize..14,
+            grid in 0u8..3,
+        ) {
+            let problem = problem_on(grid, ObjectiveSet::Five, seed);
+            let evaluator = evaluator_on(grid, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5A7E);
+            let start = problem.random_solution(&mut rng);
+            let mut state = evaluator.build_state(&start);
+            let mut applied = 0usize;
+            for i in 0..walk {
+                let next = step(&problem, (i % 3) as u8, state.design(), &mut rng);
+                let delta = MoveDelta::between(state.design(), &next);
+                state = match delta.and_then(|d| evaluator.evaluate_delta(&state, &d)) {
+                    Some(patched) => {
+                        applied += 1;
+                        let fresh = evaluator.build_state(&next);
+                        prop_assert_eq!(
+                            bits(&patched.evaluation().objectives(ObjectiveSet::Five)),
+                            bits(&fresh.evaluation().objectives(ObjectiveSet::Five)),
+                            "delta {:?} at step {} diverged from the fresh build", delta, i
+                        );
+                        patched
+                    }
+                    None => evaluator.build_state(&next),
+                };
+            }
+            // Move generators only return clones on rejection-sampling
+            // exhaustion, so real chains must exercise the fast path.
+            prop_assert!(applied > 0, "no step was delta-classifiable");
+        }
+    }
+
+    /// A cloned design is the `Identity` delta: the cached evaluation is
+    /// reused verbatim and counted as a hit.
+    #[test]
+    fn identity_moves_reuse_the_cached_state_exactly() {
+        let problem = problem_on(0, ObjectiveSet::Five, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = problem.random_solution(&mut rng);
+        let full = problem.evaluate(&d);
+        let fast = problem.evaluate_neighbor_ordinal(&d, &d.clone(), 0);
+        assert_eq!(bits(&fast), bits(&full));
+        let (hits, fallbacks) = problem.delta_stats();
+        assert_eq!((hits, fallbacks), (1, 1), "bootstrap build, then an identity hit");
+    }
+
+    /// The ISSUE's acceptance bar, proven by the same counters
+    /// `metrics.json` reports: a swap-heavy local-search walk must serve
+    /// at least 3x more neighbors from the delta path than it falls
+    /// back to full evaluation — while staying bitwise exact.
+    #[test]
+    fn swap_heavy_walks_hit_the_delta_path_at_least_3x_more_than_falling_back() {
+        let problem = problem_on(0, ObjectiveSet::Three, 11);
+        let config = problem.config();
+        let (dims, mix) = (*config.dims(), config.pe_mix());
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut current = problem.random_solution(&mut rng);
+        let walk = 40u64;
+        for _ in 0..walk {
+            let next = moves::swap_tiles(&dims, mix, &current, &mut rng);
+            let fast = problem.evaluate_neighbor_ordinal(&current, &next, 0);
+            assert_eq!(bits(&fast), bits(&problem.evaluate(&next)));
+            current = next;
+        }
+        let (hits, fallbacks) = problem.delta_stats();
+        // Counters count *work*, not neighbors: the first call pays one
+        // full bootstrap build (a fallback) and still serves its
+        // neighbor through the delta path (a hit).
+        assert_eq!((hits, fallbacks), (walk, 1), "one bootstrap, then pure delta");
+        assert!(
+            hits >= 3 * fallbacks.max(1),
+            "swap-heavy walks must be delta-dominated (hits {hits}, fallbacks {fallbacks})"
+        );
+    }
+}
+
+/// Harness self-test, compiled only with `--features delta-fault`: the
+/// delta path then perturbs one utilization entry on every applied
+/// delta, and the very comparison the parity suite runs must flag it.
+/// A green run here proves a wrong fast path cannot slip through.
+#[cfg(feature = "delta-fault")]
+mod self_check {
+    use super::*;
+
+    #[test]
+    fn the_deliberately_broken_delta_path_is_caught() {
+        let problem = problem_on(0, ObjectiveSet::Five, 7);
+        let config = problem.config();
+        let (dims, mix) = (*config.dims(), config.pe_mix());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut current = problem.random_solution(&mut rng);
+        let mut diverged = 0usize;
+        for _ in 0..6 {
+            let next = moves::swap_tiles(&dims, mix, &current, &mut rng);
+            let fast = problem.evaluate_neighbor_ordinal(&current, &next, 0);
+            let full = problem.evaluate(&next);
+            if bits(&fast) != bits(&full) {
+                diverged += 1;
+            }
+            current = next;
+        }
+        let (hits, _) = problem.delta_stats();
+        assert!(hits > 0, "the chain must actually exercise the delta path");
+        assert!(
+            diverged > 0,
+            "the injected delta fault went undetected — the parity harness is toothless"
+        );
+    }
+}

@@ -55,8 +55,15 @@ proptest! {
                 &got, &reference,
                 "cache (capacity {}) at {} threads changed the objectives", capacity, threads
             );
-            let stats = cached.cache().stats();
-            prop_assert!(stats.hits > 0, "the reversed revisit must hit ({:?})", stats);
+            // The hit guarantee is only deterministic single-threaded: at
+            // 4 workers the reversed chunks race the forward chunks, and
+            // with a tiny capacity every get can land between its twin's
+            // eviction and reinsertion. Multi-threaded runs still must be
+            // bit-identical (asserted above) — hits there are best-effort.
+            if threads == 1 {
+                let stats = cached.cache().stats();
+                prop_assert!(stats.hits > 0, "the reversed revisit must hit ({:?})", stats);
+            }
         }
     }
 }

@@ -224,6 +224,25 @@ impl<P: Problem> Problem for CachedProblem<P> {
         }
     }
 
+    fn evaluate_neighbor_ordinal(
+        &self,
+        base: &Self::Solution,
+        s: &Self::Solution,
+        ordinal: u64,
+    ) -> Vec<f64> {
+        match self.inner.cache_key(s) {
+            None => self.inner.evaluate_neighbor_ordinal(base, s, ordinal),
+            Some(key) => {
+                if let Some(hit) = self.cache.get(&key) {
+                    return hit;
+                }
+                let objectives = self.inner.evaluate_neighbor_ordinal(base, s, ordinal);
+                self.admit(key, &objectives);
+                objectives
+            }
+        }
+    }
+
     fn reserve_ordinals(&self, n: u64) -> u64 {
         self.inner.reserve_ordinals(n)
     }

@@ -174,6 +174,16 @@ impl<P> ChaosProblem<P> {
 
 impl<P: Problem> ChaosProblem<P> {
     fn inject(&self, s: &P::Solution, ordinal: u64) -> Vec<f64> {
+        self.inject_with(ordinal, || self.inner.evaluate(s))
+    }
+
+    /// The injection core, parameterized over how the clean objectives
+    /// are produced: the ordinary path evaluates the solution in full,
+    /// the neighbor path may delta-evaluate — the fault stream is keyed
+    /// purely by `(seed, ordinal)` either way, and the delta contract
+    /// guarantees the clean objectives are bit-identical, so both paths
+    /// fault identically.
+    fn inject_with(&self, ordinal: u64, eval: impl FnOnce() -> Vec<f64>) -> Vec<f64> {
         let u = unit(self.seed, ordinal, FAULT_SALT);
         let mut threshold = self.spec.panic;
         if u < threshold {
@@ -182,7 +192,7 @@ impl<P: Problem> ChaosProblem<P> {
         if self.spec.slow > 0.0 && unit(self.seed, ordinal, SLOW_SALT) < self.spec.slow {
             std::thread::sleep(std::time::Duration::from_micros(200));
         }
-        let mut objs = self.inner.evaluate(s);
+        let mut objs = eval();
         let m = objs.len().max(1);
         threshold += self.spec.nan;
         if u < threshold {
@@ -241,6 +251,15 @@ impl<P: Problem> Problem for ChaosProblem<P> {
 
     fn evaluate_ordinal(&self, s: &Self::Solution, ordinal: u64) -> Vec<f64> {
         self.inject(s, ordinal)
+    }
+
+    fn evaluate_neighbor_ordinal(
+        &self,
+        base: &Self::Solution,
+        s: &Self::Solution,
+        ordinal: u64,
+    ) -> Vec<f64> {
+        self.inject_with(ordinal, || self.inner.evaluate_neighbor_ordinal(base, s, ordinal))
     }
 
     fn reserve_ordinals(&self, n: u64) -> u64 {

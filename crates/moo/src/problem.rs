@@ -86,6 +86,25 @@ pub trait Problem {
         self.evaluate(s)
     }
 
+    /// Evaluates `s` as evaluation number `ordinal`, given that `s` was
+    /// produced by one [`neighbor`](Problem::neighbor) move from `base`.
+    ///
+    /// This is the hook for incremental (delta) evaluation: problems that
+    /// can score a single move faster than a full evaluation override it,
+    /// under the contract that the result is **bit-identical** to
+    /// [`evaluate_ordinal`](Problem::evaluate_ordinal) on `s` — callers
+    /// may substitute one for the other freely. Implementations must fall
+    /// back to full evaluation whenever the move cannot be scored exactly.
+    /// The default ignores `base` and delegates.
+    fn evaluate_neighbor_ordinal(
+        &self,
+        _base: &Self::Solution,
+        s: &Self::Solution,
+        ordinal: u64,
+    ) -> Vec<f64> {
+        self.evaluate_ordinal(s, ordinal)
+    }
+
     /// Reserves `n` consecutive evaluation ordinals, returning the first.
     ///
     /// Only ordinal-aware wrappers ([`crate::chaos::ChaosProblem`]) track
@@ -160,6 +179,15 @@ impl<P: Problem + ?Sized> Problem for &P {
 
     fn evaluate_ordinal(&self, s: &Self::Solution, ordinal: u64) -> Vec<f64> {
         (**self).evaluate_ordinal(s, ordinal)
+    }
+
+    fn evaluate_neighbor_ordinal(
+        &self,
+        base: &Self::Solution,
+        s: &Self::Solution,
+        ordinal: u64,
+    ) -> Vec<f64> {
+        (**self).evaluate_neighbor_ordinal(base, s, ordinal)
     }
 
     fn reserve_ordinals(&self, n: u64) -> u64 {

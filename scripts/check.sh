@@ -59,6 +59,17 @@ grep -o '"cache":{[^}]*}' "$smoke/full/metrics.json" | grep -q '"misses":0' \
 grep -o '"cache":{[^}]*}' "$smoke/full/metrics.json" | grep -q '"routing_rebuilds":0' \
     && { echo "no routing table was ever built"; exit 1; }
 
+echo "==> delta smoke (fast path on/off parity; the parity harness catches a broken patch)"
+"$dse" run "${flags[@]}" --eval-delta off --run-dir "$smoke/nodelta" >/dev/null
+cmp "$smoke/full/trace.csv" "$smoke/nodelta/trace.csv"
+cmp "$smoke/full/front.csv" "$smoke/nodelta/front.csv"
+grep -q '"delta":{"enabled":true' "$smoke/full/metrics.json"
+grep -q '"delta":{"enabled":false' "$smoke/nodelta/metrics.json"
+grep -o '"delta":{[^}]*}' "$smoke/nodelta/metrics.json" | grep -q '"hits":0' \
+    || { echo "--eval-delta off still recorded delta hits"; exit 1; }
+# Self-check: a deliberately broken patch path must fail the harness.
+cargo test -q -p moela-manycore --features delta-fault --test delta_parity
+
 echo "==> serve smoke (served job matches moela-dse run byte-for-byte; drain exits 0)"
 "$dse" serve --addr 127.0.0.1:0 --addr-file "$smoke/addr" --run-root "$smoke/jobs" \
     --workers 1 --queue-depth 4 >/dev/null &
